@@ -1,0 +1,254 @@
+//! A generic worklist dataflow solver over KC control-flow graphs.
+//!
+//! Analyses implement [`Transfer`]; the solver computes the fixpoint of the
+//! per-block facts in reverse post-order (for forward problems) or post-order
+//! (for backward problems). The extension analyses in `ivy-core` (errcheck)
+//! and BlockStop's interrupt-context tracking are built on this.
+
+use crate::lattice::Lattice;
+use ivy_cmir::cfg::{BlockId, Cfg, Terminator};
+use ivy_cmir::Stmt;
+
+/// Direction of a dataflow problem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Facts flow from predecessors to successors.
+    Forward,
+    /// Facts flow from successors to predecessors.
+    Backward,
+}
+
+/// A dataflow transfer function.
+pub trait Transfer {
+    /// The lattice of facts.
+    type Fact: Lattice;
+
+    /// Direction of the analysis.
+    fn direction(&self) -> Direction;
+
+    /// The fact at the boundary (function entry for forward problems, exits
+    /// for backward problems).
+    fn boundary(&self) -> Self::Fact;
+
+    /// Applies one statement to a fact (in program order for forward
+    /// problems; the solver reverses the statement order for backward ones).
+    fn stmt(&self, stmt: &Stmt, fact: &mut Self::Fact);
+
+    /// Applies a block terminator to a fact. The default does nothing.
+    fn terminator(&self, _term: &Terminator, _fact: &mut Self::Fact) {}
+}
+
+/// The per-block solution of a dataflow problem.
+#[derive(Debug, Clone)]
+pub struct Solution<F> {
+    /// Fact holding at entry to each block.
+    pub entry: Vec<F>,
+    /// Fact holding at exit of each block.
+    pub exit: Vec<F>,
+}
+
+impl<F: Lattice> Solution<F> {
+    /// The joined fact over every block exit (useful for "anywhere in the
+    /// function" queries).
+    pub fn join_all_exits(&self) -> F {
+        let mut acc = F::bottom();
+        for f in &self.exit {
+            acc.join(f);
+        }
+        acc
+    }
+}
+
+/// Runs a dataflow analysis to fixpoint over a CFG.
+pub fn solve<T: Transfer>(cfg: &Cfg, transfer: &T) -> Solution<T::Fact> {
+    let n = cfg.blocks.len();
+    let mut entry = vec![T::Fact::bottom(); n];
+    let mut exit = vec![T::Fact::bottom(); n];
+    let preds = cfg.predecessors();
+
+    match transfer.direction() {
+        Direction::Forward => {
+            entry[Cfg::ENTRY] = transfer.boundary();
+            let order = cfg.reverse_post_order();
+            let mut changed = true;
+            let mut iterations = 0usize;
+            while changed && iterations < 4 * n + 16 {
+                changed = false;
+                iterations += 1;
+                for &b in &order {
+                    // Join predecessors.
+                    let mut in_fact =
+                        if b == Cfg::ENTRY { transfer.boundary() } else { T::Fact::bottom() };
+                    for &p in &preds[b] {
+                        in_fact.join(&exit[p]);
+                    }
+                    let mut out_fact = in_fact.clone();
+                    for s in &cfg.blocks[b].stmts {
+                        transfer.stmt(s, &mut out_fact);
+                    }
+                    transfer.terminator(&cfg.blocks[b].term, &mut out_fact);
+                    if entry[b] != in_fact {
+                        entry[b] = in_fact;
+                        changed = true;
+                    }
+                    if exit[b] != out_fact {
+                        exit[b] = out_fact;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        Direction::Backward => {
+            let exits = cfg.exit_blocks();
+            let mut order = cfg.reverse_post_order();
+            order.reverse();
+            let mut changed = true;
+            let mut iterations = 0usize;
+            while changed && iterations < 4 * n + 16 {
+                changed = false;
+                iterations += 1;
+                for &b in &order {
+                    // Join successors into the block's exit fact.
+                    let mut out_fact =
+                        if exits.contains(&b) { transfer.boundary() } else { T::Fact::bottom() };
+                    for s in cfg.successors(b) {
+                        out_fact.join(&entry[s]);
+                    }
+                    let mut in_fact = out_fact.clone();
+                    transfer.terminator(&cfg.blocks[b].term, &mut in_fact);
+                    for s in cfg.blocks[b].stmts.iter().rev() {
+                        transfer.stmt(s, &mut in_fact);
+                    }
+                    if exit[b] != out_fact {
+                        exit[b] = out_fact;
+                        changed = true;
+                    }
+                    if entry[b] != in_fact {
+                        entry[b] = in_fact;
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+    Solution { entry, exit }
+}
+
+/// Convenience: runs a forward analysis and returns the fact at a block's
+/// entry.
+pub fn fact_at_entry<T: Transfer>(cfg: &Cfg, transfer: &T, block: BlockId) -> T::Fact {
+    solve(cfg, transfer).entry[block].clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::SetLattice;
+    use ivy_cmir::parser::parse_program;
+    use ivy_cmir::Expr;
+
+    /// A simple "defined variables" forward analysis used to exercise the
+    /// solver: a variable is in the set once a `let` or assignment to it has
+    /// executed on every path... joined as may-analysis (union).
+    struct DefinedVars;
+
+    impl Transfer for DefinedVars {
+        type Fact = SetLattice<String>;
+
+        fn direction(&self) -> Direction {
+            Direction::Forward
+        }
+
+        fn boundary(&self) -> Self::Fact {
+            SetLattice::new()
+        }
+
+        fn stmt(&self, stmt: &Stmt, fact: &mut Self::Fact) {
+            match stmt {
+                Stmt::Local(d, _) => {
+                    fact.insert(d.name.clone());
+                }
+                Stmt::Assign(Expr::Var(v), _, _) => {
+                    fact.insert(v.clone());
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// A backward "calls that still lie ahead" analysis used to exercise the
+    /// backward direction.
+    struct UpcomingCalls;
+
+    impl Transfer for UpcomingCalls {
+        type Fact = SetLattice<String>;
+
+        fn direction(&self) -> Direction {
+            Direction::Backward
+        }
+
+        fn boundary(&self) -> Self::Fact {
+            SetLattice::new()
+        }
+
+        fn stmt(&self, stmt: &Stmt, fact: &mut Self::Fact) {
+            ivy_cmir::visit::walk_stmt_exprs(stmt, &mut |e| {
+                if let Expr::Call(callee, _) = e {
+                    if let Expr::Var(name) = &**callee {
+                        fact.insert(name.clone());
+                    }
+                }
+            });
+        }
+    }
+
+    fn cfg_for(src: &str, name: &str) -> Cfg {
+        let p = parse_program(src).unwrap();
+        Cfg::build(p.function(name).unwrap())
+    }
+
+    #[test]
+    fn forward_reaches_fixpoint_on_loop() {
+        let cfg = cfg_for(
+            "fn f(n: u32) -> u32 { let i: u32 = 0; let acc: u32 = 0; \
+             while (i < n) { acc = acc + i; i = i + 1; } return acc; }",
+            "f",
+        );
+        let sol = solve(&cfg, &DefinedVars);
+        let all = sol.join_all_exits();
+        assert!(all.contains(&"i".to_string()));
+        assert!(all.contains(&"acc".to_string()));
+    }
+
+    #[test]
+    fn forward_entry_block_starts_from_boundary() {
+        let cfg = cfg_for("fn f() { let x: u32 = 1; }", "f");
+        let sol = solve(&cfg, &DefinedVars);
+        assert!(sol.entry[Cfg::ENTRY].items.is_empty());
+        assert!(sol.exit[Cfg::ENTRY].contains(&"x".to_string()));
+    }
+
+    #[test]
+    fn backward_collects_upcoming_calls() {
+        let cfg = cfg_for(
+            "fn g() { } fn h() { } fn f(x: i32) { if (x) { g(); } else { h(); } g(); }",
+            "f",
+        );
+        let sol = solve(&cfg, &UpcomingCalls);
+        // At function entry, both g and h lie ahead on some path.
+        let at_entry = &sol.entry[Cfg::ENTRY];
+        assert!(at_entry.contains(&"g".to_string()));
+        assert!(at_entry.contains(&"h".to_string()));
+    }
+
+    #[test]
+    fn solver_terminates_on_nested_loops() {
+        let cfg = cfg_for(
+            "fn f(n: u32) { let i: u32 = 0; while (i < n) { let j: u32 = 0; \
+             while (j < n) { j = j + 1; } i = i + 1; } }",
+            "f",
+        );
+        let sol = solve(&cfg, &DefinedVars);
+        assert!(sol.join_all_exits().contains(&"j".to_string()));
+    }
+}

@@ -1,0 +1,179 @@
+//! Lattices for the dataflow framework.
+//!
+//! A dataflow fact must form a join-semilattice: a bottom element and a join
+//! (least upper bound). The worklist solver in [`crate::dataflow`] is generic
+//! over any [`Lattice`].
+
+use std::collections::BTreeSet;
+
+/// A join-semilattice of dataflow facts.
+pub trait Lattice: Clone + PartialEq {
+    /// The least element (associated with unreachable / no information).
+    fn bottom() -> Self;
+
+    /// Least upper bound. Returns `true` if `self` changed.
+    fn join(&mut self, other: &Self) -> bool;
+}
+
+/// The two-point lattice: `false` ⊑ `true`.
+///
+/// Used for reachability-style facts ("interrupts may be disabled here").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BoolLattice(pub bool);
+
+impl Lattice for BoolLattice {
+    fn bottom() -> Self {
+        BoolLattice(false)
+    }
+
+    fn join(&mut self, other: &Self) -> bool {
+        if !self.0 && other.0 {
+            self.0 = true;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// A powerset lattice over an ordered element type, with set union as join.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SetLattice<T: Ord + Clone> {
+    /// The current set of facts.
+    pub items: BTreeSet<T>,
+}
+
+impl<T: Ord + Clone> SetLattice<T> {
+    /// An empty set.
+    pub fn new() -> Self {
+        SetLattice { items: BTreeSet::new() }
+    }
+
+    /// A singleton set.
+    pub fn singleton(item: T) -> Self {
+        let mut s = BTreeSet::new();
+        s.insert(item);
+        SetLattice { items: s }
+    }
+
+    /// Inserts an element; returns true if it was new.
+    pub fn insert(&mut self, item: T) -> bool {
+        self.items.insert(item)
+    }
+
+    /// True if the element is present.
+    pub fn contains(&self, item: &T) -> bool {
+        self.items.contains(item)
+    }
+}
+
+impl<T: Ord + Clone> Lattice for SetLattice<T> {
+    fn bottom() -> Self {
+        SetLattice::new()
+    }
+
+    fn join(&mut self, other: &Self) -> bool {
+        let before = self.items.len();
+        self.items.extend(other.items.iter().cloned());
+        self.items.len() != before
+    }
+}
+
+/// A map lattice: pointwise join of an inner lattice keyed by an ordered key.
+///
+/// Missing keys are implicitly bottom.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MapLattice<K: Ord + Clone, V: Lattice> {
+    /// Keyed facts.
+    pub map: std::collections::BTreeMap<K, V>,
+}
+
+impl<K: Ord + Clone, V: Lattice> MapLattice<K, V> {
+    /// An empty map.
+    pub fn new() -> Self {
+        MapLattice { map: std::collections::BTreeMap::new() }
+    }
+
+    /// Gets the fact for a key (bottom if absent).
+    pub fn get(&self, k: &K) -> V {
+        self.map.get(k).cloned().unwrap_or_else(V::bottom)
+    }
+
+    /// Joins a fact into a key; returns true on change.
+    pub fn join_at(&mut self, k: K, v: &V) -> bool {
+        match self.map.get_mut(&k) {
+            Some(existing) => existing.join(v),
+            None => {
+                if *v == V::bottom() {
+                    false
+                } else {
+                    self.map.insert(k, v.clone());
+                    true
+                }
+            }
+        }
+    }
+}
+
+impl<K: Ord + Clone, V: Lattice> Lattice for MapLattice<K, V> {
+    fn bottom() -> Self {
+        MapLattice::new()
+    }
+
+    fn join(&mut self, other: &Self) -> bool {
+        let mut changed = false;
+        for (k, v) in &other.map {
+            changed |= self.join_at(k.clone(), v);
+        }
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bool_lattice_joins_upwards() {
+        let mut a = BoolLattice(false);
+        assert!(!a.join(&BoolLattice(false)));
+        assert!(a.join(&BoolLattice(true)));
+        assert!(!a.join(&BoolLattice(true)));
+        assert!(a.0);
+    }
+
+    #[test]
+    fn set_lattice_union() {
+        let mut a: SetLattice<&str> = SetLattice::singleton("x");
+        let b = SetLattice::singleton("y");
+        assert!(a.join(&b));
+        assert!(!a.join(&b));
+        assert!(a.contains(&"x") && a.contains(&"y"));
+        assert_eq!(SetLattice::<&str>::bottom().items.len(), 0);
+    }
+
+    #[test]
+    fn map_lattice_pointwise() {
+        let mut m: MapLattice<&str, SetLattice<u32>> = MapLattice::new();
+        assert!(m.join_at("a", &SetLattice::singleton(1)));
+        assert!(m.join_at("a", &SetLattice::singleton(2)));
+        assert!(!m.join_at("a", &SetLattice::singleton(2)));
+        assert_eq!(m.get(&"a").items.len(), 2);
+        assert_eq!(m.get(&"missing").items.len(), 0);
+
+        let mut other = MapLattice::new();
+        other.join_at("b", &SetLattice::singleton(9));
+        assert!(m.join(&other));
+        assert_eq!(m.get(&"b").items.len(), 1);
+    }
+
+    #[test]
+    fn join_is_idempotent_and_monotone() {
+        let mut a = SetLattice::singleton(1);
+        a.insert(2);
+        let snapshot = a.clone();
+        let mut b = a.clone();
+        assert!(!b.join(&snapshot));
+        assert_eq!(a, b);
+    }
+}

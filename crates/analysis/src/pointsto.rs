@@ -1,0 +1,735 @@
+//! Whole-program points-to analysis.
+//!
+//! BlockStop needs to know "which functions can this function pointer refer
+//! to" (§2.3 of the paper); Deputy and CCount reuse the same results for
+//! alias queries. Three precision levels are provided, matching the paper's
+//! observation that replacing the "simple points-to analysis with one that is
+//! field- and context-sensitive would improve the results":
+//!
+//! * [`Sensitivity::Steensgaard`] — equality-based (assignments unify both
+//!   sides), the coarsest and fastest.
+//! * [`Sensitivity::Andersen`] — subset-based, struct fields collapsed per
+//!   composite type.
+//! * [`Sensitivity::AndersenField`] — subset-based with field-based
+//!   field-sensitivity (one abstract location per `(composite, field)` pair).
+//!
+//! The analysis is flow-insensitive and context-insensitive, as in the paper.
+
+use ivy_cmir::ast::{Expr, Function, Program, Stmt};
+use ivy_cmir::typecheck::TypeCtx;
+use ivy_cmir::types::Type;
+use ivy_cmir::visit;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Precision level of the points-to analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Sensitivity {
+    /// Equality-based unification (Steensgaard-style).
+    #[default]
+    Steensgaard,
+    /// Subset-based, field-insensitive (all fields of a composite collapse).
+    Andersen,
+    /// Subset-based, field-based field-sensitivity.
+    AndersenField,
+}
+
+impl Sensitivity {
+    /// Human-readable name used in reports and the ablation benchmark.
+    pub fn name(self) -> &'static str {
+        match self {
+            Sensitivity::Steensgaard => "steensgaard",
+            Sensitivity::Andersen => "andersen",
+            Sensitivity::AndersenField => "andersen+field",
+        }
+    }
+}
+
+/// An abstract memory location.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Loc {
+    /// A global variable.
+    Global(String),
+    /// A local variable or parameter of a function.
+    Local {
+        /// Enclosing function.
+        func: String,
+        /// Variable name.
+        var: String,
+    },
+    /// A field of a composite type (field-sensitive mode).
+    Field {
+        /// Composite type name.
+        composite: String,
+        /// Field name.
+        field: String,
+    },
+    /// A whole composite type (field-insensitive mode).
+    Composite(String),
+    /// A heap allocation site.
+    Alloc {
+        /// `function#index` of the allocating call.
+        site: String,
+    },
+    /// The address of a function (the targets of function pointers).
+    Func(String),
+    /// The return value of a function.
+    Ret(String),
+    /// An analysis-internal temporary.
+    Temp {
+        /// Enclosing function.
+        func: String,
+        /// Sequential id.
+        id: u32,
+    },
+}
+
+/// Result of the points-to analysis.
+#[derive(Debug, Clone, Default)]
+pub struct PointsToResult {
+    /// Points-to sets for every abstract location with a non-empty set.
+    pub pts: BTreeMap<Loc, BTreeSet<Loc>>,
+    /// For every indirect call, keyed by `(function, callee expression
+    /// text)`, the set of function names the callee may refer to.
+    pub indirect_targets: HashMap<(String, String), BTreeSet<String>>,
+    /// Precision level that produced this result.
+    pub sensitivity: Sensitivity,
+    /// Number of constraints generated (reported by the ablation bench).
+    pub constraint_count: usize,
+    /// Number of solver iterations to fixpoint.
+    pub iterations: usize,
+}
+
+impl PointsToResult {
+    /// The points-to set of a location (empty if unknown).
+    pub fn points_to(&self, loc: &Loc) -> BTreeSet<Loc> {
+        self.pts.get(loc).cloned().unwrap_or_default()
+    }
+
+    /// The functions a given location may point to.
+    pub fn functions_pointed_by(&self, loc: &Loc) -> BTreeSet<String> {
+        self.points_to(loc)
+            .into_iter()
+            .filter_map(|l| match l {
+                Loc::Func(f) => Some(f),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The possible targets of an indirect call, identified by the enclosing
+    /// function and the callee expression's printed form.
+    pub fn indirect_call_targets(&self, func: &str, callee_text: &str) -> BTreeSet<String> {
+        self.indirect_targets
+            .get(&(func.to_string(), callee_text.to_string()))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Average size of the points-to sets of indirect-call callees (a
+    /// precision metric used by the E6 ablation).
+    pub fn mean_indirect_fanout(&self) -> f64 {
+        if self.indirect_targets.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.indirect_targets.values().map(|s| s.len()).sum();
+        total as f64 / self.indirect_targets.len() as f64
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Constraint {
+    AddrOf { dst: Loc, loc: Loc },
+    Copy { dst: Loc, src: Loc },
+    Load { dst: Loc, src: Loc },
+    Store { dst: Loc, src: Loc },
+}
+
+#[derive(Debug, Clone)]
+struct IndirectSite {
+    func: String,
+    callee_text: String,
+    callee_loc: Loc,
+    arg_locs: Vec<Loc>,
+    result_loc: Loc,
+}
+
+/// Runs the points-to analysis over a whole program.
+pub fn analyze(program: &Program, sensitivity: Sensitivity) -> PointsToResult {
+    let mut gen = ConstraintGen {
+        program,
+        sensitivity,
+        constraints: Vec::new(),
+        indirect_sites: Vec::new(),
+        temp_counter: 0,
+        alloc_counter: 0,
+        current_func: String::new(),
+    };
+    // Global initialisers.
+    for g in &program.globals {
+        if let Some(init) = &g.init {
+            gen.current_func = format!("__global_init_{}", g.decl.name);
+            gen.temp_counter = 0;
+            let mut ctx = TypeCtx::new(program);
+            let src = gen.gen_value(init, &mut ctx);
+            gen.constraints
+                .push(Constraint::Copy { dst: Loc::Global(g.decl.name.clone()), src });
+        }
+    }
+    for f in program.functions.iter().filter(|f| f.body.is_some()) {
+        gen.gen_function(f);
+    }
+    let constraints = gen.constraints;
+    let indirect_sites = gen.indirect_sites;
+    solve(program, sensitivity, constraints, indirect_sites)
+}
+
+fn solve(
+    program: &Program,
+    sensitivity: Sensitivity,
+    mut constraints: Vec<Constraint>,
+    indirect_sites: Vec<IndirectSite>,
+) -> PointsToResult {
+    let constraint_count = constraints.len();
+    let mut pts: BTreeMap<Loc, BTreeSet<Loc>> = BTreeMap::new();
+    let mut bound: BTreeSet<(usize, String)> = BTreeSet::new();
+    let mut iterations = 0usize;
+
+    loop {
+        iterations += 1;
+        let mut changed = false;
+
+        for c in &constraints {
+            match c {
+                Constraint::AddrOf { dst, loc } => {
+                    changed |= pts.entry(dst.clone()).or_default().insert(loc.clone());
+                }
+                Constraint::Copy { dst, src } => {
+                    changed |= copy_into(&mut pts, dst, src);
+                }
+                Constraint::Load { dst, src } => {
+                    let targets = pts.get(src).cloned().unwrap_or_default();
+                    for t in targets {
+                        changed |= copy_into(&mut pts, dst, &t);
+                    }
+                }
+                Constraint::Store { dst, src } => {
+                    let targets = pts.get(dst).cloned().unwrap_or_default();
+                    for t in targets {
+                        changed |= copy_into(&mut pts, &t, src);
+                    }
+                }
+            }
+        }
+
+        // Resolve indirect calls discovered so far: bind arguments and return
+        // values for every function the callee may point to.
+        let mut new_constraints = Vec::new();
+        for (i, site) in indirect_sites.iter().enumerate() {
+            let callees: Vec<String> = pts
+                .get(&site.callee_loc)
+                .map(|s| {
+                    s.iter()
+                        .filter_map(|l| match l {
+                            Loc::Func(f) => Some(f.clone()),
+                            _ => None,
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            for callee in callees {
+                if !bound.insert((i, callee.clone())) {
+                    continue;
+                }
+                changed = true;
+                if let Some(f) = program.function(&callee) {
+                    for (idx, param) in f.params.iter().enumerate() {
+                        if let Some(arg_loc) = site.arg_locs.get(idx) {
+                            new_constraints.push(Constraint::Copy {
+                                dst: Loc::Local { func: callee.clone(), var: param.name.clone() },
+                                src: arg_loc.clone(),
+                            });
+                        }
+                    }
+                    new_constraints.push(Constraint::Copy {
+                        dst: site.result_loc.clone(),
+                        src: Loc::Ret(callee.clone()),
+                    });
+                }
+            }
+        }
+        if sensitivity == Sensitivity::Steensgaard {
+            // Equality-based: every copy constraint is bidirectional.
+            let reversed: Vec<Constraint> = new_constraints
+                .iter()
+                .filter_map(|c| match c {
+                    Constraint::Copy { dst, src } => {
+                        Some(Constraint::Copy { dst: src.clone(), src: dst.clone() })
+                    }
+                    _ => None,
+                })
+                .collect();
+            new_constraints.extend(reversed);
+        }
+        constraints.extend(new_constraints);
+
+        if !changed || iterations > 256 {
+            break;
+        }
+    }
+
+    let mut indirect_targets: HashMap<(String, String), BTreeSet<String>> = HashMap::new();
+    for site in &indirect_sites {
+        let targets: BTreeSet<String> = pts
+            .get(&site.callee_loc)
+            .map(|s| {
+                s.iter()
+                    .filter_map(|l| match l {
+                        Loc::Func(f) => Some(f.clone()),
+                        _ => None,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        indirect_targets
+            .entry((site.func.clone(), site.callee_text.clone()))
+            .or_default()
+            .extend(targets);
+    }
+
+    PointsToResult { pts, indirect_targets, sensitivity, constraint_count, iterations }
+}
+
+fn copy_into(pts: &mut BTreeMap<Loc, BTreeSet<Loc>>, dst: &Loc, src: &Loc) -> bool {
+    if dst == src {
+        return false;
+    }
+    let src_set = pts.get(src).cloned().unwrap_or_default();
+    if src_set.is_empty() {
+        return false;
+    }
+    let dst_set = pts.entry(dst.clone()).or_default();
+    let before = dst_set.len();
+    dst_set.extend(src_set);
+    dst_set.len() != before
+}
+
+struct ConstraintGen<'p> {
+    program: &'p Program,
+    sensitivity: Sensitivity,
+    constraints: Vec<Constraint>,
+    indirect_sites: Vec<IndirectSite>,
+    temp_counter: u32,
+    alloc_counter: u32,
+    current_func: String,
+}
+
+impl<'p> ConstraintGen<'p> {
+    fn fresh(&mut self) -> Loc {
+        self.temp_counter += 1;
+        Loc::Temp { func: self.current_func.clone(), id: self.temp_counter }
+    }
+
+    fn push(&mut self, c: Constraint) {
+        if self.sensitivity == Sensitivity::Steensgaard {
+            if let Constraint::Copy { dst, src } = &c {
+                self.constraints
+                    .push(Constraint::Copy { dst: src.clone(), src: dst.clone() });
+            }
+        }
+        self.constraints.push(c);
+    }
+
+    fn var_loc(&self, ctx: &TypeCtx<'_>, name: &str) -> Option<Loc> {
+        if ctx.lookup(name).is_some() {
+            if self.program.global(name).is_some() {
+                return Some(Loc::Global(name.to_string()));
+            }
+            if self.program.function(name).is_some()
+                && !matches!(ctx.lookup(name), Some(t) if !matches!(t, Type::Func(_)))
+            {
+                // A bare function name: handled by the caller (AddrOf(Func)).
+                return None;
+            }
+            return Some(Loc::Local { func: self.current_func.clone(), var: name.to_string() });
+        }
+        if self.program.global(name).is_some() {
+            return Some(Loc::Global(name.to_string()));
+        }
+        None
+    }
+
+    fn field_loc(&self, composite: Option<String>, field: &str) -> Loc {
+        match (self.sensitivity, composite) {
+            (Sensitivity::AndersenField, Some(c)) => {
+                Loc::Field { composite: c, field: field.to_string() }
+            }
+            (_, Some(c)) => Loc::Composite(c),
+            (_, None) => Loc::Composite("<unknown>".to_string()),
+        }
+    }
+
+    fn gen_function(&mut self, func: &Function) {
+        self.current_func = func.name.clone();
+        self.temp_counter = 0;
+        let mut ctx = TypeCtx::for_function(self.program, func);
+        let body = func.body.clone().expect("only called for defined functions");
+        self.gen_block(&body, func, &mut ctx);
+    }
+
+    fn gen_block(&mut self, block: &ivy_cmir::Block, func: &Function, ctx: &mut TypeCtx<'_>) {
+        for stmt in &block.stmts {
+            self.gen_stmt(stmt, func, ctx);
+        }
+    }
+
+    fn gen_stmt(&mut self, stmt: &Stmt, func: &Function, ctx: &mut TypeCtx<'_>) {
+        match stmt {
+            Stmt::Local(d, init) => {
+                if let Some(init) = init {
+                    let src = self.gen_value(init, ctx);
+                    self.push(Constraint::Copy {
+                        dst: Loc::Local { func: self.current_func.clone(), var: d.name.clone() },
+                        src,
+                    });
+                }
+                ctx.bind(&d.name, d.ty.clone());
+            }
+            Stmt::Assign(lhs, rhs, _) => {
+                let src = self.gen_value(rhs, ctx);
+                self.gen_store(lhs, src, ctx);
+            }
+            Stmt::Expr(e, _) => {
+                let _ = self.gen_value(e, ctx);
+            }
+            Stmt::Return(Some(e), _) => {
+                let src = self.gen_value(e, ctx);
+                self.push(Constraint::Copy { dst: Loc::Ret(self.current_func.clone()), src });
+            }
+            Stmt::Return(None, _) | Stmt::Break(_) | Stmt::Continue(_) => {}
+            Stmt::If(c, then_b, else_b, _) => {
+                let _ = self.gen_value(c, ctx);
+                self.gen_block(then_b, func, ctx);
+                if let Some(b) = else_b {
+                    self.gen_block(b, func, ctx);
+                }
+            }
+            Stmt::While(c, body, _) => {
+                let _ = self.gen_value(c, ctx);
+                self.gen_block(body, func, ctx);
+            }
+            Stmt::Block(b) | Stmt::DelayedFreeScope(b, _) => self.gen_block(b, func, ctx),
+            Stmt::Check(c, _) => {
+                visit::walk_check_exprs(c, &mut |_| {});
+            }
+        }
+    }
+
+    fn gen_store(&mut self, lhs: &Expr, src: Loc, ctx: &mut TypeCtx<'_>) {
+        match lhs {
+            Expr::Var(name) => {
+                if let Some(dst) = self.var_loc(ctx, name) {
+                    self.push(Constraint::Copy { dst, src });
+                }
+            }
+            Expr::Deref(inner) | Expr::Index(inner, _) => {
+                let dst = self.gen_value(inner, ctx);
+                self.push(Constraint::Store { dst, src });
+            }
+            Expr::Arrow(obj, field) => {
+                let comp = ctx.composite_name_of(obj);
+                let _ = self.gen_value(obj, ctx);
+                let dst = self.field_loc(comp, field);
+                self.push(Constraint::Copy { dst, src });
+            }
+            Expr::Field(obj, field) => {
+                let comp = ctx.composite_name_of(obj);
+                let _ = self.gen_value(obj, ctx);
+                let dst = self.field_loc(comp, field);
+                self.push(Constraint::Copy { dst, src });
+            }
+            Expr::Cast(_, inner) => self.gen_store(inner, src, ctx),
+            _ => {
+                // Not an lvalue the analysis models; evaluate for calls.
+                let _ = self.gen_value(lhs, ctx);
+            }
+        }
+    }
+
+    fn gen_value(&mut self, e: &Expr, ctx: &mut TypeCtx<'_>) -> Loc {
+        match e {
+            Expr::Int(_) | Expr::Str(_) | Expr::Null | Expr::SizeOf(_) => self.fresh(),
+            Expr::Var(name) => {
+                if self.program.function(name).is_some() && ctx_local_shadows(ctx, name).is_none() {
+                    let t = self.fresh();
+                    self.push(Constraint::AddrOf { dst: t.clone(), loc: Loc::Func(name.clone()) });
+                    t
+                } else if let Some(l) = self.var_loc(ctx, name) {
+                    // Arrays decay to a pointer to their own storage when used
+                    // as a value.
+                    let is_array = ctx
+                        .lookup(name)
+                        .map(|t| matches!(self.program.resolve_type(&t), Type::Array(..)))
+                        .unwrap_or(false);
+                    if is_array {
+                        let t = self.fresh();
+                        self.push(Constraint::AddrOf { dst: t.clone(), loc: l });
+                        t
+                    } else {
+                        l
+                    }
+                } else {
+                    self.fresh()
+                }
+            }
+            Expr::Unary(_, inner) => self.gen_value(inner, ctx),
+            Expr::Binary(_, a, b) => {
+                let la = self.gen_value(a, ctx);
+                let lb = self.gen_value(b, ctx);
+                let t = self.fresh();
+                self.push(Constraint::Copy { dst: t.clone(), src: la });
+                self.push(Constraint::Copy { dst: t.clone(), src: lb });
+                t
+            }
+            Expr::Cast(_, inner) => self.gen_value(inner, ctx),
+            Expr::Deref(inner) | Expr::Index(inner, _) => {
+                let src = self.gen_value(inner, ctx);
+                let t = self.fresh();
+                self.push(Constraint::Load { dst: t.clone(), src });
+                t
+            }
+            Expr::Arrow(obj, field) => {
+                let comp = ctx.composite_name_of(obj);
+                let _ = self.gen_value(obj, ctx);
+                let t = self.fresh();
+                let f = self.field_loc(comp, field);
+                self.push(Constraint::Copy { dst: t.clone(), src: f });
+                t
+            }
+            Expr::Field(obj, field) => {
+                let comp = ctx.composite_name_of(obj);
+                let _ = self.gen_value(obj, ctx);
+                let t = self.fresh();
+                let f = self.field_loc(comp, field);
+                self.push(Constraint::Copy { dst: t.clone(), src: f });
+                t
+            }
+            Expr::AddrOf(inner) => match &**inner {
+                Expr::Var(name) => {
+                    let t = self.fresh();
+                    let loc = if self.program.function(name).is_some()
+                        && ctx_local_shadows(ctx, name).is_none()
+                    {
+                        Loc::Func(name.clone())
+                    } else if let Some(l) = self.var_loc(ctx, name) {
+                        l
+                    } else {
+                        return t;
+                    };
+                    self.push(Constraint::AddrOf { dst: t.clone(), loc });
+                    t
+                }
+                Expr::Arrow(obj, field) | Expr::Field(obj, field) => {
+                    let comp = ctx.composite_name_of(obj);
+                    let _ = self.gen_value(obj, ctx);
+                    let t = self.fresh();
+                    let loc = self.field_loc(comp, field);
+                    self.push(Constraint::AddrOf { dst: t.clone(), loc });
+                    t
+                }
+                Expr::Index(base, _) => self.gen_value(base, ctx),
+                Expr::Deref(p) => self.gen_value(p, ctx),
+                other => self.gen_value(other, ctx),
+            },
+            Expr::Call(callee, args) => {
+                let arg_locs: Vec<Loc> = args.iter().map(|a| self.gen_value(a, ctx)).collect();
+                let result = self.fresh();
+                match &**callee {
+                    Expr::Var(name)
+                        if self.program.function(name).is_some()
+                            && ctx_local_shadows(ctx, name).is_none() =>
+                    {
+                        let f = self.program.function(name).expect("checked above").clone();
+                        if f.attrs.allocator {
+                            self.alloc_counter += 1;
+                            let site =
+                                format!("{}#{}", self.current_func, self.alloc_counter);
+                            self.push(Constraint::AddrOf {
+                                dst: result.clone(),
+                                loc: Loc::Alloc { site },
+                            });
+                        }
+                        for (idx, param) in f.params.iter().enumerate() {
+                            if let Some(arg_loc) = arg_locs.get(idx) {
+                                self.push(Constraint::Copy {
+                                    dst: Loc::Local { func: name.clone(), var: param.name.clone() },
+                                    src: arg_loc.clone(),
+                                });
+                            }
+                        }
+                        if !f.attrs.allocator {
+                            self.push(Constraint::Copy {
+                                dst: result.clone(),
+                                src: Loc::Ret(name.clone()),
+                            });
+                        }
+                    }
+                    other => {
+                        let callee_loc = self.gen_value(other, ctx);
+                        self.indirect_sites.push(IndirectSite {
+                            func: self.current_func.clone(),
+                            callee_text: ivy_cmir::pretty::expr_str(other),
+                            callee_loc,
+                            arg_locs,
+                            result_loc: result.clone(),
+                        });
+                    }
+                }
+                result
+            }
+        }
+    }
+}
+
+fn ctx_local_shadows(ctx: &TypeCtx<'_>, name: &str) -> Option<Type> {
+    // A local variable with the same name as a function shadows it; in that
+    // case the variable is not a function constant.
+    match ctx.lookup(name) {
+        Some(Type::Func(_)) | None => None,
+        Some(t) => Some(t),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivy_cmir::parser::parse_program;
+
+    const OPS_TABLE: &str = r#"
+        struct file_ops {
+            read: fnptr(u32) -> i32;
+            write: fnptr(u32) -> i32;
+        }
+        global ext2_ops: struct file_ops;
+        global pipe_ops: struct file_ops;
+
+        fn ext2_read(n: u32) -> i32 { return 1; }
+        fn ext2_write(n: u32) -> i32 { return 2; }
+        fn pipe_read(n: u32) -> i32 { return 3; }
+
+        fn register_ops() {
+            ext2_ops.read = ext2_read;
+            ext2_ops.write = ext2_write;
+            pipe_ops.read = pipe_read;
+        }
+
+        fn vfs_read(ops: struct file_ops *, n: u32) -> i32 {
+            return ops->read(n);
+        }
+
+        fn do_read(n: u32) -> i32 {
+            return vfs_read(&ext2_ops, n);
+        }
+    "#;
+
+    #[test]
+    fn resolves_function_pointers_through_struct_fields() {
+        let p = parse_program(OPS_TABLE).unwrap();
+        let r = analyze(&p, Sensitivity::AndersenField);
+        let targets = r.indirect_call_targets("vfs_read", "ops->read");
+        assert!(targets.contains("ext2_read"), "targets: {targets:?}");
+        assert!(targets.contains("pipe_read"), "field-based merging expected");
+        // Field sensitivity separates read from write.
+        assert!(!targets.contains("ext2_write"), "targets: {targets:?}");
+    }
+
+    #[test]
+    fn field_insensitive_merges_fields() {
+        let p = parse_program(OPS_TABLE).unwrap();
+        let r = analyze(&p, Sensitivity::Andersen);
+        let targets = r.indirect_call_targets("vfs_read", "ops->read");
+        // Without field sensitivity read and write collapse.
+        assert!(targets.contains("ext2_write"), "targets: {targets:?}");
+    }
+
+    #[test]
+    fn steensgaard_is_no_more_precise_than_andersen() {
+        let p = parse_program(OPS_TABLE).unwrap();
+        let st = analyze(&p, Sensitivity::Steensgaard);
+        let an = analyze(&p, Sensitivity::Andersen);
+        let t_st = st.indirect_call_targets("vfs_read", "ops->read");
+        let t_an = an.indirect_call_targets("vfs_read", "ops->read");
+        assert!(t_an.is_subset(&t_st) || t_an == t_st);
+    }
+
+    #[test]
+    fn direct_call_binds_parameters() {
+        let src = r#"
+            fn callee(p: u8 *) -> u8 * { return p; }
+            global buffer: u8[64];
+            fn caller() -> u8 * {
+                let q: u8 * = callee(&buffer[0]);
+                return q;
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        let r = analyze(&p, Sensitivity::Andersen);
+        let q = Loc::Local { func: "caller".into(), var: "q".into() };
+        let pts = r.points_to(&q);
+        assert!(
+            pts.iter().any(|l| matches!(l, Loc::Global(g) if g == "buffer")),
+            "q should point to buffer, got {pts:?}"
+        );
+    }
+
+    #[test]
+    fn allocation_sites_are_distinct() {
+        let src = r#"
+            #[allocator]
+            fn kmalloc(size: u32, flags: u32) -> void * { return null; }
+            fn f() {
+                let a: u8 * = kmalloc(16, 0) as u8 *;
+                let b: u8 * = kmalloc(32, 0) as u8 *;
+                a = b;
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        let r = analyze(&p, Sensitivity::Andersen);
+        let a = Loc::Local { func: "f".into(), var: "a".into() };
+        let b = Loc::Local { func: "f".into(), var: "b".into() };
+        // `a` sees both sites after `a = b`; `b` sees only its own.
+        assert_eq!(r.points_to(&a).len(), 2, "{:?}", r.points_to(&a));
+        assert_eq!(r.points_to(&b).len(), 1);
+    }
+
+    #[test]
+    fn function_pointer_call_binds_arguments() {
+        let src = r#"
+            global sink: u8 *;
+            fn store(p: u8 *) { sink = p; }
+            global hook: fnptr(u8 *) -> void;
+            global data: u8[8];
+            fn setup() { hook = store; }
+            fn fire() { hook(&data[0]); }
+        "#;
+        let p = parse_program(src).unwrap();
+        let r = analyze(&p, Sensitivity::Andersen);
+        let sink = Loc::Global("sink".into());
+        let pts = r.points_to(&sink);
+        assert!(
+            pts.iter().any(|l| matches!(l, Loc::Global(g) if g == "data")),
+            "indirect call must bind args: {pts:?}"
+        );
+        let targets = r.indirect_call_targets("fire", "hook");
+        assert_eq!(targets.into_iter().collect::<Vec<_>>(), vec!["store".to_string()]);
+    }
+
+    #[test]
+    fn reports_constraint_statistics() {
+        let p = parse_program(OPS_TABLE).unwrap();
+        let r = analyze(&p, Sensitivity::AndersenField);
+        assert!(r.constraint_count > 0);
+        assert!(r.iterations >= 1);
+        assert!(r.mean_indirect_fanout() >= 1.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! Bench for E1 / Table 1: regenerates the relative-performance table of the
+//! deputized kernel and benchmarks a representative bandwidth and latency
+//! workload under baseline vs. deputized execution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ivy_core::experiments::{run_workload, table1_hbench, Scale};
+use ivy_deputy::Deputy;
+use ivy_kernelgen::{hbench_suite, KernelBuild};
+use ivy_vm::VmConfig;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut scale = Scale::paper();
+    scale.workload_factor = 0.5;
+
+    // Regenerate and print the full table once.
+    let table = table1_hbench(&scale);
+    println!("\n==== Table 1: relative performance of the deputized kernel ====");
+    println!("{}", table.render());
+    println!("geometric mean: {:.2}\n", table.geomean());
+
+    // Criterion measurements on two representative workloads.
+    let build = KernelBuild::generate(&scale.kernel);
+    let deputized = Deputy::new().convert(&build.program).program;
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    for name in ["bw_mem_cp", "lat_udp"] {
+        let w = hbench_suite().into_iter().find(|w| w.name == name).unwrap().scaled(0.2);
+        group.bench_function(format!("{name}/baseline"), |b| {
+            b.iter(|| run_workload(&build.program, VmConfig::baseline(), &w))
+        });
+        group.bench_function(format!("{name}/deputized"), |b| {
+            b.iter(|| run_workload(&deputized, VmConfig::deputized(), &w))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

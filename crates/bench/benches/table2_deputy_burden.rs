@@ -1,0 +1,41 @@
+//! Bench for E2: annotation burden and Deputy conversion throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ivy_core::experiments::{deputy_burden, Scale};
+use ivy_deputy::Deputy;
+use ivy_kernelgen::KernelBuild;
+
+fn bench_burden(c: &mut Criterion) {
+    let scale = Scale::paper();
+    let r = deputy_burden(&scale);
+    println!("\n==== E2: annotation burden ====");
+    println!("total lines:     {}", r.burden.total_lines);
+    println!(
+        "annotated lines: {} ({:.2}%)",
+        r.burden.annotated_lines,
+        r.burden.annotated_fraction() * 100.0
+    );
+    println!(
+        "trusted lines:   {} ({:.2}%)",
+        r.burden.trusted_lines,
+        r.burden.trusted_fraction() * 100.0
+    );
+    println!(
+        "checks inserted: {} ({} optimised away, {:.1}% static)\n",
+        r.conversion.total_runtime_checks(),
+        r.conversion.checks_optimized_away,
+        r.conversion.static_ratio() * 100.0
+    );
+
+    let build = KernelBuild::generate(&scale.kernel);
+    let mut group = c.benchmark_group("deputy");
+    group.sample_size(10);
+    group.bench_function("convert_whole_kernel", |b| {
+        b.iter(|| Deputy::new().convert(&build.program))
+    });
+    group.bench_function("burden_stats", |b| b.iter(|| ivy_deputy::stats::burden(&build.program)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_burden);
+criterion_main!(benches);

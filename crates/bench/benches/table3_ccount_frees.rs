@@ -1,0 +1,45 @@
+//! Bench for E3: CCount free verification across boot and light use.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ivy_core::experiments::{ccount_frees, fix_plan_for, Scale};
+use ivy_core::experiments::run_workload;
+use ivy_kernelgen::{boot_workload, KernelBuild};
+use ivy_vm::VmConfig;
+
+fn bench_frees(c: &mut Criterion) {
+    let scale = Scale::paper();
+    let r = ccount_frees(&scale);
+    println!("\n==== E3: CCount free verification (boot + light use) ====");
+    println!(
+        "unfixed: {:>6} frees, {:>3} bad ({:.2}% good)",
+        r.unfixed.total(),
+        r.unfixed.bad,
+        r.unfixed.good_ratio() * 100.0
+    );
+    println!(
+        "fixed:   {:>6} frees, {:>3} bad ({:.2}% good)",
+        r.fixed.total(),
+        r.fixed.bad,
+        r.fixed.good_ratio() * 100.0
+    );
+    println!(
+        "fix plan: {} pointer-nulling fixes + {} delayed-free scopes\n",
+        r.null_fixes, r.delayed_free_fixes
+    );
+
+    let build = KernelBuild::generate(&scale.kernel);
+    let fixed = fix_plan_for(&build).apply(&build.program);
+    let boot = boot_workload(scale.kernel.boot_cycles);
+    let mut group = c.benchmark_group("ccount_boot");
+    group.sample_size(10);
+    group.bench_function("boot/baseline", |b| {
+        b.iter(|| run_workload(&fixed, VmConfig::baseline(), &boot))
+    });
+    group.bench_function("boot/ccounted", |b| {
+        b.iter(|| run_workload(&fixed, VmConfig::ccounted(false), &boot))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_frees);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Bench for E4: CCount fork and module-loading overheads, UP vs SMP.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ivy_core::experiments::{ccount_overhead, run_workload, Scale};
+use ivy_kernelgen::{fork_workload, module_load_workload, KernelBuild};
+use ivy_vm::VmConfig;
+
+fn bench_overhead(c: &mut Criterion) {
+    let scale = Scale::paper();
+    let o = ccount_overhead(&scale);
+    println!("\n==== E4: CCount overhead (paper: fork 19%/63%, module 8%/12%) ====");
+    print!("{}", o.render());
+    println!();
+
+    let build = KernelBuild::generate(&scale.kernel);
+    let fork = fork_workload().scaled(0.5);
+    let module = module_load_workload().scaled(0.5);
+    let mut group = c.benchmark_group("ccount_overhead");
+    group.sample_size(10);
+    group.bench_function("fork/baseline", |b| {
+        b.iter(|| run_workload(&build.program, VmConfig::baseline(), &fork))
+    });
+    group.bench_function("fork/ccount_up", |b| {
+        b.iter(|| run_workload(&build.program, VmConfig::ccounted(false), &fork))
+    });
+    group.bench_function("fork/ccount_smp", |b| {
+        b.iter(|| run_workload(&build.program, VmConfig::ccounted(true), &fork))
+    });
+    group.bench_function("module/ccount_smp", |b| {
+        b.iter(|| run_workload(&build.program, VmConfig::ccounted(true), &module))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

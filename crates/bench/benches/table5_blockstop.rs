@@ -1,0 +1,29 @@
+//! Bench for E5: the BlockStop whole-kernel audit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ivy_blockstop::BlockStop;
+use ivy_core::experiments::{blockstop_results, Scale};
+use ivy_kernelgen::KernelBuild;
+
+fn bench_blockstop(c: &mut Criterion) {
+    let scale = Scale::paper();
+    let r = blockstop_results(&scale);
+    println!("\n==== E5: BlockStop (paper: 2 bugs, 15 run-time checks for false positives) ====");
+    println!("findings (no assertions):      {}", r.findings_before);
+    println!("real bugs covered:             {} of 2", r.real_bugs_found);
+    println!("false positives:               {}", r.false_positives);
+    println!("run-time assertions inserted:  {}", r.asserts_inserted);
+    println!("findings after assertions:     {}", r.findings_after);
+    println!("assert failures during boot:   {}\n", r.runtime_assert_failures);
+
+    let build = KernelBuild::generate(&scale.kernel);
+    let mut group = c.benchmark_group("blockstop");
+    group.sample_size(10);
+    group.bench_function("whole_kernel_analysis", |b| {
+        b.iter(|| BlockStop::new().analyze(&build.program))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_blockstop);
+criterion_main!(benches);

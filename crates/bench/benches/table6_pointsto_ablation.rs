@@ -1,0 +1,32 @@
+//! Bench for E6: points-to precision ablation (Steensgaard vs Andersen vs
+//! field-sensitive Andersen), the paper's "field- and context-sensitive
+//! analysis would improve the results" remark quantified.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ivy_analysis::pointsto::{analyze, Sensitivity};
+use ivy_core::experiments::{pointsto_ablation, Scale};
+use ivy_kernelgen::KernelBuild;
+
+fn bench_ablation(c: &mut Criterion) {
+    let scale = Scale::paper();
+    println!("\n==== E6: points-to precision ablation ====");
+    println!("{:<16} {:>9} {:>16} {:>13}", "variant", "findings", "false positives", "mean fanout");
+    for row in pointsto_ablation(&scale) {
+        println!(
+            "{:<16} {:>9} {:>16} {:>13.2}",
+            row.sensitivity, row.findings, row.false_positives, row.mean_indirect_fanout
+        );
+    }
+    println!();
+
+    let build = KernelBuild::generate(&scale.kernel);
+    let mut group = c.benchmark_group("pointsto");
+    group.sample_size(10);
+    for s in [Sensitivity::Steensgaard, Sensitivity::Andersen, Sensitivity::AndersenField] {
+        group.bench_function(s.name(), |b| b.iter(|| analyze(&build.program, s)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Bench for E7: the §3.1 extension analyses (lock safety, stack bounds,
+//! error-code checking) over the whole kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ivy_core::experiments::{extensions, Scale};
+use ivy_core::extensions::{errcheck, lockcheck, stackcheck};
+use ivy_kernelgen::KernelBuild;
+
+fn bench_extensions(c: &mut Criterion) {
+    let scale = Scale::paper();
+    let r = extensions(&scale);
+    println!("\n==== E7: extension analyses ====");
+    println!(
+        "lockcheck:  {} order pairs, {} violations, {} IRQ-context locks, {} runtime checks needed",
+        r.locks.order_pairs.len(),
+        r.locks.order_violations.len(),
+        r.locks.irq_context_locks.len(),
+        r.locks.runtime_checks_needed
+    );
+    let deepest = r.stack.per_entry.values().max().copied().unwrap_or(0);
+    println!(
+        "stackcheck: {} entry points bounded, deepest {} bytes (budget {}), {} recursive fns",
+        r.stack.per_entry.len(),
+        deepest,
+        r.stack.budget,
+        r.stack.recursive.len()
+    );
+    println!(
+        "errcheck:   {} error-returning fns, {} checked call sites, {} unchecked\n",
+        r.errors.error_returning.len(),
+        r.errors.checked_sites,
+        r.errors.unchecked_sites.len()
+    );
+
+    let build = KernelBuild::generate(&scale.kernel);
+    let mut group = c.benchmark_group("extensions");
+    group.sample_size(10);
+    group.bench_function("lockcheck", |b| b.iter(|| lockcheck(&build.program)));
+    group.bench_function("stackcheck", |b| b.iter(|| stackcheck(&build.program, 8192)));
+    group.bench_function("errcheck", |b| b.iter(|| errcheck(&build.program)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_extensions);
+criterion_main!(benches);

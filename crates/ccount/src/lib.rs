@@ -1,0 +1,56 @@
+//! `ivy-ccount` — CCount, reference-count checking of manual memory
+//! management (§2.2 of the paper).
+//!
+//! CCount does not replace the kernel's manual memory management; it *checks*
+//! it: every pointer write maintains an 8-bit reference count per 16-byte
+//! chunk (6.25 % space overhead), and every free verifies that no chunk of
+//! the freed object is still referenced. Failing frees are logged and the
+//! object leaked, which keeps the rest of the kernel sound.
+//!
+//! The division of labour in this workspace:
+//!
+//! * [`analyze`] — the static side: which pointer writes get instrumented,
+//!   which free/memcpy/memset sites need type information, which composite
+//!   types need layout descriptions (the porting-effort numbers of §2.2).
+//! * [`transform`] — the source-level changes used to make frees verifiable:
+//!   nulling out pointers before frees, wrapping teardown paths in
+//!   delayed-free scopes, and making free checks explicit.
+//! * [`report`] — free-verification and overhead summaries built from VM run
+//!   statistics (experiments E3 and E4).
+//! * The run-time refcount maintenance itself is implemented by `ivy-vm`
+//!   (enabled with `VmConfig::ccounted`), because it is part of executing the
+//!   instrumented kernel rather than of the analysis.
+//!
+//! # Examples
+//!
+//! ```
+//! use ivy_ccount::analyze::analyze;
+//! use ivy_cmir::parser::parse_program;
+//!
+//! let program = parse_program(
+//!     r#"
+//!     extern fn kfree(p: void *);
+//!     struct buf { data: u8 *; next: struct buf *; }
+//!     global pool: struct buf *;
+//!     fn recycle(b: struct buf * nonnull) {
+//!         b->next = pool;    // counted pointer write
+//!         pool = b;          // counted pointer write
+//!     }
+//!     "#,
+//! )
+//! .unwrap();
+//! let report = analyze(&program);
+//! assert_eq!(report.counted_pointer_writes, 2);
+//! assert_eq!(report.types_needing_layout, 1);
+//! assert!((report.space_overhead() - 0.0625).abs() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analyze;
+pub mod report;
+pub mod transform;
+
+pub use analyze::{analyze, InstrumentationReport};
+pub use report::{FreeVerification, Overhead};
+pub use transform::{insert_free_checks, wrap_in_delayed_free, FixPlan, NullFix};

@@ -1,0 +1,116 @@
+//! Run-time verification summaries (experiments E3 and E4).
+
+use ivy_vm::RunStats;
+use serde::{Deserialize, Serialize};
+
+/// Summary of the free verification performed during one or more runs
+/// (the paper's "we can now verify the correctness of all of the ~107k frees
+/// that occur from boot time until the login prompt", §2.2).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FreeVerification {
+    /// Frees whose refcount check passed.
+    pub good: u64,
+    /// Frees whose refcount check failed (logged and leaked).
+    pub bad: u64,
+    /// Frees deferred by delayed-free scopes.
+    pub delayed: u64,
+    /// Reference-count updates performed.
+    pub rc_updates: u64,
+    /// Allocations observed.
+    pub allocs: u64,
+}
+
+impl FreeVerification {
+    /// Builds a summary from VM run statistics.
+    pub fn from_stats(stats: &RunStats) -> Self {
+        FreeVerification {
+            good: stats.frees_good,
+            bad: stats.frees_bad,
+            delayed: stats.frees_delayed,
+            rc_updates: stats.rc_updates,
+            allocs: stats.allocs,
+        }
+    }
+
+    /// Total frees checked.
+    pub fn total(&self) -> u64 {
+        self.good + self.bad
+    }
+
+    /// Fraction of frees verified good (1.0 if none).
+    pub fn good_ratio(&self) -> f64 {
+        if self.total() == 0 {
+            1.0
+        } else {
+            self.good as f64 / self.total() as f64
+        }
+    }
+
+    /// Merges another summary (e.g. boot + light use phases).
+    pub fn merge(&mut self, other: &FreeVerification) {
+        self.good += other.good;
+        self.bad += other.bad;
+        self.delayed += other.delayed;
+        self.rc_updates += other.rc_updates;
+        self.allocs += other.allocs;
+    }
+}
+
+/// The relative overhead of an instrumented run against a baseline run
+/// (experiment E4: fork and module-loading, UP and SMP).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Overhead {
+    /// Cycles of the uninstrumented run.
+    pub baseline_cycles: u64,
+    /// Cycles of the instrumented run.
+    pub instrumented_cycles: u64,
+}
+
+impl Overhead {
+    /// Creates an overhead record.
+    pub fn new(baseline_cycles: u64, instrumented_cycles: u64) -> Self {
+        Overhead { baseline_cycles, instrumented_cycles }
+    }
+
+    /// Relative slowdown, e.g. 1.19 for a 19 % overhead.
+    pub fn ratio(&self) -> f64 {
+        if self.baseline_cycles == 0 {
+            1.0
+        } else {
+            self.instrumented_cycles as f64 / self.baseline_cycles as f64
+        }
+    }
+
+    /// Overhead as a percentage, e.g. 19.0 for a 19 % overhead.
+    pub fn percent(&self) -> f64 {
+        (self.ratio() - 1.0) * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_and_percentages() {
+        let o = Overhead::new(1000, 1190);
+        assert!((o.ratio() - 1.19).abs() < 1e-9);
+        assert!((o.percent() - 19.0).abs() < 1e-9);
+        assert_eq!(Overhead::new(0, 5).ratio(), 1.0);
+    }
+
+    #[test]
+    fn free_verification_from_stats() {
+        let mut stats = RunStats::default();
+        stats.frees_good = 985;
+        stats.frees_bad = 15;
+        stats.rc_updates = 4000;
+        let v = FreeVerification::from_stats(&stats);
+        assert_eq!(v.total(), 1000);
+        assert!((v.good_ratio() - 0.985).abs() < 1e-9);
+        let mut sum = FreeVerification::default();
+        sum.merge(&v);
+        sum.merge(&v);
+        assert_eq!(sum.total(), 2000);
+    }
+}

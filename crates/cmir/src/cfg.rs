@@ -1,0 +1,316 @@
+//! Control-flow graph construction for KC function bodies.
+//!
+//! The structured AST (`if`/`while`/blocks) is lowered into basic blocks with
+//! explicit edges so that the dataflow framework in `ivy-analysis` can run
+//! classic worklist algorithms. Statements inside a basic block are the
+//! "simple" statements only (assignments, calls, declarations, checks);
+//! control constructs become terminators.
+
+use crate::ast::{Block, Expr, Function, Stmt};
+use serde::{Deserialize, Serialize};
+
+/// Index of a basic block within a [`Cfg`].
+pub type BlockId = usize;
+
+/// A basic block: straight-line statements plus one terminator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BasicBlock {
+    /// Simple statements executed in order.
+    pub stmts: Vec<Stmt>,
+    /// How control leaves the block.
+    pub term: Terminator,
+}
+
+/// Block terminators.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Two-way branch on a condition: (cond, then-target, else-target).
+    Branch(Expr, BlockId, BlockId),
+    /// Function return.
+    Return(Option<Expr>),
+    /// Placeholder used during construction; never present in a finished CFG.
+    Unterminated,
+}
+
+/// A control-flow graph for one function body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cfg {
+    /// Basic blocks; block 0 is the entry block.
+    pub blocks: Vec<BasicBlock>,
+}
+
+impl Cfg {
+    /// The entry block id.
+    pub const ENTRY: BlockId = 0;
+
+    /// Builds the CFG of a function. Functions without a body produce a
+    /// single empty block that immediately returns.
+    pub fn build(func: &Function) -> Cfg {
+        let mut b = Builder { blocks: Vec::new(), loop_stack: Vec::new() };
+        let entry = b.new_block();
+        debug_assert_eq!(entry, Cfg::ENTRY);
+        let mut cur = entry;
+        if let Some(body) = &func.body {
+            cur = b.lower_block(body, cur);
+        }
+        if matches!(b.blocks[cur].term, Terminator::Unterminated) {
+            b.blocks[cur].term = Terminator::Return(None);
+        }
+        // Any block left unterminated (e.g. after `break` lowering) falls
+        // through to a return.
+        for blk in &mut b.blocks {
+            if matches!(blk.term, Terminator::Unterminated) {
+                blk.term = Terminator::Return(None);
+            }
+        }
+        Cfg { blocks: b.blocks }
+    }
+
+    /// Successor block ids of a block.
+    pub fn successors(&self, id: BlockId) -> Vec<BlockId> {
+        match &self.blocks[id].term {
+            Terminator::Jump(t) => vec![*t],
+            Terminator::Branch(_, a, b) => {
+                if a == b {
+                    vec![*a]
+                } else {
+                    vec![*a, *b]
+                }
+            }
+            Terminator::Return(_) | Terminator::Unterminated => vec![],
+        }
+    }
+
+    /// Predecessor map: for each block, the blocks that can jump to it.
+    pub fn predecessors(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (id, _) in self.blocks.iter().enumerate() {
+            for s in self.successors(id) {
+                preds[s].push(id);
+            }
+        }
+        preds
+    }
+
+    /// Reverse post-order of reachable blocks starting from the entry block
+    /// (a good iteration order for forward dataflow).
+    pub fn reverse_post_order(&self) -> Vec<BlockId> {
+        let mut visited = vec![false; self.blocks.len()];
+        let mut post = Vec::new();
+        self.dfs(Cfg::ENTRY, &mut visited, &mut post);
+        post.reverse();
+        post
+    }
+
+    fn dfs(&self, id: BlockId, visited: &mut Vec<bool>, post: &mut Vec<BlockId>) {
+        if visited[id] {
+            return;
+        }
+        visited[id] = true;
+        for s in self.successors(id) {
+            self.dfs(s, visited, post);
+        }
+        post.push(id);
+    }
+
+    /// Total number of simple statements across all blocks.
+    pub fn stmt_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.stmts.len()).sum()
+    }
+
+    /// Ids of blocks that end in a return.
+    pub fn exit_blocks(&self) -> Vec<BlockId> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| matches!(b.term, Terminator::Return(_)))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+struct Builder {
+    blocks: Vec<BasicBlock>,
+    /// Stack of (continue-target, break-target) for nested loops.
+    loop_stack: Vec<(BlockId, BlockId)>,
+}
+
+impl Builder {
+    fn new_block(&mut self) -> BlockId {
+        self.blocks.push(BasicBlock { stmts: Vec::new(), term: Terminator::Unterminated });
+        self.blocks.len() - 1
+    }
+
+    fn terminate(&mut self, id: BlockId, term: Terminator) {
+        if matches!(self.blocks[id].term, Terminator::Unterminated) {
+            self.blocks[id].term = term;
+        }
+    }
+
+    /// Lowers a structured block starting in `cur`; returns the block where
+    /// control continues afterwards.
+    fn lower_block(&mut self, block: &Block, mut cur: BlockId) -> BlockId {
+        for stmt in &block.stmts {
+            cur = self.lower_stmt(stmt, cur);
+        }
+        cur
+    }
+
+    fn lower_stmt(&mut self, stmt: &Stmt, cur: BlockId) -> BlockId {
+        // If the current block is already terminated (dead code after
+        // return/break), keep appending into a fresh unreachable block so the
+        // statements are still represented.
+        let cur = if matches!(self.blocks[cur].term, Terminator::Unterminated) {
+            cur
+        } else {
+            self.new_block()
+        };
+        match stmt {
+            Stmt::Expr(..)
+            | Stmt::Assign(..)
+            | Stmt::Local(..)
+            | Stmt::Check(..) => {
+                self.blocks[cur].stmts.push(stmt.clone());
+                cur
+            }
+            Stmt::Block(b) => self.lower_block(b, cur),
+            Stmt::DelayedFreeScope(b, _) => {
+                // For control-flow purposes a delayed-free scope is a block;
+                // the scope marker itself matters only to the CCount runtime,
+                // which works on the structured AST.
+                self.lower_block(b, cur)
+            }
+            Stmt::If(cond, then_b, else_b, _) => {
+                let then_id = self.new_block();
+                let else_id = self.new_block();
+                let join = self.new_block();
+                self.terminate(cur, Terminator::Branch(cond.clone(), then_id, else_id));
+                let then_end = self.lower_block(then_b, then_id);
+                self.terminate(then_end, Terminator::Jump(join));
+                let else_end = match else_b {
+                    Some(b) => self.lower_block(b, else_id),
+                    None => else_id,
+                };
+                self.terminate(else_end, Terminator::Jump(join));
+                join
+            }
+            Stmt::While(cond, body, _) => {
+                let head = self.new_block();
+                let body_id = self.new_block();
+                let exit = self.new_block();
+                self.terminate(cur, Terminator::Jump(head));
+                self.terminate(head, Terminator::Branch(cond.clone(), body_id, exit));
+                self.loop_stack.push((head, exit));
+                let body_end = self.lower_block(body, body_id);
+                self.loop_stack.pop();
+                self.terminate(body_end, Terminator::Jump(head));
+                exit
+            }
+            Stmt::Return(e, _) => {
+                self.terminate(cur, Terminator::Return(e.clone()));
+                cur
+            }
+            Stmt::Break(_) => {
+                if let Some(&(_, brk)) = self.loop_stack.last() {
+                    self.terminate(cur, Terminator::Jump(brk));
+                }
+                cur
+            }
+            Stmt::Continue(_) => {
+                if let Some(&(cont, _)) = self.loop_stack.last() {
+                    self.terminate(cur, Terminator::Jump(cont));
+                }
+                cur
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn cfg_of(src: &str, name: &str) -> Cfg {
+        let p = parse_program(src).unwrap();
+        Cfg::build(p.function(name).unwrap())
+    }
+
+    #[test]
+    fn straight_line_single_block() {
+        let cfg = cfg_of("fn f() -> i32 { let x: i32 = 1; x = x + 1; return x; }", "f");
+        assert_eq!(cfg.blocks[Cfg::ENTRY].stmts.len(), 2);
+        assert!(matches!(cfg.blocks[Cfg::ENTRY].term, Terminator::Return(Some(_))));
+        assert_eq!(cfg.exit_blocks(), vec![Cfg::ENTRY]);
+    }
+
+    #[test]
+    fn if_creates_diamond() {
+        let cfg = cfg_of(
+            "fn f(x: i32) -> i32 { let r: i32 = 0; if (x > 0) { r = 1; } else { r = 2; } return r; }",
+            "f",
+        );
+        // entry, then, else, join = at least 4 blocks, join has 2 preds.
+        assert!(cfg.blocks.len() >= 4);
+        let preds = cfg.predecessors();
+        assert!(preds.iter().any(|p| p.len() == 2));
+    }
+
+    #[test]
+    fn while_has_back_edge() {
+        let cfg = cfg_of(
+            "fn f(n: u32) -> u32 { let i: u32 = 0; while (i < n) { i = i + 1; } return i; }",
+            "f",
+        );
+        let preds = cfg.predecessors();
+        // The loop head must have two predecessors: entry and the body.
+        let head = cfg
+            .blocks
+            .iter()
+            .position(|b| matches!(b.term, Terminator::Branch(..)))
+            .unwrap();
+        assert_eq!(preds[head].len(), 2);
+    }
+
+    #[test]
+    fn break_jumps_to_exit() {
+        let cfg = cfg_of(
+            "fn f(n: u32) -> u32 { let i: u32 = 0; while (1) { if (i >= n) { break; } i = i + 1; } return i; }",
+            "f",
+        );
+        // All reachable blocks must appear in the RPO; the function returns.
+        let rpo = cfg.reverse_post_order();
+        assert!(rpo.contains(&Cfg::ENTRY));
+        assert!(!cfg.exit_blocks().is_empty());
+    }
+
+    #[test]
+    fn missing_return_gets_synthesised() {
+        let cfg = cfg_of("fn f() { let x: i32 = 0; }", "f");
+        assert!(matches!(cfg.blocks[Cfg::ENTRY].term, Terminator::Return(None)));
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_reachable() {
+        let cfg = cfg_of(
+            "fn f(x: i32) -> i32 { if (x) { return 1; } return 0; }",
+            "f",
+        );
+        let rpo = cfg.reverse_post_order();
+        assert_eq!(rpo[0], Cfg::ENTRY);
+        for id in &rpo {
+            assert!(*id < cfg.blocks.len());
+        }
+    }
+
+    #[test]
+    fn stmt_count_counts_simple_statements() {
+        let cfg = cfg_of(
+            "fn f(n: u32) -> u32 { let i: u32 = 0; while (i < n) { i = i + 1; } return i; }",
+            "f",
+        );
+        assert_eq!(cfg.stmt_count(), 2);
+    }
+}

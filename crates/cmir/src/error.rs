@@ -1,0 +1,89 @@
+//! Error types shared by the KC front end.
+
+use crate::span::Span;
+use std::fmt;
+
+/// An error produced while lexing, parsing, or validating a KC program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CmirError {
+    /// Which phase produced the error.
+    pub kind: ErrorKind,
+    /// Human readable message.
+    pub message: String,
+    /// Location of the offending construct, if known.
+    pub span: Span,
+}
+
+/// The front-end phase that produced a [`CmirError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Invalid character sequence or malformed literal.
+    Lex,
+    /// Syntax error.
+    Parse,
+    /// Name-resolution or structural validation error.
+    Resolve,
+    /// C-level type error (not a Deputy error; those live in `ivy-deputy`).
+    Type,
+}
+
+impl CmirError {
+    /// Creates a lexer error.
+    pub fn lex(message: impl Into<String>, span: Span) -> Self {
+        CmirError { kind: ErrorKind::Lex, message: message.into(), span }
+    }
+
+    /// Creates a parser error.
+    pub fn parse(message: impl Into<String>, span: Span) -> Self {
+        CmirError { kind: ErrorKind::Parse, message: message.into(), span }
+    }
+
+    /// Creates a resolution/validation error.
+    pub fn resolve(message: impl Into<String>, span: Span) -> Self {
+        CmirError { kind: ErrorKind::Resolve, message: message.into(), span }
+    }
+
+    /// Creates a C-level type error.
+    pub fn ty(message: impl Into<String>, span: Span) -> Self {
+        CmirError { kind: ErrorKind::Type, message: message.into(), span }
+    }
+}
+
+impl fmt::Display for CmirError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let phase = match self.kind {
+            ErrorKind::Lex => "lex",
+            ErrorKind::Parse => "parse",
+            ErrorKind::Resolve => "resolve",
+            ErrorKind::Type => "type",
+        };
+        write!(f, "{} error at {}: {}", phase, self.span, self.message)
+    }
+}
+
+impl std::error::Error for CmirError {}
+
+/// Convenience result alias used throughout the front end.
+pub type Result<T> = std::result::Result<T, CmirError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{Pos, Span};
+
+    #[test]
+    fn display_includes_phase_and_location() {
+        let e = CmirError::parse("expected `;`", Span::new(Pos::new(2, 3), Pos::new(2, 4)));
+        let s = format!("{e}");
+        assert!(s.contains("parse error"));
+        assert!(s.contains("2:3"));
+        assert!(s.contains("expected `;`"));
+    }
+
+    #[test]
+    fn constructors_set_kind() {
+        assert_eq!(CmirError::lex("x", Span::synthetic()).kind, ErrorKind::Lex);
+        assert_eq!(CmirError::resolve("x", Span::synthetic()).kind, ErrorKind::Resolve);
+        assert_eq!(CmirError::ty("x", Span::synthetic()).kind, ErrorKind::Type);
+    }
+}

@@ -1,0 +1,178 @@
+//! Property-based tests for the KC front end: randomly generated expressions
+//! and types must survive a pretty-print / re-parse round trip, and erasure
+//! must be idempotent and annotation-free.
+
+use ivy_cmir::ast::{BinOp, Expr, UnOp};
+use ivy_cmir::parser::{parse_expr, parse_type};
+use ivy_cmir::pretty::{expr_str, type_str};
+use ivy_cmir::types::{BoundExpr, Bounds, IntKind, PtrAnnot, Type};
+use proptest::prelude::*;
+
+fn arb_intkind() -> impl Strategy<Value = IntKind> {
+    prop_oneof![
+        Just(IntKind::I8),
+        Just(IntKind::U8),
+        Just(IntKind::I16),
+        Just(IntKind::U16),
+        Just(IntKind::I32),
+        Just(IntKind::U32),
+        Just(IntKind::I64),
+        Just(IntKind::U64),
+    ]
+}
+
+fn arb_ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,6}".prop_filter("avoid keywords", |s| {
+        !matches!(
+            s.as_str(),
+            "let" | "if" | "else" | "while" | "for" | "return" | "break" | "continue" | "null"
+                | "sizeof" | "as" | "struct" | "union" | "fn" | "extern" | "global" | "typedef"
+                | "void" | "bool" | "i8" | "u8" | "i16" | "u16" | "i32" | "u32" | "i64" | "u64"
+                | "count" | "bound" | "single" | "auto" | "nullterm" | "nonnull" | "opt"
+                | "trusted" | "poly" | "when" | "fnptr" | "delayed_free"
+        )
+    })
+}
+
+fn arb_bound_expr() -> impl Strategy<Value = BoundExpr> {
+    let leaf = prop_oneof![
+        (0i64..1024).prop_map(BoundExpr::Const),
+        arb_ident().prop_map(BoundExpr::Var),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| BoundExpr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| BoundExpr::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| BoundExpr::Mul(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn arb_annot() -> impl Strategy<Value = PtrAnnot> {
+    (
+        prop_oneof![
+            Just(Bounds::Unknown),
+            Just(Bounds::Single),
+            Just(Bounds::Auto),
+            arb_bound_expr().prop_map(Bounds::Count),
+            (arb_bound_expr(), arb_bound_expr()).prop_map(|(a, b)| Bounds::Bound(a, b)),
+        ],
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(bounds, nullterm, nonnull, opt, trusted)| PtrAnnot {
+            bounds,
+            nullterm,
+            nonnull,
+            opt,
+            trusted,
+            poly: false,
+        })
+}
+
+fn arb_type() -> impl Strategy<Value = Type> {
+    let leaf = prop_oneof![
+        Just(Type::Void),
+        Just(Type::Bool),
+        arb_intkind().prop_map(Type::Int),
+        arb_ident().prop_map(Type::Struct),
+        arb_ident().prop_map(Type::Union),
+        arb_ident().prop_map(Type::Named),
+    ];
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), arb_annot()).prop_map(|(t, a)| Type::Ptr(Box::new(t), a)),
+            (inner, 1u64..64).prop_map(|(t, n)| Type::Array(Box::new(t), n)),
+        ]
+    })
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0i64..100_000).prop_map(Expr::Int),
+        arb_ident().prop_map(Expr::Var),
+        Just(Expr::Null),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::add(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(BinOp::Mul, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(BinOp::Shl, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::lt(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(BinOp::LAnd, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Index(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| Expr::Unary(UnOp::Not, Box::new(a))),
+            inner.clone().prop_map(|a| Expr::Deref(Box::new(a))),
+            (inner.clone(), arb_ident()).prop_map(|(a, f)| Expr::Arrow(Box::new(a), f)),
+            (inner.clone(), arb_ident()).prop_map(|(a, f)| Expr::Field(Box::new(a), f)),
+            (arb_ident(), prop::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(f, args)| Expr::call(f, args)),
+            (arb_type(), inner).prop_map(|(t, e)| Expr::Cast(t, Box::new(e))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn expr_pretty_parse_roundtrip(e in arb_expr()) {
+        let printed = expr_str(&e);
+        let reparsed = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("failed to reparse `{printed}`: {err}"));
+        prop_assert_eq!(e, reparsed);
+    }
+
+    #[test]
+    fn type_pretty_parse_roundtrip(t in arb_type()) {
+        let printed = type_str(&t);
+        let reparsed = parse_type(&printed)
+            .unwrap_or_else(|err| panic!("failed to reparse `{printed}`: {err}"));
+        prop_assert_eq!(t, reparsed);
+    }
+
+    #[test]
+    fn erasure_is_idempotent_and_clean(t in arb_type()) {
+        let once = t.erased();
+        prop_assert!(!once.is_annotated());
+        prop_assert_eq!(once.clone(), once.erased());
+        prop_assert!(t.same_repr(&once));
+    }
+
+    #[test]
+    fn bound_expr_eval_matches_structure(e in arb_bound_expr()) {
+        // Evaluating with every variable bound to 1 must succeed.
+        let v = e.eval(&|_| Some(1));
+        prop_assert!(v.is_some());
+        // And free variables are exactly the names eval needs.
+        let missing = std::cell::RefCell::new(Vec::new());
+        let _ = e.eval(&|name: &str| {
+            missing.borrow_mut().push(name.to_string());
+            None
+        });
+        for m in missing.into_inner() {
+            prop_assert!(e.free_vars().contains(&m));
+        }
+    }
+
+    #[test]
+    fn int_truncate_fits_width(k in arb_intkind(), v in any::<i64>()) {
+        let t = k.truncate(v);
+        let bits = k.size() * 8;
+        if bits < 64 {
+            if k.is_signed() {
+                let max = (1i64 << (bits - 1)) - 1;
+                let min = -(1i64 << (bits - 1));
+                prop_assert!(t >= min && t <= max);
+            } else {
+                prop_assert!(t >= 0 && (t as u64) < (1u64 << bits));
+            }
+        }
+        // Truncation is idempotent.
+        prop_assert_eq!(t, k.truncate(t));
+    }
+}

@@ -1,0 +1,489 @@
+//! The experiment harness: one function per table / experiment in the paper.
+//!
+//! Every experiment is deterministic: the corpus, the workloads, and the VM
+//! cost model contain no wall-clock or host dependence, so the numbers are
+//! reproducible bit-for-bit. EXPERIMENTS.md records paper-vs-measured for
+//! each of these.
+
+use crate::extensions::{errcheck, lockcheck, stackcheck, ErrReport, LockReport, StackReport};
+use ivy_blockstop::{insert_asserts, BlockStop, BlockStopConfig};
+use ivy_ccount::{FixPlan, FreeVerification, NullFix, Overhead};
+use ivy_cmir::ast::Program;
+use ivy_deputy::{BurdenStats, ConversionReport, Deputy};
+use ivy_kernelgen::{
+    boot_workload, fork_workload, hbench_suite, light_use_workload, module_load_workload,
+    KernelBuild, KernelConfig, Workload,
+};
+use ivy_vm::{RunStats, Value, Vm, VmConfig};
+use ivy_analysis::pointsto::Sensitivity;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// How large an experiment run should be.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scale {
+    /// Kernel generation parameters.
+    pub kernel: KernelConfig,
+    /// Multiplier applied to every workload's iteration count.
+    pub workload_factor: f64,
+}
+
+impl Scale {
+    /// Small scale for unit/integration tests (seconds, debug build).
+    pub fn test() -> Self {
+        Scale { kernel: KernelConfig::small(), workload_factor: 0.1 }
+    }
+
+    /// Paper scale for benches and examples (release build).
+    pub fn paper() -> Self {
+        Scale { kernel: KernelConfig::paper(), workload_factor: 1.0 }
+    }
+}
+
+/// Runs a workload entry on a fresh VM over `program` and returns the stats.
+pub fn run_workload(program: &Program, config: VmConfig, workload: &Workload) -> RunStats {
+    let mut vm = Vm::new(program.clone(), config).expect("kernel lays out");
+    vm.run(
+        &workload.entry,
+        vec![Value::Int(i64::from(workload.iters)), Value::Int(i64::from(workload.size))],
+    )
+    .unwrap_or_else(|e| panic!("workload {} trapped: {e}", workload.name));
+    vm.stats.clone()
+}
+
+// ---------------------------------------------------------------------------
+// E1 / Table 1 — relative performance of the deputized kernel
+// ---------------------------------------------------------------------------
+
+/// One row of Table 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HbenchRow {
+    /// Benchmark name (`bw_*` / `lat_*`).
+    pub name: String,
+    /// Cycles on the baseline (unchecked) kernel.
+    pub baseline_cycles: u64,
+    /// Cycles on the deputized kernel.
+    pub deputized_cycles: u64,
+    /// Run-time checks executed during the deputized run.
+    pub checks_executed: u64,
+}
+
+impl HbenchRow {
+    /// Relative performance (deputized / baseline), as reported in Table 1.
+    pub fn relative(&self) -> f64 {
+        if self.baseline_cycles == 0 {
+            1.0
+        } else {
+            self.deputized_cycles as f64 / self.baseline_cycles as f64
+        }
+    }
+}
+
+/// Result of the Table 1 experiment.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Table1 {
+    /// One row per hbench benchmark.
+    pub rows: Vec<HbenchRow>,
+    /// Deputy conversion statistics for the kernel used.
+    pub conversion: ConversionReport,
+}
+
+impl Table1 {
+    /// Renders the table in the paper's two-column layout.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{:<14} {:>9}    {:<14} {:>9}", "Benchmark", "Rel. Perf.", "Benchmark", "Rel. Perf.");
+        let half = self.rows.len().div_ceil(2);
+        for i in 0..half {
+            let left = &self.rows[i];
+            let right = self.rows.get(half + i);
+            match right {
+                Some(r) => {
+                    let _ = writeln!(
+                        out,
+                        "{:<14} {:>9.2}    {:<14} {:>9.2}",
+                        left.name,
+                        left.relative(),
+                        r.name,
+                        r.relative()
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "{:<14} {:>9.2}", left.name, left.relative());
+                }
+            }
+        }
+        out
+    }
+
+    /// Geometric mean of the relative performance across all rows.
+    pub fn geomean(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 1.0;
+        }
+        let sum: f64 = self.rows.iter().map(|r| r.relative().ln()).sum();
+        (sum / self.rows.len() as f64).exp()
+    }
+}
+
+/// Runs the Table 1 experiment: every hbench benchmark on the baseline and
+/// deputized kernels.
+pub fn table1_hbench(scale: &Scale) -> Table1 {
+    let build = KernelBuild::generate(&scale.kernel);
+    let conversion = Deputy::new().convert(&build.program);
+    let mut table = Table1 { rows: Vec::new(), conversion: conversion.report.clone() };
+    for workload in hbench_suite() {
+        let w = workload.scaled(scale.workload_factor);
+        let base = run_workload(&build.program, VmConfig::baseline(), &w);
+        let dep = run_workload(&conversion.program, VmConfig::deputized(), &w);
+        table.rows.push(HbenchRow {
+            name: w.name.clone(),
+            baseline_cycles: base.cycles,
+            deputized_cycles: dep.cycles,
+            checks_executed: dep.total_checks(),
+        });
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// E2 — annotation burden
+// ---------------------------------------------------------------------------
+
+/// Result of the annotation-burden experiment.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BurdenResult {
+    /// Line-level statistics.
+    pub burden: BurdenStats,
+    /// Deputy conversion report (checks inserted, static discharge ratio).
+    pub conversion: ConversionReport,
+    /// Total kernel lines (pretty-printed form), for the denominator.
+    pub total_lines: u64,
+}
+
+/// Runs the annotation-burden experiment (the prose numbers of §2.1).
+pub fn deputy_burden(scale: &Scale) -> BurdenResult {
+    let build = KernelBuild::generate(&scale.kernel);
+    let burden = ivy_deputy::stats::burden(&build.program);
+    let conversion = Deputy::new().convert(&build.program);
+    BurdenResult {
+        total_lines: burden.total_lines,
+        burden,
+        conversion: conversion.report,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// E3 — CCount free verification (boot + light use)
+// ---------------------------------------------------------------------------
+
+/// Result of the free-verification experiment.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FreesResult {
+    /// Free verification on the unfixed kernel (boot + light use).
+    pub unfixed: FreeVerification,
+    /// Free verification after applying the fix plan.
+    pub fixed: FreeVerification,
+    /// Number of pointer-nulling fixes applied.
+    pub null_fixes: usize,
+    /// Number of delayed-free-scope fixes applied.
+    pub delayed_free_fixes: usize,
+}
+
+/// Builds the CCount fix plan for a generated kernel from its ground truth.
+pub fn fix_plan_for(build: &KernelBuild) -> FixPlan {
+    FixPlan {
+        null_fixes: build
+            .ground_truth
+            .null_fixes()
+            .into_iter()
+            .map(|(function, lvalue)| NullFix { function, lvalue })
+            .collect(),
+        delayed_free_functions: build.ground_truth.delayed_free_functions(),
+    }
+}
+
+/// Runs the E3 experiment: boot-plus-light-use free verification before and
+/// after the fix plan.
+pub fn ccount_frees(scale: &Scale) -> FreesResult {
+    let build = KernelBuild::generate(&scale.kernel);
+    let boot = boot_workload(scale.kernel.boot_cycles);
+    let light = light_use_workload(((16.0 * scale.workload_factor) as u32).max(2));
+
+    let run_phases = |program: &Program| -> FreeVerification {
+        let mut vm = Vm::new(program.clone(), VmConfig::ccounted(false)).expect("kernel lays out");
+        vm.run(&boot.entry, vec![Value::Int(i64::from(boot.iters)), Value::Int(0)])
+            .expect("boot runs");
+        vm.run(&light.entry, vec![Value::Int(i64::from(light.iters)), Value::Int(i64::from(light.size))])
+            .expect("light use runs");
+        FreeVerification::from_stats(&vm.stats)
+    };
+
+    let unfixed = run_phases(&build.program);
+    let plan = fix_plan_for(&build);
+    let fixed_program = plan.apply(&build.program);
+    let fixed = run_phases(&fixed_program);
+    FreesResult {
+        unfixed,
+        fixed,
+        null_fixes: plan.null_fixes.len(),
+        delayed_free_fixes: plan.delayed_free_functions.len(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// E4 — CCount overhead (fork, module loading; UP and SMP)
+// ---------------------------------------------------------------------------
+
+/// Result of the CCount overhead experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OverheadResult {
+    /// Fork overhead on a uniprocessor kernel.
+    pub fork_up: Overhead,
+    /// Fork overhead on an SMP kernel (locked refcount operations).
+    pub fork_smp: Overhead,
+    /// Module-loading overhead on a uniprocessor kernel.
+    pub module_up: Overhead,
+    /// Module-loading overhead on an SMP kernel.
+    pub module_smp: Overhead,
+}
+
+impl OverheadResult {
+    /// Renders the four numbers the paper reports in §2.2.
+    pub fn render(&self) -> String {
+        format!(
+            "fork:        UP {:>5.1}%   SMP {:>5.1}%\nmodule-load: UP {:>5.1}%   SMP {:>5.1}%\n",
+            self.fork_up.percent(),
+            self.fork_smp.percent(),
+            self.module_up.percent(),
+            self.module_smp.percent()
+        )
+    }
+}
+
+/// Runs the E4 experiment.
+pub fn ccount_overhead(scale: &Scale) -> OverheadResult {
+    let build = KernelBuild::generate(&scale.kernel);
+    let fork = fork_workload().scaled(scale.workload_factor);
+    let module = module_load_workload().scaled(scale.workload_factor);
+
+    let cycles = |config: VmConfig, w: &Workload| run_workload(&build.program, config, w).cycles;
+
+    let fork_base = cycles(VmConfig::baseline(), &fork);
+    let module_base = cycles(VmConfig::baseline(), &module);
+    OverheadResult {
+        fork_up: Overhead::new(fork_base, cycles(VmConfig::ccounted(false), &fork)),
+        fork_smp: Overhead::new(fork_base, cycles(VmConfig::ccounted(true), &fork)),
+        module_up: Overhead::new(module_base, cycles(VmConfig::ccounted(false), &module)),
+        module_smp: Overhead::new(module_base, cycles(VmConfig::ccounted(true), &module)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// E5 — BlockStop findings
+// ---------------------------------------------------------------------------
+
+/// Result of the BlockStop experiment.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BlockStopResult {
+    /// Findings before any run-time checks are added.
+    pub findings_before: usize,
+    /// Of those, findings attributable to the seeded real bugs.
+    pub real_bug_findings: usize,
+    /// Distinct seeded bugs covered by at least one finding.
+    pub real_bugs_found: usize,
+    /// Findings not attributable to a seeded bug (false positives).
+    pub false_positives: usize,
+    /// Run-time assertions inserted to silence the false positives.
+    pub asserts_inserted: u64,
+    /// Findings remaining after the assertions are taken into account.
+    pub findings_after: usize,
+    /// Assertion failures observed when booting the asserted kernel (should
+    /// be zero: the assertions encode true facts).
+    pub runtime_assert_failures: u64,
+    /// Blocking-while-atomic violations actually observed at run time
+    /// (ground truth for the real bugs).
+    pub runtime_violations: usize,
+}
+
+/// Runs the E5 experiment.
+pub fn blockstop_results(scale: &Scale) -> BlockStopResult {
+    let build = KernelBuild::generate(&scale.kernel);
+    let before = BlockStop::new().analyze(&build.program);
+
+    // Classify findings against the seeded ground truth.
+    let mut involved: BTreeSet<String> = BTreeSet::new();
+    for bug in &build.ground_truth.blocking_bugs {
+        involved.insert(bug.caller.clone());
+        involved.insert(bug.callee.clone());
+    }
+    let is_real = |f: &ivy_blockstop::Finding| {
+        involved.contains(&f.caller)
+            || f.blocking_targets.iter().any(|t| involved.contains(t))
+            || f.example_chain.iter().any(|t| involved.contains(t))
+    };
+    let real_bug_findings = before.findings.iter().filter(|f| is_real(f)).count();
+    let false_positives = before.findings.len() - real_bug_findings;
+    let real_bugs_found = build
+        .ground_truth
+        .blocking_bugs
+        .iter()
+        .filter(|bug| {
+            before.findings.iter().any(|f| {
+                f.caller == bug.caller
+                    || f.blocking_targets.contains(&bug.callee)
+                    || f.example_chain.contains(&bug.caller)
+            })
+        })
+        .count();
+
+    // Silence the false positives with run-time assertions and re-analyse.
+    let asserted = build.asserted_functions();
+    let (asserted_program, asserts_inserted) = insert_asserts(&build.program, &asserted);
+    let after = BlockStop::with_config(BlockStopConfig {
+        asserted_functions: asserted,
+        ..BlockStopConfig::default()
+    })
+    .analyze(&asserted_program);
+
+    // Boot the asserted kernel with the assertions armed: they must not fire.
+    let boot = boot_workload(scale.kernel.boot_cycles);
+    let mut vm = Vm::new(
+        asserted_program,
+        VmConfig { blockstop_asserts: true, ..VmConfig::baseline() },
+    )
+    .expect("kernel lays out");
+    vm.run(&boot.entry, vec![Value::Int(i64::from(boot.iters)), Value::Int(0)])
+        .expect("boot runs");
+
+    BlockStopResult {
+        findings_before: before.findings.len(),
+        real_bug_findings,
+        real_bugs_found,
+        false_positives,
+        asserts_inserted,
+        findings_after: after.findings.len(),
+        runtime_assert_failures: vm.stats.assert_failures,
+        runtime_violations: vm.stats.blocking_violations.len(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// E6 — points-to precision ablation
+// ---------------------------------------------------------------------------
+
+/// One row of the points-to ablation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AblationRow {
+    /// Points-to variant.
+    pub sensitivity: String,
+    /// Total BlockStop findings with this variant.
+    pub findings: usize,
+    /// False positives (not attributable to seeded bugs).
+    pub false_positives: usize,
+    /// Mean number of targets per indirect call.
+    pub mean_indirect_fanout: f64,
+}
+
+/// Runs the E6 ablation: BlockStop precision under the three points-to
+/// variants.
+pub fn pointsto_ablation(scale: &Scale) -> Vec<AblationRow> {
+    let build = KernelBuild::generate(&scale.kernel);
+    let mut involved: BTreeSet<String> = BTreeSet::new();
+    for bug in &build.ground_truth.blocking_bugs {
+        involved.insert(bug.caller.clone());
+        involved.insert(bug.callee.clone());
+    }
+    [Sensitivity::Steensgaard, Sensitivity::Andersen, Sensitivity::AndersenField]
+        .into_iter()
+        .map(|s| {
+            let report = BlockStop::with_config(BlockStopConfig {
+                sensitivity: s,
+                ..BlockStopConfig::default()
+            })
+            .analyze(&build.program);
+            let pts = ivy_analysis::pointsto::analyze(&build.program, s);
+            let real = report
+                .findings
+                .iter()
+                .filter(|f| {
+                    involved.contains(&f.caller)
+                        || f.blocking_targets.iter().any(|t| involved.contains(t))
+                        || f.example_chain.iter().any(|t| involved.contains(t))
+                })
+                .count();
+            AblationRow {
+                sensitivity: s.name().to_string(),
+                findings: report.findings.len(),
+                false_positives: report.findings.len() - real,
+                mean_indirect_fanout: pts.mean_indirect_fanout(),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// E7 — extension analyses
+// ---------------------------------------------------------------------------
+
+/// Result of the extension analyses (§3.1).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExtensionsResult {
+    /// Lock-safety analysis output.
+    pub locks: LockReport,
+    /// Stack-depth analysis output (8 kB budget).
+    pub stack: StackReport,
+    /// Error-code analysis output.
+    pub errors: ErrReport,
+}
+
+/// Runs the E7 experiment.
+pub fn extensions(scale: &Scale) -> ExtensionsResult {
+    let build = KernelBuild::generate(&scale.kernel);
+    ExtensionsResult {
+        locks: lockcheck(&build.program),
+        stack: stackcheck(&build.program, 8 * 1024),
+        errors: errcheck(&build.program),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shape_holds_at_test_scale() {
+        let t = table1_hbench(&Scale::test());
+        assert_eq!(t.rows.len(), 21);
+        for row in &t.rows {
+            assert!(row.relative() >= 0.99, "{} got faster? {}", row.name, row.relative());
+            assert!(row.relative() < 2.0, "{} slowed more than 2x: {}", row.name, row.relative());
+        }
+        assert!(t.geomean() < 1.5);
+        let rendered = t.render();
+        assert!(rendered.contains("bw_mem_cp"));
+        assert!(rendered.contains("lat_udp"));
+    }
+
+    #[test]
+    fn ccount_overhead_shape() {
+        let o = ccount_overhead(&Scale::test());
+        assert!(o.fork_up.percent() > 0.0);
+        assert!(o.fork_smp.percent() > o.fork_up.percent());
+        assert!(o.module_smp.percent() >= o.module_up.percent());
+        assert!(o.fork_smp.percent() > o.module_smp.percent());
+        assert!(!o.render().is_empty());
+    }
+
+    #[test]
+    fn blockstop_results_cover_ground_truth() {
+        let r = blockstop_results(&Scale::test());
+        assert_eq!(r.real_bugs_found, 2);
+        assert!(r.false_positives > 0);
+        assert!(r.asserts_inserted >= 1);
+        assert!(r.findings_after < r.findings_before);
+        assert_eq!(r.runtime_assert_failures, 0);
+        assert!(r.runtime_violations > 0);
+    }
+}

@@ -1,0 +1,326 @@
+//! The future analyses sketched in §3.1, built on the same substrate:
+//! lock-safety checking, stack-depth bounding, and error-code checking.
+
+use ivy_analysis::callgraph::CallGraph;
+use ivy_analysis::pointsto::{analyze as pointsto, Sensitivity};
+use ivy_cmir::ast::{Expr, Program, Stmt};
+use ivy_cmir::visit;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+// ---------------------------------------------------------------------------
+// Lock safety
+// ---------------------------------------------------------------------------
+
+/// Result of the lock-safety analysis: consistent lock ordering plus the
+/// Linux-specific rule that a lock taken in interrupt context must always be
+/// taken with interrupts disabled in process context.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LockReport {
+    /// Observed "outer held while inner acquired" pairs.
+    pub order_pairs: BTreeSet<(String, String)>,
+    /// Pairs that also occur reversed somewhere (potential deadlock).
+    pub order_violations: Vec<(String, String)>,
+    /// Locks acquired in interrupt context.
+    pub irq_context_locks: BTreeSet<String>,
+    /// Locks acquired in process context without disabling interrupts even
+    /// though they are also taken in interrupt context (deadlock against an
+    /// interrupt on the same CPU).
+    pub irq_unsafe_acquisitions: Vec<(String, String)>,
+    /// Call sites where static reasoning was not possible and a run-time
+    /// check would be inserted.
+    pub runtime_checks_needed: u64,
+}
+
+/// Runs the lock-safety analysis.
+pub fn lockcheck(program: &Program) -> LockReport {
+    let mut report = LockReport::default();
+    // Per function: the sequence of (lock name, irqsave?, acquire/release).
+    for func in program.functions.iter().filter(|f| f.body.is_some()) {
+        let mut held: Vec<(String, bool)> = Vec::new();
+        visit::walk_fn_stmts(func, &mut |stmt| {
+            visit::walk_stmt_exprs(stmt, &mut |e| {
+                let Expr::Call(callee, args) = e else { return };
+                let Expr::Var(name) = &**callee else { return };
+                let lock = args.first().map(lock_label).unwrap_or_else(|| "<unknown>".into());
+                match name.as_str() {
+                    "spin_lock" | "spin_lock_bh" => {
+                        for (outer, _) in &held {
+                            report.order_pairs.insert((outer.clone(), lock.clone()));
+                        }
+                        if func.attrs.interrupt_handler {
+                            report.irq_context_locks.insert(lock.clone());
+                        }
+                        held.push((lock, false));
+                    }
+                    "spin_lock_irqsave" | "spin_lock_irq" => {
+                        for (outer, _) in &held {
+                            report.order_pairs.insert((outer.clone(), lock.clone()));
+                        }
+                        if func.attrs.interrupt_handler {
+                            report.irq_context_locks.insert(lock.clone());
+                        }
+                        held.push((lock, true));
+                    }
+                    "spin_unlock" | "spin_unlock_bh" | "spin_unlock_irqrestore"
+                    | "spin_unlock_irq" => {
+                        if let Some(pos) = held.iter().rposition(|(l, _)| *l == lock) {
+                            held.remove(pos);
+                        } else {
+                            report.runtime_checks_needed += 1;
+                        }
+                    }
+                    _ => {}
+                }
+            });
+        });
+        if !held.is_empty() {
+            // Lock held at end of a walk (e.g. acquired in one branch only):
+            // static reasoning is conservative, defer to a run-time check.
+            report.runtime_checks_needed += held.len() as u64;
+        }
+    }
+    // Ordering violations: pair (a, b) and (b, a) both observed.
+    for (a, b) in &report.order_pairs {
+        if a != b && report.order_pairs.contains(&(b.clone(), a.clone())) {
+            report.order_violations.push((a.clone(), b.clone()));
+        }
+    }
+    // IRQ-safety: a lock taken in interrupt context must be taken with
+    // interrupts disabled everywhere else.
+    for func in program.functions.iter().filter(|f| f.body.is_some()) {
+        if func.attrs.interrupt_handler {
+            continue;
+        }
+        visit::walk_fn_stmts(func, &mut |stmt| {
+            visit::walk_stmt_exprs(stmt, &mut |e| {
+                let Expr::Call(callee, args) = e else { return };
+                let Expr::Var(name) = &**callee else { return };
+                if name == "spin_lock" || name == "spin_lock_bh" {
+                    let lock = args.first().map(lock_label).unwrap_or_default();
+                    if report.irq_context_locks.contains(&lock) {
+                        report.irq_unsafe_acquisitions.push((func.name.clone(), lock));
+                    }
+                }
+            });
+        });
+    }
+    report
+}
+
+fn lock_label(e: &Expr) -> String {
+    match e {
+        Expr::AddrOf(inner) => ivy_cmir::pretty::expr_str(inner),
+        other => ivy_cmir::pretty::expr_str(other),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stack-depth bounding
+// ---------------------------------------------------------------------------
+
+/// Result of the stack-depth analysis (the Capriccio-style bound of §3.1).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StackReport {
+    /// Worst-case stack bytes per analysed entry point.
+    pub per_entry: BTreeMap<String, u64>,
+    /// Entry points that exceed the budget.
+    pub over_budget: Vec<String>,
+    /// Recursive functions, which need run-time checks instead of a static
+    /// bound.
+    pub recursive: BTreeSet<String>,
+    /// The stack budget used (bytes).
+    pub budget: u64,
+}
+
+/// Estimated frame size of a function: saved registers plus parameters and
+/// locals (all memory-backed in the VM's model).
+fn frame_size(program: &Program, name: &str) -> u64 {
+    let Some(f) = program.function(name) else { return 32 };
+    let mut locals = 0u64;
+    if let Some(body) = &f.body {
+        visit::walk_block_stmts(body, &mut |s| {
+            if matches!(s, Stmt::Local(..)) {
+                locals += 1;
+            }
+        });
+    }
+    32 + 8 * f.params.len() as u64 + 16 * locals
+}
+
+/// Runs the stack-depth analysis over every syscall-like and interrupt entry
+/// point against a budget (4 or 8 kB in the paper).
+pub fn stackcheck(program: &Program, budget: u64) -> StackReport {
+    let pts = pointsto(program, Sensitivity::AndersenField);
+    let cg = CallGraph::build(program, &pts);
+    let mut report = StackReport { budget, recursive: cg.recursive_functions(), ..Default::default() };
+    let entries: Vec<String> = program
+        .functions
+        .iter()
+        .filter(|f| {
+            f.body.is_some()
+                && (f.name.starts_with("sys_")
+                    || f.name.starts_with("wl_")
+                    || f.name.starts_with("kernel_")
+                    || f.attrs.interrupt_handler)
+        })
+        .map(|f| f.name.clone())
+        .collect();
+    for entry in entries {
+        let depth = cg.max_weighted_depth(&entry, &|f| frame_size(program, f));
+        if depth > budget {
+            report.over_budget.push(entry.clone());
+        }
+        report.per_entry.insert(entry, depth);
+    }
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Error-code checking
+// ---------------------------------------------------------------------------
+
+/// Result of the error-code analysis: call sites of functions that can
+/// return error codes, split into checked and unchecked uses.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ErrReport {
+    /// Functions that may return an error code (negative constant or
+    /// `#[error_codes]` annotation), with the codes.
+    pub error_returning: BTreeMap<String, BTreeSet<i64>>,
+    /// Call sites whose result is consumed (assigned, compared, returned).
+    pub checked_sites: u64,
+    /// Call sites whose result is silently discarded.
+    pub unchecked_sites: Vec<(String, String)>,
+}
+
+/// Runs the error-code analysis.
+pub fn errcheck(program: &Program) -> ErrReport {
+    let mut report = ErrReport::default();
+    // Which functions can return error codes?
+    for f in program.functions.iter() {
+        let mut codes: BTreeSet<i64> = f.attrs.error_codes.iter().copied().collect();
+        if let Some(body) = &f.body {
+            visit::walk_block_stmts(body, &mut |s| {
+                if let Stmt::Return(Some(Expr::Int(v)), _) = s {
+                    if *v < 0 {
+                        codes.insert(*v);
+                    }
+                }
+            });
+        }
+        if !codes.is_empty() {
+            report.error_returning.insert(f.name.clone(), codes);
+        }
+    }
+    // Classify call sites.
+    for f in program.functions.iter().filter(|f| f.body.is_some()) {
+        visit::walk_fn_stmts(f, &mut |stmt| match stmt {
+            // A bare expression statement that is exactly a call to an
+            // error-returning function discards the result.
+            Stmt::Expr(Expr::Call(callee, _), _) => {
+                if let Expr::Var(name) = &**callee {
+                    if report.error_returning.contains_key(name) {
+                        report.unchecked_sites.push((f.name.clone(), name.clone()));
+                    }
+                }
+            }
+            _ => {
+                visit::walk_stmt_exprs(stmt, &mut |e| {
+                    if let Expr::Call(callee, _) = e {
+                        if let Expr::Var(name) = &**callee {
+                            if report.error_returning.contains_key(name) {
+                                report.checked_sites += 1;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivy_cmir::parser::parse_program;
+
+    const SRC: &str = r#"
+        extern fn spin_lock(l: u32 *);
+        extern fn spin_unlock(l: u32 *);
+        extern fn spin_lock_irqsave(l: u32 *);
+        extern fn spin_unlock_irqrestore(l: u32 *);
+        global lock_a: u32 = 0;
+        global lock_b: u32 = 0;
+
+        fn ab() {
+            spin_lock(&lock_a);
+            spin_lock(&lock_b);
+            spin_unlock(&lock_b);
+            spin_unlock(&lock_a);
+        }
+        fn ba() {
+            spin_lock(&lock_b);
+            spin_lock(&lock_a);
+            spin_unlock(&lock_a);
+            spin_unlock(&lock_b);
+        }
+        #[irq_handler]
+        fn irq() {
+            spin_lock(&lock_a);
+            spin_unlock(&lock_a);
+        }
+
+        #[error_codes(-12)]
+        fn may_fail(x: u32) -> i32 {
+            if (x == 0) { return -22; }
+            return 0;
+        }
+        fn careless() { may_fail(0); }
+        fn careful() -> i32 {
+            let r: i32 = may_fail(1);
+            if (r < 0) { return r; }
+            return 0;
+        }
+
+        fn leaf(x: u32) -> u32 { return x + 1; }
+        fn mid(x: u32) -> u32 { let y: u32 = leaf(x); return y; }
+        fn sys_deep(x: u32) -> u32 { let a: u32 = mid(x); return a; }
+        fn looper(n: u32) -> u32 { if (n == 0) { return 0; } return looper(n - 1); }
+        fn sys_rec(n: u32) -> u32 { return looper(n); }
+    "#;
+
+    #[test]
+    fn lock_order_violation_detected() {
+        let p = parse_program(SRC).unwrap();
+        let r = lockcheck(&p);
+        assert!(!r.order_violations.is_empty());
+        assert!(r.irq_context_locks.contains("lock_a"));
+        // `ab` and `ba` take lock_a/lock_b in process context without
+        // disabling interrupts although lock_a is also taken in an interrupt
+        // handler.
+        assert!(r.irq_unsafe_acquisitions.iter().any(|(f, l)| f == "ab" && l == "lock_a"));
+    }
+
+    #[test]
+    fn stack_bound_and_recursion() {
+        let p = parse_program(SRC).unwrap();
+        let r = stackcheck(&p, 8192);
+        assert!(r.per_entry.contains_key("sys_deep"));
+        assert!(r.per_entry["sys_deep"] > r.per_entry["sys_rec"] / 10, "sane magnitudes");
+        assert!(r.recursive.contains("looper"));
+        assert!(r.over_budget.is_empty());
+        let tight = stackcheck(&p, 64);
+        assert!(!tight.over_budget.is_empty());
+    }
+
+    #[test]
+    fn error_codes_checked_vs_discarded() {
+        let p = parse_program(SRC).unwrap();
+        let r = errcheck(&p);
+        assert!(r.error_returning["may_fail"].contains(&-22));
+        assert!(r.error_returning["may_fail"].contains(&-12));
+        assert_eq!(r.unchecked_sites, vec![("careless".to_string(), "may_fail".to_string())]);
+        assert!(r.checked_sites >= 1);
+    }
+}

@@ -1,0 +1,125 @@
+//! The combined Ivy pipeline: Deputy + CCount + BlockStop over one kernel.
+//!
+//! This is the workflow §2 describes end to end: deputize the kernel
+//! (annotations + run-time checks), apply the source fixes that make its
+//! frees verifiable, insert the BlockStop assertions that silence false
+//! positives, and hand back a program that can be executed fully
+//! instrumented on the VM.
+
+use crate::experiments::fix_plan_for;
+use crate::repository::Repository;
+use ivy_blockstop::{insert_asserts, BlockStop, BlockStopConfig, BlockStopReport};
+use ivy_ccount::{analyze as ccount_analyze, InstrumentationReport};
+use ivy_cmir::ast::Program;
+use ivy_deputy::{ConversionReport, Deputy};
+use ivy_kernelgen::KernelBuild;
+
+/// Configuration of the combined pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct Pipeline {
+    /// The Deputy instance used for conversion.
+    pub deputy: Deputy,
+}
+
+/// Output of the combined pipeline.
+#[derive(Debug, Clone)]
+pub struct Hardened {
+    /// The fully hardened program: deputized, free-fix plan applied,
+    /// BlockStop assertions inserted.
+    pub program: Program,
+    /// Deputy conversion report.
+    pub deputy: ConversionReport,
+    /// CCount static instrumentation report.
+    pub ccount: InstrumentationReport,
+    /// BlockStop report on the original kernel (before assertions).
+    pub blockstop_before: BlockStopReport,
+    /// BlockStop report after run-time assertions are accounted for.
+    pub blockstop_after: BlockStopReport,
+    /// Number of BlockStop assertions inserted.
+    pub asserts_inserted: u64,
+    /// The annotation repository harvested from the hardened kernel.
+    pub repository: Repository,
+}
+
+impl Pipeline {
+    /// Creates a pipeline with default tool configurations.
+    pub fn new() -> Self {
+        Pipeline::default()
+    }
+
+    /// Runs the whole pipeline over a generated kernel.
+    pub fn run(&self, build: &KernelBuild) -> Hardened {
+        // 1. CCount source fixes (null-outs + delayed-free scopes).
+        let plan = fix_plan_for(build);
+        let fixed = plan.apply(&build.program);
+
+        // 2. BlockStop: analyse, then insert the assertions that silence the
+        //    corpus's known false positives and re-analyse.
+        let blockstop_before = BlockStop::new().analyze(&fixed);
+        let asserted = build.asserted_functions();
+        let (with_asserts, asserts_inserted) = insert_asserts(&fixed, &asserted);
+        let blockstop_after = BlockStop::with_config(BlockStopConfig {
+            asserted_functions: asserted,
+            ..BlockStopConfig::default()
+        })
+        .analyze(&with_asserts);
+
+        // 3. Deputy conversion of the patched kernel.
+        let conversion = self.deputy.convert(&with_asserts);
+
+        // 4. CCount static report and the shared repository.
+        let ccount = ccount_analyze(&conversion.program);
+        let mut repository = Repository::from_program(&conversion.program);
+        repository.absorb_blockstop(&blockstop_after);
+
+        Hardened {
+            program: conversion.program,
+            deputy: conversion.report,
+            ccount,
+            blockstop_before,
+            blockstop_after,
+            asserts_inserted,
+            repository,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivy_kernelgen::{KernelBuild, KernelConfig};
+    use ivy_vm::{Value, Vm, VmConfig};
+
+    #[test]
+    fn pipeline_produces_clean_hardened_kernel() {
+        let build = KernelBuild::generate(&KernelConfig::small());
+        let hardened = Pipeline::new().run(&build);
+        assert!(hardened.deputy.accepted(), "{:?}", hardened.deputy.diagnostics);
+        assert!(hardened.deputy.total_runtime_checks() > 0);
+        assert!(hardened.ccount.counted_pointer_writes > 0);
+        assert!(!hardened.blockstop_before.findings.is_empty());
+        // Only the two seeded real bugs remain after assertions.
+        assert!(hardened.blockstop_after.findings.len() < hardened.blockstop_before.findings.len());
+        assert!(hardened.asserts_inserted > 0);
+        assert!(hardened.repository.blocking_functions().len() > 2);
+    }
+
+    #[test]
+    fn hardened_kernel_boots_fully_instrumented() {
+        let config = KernelConfig::small();
+        let build = KernelBuild::generate(&config);
+        let hardened = Pipeline::new().run(&build);
+        let mut vm = Vm::new(hardened.program.clone(), VmConfig::full(false)).unwrap();
+        vm.run("kernel_boot", vec![Value::Int(i64::from(config.boot_cycles)), Value::Int(0)])
+            .unwrap();
+        // All frees verify good on the fixed kernel, no Deputy check fails,
+        // and no BlockStop assertion fires.
+        assert_eq!(vm.stats.frees_bad, 0, "bad frees: {:?}", vm.stats.bad_frees);
+        assert!(vm.stats.frees_good > 0);
+        assert!(vm.stats.check_failures.is_empty(), "{:?}", vm.stats.check_failures);
+        assert_eq!(vm.stats.assert_failures, 0);
+        // The seeded blocking bugs are still present (they are real bugs the
+        // tool reports rather than fixes).
+        assert!(!vm.stats.blocking_violations.is_empty());
+    }
+}

@@ -1,0 +1,321 @@
+//! Annotation validation and default inference.
+//!
+//! Deputy annotations are written by programmers and are *untrusted*: the
+//! checker validates that they are well-formed (bounds expressions only
+//! mention names that are actually in scope) and the run-time checks that
+//! `ivy-deputy::instrument` inserts will catch annotations that are wrong
+//! about the data.
+//!
+//! The inference pass handles the incremental-conversion story: legacy
+//! pointers with no annotation get a sensible default — `single` when the
+//! pointer is only dereferenced, `auto` when it is indexed or used in pointer
+//! arithmetic — so that a file can be converted without touching every
+//! declaration. Inferred defaults are reported separately from programmer
+//! annotations so the burden statistics (E2) stay honest.
+
+use crate::report::{ConversionReport, DeputyDiagnostic, Severity};
+use ivy_cmir::ast::{Expr, Function, Program, Stmt};
+use ivy_cmir::types::{Bounds, PtrAnnot, Type};
+use ivy_cmir::visit;
+use std::collections::BTreeSet;
+
+/// Validates every annotation in the program, appending diagnostics to the
+/// report. Returns the number of annotations examined.
+pub fn validate_annotations(program: &Program, report: &mut ConversionReport) -> u64 {
+    let mut examined = 0;
+
+    // Struct/union field annotations may reference sibling fields.
+    for comp in &program.composites {
+        let siblings: BTreeSet<String> = comp.fields.iter().map(|f| f.name.clone()).collect();
+        for field in &comp.fields {
+            examined += count_annotations(&field.ty);
+            for var in annotation_vars(&field.ty) {
+                if !siblings.contains(&var) && program.global(&var).is_none() {
+                    report.diagnostics.push(DeputyDiagnostic {
+                        function: format!("{}::{}", comp.name, field.name),
+                        message: format!(
+                            "bounds annotation mentions `{var}`, which is neither a sibling field nor a global"
+                        ),
+                        severity: Severity::Error,
+                    });
+                }
+            }
+            if let Some((tag, _)) = &field.when {
+                if !siblings.contains(tag) {
+                    report.diagnostics.push(DeputyDiagnostic {
+                        function: format!("{}::{}", comp.name, field.name),
+                        message: format!("when() refers to unknown tag field `{tag}`"),
+                        severity: Severity::Error,
+                    });
+                }
+            }
+        }
+    }
+
+    // Globals may reference other globals.
+    for g in &program.globals {
+        examined += count_annotations(&g.decl.ty);
+        for var in annotation_vars(&g.decl.ty) {
+            if program.global(&var).is_none() {
+                report.diagnostics.push(DeputyDiagnostic {
+                    function: format!("global {}", g.decl.name),
+                    message: format!("bounds annotation mentions unknown global `{var}`"),
+                    severity: Severity::Error,
+                });
+            }
+        }
+    }
+
+    // Function signatures and locals may reference parameters, earlier
+    // locals, and globals.
+    for f in &program.functions {
+        let mut in_scope: BTreeSet<String> = f.params.iter().map(|p| p.name.clone()).collect();
+        for g in &program.globals {
+            in_scope.insert(g.decl.name.clone());
+        }
+        for p in &f.params {
+            examined += count_annotations(&p.ty);
+            for var in annotation_vars(&p.ty) {
+                if !in_scope.contains(&var) {
+                    report.diagnostics.push(DeputyDiagnostic {
+                        function: f.name.clone(),
+                        message: format!(
+                            "annotation on parameter `{}` mentions `{var}`, which is not in scope",
+                            p.name
+                        ),
+                        severity: Severity::Error,
+                    });
+                }
+            }
+        }
+        examined += count_annotations(&f.ret);
+        visit::walk_fn_stmts(f, &mut |s| {
+            if let Stmt::Local(decl, _) = s {
+                examined += count_annotations(&decl.ty);
+                for var in annotation_vars(&decl.ty) {
+                    if !in_scope.contains(&var) && decl.name != var {
+                        report.diagnostics.push(DeputyDiagnostic {
+                            function: f.name.clone(),
+                            message: format!(
+                                "annotation on local `{}` mentions `{var}`, which is not in scope",
+                                decl.name
+                            ),
+                            severity: Severity::Error,
+                        });
+                    }
+                }
+                in_scope.insert(decl.name.clone());
+            }
+        });
+    }
+    examined
+}
+
+/// Infers default annotations for unannotated pointers: `auto` bounds for
+/// pointers that the function indexes or offsets, `single` for everything
+/// else. Returns the number of defaults applied.
+pub fn infer_defaults(program: &mut Program, report: &mut ConversionReport) -> u64 {
+    // Collect, per function, the set of local/param names that are used with
+    // indexing or pointer arithmetic anywhere in the program.
+    let mut inferred = 0;
+    let functions: Vec<Function> = program.functions.clone();
+
+    for f in &functions {
+        if f.body.is_none() {
+            continue;
+        }
+        let arithmetic_ptrs = pointers_used_with_arithmetic(f);
+        let target = program.function_mut(&f.name).expect("function exists");
+        for p in &mut target.params {
+            inferred += apply_default(&mut p.ty, arithmetic_ptrs.contains(&p.name));
+        }
+        if let Some(body) = &mut target.body {
+            let new_body = visit::map_block(body, &mut |s| match s {
+                Stmt::Local(mut decl, init) => {
+                    inferred +=
+                        apply_default(&mut decl.ty, arithmetic_ptrs.contains(&decl.name));
+                    vec![Stmt::Local(decl, init)]
+                }
+                other => vec![other],
+            });
+            target.body = Some(new_body);
+        }
+    }
+
+    // Globals and fields: default to `auto` for arrays-of-unknown use, else
+    // `single`; without per-site usage information the conservative choice is
+    // `auto` (it is always checkable at run time).
+    for g in &mut program.globals {
+        inferred += apply_default(&mut g.decl.ty, true);
+    }
+    for c in &mut program.composites {
+        for field in &mut c.fields {
+            inferred += apply_default(&mut field.ty, true);
+        }
+    }
+
+    report.inferred_defaults += inferred;
+    inferred
+}
+
+fn apply_default(ty: &mut Type, used_with_arithmetic: bool) -> u64 {
+    match ty {
+        Type::Ptr(inner, ann) => {
+            let mut n = apply_default(inner, used_with_arithmetic);
+            if !ann.trusted && matches!(ann.bounds, Bounds::Unknown) {
+                ann.bounds = if used_with_arithmetic { Bounds::Auto } else { Bounds::Single };
+                n += 1;
+            }
+            n
+        }
+        Type::Array(inner, _) => apply_default(inner, used_with_arithmetic),
+        _ => 0,
+    }
+}
+
+/// Names of parameters/locals that the function indexes or uses in pointer
+/// arithmetic (candidates for `auto` bounds rather than `single`).
+pub fn pointers_used_with_arithmetic(func: &Function) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    visit::walk_fn_stmts(func, &mut |stmt| {
+        visit::walk_stmt_exprs(stmt, &mut |e| match e {
+            Expr::Index(base, idx) => {
+                if let Expr::Var(name) = &**base {
+                    if !matches!(**idx, Expr::Int(0)) {
+                        out.insert(name.clone());
+                    }
+                }
+            }
+            Expr::Binary(op, a, _) if matches!(op, ivy_cmir::BinOp::Add | ivy_cmir::BinOp::Sub) => {
+                if let Expr::Var(name) = &**a {
+                    out.insert(name.clone());
+                }
+            }
+            _ => {}
+        });
+    });
+    out
+}
+
+fn count_annotations(ty: &Type) -> u64 {
+    match ty {
+        Type::Ptr(inner, ann) => u64::from(ann.is_annotated()) + count_annotations(inner),
+        Type::Array(inner, _) => count_annotations(inner),
+        Type::Func(ft) => {
+            count_annotations(&ft.ret) + ft.params.iter().map(count_annotations).sum::<u64>()
+        }
+        _ => 0,
+    }
+}
+
+fn annotation_vars(ty: &Type) -> Vec<String> {
+    match ty {
+        Type::Ptr(inner, ann) => {
+            let mut v = ann.free_vars();
+            v.extend(annotation_vars(inner));
+            v
+        }
+        Type::Array(inner, _) => annotation_vars(inner),
+        Type::Func(ft) => {
+            let mut v = annotation_vars(&ft.ret);
+            for p in &ft.params {
+                v.extend(annotation_vars(p));
+            }
+            v
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// Returns the effective pointer annotation of an expression's type, if the
+/// expression has pointer type.
+pub fn annot_of_type(ty: &Type) -> Option<&PtrAnnot> {
+    ty.ptr_annot()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivy_cmir::parser::parse_program;
+
+    #[test]
+    fn well_formed_annotations_pass() {
+        let src = r#"
+            struct sk_buff { len: u32; data: u8 * count(len); }
+            global n_devices: u32 = 4;
+            global devices: u8 * count(n_devices);
+            fn f(buf: u8 * count(n), n: u32) -> u8 { return buf[0]; }
+        "#;
+        let p = parse_program(src).unwrap();
+        let mut r = ConversionReport::default();
+        let examined = validate_annotations(&p, &mut r);
+        assert!(r.accepted(), "{:?}", r.diagnostics);
+        assert!(examined >= 3);
+    }
+
+    #[test]
+    fn out_of_scope_annotation_rejected() {
+        let src = r#"
+            struct sk_buff { len: u32; data: u8 * count(payload_size); }
+            fn f(buf: u8 * count(m), n: u32) -> u8 { return buf[0]; }
+        "#;
+        let p = parse_program(src).unwrap();
+        let mut r = ConversionReport::default();
+        validate_annotations(&p, &mut r);
+        assert_eq!(r.error_count(), 2);
+    }
+
+    #[test]
+    fn bad_when_tag_rejected() {
+        let src = r#"
+            struct pkt { kind: u32; echo: u32 when(typ == 8); }
+        "#;
+        let p = parse_program(src).unwrap();
+        let mut r = ConversionReport::default();
+        validate_annotations(&p, &mut r);
+        assert_eq!(r.error_count(), 1);
+    }
+
+    #[test]
+    fn defaults_single_vs_auto() {
+        let src = r#"
+            fn only_deref(p: u32 *) -> u32 { return *p; }
+            fn walks(p: u32 *, n: u32) -> u32 {
+                let acc: u32 = 0;
+                let i: u32 = 0;
+                while (i < n) { acc = acc + p[i]; i = i + 1; }
+                return acc;
+            }
+        "#;
+        let mut p = parse_program(src).unwrap();
+        let mut r = ConversionReport::default();
+        let n = infer_defaults(&mut p, &mut r);
+        assert!(n >= 2);
+        let only = &p.function("only_deref").unwrap().params[0].ty;
+        assert_eq!(only.ptr_annot().unwrap().bounds, Bounds::Single);
+        let walks = &p.function("walks").unwrap().params[0].ty;
+        assert_eq!(walks.ptr_annot().unwrap().bounds, Bounds::Auto);
+    }
+
+    #[test]
+    fn trusted_pointers_not_defaulted() {
+        let src = "fn f(p: u32 * trusted) -> u32 { return p[4]; }";
+        let mut p = parse_program(src).unwrap();
+        let mut r = ConversionReport::default();
+        infer_defaults(&mut p, &mut r);
+        let ann = p.function("f").unwrap().params[0].ty.ptr_annot().unwrap().clone();
+        assert!(ann.trusted);
+        assert_eq!(ann.bounds, Bounds::Unknown);
+    }
+
+    #[test]
+    fn inference_is_idempotent() {
+        let src = "fn walks(p: u32 *, n: u32) -> u32 { return p[n]; }";
+        let mut p = parse_program(src).unwrap();
+        let mut r = ConversionReport::default();
+        let first = infer_defaults(&mut p, &mut r);
+        let second = infer_defaults(&mut p, &mut r);
+        assert!(first > 0);
+        assert_eq!(second, 0, "already-annotated pointers must not be touched again");
+    }
+}

@@ -1,0 +1,1128 @@
+//! The synthetic Linux-like kernel corpus, written in KC.
+//!
+//! The corpus substitutes for the stripped-down Linux 2.6.15.5 kernel the
+//! paper converted: it has the same subsystem structure (`kernel/`, `mm/`,
+//! `fs/`, `net/ipv4`, `drivers/`), uses the idioms the three tools exist to
+//! check (annotated counted buffers, unions with tags, slab-style allocation,
+//! spinlocks and IRQ-disabled regions, interrupt handlers, function-pointer
+//! operation tables), and carries a seeded defect population whose ground
+//! truth the experiment harness knows exactly.
+//!
+//! The fixed subsystems are plain KC source strings; the parts whose size is
+//! configurable (drivers, bad-free defect sites, BlockStop false-positive
+//! groups) are generated per index.
+
+/// The extern declarations for every VM builtin the kernel uses, with the
+/// attribute seeds (`allocator`, `blocking`, `blocking_if`) the analyses need.
+pub const PRELUDE: &str = r#"
+// ---- arch/i386-style builtin interface -------------------------------------
+#[allocator] #[blocking_if(flags)]
+extern fn kmalloc(size: u32, flags: u32) -> void *;
+#[deallocator]
+extern fn kfree(p: void *);
+extern fn memcpy(dst: void *, src: void *, n: u32) -> void *;
+extern fn memset(p: void *, c: i32, n: u32) -> void *;
+extern fn memcmp(a: void *, b: void *, n: u32) -> i32;
+extern fn strlen(s: u8 *) -> u32;
+#[blocking]
+extern fn copy_to_user(dst: void *, src: void *, n: u32) -> i32;
+#[blocking]
+extern fn copy_from_user(dst: void *, src: void *, n: u32) -> i32;
+extern fn printk(msg: u8 *);
+extern fn panic(msg: u8 *);
+extern fn spin_lock(l: u32 *);
+extern fn spin_unlock(l: u32 *);
+extern fn spin_lock_irqsave(l: u32 *);
+extern fn spin_unlock_irqrestore(l: u32 *);
+extern fn local_irq_disable();
+extern fn local_irq_enable();
+extern fn in_interrupt() -> i32;
+#[blocking]
+extern fn schedule();
+#[blocking]
+extern fn wait_for_completion(c: u32 *);
+extern fn complete(c: u32 *);
+#[blocking]
+extern fn msleep(ms: u32);
+extern fn udelay(us: u32);
+extern fn syscall_entry();
+extern fn syscall_exit();
+"#;
+
+/// `lib/`: the string/memory helpers the rest of the kernel uses. These are
+/// fully annotated, so Deputy discharges their hot loops statically.
+pub const LIB: &str = r#"
+// ---- lib/string.kc ----------------------------------------------------------
+#[subsystem("lib")]
+fn kmemcpy(dst: u8 * count(n), src: u8 * count(n), n: u32) {
+    let i: u32 = 0;
+    while (i < n) {
+        dst[i] = src[i];
+        i = i + 1;
+    }
+}
+
+#[subsystem("lib")]
+fn kmemset(dst: u8 * count(n), value: u8, n: u32) {
+    let i: u32 = 0;
+    while (i < n) {
+        dst[i] = value;
+        i = i + 1;
+    }
+}
+
+#[subsystem("lib")]
+fn kmemcmp(a: u8 * count(n), b: u8 * count(n), n: u32) -> i32 {
+    let i: u32 = 0;
+    while (i < n) {
+        if (a[i] != b[i]) {
+            if (a[i] < b[i]) { return -1; }
+            return 1;
+        }
+        i = i + 1;
+    }
+    return 0;
+}
+
+#[subsystem("lib")]
+fn kstrnlen(s: u8 * count(cap) nullterm, cap: u32) -> u32 {
+    let i: u32 = 0;
+    while (i < cap) {
+        if (s[i] == 0) { return i; }
+        i = i + 1;
+    }
+    return cap;
+}
+
+#[subsystem("lib")]
+fn checksum32(data: u8 * count(len), len: u32) -> u32 {
+    let acc: u32 = 0;
+    let i: u32 = 0;
+    while (i < len) {
+        acc = acc + (data[i] as u32);
+        i = i + 1;
+    }
+    return acc;
+}
+
+// Low-level port I/O is beyond Deputy's type system: trusted, and counted in
+// the trusted-lines statistics.
+#[subsystem("lib")] #[trusted]
+fn ioread32(port: u32) -> u32 {
+    let p: u32 * = (port as u32 *);
+    return *p;
+}
+
+#[subsystem("lib")] #[trusted]
+fn iowrite32(port: u32, value: u32) {
+    let p: u32 * = (port as u32 *);
+    *p = value;
+}
+"#;
+
+/// `kernel/`: tasks, the run queue, fork/exit, signals, and the scheduler
+/// tick — the substrate for the `lat_proc`, `lat_ctx*`, and `lat_sig`
+/// workloads and for the fork overhead experiment (E4).
+pub const SCHED: &str = r#"
+// ---- kernel/sched.kc --------------------------------------------------------
+struct page_ref {
+    pfn: u32;
+    mapcount: u32;
+}
+
+struct task_struct {
+    pid: u32;
+    state: u32;
+    prio: u32;
+    pending_signals: u32;
+    stack_size: u32;
+    stack: u8 * count(stack_size);
+    mm_pages: struct page_ref *[32];
+    next: struct task_struct *;
+}
+
+global mem_map: struct page_ref[64];
+
+global runqueue: struct task_struct *;
+global current_task: struct task_struct *;
+global task_count: u32 = 0;
+global next_pid: u32 = 2;
+global rq_lock: u32 = 0;
+global ctx_switches: u64 = 0;
+
+#[subsystem("kernel")]
+fn enqueue_task(t: struct task_struct * nonnull) {
+    spin_lock(&rq_lock);
+    t->next = runqueue;
+    runqueue = t;
+    task_count = task_count + 1;
+    spin_unlock(&rq_lock);
+}
+
+#[subsystem("kernel")]
+fn dequeue_task() -> struct task_struct * {
+    spin_lock(&rq_lock);
+    let t: struct task_struct * = runqueue;
+    if (t != null) {
+        runqueue = t->next;
+        t->next = null;
+        task_count = task_count - 1;
+    }
+    spin_unlock(&rq_lock);
+    return t;
+}
+
+#[subsystem("kernel")]
+fn copy_thread(child: struct task_struct * nonnull, parent: struct task_struct *) {
+    if (parent != null) {
+        if (parent->stack != null) {
+            let n: u32 = child->stack_size;
+            if (parent->stack_size < n) { n = parent->stack_size; }
+            kmemcpy(child->stack, parent->stack, n);
+        }
+        child->prio = parent->prio;
+    }
+}
+
+#[subsystem("kernel")]
+fn do_fork(stack_size: u32) -> u32 {
+    let child: struct task_struct * = (kmalloc(sizeof(struct task_struct), 16) as struct task_struct *);
+    if (child == null) { return 0; }
+    child->pid = next_pid;
+    next_pid = next_pid + 1;
+    child->state = 0;
+    child->pending_signals = 0;
+    child->stack_size = stack_size;
+    child->stack = (kmalloc(stack_size, 16) as u8 *);
+    kmemset(child->stack, 0, stack_size);
+    // Populate the child's page table: one reference per mapped page. These
+    // pointer writes are exactly what makes fork expensive under CCount.
+    let pg: u32 = 0;
+    while (pg < 32) {
+        child->mm_pages[pg] = &mem_map[(child->pid + pg) % 64];
+        mem_map[(child->pid + pg) % 64].mapcount = mem_map[(child->pid + pg) % 64].mapcount + 1;
+        pg = pg + 1;
+    }
+    copy_thread(child, current_task);
+    enqueue_task(child);
+    return child->pid;
+}
+
+#[subsystem("kernel")]
+fn do_exit_task(t: struct task_struct * nonnull) {
+    let stack: u8 * = t->stack;
+    t->stack = null;
+    kfree((stack as void *));
+    kfree((t as void *));
+}
+
+#[subsystem("kernel")]
+fn sys_fork() -> u32 {
+    syscall_entry();
+    let pid: u32 = do_fork(512);
+    syscall_exit();
+    return pid;
+}
+
+#[subsystem("kernel")]
+fn sys_exit() {
+    syscall_entry();
+    let t: struct task_struct * = dequeue_task();
+    if (t != null) {
+        do_exit_task(t);
+    }
+    syscall_exit();
+}
+
+#[subsystem("kernel")]
+fn sys_getpid() -> u32 {
+    syscall_entry();
+    let pid: u32 = 1;
+    if (current_task != null) {
+        pid = current_task->pid;
+    }
+    syscall_exit();
+    return pid;
+}
+
+#[subsystem("kernel")]
+fn context_switch() {
+    let next: struct task_struct * = dequeue_task();
+    if (next == null) { return; }
+    let prev: struct task_struct * = current_task;
+    current_task = next;
+    ctx_switches = ctx_switches + 1;
+    if (prev != null) {
+        enqueue_task(prev);
+    }
+}
+
+#[subsystem("kernel")]
+fn send_signal(pid: u32, sig: u32) -> i32 {
+    spin_lock(&rq_lock);
+    let t: struct task_struct * = runqueue;
+    let found: i32 = -3;
+    while (t != null) {
+        if (t->pid == pid) {
+            t->pending_signals = t->pending_signals | (1 << sig);
+            found = 0;
+            t = null;
+        } else {
+            t = t->next;
+        }
+    }
+    spin_unlock(&rq_lock);
+    return found;
+}
+
+#[subsystem("kernel")]
+fn deliver_signals(t: struct task_struct * nonnull) -> u32 {
+    let delivered: u32 = 0;
+    let sig: u32 = 0;
+    while (sig < 32) {
+        if ((t->pending_signals & (1 << sig)) != 0) {
+            delivered = delivered + 1;
+        }
+        sig = sig + 1;
+    }
+    t->pending_signals = 0;
+    return delivered;
+}
+"#;
+
+/// `mm/`: anonymous mappings, a brk-style heap, and the slab-like object
+/// cache front end used by the filesystems.
+pub const MM: &str = r#"
+// ---- mm/mmap.kc -------------------------------------------------------------
+struct vm_area {
+    start: u32;
+    length: u32;
+    pages: u8 * count(length);
+    next: struct vm_area *;
+}
+
+global mm_vma_list: struct vm_area *;
+global mm_mapped_bytes: u64 = 0;
+global mm_lock: u32 = 0;
+
+#[subsystem("mm")]
+fn mmap_region(length: u32) -> struct vm_area * {
+    let vma: struct vm_area * = (kmalloc(sizeof(struct vm_area), 16) as struct vm_area *);
+    if (vma == null) { return null; }
+    vma->length = length;
+    vma->pages = (kmalloc(length, 16) as u8 *);
+    kmemset(vma->pages, 0, length);
+    spin_lock(&mm_lock);
+    vma->start = (mm_mapped_bytes as u32);
+    vma->next = mm_vma_list;
+    mm_vma_list = vma;
+    mm_mapped_bytes = mm_mapped_bytes + (length as u64);
+    spin_unlock(&mm_lock);
+    return vma;
+}
+
+#[subsystem("mm")]
+fn munmap_region(vma: struct vm_area * nonnull) {
+    spin_lock(&mm_lock);
+    if (mm_vma_list == vma) {
+        mm_vma_list = vma->next;
+    }
+    spin_unlock(&mm_lock);
+    let pages: u8 * = vma->pages;
+    vma->pages = null;
+    vma->next = null;
+    kfree((pages as void *));
+    kfree((vma as void *));
+}
+
+#[subsystem("mm")]
+fn mm_touch_pages(vma: struct vm_area * nonnull, stride: u32) -> u32 {
+    let acc: u32 = 0;
+    let i: u32 = 0;
+    while (i < vma->length) {
+        acc = acc + (vma->pages[i] as u32);
+        i = i + stride;
+    }
+    return acc;
+}
+"#;
+
+/// `fs/`: the VFS layer with function-pointer operation tables, an ext2-like
+/// filesystem, procfs, the dcache, and a pipe implementation.
+pub const FS: &str = r#"
+// ---- fs/vfs.kc --------------------------------------------------------------
+struct file_ops {
+    read: fnptr(u32, u8 *, u32) -> i32;
+    write: fnptr(u32, u8 *, u32) -> i32;
+}
+
+struct inode {
+    ino: u32;
+    size: u32;
+    capacity: u32;
+    data: u8 * count(capacity);
+    ops: struct file_ops *;
+    nlink: u32;
+}
+
+struct dentry {
+    node: struct inode *;
+    parent: struct dentry *;
+    hash: u32;
+    next: struct dentry *;
+}
+
+global file_table: struct inode *[128];
+global dcache_head: struct dentry *;
+global vfs_lock: u32 = 0;
+global vfs_files_created: u32 = 0;
+global ext2_ops: struct file_ops;
+global proc_ops: struct file_ops;
+global user_bounce: u8[4096];
+
+#[subsystem("fs")]
+fn ext2_read(ino: u32, buf: u8 *, n: u32) -> i32 {
+    let node: struct inode * = file_table[ino % 128];
+    if (node == null) { return -2; }
+    let len: u32 = n;
+    if (node->size < len) { len = node->size; }
+    copy_to_user((buf as void *), (node->data as void *), len);
+    return (len as i32);
+}
+
+#[subsystem("fs")]
+fn ext2_write(ino: u32, buf: u8 *, n: u32) -> i32 {
+    let node: struct inode * = file_table[ino % 128];
+    if (node == null) { return -2; }
+    let len: u32 = n;
+    if (node->capacity < len) { len = node->capacity; }
+    copy_from_user((node->data as void *), (buf as void *), len);
+    node->size = len;
+    return (len as i32);
+}
+
+#[subsystem("fs")]
+fn proc_read(ino: u32, buf: u8 *, n: u32) -> i32 {
+    // procfs contents are synthesised on the fly.
+    let len: u32 = n;
+    if (len > 64) { len = 64; }
+    let i: u32 = 0;
+    while (i < len) {
+        user_bounce[i % 4096] = ((ino + i) as u8);
+        i = i + 1;
+    }
+    copy_to_user((buf as void *), (&user_bounce[0] as void *), len);
+    return (len as i32);
+}
+
+#[subsystem("fs")]
+fn register_filesystems() {
+    ext2_ops.read = ext2_read;
+    ext2_ops.write = ext2_write;
+    proc_ops.read = proc_read;
+    proc_ops.write = ext2_write;
+}
+
+#[subsystem("fs")]
+fn vfs_create(ino: u32, capacity: u32) -> i32 {
+    let node: struct inode * = (kmalloc(sizeof(struct inode), 16) as struct inode *);
+    if (node == null) { return -12; }
+    node->ino = ino;
+    node->size = 0;
+    node->capacity = capacity;
+    node->data = (kmalloc(capacity, 16) as u8 *);
+    node->ops = &ext2_ops;
+    node->nlink = 1;
+    spin_lock(&vfs_lock);
+    file_table[ino % 128] = node;
+    vfs_files_created = vfs_files_created + 1;
+    spin_unlock(&vfs_lock);
+    return 0;
+}
+
+#[subsystem("fs")]
+fn vfs_unlink(ino: u32) -> i32 {
+    spin_lock(&vfs_lock);
+    let node: struct inode * = file_table[ino % 128];
+    file_table[ino % 128] = null;
+    spin_unlock(&vfs_lock);
+    if (node == null) { return -2; }
+    let data: u8 * = node->data;
+    node->data = null;
+    node->ops = null;
+    kfree((data as void *));
+    kfree((node as void *));
+    return 0;
+}
+
+#[subsystem("fs")]
+fn vfs_read(ino: u32, buf: u8 *, n: u32) -> i32 {
+    syscall_entry();
+    let node: struct inode * = file_table[ino % 128];
+    if (node == null) {
+        syscall_exit();
+        return -2;
+    }
+    let ops: struct file_ops * = node->ops;
+    let r: i32 = ops->read(ino, buf, n);
+    syscall_exit();
+    return r;
+}
+
+#[subsystem("fs")]
+fn vfs_write(ino: u32, buf: u8 *, n: u32) -> i32 {
+    syscall_entry();
+    let node: struct inode * = file_table[ino % 128];
+    if (node == null) {
+        syscall_exit();
+        return -2;
+    }
+    let ops: struct file_ops * = node->ops;
+    let r: i32 = ops->write(ino, buf, n);
+    syscall_exit();
+    return r;
+}
+
+#[subsystem("fs")]
+fn dcache_insert(node: struct inode * nonnull, hash: u32) -> struct dentry * {
+    let d: struct dentry * = (kmalloc(sizeof(struct dentry), 16) as struct dentry *);
+    if (d == null) { return null; }
+    d->node = node;
+    d->hash = hash;
+    d->parent = null;
+    spin_lock(&vfs_lock);
+    d->next = dcache_head;
+    dcache_head = d;
+    spin_unlock(&vfs_lock);
+    return d;
+}
+
+#[subsystem("fs")]
+fn dcache_lookup(hash: u32) -> struct dentry * {
+    spin_lock(&vfs_lock);
+    let d: struct dentry * = dcache_head;
+    let found: struct dentry * = null;
+    while (d != null) {
+        if (d->hash == hash) {
+            found = d;
+            d = null;
+        } else {
+            d = d->next;
+        }
+    }
+    spin_unlock(&vfs_lock);
+    return found;
+}
+
+#[subsystem("fs")]
+fn dcache_prune() -> u32 {
+    // Tear the whole chain down; the nodes reference each other, so the
+    // frees happen inside a delayed-free scope.
+    let pruned: u32 = 0;
+    spin_lock(&vfs_lock);
+    let d: struct dentry * = dcache_head;
+    dcache_head = null;
+    spin_unlock(&vfs_lock);
+    delayed_free {
+        while (d != null) {
+            let next: struct dentry * = d->next;
+            d->next = null;
+            d->node = null;
+            d->parent = null;
+            kfree((d as void *));
+            d = next;
+            pruned = pruned + 1;
+        }
+    }
+    return pruned;
+}
+
+// ---- fs/pipe.kc -------------------------------------------------------------
+struct pipe_buffer {
+    capacity: u32;
+    data: u8 * count(capacity);
+    head: u32;
+    tail: u32;
+}
+
+global the_pipe: struct pipe_buffer;
+global pipe_lock: u32 = 0;
+
+#[subsystem("fs")]
+fn pipe_init(capacity: u32) {
+    the_pipe.capacity = capacity;
+    the_pipe.data = (kmalloc(capacity, 16) as u8 *);
+    the_pipe.head = 0;
+    the_pipe.tail = 0;
+}
+
+#[subsystem("fs")]
+fn pipe_write(src: u8 * count(n), n: u32) -> i32 {
+    spin_lock(&pipe_lock);
+    let i: u32 = 0;
+    while (i < n) {
+        the_pipe.data[(the_pipe.head + i) % the_pipe.capacity] = src[i];
+        i = i + 1;
+    }
+    the_pipe.head = the_pipe.head + n;
+    spin_unlock(&pipe_lock);
+    return (n as i32);
+}
+
+#[subsystem("fs")]
+fn pipe_read(dst: u8 * count(n), n: u32) -> i32 {
+    spin_lock(&pipe_lock);
+    let avail: u32 = the_pipe.head - the_pipe.tail;
+    let len: u32 = n;
+    if (avail < len) { len = avail; }
+    let i: u32 = 0;
+    while (i < len) {
+        dst[i] = the_pipe.data[(the_pipe.tail + i) % the_pipe.capacity];
+        i = i + 1;
+    }
+    the_pipe.tail = the_pipe.tail + len;
+    spin_unlock(&pipe_lock);
+    return (len as i32);
+}
+"#;
+
+/// `net/`: sk_buffs, the device-independent receive queue, an IPv4-ish layer
+/// with checksums, and UDP/TCP send/receive paths. The `icmp_packet` struct
+/// exercises Deputy's tagged-union checking.
+pub const NET: &str = r#"
+// ---- net/core.kc ------------------------------------------------------------
+struct sk_buff {
+    len: u32;
+    capacity: u32;
+    data: u8 * count(capacity);
+    protocol: u32;
+    next: struct sk_buff *;
+}
+
+struct icmp_packet {
+    kind: u32;
+    echo_id: u32 when(kind == 8);
+    unreach_code: u32 when(kind == 3);
+    payload_len: u32;
+}
+
+global rx_queue_head: struct sk_buff *;
+global rx_queue_len: u32 = 0;
+global net_lock: u32 = 0;
+global net_rx_packets: u64 = 0;
+global net_tx_packets: u64 = 0;
+global net_rx_bytes: u64 = 0;
+global udp_reply_pending: u32 = 0;
+global tcp_connections: u32 = 0;
+global kernel_net_buf: u8[4096];
+
+#[subsystem("net/ipv4")]
+fn skb_alloc(capacity: u32) -> struct sk_buff * {
+    let skb: struct sk_buff * = (kmalloc(sizeof(struct sk_buff), 16) as struct sk_buff *);
+    if (skb == null) { return null; }
+    skb->capacity = capacity;
+    skb->len = 0;
+    skb->protocol = 0;
+    skb->next = null;
+    skb->data = (kmalloc(capacity, 16) as u8 *);
+    return skb;
+}
+
+#[subsystem("net/ipv4")]
+fn skb_free(skb: struct sk_buff * nonnull) {
+    let data: u8 * = skb->data;
+    skb->data = null;
+    skb->next = null;
+    kfree((data as void *));
+    kfree((skb as void *));
+}
+
+#[subsystem("net/ipv4")]
+fn skb_put(skb: struct sk_buff * nonnull, src: u8 * count(n), n: u32) -> i32 {
+    if (skb->len + n > skb->capacity) { return -90; }
+    let i: u32 = 0;
+    while (i < n) {
+        skb->data[skb->len + i] = src[i];
+        i = i + 1;
+    }
+    skb->len = skb->len + n;
+    return 0;
+}
+
+#[subsystem("net/ipv4")]
+fn netif_rx(skb: struct sk_buff * nonnull) {
+    spin_lock_irqsave(&net_lock);
+    skb->next = rx_queue_head;
+    rx_queue_head = skb;
+    rx_queue_len = rx_queue_len + 1;
+    net_rx_packets = net_rx_packets + 1;
+    net_rx_bytes = net_rx_bytes + (skb->len as u64);
+    spin_unlock_irqrestore(&net_lock);
+}
+
+#[subsystem("net/ipv4")]
+fn net_rx_dequeue() -> struct sk_buff * {
+    spin_lock_irqsave(&net_lock);
+    let skb: struct sk_buff * = rx_queue_head;
+    if (skb != null) {
+        rx_queue_head = skb->next;
+        skb->next = null;
+        rx_queue_len = rx_queue_len - 1;
+    }
+    spin_unlock_irqrestore(&net_lock);
+    return skb;
+}
+
+#[subsystem("net/ipv4")]
+fn ip_fast_csum(data: u8 * count(len), len: u32) -> u32 {
+    let acc: u32 = 0;
+    let i: u32 = 0;
+    while (i < len) {
+        acc = acc + (data[i] as u32);
+        i = i + 1;
+    }
+    return (~acc) & 65535;
+}
+
+#[subsystem("net/ipv4")]
+fn ip_build_header(skb: struct sk_buff * nonnull, proto: u32, payload_len: u32) {
+    let header: u8[20];
+    let i: u32 = 0;
+    while (i < 20) {
+        header[i] = 0;
+        i = i + 1;
+    }
+    header[0] = 69;
+    header[9] = (proto as u8);
+    header[2] = ((payload_len >> 8) as u8);
+    header[3] = (payload_len as u8);
+    let csum: u32 = ip_fast_csum(&header[0], 20);
+    header[10] = ((csum >> 8) as u8);
+    header[11] = (csum as u8);
+    skb_put(skb, &header[0], 20);
+    skb->protocol = proto;
+}
+
+#[subsystem("net/ipv4")]
+fn ip_output(payload: u8 * count(len), len: u32, proto: u32) -> i32 {
+    let skb: struct sk_buff * = skb_alloc(len + 20);
+    if (skb == null) { return -12; }
+    ip_build_header(skb, proto, len);
+    skb_put(skb, payload, len);
+    let csum: u32 = ip_fast_csum(skb->data, skb->len);
+    if (csum == 4294967295) { printk("impossible checksum"); }
+    netif_rx(skb);
+    net_tx_packets = net_tx_packets + 1;
+    return 0;
+}
+
+#[subsystem("net/ipv4")]
+fn net_rx_process_one() -> u32 {
+    let skb: struct sk_buff * = net_rx_dequeue();
+    if (skb == null) { return 0; }
+    let csum: u32 = ip_fast_csum(skb->data, skb->len);
+    let consumed: u32 = skb->len;
+    if (csum == 4294967294) { printk("impossible checksum"); }
+    skb_free(skb);
+    return consumed;
+}
+
+#[subsystem("net/ipv4")]
+fn udp_sendmsg(user_buf: u8 * count(len), len: u32) -> i32 {
+    syscall_entry();
+    let n: u32 = len;
+    if (n > 4096) { n = 4096; }
+    copy_from_user((&kernel_net_buf[0] as void *), (user_buf as void *), n);
+    let r: i32 = ip_output(&kernel_net_buf[0], n, 17);
+    udp_reply_pending = udp_reply_pending + 1;
+    syscall_exit();
+    return r;
+}
+
+#[subsystem("net/ipv4")]
+fn udp_recvmsg(user_buf: u8 * count(len), len: u32) -> i32 {
+    syscall_entry();
+    let consumed: u32 = net_rx_process_one();
+    let n: u32 = len;
+    if (consumed < n) { n = consumed; }
+    if (n > 0) {
+        copy_to_user((user_buf as void *), (&kernel_net_buf[0] as void *), n);
+    }
+    if (udp_reply_pending > 0) {
+        udp_reply_pending = udp_reply_pending - 1;
+    }
+    syscall_exit();
+    return (n as i32);
+}
+
+#[subsystem("net/ipv4")]
+fn tcp_connect() -> i32 {
+    syscall_entry();
+    // Three-way handshake: SYN, SYN-ACK, ACK as tiny packets.
+    let syn: u8[4];
+    syn[0] = 2;
+    ip_output(&syn[0], 4, 6);
+    net_rx_process_one();
+    ip_output(&syn[0], 4, 6);
+    net_rx_process_one();
+    tcp_connections = tcp_connections + 1;
+    syscall_exit();
+    return 0;
+}
+
+#[subsystem("net/ipv4")]
+fn tcp_sendmsg(user_buf: u8 * count(len), len: u32) -> i32 {
+    syscall_entry();
+    let sent: u32 = 0;
+    while (sent < len) {
+        let chunk: u32 = len - sent;
+        if (chunk > 1460) { chunk = 1460; }
+        if (chunk > 4096) { chunk = 4096; }
+        copy_from_user((&kernel_net_buf[0] as void *), ((user_buf + sent) as void *), chunk);
+        ip_output(&kernel_net_buf[0], chunk, 6);
+        net_rx_process_one();
+        sent = sent + chunk;
+    }
+    syscall_exit();
+    return (sent as i32);
+}
+
+#[subsystem("net/ipv4")]
+fn icmp_classify(pkt: struct icmp_packet * nonnull) -> u32 {
+    if (pkt->kind == 8) {
+        return pkt->echo_id;
+    }
+    if (pkt->kind == 3) {
+        return pkt->unreach_code;
+    }
+    return 0;
+}
+"#;
+
+/// `kernel/module.kc`: the module loader used by the module-loading overhead
+/// experiment (E4).
+pub const MODULE: &str = r#"
+// ---- kernel/module.kc -------------------------------------------------------
+struct module {
+    id: u32;
+    text_size: u32;
+    text: u8 * count(text_size);
+    relocations: u32;
+    next: struct module *;
+}
+
+global module_list: struct module *;
+global module_count: u32 = 0;
+global module_lock: u32 = 0;
+
+#[subsystem("kernel")]
+fn load_module(id: u32, text_size: u32) -> i32 {
+    let m: struct module * = (kmalloc(sizeof(struct module), 16) as struct module *);
+    if (m == null) { return -12; }
+    m->id = id;
+    m->text_size = text_size;
+    m->text = (kmalloc(text_size, 16) as u8 *);
+    // "Relocate" the module text: touch every 16th byte.
+    let off: u32 = 0;
+    let relocs: u32 = 0;
+    while (off < text_size) {
+        m->text[off] = ((id + off) as u8);
+        relocs = relocs + 1;
+        off = off + 16;
+    }
+    m->relocations = relocs;
+    spin_lock(&module_lock);
+    m->next = module_list;
+    module_list = m;
+    module_count = module_count + 1;
+    spin_unlock(&module_lock);
+    return 0;
+}
+
+#[subsystem("kernel")]
+fn unload_module() -> i32 {
+    spin_lock(&module_lock);
+    let m: struct module * = module_list;
+    if (m != null) {
+        module_list = m->next;
+        module_count = module_count - 1;
+    }
+    spin_unlock(&module_lock);
+    if (m == null) { return -2; }
+    let text: u8 * = m->text;
+    m->text = null;
+    m->next = null;
+    kfree((text as void *));
+    kfree((m as void *));
+    return 0;
+}
+"#;
+
+/// Generates one synthetic ethernet-style driver. Driver 0 contains the
+/// seeded real blocking bug (a `GFP_WAIT` allocation inside an IRQ-disabled
+/// spinlock region); every driver has an interrupt handler and a transmit
+/// path.
+pub fn driver_source(index: usize) -> String {
+    let reset_body = if index == 0 {
+        // REAL BUG 1: sleeping allocation while holding the device lock with
+        // interrupts disabled.
+        "    spin_lock_irqsave(&dev->lock);\n     let shadow: void * = kmalloc(dev->ring_size, 16);\n     if (shadow != null) { kfree(shadow); }\n     spin_unlock_irqrestore(&dev->lock);"
+            .to_string()
+    } else {
+        "    spin_lock_irqsave(&dev->lock);\n     kmemset(dev->ring, 0, dev->ring_size);\n     spin_unlock_irqrestore(&dev->lock);"
+            .to_string()
+    };
+    format!(
+        r#"
+// ---- drivers/eth{index}.kc --------------------------------------------------
+struct eth_dev_{index} {{
+    id: u32;
+    lock: u32;
+    irq_count: u32;
+    ring_size: u32;
+    ring: u8 * count(ring_size);
+    tx_packets: u32;
+}}
+
+global eth{index}_dev: struct eth_dev_{index} *;
+
+#[subsystem("drivers/eth{index}")]
+fn eth{index}_probe() -> i32 {{
+    let dev: struct eth_dev_{index} * = (kmalloc(sizeof(struct eth_dev_{index}), 16) as struct eth_dev_{index} *);
+    if (dev == null) {{ return -12; }}
+    dev->id = {index};
+    dev->lock = 0;
+    dev->irq_count = 0;
+    dev->ring_size = 256;
+    dev->ring = (kmalloc(256, 16) as u8 *);
+    kmemset(dev->ring, 0, 256);
+    eth{index}_dev = dev;
+    return 0;
+}}
+
+#[irq_handler] #[subsystem("drivers/eth{index}")]
+fn eth{index}_interrupt() {{
+    let dev: struct eth_dev_{index} * = eth{index}_dev;
+    if (dev == null) {{ return; }}
+    dev->irq_count = dev->irq_count + 1;
+    // Acknowledge the device and stamp the ring without sleeping; the actual
+    // skb work happens later in process context (NAPI-style).
+    let i: u32 = 0;
+    while (i < 16) {{
+        dev->ring[i] = ((dev->irq_count + i) as u8);
+        i = i + 1;
+    }}
+}}
+
+#[subsystem("drivers/eth{index}")]
+fn eth{index}_xmit(payload: u8 * count(len), len: u32) -> i32 {{
+    let dev: struct eth_dev_{index} * = eth{index}_dev;
+    if (dev == null) {{ return -19; }}
+    let n: u32 = len;
+    if (n > dev->ring_size) {{ n = dev->ring_size; }}
+    spin_lock(&dev->lock);
+    kmemcpy(dev->ring, payload, n);
+    dev->tx_packets = dev->tx_packets + 1;
+    spin_unlock(&dev->lock);
+    return ip_output(payload, n, 6);
+}}
+
+#[subsystem("drivers/eth{index}")]
+fn eth{index}_reset() {{
+    let dev: struct eth_dev_{index} * = eth{index}_dev;
+    if (dev == null) {{ return; }}
+{reset_body}
+}}
+
+#[subsystem("drivers/eth{index}")]
+fn eth{index}_remove() {{
+    let dev: struct eth_dev_{index} * = eth{index}_dev;
+    if (dev == null) {{ return; }}
+    eth{index}_dev = null;
+    let ring: u8 * = dev->ring;
+    dev->ring = null;
+    kfree((ring as void *));
+    kfree((dev as void *));
+}}
+"#
+    )
+}
+
+/// The watchdog driver containing the second seeded real blocking bug: its
+/// interrupt handler calls a helper that sleeps.
+pub const WATCHDOG: &str = r#"
+// ---- drivers/watchdog.kc ----------------------------------------------------
+global watchdog_ticks: u32 = 0;
+global watchdog_completion: u32 = 0;
+
+#[subsystem("drivers/watchdog")]
+fn watchdog_sync() {
+    // Waits for the hardware to acknowledge the ping.
+    msleep(1);
+    complete(&watchdog_completion);
+}
+
+// REAL BUG 2: the interrupt handler reaches a sleeping helper.
+#[irq_handler] #[subsystem("drivers/watchdog")]
+fn watchdog_tick() {
+    watchdog_ticks = watchdog_ticks + 1;
+    if ((watchdog_ticks % 8) == 0) {
+        watchdog_sync();
+    }
+}
+"#;
+
+/// Generates one BlockStop false-positive group.
+///
+/// Each group has an operations table type with a `submit` function pointer,
+/// a blocking implementation (used only from process context) and a fast
+/// implementation (used from the polling path). Because the points-to
+/// analysis is field-based rather than object-sensitive, the polling path —
+/// which runs under a spinlock — appears to be able to call the blocking
+/// implementation, yielding a false positive that is silenced by a run-time
+/// assertion on `blk{index}_submit_wait`.
+pub fn fp_group_source(index: usize) -> String {
+    format!(
+        r#"
+// ---- drivers/blk{index}.kc --------------------------------------------------
+struct blk{index}_ops {{
+    submit: fnptr(u32) -> i32;
+}}
+
+global blk{index}_sync_ops: struct blk{index}_ops;
+global blk{index}_poll_ops: struct blk{index}_ops;
+global blk{index}_lock: u32 = 0;
+global blk{index}_done: u32 = 0;
+global blk{index}_completed: u32 = 0;
+
+#[subsystem("drivers/blk{index}")]
+fn blk{index}_submit_wait(sector: u32) -> i32 {{
+    // Process-context submission: sleeps until the controller finishes.
+    wait_for_completion(&blk{index}_done);
+    blk{index}_completed = blk{index}_completed + sector;
+    return 0;
+}}
+
+#[subsystem("drivers/blk{index}")]
+fn blk{index}_submit_fast(sector: u32) -> i32 {{
+    // Polling-mode submission: pure MMIO, never sleeps.
+    iowrite32(4096 + {index}, sector);
+    blk{index}_completed = blk{index}_completed + 1;
+    return 0;
+}}
+
+#[subsystem("drivers/blk{index}")]
+fn blk{index}_register() {{
+    blk{index}_sync_ops.submit = blk{index}_submit_wait;
+    blk{index}_poll_ops.submit = blk{index}_submit_fast;
+}}
+
+#[subsystem("drivers/blk{index}")]
+fn blk{index}_process_io(sector: u32) -> i32 {{
+    // Process context: free to sleep.
+    return blk{index}_sync_ops.submit(sector);
+}}
+
+#[subsystem("drivers/blk{index}")]
+fn blk{index}_poll(sector: u32) -> i32 {{
+    // Called with the queue lock held; only the fast implementation is ever
+    // installed in `poll_ops`, but a field-based points-to analysis cannot
+    // tell the two tables apart (the paper's false-positive scenario).
+    spin_lock(&blk{index}_lock);
+    let r: i32 = blk{index}_poll_ops.submit(sector);
+    spin_unlock(&blk{index}_lock);
+    return r;
+}}
+"#
+    )
+}
+
+/// Generates one bad-free defect site fixed by nulling a cache pointer.
+///
+/// The object is registered in two places (a lookup list and a fast-path
+/// cache); the release path clears only the list, so the free fails its
+/// reference-count check until the fix nulls the cache slot too.
+pub fn cache_defect_source(index: usize) -> String {
+    format!(
+        r#"
+// ---- fs/cache{index}.kc -----------------------------------------------------
+struct cached_obj_{index} {{
+    id: u32;
+    refs: u32;
+    blob: u8 *;
+}}
+
+global objlist_{index}: struct cached_obj_{index} *;
+global objcache_{index}: struct cached_obj_{index} *;
+
+#[subsystem("fs/cache")]
+fn cache{index}_register() -> i32 {{
+    let o: struct cached_obj_{index} * = (kmalloc(sizeof(struct cached_obj_{index}), 16) as struct cached_obj_{index} *);
+    if (o == null) {{ return -12; }}
+    o->id = {index};
+    o->blob = (kmalloc(32, 16) as u8 *);
+    objlist_{index} = o;
+    objcache_{index} = o;
+    return 0;
+}}
+
+#[subsystem("fs/cache")]
+fn cache{index}_release() {{
+    let victim: struct cached_obj_{index} * = objlist_{index};
+    if (victim == null) {{ return; }}
+    objlist_{index} = null;
+    let blob: u8 * = victim->blob;
+    victim->blob = null;
+    kfree((blob as void *));
+    // BUG: objcache_{index} still references the object being freed.
+    kfree((victim as void *));
+}}
+"#
+    )
+}
+
+/// Generates one bad-free defect site fixed by a delayed-free scope: a
+/// two-node ring whose nodes reference each other during teardown.
+pub fn ring_defect_source(index: usize) -> String {
+    format!(
+        r#"
+// ---- drivers/ring{index}.kc -------------------------------------------------
+struct ring_node_{index} {{
+    seq: u32;
+    peer: struct ring_node_{index} *;
+}}
+
+global ring{index}_a: struct ring_node_{index} *;
+global ring{index}_b: struct ring_node_{index} *;
+
+#[subsystem("drivers/ring")]
+fn ring{index}_setup() -> i32 {{
+    let a: struct ring_node_{index} * = (kmalloc(sizeof(struct ring_node_{index}), 16) as struct ring_node_{index} *);
+    let b: struct ring_node_{index} * = (kmalloc(sizeof(struct ring_node_{index}), 16) as struct ring_node_{index} *);
+    if (a == null || b == null) {{ return -12; }}
+    a->seq = {index};
+    b->seq = {index} + 1;
+    a->peer = b;
+    b->peer = a;
+    ring{index}_a = a;
+    ring{index}_b = b;
+    return 0;
+}}
+
+#[subsystem("drivers/ring")]
+fn ring{index}_teardown() {{
+    let a: struct ring_node_{index} * = ring{index}_a;
+    let b: struct ring_node_{index} * = ring{index}_b;
+    if (a == null || b == null) {{ return; }}
+    ring{index}_a = null;
+    ring{index}_b = null;
+    // BUG: each node still references its peer when it is freed; the fix is
+    // to delay the frees (and their checks) to the end of the teardown.
+    kfree((a as void *));
+    a = null;
+    b->peer = null;
+    kfree((b as void *));
+}}
+"#
+    )
+}

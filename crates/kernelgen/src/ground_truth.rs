@@ -1,0 +1,113 @@
+//! Ground truth about the defects seeded into the synthetic kernel.
+//!
+//! The corpus generator knows exactly which defects it planted; the
+//! experiment harness uses this to classify tool findings (real bug vs.
+//! false positive) and to build the fix plans that make the kernel pass its
+//! checks, mirroring the manual debugging work described in §2.2 and §2.3.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A seeded blocking-while-atomic bug (the ground truth for experiment E5).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockingBug {
+    /// Function that makes the offending call in atomic context.
+    pub caller: String,
+    /// The blocking function (or allocator) being called.
+    pub callee: String,
+    /// Short description of the scenario.
+    pub description: String,
+}
+
+/// A seeded bad-free defect and the source-level fix that resolves it
+/// (the ground truth for experiment E3).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BadFreeDefect {
+    /// Function performing the premature free.
+    pub function: String,
+    /// The fix: either null out this lvalue before the free, or `None` if
+    /// the fix is a delayed-free scope on the whole function.
+    pub null_lvalue: Option<String>,
+    /// True if the fix is to wrap the function in a delayed-free scope.
+    pub needs_delayed_scope: bool,
+}
+
+/// Everything the generator knows about the corpus it produced.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// The real blocking-while-atomic bugs (the paper found 2).
+    pub blocking_bugs: Vec<BlockingBug>,
+    /// Functions that BlockStop will flag only because of conservative
+    /// function-pointer resolution; inserting a run-time assertion at their
+    /// entry silences the false positive (the paper needed 15).
+    pub false_positive_asserts: BTreeSet<String>,
+    /// Seeded bad-free defects and their fixes (27 pointer-nulling + 26
+    /// delayed-free-scope fixes in the paper).
+    pub bad_free_defects: Vec<BadFreeDefect>,
+    /// Functions deliberately marked `#[trusted]`.
+    pub trusted_functions: BTreeSet<String>,
+}
+
+impl GroundTruth {
+    /// The null-out fixes, as (function, lvalue) pairs.
+    pub fn null_fixes(&self) -> Vec<(String, String)> {
+        self.bad_free_defects
+            .iter()
+            .filter_map(|d| d.null_lvalue.clone().map(|l| (d.function.clone(), l)))
+            .collect()
+    }
+
+    /// Functions whose fix is a delayed-free scope.
+    pub fn delayed_free_functions(&self) -> Vec<String> {
+        self.bad_free_defects
+            .iter()
+            .filter(|d| d.needs_delayed_scope)
+            .map(|d| d.function.clone())
+            .collect()
+    }
+
+    /// Functions that the seeded blocking bugs implicate (for classifying
+    /// BlockStop findings).
+    pub fn blocking_bug_callers(&self) -> BTreeSet<String> {
+        self.blocking_bugs.iter().map(|b| b.caller.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fix_extraction() {
+        let gt = GroundTruth {
+            bad_free_defects: vec![
+                BadFreeDefect {
+                    function: "e1000_remove".into(),
+                    null_lvalue: Some("adapter_cache".into()),
+                    needs_delayed_scope: false,
+                },
+                BadFreeDefect {
+                    function: "dentry_kill".into(),
+                    null_lvalue: None,
+                    needs_delayed_scope: true,
+                },
+            ],
+            ..GroundTruth::default()
+        };
+        assert_eq!(gt.null_fixes().len(), 1);
+        assert_eq!(gt.delayed_free_functions(), vec!["dentry_kill".to_string()]);
+    }
+
+    #[test]
+    fn blocking_callers() {
+        let gt = GroundTruth {
+            blocking_bugs: vec![BlockingBug {
+                caller: "rtl_poll".into(),
+                callee: "kmalloc".into(),
+                description: "GFP_WAIT under spinlock".into(),
+            }],
+            ..GroundTruth::default()
+        };
+        assert!(gt.blocking_bug_callers().contains("rtl_poll"));
+    }
+}

@@ -1,0 +1,417 @@
+//! `ivy-kernelgen` — the synthetic Linux-like kernel corpus and its workloads.
+//!
+//! The paper evaluates its tools on a stripped-down Linux 2.6.15.5 kernel
+//! (443 kLoC) booted in VMware and exercised with hbench. This crate builds
+//! the stand-in: a deterministic KC kernel with the same subsystem structure
+//! and the same idioms the tools target, a seeded defect population whose
+//! ground truth is known exactly, and workload entry points for every
+//! experiment:
+//!
+//! * [`corpus`] — the KC sources: `lib/`, `kernel/` (scheduler, fork,
+//!   signals, modules), `mm/`, `fs/` (VFS + ext2-like + procfs + dcache +
+//!   pipes), `net/ipv4`, and generated `drivers/*` including the two seeded
+//!   blocking bugs, the BlockStop false-positive groups, and the bad-free
+//!   defect sites.
+//! * [`workloads`] — the 21 hbench benchmarks of Table 1, the fork and
+//!   module-loading workloads of E4, and the boot / light-use phases of E3.
+//! * [`ground_truth`] — exactly which defects were planted and how each is
+//!   fixed, so the experiment harness can classify tool findings.
+//!
+//! # Examples
+//!
+//! ```
+//! use ivy_kernelgen::{KernelConfig, KernelBuild};
+//!
+//! let build = KernelBuild::generate(&KernelConfig::small());
+//! assert!(build.program.functions.len() > 80);
+//! assert_eq!(build.ground_truth.blocking_bugs.len(), 2);
+//! assert!(ivy_cmir::typecheck::validate_program(&build.program).is_ok());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod ground_truth;
+pub mod workloads;
+
+pub use ground_truth::{BadFreeDefect, BlockingBug, GroundTruth};
+pub use workloads::{
+    boot_workload, fork_workload, hbench_suite, light_use_workload, module_load_workload,
+    Category, Workload,
+};
+
+use ivy_cmir::parser::parse_program;
+use ivy_cmir::pretty::pretty_program;
+use ivy_cmir::Program;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Size and content knobs for the generated kernel.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelConfig {
+    /// Seed for the deterministic size/parameter choices baked into the
+    /// corpus (boot file sizes, module sizes, ...).
+    pub seed: u64,
+    /// Number of synthetic ethernet drivers.
+    pub drivers: usize,
+    /// Number of BlockStop false-positive groups (each silenced by one
+    /// run-time assertion; the paper needed 15).
+    pub fp_groups: usize,
+    /// Number of bad-free defects fixed by nulling a cache pointer
+    /// (the paper fixed 27).
+    pub cache_defects: usize,
+    /// Number of bad-free defects fixed by a delayed-free scope
+    /// (the paper added 26).
+    pub ring_defects: usize,
+    /// Number of boot cycles performed by `kernel_boot` (each cycle forks,
+    /// creates/writes/reads/unlinks files, sends packets, loads a module,
+    /// and maps/unmaps memory).
+    pub boot_cycles: u32,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig {
+            seed: 42,
+            drivers: 4,
+            fp_groups: 15,
+            cache_defects: 27,
+            ring_defects: 26,
+            boot_cycles: 48,
+        }
+    }
+}
+
+impl KernelConfig {
+    /// A paper-shaped configuration (defaults).
+    pub fn paper() -> Self {
+        KernelConfig::default()
+    }
+
+    /// A reduced configuration for fast unit tests.
+    pub fn small() -> Self {
+        KernelConfig {
+            seed: 7,
+            drivers: 2,
+            fp_groups: 3,
+            cache_defects: 4,
+            ring_defects: 3,
+            boot_cycles: 8,
+        }
+    }
+}
+
+/// A generated kernel: the program, its ground truth, and the configuration
+/// that produced it.
+#[derive(Debug, Clone)]
+pub struct KernelBuild {
+    /// The whole-kernel KC program (annotated but not yet deputized).
+    pub program: Program,
+    /// Ground truth about the seeded defects.
+    pub ground_truth: GroundTruth,
+    /// The configuration used.
+    pub config: KernelConfig,
+}
+
+impl KernelBuild {
+    /// Generates the kernel for a configuration. Panics only if the generator
+    /// itself emits syntactically invalid KC (covered by tests).
+    pub fn generate(config: &KernelConfig) -> KernelBuild {
+        let source = kernel_source(config);
+        let program = parse_program(&source)
+            .unwrap_or_else(|e| panic!("generated kernel does not parse: {e}"));
+        let ground_truth = build_ground_truth(config);
+        KernelBuild { program, ground_truth, config: config.clone() }
+    }
+
+    /// The concatenated KC source of the kernel (useful for inspection and
+    /// for the line-count statistics).
+    pub fn source(&self) -> String {
+        pretty_program(&self.program)
+    }
+
+    /// Number of source lines of the kernel (pretty-printed form).
+    pub fn line_count(&self) -> usize {
+        self.source().lines().count()
+    }
+
+    /// The functions that should receive BlockStop run-time assertions to
+    /// silence the corpus's false positives.
+    pub fn asserted_functions(&self) -> BTreeSet<String> {
+        self.ground_truth.false_positive_asserts.clone()
+    }
+}
+
+/// Produces the full KC source for a configuration.
+pub fn kernel_source(config: &KernelConfig) -> String {
+    let mut src = String::with_capacity(256 * 1024);
+    src.push_str(corpus::PRELUDE);
+    src.push_str(corpus::LIB);
+    src.push_str(corpus::SCHED);
+    src.push_str(corpus::MM);
+    src.push_str(corpus::FS);
+    src.push_str(corpus::NET);
+    src.push_str(corpus::MODULE);
+    src.push_str(corpus::WATCHDOG);
+    for i in 0..config.drivers {
+        src.push_str(&corpus::driver_source(i));
+    }
+    for i in 0..config.fp_groups {
+        src.push_str(&corpus::fp_group_source(i));
+    }
+    for i in 0..config.cache_defects {
+        src.push_str(&corpus::cache_defect_source(i));
+    }
+    for i in 0..config.ring_defects {
+        src.push_str(&corpus::ring_defect_source(i));
+    }
+    src.push_str(&boot_source(config));
+    src.push_str(workloads::WORKLOAD_SOURCE);
+    src
+}
+
+/// Generates `init/main.kc`: the boot sequence and the light-use phase.
+fn boot_source(config: &KernelConfig) -> String {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let table_len = 16usize;
+    let sizes: Vec<u32> = (0..table_len).map(|_| rng.gen_range(64..1024u32)).collect();
+    let sizes_init: String = sizes
+        .iter()
+        .enumerate()
+        .map(|(i, s)| format!("    boot_sizes[{i}] = {s};\n"))
+        .collect();
+
+    let mut out = String::new();
+    out.push_str("\n// ---- init/main.kc ----------------------------------------------------------\n");
+    out.push_str(&format!("global boot_sizes: u32[{table_len}];\n"));
+    out.push_str("global boot_completed: u32 = 0;\n\n");
+
+    // Registration of every generated component.
+    out.push_str("#[subsystem(\"init\")]\nfn boot_register_all() {\n");
+    out.push_str(&sizes_init);
+    out.push_str("    register_filesystems();\n    pipe_init(8192);\n");
+    for i in 0..config.fp_groups {
+        out.push_str(&format!("    blk{i}_register();\n"));
+    }
+    for i in 0..config.drivers {
+        out.push_str(&format!("    eth{i}_probe();\n"));
+    }
+    out.push_str("}\n\n");
+
+    // Defect exercising: registration + release of every defect site.
+    out.push_str("#[subsystem(\"init\")]\nfn boot_exercise_caches() {\n");
+    for i in 0..config.cache_defects {
+        out.push_str(&format!("    cache{i}_register();\n    cache{i}_release();\n"));
+    }
+    for i in 0..config.ring_defects {
+        out.push_str(&format!("    ring{i}_setup();\n    ring{i}_teardown();\n"));
+    }
+    out.push_str("}\n\n");
+
+    // Driver teardown (including the reset path with the seeded bug).
+    out.push_str("#[subsystem(\"init\")]\nfn boot_teardown_drivers() {\n");
+    for i in 0..config.drivers {
+        out.push_str(&format!("    eth{i}_reset();\n    eth{i}_remove();\n"));
+    }
+    out.push_str("}\n\n");
+
+    // Process-context block-device traffic (exercises the blocking submit
+    // implementations from a legal context).
+    out.push_str("#[subsystem(\"init\")]\nfn boot_block_io(rounds: u32) {\n    let i: u32 = 0;\n    while (i < rounds) {\n");
+    for i in 0..config.fp_groups.min(4) {
+        out.push_str(&format!("        blk{i}_process_io(i);\n"));
+    }
+    out.push_str("        i = i + 1;\n    }\n}\n\n");
+
+    out.push_str(&format!(
+        r#"#[subsystem("init")]
+fn kernel_boot(cycles: u32, spare: u32) -> u32 {{
+    boot_register_all();
+    let i: u32 = 0;
+    while (i < cycles) {{
+        let size: u32 = boot_sizes[i % {table_len}];
+        let pid: u32 = do_fork(256);
+        if (pid == 0) {{ printk("fork failed during boot"); }}
+        vfs_create(i % 128, size);
+        vfs_write(i % 128, &wl_src[0], size);
+        vfs_read(i % 128, &wl_dst[0], size);
+        dcache_lookup(i);
+        udp_sendmsg(&wl_src[0], 64);
+        udp_recvmsg(&wl_dst[0], 64);
+        load_module(i, size);
+        let vma: struct vm_area * = mmap_region(128);
+        if (vma != null) {{ munmap_region(vma); }}
+        unload_module();
+        vfs_unlink(i % 128);
+        sys_exit();
+        watchdog_tick();
+        i = i + 1;
+    }}
+    boot_block_io(4);
+    // A handful of longer-lived files get dcache entries; the dcache is
+    // pruned (dropping its inode references) before they are unlinked.
+    let j: u32 = 0;
+    while (j < 4) {{
+        vfs_create(120 + j, 64);
+        if (file_table[120 + j] != null) {{
+            dcache_insert(file_table[120 + j], 1000 + j);
+        }}
+        j = j + 1;
+    }}
+    dcache_prune();
+    let k: u32 = 0;
+    while (k < 4) {{
+        vfs_unlink(120 + k);
+        k = k + 1;
+    }}
+    boot_exercise_caches();
+    boot_teardown_drivers();
+    boot_completed = 1 + spare;
+    return vfs_files_created;
+}}
+
+#[subsystem("init")]
+fn kernel_light_use(rounds: u32, chunk: u32) -> u32 {{
+    // Idle for a while, then copy a new kernel in over the network and write
+    // it to disk (the paper's "light use" phase).
+    let total: u32 = 0;
+    let i: u32 = 0;
+    while (i < rounds) {{
+        tcp_connect();
+        total = total + (tcp_sendmsg(&wl_src[0], chunk) as u32);
+        vfs_create(64 + (i % 32), chunk);
+        vfs_write(64 + (i % 32), &wl_src[0], chunk);
+        vfs_read(64 + (i % 32), &wl_dst[0], chunk);
+        vfs_unlink(64 + (i % 32));
+        context_switch();
+        i = i + 1;
+    }}
+    return total;
+}}
+"#
+    ));
+    out
+}
+
+fn build_ground_truth(config: &KernelConfig) -> GroundTruth {
+    let mut gt = GroundTruth::default();
+    gt.blocking_bugs.push(BlockingBug {
+        caller: "eth0_reset".to_string(),
+        callee: "kmalloc".to_string(),
+        description: "GFP_WAIT allocation inside spin_lock_irqsave region".to_string(),
+    });
+    gt.blocking_bugs.push(BlockingBug {
+        caller: "watchdog_tick".to_string(),
+        callee: "watchdog_sync".to_string(),
+        description: "interrupt handler reaches msleep through watchdog_sync".to_string(),
+    });
+    for i in 0..config.fp_groups {
+        gt.false_positive_asserts.insert(format!("blk{i}_submit_wait"));
+    }
+    for i in 0..config.cache_defects {
+        gt.bad_free_defects.push(BadFreeDefect {
+            function: format!("cache{i}_release"),
+            null_lvalue: Some(format!("objcache_{i}")),
+            needs_delayed_scope: false,
+        });
+    }
+    for i in 0..config.ring_defects {
+        gt.bad_free_defects.push(BadFreeDefect {
+            function: format!("ring{i}_teardown"),
+            null_lvalue: None,
+            needs_delayed_scope: true,
+        });
+    }
+    gt.trusted_functions.insert("ioread32".to_string());
+    gt.trusted_functions.insert("iowrite32".to_string());
+    gt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivy_cmir::typecheck::validate_program;
+    use ivy_vm::{Value, Vm, VmConfig};
+
+    #[test]
+    fn small_kernel_parses_and_validates() {
+        let build = KernelBuild::generate(&KernelConfig::small());
+        let v = validate_program(&build.program);
+        assert!(v.is_ok(), "validation errors: {:#?}", &v.errors[..v.errors.len().min(5)]);
+        assert!(build.line_count() > 1500, "corpus too small: {} lines", build.line_count());
+    }
+
+    #[test]
+    fn paper_kernel_is_larger_and_deterministic() {
+        let a = KernelBuild::generate(&KernelConfig::paper());
+        let b = KernelBuild::generate(&KernelConfig::paper());
+        assert_eq!(a.source(), b.source(), "generation must be deterministic");
+        assert!(a.line_count() > KernelBuild::generate(&KernelConfig::small()).line_count());
+        assert_eq!(a.ground_truth.bad_free_defects.len(), 27 + 26);
+        assert_eq!(a.asserted_functions().len(), 15);
+    }
+
+    #[test]
+    fn different_seeds_change_boot_parameters_only() {
+        let mut cfg_a = KernelConfig::small();
+        cfg_a.seed = 1;
+        let mut cfg_b = KernelConfig::small();
+        cfg_b.seed = 2;
+        let a = KernelBuild::generate(&cfg_a);
+        let b = KernelBuild::generate(&cfg_b);
+        assert_ne!(a.source(), b.source());
+        assert_eq!(a.program.functions.len(), b.program.functions.len());
+    }
+
+    #[test]
+    fn boot_runs_on_the_vm_and_triggers_ground_truth_defects() {
+        let cfg = KernelConfig::small();
+        let build = KernelBuild::generate(&cfg);
+        let mut vm = Vm::new(build.program.clone(), VmConfig::ccounted(false)).unwrap();
+        vm.run("kernel_boot", vec![Value::Int(i64::from(cfg.boot_cycles)), Value::Int(0)])
+            .unwrap();
+        // Every cache and ring defect produces exactly one bad free.
+        assert_eq!(
+            vm.stats.frees_bad,
+            (cfg.cache_defects + cfg.ring_defects) as u64,
+            "bad frees: {:?}",
+            vm.stats.bad_frees.len()
+        );
+        assert!(vm.stats.frees_good > vm.stats.frees_bad);
+        // The two seeded blocking bugs are observable at run time.
+        let violators: std::collections::BTreeSet<String> = vm
+            .stats
+            .blocking_violations
+            .iter()
+            .map(|v| v.caller.clone())
+            .collect();
+        assert!(violators.contains("eth0_reset"), "violations: {violators:?}");
+        // The watchdog bug is attributed to the immediate caller of msleep.
+        assert!(violators.contains("watchdog_sync"), "violations: {violators:?}");
+    }
+
+    #[test]
+    fn hbench_workloads_run_on_the_vm() {
+        let build = KernelBuild::generate(&KernelConfig::small());
+        // Spot-check a bandwidth and a latency workload end to end.
+        for name in ["bw_mem_cp", "lat_udp", "lat_syscall"] {
+            let w = hbench_suite().into_iter().find(|w| w.name == name).unwrap().scaled(0.1);
+            let mut vm = Vm::new(build.program.clone(), VmConfig::baseline()).unwrap();
+            vm.run(&w.entry, vec![Value::Int(i64::from(w.iters)), Value::Int(i64::from(w.size))])
+                .unwrap();
+            assert!(vm.cycles() > 0, "{name} did no work");
+        }
+    }
+
+    #[test]
+    fn annotation_burden_is_a_small_fraction() {
+        let build = KernelBuild::generate(&KernelConfig::paper());
+        let burden = ivy_deputy::stats::burden(&build.program);
+        assert!(burden.annotated_fraction() < 0.10, "{}", burden.annotated_fraction());
+        assert!(burden.trusted_fraction() < 0.05, "{}", burden.trusted_fraction());
+        assert!(burden.annotated_lines > 0);
+        assert!(burden.trusted_lines > 0);
+    }
+}

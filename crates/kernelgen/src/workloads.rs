@@ -1,0 +1,466 @@
+//! Workload definitions: the hbench-style microbenchmark suite (Table 1),
+//! the fork / module-loading overhead workloads (E4), and the boot /
+//! light-use phases (E3).
+//!
+//! Each workload is a KC entry function taking `(iters, size)` plus a Rust
+//! descriptor giving its paper name, category, and default parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Whether an hbench benchmark measures bandwidth or latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Category {
+    /// `bw_*`: bulk-throughput benchmarks.
+    Bandwidth,
+    /// `lat_*`: per-operation latency benchmarks.
+    Latency,
+}
+
+/// A runnable workload: the paper-facing name, the KC entry point, and the
+/// default `(iters, size)` arguments.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Name as it appears in the paper's Table 1 (e.g. `bw_mem_cp`).
+    pub name: String,
+    /// KC entry function.
+    pub entry: String,
+    /// Iteration count passed as the first argument.
+    pub iters: u32,
+    /// Size parameter passed as the second argument.
+    pub size: u32,
+    /// Bandwidth or latency.
+    pub category: Category,
+}
+
+impl Workload {
+    fn new(name: &str, entry: &str, iters: u32, size: u32, category: Category) -> Self {
+        Workload { name: name.into(), entry: entry.into(), iters, size, category }
+    }
+
+    /// Scales the iteration count (used to shrink test runs / grow bench
+    /// runs) without changing the workload's character.
+    pub fn scaled(&self, factor: f64) -> Workload {
+        let iters = ((self.iters as f64 * factor).round() as u32).max(1);
+        Workload { iters, ..self.clone() }
+    }
+}
+
+/// The 21 hbench benchmarks of Table 1, with default parameters sized so a
+/// full sweep completes quickly on the VM while still being dominated by the
+/// intended kernel path.
+pub fn hbench_suite() -> Vec<Workload> {
+    use Category::{Bandwidth, Latency};
+    vec![
+        Workload::new("bw_bzero", "wl_bw_bzero", 64, 4096, Bandwidth),
+        Workload::new("bw_file_rd", "wl_bw_file_rd", 64, 4096, Bandwidth),
+        Workload::new("bw_mem_cp", "wl_bw_mem_cp", 64, 4096, Bandwidth),
+        Workload::new("bw_mem_rd", "wl_bw_mem_rd", 64, 4096, Bandwidth),
+        Workload::new("bw_mem_wr", "wl_bw_mem_wr", 64, 4096, Bandwidth),
+        Workload::new("bw_mmap_rd", "wl_bw_mmap_rd", 32, 2048, Bandwidth),
+        Workload::new("bw_pipe", "wl_bw_pipe", 64, 2048, Bandwidth),
+        Workload::new("bw_tcp", "wl_bw_tcp", 16, 4096, Bandwidth),
+        Workload::new("lat_connect", "wl_lat_connect", 128, 0, Latency),
+        Workload::new("lat_ctx", "wl_lat_ctx", 256, 2, Latency),
+        Workload::new("lat_ctx2", "wl_lat_ctx2", 256, 8, Latency),
+        Workload::new("lat_fs", "wl_lat_fs", 128, 64, Latency),
+        Workload::new("lat_fslayer", "wl_lat_fslayer", 256, 16, Latency),
+        Workload::new("lat_mmap", "wl_lat_mmap", 128, 64, Latency),
+        Workload::new("lat_pipe", "wl_lat_pipe", 256, 1, Latency),
+        Workload::new("lat_proc", "wl_lat_proc", 64, 256, Latency),
+        Workload::new("lat_rpc", "wl_lat_rpc", 128, 64, Latency),
+        Workload::new("lat_sig", "wl_lat_sig", 256, 0, Latency),
+        Workload::new("lat_syscall", "wl_lat_syscall", 512, 0, Latency),
+        Workload::new("lat_tcp", "wl_lat_tcp", 128, 64, Latency),
+        Workload::new("lat_udp", "wl_lat_udp", 128, 32, Latency),
+    ]
+}
+
+/// The fork overhead workload of experiment E4.
+pub fn fork_workload() -> Workload {
+    Workload::new("fork", "wl_fork", 96, 256, Category::Latency)
+}
+
+/// The module-loading overhead workload of experiment E4.
+pub fn module_load_workload() -> Workload {
+    Workload::new("module_load", "wl_module_load", 64, 1024, Category::Latency)
+}
+
+/// The boot phase (E3): `iters` controls how many boot "cycles" run.
+pub fn boot_workload(cycles: u32) -> Workload {
+    Workload::new("boot", "kernel_boot", cycles, 0, Category::Latency)
+}
+
+/// The light-use phase (E3): idling plus copying a kernel in over the
+/// network and writing it to disk.
+pub fn light_use_workload(rounds: u32) -> Workload {
+    Workload::new("light_use", "kernel_light_use", rounds, 1460, Category::Latency)
+}
+
+/// The KC source of every workload entry point (shared scratch buffers plus
+/// one function per benchmark).
+pub const WORKLOAD_SOURCE: &str = r#"
+// ---- workloads.kc -----------------------------------------------------------
+global wl_src: u8[4096];
+global wl_dst: u8[4096];
+global wl_pipe_ready: u32 = 0;
+
+#[subsystem("workloads")]
+fn wl_prepare() {
+    if (wl_pipe_ready == 0) {
+        pipe_init(8192);
+        register_filesystems();
+        wl_pipe_ready = 1;
+    }
+}
+
+#[subsystem("workloads")]
+fn wl_bw_bzero(iters: u32, size: u32) -> u32 {
+    wl_prepare();
+    let n: u32 = size;
+    if (n > 4096) { n = 4096; }
+    let i: u32 = 0;
+    while (i < iters) {
+        kmemset(&wl_dst[0], 0, n);
+        i = i + 1;
+    }
+    return i;
+}
+
+#[subsystem("workloads")]
+fn wl_bw_file_rd(iters: u32, size: u32) -> u32 {
+    wl_prepare();
+    let n: u32 = size;
+    if (n > 4096) { n = 4096; }
+    vfs_create(7, n);
+    vfs_write(7, &wl_src[0], n);
+    let i: u32 = 0;
+    let total: u32 = 0;
+    while (i < iters) {
+        let r: i32 = vfs_read(7, &wl_dst[0], n);
+        total = total + (r as u32);
+        i = i + 1;
+    }
+    vfs_unlink(7);
+    return total;
+}
+
+#[subsystem("workloads")]
+fn wl_bw_mem_cp(iters: u32, size: u32) -> u32 {
+    wl_prepare();
+    let n: u32 = size;
+    if (n > 4096) { n = 4096; }
+    let i: u32 = 0;
+    while (i < iters) {
+        kmemcpy(&wl_dst[0], &wl_src[0], n);
+        i = i + 1;
+    }
+    return i;
+}
+
+#[subsystem("workloads")]
+fn wl_bw_mem_rd(iters: u32, size: u32) -> u32 {
+    wl_prepare();
+    let n: u32 = size;
+    if (n > 4096) { n = 4096; }
+    let acc: u32 = 0;
+    let i: u32 = 0;
+    while (i < iters) {
+        acc = acc + checksum32(&wl_src[0], n);
+        i = i + 1;
+    }
+    return acc;
+}
+
+#[subsystem("workloads")]
+fn wl_bw_mem_wr(iters: u32, size: u32) -> u32 {
+    wl_prepare();
+    let n: u32 = size;
+    if (n > 4096) { n = 4096; }
+    let i: u32 = 0;
+    while (i < iters) {
+        kmemset(&wl_dst[0], 171, n);
+        i = i + 1;
+    }
+    return i;
+}
+
+#[subsystem("workloads")]
+fn wl_bw_mmap_rd(iters: u32, size: u32) -> u32 {
+    wl_prepare();
+    let acc: u32 = 0;
+    let i: u32 = 0;
+    while (i < iters) {
+        let vma: struct vm_area * = mmap_region(size);
+        if (vma != null) {
+            acc = acc + mm_touch_pages(vma, 4);
+            munmap_region(vma);
+        }
+        i = i + 1;
+    }
+    return acc;
+}
+
+#[subsystem("workloads")]
+fn wl_bw_pipe(iters: u32, size: u32) -> u32 {
+    wl_prepare();
+    let n: u32 = size;
+    if (n > 4096) { n = 4096; }
+    let total: u32 = 0;
+    let i: u32 = 0;
+    while (i < iters) {
+        pipe_write(&wl_src[0], n);
+        total = total + (pipe_read(&wl_dst[0], n) as u32);
+        i = i + 1;
+    }
+    return total;
+}
+
+#[subsystem("workloads")]
+fn wl_bw_tcp(iters: u32, size: u32) -> u32 {
+    wl_prepare();
+    let n: u32 = size;
+    if (n > 4096) { n = 4096; }
+    let total: u32 = 0;
+    let i: u32 = 0;
+    while (i < iters) {
+        total = total + (tcp_sendmsg(&wl_src[0], n) as u32);
+        i = i + 1;
+    }
+    return total;
+}
+
+#[subsystem("workloads")]
+fn wl_lat_connect(iters: u32, size: u32) -> u32 {
+    wl_prepare();
+    let i: u32 = 0;
+    while (i < iters) {
+        tcp_connect();
+        i = i + 1;
+    }
+    return tcp_connections + size;
+}
+
+#[subsystem("workloads")]
+fn wl_lat_ctx(iters: u32, size: u32) -> u32 {
+    wl_prepare();
+    let t: u32 = 0;
+    while (t < size) {
+        do_fork(128);
+        t = t + 1;
+    }
+    let i: u32 = 0;
+    while (i < iters) {
+        context_switch();
+        i = i + 1;
+    }
+    return (ctx_switches as u32);
+}
+
+#[subsystem("workloads")]
+fn wl_lat_ctx2(iters: u32, size: u32) -> u32 {
+    return wl_lat_ctx(iters, size);
+}
+
+#[subsystem("workloads")]
+fn wl_lat_fs(iters: u32, size: u32) -> u32 {
+    wl_prepare();
+    let i: u32 = 0;
+    while (i < iters) {
+        vfs_create(i % 128, size);
+        vfs_write(i % 128, &wl_src[0], size % 4097);
+        vfs_unlink(i % 128);
+        i = i + 1;
+    }
+    return vfs_files_created;
+}
+
+#[subsystem("workloads")]
+fn wl_lat_fslayer(iters: u32, size: u32) -> u32 {
+    wl_prepare();
+    vfs_create(9, 256);
+    vfs_write(9, &wl_src[0], 256);
+    let total: u32 = 0;
+    let i: u32 = 0;
+    while (i < iters) {
+        total = total + (vfs_read(9, &wl_dst[0], size) as u32);
+        i = i + 1;
+    }
+    vfs_unlink(9);
+    return total;
+}
+
+#[subsystem("workloads")]
+fn wl_lat_mmap(iters: u32, size: u32) -> u32 {
+    wl_prepare();
+    let i: u32 = 0;
+    while (i < iters) {
+        let vma: struct vm_area * = mmap_region(size);
+        if (vma != null) {
+            vma->pages[0] = 1;
+            munmap_region(vma);
+        }
+        i = i + 1;
+    }
+    return i;
+}
+
+#[subsystem("workloads")]
+fn wl_lat_pipe(iters: u32, size: u32) -> u32 {
+    wl_prepare();
+    let total: u32 = 0;
+    let i: u32 = 0;
+    while (i < iters) {
+        pipe_write(&wl_src[0], size);
+        total = total + (pipe_read(&wl_dst[0], size) as u32);
+        i = i + 1;
+    }
+    return total;
+}
+
+#[subsystem("workloads")]
+fn wl_lat_proc(iters: u32, size: u32) -> u32 {
+    wl_prepare();
+    let i: u32 = 0;
+    while (i < iters) {
+        let pid: u32 = do_fork(size);
+        if (pid == 0) { printk("fork failed"); }
+        sys_exit();
+        i = i + 1;
+    }
+    return next_pid;
+}
+
+#[subsystem("workloads")]
+fn wl_lat_rpc(iters: u32, size: u32) -> u32 {
+    wl_prepare();
+    let total: u32 = 0;
+    let i: u32 = 0;
+    while (i < iters) {
+        udp_sendmsg(&wl_src[0], size);
+        total = total + (udp_recvmsg(&wl_dst[0], size) as u32);
+        i = i + 1;
+    }
+    return total;
+}
+
+#[subsystem("workloads")]
+fn wl_lat_sig(iters: u32, size: u32) -> u32 {
+    wl_prepare();
+    do_fork(128);
+    let delivered: u32 = size;
+    let i: u32 = 0;
+    while (i < iters) {
+        send_signal(next_pid - 1, i % 31);
+        if (runqueue != null) {
+            delivered = delivered + deliver_signals(runqueue);
+        }
+        i = i + 1;
+    }
+    return delivered;
+}
+
+#[subsystem("workloads")]
+fn wl_lat_syscall(iters: u32, size: u32) -> u32 {
+    wl_prepare();
+    let acc: u32 = size;
+    let i: u32 = 0;
+    while (i < iters) {
+        acc = acc + sys_getpid();
+        i = i + 1;
+    }
+    return acc;
+}
+
+#[subsystem("workloads")]
+fn wl_lat_tcp(iters: u32, size: u32) -> u32 {
+    wl_prepare();
+    let total: u32 = 0;
+    let i: u32 = 0;
+    while (i < iters) {
+        total = total + (tcp_sendmsg(&wl_src[0], size) as u32);
+        i = i + 1;
+    }
+    return total;
+}
+
+#[subsystem("workloads")]
+fn wl_lat_udp(iters: u32, size: u32) -> u32 {
+    wl_prepare();
+    let total: u32 = 0;
+    let i: u32 = 0;
+    while (i < iters) {
+        udp_sendmsg(&wl_src[0], size);
+        total = total + (udp_recvmsg(&wl_dst[0], size) as u32);
+        i = i + 1;
+    }
+    return total;
+}
+
+#[subsystem("workloads")]
+fn wl_fork(iters: u32, size: u32) -> u32 {
+    wl_prepare();
+    let i: u32 = 0;
+    while (i < iters) {
+        let pid: u32 = do_fork(size);
+        if (pid == 0) { printk("fork failed"); }
+        sys_exit();
+        i = i + 1;
+    }
+    return next_pid;
+}
+
+#[subsystem("workloads")]
+fn wl_module_load(iters: u32, size: u32) -> u32 {
+    wl_prepare();
+    let i: u32 = 0;
+    while (i < iters) {
+        load_module(i, size);
+        unload_module();
+        i = i + 1;
+    }
+    return module_count;
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_matches_table1_rows() {
+        let suite = hbench_suite();
+        assert_eq!(suite.len(), 21, "Table 1 has 21 benchmarks");
+        let bw = suite.iter().filter(|w| w.category == Category::Bandwidth).count();
+        let lat = suite.iter().filter(|w| w.category == Category::Latency).count();
+        assert_eq!(bw, 8);
+        assert_eq!(lat, 13);
+        // Names are unique and every entry function is distinct except the
+        // ctx/ctx2 pair which share a core.
+        let mut names: Vec<&str> = suite.iter().map(|w| w.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 21);
+    }
+
+    #[test]
+    fn scaling_preserves_identity() {
+        let w = fork_workload();
+        let s = w.scaled(0.25);
+        assert_eq!(s.name, w.name);
+        assert_eq!(s.iters, 24);
+        assert!(w.scaled(0.0001).iters >= 1);
+    }
+
+    #[test]
+    fn workload_source_defines_every_entry() {
+        for w in hbench_suite() {
+            assert!(
+                WORKLOAD_SOURCE.contains(&format!("fn {}(", w.entry)),
+                "missing entry for {}",
+                w.name
+            );
+        }
+        assert!(WORKLOAD_SOURCE.contains("fn wl_fork("));
+        assert!(WORKLOAD_SOURCE.contains("fn wl_module_load("));
+    }
+}

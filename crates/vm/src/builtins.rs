@@ -1,0 +1,397 @@
+//! Native kernel builtins.
+//!
+//! Functions declared `extern` in KC (or not defined at all) are dispatched
+//! here by name. These model the handful of kernel primitives the paper's
+//! analyses treat specially: the allocators (`kmalloc`/`kfree`), the bulk
+//! memory operations that CCount must make type-aware, the user-copy and
+//! sleeping primitives that seed BlockStop's `blocking` set, and the
+//! interrupt/spinlock state changes that define atomic context.
+
+use crate::error::{TrapKind, VmError, VmResult};
+use crate::interp::{Vm, GFP_WAIT};
+use crate::mem::Memory;
+use crate::value::Value;
+
+impl Vm {
+    /// Dispatches a builtin (or unknown extern) call by name.
+    pub(crate) fn call_builtin(&mut self, name: &str, args: &[Value]) -> VmResult<Value> {
+        match name {
+            "kmalloc" | "kzalloc" | "kmem_cache_alloc" | "__get_free_page" | "alloc_page"
+            | "vmalloc" => self.builtin_alloc(name, args),
+            "kfree" | "kmem_cache_free" | "free_page" | "vfree" => {
+                let p = arg(args, 0).as_ptr();
+                if p == 0 {
+                    return Ok(Value::Int(0));
+                }
+                if self.config.ccount {
+                    if let Some(scope) = self.delayed_free_stack.last_mut() {
+                        scope.push(p);
+                        self.stats.frees_delayed += 1;
+                        return Ok(Value::Int(0));
+                    }
+                }
+                self.finish_free(p, false)
+            }
+            "memcpy" | "memmove" => {
+                let dst = arg(args, 0).as_ptr();
+                let src = arg(args, 1).as_ptr();
+                let n = arg(args, 2).as_int().max(0) as u32;
+                self.charge(self.cost.copy_cost(n));
+                self.ccount_transfer_slots(dst, src, n)?;
+                self.mem.copy(dst, src, n)?;
+                Ok(Value::Ptr(dst))
+            }
+            "memset" => {
+                let dst = arg(args, 0).as_ptr();
+                let byte = arg(args, 1).as_int() as u8;
+                let n = arg(args, 2).as_int().max(0) as u32;
+                self.charge(self.cost.copy_cost(n));
+                self.ccount_clear_slots(dst, n)?;
+                self.mem.fill(dst, byte, n)?;
+                Ok(Value::Ptr(dst))
+            }
+            "memcmp" => {
+                let a = arg(args, 0).as_ptr();
+                let b = arg(args, 1).as_ptr();
+                let n = arg(args, 2).as_int().max(0) as u32;
+                self.charge(self.cost.copy_cost(n));
+                for i in 0..n {
+                    let x = self.mem.read(a + i, 1)?;
+                    let y = self.mem.read(b + i, 1)?;
+                    if x != y {
+                        return Ok(Value::Int(if x < y { -1 } else { 1 }));
+                    }
+                }
+                Ok(Value::Int(0))
+            }
+            "strlen" => {
+                let p = arg(args, 0).as_ptr();
+                let mut n = 0u32;
+                while n < 1 << 20 {
+                    self.charge(self.cost.load);
+                    if self.mem.read(p + n, 1)? == 0 {
+                        break;
+                    }
+                    n += 1;
+                }
+                Ok(Value::Int(i64::from(n)))
+            }
+            "copy_to_user" | "copy_from_user" => {
+                self.note_block_attempt(name);
+                let dst = arg(args, 0).as_ptr();
+                let src = arg(args, 1).as_ptr();
+                let n = arg(args, 2).as_int().max(0) as u32;
+                self.charge(self.cost.copy_cost(n) + self.cost.syscall / 4);
+                self.stats.user_copy_bytes += u64::from(n);
+                self.ccount_transfer_slots(dst, src, n)?;
+                self.mem.copy(dst, src, n)?;
+                Ok(Value::Int(0))
+            }
+            "printk" => {
+                self.charge(self.cost.syscall / 8);
+                Ok(Value::Int(0))
+            }
+            "panic" | "BUG" => Err(VmError::new(TrapKind::Panic, "kernel panic requested")),
+            "spin_lock" | "spin_lock_bh" => {
+                self.charge(self.cost.spinlock);
+                let lock = self.lock_name(arg(args, 0).as_ptr());
+                self.locks_held.push(lock);
+                Ok(Value::Int(0))
+            }
+            "spin_unlock" | "spin_unlock_bh" => {
+                self.charge(self.cost.spinlock);
+                let lock = self.lock_name(arg(args, 0).as_ptr());
+                if let Some(pos) = self.locks_held.iter().rposition(|l| *l == lock) {
+                    self.locks_held.remove(pos);
+                }
+                Ok(Value::Int(0))
+            }
+            "spin_lock_irqsave" | "spin_lock_irq" => {
+                self.charge(self.cost.spinlock + self.cost.irq_toggle);
+                let lock = self.lock_name(arg(args, 0).as_ptr());
+                self.locks_held.push(lock);
+                self.irq_depth += 1;
+                Ok(Value::Int(0))
+            }
+            "spin_unlock_irqrestore" | "spin_unlock_irq" => {
+                self.charge(self.cost.spinlock + self.cost.irq_toggle);
+                let lock = self.lock_name(arg(args, 0).as_ptr());
+                if let Some(pos) = self.locks_held.iter().rposition(|l| *l == lock) {
+                    self.locks_held.remove(pos);
+                }
+                self.irq_depth = self.irq_depth.saturating_sub(1);
+                Ok(Value::Int(0))
+            }
+            "local_irq_disable" | "local_irq_save" => {
+                self.charge(self.cost.irq_toggle);
+                self.irq_depth += 1;
+                Ok(Value::Int(0))
+            }
+            "local_irq_enable" | "local_irq_restore" => {
+                self.charge(self.cost.irq_toggle);
+                self.irq_depth = self.irq_depth.saturating_sub(1);
+                Ok(Value::Int(0))
+            }
+            "in_interrupt" | "irqs_disabled" => Ok(Value::Int(i64::from(self.irq_depth > 0))),
+            "schedule" | "cond_resched" => {
+                self.note_block_attempt(name);
+                self.charge(self.cost.context_switch);
+                self.stats.context_switches += 1;
+                Ok(Value::Int(0))
+            }
+            "wait_for_completion" | "down" | "mutex_lock" => {
+                self.note_block_attempt(name);
+                self.charge(self.cost.context_switch / 2);
+                Ok(Value::Int(0))
+            }
+            "complete" | "up" | "mutex_unlock" | "wake_up" => {
+                self.charge(self.cost.spinlock);
+                Ok(Value::Int(0))
+            }
+            "msleep" | "schedule_timeout" => {
+                self.note_block_attempt(name);
+                self.charge(self.cost.context_switch);
+                self.stats.context_switches += 1;
+                Ok(Value::Int(0))
+            }
+            "udelay" | "ndelay" | "cpu_relax" => {
+                self.charge(self.cost.alu * 8);
+                Ok(Value::Int(0))
+            }
+            "syscall_entry" | "syscall_exit" => {
+                self.charge(self.cost.syscall / 2);
+                Ok(Value::Int(0))
+            }
+            _ => {
+                // Unknown extern: harmless no-op with a token cost. This models
+                // stubs for the parts of the kernel the corpus does not build.
+                self.charge(self.cost.alu);
+                Ok(Value::Int(0))
+            }
+        }
+    }
+
+    fn builtin_alloc(&mut self, name: &str, args: &[Value]) -> VmResult<Value> {
+        let size = arg(args, 0).as_int().max(1) as u32;
+        let flags = arg(args, 1).as_int();
+        if flags & GFP_WAIT != 0 || name == "vmalloc" {
+            self.note_block_attempt(name);
+        }
+        let chunks = u64::from(Memory::chunks_of(0, size));
+        self.charge(self.cost.alloc + self.cost.zero_per_chunk * chunks);
+        let addr = self.mem.kmalloc(size);
+        self.stats.allocs += 1;
+        Ok(Value::Ptr(addr))
+    }
+
+    fn lock_name(&self, addr: u32) -> String {
+        match self.global_names.get(&addr) {
+            Some(n) => n.clone(),
+            None => format!("lock@0x{addr:x}"),
+        }
+    }
+
+    /// CCount bookkeeping for a type-aware `memcpy`: pointer slots of the
+    /// source range are replicated into the destination range, incrementing
+    /// the refcounts of the pointed-to objects; pointer slots previously in
+    /// the destination range are released.
+    fn ccount_transfer_slots(&mut self, dst: u32, src: u32, len: u32) -> VmResult<()> {
+        if !self.config.ccount || len == 0 {
+            return Ok(());
+        }
+        self.ccount_clear_slots(dst, len)?;
+        if Memory::is_stack_addr(dst) {
+            return Ok(());
+        }
+        let Some(src_obj) = self.mem.object_containing(src).copied() else { return Ok(()) };
+        let Some(dst_obj) = self.mem.object_containing(dst).copied() else { return Ok(()) };
+        let src_slots: Vec<u32> = self
+            .ptr_slots
+            .get(&src_obj.base)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        for off in src_slots {
+            let a = src_obj.base + off;
+            if a < src || a + 4 > src + len {
+                continue;
+            }
+            let target = self.mem.read(a, 4)? as u32;
+            if self.mem.rc_adjust(target, 1) {
+                self.stats.rc_updates += 1;
+                self.charge(self.cost.rc_update(self.config.machine));
+            }
+            let dst_off = dst + (a - src) - dst_obj.base;
+            self.ptr_slots.entry(dst_obj.base).or_default().insert(dst_off);
+        }
+        Ok(())
+    }
+
+    /// CCount bookkeeping for a type-aware `memset`: pointer slots inside the
+    /// cleared range lose their references.
+    fn ccount_clear_slots(&mut self, dst: u32, len: u32) -> VmResult<()> {
+        if !self.config.ccount || len == 0 || Memory::is_stack_addr(dst) {
+            return Ok(());
+        }
+        let Some(obj) = self.mem.object_containing(dst).copied() else { return Ok(()) };
+        let slots: Vec<u32> = self
+            .ptr_slots
+            .get(&obj.base)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        for off in slots {
+            let a = obj.base + off;
+            if a < dst || a + 4 > dst + len {
+                continue;
+            }
+            let target = self.mem.read(a, 4)? as u32;
+            if self.mem.rc_adjust(target, -1) {
+                self.stats.rc_updates += 1;
+                self.charge(self.cost.rc_update(self.config.machine));
+            }
+            if let Some(s) = self.ptr_slots.get_mut(&obj.base) {
+                s.remove(&off);
+            }
+        }
+        Ok(())
+    }
+}
+
+fn arg(args: &[Value], i: usize) -> Value {
+    args.get(i).copied().unwrap_or(Value::Int(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::VmConfig;
+    use ivy_cmir::parser::parse_program;
+
+    fn vm_for(src: &str, config: VmConfig) -> Vm {
+        let p = parse_program(src).unwrap();
+        Vm::new(p, config).unwrap()
+    }
+
+    const PRELUDE: &str = r#"
+        #[allocator] #[blocking_if(flags)]
+        extern fn kmalloc(size: u32, flags: u32) -> void *;
+        extern fn kfree(p: void *);
+        extern fn memcpy(dst: void *, src: void *, n: u32) -> void *;
+        extern fn memset(p: void *, c: i32, n: u32) -> void *;
+        extern fn spin_lock(l: u32 *);
+        extern fn spin_unlock(l: u32 *);
+        #[blocking]
+        extern fn copy_to_user(dst: void *, src: void *, n: u32) -> i32;
+        global io_lock: u32 = 0;
+    "#;
+
+    #[test]
+    fn kmalloc_with_gfp_wait_blocks_under_spinlock() {
+        let src = format!(
+            "{PRELUDE}
+            fn bad() -> u32 {{
+                spin_lock(&io_lock);
+                let p: void * = kmalloc(64, 0x10);
+                spin_unlock(&io_lock);
+                kfree(p);
+                return 0;
+            }}
+            fn fine() -> u32 {{
+                spin_lock(&io_lock);
+                let p: void * = kmalloc(64, 0);
+                spin_unlock(&io_lock);
+                kfree(p);
+                return 0;
+            }}"
+        );
+        let mut vm = vm_for(&src, VmConfig::baseline());
+        vm.run("bad", vec![]).unwrap();
+        assert_eq!(vm.stats.blocking_violations.len(), 1);
+        assert_eq!(vm.stats.blocking_violations[0].callee, "kmalloc");
+        assert_eq!(vm.stats.blocking_violations[0].locks_held, vec!["io_lock".to_string()]);
+
+        let mut vm2 = vm_for(&src, VmConfig::baseline());
+        vm2.run("fine", vec![]).unwrap();
+        assert!(vm2.stats.blocking_violations.is_empty());
+    }
+
+    #[test]
+    fn copy_to_user_counts_bytes_and_blocks() {
+        let src = format!(
+            "{PRELUDE}
+            global kernel_buf: u8[128];
+            global user_buf: u8[128];
+            fn xfer() -> u32 {{
+                return copy_to_user(&user_buf[0] as void *, &kernel_buf[0] as void *, 128) as u32;
+            }}"
+        );
+        let mut vm = vm_for(&src, VmConfig::baseline());
+        vm.run("xfer", vec![]).unwrap();
+        assert_eq!(vm.stats.user_copy_bytes, 128);
+    }
+
+    #[test]
+    fn type_aware_memcpy_preserves_refcount_soundness() {
+        let src = format!(
+            "{PRELUDE}
+            struct holder {{ p: u8 *; pad: u32; }}
+            fn dup_then_free() -> u32 {{
+                let a: struct holder * = kmalloc(sizeof(struct holder), 0) as struct holder *;
+                let b: struct holder * = kmalloc(sizeof(struct holder), 0) as struct holder *;
+                let payload: u8 * = kmalloc(32, 0) as u8 *;
+                a->p = payload;
+                memcpy(b as void *, a as void *, sizeof(struct holder));
+                // Now two heap references to payload exist; freeing it is bad.
+                a->p = null;
+                kfree(payload as void *);
+                return 0;
+            }}"
+        );
+        let mut vm = vm_for(&src, VmConfig::ccounted(false));
+        vm.run("dup_then_free", vec![]).unwrap();
+        assert_eq!(vm.stats.frees_bad, 1, "memcpy'd reference must keep the count");
+    }
+
+    #[test]
+    fn type_aware_memset_releases_references() {
+        let src = format!(
+            "{PRELUDE}
+            struct holder {{ p: u8 *; pad: u32; }}
+            fn clear_then_free() -> u32 {{
+                let a: struct holder * = kmalloc(sizeof(struct holder), 0) as struct holder *;
+                let payload: u8 * = kmalloc(32, 0) as u8 *;
+                a->p = payload;
+                memset(a as void *, 0, sizeof(struct holder));
+                kfree(payload as void *);
+                kfree(a as void *);
+                return 0;
+            }}"
+        );
+        let mut vm = vm_for(&src, VmConfig::ccounted(false));
+        vm.run("clear_then_free", vec![]).unwrap();
+        assert_eq!(vm.stats.frees_bad, 0);
+        assert_eq!(vm.stats.frees_good, 2);
+    }
+
+    #[test]
+    fn unknown_extern_is_a_noop() {
+        let src = "extern fn totally_unknown(x: u32) -> u32; fn f() -> u32 { return totally_unknown(3); }";
+        let mut vm = vm_for(src, VmConfig::baseline());
+        assert_eq!(vm.run("f", vec![]).unwrap(), Value::Int(0));
+    }
+
+    #[test]
+    fn panic_traps() {
+        let src = "extern fn panic(msg: u8 *); fn f() { panic(\"boom\"); }";
+        let mut vm = vm_for(src, VmConfig::baseline());
+        let err = vm.run("f", vec![]).unwrap_err();
+        assert_eq!(err.kind, TrapKind::Panic);
+    }
+
+    #[test]
+    fn null_kfree_is_noop() {
+        let src = format!("{PRELUDE} fn f() {{ kfree(null); }}");
+        let mut vm = vm_for(&src, VmConfig::ccounted(false));
+        vm.run("f", vec![]).unwrap();
+        assert_eq!(vm.stats.frees_bad + vm.stats.frees_good, 0);
+    }
+}

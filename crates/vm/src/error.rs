@@ -1,0 +1,82 @@
+//! Error type for VM execution.
+
+use std::fmt;
+
+/// An execution error (trap) raised by the VM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VmError {
+    /// Classification of the trap.
+    pub kind: TrapKind,
+    /// Human-readable detail.
+    pub message: String,
+    /// Call stack (function names, innermost last) at the point of the trap.
+    pub stack: Vec<String>,
+}
+
+/// Categories of VM traps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrapKind {
+    /// Access to unmapped or out-of-object memory.
+    MemoryFault,
+    /// A Deputy run-time check failed.
+    CheckFailure,
+    /// A CCount free-safety check failed (only when configured to trap).
+    BadFree,
+    /// Explicit kernel panic (the `panic` builtin, or a BlockStop assertion).
+    Panic,
+    /// Division by zero.
+    DivideByZero,
+    /// Reference to an undefined function or variable.
+    Undefined,
+    /// The step/cycle budget was exhausted (runaway loop protection).
+    StepLimit,
+    /// Malformed program reached the interpreter (should have been caught by
+    /// validation).
+    IllFormed,
+}
+
+impl VmError {
+    /// Creates an error with an empty stack (the interpreter fills it in).
+    pub fn new(kind: TrapKind, message: impl Into<String>) -> Self {
+        VmError { kind, message: message.into(), stack: Vec::new() }
+    }
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.kind {
+            TrapKind::MemoryFault => "memory fault",
+            TrapKind::CheckFailure => "check failure",
+            TrapKind::BadFree => "bad free",
+            TrapKind::Panic => "kernel panic",
+            TrapKind::DivideByZero => "divide by zero",
+            TrapKind::Undefined => "undefined reference",
+            TrapKind::StepLimit => "step limit exceeded",
+            TrapKind::IllFormed => "ill-formed program",
+        };
+        write!(f, "{kind}: {}", self.message)?;
+        if !self.stack.is_empty() {
+            write!(f, " (in {})", self.stack.join(" <- "))?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// Result alias for VM operations.
+pub type VmResult<T> = std::result::Result<T, VmError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_and_stack() {
+        let mut e = VmError::new(TrapKind::MemoryFault, "address 0x10 not mapped");
+        e.stack = vec!["sys_read".into(), "ext2_get_block".into()];
+        let s = e.to_string();
+        assert!(s.contains("memory fault"));
+        assert!(s.contains("ext2_get_block"));
+    }
+}

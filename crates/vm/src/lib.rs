@@ -1,0 +1,59 @@
+//! `ivy-vm` — execution substrate for KC programs.
+//!
+//! The paper evaluates its tools by running an instrumented Linux kernel on
+//! real hardware; this crate replaces that testbed with a deterministic
+//! virtual machine:
+//!
+//! * [`mem`] — a 32-bit byte-addressable memory with a kmalloc-style heap,
+//!   per-frame stack, string rodata, and CCount's 8-bit-per-16-byte-chunk
+//!   reference-count shadow.
+//! * [`interp`] — the interpreter. It executes Deputy run-time checks (when
+//!   enabled), maintains CCount reference counts on pointer stores, verifies
+//!   frees (log-and-leak on failure), tracks interrupt/spinlock state, and
+//!   records blocking-while-atomic violations.
+//! * [`builtins`] — native kernel primitives (`kmalloc`, `kfree`, `memcpy`,
+//!   `copy_to_user`, spinlocks, `schedule`, ...).
+//! * [`cost`] — the cycle cost model that stands in for the Pentium M /
+//!   Pentium 4 hardware, including the UP/SMP locked-operation distinction.
+//! * [`stats`] — per-run statistics (cycles, checks, frees, violations) from
+//!   which every experiment's numbers are derived.
+//!
+//! # Examples
+//!
+//! ```
+//! use ivy_cmir::parser::parse_program;
+//! use ivy_vm::{Value, Vm, VmConfig};
+//!
+//! let program = parse_program(
+//!     r#"
+//!     fn sum(n: u32) -> u32 {
+//!         let acc: u32 = 0;
+//!         let i: u32 = 0;
+//!         while (i < n) { acc = acc + i; i = i + 1; }
+//!         return acc;
+//!     }
+//!     "#,
+//! )
+//! .unwrap();
+//! let mut vm = Vm::new(program, VmConfig::baseline()).unwrap();
+//! let result = vm.run("sum", vec![Value::Int(10)]).unwrap();
+//! assert_eq!(result, Value::Int(45));
+//! assert!(vm.cycles() > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod builtins;
+pub mod cost;
+pub mod error;
+pub mod interp;
+pub mod mem;
+pub mod stats;
+pub mod value;
+
+pub use cost::{CostModel, CycleCounter, MachineConfig};
+pub use error::{TrapKind, VmError, VmResult};
+pub use interp::{Vm, VmConfig, GFP_WAIT};
+pub use mem::{Memory, ObjectInfo, ObjectKind};
+pub use stats::{BadFree, BlockingViolation, CheckFailure, RunStats};
+pub use value::Value;

@@ -1,0 +1,541 @@
+//! The VM's memory model.
+//!
+//! Memory is a 32-bit, byte-addressable address space split into regions:
+//!
+//! | region  | base         | contents                                    |
+//! |---------|--------------|---------------------------------------------|
+//! | null    | `0x0000_0000`| never mapped (null-pointer dereferences trap)|
+//! | globals | `0x0000_1000`| global variables and string literals         |
+//! | stack   | `0x4000_0000`| locals of active frames                      |
+//! | heap    | `0x8000_0000`| `kmalloc`/slab allocations                   |
+//! | code    | `0xF000_0000`| function "addresses" for function pointers   |
+//!
+//! CCount's accounting state lives here too: an 8-bit reference count per
+//! [`CHUNK_SIZE`]-byte chunk (6.25 % space overhead in the paper), maintained
+//! only for globals and heap — the kernel CCount "does not track references
+//! from local variables", so stack chunks have no counts.
+
+use crate::error::{TrapKind, VmError, VmResult};
+use ivy_cmir::types::CHUNK_SIZE;
+use std::collections::{BTreeMap, HashMap};
+
+/// Base address of the globals region.
+pub const GLOBAL_BASE: u32 = 0x0000_1000;
+/// Base address of the stack region.
+pub const STACK_BASE: u32 = 0x4000_0000;
+/// Base address of the heap region.
+pub const HEAP_BASE: u32 = 0x8000_0000;
+/// Base address of the synthetic code region (function pointers).
+pub const CODE_BASE: u32 = 0xF000_0000;
+
+/// What kind of object an address belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjectKind {
+    /// A global variable.
+    Global,
+    /// A string literal.
+    Rodata,
+    /// A stack slot of a live frame.
+    Stack,
+    /// A heap allocation.
+    Heap,
+}
+
+/// Metadata about an allocated object (used by `auto` bounds checks and by
+/// the CCount free checks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObjectInfo {
+    /// First address of the object.
+    pub base: u32,
+    /// Size in bytes.
+    pub size: u32,
+    /// Region kind.
+    pub kind: ObjectKind,
+    /// False once freed (heap) or popped (stack).
+    pub live: bool,
+}
+
+/// Memory statistics accumulated over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Number of heap allocations performed.
+    pub allocs: u64,
+    /// Number of heap frees requested.
+    pub frees: u64,
+    /// Bytes currently allocated on the heap.
+    pub heap_bytes_live: u64,
+    /// High-water mark of live heap bytes.
+    pub heap_bytes_peak: u64,
+    /// Bytes zeroed at allocation time (CCount requirement).
+    pub bytes_zeroed: u64,
+    /// Objects intentionally leaked after a failed free check.
+    pub leaked_objects: u64,
+}
+
+#[derive(Debug, Default)]
+struct Segment {
+    data: Vec<u8>,
+    base: u32,
+}
+
+impl Segment {
+    fn new(base: u32) -> Self {
+        Segment { data: Vec::new(), base }
+    }
+
+    fn contains(&self, addr: u32) -> bool {
+        addr >= self.base && (addr - self.base) < self.data.len() as u32
+    }
+
+    fn ensure(&mut self, upto: u32) {
+        let need = (upto - self.base) as usize;
+        if need > self.data.len() {
+            self.data.resize(need, 0);
+        }
+    }
+}
+
+/// The VM memory: segments, object map, allocator, and refcount shadow.
+#[derive(Debug)]
+pub struct Memory {
+    globals: Segment,
+    stack: Segment,
+    heap: Segment,
+    global_top: u32,
+    stack_top: u32,
+    heap_top: u32,
+    objects: BTreeMap<u32, ObjectInfo>,
+    free_lists: HashMap<u32, Vec<u32>>,
+    refcounts: HashMap<u32, u8>,
+    /// Statistics for reporting.
+    pub stats: MemStats,
+}
+
+impl Default for Memory {
+    fn default() -> Self {
+        Memory::new()
+    }
+}
+
+impl Memory {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        Memory {
+            globals: Segment::new(GLOBAL_BASE),
+            stack: Segment::new(STACK_BASE),
+            heap: Segment::new(HEAP_BASE),
+            global_top: GLOBAL_BASE,
+            stack_top: STACK_BASE,
+            heap_top: HEAP_BASE,
+            objects: BTreeMap::new(),
+            free_lists: HashMap::new(),
+            refcounts: HashMap::new(),
+            stats: MemStats::default(),
+        }
+    }
+
+    fn segment(&self, addr: u32) -> Option<&Segment> {
+        if self.globals.contains(addr) {
+            Some(&self.globals)
+        } else if self.stack.contains(addr) {
+            Some(&self.stack)
+        } else if self.heap.contains(addr) {
+            Some(&self.heap)
+        } else {
+            None
+        }
+    }
+
+    fn segment_mut(&mut self, addr: u32) -> Option<&mut Segment> {
+        if self.globals.contains(addr) {
+            Some(&mut self.globals)
+        } else if self.stack.contains(addr) {
+            Some(&mut self.stack)
+        } else if self.heap.contains(addr) {
+            Some(&mut self.heap)
+        } else {
+            None
+        }
+    }
+
+    /// True if the address is inside the stack region.
+    pub fn is_stack_addr(addr: u32) -> bool {
+        (STACK_BASE..HEAP_BASE).contains(&addr)
+    }
+
+    /// True if the address is a synthetic function address.
+    pub fn is_code_addr(addr: u32) -> bool {
+        addr >= CODE_BASE
+    }
+
+    // ----- allocation -----
+
+    /// Allocates a global variable of `size` bytes; returns its address.
+    pub fn alloc_global(&mut self, size: u32) -> u32 {
+        let size = size.max(1);
+        let base = align_up(self.global_top, 8);
+        self.global_top = base + size;
+        self.globals.ensure(self.global_top);
+        self.objects
+            .insert(base, ObjectInfo { base, size, kind: ObjectKind::Global, live: true });
+        base
+    }
+
+    /// Copies a string literal (plus NUL terminator) into rodata; returns its
+    /// address.
+    pub fn alloc_rodata(&mut self, bytes: &[u8]) -> u32 {
+        let size = bytes.len() as u32 + 1;
+        let base = align_up(self.global_top, 8);
+        self.global_top = base + size;
+        self.globals.ensure(self.global_top);
+        let off = (base - GLOBAL_BASE) as usize;
+        self.globals.data[off..off + bytes.len()].copy_from_slice(bytes);
+        self.objects
+            .insert(base, ObjectInfo { base, size, kind: ObjectKind::Rodata, live: true });
+        base
+    }
+
+    /// Current stack pointer (used as a frame mark).
+    pub fn stack_mark(&self) -> u32 {
+        self.stack_top
+    }
+
+    /// Allocates a stack slot in the current frame.
+    pub fn alloc_stack(&mut self, size: u32) -> u32 {
+        let size = size.max(1);
+        let base = align_up(self.stack_top, 8);
+        self.stack_top = base + size;
+        self.stack.ensure(self.stack_top);
+        // Stack slots start zeroed (freshly grown segments are zero; reused
+        // ones are cleared here so locals behave deterministically).
+        let off = (base - STACK_BASE) as usize;
+        for b in &mut self.stack.data[off..off + size as usize] {
+            *b = 0;
+        }
+        self.objects
+            .insert(base, ObjectInfo { base, size, kind: ObjectKind::Stack, live: true });
+        base
+    }
+
+    /// Pops the stack back to a previous mark, retiring the frame's objects.
+    pub fn pop_stack_frame(&mut self, mark: u32) {
+        let dead: Vec<u32> = self
+            .objects
+            .range(mark..HEAP_BASE)
+            .filter(|(_, o)| o.kind == ObjectKind::Stack)
+            .map(|(b, _)| *b)
+            .collect();
+        for b in dead {
+            self.objects.remove(&b);
+        }
+        self.stack_top = mark;
+    }
+
+    /// Allocates `size` bytes on the heap (the `kmalloc` backend). The block
+    /// is always zeroed, as the paper's CCount requires ("zero all allocated
+    /// storage"); the zeroing cost is charged by the caller.
+    pub fn kmalloc(&mut self, size: u32) -> u32 {
+        let size = size.max(1);
+        let class = align_up(size, CHUNK_SIZE as u32);
+        let base = if let Some(list) = self.free_lists.get_mut(&class) {
+            list.pop()
+        } else {
+            None
+        };
+        let base = match base {
+            Some(b) => b,
+            None => {
+                let b = align_up(self.heap_top, CHUNK_SIZE as u32);
+                self.heap_top = b + class;
+                self.heap.ensure(self.heap_top);
+                b
+            }
+        };
+        // Zero the storage (required so stale data never decrements random
+        // refcounts when pointers are initialised).
+        let off = (base - HEAP_BASE) as usize;
+        for b in &mut self.heap.data[off..off + class as usize] {
+            *b = 0;
+        }
+        self.stats.bytes_zeroed += u64::from(class);
+        self.objects.insert(base, ObjectInfo { base, size, kind: ObjectKind::Heap, live: true });
+        self.stats.allocs += 1;
+        self.stats.heap_bytes_live += u64::from(class);
+        self.stats.heap_bytes_peak = self.stats.heap_bytes_peak.max(self.stats.heap_bytes_live);
+        base
+    }
+
+    /// Frees a heap object. Returns its size. The CCount free check is the
+    /// caller's responsibility; `leak` requests log-and-leak behaviour (the
+    /// object is marked dead but its storage is never reused, guaranteeing
+    /// soundness after a failed check).
+    pub fn kfree(&mut self, addr: u32, leak: bool) -> VmResult<u32> {
+        self.stats.frees += 1;
+        let obj = self.objects.get_mut(&addr).ok_or_else(|| {
+            VmError::new(TrapKind::MemoryFault, format!("free of unallocated address 0x{addr:x}"))
+        })?;
+        if obj.kind != ObjectKind::Heap {
+            return Err(VmError::new(
+                TrapKind::MemoryFault,
+                format!("free of non-heap address 0x{addr:x}"),
+            ));
+        }
+        if !obj.live {
+            return Err(VmError::new(TrapKind::MemoryFault, format!("double free of 0x{addr:x}")));
+        }
+        obj.live = false;
+        let size = obj.size;
+        let class = align_up(size, CHUNK_SIZE as u32);
+        self.stats.heap_bytes_live = self.stats.heap_bytes_live.saturating_sub(u64::from(class));
+        if leak {
+            self.stats.leaked_objects += 1;
+        } else {
+            self.free_lists.entry(class).or_default().push(addr);
+        }
+        Ok(size)
+    }
+
+    /// The object containing `addr`, if any.
+    pub fn object_containing(&self, addr: u32) -> Option<&ObjectInfo> {
+        let (_, obj) = self.objects.range(..=addr).next_back()?;
+        if addr >= obj.base && addr < obj.base + obj.size.max(1) {
+            Some(obj)
+        } else {
+            None
+        }
+    }
+
+    /// The live object starting exactly at `addr`, if any.
+    pub fn object_at(&self, addr: u32) -> Option<&ObjectInfo> {
+        self.objects.get(&addr)
+    }
+
+    // ----- loads and stores -----
+
+    /// Reads `size` bytes (1, 2, 4, or 8) at `addr`, little-endian.
+    pub fn read(&self, addr: u32, size: u32) -> VmResult<u64> {
+        let seg = self.segment(addr).ok_or_else(|| fault(addr))?;
+        let off = (addr - seg.base) as usize;
+        if off + size as usize > seg.data.len() {
+            return Err(fault(addr));
+        }
+        let mut v: u64 = 0;
+        for i in 0..size as usize {
+            v |= u64::from(seg.data[off + i]) << (8 * i);
+        }
+        Ok(v)
+    }
+
+    /// Writes `size` bytes (1, 2, 4, or 8) at `addr`, little-endian.
+    pub fn write(&mut self, addr: u32, size: u32, value: u64) -> VmResult<()> {
+        let seg = self.segment_mut(addr).ok_or_else(|| fault(addr))?;
+        let off = (addr - seg.base) as usize;
+        if off + size as usize > seg.data.len() {
+            return Err(fault(addr));
+        }
+        for i in 0..size as usize {
+            seg.data[off + i] = ((value >> (8 * i)) & 0xff) as u8;
+        }
+        Ok(())
+    }
+
+    /// Copies `len` bytes from `src` to `dst` (the `memcpy` backend).
+    pub fn copy(&mut self, dst: u32, src: u32, len: u32) -> VmResult<()> {
+        // Byte-by-byte keeps the implementation simple and handles overlap
+        // like memmove; the cost model charges per byte anyway.
+        for i in 0..len {
+            let b = self.read(src + i, 1)?;
+            self.write(dst + i, 1, b)?;
+        }
+        Ok(())
+    }
+
+    /// Fills `len` bytes at `dst` with `byte` (the `memset` backend).
+    pub fn fill(&mut self, dst: u32, byte: u8, len: u32) -> VmResult<()> {
+        for i in 0..len {
+            self.write(dst + i, 1, u64::from(byte))?;
+        }
+        Ok(())
+    }
+
+    // ----- CCount reference counts -----
+
+    /// Adjusts the reference count of the chunk containing `target` by
+    /// `delta`. Returns `true` if a count was actually maintained (stack and
+    /// unmapped targets are not counted, matching the paper's kernel CCount).
+    pub fn rc_adjust(&mut self, target: u32, delta: i32) -> bool {
+        if target == 0 || Memory::is_stack_addr(target) || Memory::is_code_addr(target) {
+            return false;
+        }
+        if self.segment(target).is_none() {
+            return false;
+        }
+        let chunk = target / CHUNK_SIZE as u32;
+        let rc = self.refcounts.entry(chunk).or_insert(0);
+        if delta >= 0 {
+            *rc = rc.wrapping_add(delta as u8);
+        } else {
+            *rc = rc.wrapping_sub((-delta) as u8);
+        }
+        true
+    }
+
+    /// The reference count of the chunk containing `addr`.
+    pub fn rc_of(&self, addr: u32) -> u8 {
+        *self.refcounts.get(&(addr / CHUNK_SIZE as u32)).unwrap_or(&0)
+    }
+
+    /// True if every chunk of the object `[base, base+size)` has a zero
+    /// reference count (the CCount free-safety condition). Counts that have
+    /// wrapped around at a multiple of 256 are missed, exactly as the paper
+    /// concedes.
+    pub fn rc_object_is_zero(&self, base: u32, size: u32) -> bool {
+        let first = base / CHUNK_SIZE as u32;
+        let last = (base + size.max(1) - 1) / CHUNK_SIZE as u32;
+        (first..=last).all(|c| *self.refcounts.get(&c).unwrap_or(&0) == 0)
+    }
+
+    /// Number of chunks spanned by an object (used for cost accounting).
+    pub fn chunks_of(base: u32, size: u32) -> u32 {
+        let first = base / CHUNK_SIZE as u32;
+        let last = (base + size.max(1) - 1) / CHUNK_SIZE as u32;
+        last - first + 1
+    }
+
+    /// Clears every reference count (used between experiment runs).
+    pub fn rc_reset(&mut self) {
+        self.refcounts.clear();
+    }
+}
+
+fn fault(addr: u32) -> VmError {
+    if addr == 0 {
+        VmError::new(TrapKind::MemoryFault, "null pointer dereference")
+    } else {
+        VmError::new(TrapKind::MemoryFault, format!("unmapped address 0x{addr:x}"))
+    }
+}
+
+fn align_up(v: u32, align: u32) -> u32 {
+    v.div_ceil(align) * align
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn globals_read_write() {
+        let mut m = Memory::new();
+        let a = m.alloc_global(8);
+        m.write(a, 4, 0xdeadbeef).unwrap();
+        assert_eq!(m.read(a, 4).unwrap(), 0xdeadbeef);
+        m.write(a + 4, 2, 0x1234).unwrap();
+        assert_eq!(m.read(a + 4, 2).unwrap(), 0x1234);
+    }
+
+    #[test]
+    fn null_and_unmapped_fault() {
+        let m = Memory::new();
+        assert!(m.read(0, 4).is_err());
+        assert!(m.read(0x7000_0000, 4).is_err());
+    }
+
+    #[test]
+    fn kmalloc_zeroes_and_tracks_objects() {
+        let mut m = Memory::new();
+        let a = m.kmalloc(40);
+        assert_eq!(m.read(a, 8).unwrap(), 0);
+        let obj = m.object_containing(a + 10).unwrap();
+        assert_eq!(obj.base, a);
+        assert_eq!(obj.size, 40);
+        assert!(obj.live);
+        assert_eq!(m.stats.allocs, 1);
+    }
+
+    #[test]
+    fn kfree_and_reuse() {
+        let mut m = Memory::new();
+        let a = m.kmalloc(16);
+        m.write(a, 4, 77).unwrap();
+        m.kfree(a, false).unwrap();
+        assert!(!m.object_at(a).unwrap().live);
+        let b = m.kmalloc(16);
+        assert_eq!(a, b, "freed block should be reused");
+        assert_eq!(m.read(b, 4).unwrap(), 0, "reused block must be re-zeroed");
+        // Leaked blocks are not reused.
+        let c = m.kmalloc(16);
+        m.kfree(c, true).unwrap();
+        let d = m.kmalloc(16);
+        assert_ne!(c, d);
+        assert_eq!(m.stats.leaked_objects, 1);
+    }
+
+    #[test]
+    fn double_free_detected() {
+        let mut m = Memory::new();
+        let a = m.kmalloc(16);
+        m.kfree(a, false).unwrap();
+        assert!(m.kfree(a, false).is_err());
+        assert!(m.kfree(0x8000_1000, false).is_err());
+    }
+
+    #[test]
+    fn stack_frames_pop() {
+        let mut m = Memory::new();
+        let mark = m.stack_mark();
+        let a = m.alloc_stack(32);
+        assert!(Memory::is_stack_addr(a));
+        assert!(m.object_containing(a).is_some());
+        m.pop_stack_frame(mark);
+        assert!(m.object_containing(a).is_none());
+        // Reuse of the same stack space starts zeroed.
+        let b = m.alloc_stack(32);
+        assert_eq!(b, a);
+        assert_eq!(m.read(b, 8).unwrap(), 0);
+    }
+
+    #[test]
+    fn refcounts_track_heap_and_globals_only() {
+        let mut m = Memory::new();
+        let h = m.kmalloc(64);
+        let g = m.alloc_global(16);
+        let s = m.alloc_stack(16);
+        assert!(m.rc_adjust(h, 1));
+        assert!(m.rc_adjust(g, 1));
+        assert!(!m.rc_adjust(s, 1), "stack targets are not counted");
+        assert!(!m.rc_adjust(0, 1), "null is not counted");
+        assert_eq!(m.rc_of(h), 1);
+        assert!(!m.rc_object_is_zero(h, 64));
+        m.rc_adjust(h, -1);
+        assert!(m.rc_object_is_zero(h, 64));
+    }
+
+    #[test]
+    fn refcount_wraps_at_256() {
+        let mut m = Memory::new();
+        let h = m.kmalloc(16);
+        for _ in 0..256 {
+            m.rc_adjust(h, 1);
+        }
+        // 256 references look like zero: the k*256 caveat from the paper.
+        assert!(m.rc_object_is_zero(h, 16));
+    }
+
+    #[test]
+    fn copy_and_fill() {
+        let mut m = Memory::new();
+        let a = m.kmalloc(32);
+        let b = m.kmalloc(32);
+        m.fill(a, 0xab, 32).unwrap();
+        m.copy(b, a, 32).unwrap();
+        assert_eq!(m.read(b + 31, 1).unwrap(), 0xab);
+    }
+
+    #[test]
+    fn chunk_arithmetic() {
+        assert_eq!(Memory::chunks_of(0x8000_0000, 16), 1);
+        assert_eq!(Memory::chunks_of(0x8000_0000, 17), 2);
+        assert_eq!(Memory::chunks_of(0x8000_0008, 16), 2);
+    }
+}

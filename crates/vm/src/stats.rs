@@ -1,0 +1,172 @@
+//! Run statistics collected by the VM.
+//!
+//! Every experiment in the paper is ultimately a question about these
+//! numbers: how many cycles did a workload take with and without checks
+//! (Table 1, E4), how many frees were verified good (E3), and where did the
+//! kernel try to block with interrupts disabled (E5 ground truth).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A record of one failed run-time check.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckFailure {
+    /// Check kind mnemonic (`bounds`, `nonnull`, `union_tag`, ...).
+    pub kind: String,
+    /// Function in which the check fired.
+    pub function: String,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+/// A record of a bad free detected by CCount.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BadFree {
+    /// Function performing the free.
+    pub function: String,
+    /// Base address of the freed object.
+    pub addr: u32,
+    /// Residual reference count observed (per-chunk maximum).
+    pub residual_refs: u32,
+    /// Whether the free happened inside a delayed-free scope (checked at the
+    /// end of the scope).
+    pub delayed: bool,
+}
+
+/// A record of a blocking call attempted while interrupts were disabled.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockingViolation {
+    /// The blocking function that was called.
+    pub callee: String,
+    /// The function that made the call.
+    pub caller: String,
+    /// Interrupt-disable nesting depth at the time.
+    pub irq_depth: u32,
+    /// Spinlocks held at the time.
+    pub locks_held: Vec<String>,
+}
+
+/// Aggregated statistics for a single VM run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Total cycles charged.
+    pub cycles: u64,
+    /// Number of KC statements executed.
+    pub steps: u64,
+    /// Number of function calls executed.
+    pub calls: u64,
+    /// Run-time checks executed, by kind.
+    pub checks_executed: BTreeMap<String, u64>,
+    /// Failed checks (the run continues unless configured to trap).
+    pub check_failures: Vec<CheckFailure>,
+    /// Reference-count updates performed (CCount).
+    pub rc_updates: u64,
+    /// Frees whose refcount check passed.
+    pub frees_good: u64,
+    /// Frees whose refcount check failed (logged and leaked).
+    pub frees_bad: u64,
+    /// Details of bad frees.
+    pub bad_frees: Vec<BadFree>,
+    /// Frees deferred by delayed-free scopes.
+    pub frees_delayed: u64,
+    /// Heap allocations observed.
+    pub allocs: u64,
+    /// Blocking-while-atomic violations observed at run time.
+    pub blocking_violations: Vec<BlockingViolation>,
+    /// `assert_may_block` assertions that fired (interrupts were disabled).
+    pub assert_failures: u64,
+    /// Bytes copied to or from user space.
+    pub user_copy_bytes: u64,
+    /// Context switches performed.
+    pub context_switches: u64,
+}
+
+impl RunStats {
+    /// Records an executed check of the given kind.
+    pub fn count_check(&mut self, kind: &str) {
+        *self.checks_executed.entry(kind.to_string()).or_insert(0) += 1;
+    }
+
+    /// Total number of run-time checks executed.
+    pub fn total_checks(&self) -> u64 {
+        self.checks_executed.values().sum()
+    }
+
+    /// Fraction of frees that passed the CCount check (1.0 when no frees).
+    pub fn good_free_ratio(&self) -> f64 {
+        let total = self.frees_good + self.frees_bad;
+        if total == 0 {
+            1.0
+        } else {
+            self.frees_good as f64 / total as f64
+        }
+    }
+
+    /// Merges another run's statistics into this one (used by multi-phase
+    /// workloads such as boot followed by light use).
+    pub fn merge(&mut self, other: &RunStats) {
+        self.cycles += other.cycles;
+        self.steps += other.steps;
+        self.calls += other.calls;
+        for (k, v) in &other.checks_executed {
+            *self.checks_executed.entry(k.clone()).or_insert(0) += v;
+        }
+        self.check_failures.extend(other.check_failures.iter().cloned());
+        self.rc_updates += other.rc_updates;
+        self.frees_good += other.frees_good;
+        self.frees_bad += other.frees_bad;
+        self.bad_frees.extend(other.bad_frees.iter().cloned());
+        self.frees_delayed += other.frees_delayed;
+        self.allocs += other.allocs;
+        self.blocking_violations.extend(other.blocking_violations.iter().cloned());
+        self.assert_failures += other.assert_failures;
+        self.user_copy_bytes += other.user_copy_bytes;
+        self.context_switches += other.context_switches;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn good_free_ratio_handles_zero() {
+        let s = RunStats::default();
+        assert_eq!(s.good_free_ratio(), 1.0);
+    }
+
+    #[test]
+    fn good_free_ratio_computes() {
+        let mut s = RunStats::default();
+        s.frees_good = 197;
+        s.frees_bad = 3;
+        assert!((s.good_free_ratio() - 0.985).abs() < 1e-9);
+    }
+
+    #[test]
+    fn check_counting_and_total() {
+        let mut s = RunStats::default();
+        s.count_check("bounds");
+        s.count_check("bounds");
+        s.count_check("nonnull");
+        assert_eq!(s.checks_executed["bounds"], 2);
+        assert_eq!(s.total_checks(), 3);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = RunStats::default();
+        a.cycles = 100;
+        a.frees_good = 2;
+        a.count_check("bounds");
+        let mut b = RunStats::default();
+        b.cycles = 50;
+        b.frees_bad = 1;
+        b.count_check("bounds");
+        a.merge(&b);
+        assert_eq!(a.cycles, 150);
+        assert_eq!(a.frees_good, 2);
+        assert_eq!(a.frees_bad, 1);
+        assert_eq!(a.checks_executed["bounds"], 2);
+    }
+}

@@ -1,0 +1,93 @@
+//! Runtime values of the KC virtual machine.
+
+use ivy_cmir::types::IntKind;
+use std::fmt;
+
+/// A runtime value.
+///
+/// KC is a 32-bit (i386-style) machine: pointers are 32-bit addresses into
+/// the VM's flat memory. Integers are computed in 64 bits and truncated to
+/// their declared width on store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Value {
+    /// An integer (also used for booleans: 0 = false).
+    Int(i64),
+    /// A pointer: an address in VM memory. Address 0 is the null pointer.
+    Ptr(u32),
+}
+
+impl Value {
+    /// The null pointer.
+    pub const NULL: Value = Value::Ptr(0);
+
+    /// Interprets the value as an integer (pointers expose their address).
+    pub fn as_int(&self) -> i64 {
+        match self {
+            Value::Int(v) => *v,
+            Value::Ptr(a) => *a as i64,
+        }
+    }
+
+    /// Interprets the value as an address.
+    pub fn as_ptr(&self) -> u32 {
+        match self {
+            Value::Int(v) => *v as u32,
+            Value::Ptr(a) => *a,
+        }
+    }
+
+    /// True if the value is "truthy" in the C sense (non-zero).
+    pub fn truthy(&self) -> bool {
+        self.as_int() != 0
+    }
+
+    /// Truncates an integer value to an integer kind's range; pointers are
+    /// returned unchanged.
+    pub fn truncate(self, kind: IntKind) -> Value {
+        match self {
+            Value::Int(v) => Value::Int(kind.truncate(v)),
+            p => p,
+        }
+    }
+
+    /// True if this is a pointer value.
+    pub fn is_ptr(&self) -> bool {
+        matches!(self, Value::Ptr(_))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Ptr(0) => write!(f, "null"),
+            Value::Ptr(a) => write!(f, "0x{a:x}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Int(0).truthy());
+        assert!(Value::Int(-3).truthy());
+        assert!(!Value::NULL.truthy());
+        assert!(Value::Ptr(0x1000).truthy());
+    }
+
+    #[test]
+    fn truncation_applies_to_ints_only() {
+        assert_eq!(Value::Int(300).truncate(IntKind::U8), Value::Int(44));
+        assert_eq!(Value::Ptr(300).truncate(IntKind::U8), Value::Ptr(300));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Int(7).to_string(), "7");
+        assert_eq!(Value::NULL.to_string(), "null");
+        assert_eq!(Value::Ptr(16).to_string(), "0x10");
+    }
+}

@@ -1,0 +1,39 @@
+//! Demonstrates the collaborative annotation repository of §3.2: run the
+//! whole Ivy pipeline over the kernel, harvest function/type facts, absorb
+//! the BlockStop results, and serialise the repository to JSON.
+//!
+//! Run with: `cargo run --example annotation_repository`
+
+use ivy::core::pipeline::Pipeline;
+use ivy::kernelgen::{KernelBuild, KernelConfig};
+
+fn main() {
+    let config = if cfg!(debug_assertions) { KernelConfig::small() } else { KernelConfig::paper() };
+    let build = KernelBuild::generate(&config);
+    println!(
+        "Generated kernel: {} functions, {} lines of KC.",
+        build.program.functions.len(),
+        build.line_count()
+    );
+
+    let hardened = Pipeline::new().run(&build);
+    println!(
+        "Pipeline: {} Deputy checks, {} counted pointer writes, {} BlockStop assertions.",
+        hardened.deputy.total_runtime_checks(),
+        hardened.ccount.counted_pointer_writes,
+        hardened.asserts_inserted
+    );
+
+    let repo = &hardened.repository;
+    println!(
+        "Repository: {} functions, {} types, {} known-blocking functions.",
+        repo.functions.len(),
+        repo.types.len(),
+        repo.blocking_functions().len()
+    );
+
+    // Print a small excerpt of the JSON that would be shared.
+    let json = repo.to_json();
+    let excerpt: String = json.lines().take(40).collect::<Vec<_>>().join("\n");
+    println!("\nJSON excerpt:\n{excerpt}\n...");
+}

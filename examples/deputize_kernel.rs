@@ -1,0 +1,40 @@
+//! Reproduces Table 1: relative performance of the deputized kernel on the
+//! hbench-style workload suite, plus the annotation-burden numbers of §2.1.
+//!
+//! Run with: `cargo run --release --example deputize_kernel`
+
+use ivy::core::experiments::{deputy_burden, table1_hbench, Scale};
+
+fn main() {
+    // Use the paper-shaped kernel but a reduced iteration factor so the
+    // example finishes quickly even in debug builds.
+    let mut scale = Scale::paper();
+    scale.workload_factor = if cfg!(debug_assertions) { 0.1 } else { 0.5 };
+
+    println!("Generating the synthetic kernel and running the hbench suite twice");
+    println!("(baseline kernel vs. deputized kernel)...\n");
+    let table = table1_hbench(&scale);
+    println!("Table 1: Relative performance of the deputized kernel\n");
+    println!("{}", table.render());
+    println!("geometric mean: {:.2}", table.geomean());
+    println!(
+        "checks inserted: {} ({} optimised away), static discharge ratio {:.1}%\n",
+        table.conversion.total_runtime_checks(),
+        table.conversion.checks_optimized_away,
+        table.conversion.static_ratio() * 100.0
+    );
+
+    let burden = deputy_burden(&scale);
+    println!("Annotation burden (§2.1):");
+    println!("  total lines:      {}", burden.burden.total_lines);
+    println!(
+        "  annotated lines:  {} ({:.2}%)",
+        burden.burden.annotated_lines,
+        burden.burden.annotated_fraction() * 100.0
+    );
+    println!(
+        "  trusted lines:    {} ({:.2}%)",
+        burden.burden.trusted_lines,
+        burden.burden.trusted_fraction() * 100.0
+    );
+}

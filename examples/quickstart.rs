@@ -1,0 +1,66 @@
+//! Quickstart: annotate a buffer-handling routine, deputize it, and watch the
+//! inserted run-time check catch an out-of-bounds access.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use ivy::cmir::parser::parse_program;
+use ivy::cmir::pretty::pretty_program;
+use ivy::deputy::Deputy;
+use ivy::vm::{TrapKind, Value, Vm, VmConfig};
+
+fn main() {
+    let source = r#"
+        #[allocator]
+        extern fn kmalloc(size: u32, flags: u32) -> void *;
+        extern fn kfree(p: void *);
+
+        struct packet {
+            len: u32;
+            data: u8 * count(len);
+        }
+
+        fn packet_alloc(len: u32) -> struct packet * {
+            let p: struct packet * = (kmalloc(sizeof(struct packet), 0) as struct packet *);
+            p->len = len;
+            p->data = (kmalloc(len, 0) as u8 *);
+            return p;
+        }
+
+        fn packet_poke(p: struct packet * nonnull, index: u32, value: u8) {
+            p->data[index] = value;
+        }
+
+        fn demo(index: u32) -> u32 {
+            let p: struct packet * = packet_alloc(32);
+            packet_poke(p, index, 7);
+            let sum: u32 = (p->data[index % 32] as u32);
+            kfree((p->data as void *));
+            kfree((p as void *));
+            return sum;
+        }
+    "#;
+
+    let program = parse_program(source).expect("snippet parses");
+    let conversion = Deputy::new().convert(&program);
+    println!("== Deputized program ==\n{}", pretty_program(&conversion.program));
+    println!(
+        "Deputy inserted {} run-time check(s); {} site(s) discharged statically.\n",
+        conversion.report.total_runtime_checks(),
+        conversion.report.static_discharged
+    );
+
+    // A correct access runs unchanged.
+    let mut vm = Vm::new(conversion.program.clone(), VmConfig::deputized()).unwrap();
+    let ok = vm.run("demo", vec![Value::Int(5), Value::Int(0)]).unwrap();
+    println!("demo(5) = {ok} with {} checks executed, 0 failures", vm.stats.total_checks());
+
+    // An out-of-bounds access traps on the inserted check.
+    let cfg = VmConfig { trap_on_check_failure: true, ..VmConfig::deputized() };
+    let mut vm2 = Vm::new(conversion.program, cfg).unwrap();
+    match vm2.run("demo", vec![Value::Int(40), Value::Int(0)]) {
+        Err(e) if e.kind == TrapKind::CheckFailure => {
+            println!("demo(40) trapped as expected: {e}");
+        }
+        other => println!("unexpected outcome: {other:?}"),
+    }
+}

@@ -1,0 +1,38 @@
+//! Integration test for experiment E5: BlockStop finds the seeded bugs and
+//! its false positives are silenced by run-time assertions.
+
+use ivy::core::experiments::{blockstop_results, pointsto_ablation, Scale};
+
+#[test]
+fn blockstop_finds_both_seeded_bugs_and_silences_false_positives() {
+    let r = blockstop_results(&Scale::test());
+    assert_eq!(r.real_bugs_found, 2, "the paper found two apparent bugs");
+    assert!(r.false_positives > 0, "conservative points-to must produce false positives");
+    assert!(r.asserts_inserted >= 1);
+    assert!(
+        r.findings_after < r.findings_before,
+        "assertions must reduce findings: {} -> {}",
+        r.findings_before,
+        r.findings_after
+    );
+    assert!(r.real_bug_findings >= 2);
+    // The assertions encode true facts, so none fire during boot.
+    assert_eq!(r.runtime_assert_failures, 0);
+    // The seeded bugs are observable at run time as well.
+    assert!(r.runtime_violations > 0);
+}
+
+#[test]
+fn pointsto_precision_improves_results() {
+    let rows = pointsto_ablation(&Scale::test());
+    assert_eq!(rows.len(), 3);
+    let get = |name: &str| rows.iter().find(|r| r.sensitivity == name).unwrap();
+    let steens = get("steensgaard");
+    let andersen = get("andersen");
+    let field = get("andersen+field");
+    // More precise analyses never report more false positives, and the
+    // equality-based analysis has the largest indirect-call fan-out.
+    assert!(andersen.false_positives <= steens.false_positives);
+    assert!(field.false_positives <= andersen.false_positives);
+    assert!(steens.mean_indirect_fanout >= field.mean_indirect_fanout);
+}

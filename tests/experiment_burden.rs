@@ -1,0 +1,21 @@
+//! Integration test for experiment E2: annotation burden of the conversion.
+
+use ivy::core::experiments::{deputy_burden, Scale};
+
+#[test]
+fn annotation_burden_is_a_small_fraction_of_the_kernel() {
+    let r = deputy_burden(&Scale::test());
+    assert!(r.total_lines > 1_000, "corpus too small: {}", r.total_lines);
+    // The paper: ~0.6% annotated, <0.8% trusted. Our corpus is denser in
+    // annotated subsystems, so allow a looser bound while keeping the
+    // "small fraction" shape.
+    assert!(r.burden.annotated_fraction() < 0.10, "{}", r.burden.annotated_fraction());
+    assert!(r.burden.trusted_fraction() < 0.05, "{}", r.burden.trusted_fraction());
+    assert!(r.burden.annotated_lines > 0);
+    assert!(r.burden.trusted_lines > 0);
+    assert!(r.burden.trusted_functions >= 2);
+    // The conversion is accepted and hybrid: some checks static, some dynamic.
+    assert!(r.conversion.accepted(), "{:?}", r.conversion.diagnostics);
+    assert!(r.conversion.static_discharged > 0);
+    assert!(r.conversion.total_runtime_checks() > 0);
+}

@@ -1,0 +1,22 @@
+//! Integration test for experiment E4: CCount overheads for fork and module
+//! loading on UP and SMP kernels.
+
+use ivy::core::experiments::{ccount_overhead, Scale};
+
+#[test]
+fn ccount_overhead_ordering_matches_paper() {
+    let o = ccount_overhead(&Scale::test());
+    // All overheads are positive.
+    assert!(o.fork_up.percent() > 0.0);
+    assert!(o.fork_smp.percent() > 0.0);
+    assert!(o.module_up.percent() > 0.0);
+    assert!(o.module_smp.percent() > 0.0);
+    // SMP (locked refcount operations) costs more than UP for both workloads.
+    assert!(o.fork_smp.percent() > o.fork_up.percent());
+    assert!(o.module_smp.percent() >= o.module_up.percent());
+    // Fork is hurt much more than module loading on SMP (19%/63% vs 8%/12%
+    // in the paper): pointer-dense page-table copying vs bulk text copying.
+    assert!(o.fork_smp.percent() > o.module_smp.percent());
+    // Nothing explodes: overheads stay under 2x even on SMP.
+    assert!(o.fork_smp.ratio() < 2.0, "fork SMP ratio {:.2}", o.fork_smp.ratio());
+}

@@ -1,0 +1,24 @@
+//! Integration test for experiment E7: the §3.1 extension analyses run on the
+//! same corpus and produce sensible results.
+
+use ivy::core::experiments::{extensions, Scale};
+
+#[test]
+fn extension_analyses_produce_findings() {
+    let r = extensions(&Scale::test());
+
+    // Lock safety: the corpus locks consistently, so no order violations, and
+    // locks taken in interrupt handlers are known.
+    assert!(r.locks.order_violations.is_empty(), "{:?}", r.locks.order_violations);
+
+    // Stack bounds: every syscall/workload entry point gets a bound and fits
+    // in 8 kB; recursive functions are identified separately.
+    assert!(!r.stack.per_entry.is_empty());
+    assert!(r.stack.over_budget.is_empty(), "{:?}", r.stack.over_budget);
+    assert!(r.stack.per_entry.values().all(|d| *d > 0));
+
+    // Error codes: the corpus has error-returning functions, and some calls
+    // discard their results (findings for the error-code checker).
+    assert!(!r.errors.error_returning.is_empty());
+    assert!(r.errors.checked_sites > 0);
+}

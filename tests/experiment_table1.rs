@@ -1,0 +1,51 @@
+//! Integration test for experiment E1 (Table 1): the deputized kernel's
+//! relative performance on the hbench suite has the paper's shape.
+
+use ivy::core::experiments::{table1_hbench, Scale};
+
+#[test]
+fn table1_reproduces_paper_shape() {
+    let table = table1_hbench(&Scale::test());
+    assert_eq!(table.rows.len(), 21, "Table 1 has 21 benchmarks");
+
+    let row = |name: &str| {
+        table
+            .rows
+            .iter()
+            .find(|r| r.name == name)
+            .unwrap_or_else(|| panic!("missing row {name}"))
+    };
+
+    // Every benchmark pays a bounded overhead: nothing slows by 2x or more.
+    for r in &table.rows {
+        assert!(r.relative() >= 0.99, "{} sped up: {:.2}", r.name, r.relative());
+        assert!(r.relative() < 2.0, "{} slowed by {:.2}x", r.name, r.relative());
+    }
+
+    // Bandwidth benchmarks are cheaper to check than the worst latency
+    // benchmarks (the paper's worst cases are lat_udp / lat_tcp).
+    let bw_mean: f64 = table
+        .rows
+        .iter()
+        .filter(|r| r.name.starts_with("bw_"))
+        .map(|r| r.relative())
+        .sum::<f64>()
+        / 8.0;
+    let worst_lat = table
+        .rows
+        .iter()
+        .filter(|r| r.name.starts_with("lat_"))
+        .map(|r| r.relative())
+        .fold(0.0f64, f64::max);
+    assert!(
+        worst_lat > bw_mean,
+        "worst latency overhead ({worst_lat:.2}) should exceed mean bandwidth overhead ({bw_mean:.2})"
+    );
+
+    // The deputized kernel actually executes checks on the latency paths.
+    assert!(row("lat_udp").checks_executed > 0);
+    assert!(row("lat_fslayer").checks_executed > 0);
+
+    // Overall overhead is modest (the paper's message).
+    assert!(table.geomean() < 1.4, "geomean {:.2}", table.geomean());
+}

@@ -1,0 +1,38 @@
+//! Whole-pipeline integration test: generate the kernel, run all three tools,
+//! execute the hardened kernel fully instrumented, and check the combined
+//! soundness story (this is the "proof-of-concept kernel" of the paper's
+//! introduction, in miniature).
+
+use ivy::ccount::FreeVerification;
+use ivy::core::pipeline::Pipeline;
+use ivy::deputy::erase;
+use ivy::kernelgen::{boot_workload, KernelBuild, KernelConfig};
+use ivy::vm::{Value, Vm, VmConfig};
+
+#[test]
+fn hardened_kernel_boots_cleanly_and_erasure_recovers_the_original() {
+    let config = KernelConfig::small();
+    let build = KernelBuild::generate(&config);
+    let hardened = Pipeline::new().run(&build);
+    assert!(hardened.deputy.accepted());
+
+    // Fully instrumented boot: Deputy checks + CCount refcounts + BlockStop
+    // assertions, all at once.
+    let boot = boot_workload(config.boot_cycles);
+    let mut vm = Vm::new(hardened.program.clone(), VmConfig::full(false)).unwrap();
+    vm.run(&boot.entry, vec![Value::Int(i64::from(boot.iters)), Value::Int(0)]).unwrap();
+    assert!(vm.stats.total_checks() > 0);
+    assert!(vm.stats.check_failures.is_empty(), "{:?}", vm.stats.check_failures);
+    let frees = FreeVerification::from_stats(&vm.stats);
+    assert_eq!(frees.bad, 0);
+    assert!(frees.good > 0);
+    assert_eq!(vm.stats.assert_failures, 0);
+
+    // Erasure: stripping every annotation and inserted check yields a program
+    // that still boots and does the same work, with no checks executed.
+    let erased = erase(&hardened.program);
+    let mut vm2 = Vm::new(erased, VmConfig::full(false)).unwrap();
+    vm2.run(&boot.entry, vec![Value::Int(i64::from(boot.iters)), Value::Int(0)]).unwrap();
+    assert_eq!(vm2.stats.checks_executed.get("bounds"), None);
+    assert_eq!(vm2.stats.calls, vm.stats.calls, "erasure must not change the work done");
+}
