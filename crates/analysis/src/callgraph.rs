@@ -288,7 +288,10 @@ mod tests {
         let seeds = BTreeSet::from(["wait_for_completion".to_string()]);
         let may_block = cg.propagate_backwards(&seeds);
         assert!(may_block.contains("read_chan"));
-        assert!(may_block.contains("flush_to_ldisc"), "through the fn pointer");
+        assert!(
+            may_block.contains("flush_to_ldisc"),
+            "through the fn pointer"
+        );
         assert!(!may_block.contains("schedule"));
     }
 

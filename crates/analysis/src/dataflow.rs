@@ -77,8 +77,11 @@ pub fn solve<T: Transfer>(cfg: &Cfg, transfer: &T) -> Solution<T::Fact> {
                 iterations += 1;
                 for &b in &order {
                     // Join predecessors.
-                    let mut in_fact =
-                        if b == Cfg::ENTRY { transfer.boundary() } else { T::Fact::bottom() };
+                    let mut in_fact = if b == Cfg::ENTRY {
+                        transfer.boundary()
+                    } else {
+                        T::Fact::bottom()
+                    };
                     for &p in &preds[b] {
                         in_fact.join(&exit[p]);
                     }
@@ -109,8 +112,11 @@ pub fn solve<T: Transfer>(cfg: &Cfg, transfer: &T) -> Solution<T::Fact> {
                 iterations += 1;
                 for &b in &order {
                     // Join successors into the block's exit fact.
-                    let mut out_fact =
-                        if exits.contains(&b) { transfer.boundary() } else { T::Fact::bottom() };
+                    let mut out_fact = if exits.contains(&b) {
+                        transfer.boundary()
+                    } else {
+                        T::Fact::bottom()
+                    };
                     for s in cfg.successors(b) {
                         out_fact.join(&entry[s]);
                     }

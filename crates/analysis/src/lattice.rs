@@ -46,7 +46,9 @@ pub struct SetLattice<T: Ord + Clone> {
 impl<T: Ord + Clone> SetLattice<T> {
     /// An empty set.
     pub fn new() -> Self {
-        SetLattice { items: BTreeSet::new() }
+        SetLattice {
+            items: BTreeSet::new(),
+        }
     }
 
     /// A singleton set.
@@ -91,7 +93,9 @@ pub struct MapLattice<K: Ord + Clone, V: Lattice> {
 impl<K: Ord + Clone, V: Lattice> MapLattice<K, V> {
     /// An empty map.
     pub fn new() -> Self {
-        MapLattice { map: std::collections::BTreeMap::new() }
+        MapLattice {
+            map: std::collections::BTreeMap::new(),
+        }
     }
 
     /// Gets the fact for a key (bottom if absent).

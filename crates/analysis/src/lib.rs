@@ -42,8 +42,10 @@ pub mod callgraph;
 pub mod dataflow;
 pub mod lattice;
 pub mod pointsto;
+pub mod summary;
 
 pub use callgraph::{CallGraph, CallSite, EdgeKind};
 pub use dataflow::{solve, Direction, Solution, Transfer};
 pub use lattice::{BoolLattice, Lattice, MapLattice, SetLattice};
 pub use pointsto::{analyze, Loc, PointsToResult, Sensitivity};
+pub use summary::{Condensation, FunctionSummary, ProgramSummaries};

@@ -172,8 +172,10 @@ pub fn analyze(program: &Program, sensitivity: Sensitivity) -> PointsToResult {
             gen.temp_counter = 0;
             let mut ctx = TypeCtx::new(program);
             let src = gen.gen_value(init, &mut ctx);
-            gen.constraints
-                .push(Constraint::Copy { dst: Loc::Global(g.decl.name.clone()), src });
+            gen.constraints.push(Constraint::Copy {
+                dst: Loc::Global(g.decl.name.clone()),
+                src,
+            });
         }
     }
     for f in program.functions.iter().filter(|f| f.body.is_some()) {
@@ -246,7 +248,10 @@ fn solve(
                     for (idx, param) in f.params.iter().enumerate() {
                         if let Some(arg_loc) = site.arg_locs.get(idx) {
                             new_constraints.push(Constraint::Copy {
-                                dst: Loc::Local { func: callee.clone(), var: param.name.clone() },
+                                dst: Loc::Local {
+                                    func: callee.clone(),
+                                    var: param.name.clone(),
+                                },
                                 src: arg_loc.clone(),
                             });
                         }
@@ -263,9 +268,10 @@ fn solve(
             let reversed: Vec<Constraint> = new_constraints
                 .iter()
                 .filter_map(|c| match c {
-                    Constraint::Copy { dst, src } => {
-                        Some(Constraint::Copy { dst: src.clone(), src: dst.clone() })
-                    }
+                    Constraint::Copy { dst, src } => Some(Constraint::Copy {
+                        dst: src.clone(),
+                        src: dst.clone(),
+                    }),
                     _ => None,
                 })
                 .collect();
@@ -297,7 +303,13 @@ fn solve(
             .extend(targets);
     }
 
-    PointsToResult { pts, indirect_targets, sensitivity, constraint_count, iterations }
+    PointsToResult {
+        pts,
+        indirect_targets,
+        sensitivity,
+        constraint_count,
+        iterations,
+    }
 }
 
 fn copy_into(pts: &mut BTreeMap<Loc, BTreeSet<Loc>>, dst: &Loc, src: &Loc) -> bool {
@@ -327,14 +339,19 @@ struct ConstraintGen<'p> {
 impl<'p> ConstraintGen<'p> {
     fn fresh(&mut self) -> Loc {
         self.temp_counter += 1;
-        Loc::Temp { func: self.current_func.clone(), id: self.temp_counter }
+        Loc::Temp {
+            func: self.current_func.clone(),
+            id: self.temp_counter,
+        }
     }
 
     fn push(&mut self, c: Constraint) {
         if self.sensitivity == Sensitivity::Steensgaard {
             if let Constraint::Copy { dst, src } = &c {
-                self.constraints
-                    .push(Constraint::Copy { dst: src.clone(), src: dst.clone() });
+                self.constraints.push(Constraint::Copy {
+                    dst: src.clone(),
+                    src: dst.clone(),
+                });
             }
         }
         self.constraints.push(c);
@@ -351,7 +368,10 @@ impl<'p> ConstraintGen<'p> {
                 // A bare function name: handled by the caller (AddrOf(Func)).
                 return None;
             }
-            return Some(Loc::Local { func: self.current_func.clone(), var: name.to_string() });
+            return Some(Loc::Local {
+                func: self.current_func.clone(),
+                var: name.to_string(),
+            });
         }
         if self.program.global(name).is_some() {
             return Some(Loc::Global(name.to_string()));
@@ -361,9 +381,10 @@ impl<'p> ConstraintGen<'p> {
 
     fn field_loc(&self, composite: Option<String>, field: &str) -> Loc {
         match (self.sensitivity, composite) {
-            (Sensitivity::AndersenField, Some(c)) => {
-                Loc::Field { composite: c, field: field.to_string() }
-            }
+            (Sensitivity::AndersenField, Some(c)) => Loc::Field {
+                composite: c,
+                field: field.to_string(),
+            },
             (_, Some(c)) => Loc::Composite(c),
             (_, None) => Loc::Composite("<unknown>".to_string()),
         }
@@ -373,7 +394,10 @@ impl<'p> ConstraintGen<'p> {
         self.current_func = func.name.clone();
         self.temp_counter = 0;
         let mut ctx = TypeCtx::for_function(self.program, func);
-        let body = func.body.clone().expect("only called for defined functions");
+        let body = func
+            .body
+            .clone()
+            .expect("only called for defined functions");
         self.gen_block(&body, func, &mut ctx);
     }
 
@@ -389,7 +413,10 @@ impl<'p> ConstraintGen<'p> {
                 if let Some(init) = init {
                     let src = self.gen_value(init, ctx);
                     self.push(Constraint::Copy {
-                        dst: Loc::Local { func: self.current_func.clone(), var: d.name.clone() },
+                        dst: Loc::Local {
+                            func: self.current_func.clone(),
+                            var: d.name.clone(),
+                        },
                         src,
                     });
                 }
@@ -404,7 +431,10 @@ impl<'p> ConstraintGen<'p> {
             }
             Stmt::Return(Some(e), _) => {
                 let src = self.gen_value(e, ctx);
-                self.push(Constraint::Copy { dst: Loc::Ret(self.current_func.clone()), src });
+                self.push(Constraint::Copy {
+                    dst: Loc::Ret(self.current_func.clone()),
+                    src,
+                });
             }
             Stmt::Return(None, _) | Stmt::Break(_) | Stmt::Continue(_) => {}
             Stmt::If(c, then_b, else_b, _) => {
@@ -462,7 +492,10 @@ impl<'p> ConstraintGen<'p> {
             Expr::Var(name) => {
                 if self.program.function(name).is_some() && ctx_local_shadows(ctx, name).is_none() {
                     let t = self.fresh();
-                    self.push(Constraint::AddrOf { dst: t.clone(), loc: Loc::Func(name.clone()) });
+                    self.push(Constraint::AddrOf {
+                        dst: t.clone(),
+                        loc: Loc::Func(name.clone()),
+                    });
                     t
                 } else if let Some(l) = self.var_loc(ctx, name) {
                     // Arrays decay to a pointer to their own storage when used
@@ -473,7 +506,10 @@ impl<'p> ConstraintGen<'p> {
                         .unwrap_or(false);
                     if is_array {
                         let t = self.fresh();
-                        self.push(Constraint::AddrOf { dst: t.clone(), loc: l });
+                        self.push(Constraint::AddrOf {
+                            dst: t.clone(),
+                            loc: l,
+                        });
                         t
                     } else {
                         l
@@ -487,15 +523,24 @@ impl<'p> ConstraintGen<'p> {
                 let la = self.gen_value(a, ctx);
                 let lb = self.gen_value(b, ctx);
                 let t = self.fresh();
-                self.push(Constraint::Copy { dst: t.clone(), src: la });
-                self.push(Constraint::Copy { dst: t.clone(), src: lb });
+                self.push(Constraint::Copy {
+                    dst: t.clone(),
+                    src: la,
+                });
+                self.push(Constraint::Copy {
+                    dst: t.clone(),
+                    src: lb,
+                });
                 t
             }
             Expr::Cast(_, inner) => self.gen_value(inner, ctx),
             Expr::Deref(inner) | Expr::Index(inner, _) => {
                 let src = self.gen_value(inner, ctx);
                 let t = self.fresh();
-                self.push(Constraint::Load { dst: t.clone(), src });
+                self.push(Constraint::Load {
+                    dst: t.clone(),
+                    src,
+                });
                 t
             }
             Expr::Arrow(obj, field) => {
@@ -503,7 +548,10 @@ impl<'p> ConstraintGen<'p> {
                 let _ = self.gen_value(obj, ctx);
                 let t = self.fresh();
                 let f = self.field_loc(comp, field);
-                self.push(Constraint::Copy { dst: t.clone(), src: f });
+                self.push(Constraint::Copy {
+                    dst: t.clone(),
+                    src: f,
+                });
                 t
             }
             Expr::Field(obj, field) => {
@@ -511,7 +559,10 @@ impl<'p> ConstraintGen<'p> {
                 let _ = self.gen_value(obj, ctx);
                 let t = self.fresh();
                 let f = self.field_loc(comp, field);
-                self.push(Constraint::Copy { dst: t.clone(), src: f });
+                self.push(Constraint::Copy {
+                    dst: t.clone(),
+                    src: f,
+                });
                 t
             }
             Expr::AddrOf(inner) => match &**inner {
@@ -526,7 +577,10 @@ impl<'p> ConstraintGen<'p> {
                     } else {
                         return t;
                     };
-                    self.push(Constraint::AddrOf { dst: t.clone(), loc });
+                    self.push(Constraint::AddrOf {
+                        dst: t.clone(),
+                        loc,
+                    });
                     t
                 }
                 Expr::Arrow(obj, field) | Expr::Field(obj, field) => {
@@ -534,7 +588,10 @@ impl<'p> ConstraintGen<'p> {
                     let _ = self.gen_value(obj, ctx);
                     let t = self.fresh();
                     let loc = self.field_loc(comp, field);
-                    self.push(Constraint::AddrOf { dst: t.clone(), loc });
+                    self.push(Constraint::AddrOf {
+                        dst: t.clone(),
+                        loc,
+                    });
                     t
                 }
                 Expr::Index(base, _) => self.gen_value(base, ctx),
@@ -552,8 +609,7 @@ impl<'p> ConstraintGen<'p> {
                         let f = self.program.function(name).expect("checked above").clone();
                         if f.attrs.allocator {
                             self.alloc_counter += 1;
-                            let site =
-                                format!("{}#{}", self.current_func, self.alloc_counter);
+                            let site = format!("{}#{}", self.current_func, self.alloc_counter);
                             self.push(Constraint::AddrOf {
                                 dst: result.clone(),
                                 loc: Loc::Alloc { site },
@@ -562,7 +618,10 @@ impl<'p> ConstraintGen<'p> {
                         for (idx, param) in f.params.iter().enumerate() {
                             if let Some(arg_loc) = arg_locs.get(idx) {
                                 self.push(Constraint::Copy {
-                                    dst: Loc::Local { func: name.clone(), var: param.name.clone() },
+                                    dst: Loc::Local {
+                                        func: name.clone(),
+                                        var: param.name.clone(),
+                                    },
                                     src: arg_loc.clone(),
                                 });
                             }
@@ -638,7 +697,10 @@ mod tests {
         let r = analyze(&p, Sensitivity::AndersenField);
         let targets = r.indirect_call_targets("vfs_read", "ops->read");
         assert!(targets.contains("ext2_read"), "targets: {targets:?}");
-        assert!(targets.contains("pipe_read"), "field-based merging expected");
+        assert!(
+            targets.contains("pipe_read"),
+            "field-based merging expected"
+        );
         // Field sensitivity separates read from write.
         assert!(!targets.contains("ext2_write"), "targets: {targets:?}");
     }
@@ -674,10 +736,14 @@ mod tests {
         "#;
         let p = parse_program(src).unwrap();
         let r = analyze(&p, Sensitivity::Andersen);
-        let q = Loc::Local { func: "caller".into(), var: "q".into() };
+        let q = Loc::Local {
+            func: "caller".into(),
+            var: "q".into(),
+        };
         let pts = r.points_to(&q);
         assert!(
-            pts.iter().any(|l| matches!(l, Loc::Global(g) if g == "buffer")),
+            pts.iter()
+                .any(|l| matches!(l, Loc::Global(g) if g == "buffer")),
             "q should point to buffer, got {pts:?}"
         );
     }
@@ -695,8 +761,14 @@ mod tests {
         "#;
         let p = parse_program(src).unwrap();
         let r = analyze(&p, Sensitivity::Andersen);
-        let a = Loc::Local { func: "f".into(), var: "a".into() };
-        let b = Loc::Local { func: "f".into(), var: "b".into() };
+        let a = Loc::Local {
+            func: "f".into(),
+            var: "a".into(),
+        };
+        let b = Loc::Local {
+            func: "f".into(),
+            var: "b".into(),
+        };
         // `a` sees both sites after `a = b`; `b` sees only its own.
         assert_eq!(r.points_to(&a).len(), 2, "{:?}", r.points_to(&a));
         assert_eq!(r.points_to(&b).len(), 1);
@@ -717,11 +789,15 @@ mod tests {
         let sink = Loc::Global("sink".into());
         let pts = r.points_to(&sink);
         assert!(
-            pts.iter().any(|l| matches!(l, Loc::Global(g) if g == "data")),
+            pts.iter()
+                .any(|l| matches!(l, Loc::Global(g) if g == "data")),
             "indirect call must bind args: {pts:?}"
         );
         let targets = r.indirect_call_targets("fire", "hook");
-        assert_eq!(targets.into_iter().collect::<Vec<_>>(), vec!["store".to_string()]);
+        assert_eq!(
+            targets.into_iter().collect::<Vec<_>>(),
+            vec!["store".to_string()]
+        );
     }
 
     #[test]

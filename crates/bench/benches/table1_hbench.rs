@@ -24,7 +24,11 @@ fn bench_table1(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1");
     group.sample_size(10);
     for name in ["bw_mem_cp", "lat_udp"] {
-        let w = hbench_suite().into_iter().find(|w| w.name == name).unwrap().scaled(0.2);
+        let w = hbench_suite()
+            .into_iter()
+            .find(|w| w.name == name)
+            .unwrap()
+            .scaled(0.2);
         group.bench_function(format!("{name}/baseline"), |b| {
             b.iter(|| run_workload(&build.program, VmConfig::baseline(), &w))
         });

@@ -33,7 +33,9 @@ fn bench_burden(c: &mut Criterion) {
     group.bench_function("convert_whole_kernel", |b| {
         b.iter(|| Deputy::new().convert(&build.program))
     });
-    group.bench_function("burden_stats", |b| b.iter(|| ivy_deputy::stats::burden(&build.program)));
+    group.bench_function("burden_stats", |b| {
+        b.iter(|| ivy_deputy::stats::burden(&build.program))
+    });
     group.finish();
 }
 

@@ -1,8 +1,8 @@
 //! Bench for E3: CCount free verification across boot and light use.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ivy_core::experiments::{ccount_frees, fix_plan_for, Scale};
 use ivy_core::experiments::run_workload;
+use ivy_core::experiments::{ccount_frees, fix_plan_for, Scale};
 use ivy_kernelgen::{boot_workload, KernelBuild};
 use ivy_vm::VmConfig;
 

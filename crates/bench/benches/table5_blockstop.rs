@@ -14,7 +14,10 @@ fn bench_blockstop(c: &mut Criterion) {
     println!("false positives:               {}", r.false_positives);
     println!("run-time assertions inserted:  {}", r.asserts_inserted);
     println!("findings after assertions:     {}", r.findings_after);
-    println!("assert failures during boot:   {}\n", r.runtime_assert_failures);
+    println!(
+        "assert failures during boot:   {}\n",
+        r.runtime_assert_failures
+    );
 
     let build = KernelBuild::generate(&scale.kernel);
     let mut group = c.benchmark_group("blockstop");

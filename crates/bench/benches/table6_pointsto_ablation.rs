@@ -10,7 +10,10 @@ use ivy_kernelgen::KernelBuild;
 fn bench_ablation(c: &mut Criterion) {
     let scale = Scale::paper();
     println!("\n==== E6: points-to precision ablation ====");
-    println!("{:<16} {:>9} {:>16} {:>13}", "variant", "findings", "false positives", "mean fanout");
+    println!(
+        "{:<16} {:>9} {:>16} {:>13}",
+        "variant", "findings", "false positives", "mean fanout"
+    );
     for row in pointsto_ablation(&scale) {
         println!(
             "{:<16} {:>9} {:>16} {:>13.2}",
@@ -22,7 +25,11 @@ fn bench_ablation(c: &mut Criterion) {
     let build = KernelBuild::generate(&scale.kernel);
     let mut group = c.benchmark_group("pointsto");
     group.sample_size(10);
-    for s in [Sensitivity::Steensgaard, Sensitivity::Andersen, Sensitivity::AndersenField] {
+    for s in [
+        Sensitivity::Steensgaard,
+        Sensitivity::Andersen,
+        Sensitivity::AndersenField,
+    ] {
         group.bench_function(s.name(), |b| b.iter(|| analyze(&build.program, s)));
     }
     group.finish();

@@ -36,7 +36,9 @@ fn bench_extensions(c: &mut Criterion) {
     let mut group = c.benchmark_group("extensions");
     group.sample_size(10);
     group.bench_function("lockcheck", |b| b.iter(|| lockcheck(&build.program)));
-    group.bench_function("stackcheck", |b| b.iter(|| stackcheck(&build.program, 8192)));
+    group.bench_function("stackcheck", |b| {
+        b.iter(|| stackcheck(&build.program, 8192))
+    });
     group.bench_function("errcheck", |b| b.iter(|| errcheck(&build.program)));
     group.finish();
 }

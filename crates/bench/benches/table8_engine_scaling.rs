@@ -1,0 +1,107 @@
+//! Bench for the analysis engine: throughput at 1/2/4/8 worker threads and
+//! warm-vs-cold cache over a `KernelConfig` sweep, with a machine-readable
+//! JSON summary for the bench trajectory.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ivy_core::experiments::default_engine;
+use ivy_kernelgen::{KernelBuild, KernelConfig};
+use serde_json::{Map, Value};
+use std::time::Instant;
+
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+fn median_secs(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[samples.len() / 2]
+}
+
+fn time_runs(mut run: impl FnMut(), samples: usize) -> f64 {
+    let times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            run();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    median_secs(times)
+}
+
+fn bench_engine_scaling(c: &mut Criterion) {
+    let sweep = [
+        ("small", KernelConfig::small()),
+        ("paper", KernelConfig::paper()),
+    ];
+
+    let mut summary: Vec<Value> = Vec::new();
+    println!("\n==== Table 8: engine scaling (threads x cache temperature) ====");
+    println!(
+        "{:<8} {:>8} {:>12} {:>12} {:>9} {:>10}",
+        "kernel", "threads", "cold (s)", "warm (s)", "speedup", "warm hits"
+    );
+    for (name, config) in &sweep {
+        let build = KernelBuild::generate(config);
+        for &threads in &THREAD_SWEEP {
+            let cold = time_runs(
+                || {
+                    default_engine(threads).analyze(&build.program);
+                },
+                3,
+            );
+            let engine = default_engine(threads);
+            engine.analyze(&build.program); // prime the cache
+            let warm_report = engine.analyze(&build.program);
+            let warm = time_runs(
+                || {
+                    engine.analyze(&build.program);
+                },
+                3,
+            );
+            println!(
+                "{:<8} {:>8} {:>12.4} {:>12.4} {:>8.1}x {:>9.1}%",
+                name,
+                threads,
+                cold,
+                warm,
+                cold / warm.max(1e-9),
+                warm_report.stats.hit_rate() * 100.0
+            );
+            let mut row = Map::new();
+            row.insert("kernel".into(), Value::from(*name));
+            row.insert("threads".into(), Value::from(threads));
+            row.insert("cold_seconds".into(), Value::from(cold));
+            row.insert("warm_seconds".into(), Value::from(warm));
+            row.insert(
+                "warm_hit_rate".into(),
+                Value::from(warm_report.stats.hit_rate()),
+            );
+            row.insert("functions".into(), Value::from(warm_report.stats.functions));
+            row.insert("sccs".into(), Value::from(warm_report.stats.sccs));
+            row.insert("levels".into(), Value::from(warm_report.stats.levels));
+            summary.push(Value::Object(row));
+        }
+    }
+    let mut root = Map::new();
+    root.insert("bench".into(), Value::from("table8_engine_scaling"));
+    root.insert("rows".into(), Value::Array(summary));
+    println!(
+        "\nJSON-SUMMARY {}",
+        serde_json::to_string(&Value::Object(root)).expect("serializes")
+    );
+
+    // Criterion measurements on the representative configurations.
+    let build = KernelBuild::generate(&KernelConfig::small());
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    for &threads in &THREAD_SWEEP {
+        group.bench_function(format!("cold/t{threads}"), |b| {
+            b.iter(|| default_engine(threads).analyze(&build.program))
+        });
+    }
+    let engine = default_engine(4);
+    engine.analyze(&build.program);
+    group.bench_function("warm/t4", |b| b.iter(|| engine.analyze(&build.program)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_scaling);
+criterion_main!(benches);

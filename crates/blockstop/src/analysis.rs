@@ -51,12 +51,23 @@ pub const BUILTIN_BLOCKING: &[&str] = &[
 ];
 
 /// Builtins that allocate and may sleep depending on their GFP flags.
-pub const BUILTIN_BLOCKING_IF_FLAGS: &[&str] =
-    &["kmalloc", "kzalloc", "kmem_cache_alloc", "__get_free_page", "alloc_page"];
+pub const BUILTIN_BLOCKING_IF_FLAGS: &[&str] = &[
+    "kmalloc",
+    "kzalloc",
+    "kmem_cache_alloc",
+    "__get_free_page",
+    "alloc_page",
+];
 
 /// Builtins that begin an IRQ-disabled or spinlocked region.
-pub const ATOMIC_ENTER: &[&str] =
-    &["local_irq_disable", "local_irq_save", "spin_lock_irqsave", "spin_lock_irq", "spin_lock", "spin_lock_bh"];
+pub const ATOMIC_ENTER: &[&str] = &[
+    "local_irq_disable",
+    "local_irq_save",
+    "spin_lock_irqsave",
+    "spin_lock_irq",
+    "spin_lock",
+    "spin_lock_bh",
+];
 
 /// Builtins that end an IRQ-disabled or spinlocked region.
 pub const ATOMIC_EXIT: &[&str] = &[
@@ -175,11 +186,24 @@ impl BlockStop {
         BlockStop { config }
     }
 
-    /// Runs the whole-program analysis.
+    /// Runs the whole-program analysis, computing its own points-to results
+    /// and call graph. When several tools run together, prefer
+    /// [`BlockStop::analyze_with`] over a shared `ivy_engine::AnalysisCtx`
+    /// so those artifacts are computed once.
     pub fn analyze(&self, program: &Program) -> BlockStopReport {
         let pts = pointsto::analyze(program, self.config.sensitivity);
         let callgraph = CallGraph::build(program, &pts);
+        self.analyze_with(program, &pts, &callgraph)
+    }
 
+    /// Runs the whole-program analysis over precomputed points-to results
+    /// and call graph (which must match [`BlockStopConfig::sensitivity`]).
+    pub fn analyze_with(
+        &self,
+        program: &Program,
+        pts: &ivy_analysis::PointsToResult,
+        callgraph: &CallGraph,
+    ) -> BlockStopReport {
         let mut report = BlockStopReport {
             callgraph_edges: callgraph.edge_count(),
             unresolved_indirect_sites: callgraph.unresolved_sites,
@@ -196,7 +220,7 @@ impl BlockStop {
         report.seeds = seeds.clone();
 
         // 2. Enumerate call sites with their atomic-region and GFP context.
-        let sites = self.collect_sites(program, &pts);
+        let sites = self.collect_sites(program, pts);
 
         // 3. may_block: backwards propagation. Asserted functions do not
         //    propagate blocking to their callers (their entry is guarded).
@@ -207,9 +231,10 @@ impl BlockStop {
                 if may_block.contains(&site.caller) {
                     continue;
                 }
-                let transitively = site.targets.iter().any(|t| {
-                    may_block.contains(t) && !self.config.asserted_functions.contains(t)
-                });
+                let transitively = site
+                    .targets
+                    .iter()
+                    .any(|t| may_block.contains(t) && !self.config.asserted_functions.contains(t));
                 if transitively || site.waits_for_memory {
                     may_block.insert(site.caller.clone());
                     changed = true;
@@ -239,7 +264,10 @@ impl BlockStop {
         for site in &sites {
             if site.in_atomic_region {
                 for t in &site.targets {
-                    if program.function(t).map(|f| f.body.is_some()).unwrap_or(false)
+                    if program
+                        .function(t)
+                        .map(|f| f.body.is_some())
+                        .unwrap_or(false)
                         && !atomic.contains_key(t)
                         && !self.config.asserted_functions.contains(t)
                     {
@@ -251,7 +279,10 @@ impl BlockStop {
         }
         while let Some(f) = queue.pop_front() {
             for callee in callgraph.callees(&f) {
-                if program.function(&callee).map(|g| g.body.is_some()).unwrap_or(false)
+                if program
+                    .function(&callee)
+                    .map(|g| g.body.is_some())
+                    .unwrap_or(false)
                     && !atomic.contains_key(&callee)
                     && !self.config.asserted_functions.contains(&callee)
                 {
@@ -301,7 +332,7 @@ impl BlockStop {
             };
             let example_chain = blocking_chain(
                 blocking_targets.iter().next().expect("non-empty"),
-                &callgraph,
+                callgraph,
                 &seeds,
             );
             report.findings.push(Finding {
@@ -318,11 +349,7 @@ impl BlockStop {
     /// Collects every call site with context: resolved targets, whether the
     /// site sits in an IRQ-disabled/spinlocked region, and whether it is a
     /// conditional allocator called with flags that may sleep.
-    fn collect_sites(
-        &self,
-        program: &Program,
-        pts: &ivy_analysis::PointsToResult,
-    ) -> Vec<Site> {
+    fn collect_sites(&self, program: &Program, pts: &ivy_analysis::PointsToResult) -> Vec<Site> {
         let mut out = Vec::new();
         for func in program.functions.iter().filter(|f| f.body.is_some()) {
             let body = func.body.as_ref().expect("filtered");
@@ -411,16 +438,15 @@ fn collect_one_site(
     depth: u32,
     out: &mut Vec<Site>,
 ) {
-    let Expr::Call(callee, args) = call else { return };
+    let Expr::Call(callee, args) = call else {
+        return;
+    };
     let (targets, callee_text, waits) = match &**callee {
         Expr::Var(name) => {
-            let is_defined = program.function(name).is_some();
+            // Direct calls resolve to the named function whether it is
+            // defined, a builtin, or an undeclared external.
             let waits = waits_for_memory(program, name, args);
-            let targets = if is_defined || BUILTIN_BLOCKING.contains(&name.as_str()) {
-                BTreeSet::from([name.clone()])
-            } else {
-                BTreeSet::from([name.clone()])
-            };
+            let targets = BTreeSet::from([name.clone()]);
             (targets, name.clone(), waits)
         }
         other => {
@@ -452,7 +478,9 @@ fn waits_for_memory(program: &Program, name: &str, args: &[Expr]) -> bool {
                 .and_then(|flag| f.params.iter().position(|p| &p.name == flag))
         })
     };
-    let Some(idx) = flag_param_idx else { return false };
+    let Some(idx) = flag_param_idx else {
+        return false;
+    };
     match args.get(idx) {
         Some(Expr::Int(v)) => v & GFP_WAIT != 0,
         Some(_) => true, // unknown flags: conservatively may sleep
@@ -493,8 +521,12 @@ pub fn insert_asserts(program: &Program, functions: &BTreeSet<String>) -> (Progr
     let mut out = program.clone();
     let mut added = 0;
     for name in functions {
-        let Some(func) = out.function_mut(name) else { continue };
-        let Some(body) = func.body.as_mut() else { continue };
+        let Some(func) = out.function_mut(name) else {
+            continue;
+        };
+        let Some(body) = func.body.as_mut() else {
+            continue;
+        };
         let already = matches!(
             body.stmts.first(),
             Some(Stmt::Check(Check::AssertMayBlock { .. }, _))
@@ -504,7 +536,10 @@ pub fn insert_asserts(program: &Program, functions: &BTreeSet<String>) -> (Progr
         }
         body.stmts.insert(
             0,
-            Stmt::Check(Check::AssertMayBlock { site: name.clone() }, Span::synthetic()),
+            Stmt::Check(
+                Check::AssertMayBlock { site: name.clone() },
+                Span::synthetic(),
+            ),
         );
         added += 1;
     }
@@ -584,7 +619,10 @@ mod tests {
         let r = BlockStop::new().analyze(&p);
         assert!(r.may_block.contains("read_chan"));
         assert!(r.may_block.contains("flush_queue"));
-        assert!(r.may_block.contains("queue_packet"), "GFP_WAIT allocation may sleep");
+        assert!(
+            r.may_block.contains("queue_packet"),
+            "GFP_WAIT allocation may sleep"
+        );
         assert!(!r.may_block.contains("echo_char"));
         assert!(!r.may_block.contains("queue_packet_atomic"));
     }
@@ -594,7 +632,11 @@ mod tests {
         let p = parse_program(TTY).unwrap();
         let r = BlockStop::new().analyze(&p);
         let callers: BTreeSet<String> = r.findings.iter().map(|f| f.caller.clone()).collect();
-        assert!(callers.contains("queue_packet"), "findings: {:?}", r.findings);
+        assert!(
+            callers.contains("queue_packet"),
+            "findings: {:?}",
+            r.findings
+        );
         assert!(callers.contains("timer_tick") || callers.contains("flush_queue"));
         assert!(
             callers.contains("tty_interrupt"),
@@ -650,7 +692,14 @@ mod tests {
         let (patched2, added2) = insert_asserts(&patched, &set);
         assert_eq!(added2, 0);
         assert_eq!(
-            patched2.function("read_chan").unwrap().body.as_ref().unwrap().stmts.len(),
+            patched2
+                .function("read_chan")
+                .unwrap()
+                .body
+                .as_ref()
+                .unwrap()
+                .stmts
+                .len(),
             f.body.as_ref().unwrap().stmts.len()
         );
     }
@@ -674,6 +723,9 @@ mod tests {
         let r = BlockStop::new().analyze(&p);
         let grouped = r.findings_by_caller();
         assert!(grouped.values().all(|v| !v.is_empty()));
-        assert_eq!(grouped.values().map(|v| v.len()).sum::<usize>(), r.findings.len());
+        assert_eq!(
+            grouped.values().map(|v| v.len()).sum::<usize>(),
+            r.findings.len()
+        );
     }
 }

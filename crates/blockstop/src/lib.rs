@@ -46,7 +46,9 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod plugin;
 
 pub use analysis::{
     insert_asserts, AtomicReason, BlockStop, BlockStopConfig, BlockStopReport, Finding, GFP_WAIT,
 };
+pub use plugin::BlockStopChecker;

@@ -1,0 +1,118 @@
+//! The BlockStop checker plugin for `ivy-engine`.
+//!
+//! BlockStop is inherently whole-program — atomic context flows *down* the
+//! call graph from interrupt handlers, may-block facts flow *up* from
+//! sleeping primitives — so the adapter memoizes one [`BlockStopReport`] in
+//! the shared [`AnalysisCtx`] (reusing the context's points-to results and
+//! call graph instead of recomputing its own) and attributes findings to
+//! their caller function. The cache fingerprint folds in the caller-derived
+//! state a finding depends on beyond the function's callee cone: the
+//! function's atomic/may-block membership and its own finding set.
+
+use crate::analysis::{BlockStop, BlockStopConfig, BlockStopReport, Finding};
+use ivy_analysis::pointsto::Sensitivity;
+use ivy_analysis::summary::{fnv1a, mix};
+use ivy_cmir::ast::Function;
+use ivy_engine::{AnalysisCtx, Checker, Diagnostic, Severity};
+use std::sync::Arc;
+
+/// BlockStop as an engine plugin.
+#[derive(Debug, Clone, Default)]
+pub struct BlockStopChecker {
+    /// The analysis configuration (sensitivity, asserted functions).
+    pub config: BlockStopConfig,
+}
+
+impl BlockStopChecker {
+    /// A plugin with the default configuration.
+    pub fn new() -> BlockStopChecker {
+        BlockStopChecker::default()
+    }
+
+    /// A plugin with a specific configuration.
+    pub fn with_config(config: BlockStopConfig) -> BlockStopChecker {
+        BlockStopChecker { config }
+    }
+
+    fn config_hash(&self) -> u64 {
+        let mut h = fnv1a(self.config.sensitivity.name().as_bytes());
+        for name in &self.config.asserted_functions {
+            h = mix(h, fnv1a(name.as_bytes()));
+        }
+        h
+    }
+
+    /// The memoized whole-program report for a shared context. Exposed so
+    /// the pipeline can reuse the exact report the plugin produced.
+    pub fn report(&self, ctx: &AnalysisCtx) -> Arc<BlockStopReport> {
+        let key = format!("blockstop/report/{:016x}", self.config_hash());
+        ctx.memo(&key, || {
+            let sens = self.config.sensitivity;
+            let pts = ctx.pointsto(sens);
+            let cg = ctx.callgraph(sens);
+            BlockStop::with_config(self.config.clone()).analyze_with(&ctx.program, &pts, &cg)
+        })
+    }
+
+    fn finding_to_diagnostic(&self, finding: &Finding) -> Diagnostic {
+        let targets: Vec<&str> = finding
+            .blocking_targets
+            .iter()
+            .map(String::as_str)
+            .collect();
+        let chain = finding.example_chain.join(" -> ");
+        Diagnostic {
+            checker: "blockstop".into(),
+            code: "blockstop/atomic-call".into(),
+            function: finding.caller.clone(),
+            severity: Severity::Error,
+            message: format!(
+                "call to `{}` may block in atomic context ({:?}); blocking targets: [{}]; example chain: {}",
+                finding.callee_text,
+                finding.reason,
+                targets.join(", "),
+                chain
+            ),
+            span: None,
+            fix_hint: Some(format!(
+                "fix the call path, or insert a run-time `__assert_may_block` at the entry of `{}` and list it in BlockStopConfig::asserted_functions if this is a false positive",
+                finding.blocking_targets.iter().next().unwrap_or(&finding.callee_text)
+            )),
+        }
+    }
+}
+
+impl Checker for BlockStopChecker {
+    fn name(&self) -> &'static str {
+        "blockstop"
+    }
+
+    fn sensitivity(&self) -> Sensitivity {
+        self.config.sensitivity
+    }
+
+    fn context_fingerprint(&self, ctx: &AnalysisCtx, func: &Function) -> u64 {
+        // Atomic context and finding attribution depend on *callers*, which
+        // the cone hash cannot see; hash the function's slice of the
+        // memoized report so cached diagnostics are replayed only when they
+        // would be recomputed identically.
+        let report = self.report(ctx);
+        let mut h = self.config_hash();
+        h = mix(h, u64::from(report.may_block.contains(&func.name)));
+        h = mix(h, u64::from(report.atomic_functions.contains(&func.name)));
+        for finding in report.findings.iter().filter(|f| f.caller == func.name) {
+            h = mix(h, fnv1a(format!("{finding:?}").as_bytes()));
+        }
+        h
+    }
+
+    fn check_function(&self, ctx: &AnalysisCtx, func: &Function) -> Vec<Diagnostic> {
+        let report = self.report(ctx);
+        report
+            .findings
+            .iter()
+            .filter(|f| f.caller == func.name)
+            .map(|f| self.finding_to_diagnostic(f))
+            .collect()
+    }
+}

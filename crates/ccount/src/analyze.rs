@@ -9,7 +9,7 @@
 //! reports (types whose layout had to be described, explicit runtime type
 //! information sites, memset/memcpy conversions).
 
-use ivy_cmir::ast::{Expr, Program, Stmt};
+use ivy_cmir::ast::{Expr, Function, Program, Stmt};
 use ivy_cmir::typecheck::TypeCtx;
 use ivy_cmir::types::{Type, CHUNK_SIZE};
 use ivy_cmir::visit;
@@ -19,8 +19,14 @@ use std::collections::BTreeMap;
 /// Names treated as free functions.
 pub const FREE_FUNCTIONS: &[&str] = &["kfree", "kmem_cache_free", "free_page", "vfree"];
 /// Names treated as allocation functions.
-pub const ALLOC_FUNCTIONS: &[&str] =
-    &["kmalloc", "kzalloc", "kmem_cache_alloc", "__get_free_page", "alloc_page", "vmalloc"];
+pub const ALLOC_FUNCTIONS: &[&str] = &[
+    "kmalloc",
+    "kzalloc",
+    "kmem_cache_alloc",
+    "__get_free_page",
+    "alloc_page",
+    "vmalloc",
+];
 
 /// What CCount's compiler would have to touch in a program.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -61,6 +67,26 @@ impl InstrumentationReport {
     pub fn total_pointer_writes(&self) -> u64 {
         self.counted_pointer_writes + self.local_pointer_writes
     }
+
+    /// Accumulates another report into this one (used to combine the
+    /// per-function reports of [`analyze_function`]).
+    pub fn merge(&mut self, other: &InstrumentationReport) {
+        self.counted_pointer_writes += other.counted_pointer_writes;
+        self.local_pointer_writes += other.local_pointer_writes;
+        self.free_sites += other.free_sites;
+        self.alloc_sites += other.alloc_sites;
+        self.memcpy_sites += other.memcpy_sites;
+        self.memset_sites += other.memset_sites;
+        self.types_needing_layout += other.types_needing_layout;
+        self.runtime_type_info_sites += other.runtime_type_info_sites;
+        self.delayed_free_scopes += other.delayed_free_scopes;
+        for (subsystem, n) in &other.writes_by_subsystem {
+            *self
+                .writes_by_subsystem
+                .entry(subsystem.clone())
+                .or_insert(0) += n;
+        }
+    }
 }
 
 /// Analyses a program and reports what CCount must instrument.
@@ -75,6 +101,22 @@ pub fn analyze(program: &Program) -> InstrumentationReport {
     }
 
     for func in program.functions.iter().filter(|f| f.body.is_some()) {
+        report.merge(&analyze_function(program, func));
+    }
+    report
+}
+
+/// Analyses what CCount must instrument in a single function. The whole
+/// analysis is function-local (types are resolved against the program, but
+/// no other function's body is consulted), which is what lets the engine
+/// schedule and cache CCount per function. `types_needing_layout` is a
+/// program-level count and stays zero here.
+pub fn analyze_function(program: &Program, func: &Function) -> InstrumentationReport {
+    let mut report = InstrumentationReport::default();
+    if func.body.is_none() {
+        return report;
+    }
+    {
         let mut ctx = TypeCtx::for_function(program, func);
         let mut local_names: Vec<String> = func.params.iter().map(|p| p.name.clone()).collect();
 
@@ -97,8 +139,7 @@ pub fn analyze(program: &Program) -> InstrumentationReport {
                             .map(|t| program.resolve_type(&t).is_ptr())
                             .unwrap_or(false);
                     if is_ptr_store {
-                        let to_local =
-                            matches!(lhs, Expr::Var(v) if local_names.contains(v));
+                        let to_local = matches!(lhs, Expr::Var(v) if local_names.contains(v));
                         if to_local {
                             report.local_pointer_writes += 1;
                         } else {
@@ -119,24 +160,24 @@ pub fn analyze(program: &Program) -> InstrumentationReport {
             // here would double-count call sites.
             for top in own_exprs(stmt) {
                 visit::walk_expr(top, &mut |e| {
-                if let Expr::Call(callee, args) = e {
-                    if let Expr::Var(name) = &**callee {
-                        if FREE_FUNCTIONS.contains(&name.as_str()) {
-                            report.free_sites += 1;
-                            if let Some(arg) = args.first() {
-                                if is_untyped_pointer(program, &ctx, arg) {
-                                    report.runtime_type_info_sites += 1;
+                    if let Expr::Call(callee, args) = e {
+                        if let Expr::Var(name) = &**callee {
+                            if FREE_FUNCTIONS.contains(&name.as_str()) {
+                                report.free_sites += 1;
+                                if let Some(arg) = args.first() {
+                                    if is_untyped_pointer(program, &ctx, arg) {
+                                        report.runtime_type_info_sites += 1;
+                                    }
                                 }
+                            } else if ALLOC_FUNCTIONS.contains(&name.as_str()) {
+                                report.alloc_sites += 1;
+                            } else if name == "memcpy" || name == "memmove" {
+                                report.memcpy_sites += 1;
+                            } else if name == "memset" {
+                                report.memset_sites += 1;
                             }
-                        } else if ALLOC_FUNCTIONS.contains(&name.as_str()) {
-                            report.alloc_sites += 1;
-                        } else if name == "memcpy" || name == "memmove" {
-                            report.memcpy_sites += 1;
-                        } else if name == "memset" {
-                            report.memset_sites += 1;
                         }
                     }
-                }
                 });
             }
         });

@@ -48,9 +48,11 @@
 #![warn(missing_docs)]
 
 pub mod analyze;
+pub mod plugin;
 pub mod report;
 pub mod transform;
 
-pub use analyze::{analyze, InstrumentationReport};
+pub use analyze::{analyze, analyze_function, InstrumentationReport};
+pub use plugin::CCountChecker;
 pub use report::{FreeVerification, Overhead};
 pub use transform::{insert_free_checks, wrap_in_delayed_free, FixPlan, NullFix};

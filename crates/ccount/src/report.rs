@@ -69,7 +69,10 @@ pub struct Overhead {
 impl Overhead {
     /// Creates an overhead record.
     pub fn new(baseline_cycles: u64, instrumented_cycles: u64) -> Self {
-        Overhead { baseline_cycles, instrumented_cycles }
+        Overhead {
+            baseline_cycles,
+            instrumented_cycles,
+        }
     }
 
     /// Relative slowdown, e.g. 1.19 for a 19 % overhead.
@@ -101,10 +104,12 @@ mod tests {
 
     #[test]
     fn free_verification_from_stats() {
-        let mut stats = RunStats::default();
-        stats.frees_good = 985;
-        stats.frees_bad = 15;
-        stats.rc_updates = 4000;
+        let stats = RunStats {
+            frees_good: 985,
+            frees_bad: 15,
+            rc_updates: 4000,
+            ..RunStats::default()
+        };
         let v = FreeVerification::from_stats(&stats);
         assert_eq!(v.total(), 1000);
         assert!((v.good_ratio() - 0.985).abs() < 1e-9);

@@ -65,7 +65,9 @@ impl FixPlan {
 
 /// Inserts `lvalue = null;` immediately before every free call in `function`.
 pub fn apply_null_fix(program: &mut Program, function: &str, lvalue: &Expr) {
-    let Some(func) = program.function(function).cloned() else { return };
+    let Some(func) = program.function(function).cloned() else {
+        return;
+    };
     let rewritten = visit::map_fn_body(&func, &mut |s| match &s {
         Stmt::Expr(e, _) if is_free_call(e) => {
             vec![Stmt::assign(lvalue.clone(), Expr::Null), s]
@@ -77,14 +79,19 @@ pub fn apply_null_fix(program: &mut Program, function: &str, lvalue: &Expr) {
 
 /// Wraps the entire body of `function` in a delayed-free scope.
 pub fn wrap_in_delayed_free(program: &mut Program, function: &str) {
-    let Some(func) = program.function_mut(function) else { return };
+    let Some(func) = program.function_mut(function) else {
+        return;
+    };
     let Some(body) = func.body.take() else { return };
     // Avoid double wrapping if the body is already a single delayed scope.
     if body.stmts.len() == 1 && matches!(body.stmts[0], Stmt::DelayedFreeScope(..)) {
         func.body = Some(body);
         return;
     }
-    func.body = Some(Block::new(vec![Stmt::DelayedFreeScope(body, Span::synthetic())]));
+    func.body = Some(Block::new(vec![Stmt::DelayedFreeScope(
+        body,
+        Span::synthetic(),
+    )]));
 }
 
 /// Inserts an explicit `__check_rc_free(p)` before every `kfree(p)`-style
@@ -158,8 +165,12 @@ mod tests {
         let mut p = parse_program(SRC).unwrap();
         apply_null_fix(&mut p, "release_console", &parse_expr("console").unwrap());
         let text = pretty_program(&p);
-        let idx_null = text.find("console = null;").expect("null assignment inserted");
-        let idx_free = text.find("kfree((console as void *));").expect("free still present");
+        let idx_null = text
+            .find("console = null;")
+            .expect("null assignment inserted");
+        let idx_free = text
+            .find("kfree((console as void *));")
+            .expect("free still present");
         assert!(idx_null < idx_free);
         // The other function is untouched.
         assert_eq!(text.matches("= null;").count(), 1);
@@ -196,7 +207,10 @@ mod tests {
     fn fix_plan_applies_both_kinds() {
         let p = parse_program(SRC).unwrap();
         let plan = FixPlan {
-            null_fixes: vec![NullFix { function: "release_console".into(), lvalue: "console".into() }],
+            null_fixes: vec![NullFix {
+                function: "release_console".into(),
+                lvalue: "console".into(),
+            }],
             delayed_free_functions: vec!["teardown".into(), "not_a_function".into()],
         };
         assert_eq!(plan.len(), 3);

@@ -83,7 +83,10 @@ fn unfixed_driver_reports_bad_frees() {
 fn fix_plan_makes_all_frees_verifiable() {
     let program = parse_program(DRIVER).unwrap();
     let plan = FixPlan {
-        null_fixes: vec![NullFix { function: "drop_cached".into(), lvalue: "cache".into() }],
+        null_fixes: vec![NullFix {
+            function: "drop_cached".into(),
+            lvalue: "cache".into(),
+        }],
         delayed_free_functions: vec!["drop_pair".into()],
     };
     let fixed = plan.apply(&program);
@@ -93,8 +96,14 @@ fn fix_plan_makes_all_frees_verifiable() {
     // out some extra pointers" fix) by patching via the same mechanism.
     let fixed = FixPlan {
         null_fixes: vec![
-            NullFix { function: "drop_pair".into(), lvalue: "a->next".into() },
-            NullFix { function: "drop_pair".into(), lvalue: "b->next".into() },
+            NullFix {
+                function: "drop_pair".into(),
+                lvalue: "a->next".into(),
+            },
+            NullFix {
+                function: "drop_pair".into(),
+                lvalue: "b->next".into(),
+            },
         ],
         delayed_free_functions: vec![],
     }
@@ -105,7 +114,10 @@ fn fix_plan_makes_all_frees_verifiable() {
     assert_eq!(v.bad, 0, "bad frees: {:?}", vm.stats.bad_frees);
     assert_eq!(v.good, 53);
     assert_eq!(vm.mem.stats.leaked_objects, 0);
-    assert!(v.delayed >= 2, "pair teardown goes through the delayed scope");
+    assert!(
+        v.delayed >= 2,
+        "pair teardown goes through the delayed scope"
+    );
     assert_eq!(v.good_ratio(), 1.0);
 }
 

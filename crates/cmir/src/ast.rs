@@ -68,7 +68,10 @@ pub enum BinOp {
 impl BinOp {
     /// True for the comparison operators (result is 0/1).
     pub fn is_comparison(self) -> bool {
-        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
     }
 
     /// True for the short-circuit logical operators.
@@ -112,6 +115,9 @@ pub enum Expr {
     SizeOf(Type),
 }
 
+// `add`/`sub`/`mul` are AST constructors, not arithmetic on `Expr` values;
+// implementing `std::ops` here would be misleading.
+#[allow(clippy::should_implement_trait)]
 impl Expr {
     /// Integer literal helper.
     pub fn int(v: i64) -> Expr {
@@ -207,15 +213,18 @@ impl Expr {
         match self {
             Expr::Int(v) => Some(BoundExpr::Const(*v)),
             Expr::Var(v) => Some(BoundExpr::Var(v.clone())),
-            Expr::Binary(BinOp::Add, a, b) => {
-                Some(BoundExpr::Add(Box::new(a.to_bound_expr()?), Box::new(b.to_bound_expr()?)))
-            }
-            Expr::Binary(BinOp::Sub, a, b) => {
-                Some(BoundExpr::Sub(Box::new(a.to_bound_expr()?), Box::new(b.to_bound_expr()?)))
-            }
-            Expr::Binary(BinOp::Mul, a, b) => {
-                Some(BoundExpr::Mul(Box::new(a.to_bound_expr()?), Box::new(b.to_bound_expr()?)))
-            }
+            Expr::Binary(BinOp::Add, a, b) => Some(BoundExpr::Add(
+                Box::new(a.to_bound_expr()?),
+                Box::new(b.to_bound_expr()?),
+            )),
+            Expr::Binary(BinOp::Sub, a, b) => Some(BoundExpr::Sub(
+                Box::new(a.to_bound_expr()?),
+                Box::new(b.to_bound_expr()?),
+            )),
+            Expr::Binary(BinOp::Mul, a, b) => Some(BoundExpr::Mul(
+                Box::new(a.to_bound_expr()?),
+                Box::new(b.to_bound_expr()?),
+            )),
             _ => None,
         }
     }
@@ -360,7 +369,11 @@ pub struct VarDecl {
 impl VarDecl {
     /// Creates a declaration with a synthetic span.
     pub fn new(name: impl Into<String>, ty: Type) -> Self {
-        VarDecl { name: name.into(), ty, span: Span::synthetic() }
+        VarDecl {
+            name: name.into(),
+            ty,
+            span: Span::synthetic(),
+        }
     }
 }
 
@@ -434,7 +447,12 @@ impl Stmt {
 
     /// `if`/`else` helper.
     pub fn if_else(cond: Expr, then: Vec<Stmt>, els: Vec<Stmt>) -> Stmt {
-        Stmt::If(cond, Block::new(then), Some(Block::new(els)), Span::synthetic())
+        Stmt::If(
+            cond,
+            Block::new(then),
+            Some(Block::new(els)),
+            Span::synthetic(),
+        )
     }
 
     /// `while` helper.
@@ -599,7 +617,10 @@ pub struct GlobalDef {
 impl GlobalDef {
     /// Creates a global definition.
     pub fn new(name: impl Into<String>, ty: Type, init: Option<Expr>) -> Self {
-        GlobalDef { decl: VarDecl::new(name, ty), init }
+        GlobalDef {
+            decl: VarDecl::new(name, ty),
+            init,
+        }
     }
 }
 
@@ -710,9 +731,7 @@ impl Program {
             }
         }
         for g in other.globals {
-            if let Some(existing) =
-                self.globals.iter_mut().find(|e| e.decl.name == g.decl.name)
-            {
+            if let Some(existing) = self.globals.iter_mut().find(|e| e.decl.name == g.decl.name) {
                 *existing = g;
             } else {
                 self.globals.push(g);
@@ -776,7 +795,10 @@ mod tests {
 
     #[test]
     fn expr_vars_read() {
-        let e = Expr::add(Expr::var("a"), Expr::index(Expr::var("buf"), Expr::var("a")));
+        let e = Expr::add(
+            Expr::var("a"),
+            Expr::index(Expr::var("buf"), Expr::var("a")),
+        );
         assert_eq!(e.vars_read(), vec!["a".to_string(), "buf".to_string()]);
     }
 
@@ -798,9 +820,18 @@ mod tests {
     #[test]
     fn program_link_replaces_and_adds() {
         let mut p = Program::new();
-        p.add_function(Function::extern_decl("kmalloc", vec![], Type::ptr(Type::Void)));
+        p.add_function(Function::extern_decl(
+            "kmalloc",
+            vec![],
+            Type::ptr(Type::Void),
+        ));
         let mut q = Program::new();
-        let mut km = Function::new("kmalloc", vec![], Type::ptr(Type::Void), vec![Stmt::ret(Expr::Null)]);
+        let mut km = Function::new(
+            "kmalloc",
+            vec![],
+            Type::ptr(Type::Void),
+            vec![Stmt::ret(Expr::Null)],
+        );
         km.attrs.allocator = true;
         q.add_function(km);
         q.add_function(Function::extern_decl("kfree", vec![], Type::Void));
@@ -814,7 +845,8 @@ mod tests {
     fn resolve_typedef_chain() {
         let mut p = Program::new();
         p.typedefs.push(("size_t".into(), Type::Int(IntKind::U32)));
-        p.typedefs.push(("len_t".into(), Type::Named("size_t".into())));
+        p.typedefs
+            .push(("len_t".into(), Type::Named("size_t".into())));
         let t = Type::Named("len_t".into());
         assert_eq!(p.resolve_type(&t), &Type::Int(IntKind::U32));
         let unknown = Type::Named("missing".into());
@@ -825,10 +857,21 @@ mod tests {
     fn check_kinds_are_stable() {
         assert_eq!(Check::NonNull(Expr::var("p")).kind(), "nonnull");
         assert_eq!(
-            Check::PtrBounds { ptr: Expr::var("p"), index: Expr::int(0), len: None }.kind(),
+            Check::PtrBounds {
+                ptr: Expr::var("p"),
+                index: Expr::int(0),
+                len: None
+            }
+            .kind(),
             "bounds"
         );
-        assert_eq!(Check::AssertMayBlock { site: "read_chan".into() }.kind(), "assert_may_block");
+        assert_eq!(
+            Check::AssertMayBlock {
+                site: "read_chan".into()
+            }
+            .kind(),
+            "assert_may_block"
+        );
     }
 
     #[test]

@@ -171,18 +171,22 @@ pub struct ProgramBuilder {
 impl ProgramBuilder {
     /// Starts an empty program.
     pub fn new() -> Self {
-        ProgramBuilder { program: Program::new() }
+        ProgramBuilder {
+            program: Program::new(),
+        }
     }
 
     /// Adds a struct definition.
     pub fn strukt(mut self, name: impl Into<String>, fields: Vec<Field>) -> Self {
-        self.program.add_composite(CompositeDef::strukt(name, fields));
+        self.program
+            .add_composite(CompositeDef::strukt(name, fields));
         self
     }
 
     /// Adds a union definition.
     pub fn union(mut self, name: impl Into<String>, fields: Vec<Field>) -> Self {
-        self.program.add_composite(CompositeDef::union(name, fields));
+        self.program
+            .add_composite(CompositeDef::union(name, fields));
         self
     }
 
@@ -290,7 +294,10 @@ mod tests {
             .stmts(count_loop(
                 "i",
                 v("len"),
-                vec![assign(Expr::index(v("dst"), v("i")), Expr::index(v("src"), v("i")))],
+                vec![assign(
+                    Expr::index(v("dst"), v("i")),
+                    Expr::index(v("src"), v("i")),
+                )],
             ))
             .build();
         let kmalloc = FnBuilder::new("kmalloc")
@@ -317,7 +324,9 @@ mod tests {
 
     #[test]
     fn builder_extern_has_no_body() {
-        let f = FnBuilder::new("panic").param("msg", Type::ptr(Type::u8())).build_extern();
+        let f = FnBuilder::new("panic")
+            .param("msg", Type::ptr(Type::u8()))
+            .build_extern();
         assert!(f.body.is_none());
     }
 

@@ -48,7 +48,10 @@ impl Cfg {
     /// Builds the CFG of a function. Functions without a body produce a
     /// single empty block that immediately returns.
     pub fn build(func: &Function) -> Cfg {
-        let mut b = Builder { blocks: Vec::new(), loop_stack: Vec::new() };
+        let mut b = Builder {
+            blocks: Vec::new(),
+            loop_stack: Vec::new(),
+        };
         let entry = b.new_block();
         debug_assert_eq!(entry, Cfg::ENTRY);
         let mut cur = entry;
@@ -139,7 +142,10 @@ struct Builder {
 
 impl Builder {
     fn new_block(&mut self) -> BlockId {
-        self.blocks.push(BasicBlock { stmts: Vec::new(), term: Terminator::Unterminated });
+        self.blocks.push(BasicBlock {
+            stmts: Vec::new(),
+            term: Terminator::Unterminated,
+        });
         self.blocks.len() - 1
     }
 
@@ -168,10 +174,7 @@ impl Builder {
             self.new_block()
         };
         match stmt {
-            Stmt::Expr(..)
-            | Stmt::Assign(..)
-            | Stmt::Local(..)
-            | Stmt::Check(..) => {
+            Stmt::Expr(..) | Stmt::Assign(..) | Stmt::Local(..) | Stmt::Check(..) => {
                 self.blocks[cur].stmts.push(stmt.clone());
                 cur
             }
@@ -240,9 +243,15 @@ mod tests {
 
     #[test]
     fn straight_line_single_block() {
-        let cfg = cfg_of("fn f() -> i32 { let x: i32 = 1; x = x + 1; return x; }", "f");
+        let cfg = cfg_of(
+            "fn f() -> i32 { let x: i32 = 1; x = x + 1; return x; }",
+            "f",
+        );
         assert_eq!(cfg.blocks[Cfg::ENTRY].stmts.len(), 2);
-        assert!(matches!(cfg.blocks[Cfg::ENTRY].term, Terminator::Return(Some(_))));
+        assert!(matches!(
+            cfg.blocks[Cfg::ENTRY].term,
+            Terminator::Return(Some(_))
+        ));
         assert_eq!(cfg.exit_blocks(), vec![Cfg::ENTRY]);
     }
 
@@ -289,7 +298,10 @@ mod tests {
     #[test]
     fn missing_return_gets_synthesised() {
         let cfg = cfg_of("fn f() { let x: i32 = 0; }", "f");
-        assert!(matches!(cfg.blocks[Cfg::ENTRY].term, Terminator::Return(None)));
+        assert!(matches!(
+            cfg.blocks[Cfg::ENTRY].term,
+            Terminator::Return(None)
+        ));
     }
 
     #[test]

@@ -30,22 +30,38 @@ pub enum ErrorKind {
 impl CmirError {
     /// Creates a lexer error.
     pub fn lex(message: impl Into<String>, span: Span) -> Self {
-        CmirError { kind: ErrorKind::Lex, message: message.into(), span }
+        CmirError {
+            kind: ErrorKind::Lex,
+            message: message.into(),
+            span,
+        }
     }
 
     /// Creates a parser error.
     pub fn parse(message: impl Into<String>, span: Span) -> Self {
-        CmirError { kind: ErrorKind::Parse, message: message.into(), span }
+        CmirError {
+            kind: ErrorKind::Parse,
+            message: message.into(),
+            span,
+        }
     }
 
     /// Creates a resolution/validation error.
     pub fn resolve(message: impl Into<String>, span: Span) -> Self {
-        CmirError { kind: ErrorKind::Resolve, message: message.into(), span }
+        CmirError {
+            kind: ErrorKind::Resolve,
+            message: message.into(),
+            span,
+        }
     }
 
     /// Creates a C-level type error.
     pub fn ty(message: impl Into<String>, span: Span) -> Self {
-        CmirError { kind: ErrorKind::Type, message: message.into(), span }
+        CmirError {
+            kind: ErrorKind::Type,
+            message: message.into(),
+            span,
+        }
     }
 }
 
@@ -83,7 +99,10 @@ mod tests {
     #[test]
     fn constructors_set_kind() {
         assert_eq!(CmirError::lex("x", Span::synthetic()).kind, ErrorKind::Lex);
-        assert_eq!(CmirError::resolve("x", Span::synthetic()).kind, ErrorKind::Resolve);
+        assert_eq!(
+            CmirError::resolve("x", Span::synthetic()).kind,
+            ErrorKind::Resolve
+        );
         assert_eq!(CmirError::ty("x", Span::synthetic()).kind, ErrorKind::Type);
     }
 }

@@ -189,7 +189,10 @@ mod tests {
         assert_eq!(ctx.layout_of(&Type::u32()).unwrap(), Layout::new(4, 4));
         // i386: 64-bit ints are 4-byte aligned.
         assert_eq!(ctx.layout_of(&Type::u64()).unwrap(), Layout::new(8, 4));
-        assert_eq!(ctx.layout_of(&Type::ptr(Type::Void)).unwrap(), Layout::new(4, 4));
+        assert_eq!(
+            ctx.layout_of(&Type::ptr(Type::Void)).unwrap(),
+            Layout::new(4, 4)
+        );
     }
 
     #[test]
@@ -226,7 +229,9 @@ mod tests {
     fn array_layout() {
         let p = Program::new();
         let ctx = LayoutCtx::new(&p);
-        let l = ctx.layout_of(&Type::Array(Box::new(Type::u32()), 16)).unwrap();
+        let l = ctx
+            .layout_of(&Type::Array(Box::new(Type::u32()), 16))
+            .unwrap();
         assert_eq!(l, Layout::new(64, 4));
     }
 

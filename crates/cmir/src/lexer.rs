@@ -25,7 +25,14 @@ struct Lexer<'a> {
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
         let chars: Vec<char> = src.chars().collect();
-        Lexer { src_len: chars.len(), chars, idx: 0, line: 1, col: 1, _src: src }
+        Lexer {
+            src_len: chars.len(),
+            chars,
+            idx: 0,
+            line: 1,
+            col: 1,
+            _src: src,
+        }
     }
 
     fn pos(&self) -> Pos {
@@ -58,7 +65,10 @@ impl<'a> Lexer<'a> {
             self.skip_trivia()?;
             let start = self.pos();
             let Some(c) = self.peek() else {
-                out.push(Token { kind: TokenKind::Eof, span: Span::new(start, start) });
+                out.push(Token {
+                    kind: TokenKind::Eof,
+                    span: Span::new(start, start),
+                });
                 return Ok(out);
             };
             let kind = if c.is_ascii_alphabetic() || c == '_' {
@@ -73,7 +83,10 @@ impl<'a> Lexer<'a> {
                 self.lex_punct(start)?
             };
             let end = self.pos();
-            out.push(Token { kind, span: Span::new(start, end) });
+            out.push(Token {
+                kind,
+                span: Span::new(start, end),
+            });
         }
     }
 
@@ -148,11 +161,16 @@ impl<'a> Lexer<'a> {
                 }
             }
             if s.is_empty() {
-                return Err(CmirError::lex("empty hex literal", Span::new(start, self.pos())));
+                return Err(CmirError::lex(
+                    "empty hex literal",
+                    Span::new(start, self.pos()),
+                ));
             }
             return i64::from_str_radix(&s, 16)
                 .map(TokenKind::Int)
-                .map_err(|_| CmirError::lex("hex literal out of range", Span::new(start, self.pos())));
+                .map_err(|_| {
+                    CmirError::lex("hex literal out of range", Span::new(start, self.pos()))
+                });
         }
         while let Some(c) = self.peek() {
             if c.is_ascii_digit() || c == '_' {
@@ -164,9 +182,9 @@ impl<'a> Lexer<'a> {
                 break;
             }
         }
-        s.parse::<i64>()
-            .map(TokenKind::Int)
-            .map_err(|_| CmirError::lex("integer literal out of range", Span::new(start, self.pos())))
+        s.parse::<i64>().map(TokenKind::Int).map_err(|_| {
+            CmirError::lex("integer literal out of range", Span::new(start, self.pos()))
+        })
     }
 
     fn lex_string(&mut self, start: Pos) -> Result<TokenKind> {
@@ -197,7 +215,10 @@ impl<'a> Lexer<'a> {
         let c = match self.bump() {
             Some('\\') => {
                 let esc = self.bump().ok_or_else(|| {
-                    CmirError::lex("unterminated character literal", Span::new(start, self.pos()))
+                    CmirError::lex(
+                        "unterminated character literal",
+                        Span::new(start, self.pos()),
+                    )
                 })?;
                 unescape(esc, start, self.pos())?
             }
@@ -361,7 +382,10 @@ mod tests {
     #[test]
     fn skips_comments() {
         let src = "a // line comment\n/* block\ncomment */ b";
-        assert_eq!(kinds(src), vec![T::Ident("a".into()), T::Ident("b".into()), T::Eof]);
+        assert_eq!(
+            kinds(src),
+            vec![T::Ident("a".into()), T::Ident("b".into()), T::Eof]
+        );
     }
 
     #[test]

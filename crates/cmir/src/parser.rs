@@ -21,10 +21,10 @@
 //! expression statements, `delayed_free { ... }` scopes, and the `__check_*`
 //! / `__assert_may_block` forms that print inserted run-time checks.
 
+use crate::ast::BinOp;
 use crate::ast::{
     Block, Check, Expr, FuncAttrs, Function, GlobalDef, Program, Stmt, UnOp, VarDecl,
 };
-use crate::ast::BinOp;
 use crate::error::{CmirError, Result};
 use crate::lexer::lex;
 use crate::span::Span;
@@ -194,9 +194,16 @@ impl Parser {
                     let name = self.expect_ident()?;
                     self.expect(TokenKind::Colon)?;
                     let ty = self.ty()?;
-                    let init = if self.eat(&TokenKind::Assign) { Some(self.expr()?) } else { None };
+                    let init = if self.eat(&TokenKind::Assign) {
+                        Some(self.expr()?)
+                    } else {
+                        None
+                    };
                     self.expect(TokenKind::Semi)?;
-                    program.globals.push(GlobalDef { decl: VarDecl::new(name, ty), init });
+                    program.globals.push(GlobalDef {
+                        decl: VarDecl::new(name, ty),
+                        init,
+                    });
                 }
                 TokenKind::Hash | TokenKind::Ident(_) => {
                     let f = self.function()?;
@@ -241,7 +248,12 @@ impl Parser {
                 span: fstart.merge(self.peek_span()),
             });
         }
-        Ok(CompositeDef { name, is_union, fields, span: start.merge(self.peek_span()) })
+        Ok(CompositeDef {
+            name,
+            is_union,
+            fields,
+            span: start.merge(self.peek_span()),
+        })
     }
 
     fn attributes(&mut self) -> Result<(FuncAttrs, Option<String>)> {
@@ -320,14 +332,22 @@ impl Parser {
                 let pname = self.expect_ident()?;
                 self.expect(TokenKind::Colon)?;
                 let pty = self.ty()?;
-                params.push(VarDecl { name: pname, ty: pty, span: pspan });
+                params.push(VarDecl {
+                    name: pname,
+                    ty: pty,
+                    span: pspan,
+                });
                 if !self.eat(&TokenKind::Comma) {
                     break;
                 }
             }
             self.expect(TokenKind::RParen)?;
         }
-        let ret = if self.eat(&TokenKind::Arrow) { self.ty()? } else { Type::Void };
+        let ret = if self.eat(&TokenKind::Arrow) {
+            self.ty()?
+        } else {
+            Type::Void
+        };
         let body = if is_extern || self.peek() == &TokenKind::Semi {
             self.expect(TokenKind::Semi)?;
             None
@@ -409,7 +429,9 @@ impl Parser {
     fn ptr_annots(&mut self) -> Result<PtrAnnot> {
         let mut ann = PtrAnnot::unknown();
         loop {
-            let Some(kw) = self.peek_ident() else { return Ok(ann) };
+            let Some(kw) = self.peek_ident() else {
+                return Ok(ann);
+            };
             match kw {
                 "count" => {
                     self.bump();
@@ -535,7 +557,11 @@ impl Parser {
                     let name = self.expect_ident()?;
                     self.expect(TokenKind::Colon)?;
                     let ty = self.ty()?;
-                    let init = if self.eat(&TokenKind::Assign) { Some(self.expr()?) } else { None };
+                    let init = if self.eat(&TokenKind::Assign) {
+                        Some(self.expr()?)
+                    } else {
+                        None
+                    };
                     self.expect(TokenKind::Semi)?;
                     Ok(Stmt::Local(VarDecl { name, ty, span }, init))
                 }
@@ -567,11 +593,23 @@ impl Parser {
                 "for" => {
                     self.bump();
                     self.expect(TokenKind::LParen)?;
-                    let init = if self.peek() == &TokenKind::Semi { None } else { Some(self.simple_stmt()?) };
+                    let init = if self.peek() == &TokenKind::Semi {
+                        None
+                    } else {
+                        Some(self.simple_stmt()?)
+                    };
                     self.expect(TokenKind::Semi)?;
-                    let cond = if self.peek() == &TokenKind::Semi { Expr::Int(1) } else { self.expr()? };
+                    let cond = if self.peek() == &TokenKind::Semi {
+                        Expr::Int(1)
+                    } else {
+                        self.expr()?
+                    };
                     self.expect(TokenKind::Semi)?;
-                    let step = if self.peek() == &TokenKind::RParen { None } else { Some(self.simple_stmt()?) };
+                    let step = if self.peek() == &TokenKind::RParen {
+                        None
+                    } else {
+                        Some(self.simple_stmt()?)
+                    };
                     self.expect(TokenKind::RParen)?;
                     let mut body = self.block()?;
                     if let Some(step) = step {
@@ -586,7 +624,11 @@ impl Parser {
                 }
                 "return" => {
                     self.bump();
-                    let e = if self.peek() == &TokenKind::Semi { None } else { Some(self.expr()?) };
+                    let e = if self.peek() == &TokenKind::Semi {
+                        None
+                    } else {
+                        Some(self.expr()?)
+                    };
                     self.expect(TokenKind::Semi)?;
                     Ok(Stmt::Return(e, span))
                 }
@@ -635,7 +677,11 @@ impl Parser {
                     let ptr = self.expr()?;
                     self.expect(TokenKind::Comma)?;
                     let index = self.expr()?;
-                    let len = if self.eat(&TokenKind::Comma) { Some(self.expr()?) } else { None };
+                    let len = if self.eat(&TokenKind::Comma) {
+                        Some(self.expr()?)
+                    } else {
+                        None
+                    };
                     self.expect(TokenKind::RParen)?;
                     self.expect(TokenKind::Semi)?;
                     Ok(Stmt::Check(Check::PtrBounds { ptr, index, len }, span))
@@ -652,7 +698,15 @@ impl Parser {
                     let value = self.expect_int()?;
                     self.expect(TokenKind::RParen)?;
                     self.expect(TokenKind::Semi)?;
-                    Ok(Stmt::Check(Check::UnionTag { obj, field, tag, value }, span))
+                    Ok(Stmt::Check(
+                        Check::UnionTag {
+                            obj,
+                            field,
+                            tag,
+                            value,
+                        },
+                        span,
+                    ))
                 }
                 "__assert_may_block" => {
                     self.bump();
@@ -707,7 +761,9 @@ impl Parser {
     fn binary(&mut self, min_prec: u8) -> Result<Expr> {
         let mut lhs = self.cast_expr()?;
         loop {
-            let Some((op, prec)) = self.peek_binop() else { return Ok(lhs) };
+            let Some((op, prec)) = self.peek_binop() else {
+                return Ok(lhs);
+            };
             if prec < min_prec {
                 return Ok(lhs);
             }
@@ -956,7 +1012,10 @@ mod tests {
             p.function("__alloc_pages").unwrap().attrs.blocking_if_flag,
             Some("flags".into())
         );
-        assert_eq!(p.function("do_mmap").unwrap().attrs.error_codes, vec![-12, -22]);
+        assert_eq!(
+            p.function("do_mmap").unwrap().attrs.error_codes,
+            vec![-12, -22]
+        );
     }
 
     #[test]
@@ -1008,8 +1067,14 @@ mod tests {
         let f = p.function("f").unwrap();
         let b = f.body.as_ref().unwrap();
         assert!(matches!(b.stmts[0], Stmt::Check(Check::NonNull(_), _)));
-        assert!(matches!(b.stmts[1], Stmt::Check(Check::PtrBounds { .. }, _)));
-        assert!(matches!(b.stmts[2], Stmt::Check(Check::AssertMayBlock { .. }, _)));
+        assert!(matches!(
+            b.stmts[1],
+            Stmt::Check(Check::PtrBounds { .. }, _)
+        ));
+        assert!(matches!(
+            b.stmts[2],
+            Stmt::Check(Check::AssertMayBlock { .. }, _)
+        ));
         assert!(matches!(b.stmts[3], Stmt::DelayedFreeScope(..)));
     }
 
@@ -1024,7 +1089,10 @@ mod tests {
         let p = parse_program(src).unwrap();
         assert_eq!(p.typedefs.len(), 2);
         assert_eq!(p.globals.len(), 2);
-        assert!(matches!(p.global("table").unwrap().decl.ty, Type::Array(..)));
+        assert!(matches!(
+            p.global("table").unwrap().decl.ty,
+            Type::Array(..)
+        ));
     }
 
     #[test]

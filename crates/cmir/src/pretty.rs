@@ -25,7 +25,13 @@ pub fn pretty_program(p: &Program) -> String {
     for g in &p.globals {
         match &g.init {
             Some(e) => {
-                let _ = writeln!(out, "global {}: {} = {};", g.decl.name, type_str(&g.decl.ty), expr_str(e));
+                let _ = writeln!(
+                    out,
+                    "global {}: {} = {};",
+                    g.decl.name,
+                    type_str(&g.decl.ty),
+                    expr_str(e)
+                );
             }
             None => {
                 let _ = writeln!(out, "global {}: {};", g.decl.name, type_str(&g.decl.ty));
@@ -142,14 +148,26 @@ pub fn pretty_stmt(s: &Stmt, level: usize) -> String {
         Stmt::Expr(e, _) => format!("{ind}{};\n", expr_str(e)),
         Stmt::Assign(l, r, _) => format!("{ind}{} = {};\n", expr_str(l), expr_str(r)),
         Stmt::Local(d, Some(init)) => {
-            format!("{ind}let {}: {} = {};\n", d.name, type_str(&d.ty), expr_str(init))
+            format!(
+                "{ind}let {}: {} = {};\n",
+                d.name,
+                type_str(&d.ty),
+                expr_str(init)
+            )
         }
         Stmt::Local(d, None) => format!("{ind}let {}: {};\n", d.name, type_str(&d.ty)),
         Stmt::If(c, then, els, _) => {
-            let mut out = format!("{ind}if ({}) {{\n{}", expr_str(c), pretty_block(then, level + 1));
+            let mut out = format!(
+                "{ind}if ({}) {{\n{}",
+                expr_str(c),
+                pretty_block(then, level + 1)
+            );
             match els {
                 Some(e) => {
-                    out.push_str(&format!("{ind}}} else {{\n{}{ind}}}\n", pretty_block(e, level + 1)));
+                    out.push_str(&format!(
+                        "{ind}}} else {{\n{}{ind}}}\n",
+                        pretty_block(e, level + 1)
+                    ));
                 }
                 None => out.push_str(&format!("{ind}}}\n")),
             }
@@ -187,7 +205,12 @@ fn check_str(c: &Check) -> String {
             ),
             None => format!("__check_bounds({}, {});", expr_str(ptr), expr_str(index)),
         },
-        Check::UnionTag { obj, field, tag, value } => {
+        Check::UnionTag {
+            obj,
+            field,
+            tag,
+            value,
+        } => {
             format!("__check_union({}, {field}, {tag}, {value});", expr_str(obj))
         }
         Check::AssertMayBlock { site } => format!("__assert_may_block(\"{site}\");"),
@@ -439,7 +462,10 @@ mod tests {
     fn prints_annotations() {
         let f = Function::new(
             "f",
-            vec![VarDecl::new("p", Type::ptr_count(Type::u8(), BoundExpr::var("n")))],
+            vec![VarDecl::new(
+                "p",
+                Type::ptr_count(Type::u8(), BoundExpr::var("n")),
+            )],
             Type::Void,
             vec![],
         );

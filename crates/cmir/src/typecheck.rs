@@ -38,14 +38,11 @@ pub fn validate_program(program: &Program) -> Validation {
     // Duplicate definitions.
     let mut seen = HashMap::new();
     for f in &program.functions {
-        if f.body.is_some() {
-            if let Some(prev) = seen.insert(f.name.clone(), ()) {
-                let _ = prev;
-                v.errors.push(CmirError::resolve(
-                    format!("function `{}` defined more than once", f.name),
-                    f.span,
-                ));
-            }
+        if f.body.is_some() && seen.insert(f.name.clone(), ()).is_some() {
+            v.errors.push(CmirError::resolve(
+                format!("function `{}` defined more than once", f.name),
+                f.span,
+            ));
         }
     }
     for c in &program.composites {
@@ -71,16 +68,15 @@ pub fn validate_program(program: &Program) -> Validation {
 
 fn check_type_defined(program: &Program, ty: &Type, span: Span, v: &mut Validation) {
     match ty {
-        Type::Struct(n) | Type::Union(n) => {
-            if program.composite(n).is_none() {
-                v.errors
-                    .push(CmirError::resolve(format!("undefined composite `{n}`"), span));
-            }
+        Type::Struct(n) | Type::Union(n) if program.composite(n).is_none() => {
+            v.errors.push(CmirError::resolve(
+                format!("undefined composite `{n}`"),
+                span,
+            ));
         }
-        Type::Named(n) => {
-            if !program.typedefs.iter().any(|(name, _)| name == n) {
-                v.errors.push(CmirError::resolve(format!("undefined typedef `{n}`"), span));
-            }
+        Type::Named(n) if !program.typedefs.iter().any(|(name, _)| name == n) => {
+            v.errors
+                .push(CmirError::resolve(format!("undefined typedef `{n}`"), span));
         }
         Type::Ptr(inner, _) | Type::Array(inner, _) => check_type_defined(program, inner, span, v),
         Type::Func(ft) => {
@@ -132,8 +128,10 @@ fn validate_stmt(
         }
         Stmt::Assign(lhs, rhs, span) => {
             if !lhs.is_lvalue() {
-                v.errors
-                    .push(CmirError::resolve("assignment target is not an lvalue", *span));
+                v.errors.push(CmirError::resolve(
+                    "assignment target is not an lvalue",
+                    *span,
+                ));
             }
             match (ctx.type_of(lhs), ctx.type_of(rhs)) {
                 (Ok(lt), Ok(rt)) => {
@@ -179,29 +177,29 @@ fn validate_stmt(
                 format!("`{}` must return a value", func.name),
                 *span,
             )),
-            (Some(e), ret) => {
-                match ctx.type_of(e) {
-                    Err(err) => v.errors.push(locate(err, *span)),
-                    Ok(t) => {
-                        if *ret == Type::Void {
-                            v.warnings.push(format!(
-                                "{span}: returning a value from void function `{}`",
-                                func.name
-                            ));
-                        } else if t.is_ptr() && ret.is_integral() {
-                            v.warnings.push(format!(
-                                "{span}: returning pointer from integer function `{}`",
-                                func.name
-                            ));
-                        }
+            (Some(e), ret) => match ctx.type_of(e) {
+                Err(err) => v.errors.push(locate(err, *span)),
+                Ok(t) => {
+                    if *ret == Type::Void {
+                        v.warnings.push(format!(
+                            "{span}: returning a value from void function `{}`",
+                            func.name
+                        ));
+                    } else if t.is_ptr() && ret.is_integral() {
+                        v.warnings.push(format!(
+                            "{span}: returning pointer from integer function `{}`",
+                            func.name
+                        ));
                     }
                 }
-            }
+            },
         },
         Stmt::Break(span) | Stmt::Continue(span) => {
             if loop_depth == 0 {
-                v.errors
-                    .push(CmirError::resolve("`break`/`continue` outside of a loop", *span));
+                v.errors.push(CmirError::resolve(
+                    "`break`/`continue` outside of a loop",
+                    *span,
+                ));
             }
         }
         Stmt::Block(b) => validate_block(ctx, func, b, loop_depth, v),
@@ -236,7 +234,10 @@ pub struct TypeCtx<'p> {
 impl<'p> TypeCtx<'p> {
     /// Creates an empty context over a program.
     pub fn new(program: &'p Program) -> Self {
-        TypeCtx { program, locals: Vec::new() }
+        TypeCtx {
+            program,
+            locals: Vec::new(),
+        }
     }
 
     /// Creates a context pre-populated with a function's parameters.
@@ -283,7 +284,10 @@ impl<'p> TypeCtx<'p> {
             Expr::Int(_) => Ok(Type::Int(IntKind::I32)),
             Expr::Str(_) => Ok(Type::Ptr(
                 Box::new(Type::u8()),
-                PtrAnnot { nullterm: true, ..PtrAnnot::single() },
+                PtrAnnot {
+                    nullterm: true,
+                    ..PtrAnnot::single()
+                },
             )),
             Expr::Null => Ok(Type::Ptr(Box::new(Type::Void), PtrAnnot::unknown())),
             Expr::Var(name) => self.lookup(name).ok_or_else(|| {
@@ -490,17 +494,12 @@ mod tests {
 
     #[test]
     fn undefined_struct_and_field_errors() {
-        let p = parse_program(
-            "fn f(x: struct nothere *) -> i32 { return 0; }",
-        )
-        .unwrap();
+        let p = parse_program("fn f(x: struct nothere *) -> i32 { return 0; }").unwrap();
         let v = validate_program(&p);
         assert!(!v.is_ok());
 
-        let p2 = parse_program(
-            "struct a { x: u32; } fn f(p: struct a *) -> u32 { return p->y; }",
-        )
-        .unwrap();
+        let p2 = parse_program("struct a { x: u32; } fn f(p: struct a *) -> u32 { return p->y; }")
+            .unwrap();
         let v2 = validate_program(&p2);
         assert!(v2.errors.iter().any(|e| e.message.contains("no field `y`")));
     }
@@ -563,6 +562,9 @@ mod tests {
     fn duplicate_definitions_rejected() {
         let p = parse_program("fn f() { } fn f() { }").unwrap();
         let v = validate_program(&p);
-        assert!(v.errors.iter().any(|e| e.message.contains("more than once")));
+        assert!(v
+            .errors
+            .iter()
+            .any(|e| e.message.contains("more than once")));
     }
 }

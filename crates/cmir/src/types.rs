@@ -53,7 +53,10 @@ impl IntKind {
 
     /// Whether the kind is signed.
     pub fn is_signed(self) -> bool {
-        matches!(self, IntKind::I8 | IntKind::I16 | IntKind::I32 | IntKind::I64)
+        matches!(
+            self,
+            IntKind::I8 | IntKind::I16 | IntKind::I32 | IntKind::I64
+        )
     }
 
     /// Wraps a 64-bit value into this kind's range (two's-complement).
@@ -189,7 +192,11 @@ fn bound_expr_prec(e: &BoundExpr, parent_prec: u8) -> String {
         }
         BoundExpr::Var(v) | BoundExpr::SelfField(v) => v.clone(),
         BoundExpr::Add(a, b) | BoundExpr::Sub(a, b) => {
-            let op = if matches!(e, BoundExpr::Add(..)) { "+" } else { "-" };
+            let op = if matches!(e, BoundExpr::Add(..)) {
+                "+"
+            } else {
+                "-"
+            };
             let s = format!("{} {op} {}", bound_expr_prec(a, 1), bound_expr_prec(b, 2));
             if parent_prec > 1 {
                 format!("({s})")
@@ -263,17 +270,26 @@ impl PtrAnnot {
 
     /// Annotation for a single-element (`safe`) pointer.
     pub fn single() -> Self {
-        PtrAnnot { bounds: Bounds::Single, ..PtrAnnot::default() }
+        PtrAnnot {
+            bounds: Bounds::Single,
+            ..PtrAnnot::default()
+        }
     }
 
     /// Annotation for a `count(e)` pointer.
     pub fn count(e: BoundExpr) -> Self {
-        PtrAnnot { bounds: Bounds::Count(e), ..PtrAnnot::default() }
+        PtrAnnot {
+            bounds: Bounds::Count(e),
+            ..PtrAnnot::default()
+        }
     }
 
     /// Annotation for a trusted pointer.
     pub fn trusted() -> Self {
-        PtrAnnot { trusted: true, ..PtrAnnot::default() }
+        PtrAnnot {
+            trusted: true,
+            ..PtrAnnot::default()
+        }
     }
 
     /// True if the programmer wrote any non-default annotation here.
@@ -436,9 +452,7 @@ impl Type {
         match self {
             Type::Ptr(inner, ann) => ann.is_annotated() || inner.is_annotated(),
             Type::Array(inner, _) => inner.is_annotated(),
-            Type::Func(ft) => {
-                ft.ret.is_annotated() || ft.params.iter().any(Type::is_annotated)
-            }
+            Type::Func(ft) => ft.ret.is_annotated() || ft.params.iter().any(Type::is_annotated),
             _ => false,
         }
     }
@@ -537,7 +551,12 @@ pub struct Field {
 impl Field {
     /// Creates a plain field.
     pub fn new(name: impl Into<String>, ty: Type) -> Self {
-        Field { name: name.into(), ty, when: None, span: Span::synthetic() }
+        Field {
+            name: name.into(),
+            ty,
+            when: None,
+            span: Span::synthetic(),
+        }
     }
 
     /// Creates a union arm guarded by `when(tag == value)`.
@@ -573,12 +592,22 @@ pub struct CompositeDef {
 impl CompositeDef {
     /// Creates a struct definition.
     pub fn strukt(name: impl Into<String>, fields: Vec<Field>) -> Self {
-        CompositeDef { name: name.into(), is_union: false, fields, span: Span::synthetic() }
+        CompositeDef {
+            name: name.into(),
+            is_union: false,
+            fields,
+            span: Span::synthetic(),
+        }
     }
 
     /// Creates a union definition.
     pub fn union(name: impl Into<String>, fields: Vec<Field>) -> Self {
-        CompositeDef { name: name.into(), is_union: true, fields, span: Span::synthetic() }
+        CompositeDef {
+            name: name.into(),
+            is_union: true,
+            fields,
+            span: Span::synthetic(),
+        }
     }
 
     /// Finds a field by name.
@@ -612,14 +641,20 @@ mod tests {
         assert_eq!(IntKind::I8.truncate(255), -1);
         assert_eq!(IntKind::I8.truncate(127), 127);
         assert_eq!(IntKind::I8.truncate(128), -128);
-        assert_eq!(IntKind::I32.truncate(i64::from(i32::MIN)), i64::from(i32::MIN));
+        assert_eq!(
+            IntKind::I32.truncate(i64::from(i32::MIN)),
+            i64::from(i32::MIN)
+        );
     }
 
     #[test]
     fn bound_expr_eval_and_vars() {
         let e = BoundExpr::Add(
             Box::new(BoundExpr::var("n")),
-            Box::new(BoundExpr::Mul(Box::new(BoundExpr::konst(2)), Box::new(BoundExpr::var("m")))),
+            Box::new(BoundExpr::Mul(
+                Box::new(BoundExpr::konst(2)),
+                Box::new(BoundExpr::var("m")),
+            )),
         );
         let vars = e.free_vars();
         assert_eq!(vars, vec!["n".to_string(), "m".to_string()]);

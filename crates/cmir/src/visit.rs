@@ -179,7 +179,12 @@ pub fn map_check_exprs(check: &Check, f: &mut dyn FnMut(Expr) -> Expr) -> Check 
             index: map_expr(index, f),
             len: len.as_ref().map(|l| map_expr(l, f)),
         },
-        Check::UnionTag { obj, field, tag, value } => Check::UnionTag {
+        Check::UnionTag {
+            obj,
+            field,
+            tag,
+            value,
+        } => Check::UnionTag {
             obj: map_expr(obj, f),
             field: field.clone(),
             tag: tag.clone(),
@@ -279,12 +284,18 @@ mod tests {
     fn checked_fn() -> Function {
         Function::new(
             "f",
-            vec![VarDecl::new("p", Type::ptr_count(Type::u8(), BoundExpr::var("n"))),
-                 VarDecl::new("n", Type::u32())],
+            vec![
+                VarDecl::new("p", Type::ptr_count(Type::u8(), BoundExpr::var("n"))),
+                VarDecl::new("n", Type::u32()),
+            ],
             Type::Void,
             vec![
                 Stmt::Check(
-                    Check::PtrBounds { ptr: Expr::var("p"), index: Expr::int(0), len: None },
+                    Check::PtrBounds {
+                        ptr: Expr::var("p"),
+                        index: Expr::int(0),
+                        len: None,
+                    },
                     crate::span::Span::synthetic(),
                 ),
                 Stmt::assign(Expr::index(Expr::var("p"), Expr::int(0)), Expr::int(1)),

@@ -25,11 +25,45 @@ fn arb_ident() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9_]{0,6}".prop_filter("avoid keywords", |s| {
         !matches!(
             s.as_str(),
-            "let" | "if" | "else" | "while" | "for" | "return" | "break" | "continue" | "null"
-                | "sizeof" | "as" | "struct" | "union" | "fn" | "extern" | "global" | "typedef"
-                | "void" | "bool" | "i8" | "u8" | "i16" | "u16" | "i32" | "u32" | "i64" | "u64"
-                | "count" | "bound" | "single" | "auto" | "nullterm" | "nonnull" | "opt"
-                | "trusted" | "poly" | "when" | "fnptr" | "delayed_free"
+            "let"
+                | "if"
+                | "else"
+                | "while"
+                | "for"
+                | "return"
+                | "break"
+                | "continue"
+                | "null"
+                | "sizeof"
+                | "as"
+                | "struct"
+                | "union"
+                | "fn"
+                | "extern"
+                | "global"
+                | "typedef"
+                | "void"
+                | "bool"
+                | "i8"
+                | "u8"
+                | "i16"
+                | "u16"
+                | "i32"
+                | "u32"
+                | "i64"
+                | "u64"
+                | "count"
+                | "bound"
+                | "single"
+                | "auto"
+                | "nullterm"
+                | "nonnull"
+                | "opt"
+                | "trusted"
+                | "poly"
+                | "when"
+                | "fnptr"
+                | "delayed_free"
         )
     })
 }
@@ -105,7 +139,9 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::lt(a, b)),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(BinOp::LAnd, a, b)),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Index(Box::new(a), Box::new(b))),
-            inner.clone().prop_map(|a| Expr::Unary(UnOp::Not, Box::new(a))),
+            inner
+                .clone()
+                .prop_map(|a| Expr::Unary(UnOp::Not, Box::new(a))),
             inner.clone().prop_map(|a| Expr::Deref(Box::new(a))),
             (inner.clone(), arb_ident()).prop_map(|(a, f)| Expr::Arrow(Box::new(a), f)),
             (inner.clone(), arb_ident()).prop_map(|(a, f)| Expr::Field(Box::new(a), f)),

@@ -6,19 +6,21 @@
 //! each of these.
 
 use crate::extensions::{errcheck, lockcheck, stackcheck, ErrReport, LockReport, StackReport};
-use ivy_blockstop::{insert_asserts, BlockStop, BlockStopConfig};
-use ivy_ccount::{FixPlan, FreeVerification, NullFix, Overhead};
+use ivy_analysis::pointsto::Sensitivity;
+use ivy_blockstop::{insert_asserts, BlockStop, BlockStopChecker, BlockStopConfig};
+use ivy_ccount::{CCountChecker, FixPlan, FreeVerification, NullFix, Overhead};
 use ivy_cmir::ast::Program;
-use ivy_deputy::{BurdenStats, ConversionReport, Deputy};
+use ivy_deputy::{BurdenStats, ConversionReport, Deputy, DeputyChecker};
+use ivy_engine::{Engine, EngineStats};
 use ivy_kernelgen::{
     boot_workload, fork_workload, hbench_suite, light_use_workload, module_load_workload,
     KernelBuild, KernelConfig, Workload,
 };
 use ivy_vm::{RunStats, Value, Vm, VmConfig};
-use ivy_analysis::pointsto::Sensitivity;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// How large an experiment run should be.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,12 +34,18 @@ pub struct Scale {
 impl Scale {
     /// Small scale for unit/integration tests (seconds, debug build).
     pub fn test() -> Self {
-        Scale { kernel: KernelConfig::small(), workload_factor: 0.1 }
+        Scale {
+            kernel: KernelConfig::small(),
+            workload_factor: 0.1,
+        }
     }
 
     /// Paper scale for benches and examples (release build).
     pub fn paper() -> Self {
-        Scale { kernel: KernelConfig::paper(), workload_factor: 1.0 }
+        Scale {
+            kernel: KernelConfig::paper(),
+            workload_factor: 1.0,
+        }
     }
 }
 
@@ -46,7 +54,10 @@ pub fn run_workload(program: &Program, config: VmConfig, workload: &Workload) ->
     let mut vm = Vm::new(program.clone(), config).expect("kernel lays out");
     vm.run(
         &workload.entry,
-        vec![Value::Int(i64::from(workload.iters)), Value::Int(i64::from(workload.size))],
+        vec![
+            Value::Int(i64::from(workload.iters)),
+            Value::Int(i64::from(workload.size)),
+        ],
     )
     .unwrap_or_else(|e| panic!("workload {} trapped: {e}", workload.name));
     vm.stats.clone()
@@ -93,7 +104,11 @@ impl Table1 {
     /// Renders the table in the paper's two-column layout.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "{:<14} {:>9}    {:<14} {:>9}", "Benchmark", "Rel. Perf.", "Benchmark", "Rel. Perf.");
+        let _ = writeln!(
+            out,
+            "{:<14} {:>9}    {:<14} {:>9}",
+            "Benchmark", "Rel. Perf.", "Benchmark", "Rel. Perf."
+        );
         let half = self.rows.len().div_ceil(2);
         for i in 0..half {
             let left = &self.rows[i];
@@ -132,7 +147,10 @@ impl Table1 {
 pub fn table1_hbench(scale: &Scale) -> Table1 {
     let build = KernelBuild::generate(&scale.kernel);
     let conversion = Deputy::new().convert(&build.program);
-    let mut table = Table1 { rows: Vec::new(), conversion: conversion.report.clone() };
+    let mut table = Table1 {
+        rows: Vec::new(),
+        conversion: conversion.report.clone(),
+    };
     for workload in hbench_suite() {
         let w = workload.scaled(scale.workload_factor);
         let base = run_workload(&build.program, VmConfig::baseline(), &w);
@@ -213,10 +231,19 @@ pub fn ccount_frees(scale: &Scale) -> FreesResult {
 
     let run_phases = |program: &Program| -> FreeVerification {
         let mut vm = Vm::new(program.clone(), VmConfig::ccounted(false)).expect("kernel lays out");
-        vm.run(&boot.entry, vec![Value::Int(i64::from(boot.iters)), Value::Int(0)])
-            .expect("boot runs");
-        vm.run(&light.entry, vec![Value::Int(i64::from(light.iters)), Value::Int(i64::from(light.size))])
-            .expect("light use runs");
+        vm.run(
+            &boot.entry,
+            vec![Value::Int(i64::from(boot.iters)), Value::Int(0)],
+        )
+        .expect("boot runs");
+        vm.run(
+            &light.entry,
+            vec![
+                Value::Int(i64::from(light.iters)),
+                Value::Int(i64::from(light.size)),
+            ],
+        )
+        .expect("light use runs");
         FreeVerification::from_stats(&vm.stats)
     };
 
@@ -351,11 +378,17 @@ pub fn blockstop_results(scale: &Scale) -> BlockStopResult {
     let boot = boot_workload(scale.kernel.boot_cycles);
     let mut vm = Vm::new(
         asserted_program,
-        VmConfig { blockstop_asserts: true, ..VmConfig::baseline() },
+        VmConfig {
+            blockstop_asserts: true,
+            ..VmConfig::baseline()
+        },
     )
     .expect("kernel lays out");
-    vm.run(&boot.entry, vec![Value::Int(i64::from(boot.iters)), Value::Int(0)])
-        .expect("boot runs");
+    vm.run(
+        &boot.entry,
+        vec![Value::Int(i64::from(boot.iters)), Value::Int(0)],
+    )
+    .expect("boot runs");
 
     BlockStopResult {
         findings_before: before.findings.len(),
@@ -395,32 +428,159 @@ pub fn pointsto_ablation(scale: &Scale) -> Vec<AblationRow> {
         involved.insert(bug.caller.clone());
         involved.insert(bug.callee.clone());
     }
-    [Sensitivity::Steensgaard, Sensitivity::Andersen, Sensitivity::AndersenField]
-        .into_iter()
-        .map(|s| {
-            let report = BlockStop::with_config(BlockStopConfig {
-                sensitivity: s,
-                ..BlockStopConfig::default()
-            })
-            .analyze(&build.program);
-            let pts = ivy_analysis::pointsto::analyze(&build.program, s);
-            let real = report
-                .findings
-                .iter()
-                .filter(|f| {
-                    involved.contains(&f.caller)
-                        || f.blocking_targets.iter().any(|t| involved.contains(t))
-                        || f.example_chain.iter().any(|t| involved.contains(t))
-                })
-                .count();
-            AblationRow {
-                sensitivity: s.name().to_string(),
-                findings: report.findings.len(),
-                false_positives: report.findings.len() - real,
-                mean_indirect_fanout: pts.mean_indirect_fanout(),
-            }
+    [
+        Sensitivity::Steensgaard,
+        Sensitivity::Andersen,
+        Sensitivity::AndersenField,
+    ]
+    .into_iter()
+    .map(|s| {
+        let report = BlockStop::with_config(BlockStopConfig {
+            sensitivity: s,
+            ..BlockStopConfig::default()
         })
-        .collect()
+        .analyze(&build.program);
+        let pts = ivy_analysis::pointsto::analyze(&build.program, s);
+        let real = report
+            .findings
+            .iter()
+            .filter(|f| {
+                involved.contains(&f.caller)
+                    || f.blocking_targets.iter().any(|t| involved.contains(t))
+                    || f.example_chain.iter().any(|t| involved.contains(t))
+            })
+            .count();
+        AblationRow {
+            sensitivity: s.name().to_string(),
+            findings: report.findings.len(),
+            false_positives: report.findings.len() - real,
+            mean_indirect_fanout: pts.mean_indirect_fanout(),
+        }
+    })
+    .collect()
+}
+
+// ---------------------------------------------------------------------------
+// E8 — the analysis engine: unified report, incrementality, fleet mode
+// ---------------------------------------------------------------------------
+
+/// The default engine: Deputy, CCount, and BlockStop registered as plugins.
+pub fn default_engine(threads: usize) -> Engine {
+    Engine::new()
+        .with_threads(threads)
+        .with_checker(Arc::new(DeputyChecker::new()))
+        .with_checker(Arc::new(CCountChecker::new()))
+        .with_checker(Arc::new(BlockStopChecker::new()))
+}
+
+/// Result of the engine experiment: the unified diagnostic report classified
+/// against the seeded ground truth, plus cache behaviour cold vs warm and in
+/// corpus (fleet) mode.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EngineResult {
+    /// Total diagnostics across all three checkers.
+    pub total_diagnostics: usize,
+    /// Error-severity diagnostics (sound findings).
+    pub errors: usize,
+    /// Warning-severity diagnostics.
+    pub warnings: usize,
+    /// Info-severity diagnostics (instrumentation facts).
+    pub infos: usize,
+    /// BlockStop error diagnostics attributable to a seeded blocking bug.
+    pub real_bug_findings: usize,
+    /// BlockStop error diagnostics not attributable to one (false
+    /// positives, silenced in the pipeline by run-time assertions).
+    pub false_positives: usize,
+    /// Stats of the first (cold-cache) run.
+    pub cold: EngineStats,
+    /// Stats of a repeat run over the unchanged kernel.
+    pub warm: EngineStats,
+    /// Number of corpus variants analyzed in fleet mode.
+    pub corpus_variants: usize,
+    /// Fraction of per-function results served from cache across the
+    /// corpus run (variants share most functions, so this is high even
+    /// with a cold cache).
+    pub corpus_hit_rate: f64,
+}
+
+/// Runs the engine experiment: one kernel analyzed cold and warm, then a
+/// seed-varied corpus in fleet mode with a shared cache.
+pub fn engine_results(scale: &Scale) -> EngineResult {
+    let build = KernelBuild::generate(&scale.kernel);
+    let engine = default_engine(0);
+    let cold = engine.analyze(&build.program);
+    let warm = engine.analyze(&build.program);
+
+    // Classify BlockStop findings against the seeded ground truth: a
+    // diagnostic is "real" when its function or message names a function
+    // involved in a seeded bug (diagnostic messages carry the blocking
+    // targets and an example call chain).
+    let mut involved: BTreeSet<String> = BTreeSet::new();
+    for bug in &build.ground_truth.blocking_bugs {
+        involved.insert(bug.caller.clone());
+        involved.insert(bug.callee.clone());
+    }
+    let blockstop_errors: Vec<_> = cold
+        .diagnostics
+        .iter()
+        .filter(|d| d.checker == "blockstop" && d.severity == ivy_engine::Severity::Error)
+        .collect();
+    let real_bug_findings = blockstop_errors
+        .iter()
+        .filter(|d| {
+            involved.contains(&d.function)
+                || involved
+                    .iter()
+                    .any(|name| d.message.contains(name.as_str()))
+        })
+        .count();
+    let false_positives = blockstop_errors.len() - real_bug_findings;
+
+    // Fleet mode: analyze seed-varied kernel variants concurrently with a
+    // fresh shared cache. Variants share almost all functions, so later
+    // variants are served largely from cache entries of earlier ones.
+    let variants: Vec<_> = (0..3)
+        .map(|i| {
+            let mut config = scale.kernel.clone();
+            config.seed = config.seed.wrapping_add(i);
+            KernelBuild::generate(&config).program
+        })
+        .collect();
+    let fleet = default_engine(0);
+    let reports = fleet.analyze_corpus(&variants);
+    let (hits, misses) = reports.iter().fold((0u64, 0u64), |(h, m), r| {
+        (h + r.stats.cache_hits, m + r.stats.cache_misses)
+    });
+
+    let mut counts = BTreeMap::new();
+    for d in &cold.diagnostics {
+        *counts.entry(d.severity).or_insert(0usize) += 1;
+    }
+    EngineResult {
+        total_diagnostics: cold.diagnostics.len(),
+        errors: counts
+            .get(&ivy_engine::Severity::Error)
+            .copied()
+            .unwrap_or(0),
+        warnings: counts
+            .get(&ivy_engine::Severity::Warning)
+            .copied()
+            .unwrap_or(0),
+        infos: counts
+            .get(&ivy_engine::Severity::Info)
+            .copied()
+            .unwrap_or(0),
+        real_bug_findings,
+        false_positives,
+        cold: cold.stats,
+        warm: warm.stats,
+        corpus_variants: reports.len(),
+        corpus_hit_rate: if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        },
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -457,8 +617,18 @@ mod tests {
         let t = table1_hbench(&Scale::test());
         assert_eq!(t.rows.len(), 21);
         for row in &t.rows {
-            assert!(row.relative() >= 0.99, "{} got faster? {}", row.name, row.relative());
-            assert!(row.relative() < 2.0, "{} slowed more than 2x: {}", row.name, row.relative());
+            assert!(
+                row.relative() >= 0.99,
+                "{} got faster? {}",
+                row.name,
+                row.relative()
+            );
+            assert!(
+                row.relative() < 2.0,
+                "{} slowed more than 2x: {}",
+                row.name,
+                row.relative()
+            );
         }
         assert!(t.geomean() < 1.5);
         let rendered = t.render();
@@ -474,6 +644,34 @@ mod tests {
         assert!(o.module_smp.percent() >= o.module_up.percent());
         assert!(o.fork_smp.percent() > o.module_smp.percent());
         assert!(!o.render().is_empty());
+    }
+
+    #[test]
+    fn engine_results_classify_and_cache() {
+        let r = engine_results(&Scale::test());
+        assert!(r.total_diagnostics > 0);
+        assert!(
+            r.errors > 0,
+            "the seeded blocking bugs must surface as errors"
+        );
+        assert!(r.infos > 0, "instrumentation info diagnostics expected");
+        assert!(r.real_bug_findings >= 2, "both seeded bugs found: {r:?}");
+        assert!(
+            r.false_positives > 0,
+            "conservative analysis has false positives"
+        );
+        assert_eq!(r.cold.cache_hits, 0, "first run is cold");
+        assert!(
+            r.warm.hit_rate() >= 0.9,
+            "warm run must be cache-served: {:?}",
+            r.warm
+        );
+        assert_eq!(r.corpus_variants, 3);
+        assert!(
+            r.corpus_hit_rate > 0.5,
+            "seed-varied variants share most cache entries: {}",
+            r.corpus_hit_rate
+        );
     }
 
     #[test]

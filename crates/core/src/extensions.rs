@@ -42,7 +42,10 @@ pub fn lockcheck(program: &Program) -> LockReport {
             visit::walk_stmt_exprs(stmt, &mut |e| {
                 let Expr::Call(callee, args) = e else { return };
                 let Expr::Var(name) = &**callee else { return };
-                let lock = args.first().map(lock_label).unwrap_or_else(|| "<unknown>".into());
+                let lock = args
+                    .first()
+                    .map(lock_label)
+                    .unwrap_or_else(|| "<unknown>".into());
                 match name.as_str() {
                     "spin_lock" | "spin_lock_bh" => {
                         for (outer, _) in &held {
@@ -62,7 +65,9 @@ pub fn lockcheck(program: &Program) -> LockReport {
                         }
                         held.push((lock, true));
                     }
-                    "spin_unlock" | "spin_unlock_bh" | "spin_unlock_irqrestore"
+                    "spin_unlock"
+                    | "spin_unlock_bh"
+                    | "spin_unlock_irqrestore"
                     | "spin_unlock_irq" => {
                         if let Some(pos) = held.iter().rposition(|(l, _)| *l == lock) {
                             held.remove(pos);
@@ -99,7 +104,9 @@ pub fn lockcheck(program: &Program) -> LockReport {
                 if name == "spin_lock" || name == "spin_lock_bh" {
                     let lock = args.first().map(lock_label).unwrap_or_default();
                     if report.irq_context_locks.contains(&lock) {
-                        report.irq_unsafe_acquisitions.push((func.name.clone(), lock));
+                        report
+                            .irq_unsafe_acquisitions
+                            .push((func.name.clone(), lock));
                     }
                 }
             });
@@ -136,7 +143,9 @@ pub struct StackReport {
 /// Estimated frame size of a function: saved registers plus parameters and
 /// locals (all memory-backed in the VM's model).
 fn frame_size(program: &Program, name: &str) -> u64 {
-    let Some(f) = program.function(name) else { return 32 };
+    let Some(f) = program.function(name) else {
+        return 32;
+    };
     let mut locals = 0u64;
     if let Some(body) = &f.body {
         visit::walk_block_stmts(body, &mut |s| {
@@ -153,7 +162,11 @@ fn frame_size(program: &Program, name: &str) -> u64 {
 pub fn stackcheck(program: &Program, budget: u64) -> StackReport {
     let pts = pointsto(program, Sensitivity::AndersenField);
     let cg = CallGraph::build(program, &pts);
-    let mut report = StackReport { budget, recursive: cg.recursive_functions(), ..Default::default() };
+    let mut report = StackReport {
+        budget,
+        recursive: cg.recursive_functions(),
+        ..Default::default()
+    };
     let entries: Vec<String> = program
         .functions
         .iter()
@@ -299,7 +312,10 @@ mod tests {
         // `ab` and `ba` take lock_a/lock_b in process context without
         // disabling interrupts although lock_a is also taken in an interrupt
         // handler.
-        assert!(r.irq_unsafe_acquisitions.iter().any(|(f, l)| f == "ab" && l == "lock_a"));
+        assert!(r
+            .irq_unsafe_acquisitions
+            .iter()
+            .any(|(f, l)| f == "ab" && l == "lock_a"));
     }
 
     #[test]
@@ -307,7 +323,10 @@ mod tests {
         let p = parse_program(SRC).unwrap();
         let r = stackcheck(&p, 8192);
         assert!(r.per_entry.contains_key("sys_deep"));
-        assert!(r.per_entry["sys_deep"] > r.per_entry["sys_rec"] / 10, "sane magnitudes");
+        assert!(
+            r.per_entry["sys_deep"] > r.per_entry["sys_rec"] / 10,
+            "sane magnitudes"
+        );
         assert!(r.recursive.contains("looper"));
         assert!(r.over_budget.is_empty());
         let tight = stackcheck(&p, 64);
@@ -320,7 +339,10 @@ mod tests {
         let r = errcheck(&p);
         assert!(r.error_returning["may_fail"].contains(&-22));
         assert!(r.error_returning["may_fail"].contains(&-12));
-        assert_eq!(r.unchecked_sites, vec![("careless".to_string(), "may_fail".to_string())]);
+        assert_eq!(
+            r.unchecked_sites,
+            vec![("careless".to_string(), "may_fail".to_string())]
+        );
         assert!(r.checked_sites >= 1);
     }
 }

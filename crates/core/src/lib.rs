@@ -5,8 +5,10 @@
 //! can be applied together to a whole kernel with modest effort. This crate
 //! is where the three tools meet:
 //!
-//! * [`pipeline`] — applies all three tools to a kernel in one pass,
-//!   producing a "hardened" program plus the combined reports.
+//! * [`pipeline`] — applies all three tools to a kernel in one pass via
+//!   `ivy-engine` (shared analysis context, parallel scheduling,
+//!   incremental cache), producing a "hardened" program plus the combined
+//!   reports.
 //! * [`experiments`] — one function per table/experiment of the paper
 //!   (Table 1, annotation burden, free verification, CCount overhead,
 //!   BlockStop findings, the points-to ablation, and the extension

@@ -1,24 +1,75 @@
-//! The combined Ivy pipeline: Deputy + CCount + BlockStop over one kernel.
+//! The combined Ivy pipeline: Deputy + CCount + BlockStop over one kernel,
+//! driven by `ivy-engine`.
 //!
 //! This is the workflow §2 describes end to end: deputize the kernel
 //! (annotations + run-time checks), apply the source fixes that make its
 //! frees verifiable, insert the BlockStop assertions that silence false
 //! positives, and hand back a program that can be executed fully
 //! instrumented on the VM.
+//!
+//! Since the engine rework, all three tools run as [`Checker`] plugins over
+//! shared, memoized [`AnalysisCtx`]s: points-to results and call graphs are
+//! computed once per program state instead of once per tool, checker work is
+//! scheduled bottom-up over the condensed call graph in parallel, and the
+//! pipeline's three program states (fixed → asserted → deputized) share one
+//! diagnostic cache and one context store — so running the same pipeline
+//! again (the analyze→fix→re-analyze loop) is served from cache instead of
+//! paying full price twice.
 
 use crate::experiments::fix_plan_for;
 use crate::repository::Repository;
-use ivy_blockstop::{insert_asserts, BlockStop, BlockStopConfig, BlockStopReport};
-use ivy_ccount::{analyze as ccount_analyze, InstrumentationReport};
+use ivy_blockstop::{insert_asserts, BlockStopChecker, BlockStopConfig, BlockStopReport};
+use ivy_ccount::{CCountChecker, InstrumentationReport};
 use ivy_cmir::ast::Program;
+use ivy_deputy::plugin::DeputyChecker;
 use ivy_deputy::{ConversionReport, Deputy};
+use ivy_engine::{CtxStore, Diagnostic, DiagnosticCache, Engine, Report};
 use ivy_kernelgen::KernelBuild;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// Configuration of the combined pipeline.
-#[derive(Debug, Clone, Default)]
 pub struct Pipeline {
     /// The Deputy instance used for conversion.
     pub deputy: Deputy,
+    /// Worker threads for the engine (0 = one per hardware thread).
+    pub threads: usize,
+    cache: Arc<DiagnosticCache>,
+    ctx_store: CtxStore,
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Pipeline {
+            deputy: Deputy::default(),
+            threads: 0,
+            cache: Arc::new(DiagnosticCache::new()),
+            ctx_store: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+}
+
+impl Clone for Pipeline {
+    /// Clones share the diagnostic cache and context store, so a cloned
+    /// pipeline benefits from the original's warm state.
+    fn clone(&self) -> Self {
+        Pipeline {
+            deputy: self.deputy.clone(),
+            threads: self.threads,
+            cache: Arc::clone(&self.cache),
+            ctx_store: Arc::clone(&self.ctx_store),
+        }
+    }
+}
+
+impl std::fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pipeline")
+            .field("deputy", &self.deputy)
+            .field("threads", &self.threads)
+            .field("cached_results", &self.cache.len())
+            .finish()
+    }
 }
 
 /// Output of the combined pipeline.
@@ -39,6 +90,10 @@ pub struct Hardened {
     pub asserts_inserted: u64,
     /// The annotation repository harvested from the hardened kernel.
     pub repository: Repository,
+    /// The unified engine report over the hardened kernel: BlockStop and
+    /// Deputy diagnostics for the asserted program plus CCount diagnostics
+    /// for the deputized program, in stable order.
+    pub report: Report,
 }
 
 impl Pipeline {
@@ -47,30 +102,85 @@ impl Pipeline {
         Pipeline::default()
     }
 
+    /// Creates a pipeline with an engine thread count.
+    pub fn with_threads(threads: usize) -> Self {
+        Pipeline {
+            threads,
+            ..Pipeline::default()
+        }
+    }
+
+    /// The diagnostic cache shared by this pipeline's engine stages; expose
+    /// it to observe hit rates across repeated runs.
+    pub fn cache(&self) -> Arc<DiagnosticCache> {
+        Arc::clone(&self.cache)
+    }
+
+    fn engine(&self) -> Engine {
+        Engine::new()
+            .with_threads(self.threads)
+            .with_cache(Arc::clone(&self.cache))
+            .with_ctx_store(Arc::clone(&self.ctx_store))
+    }
+
     /// Runs the whole pipeline over a generated kernel.
     pub fn run(&self, build: &KernelBuild) -> Hardened {
         // 1. CCount source fixes (null-outs + delayed-free scopes).
         let plan = fix_plan_for(build);
         let fixed = plan.apply(&build.program);
 
-        // 2. BlockStop: analyse, then insert the assertions that silence the
-        //    corpus's known false positives and re-analyse.
-        let blockstop_before = BlockStop::new().analyze(&fixed);
+        // 2. BlockStop on the fixed kernel, over a shared analysis context.
+        //    Only the whole-program report is needed at this stage (it is
+        //    compared against the post-assert report, not merged into the
+        //    unified diagnostics), so no per-function engine pass runs here.
+        let pre_checker = BlockStopChecker::new();
+        let pre_engine = self.engine();
+        let (pre_ctx, _) = pre_engine.context_for(&fixed);
+        let blockstop_before = (*pre_checker.report(&pre_ctx)).clone();
+
+        // 3. Insert the assertions that silence the corpus's known false
+        //    positives and re-analyse; Deputy checks the same program state
+        //    in the same engine pass, over the same AnalysisCtx.
         let asserted = build.asserted_functions();
         let (with_asserts, asserts_inserted) = insert_asserts(&fixed, &asserted);
-        let blockstop_after = BlockStop::with_config(BlockStopConfig {
+        let post_checker = Arc::new(BlockStopChecker::with_config(BlockStopConfig {
             asserted_functions: asserted,
             ..BlockStopConfig::default()
-        })
-        .analyze(&with_asserts);
+        }));
+        let deputy_checker = Arc::new(DeputyChecker::with_config(self.deputy.config));
+        let post_engine = self
+            .engine()
+            .with_checker(post_checker.clone())
+            .with_checker(deputy_checker.clone());
+        let (post_ctx, post_reused) = post_engine.context_for(&with_asserts);
+        let post_report = post_engine.analyze_with_ctx(&post_ctx, post_reused);
+        let blockstop_after = (*post_checker.report(&post_ctx)).clone();
 
-        // 3. Deputy conversion of the patched kernel.
-        let conversion = self.deputy.convert(&with_asserts);
+        // 4. Deputy conversion of the patched kernel (the program
+        //    transformation; diagnostics already came from the engine
+        //    pass). Assembled from the per-function instrumentations the
+        //    checker just memoized — keyed by deputy config — so neither a
+        //    cold nor a repeated pipeline run instruments twice.
+        let conversion = (*deputy_checker.conversion(&post_ctx)).clone();
 
-        // 4. CCount static report and the shared repository.
-        let ccount = ccount_analyze(&conversion.program);
+        // 5. CCount static report on the deputized kernel, and the shared
+        //    repository.
+        let ccount_checker = Arc::new(CCountChecker::new());
+        let final_engine = self.engine().with_checker(ccount_checker.clone());
+        let (final_ctx, final_reused) = final_engine.context_for(&conversion.program);
+        let final_report = final_engine.analyze_with_ctx(&final_ctx, final_reused);
+        let ccount = (*ccount_checker.report(&final_ctx)).clone();
+
         let mut repository = Repository::from_program(&conversion.program);
         repository.absorb_blockstop(&blockstop_after);
+
+        // 6. Merge the engine reports of the hardened states into one.
+        let mut diagnostics: Vec<Diagnostic> = post_report.diagnostics.clone();
+        diagnostics.extend(final_report.diagnostics.iter().cloned());
+        let mut stats = post_report.stats.clone();
+        stats.cache_hits += final_report.stats.cache_hits;
+        stats.cache_misses += final_report.stats.cache_misses;
+        let report = Report::new(diagnostics, stats);
 
         Hardened {
             program: conversion.program,
@@ -80,6 +190,7 @@ impl Pipeline {
             blockstop_after,
             asserts_inserted,
             repository,
+            report,
         }
     }
 }
@@ -94,7 +205,11 @@ mod tests {
     fn pipeline_produces_clean_hardened_kernel() {
         let build = KernelBuild::generate(&KernelConfig::small());
         let hardened = Pipeline::new().run(&build);
-        assert!(hardened.deputy.accepted(), "{:?}", hardened.deputy.diagnostics);
+        assert!(
+            hardened.deputy.accepted(),
+            "{:?}",
+            hardened.deputy.diagnostics
+        );
         assert!(hardened.deputy.total_runtime_checks() > 0);
         assert!(hardened.ccount.counted_pointer_writes > 0);
         assert!(!hardened.blockstop_before.findings.is_empty());
@@ -110,16 +225,59 @@ mod tests {
         let build = KernelBuild::generate(&config);
         let hardened = Pipeline::new().run(&build);
         let mut vm = Vm::new(hardened.program.clone(), VmConfig::full(false)).unwrap();
-        vm.run("kernel_boot", vec![Value::Int(i64::from(config.boot_cycles)), Value::Int(0)])
-            .unwrap();
+        vm.run(
+            "kernel_boot",
+            vec![Value::Int(i64::from(config.boot_cycles)), Value::Int(0)],
+        )
+        .unwrap();
         // All frees verify good on the fixed kernel, no Deputy check fails,
         // and no BlockStop assertion fires.
         assert_eq!(vm.stats.frees_bad, 0, "bad frees: {:?}", vm.stats.bad_frees);
         assert!(vm.stats.frees_good > 0);
-        assert!(vm.stats.check_failures.is_empty(), "{:?}", vm.stats.check_failures);
+        assert!(
+            vm.stats.check_failures.is_empty(),
+            "{:?}",
+            vm.stats.check_failures
+        );
         assert_eq!(vm.stats.assert_failures, 0);
         // The seeded blocking bugs are still present (they are real bugs the
         // tool reports rather than fixes).
         assert!(!vm.stats.blocking_violations.is_empty());
+    }
+
+    #[test]
+    fn unified_report_carries_all_three_checkers() {
+        let build = KernelBuild::generate(&KernelConfig::small());
+        let hardened = Pipeline::new().run(&build);
+        assert!(!hardened.report.by_checker("blockstop").is_empty());
+        assert!(!hardened.report.by_checker("deputy").is_empty());
+        assert!(!hardened.report.by_checker("ccount").is_empty());
+        // BlockStop engine diagnostics agree with the native report.
+        let blockstop_errors = hardened
+            .report
+            .by_checker("blockstop")
+            .iter()
+            .filter(|d| d.severity == ivy_engine::Severity::Error)
+            .count();
+        assert_eq!(blockstop_errors, hardened.blockstop_after.findings.len());
+    }
+
+    #[test]
+    fn repeated_pipeline_runs_are_served_from_cache() {
+        let build = KernelBuild::generate(&KernelConfig::small());
+        let pipeline = Pipeline::new();
+        let first = pipeline.run(&build);
+        let hits_before = pipeline.cache().hits();
+        let second = pipeline.run(&build);
+        assert_eq!(first.report.diagnostics, second.report.diagnostics);
+        assert!(
+            second.report.stats.ctx_reused,
+            "identical program reuses the context"
+        );
+        assert_eq!(
+            second.report.stats.cache_misses, 0,
+            "an unchanged kernel must be fully cache-served"
+        );
+        assert!(pipeline.cache().hits() > hits_before);
     }
 }

@@ -10,6 +10,7 @@ use ivy_blockstop::BlockStopReport;
 use ivy_cmir::ast::Program;
 use ivy_cmir::pretty::type_str;
 use serde::{Deserialize, Serialize};
+use serde_json::{Map, Value};
 use std::collections::BTreeMap;
 
 /// Facts recorded about one function.
@@ -77,7 +78,10 @@ impl Repository {
             }
             repo.types.insert(
                 c.name.clone(),
-                TypeFacts { annotated: c.fields.iter().any(|f| f.is_annotated()), fields },
+                TypeFacts {
+                    annotated: c.fields.iter().any(|f| f.is_annotated()),
+                    fields,
+                },
             );
         }
         repo.provenance.insert(
@@ -99,14 +103,141 @@ impl Repository {
         );
     }
 
-    /// Serialises the repository to pretty JSON.
+    /// Serialises the repository to pretty JSON. Written by hand against
+    /// the `Value` model so field order is explicit and byte-stable (the
+    /// repository is meant to live next to source in version control, where
+    /// stable serialization keeps diffs minimal).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("repository serialises")
+        let functions: Map = self
+            .functions
+            .iter()
+            .map(|(name, f)| {
+                let mut m = Map::new();
+                m.insert("subsystem".into(), Value::from(f.subsystem.as_str()));
+                m.insert(
+                    "param_types".into(),
+                    Value::Array(
+                        f.param_types
+                            .iter()
+                            .map(|t| Value::from(t.as_str()))
+                            .collect(),
+                    ),
+                );
+                m.insert("return_type".into(), Value::from(f.return_type.as_str()));
+                m.insert("may_block".into(), Value::from(f.may_block));
+                m.insert("trusted".into(), Value::from(f.trusted));
+                m.insert(
+                    "error_codes".into(),
+                    Value::Array(f.error_codes.iter().map(|c| Value::from(*c)).collect()),
+                );
+                m.insert(
+                    "acquires".into(),
+                    Value::Array(f.acquires.iter().map(|l| Value::from(l.as_str())).collect()),
+                );
+                (name.clone(), Value::Object(m))
+            })
+            .collect();
+        let types: Map = self
+            .types
+            .iter()
+            .map(|(name, t)| {
+                let mut m = Map::new();
+                m.insert(
+                    "fields".into(),
+                    Value::Object(
+                        t.fields
+                            .iter()
+                            .map(|(f, ty)| (f.clone(), Value::from(ty.as_str())))
+                            .collect(),
+                    ),
+                );
+                m.insert("annotated".into(), Value::from(t.annotated));
+                (name.clone(), Value::Object(m))
+            })
+            .collect();
+        let provenance: Map = self
+            .provenance
+            .iter()
+            .map(|(k, v)| (k.clone(), Value::from(v.as_str())))
+            .collect();
+
+        let mut root = Map::new();
+        root.insert("functions".into(), Value::Object(functions));
+        root.insert("types".into(), Value::Object(types));
+        root.insert("provenance".into(), Value::Object(provenance));
+        serde_json::to_string_pretty(&Value::Object(root)).expect("repository serialises")
     }
 
     /// Loads a repository from JSON.
     pub fn from_json(json: &str) -> Result<Repository, serde_json::Error> {
-        serde_json::from_str(json)
+        let root = serde_json::from_str(json)?;
+        let str_list = |v: &Value, key: &str| -> Vec<String> {
+            v.get(key)
+                .and_then(Value::as_array)
+                .map(|a| {
+                    a.iter()
+                        .filter_map(|s| s.as_str().map(String::from))
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        let mut repo = Repository::default();
+        if let Some(functions) = root.get("functions").and_then(Value::as_object) {
+            for (name, v) in functions {
+                repo.functions.insert(
+                    name.clone(),
+                    FunctionFacts {
+                        subsystem: v
+                            .get("subsystem")
+                            .and_then(Value::as_str)
+                            .unwrap_or_default()
+                            .to_string(),
+                        param_types: str_list(v, "param_types"),
+                        return_type: v
+                            .get("return_type")
+                            .and_then(Value::as_str)
+                            .unwrap_or_default()
+                            .to_string(),
+                        may_block: v.get("may_block").and_then(Value::as_bool).unwrap_or(false),
+                        trusted: v.get("trusted").and_then(Value::as_bool).unwrap_or(false),
+                        error_codes: v
+                            .get("error_codes")
+                            .and_then(Value::as_array)
+                            .map(|a| a.iter().filter_map(Value::as_i64).collect())
+                            .unwrap_or_default(),
+                        acquires: str_list(v, "acquires"),
+                    },
+                );
+            }
+        }
+        if let Some(types) = root.get("types").and_then(Value::as_object) {
+            for (name, v) in types {
+                let fields = v
+                    .get("fields")
+                    .and_then(Value::as_object)
+                    .map(|m| {
+                        m.iter()
+                            .filter_map(|(f, ty)| ty.as_str().map(|t| (f.clone(), t.to_string())))
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                repo.types.insert(
+                    name.clone(),
+                    TypeFacts {
+                        fields,
+                        annotated: v.get("annotated").and_then(Value::as_bool).unwrap_or(false),
+                    },
+                );
+            }
+        }
+        if let Some(provenance) = root.get("provenance").and_then(Value::as_object) {
+            for (k, v) in provenance {
+                if let Some(s) = v.as_str() {
+                    repo.provenance.insert(k.clone(), s.to_string());
+                }
+            }
+        }
+        Ok(repo)
     }
 
     /// Merges another repository into this one (other wins on conflicts,
@@ -180,6 +311,9 @@ mod tests {
         a.functions.get_mut("xmit").unwrap().may_block = true;
         let b = Repository::from_program(&p);
         a.merge(&b);
-        assert!(a.functions["xmit"].may_block, "merge must not lose may-block facts");
+        assert!(
+            a.functions["xmit"].may_block,
+            "merge must not lose may-block facts"
+        );
     }
 }

@@ -132,8 +132,7 @@ pub fn infer_defaults(program: &mut Program, report: &mut ConversionReport) -> u
         if let Some(body) = &mut target.body {
             let new_body = visit::map_block(body, &mut |s| match s {
                 Stmt::Local(mut decl, init) => {
-                    inferred +=
-                        apply_default(&mut decl.ty, arithmetic_ptrs.contains(&decl.name));
+                    inferred += apply_default(&mut decl.ty, arithmetic_ptrs.contains(&decl.name));
                     vec![Stmt::Local(decl, init)]
                 }
                 other => vec![other],
@@ -163,7 +162,11 @@ fn apply_default(ty: &mut Type, used_with_arithmetic: bool) -> u64 {
         Type::Ptr(inner, ann) => {
             let mut n = apply_default(inner, used_with_arithmetic);
             if !ann.trusted && matches!(ann.bounds, Bounds::Unknown) {
-                ann.bounds = if used_with_arithmetic { Bounds::Auto } else { Bounds::Single };
+                ann.bounds = if used_with_arithmetic {
+                    Bounds::Auto
+                } else {
+                    Bounds::Single
+                };
                 n += 1;
             }
             n
@@ -186,7 +189,7 @@ pub fn pointers_used_with_arithmetic(func: &Function) -> BTreeSet<String> {
                     }
                 }
             }
-            Expr::Binary(op, a, _) if matches!(op, ivy_cmir::BinOp::Add | ivy_cmir::BinOp::Sub) => {
+            Expr::Binary(ivy_cmir::BinOp::Add | ivy_cmir::BinOp::Sub, a, _) => {
                 if let Expr::Var(name) = &**a {
                     out.insert(name.clone());
                 }
@@ -303,7 +306,11 @@ mod tests {
         let mut p = parse_program(src).unwrap();
         let mut r = ConversionReport::default();
         infer_defaults(&mut p, &mut r);
-        let ann = p.function("f").unwrap().params[0].ty.ptr_annot().unwrap().clone();
+        let ann = p.function("f").unwrap().params[0]
+            .ty
+            .ptr_annot()
+            .unwrap()
+            .clone();
         assert!(ann.trusted);
         assert_eq!(ann.bounds, Bounds::Unknown);
     }
@@ -316,6 +323,9 @@ mod tests {
         let first = infer_defaults(&mut p, &mut r);
         let second = infer_defaults(&mut p, &mut r);
         assert!(first > 0);
-        assert_eq!(second, 0, "already-annotated pointers must not be touched again");
+        assert_eq!(
+            second, 0,
+            "already-annotated pointers must not be touched again"
+        );
     }
 }

@@ -37,7 +37,11 @@ pub struct DeputyConfig {
 
 impl Default for DeputyConfig {
     fn default() -> Self {
-        DeputyConfig { infer_defaults: true, insert_checks: true, optimize: true }
+        DeputyConfig {
+            infer_defaults: true,
+            insert_checks: true,
+            optimize: true,
+        }
     }
 }
 
@@ -68,15 +72,24 @@ impl Deputy {
         Deputy { config }
     }
 
-    /// Converts (deputizes) a whole program.
-    pub fn convert(&self, program: &Program) -> Conversion {
+    /// The preparation half of a conversion: annotation validation plus
+    /// default inference, without any check insertion. The engine adapter
+    /// runs this once per program (memoized in the shared analysis context)
+    /// and then drives [`convert_function`] per function, which is what
+    /// makes Deputy checking parallelizable and incrementally cacheable.
+    pub fn prepare(&self, program: &Program) -> (Program, ConversionReport) {
         let mut report = ConversionReport::default();
         let mut program = program.clone();
-
         annotate::validate_annotations(&program, &mut report);
         if self.config.infer_defaults {
             annotate::infer_defaults(&mut program, &mut report);
         }
+        (program, report)
+    }
+
+    /// Converts (deputizes) a whole program.
+    pub fn convert(&self, program: &Program) -> Conversion {
+        let (mut program, mut report) = self.prepare(program);
 
         if self.config.insert_checks {
             let originals: Vec<Function> = program.functions.clone();
@@ -96,6 +109,17 @@ impl Deputy {
 
         Conversion { program, report }
     }
+}
+
+/// Instruments a single function of an already-[`prepared`](Deputy::prepare)
+/// program, returning the instrumented function and a report containing only
+/// this function's contribution (check counts, static discharges,
+/// diagnostics). Summing these per-function reports over all functions
+/// reproduces the pre-optimization numbers of [`Deputy::convert`].
+pub fn convert_function(program: &Program, func: &Function) -> (Function, ConversionReport) {
+    let mut report = ConversionReport::default();
+    let instrumented = instrument_function(program, func, &mut report);
+    (instrumented, report)
 }
 
 /// A dominating comparison fact `lhs < rhs` collected from enclosing loop and
@@ -132,8 +156,16 @@ fn instrument_function(
         return func.clone();
     }
     let mut ctx = TypeCtx::for_function(program, func);
-    let mut inst = Instrumenter { program, func, report, facts: Vec::new() };
-    let body = func.body.clone().expect("instrument_function requires a body");
+    let mut inst = Instrumenter {
+        program,
+        func,
+        report,
+        facts: Vec::new(),
+    };
+    let body = func
+        .body
+        .clone()
+        .expect("instrument_function requires a body");
     let new_body = inst.rewrite_block(&body, &mut ctx);
     let mut out = func.clone();
     out.body = Some(new_body);
@@ -253,9 +285,7 @@ impl<'p> Instrumenter<'p> {
                         self.report.static_discharged += 1;
                         return None;
                     }
-                    self.error(format!(
-                        "index {i} is provably outside array of length {n}"
-                    ));
+                    self.error(format!("index {i} is provably outside array of length {n}"));
                     return None;
                 }
                 if self.fact_discharges(idx, &Expr::Int(n as i64)) {
@@ -385,7 +415,12 @@ impl<'p> Instrumenter<'p> {
         } else {
             obj.clone()
         };
-        Some(self.emit(Check::UnionTag { obj: obj_lval, field: field.to_string(), tag, value }))
+        Some(self.emit(Check::UnionTag {
+            obj: obj_lval,
+            field: field.to_string(),
+            tag,
+            value,
+        }))
     }
 
     fn diagnose_cast(&mut self, to: &Type, inner: &Expr, ctx: &TypeCtx<'p>) {
@@ -398,10 +433,8 @@ impl<'p> Instrumenter<'p> {
             return;
         }
         match (&from, &to_res) {
-            (Type::Int(_), Type::Ptr(_, ann)) if !ann.trusted => {
-                if !matches!(inner, Expr::Int(0)) {
-                    self.error("cast from integer to pointer requires a trusted annotation");
-                }
+            (Type::Int(_), Type::Ptr(_, ann)) if !ann.trusted && !matches!(inner, Expr::Int(0)) => {
+                self.error("cast from integer to pointer requires a trusted annotation");
             }
             (Type::Ptr(from_inner, _), Type::Ptr(to_inner, to_ann)) => {
                 let from_base = self.program.resolve_type(from_inner).clone();
@@ -450,8 +483,14 @@ impl<'p> Instrumenter<'p> {
 /// Extracts an `lhs < rhs` (or `rhs > lhs`) fact from a condition.
 fn less_fact_of(cond: &Expr) -> Option<LessFact> {
     match cond {
-        Expr::Binary(BinOp::Lt, a, b) => Some(LessFact { lhs: (**a).clone(), rhs: (**b).clone() }),
-        Expr::Binary(BinOp::Gt, a, b) => Some(LessFact { lhs: (**b).clone(), rhs: (**a).clone() }),
+        Expr::Binary(BinOp::Lt, a, b) => Some(LessFact {
+            lhs: (**a).clone(),
+            rhs: (**b).clone(),
+        }),
+        Expr::Binary(BinOp::Gt, a, b) => Some(LessFact {
+            lhs: (**b).clone(),
+            rhs: (**a).clone(),
+        }),
         _ => None,
     }
 }
@@ -460,7 +499,9 @@ fn less_fact_of(cond: &Expr) -> Option<LessFact> {
 /// the fact's variables: the index variable is only assigned by the final
 /// statement of the body, and the bound variable is never assigned.
 fn counted_loop_shape(fact: &LessFact, body: &Block) -> bool {
-    let Expr::Var(index_var) = &fact.lhs else { return false };
+    let Expr::Var(index_var) = &fact.lhs else {
+        return false;
+    };
     let bound_vars = fact.rhs.vars_read();
     let n = body.stmts.len();
     for (i, stmt) in body.stmts.iter().enumerate() {
@@ -501,15 +542,9 @@ fn lower_bound_expr(be: &BoundExpr, base: &Expr) -> Expr {
                 _ => Expr::var(v.clone()),
             }
         }
-        BoundExpr::Add(a, b) => {
-            Expr::add(lower_bound_expr(a, base), lower_bound_expr(b, base))
-        }
-        BoundExpr::Sub(a, b) => {
-            Expr::sub(lower_bound_expr(a, base), lower_bound_expr(b, base))
-        }
-        BoundExpr::Mul(a, b) => {
-            Expr::mul(lower_bound_expr(a, base), lower_bound_expr(b, base))
-        }
+        BoundExpr::Add(a, b) => Expr::add(lower_bound_expr(a, base), lower_bound_expr(b, base)),
+        BoundExpr::Sub(a, b) => Expr::sub(lower_bound_expr(a, base), lower_bound_expr(b, base)),
+        BoundExpr::Mul(a, b) => Expr::mul(lower_bound_expr(a, base), lower_bound_expr(b, base)),
     }
 }
 
@@ -546,7 +581,10 @@ mod tests {
         let checks = checks_in(&c.program, "get");
         assert_eq!(checks.len(), 1);
         match &checks[0] {
-            Check::PtrBounds { len: Some(Expr::Var(n)), .. } => assert_eq!(n, "n"),
+            Check::PtrBounds {
+                len: Some(Expr::Var(n)),
+                ..
+            } => assert_eq!(n, "n"),
             other => panic!("unexpected check {other:?}"),
         }
     }
@@ -565,7 +603,10 @@ mod tests {
             "#,
         );
         let checks = checks_in(&c.program, "fill");
-        assert!(checks.is_empty(), "loop-guarded access should be static: {checks:?}");
+        assert!(
+            checks.is_empty(),
+            "loop-guarded access should be static: {checks:?}"
+        );
         assert!(c.report.static_discharged >= 1);
     }
 

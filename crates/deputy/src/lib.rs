@@ -51,10 +51,12 @@
 pub mod annotate;
 pub mod instrument;
 pub mod optimize;
+pub mod plugin;
 pub mod report;
 pub mod stats;
 
-pub use instrument::{Conversion, Deputy, DeputyConfig};
+pub use instrument::{convert_function, Conversion, Deputy, DeputyConfig};
+pub use plugin::DeputyChecker;
 pub use report::{BurdenStats, ConversionReport, DeputyDiagnostic, Severity, SiteOutcome};
 
 use ivy_cmir::ast::Program;

@@ -1,0 +1,248 @@
+//! The Deputy checker plugin for `ivy-engine`.
+//!
+//! Deputy checking decomposes cleanly per function: validation and default
+//! inference are prepared once per program (memoized in the shared
+//! [`AnalysisCtx`]), then each function is instrumented independently —
+//! call-site obligations only consult *signatures* of callees, never their
+//! bodies. The cache fingerprint is therefore the whole-program type
+//! environment hash: a body edit leaves every other function's Deputy
+//! result cached, which is exactly the dirty-cone behaviour the engine's
+//! incremental loop relies on.
+
+use crate::instrument::{convert_function, Conversion, Deputy, DeputyConfig};
+use crate::report::{ConversionReport, DeputyDiagnostic, Severity as DeputySeverity};
+use ivy_cmir::ast::{Function, Program};
+use ivy_engine::hash::{fnv1a, mix};
+use ivy_engine::{AnalysisCtx, Checker, Diagnostic, Severity};
+use std::sync::Arc;
+
+/// Deputy as an engine plugin.
+#[derive(Debug, Clone, Default)]
+pub struct DeputyChecker {
+    /// The conversion configuration.
+    pub config: DeputyConfig,
+}
+
+/// The memoized preparation result: the program with defaults inferred,
+/// plus the validation/inference report.
+pub struct Prepared {
+    /// Program after validation and default inference.
+    pub program: Program,
+    /// Validation diagnostics and inference counts.
+    pub report: ConversionReport,
+}
+
+impl DeputyChecker {
+    /// A plugin with the default configuration.
+    pub fn new() -> DeputyChecker {
+        DeputyChecker::default()
+    }
+
+    /// A plugin with a specific configuration.
+    pub fn with_config(config: DeputyConfig) -> DeputyChecker {
+        DeputyChecker { config }
+    }
+
+    fn config_hash(&self) -> u64 {
+        fnv1a(format!("{:?}", self.config).as_bytes())
+    }
+
+    /// The prepared program for a shared context, computed once.
+    pub fn prepared(&self, ctx: &AnalysisCtx) -> Arc<Prepared> {
+        let key = format!("deputy/prepared/{:016x}", self.config_hash());
+        ctx.memo(&key, || {
+            let deputy = Deputy::with_config(self.config);
+            let (program, report) = deputy.prepare(&ctx.program);
+            Prepared { program, report }
+        })
+    }
+
+    /// The instrumented form of one function (against the prepared
+    /// program), memoized per context so the per-function checking pass and
+    /// a later whole-program [`DeputyChecker::conversion`] share the work.
+    pub fn instrumented(
+        &self,
+        ctx: &AnalysisCtx,
+        func: &Function,
+    ) -> Arc<(Function, ConversionReport)> {
+        let key = format!("deputy/instr/{:016x}/{}", self.config_hash(), func.name);
+        ctx.memo(&key, || {
+            let prepared = self.prepared(ctx);
+            let subject = prepared.program.function(&func.name).unwrap_or(func);
+            convert_function(&prepared.program, subject)
+        })
+    }
+
+    /// The full conversion of a context's program, assembled from the
+    /// memoized per-function instrumentations (so a pipeline that already
+    /// ran the checker pays nothing extra) and memoized itself. Produces
+    /// the same program and report as [`Deputy::convert`].
+    pub fn conversion(&self, ctx: &AnalysisCtx) -> Arc<Conversion> {
+        let key = format!("deputy/conversion/{:016x}", self.config_hash());
+        ctx.memo(&key, || {
+            let prepared = self.prepared(ctx);
+            let mut program = prepared.program.clone();
+            let mut report = prepared.report.clone();
+            if self.config.insert_checks {
+                for func in ctx.program.functions.iter().filter(|f| f.body.is_some()) {
+                    let instrumented = self.instrumented(ctx, func);
+                    program.add_function(instrumented.0.clone());
+                    report.merge(&instrumented.1);
+                }
+            }
+            if self.config.optimize {
+                report.checks_optimized_away =
+                    crate::optimize::eliminate_redundant_checks(&mut program);
+            }
+            Conversion { program, report }
+        })
+    }
+
+    fn to_diagnostic(d: &DeputyDiagnostic) -> Diagnostic {
+        Diagnostic {
+            checker: "deputy".into(),
+            code: match d.severity {
+                DeputySeverity::Error => "deputy/type-error".into(),
+                DeputySeverity::Note => "deputy/note".into(),
+            },
+            function: d.function.clone(),
+            severity: match d.severity {
+                DeputySeverity::Error => Severity::Error,
+                DeputySeverity::Note => Severity::Info,
+            },
+            message: d.message.clone(),
+            span: None,
+            fix_hint: match d.severity {
+                DeputySeverity::Error => {
+                    Some("annotate the pointer, rewrite the construct, or mark it trusted".into())
+                }
+                DeputySeverity::Note => None,
+            },
+        }
+    }
+}
+
+impl Checker for DeputyChecker {
+    fn name(&self) -> &'static str {
+        "deputy"
+    }
+
+    fn context_fingerprint(&self, ctx: &AnalysisCtx, _func: &Function) -> u64 {
+        // Per-function instrumentation reads callee *signatures* (and
+        // composite layouts) from the prepared program; the env hash covers
+        // exactly that. Bodies are covered by the cone hash.
+        mix(self.config_hash(), ctx.env_hash())
+    }
+
+    fn check_program(&self, ctx: &AnalysisCtx) -> Vec<Diagnostic> {
+        // Validation diagnostics attributed to non-function subjects
+        // (composite fields read `Type::field`, globals read `global g`)
+        // would be dropped by the per-function filter below; surface them
+        // at program level.
+        let prepared = self.prepared(ctx);
+        prepared
+            .report
+            .diagnostics
+            .iter()
+            .filter(|d| ctx.program.function(&d.function).is_none())
+            .map(Self::to_diagnostic)
+            .collect()
+    }
+
+    fn check_function(&self, ctx: &AnalysisCtx, func: &Function) -> Vec<Diagnostic> {
+        let prepared = self.prepared(ctx);
+        let mut out: Vec<Diagnostic> = prepared
+            .report
+            .diagnostics
+            .iter()
+            .filter(|d| d.function == func.name)
+            .map(Self::to_diagnostic)
+            .collect();
+
+        if func.body.is_some() && self.config.insert_checks {
+            // Instrument the *prepared* copy of the function so inferred
+            // defaults are in effect, exactly as in `Deputy::convert`;
+            // memoized so `conversion` reuses the same work.
+            let instrumented = self.instrumented(ctx, func);
+            let report = &instrumented.1;
+            out.extend(report.diagnostics.iter().map(Self::to_diagnostic));
+            if report.total_runtime_checks() > 0 || report.static_discharged > 0 {
+                let kinds: Vec<String> = report
+                    .runtime_checks
+                    .iter()
+                    .map(|(kind, n)| format!("{kind}:{n}"))
+                    .collect();
+                out.push(Diagnostic {
+                    checker: "deputy".into(),
+                    code: "deputy/instrumentation".into(),
+                    function: func.name.clone(),
+                    severity: Severity::Info,
+                    message: format!(
+                        "{} run-time checks inserted ({}), {} sites discharged statically, {} trusted",
+                        report.total_runtime_checks(),
+                        kinds.join(", "),
+                        report.static_discharged,
+                        report.trusted_sites
+                    ),
+                    span: Some(func.span),
+                    fix_hint: None,
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivy_cmir::parser::parse_program;
+
+    const SRC: &str = r#"
+        struct buf { n: u32; data: u8 * count(n); }
+        global pool: struct buf *;
+        fn get(b: struct buf * nonnull, i: u32) -> u8 { return b->data[i]; }
+        fn sum(b: struct buf * nonnull) -> u32 {
+            let acc: u32 = 0;
+            let i: u32 = 0;
+            while (i < b->n) {
+                acc = acc + b->data[i];
+                i = i + 1;
+            }
+            return acc;
+        }
+    "#;
+
+    #[test]
+    fn plugin_conversion_matches_deputy_convert() {
+        let p = parse_program(SRC).unwrap();
+        let direct = Deputy::new().convert(&p);
+        let ctx = AnalysisCtx::new(&p);
+        let via_plugin = DeputyChecker::new().conversion(&ctx);
+        assert_eq!(direct.program, via_plugin.program);
+        assert_eq!(direct.report, via_plugin.report);
+    }
+
+    #[test]
+    fn program_level_diagnostics_surface_via_check_program() {
+        // A composite-field annotation referencing an unknown sibling is
+        // attributed to `buf::data`, which is not a function.
+        let p = parse_program(
+            r#"
+            struct buf { n: u32; data: u8 * count(missing); }
+            fn id(x: u32) -> u32 { return x; }
+            "#,
+        )
+        .unwrap();
+        let ctx = AnalysisCtx::new(&p);
+        let checker = DeputyChecker::new();
+        let program_level = checker.check_program(&ctx);
+        assert!(
+            program_level.iter().any(|d| d.function == "buf::data"),
+            "composite-field diagnostics must surface: {program_level:?}"
+        );
+        // And the per-function pass does not duplicate them.
+        let per_fn = checker.check_function(&ctx, ctx.program.function("id").unwrap());
+        assert!(per_fn.iter().all(|d| d.function == "id"));
+    }
+}

@@ -65,7 +65,10 @@ impl ConversionReport {
 
     /// Number of hard errors.
     pub fn error_count(&self) -> usize {
-        self.diagnostics.iter().filter(|d| d.severity == Severity::Error).count()
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
     }
 
     /// True when the program was accepted (no errors remain).
@@ -86,7 +89,29 @@ impl ConversionReport {
     /// Records an inserted check of a kind.
     pub fn count_check(&mut self, kind: &str, function: &str) {
         *self.runtime_checks.entry(kind.to_string()).or_insert(0) += 1;
-        *self.checks_per_function.entry(function.to_string()).or_insert(0) += 1;
+        *self
+            .checks_per_function
+            .entry(function.to_string())
+            .or_insert(0) += 1;
+    }
+
+    /// Accumulates another report into this one (used to combine the
+    /// per-function reports of [`crate::convert_function`]).
+    pub fn merge(&mut self, other: &ConversionReport) {
+        self.static_discharged += other.static_discharged;
+        self.checks_optimized_away += other.checks_optimized_away;
+        self.trusted_sites += other.trusted_sites;
+        self.inferred_defaults += other.inferred_defaults;
+        for (kind, n) in &other.runtime_checks {
+            *self.runtime_checks.entry(kind.clone()).or_insert(0) += n;
+        }
+        for (function, n) in &other.checks_per_function {
+            *self
+                .checks_per_function
+                .entry(function.clone())
+                .or_insert(0) += n;
+        }
+        self.diagnostics.extend(other.diagnostics.iter().cloned());
     }
 }
 

@@ -21,7 +21,10 @@ pub fn burden(program: &Program) -> BurdenStats {
         stats.total_lines += lines;
         let annotated = comp.fields.iter().filter(|f| f.is_annotated()).count() as u64;
         stats.annotated_lines += annotated;
-        let entry = stats.per_subsystem.entry("types".to_string()).or_insert((0, 0));
+        let entry = stats
+            .per_subsystem
+            .entry("types".to_string())
+            .or_insert((0, 0));
         entry.0 += lines;
         entry.1 += annotated;
     }
@@ -123,7 +126,11 @@ mod tests {
         assert_eq!(b.trusted_functions, 1);
         // One annotated field + the annotated ip_rcv signature.
         assert!(b.annotated_lines >= 2);
-        assert!(b.trusted_lines >= 3, "trusted function body lines: {}", b.trusted_lines);
+        assert!(
+            b.trusted_lines >= 3,
+            "trusted function body lines: {}",
+            b.trusted_lines
+        );
         assert!(b.total_lines > b.annotated_lines + b.trusted_lines);
         assert!(b.per_subsystem.contains_key("net/ipv4"));
         assert!(b.per_subsystem.contains_key("mm"));

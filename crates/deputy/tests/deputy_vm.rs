@@ -61,7 +61,11 @@ const KERNEL_SNIPPET: &str = r#"
 fn deputize(src: &str) -> ivy_cmir::Program {
     let program = parse_program(src).unwrap();
     let conv = Deputy::new().convert(&program);
-    assert!(conv.report.accepted(), "diagnostics: {:?}", conv.report.diagnostics);
+    assert!(
+        conv.report.accepted(),
+        "diagnostics: {:?}",
+        conv.report.diagnostics
+    );
     conv.program
 }
 
@@ -76,16 +80,25 @@ fn deputized_program_preserves_correct_behaviour() {
     let mut vm_dep = Vm::new(deputized, VmConfig::deputized()).unwrap();
     let r_dep = vm_dep.run("run_ok", vec![]).unwrap();
 
-    assert_eq!(r_plain, r_dep, "checks must not change observable behaviour");
+    assert_eq!(
+        r_plain, r_dep,
+        "checks must not change observable behaviour"
+    );
     assert_eq!(r_plain, Value::Int(7));
-    assert!(vm_dep.stats.total_checks() > 0, "the deputized run must execute checks");
+    assert!(
+        vm_dep.stats.total_checks() > 0,
+        "the deputized run must execute checks"
+    );
     assert!(vm_dep.stats.check_failures.is_empty());
 }
 
 #[test]
 fn deputized_program_catches_buffer_overflow() {
     let deputized = deputize(KERNEL_SNIPPET);
-    let cfg = VmConfig { trap_on_check_failure: true, ..VmConfig::deputized() };
+    let cfg = VmConfig {
+        trap_on_check_failure: true,
+        ..VmConfig::deputized()
+    };
     let mut vm = Vm::new(deputized, cfg).unwrap();
     let err = vm.run("run_overflow", vec![]).unwrap_err();
     assert_eq!(err.kind, TrapKind::CheckFailure);
@@ -152,7 +165,11 @@ fn erasure_restores_uninstrumented_cost() {
     let r = vm_erased.run("run_ok", vec![]).unwrap();
 
     assert_eq!(r, Value::Int(7));
-    assert_eq!(vm_erased.stats.total_checks(), 0, "erased program has no checks left");
+    assert_eq!(
+        vm_erased.stats.total_checks(),
+        0,
+        "erased program has no checks left"
+    );
     assert!(vm_erased.cycles() < vm_dep.cycles());
 }
 
@@ -174,5 +191,8 @@ fn deputy_overhead_is_modest_on_loop_heavy_code() {
 
     let ratio = dep as f64 / base as f64;
     assert!(ratio >= 1.0);
-    assert!(ratio < 1.6, "Deputy overhead should be modest, got {ratio:.2}");
+    assert!(
+        ratio < 1.6,
+        "Deputy overhead should be modest, got {ratio:.2}"
+    );
 }

@@ -1,0 +1,183 @@
+//! The shared, memoized analysis context.
+//!
+//! In the seed workspace every checker re-ran its own points-to analysis and
+//! rebuilt its own call graph. An [`AnalysisCtx`] is constructed once per
+//! program and handed to every checker; whole-program artifacts — points-to
+//! results per sensitivity, call graphs, per-function CFGs, SCC summaries,
+//! and arbitrary checker-owned values — are computed on first use and shared
+//! from then on. The generic [`AnalysisCtx::memo`] entry point is what lets
+//! checker plugins stash their own whole-program precomputations (e.g. the
+//! BlockStop may-block propagation) without the engine knowing their types.
+
+use ivy_analysis::pointsto::{self, PointsToResult, Sensitivity};
+use ivy_analysis::summary::{self, fnv1a, ProgramSummaries};
+use ivy_analysis::CallGraph;
+use ivy_cmir::ast::Program;
+use ivy_cmir::cfg::Cfg;
+use ivy_cmir::pretty::pretty_program;
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+type Slot = Arc<Mutex<Option<Arc<dyn Any + Send + Sync>>>>;
+
+/// A string-keyed, type-erased, thread-safe memo table. Each key gets its
+/// own slot mutex, so two threads demanding the same expensive artifact
+/// compute it once while unrelated keys proceed in parallel.
+#[derive(Default)]
+struct Memo {
+    slots: Mutex<HashMap<String, Slot>>,
+}
+
+impl Memo {
+    fn get_or_insert<T: Send + Sync + 'static>(
+        &self,
+        key: &str,
+        compute: impl FnOnce() -> T,
+    ) -> Arc<T> {
+        let slot = {
+            let mut slots = self.slots.lock().expect("memo map poisoned");
+            Arc::clone(slots.entry(key.to_string()).or_default())
+        };
+        let mut guard = slot.lock().expect("memo slot poisoned");
+        if let Some(existing) = guard.as_ref() {
+            return Arc::clone(existing)
+                .downcast::<T>()
+                .unwrap_or_else(|_| panic!("memo key {key:?} used with two different types"));
+        }
+        let value: Arc<T> = Arc::new(compute());
+        *guard = Some(value.clone() as Arc<dyn Any + Send + Sync>);
+        value
+    }
+}
+
+/// Shared analysis state for one program.
+pub struct AnalysisCtx {
+    /// The program under analysis.
+    pub program: Program,
+    /// FNV-1a hash of the pretty-printed program; the engine's context
+    /// cache key.
+    pub program_hash: u64,
+    memo: Memo,
+}
+
+impl AnalysisCtx {
+    /// Builds a context for a program (cheap: artifacts are lazy).
+    pub fn new(program: &Program) -> AnalysisCtx {
+        AnalysisCtx::with_hash(program, AnalysisCtx::hash_program(program))
+    }
+
+    /// The content hash a context for `program` would carry; computable
+    /// without cloning the program (used for context-store lookups).
+    pub fn hash_program(program: &Program) -> u64 {
+        fnv1a(pretty_program(program).as_bytes())
+    }
+
+    /// Builds a context with an already-computed program hash.
+    pub fn with_hash(program: &Program, program_hash: u64) -> AnalysisCtx {
+        AnalysisCtx {
+            program_hash,
+            program: program.clone(),
+            memo: Memo::default(),
+        }
+    }
+
+    /// Points-to results at a precision level, computed once per level.
+    pub fn pointsto(&self, sensitivity: Sensitivity) -> Arc<PointsToResult> {
+        self.memo
+            .get_or_insert(&format!("pointsto/{}", sensitivity.name()), || {
+                pointsto::analyze(&self.program, sensitivity)
+            })
+    }
+
+    /// The call graph at a precision level, computed once per level.
+    pub fn callgraph(&self, sensitivity: Sensitivity) -> Arc<CallGraph> {
+        self.memo
+            .get_or_insert(&format!("callgraph/{}", sensitivity.name()), || {
+                CallGraph::build(&self.program, &self.pointsto(sensitivity))
+            })
+    }
+
+    /// Per-function summaries (content/cone hashes, SCC condensation) over
+    /// the call graph at a precision level.
+    pub fn summaries(&self, sensitivity: Sensitivity) -> Arc<ProgramSummaries> {
+        self.memo
+            .get_or_insert(&format!("summaries/{}", sensitivity.name()), || {
+                summary::summarize(&self.program, &self.callgraph(sensitivity))
+            })
+    }
+
+    /// The CFG of one function, built once.
+    pub fn cfg(&self, function: &str) -> Option<Arc<Cfg>> {
+        let func = self.program.function(function)?;
+        func.body.as_ref()?;
+        Some(
+            self.memo
+                .get_or_insert(&format!("cfg/{function}"), || Cfg::build(func)),
+        )
+    }
+
+    /// Hash of the whole-program type environment (signatures, composites,
+    /// typedefs, globals — bodies excluded). See
+    /// [`ivy_analysis::summary::env_hash`].
+    pub fn env_hash(&self) -> u64 {
+        *self
+            .memo
+            .get_or_insert("env_hash", || summary::env_hash(&self.program))
+    }
+
+    /// Generic checker-owned memoization: computes `compute` at most once
+    /// per key per context and shares the result. Keys are namespaced by
+    /// convention (`"<checker>/<artifact>"`).
+    pub fn memo<T: Send + Sync + 'static>(&self, key: &str, compute: impl FnOnce() -> T) -> Arc<T> {
+        self.memo.get_or_insert(key, compute)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivy_cmir::parser::parse_program;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn small_ctx() -> AnalysisCtx {
+        let p = parse_program("fn a() { b(); } fn b() { }").unwrap();
+        AnalysisCtx::new(&p)
+    }
+
+    #[test]
+    fn memo_computes_once_and_shares() {
+        let ctx = small_ctx();
+        let calls = AtomicUsize::new(0);
+        let a = ctx.memo("test/x", || {
+            calls.fetch_add(1, Ordering::SeqCst);
+            42u64
+        });
+        let b = ctx.memo("test/x", || {
+            calls.fetch_add(1, Ordering::SeqCst);
+            7u64
+        });
+        assert_eq!((*a, *b), (42, 42));
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn artifacts_are_shared_instances() {
+        let ctx = small_ctx();
+        let p1 = ctx.pointsto(Sensitivity::Steensgaard);
+        let p2 = ctx.pointsto(Sensitivity::Steensgaard);
+        assert!(Arc::ptr_eq(&p1, &p2));
+        let s = ctx.summaries(Sensitivity::Steensgaard);
+        assert!(s.functions.contains_key("a"));
+        assert!(ctx.cfg("a").is_some());
+        assert!(ctx.cfg("missing").is_none());
+    }
+
+    #[test]
+    fn program_hash_tracks_content() {
+        let ctx1 = small_ctx();
+        let p2 = parse_program("fn a() { b(); b(); } fn b() { }").unwrap();
+        let ctx2 = AnalysisCtx::new(&p2);
+        assert_ne!(ctx1.program_hash, ctx2.program_hash);
+    }
+}

@@ -1,0 +1,306 @@
+//! The unified diagnostic model shared by every checker plugin.
+//!
+//! Checkers return plain `Vec<Diagnostic>`; the engine merges, orders, and
+//! serializes them. Ordering is total and content-based (never dependent on
+//! scheduling), so a parallel run and a single-threaded run of the same
+//! program produce byte-identical reports — the determinism contract the
+//! engine's integration tests pin down.
+
+use ivy_cmir::Span;
+use serde::{Deserialize, Serialize};
+use serde_json::{Map, Value};
+use std::collections::BTreeMap;
+
+/// How severe a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Severity {
+    /// A defect the checker believes is real (sound finding).
+    Error,
+    /// A possible defect or a soundness caveat.
+    Warning,
+    /// Instrumentation / conversion information.
+    Info,
+}
+
+impl Severity {
+    /// Stable lower-case name used in serialized output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Info => "info",
+        }
+    }
+
+    /// SARIF `level` value.
+    pub fn sarif_level(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Info => "note",
+        }
+    }
+}
+
+/// One finding from one checker about one function.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Name of the checker that produced this (e.g. `"blockstop"`).
+    pub checker: String,
+    /// Stable rule identifier, `checker/rule` style.
+    pub code: String,
+    /// Function the diagnostic is attached to.
+    pub function: String,
+    /// Severity.
+    pub severity: Severity,
+    /// Human-readable message.
+    pub message: String,
+    /// Source span, when one is known.
+    pub span: Option<Span>,
+    /// A suggested fix, when the checker knows one.
+    pub fix_hint: Option<String>,
+}
+
+impl Diagnostic {
+    /// The total content ordering used for report stability.
+    fn sort_key(&self) -> (&str, &str, Severity, &str, &str) {
+        (
+            &self.function,
+            &self.code,
+            self.severity,
+            &self.message,
+            &self.checker,
+        )
+    }
+
+    fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("checker".into(), Value::from(self.checker.as_str()));
+        m.insert("code".into(), Value::from(self.code.as_str()));
+        m.insert("function".into(), Value::from(self.function.as_str()));
+        m.insert("severity".into(), Value::from(self.severity.name()));
+        m.insert("message".into(), Value::from(self.message.as_str()));
+        if let Some(span) = &self.span {
+            let mut s = Map::new();
+            s.insert("line".into(), Value::from(span.start.line));
+            s.insert("col".into(), Value::from(span.start.col));
+            s.insert("end_line".into(), Value::from(span.end.line));
+            s.insert("end_col".into(), Value::from(span.end.col));
+            m.insert("span".into(), Value::Object(s));
+        }
+        if let Some(hint) = &self.fix_hint {
+            m.insert("fix_hint".into(), Value::from(hint.as_str()));
+        }
+        Value::Object(m)
+    }
+}
+
+/// Run statistics reported alongside the diagnostics.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Functions scheduled (defined and extern).
+    pub functions: usize,
+    /// Registered checkers.
+    pub checkers: usize,
+    /// SCCs in the condensed call graph.
+    pub sccs: usize,
+    /// Bottom-up parallel waves.
+    pub levels: usize,
+    /// Per-function results served from the incremental cache in this run.
+    pub cache_hits: u64,
+    /// Per-function results computed fresh in this run.
+    pub cache_misses: u64,
+    /// Whether the analysis context itself was reused from a previous run
+    /// of an identical program.
+    pub ctx_reused: bool,
+}
+
+impl EngineStats {
+    /// Fraction of per-function checker results served from cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// The merged result of one engine run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// All diagnostics in stable content order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Run statistics.
+    pub stats: EngineStats,
+}
+
+impl Report {
+    /// Builds a report from unordered diagnostics, establishing the stable
+    /// order.
+    pub fn new(mut diagnostics: Vec<Diagnostic>, stats: EngineStats) -> Report {
+        diagnostics.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+        Report { diagnostics, stats }
+    }
+
+    /// Diagnostics from one checker.
+    pub fn by_checker(&self, checker: &str) -> Vec<&Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.checker == checker)
+            .collect()
+    }
+
+    /// Diagnostic counts per severity.
+    pub fn severity_counts(&self) -> BTreeMap<Severity, usize> {
+        let mut out = BTreeMap::new();
+        for d in &self.diagnostics {
+            *out.entry(d.severity).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// The diagnostics as a JSON array (stable: content-ordered, sorted
+    /// keys). This deliberately excludes the run statistics, so two runs
+    /// that found the same things serialize identically regardless of
+    /// thread count or cache temperature.
+    pub fn diagnostics_json(&self) -> String {
+        let items: Vec<Value> = self.diagnostics.iter().map(|d| d.to_value()).collect();
+        serde_json::to_string_pretty(&Value::Array(items)).expect("serializes")
+    }
+
+    /// Full report as JSON: diagnostics plus run statistics.
+    pub fn to_json(&self) -> String {
+        let mut stats = Map::new();
+        stats.insert("functions".into(), Value::from(self.stats.functions));
+        stats.insert("checkers".into(), Value::from(self.stats.checkers));
+        stats.insert("sccs".into(), Value::from(self.stats.sccs));
+        stats.insert("levels".into(), Value::from(self.stats.levels));
+        stats.insert("cache_hits".into(), Value::from(self.stats.cache_hits));
+        stats.insert("cache_misses".into(), Value::from(self.stats.cache_misses));
+        stats.insert("ctx_reused".into(), Value::from(self.stats.ctx_reused));
+        let mut root = Map::new();
+        root.insert(
+            "diagnostics".into(),
+            Value::Array(self.diagnostics.iter().map(|d| d.to_value()).collect()),
+        );
+        root.insert("stats".into(), Value::Object(stats));
+        serde_json::to_string_pretty(&Value::Object(root)).expect("serializes")
+    }
+
+    /// A SARIF-style serialization (one run, one driver per checker rule).
+    /// Stable for the same reasons as [`Report::diagnostics_json`].
+    pub fn to_sarif(&self) -> String {
+        let mut rules: BTreeMap<&str, ()> = BTreeMap::new();
+        for d in &self.diagnostics {
+            rules.insert(&d.code, ());
+        }
+        let rules: Vec<Value> = rules
+            .keys()
+            .map(|code| {
+                let mut r = Map::new();
+                r.insert("id".into(), Value::from(*code));
+                Value::Object(r)
+            })
+            .collect();
+
+        let results: Vec<Value> = self
+            .diagnostics
+            .iter()
+            .map(|d| {
+                let mut msg = Map::new();
+                msg.insert("text".into(), Value::from(d.message.as_str()));
+                let mut loc_l = Map::new();
+                loc_l.insert("logicalName".into(), Value::from(d.function.as_str()));
+                if let Some(span) = &d.span {
+                    let mut region = Map::new();
+                    region.insert("startLine".into(), Value::from(span.start.line));
+                    region.insert("startColumn".into(), Value::from(span.start.col));
+                    loc_l.insert("region".into(), Value::Object(region));
+                }
+                let mut loc = Map::new();
+                loc.insert("logicalLocation".into(), Value::Object(loc_l));
+                let mut r = Map::new();
+                r.insert("ruleId".into(), Value::from(d.code.as_str()));
+                r.insert("level".into(), Value::from(d.severity.sarif_level()));
+                r.insert("message".into(), Value::Object(msg));
+                r.insert("locations".into(), Value::Array(vec![Value::Object(loc)]));
+                if let Some(hint) = &d.fix_hint {
+                    let mut fix = Map::new();
+                    fix.insert("text".into(), Value::from(hint.as_str()));
+                    r.insert("fix".into(), Value::Object(fix));
+                }
+                Value::Object(r)
+            })
+            .collect();
+
+        let mut driver = Map::new();
+        driver.insert("name".into(), Value::from("ivy-engine"));
+        driver.insert("rules".into(), Value::Array(rules));
+        let mut tool = Map::new();
+        tool.insert("driver".into(), Value::Object(driver));
+        let mut run = Map::new();
+        run.insert("tool".into(), Value::Object(tool));
+        run.insert("results".into(), Value::Array(results));
+        let mut root = Map::new();
+        root.insert("version".into(), Value::from("2.1.0"));
+        root.insert(
+            "$schema".into(),
+            Value::from("https://json.schemastore.org/sarif-2.1.0.json"),
+        );
+        root.insert("runs".into(), Value::Array(vec![Value::Object(run)]));
+        serde_json::to_string_pretty(&Value::Object(root)).expect("serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(function: &str, code: &str, msg: &str) -> Diagnostic {
+        Diagnostic {
+            checker: code.split('/').next().unwrap().to_string(),
+            code: code.to_string(),
+            function: function.to_string(),
+            severity: Severity::Error,
+            message: msg.to_string(),
+            span: None,
+            fix_hint: None,
+        }
+    }
+
+    #[test]
+    fn report_order_is_input_order_independent() {
+        let a = Report::new(
+            vec![
+                diag("f", "c/x", "m1"),
+                diag("a", "c/y", "m2"),
+                diag("a", "c/x", "m3"),
+            ],
+            EngineStats::default(),
+        );
+        let b = Report::new(
+            vec![
+                diag("a", "c/x", "m3"),
+                diag("f", "c/x", "m1"),
+                diag("a", "c/y", "m2"),
+            ],
+            EngineStats::default(),
+        );
+        assert_eq!(a.diagnostics, b.diagnostics);
+        assert_eq!(a.diagnostics_json(), b.diagnostics_json());
+    }
+
+    #[test]
+    fn serializations_parse_back() {
+        let r = Report::new(
+            vec![diag("f", "blockstop/atomic-call", "boom")],
+            EngineStats::default(),
+        );
+        assert!(serde_json::from_str(&r.diagnostics_json()).is_ok());
+        assert!(serde_json::from_str(&r.to_json()).is_ok());
+        let sarif = serde_json::from_str(&r.to_sarif()).unwrap();
+        assert_eq!(sarif.get("version").unwrap().as_str().unwrap(), "2.1.0");
+    }
+}

@@ -1,0 +1,233 @@
+//! The engine: bottom-up parallel scheduling of checker plugins with
+//! incremental caching.
+//!
+//! [`Engine::analyze`] condenses the call graph into SCCs, orders the SCCs
+//! into bottom-up levels (a level only calls into lower levels), and runs
+//! every registered checker over every function of a level in parallel with
+//! rayon. Per-function results are served from the shared
+//! [`DiagnosticCache`] when the function's dependency cone and the
+//! checker's context fingerprint are unchanged. Analysis contexts
+//! themselves are reused across runs of byte-identical programs, so the
+//! pipeline's analyze→fix→re-analyze loop stops paying for points-to and
+//! call-graph construction twice.
+
+use crate::cache::DiagnosticCache;
+use crate::checker::{sensitivity_rank, Checker};
+use crate::ctx::AnalysisCtx;
+use crate::diag::{Diagnostic, EngineStats, Report};
+use ivy_analysis::pointsto::Sensitivity;
+use ivy_cmir::ast::Program;
+use rayon::prelude::*;
+use rayon::ThreadPoolBuilder;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Maximum number of analysis contexts kept alive for reuse.
+const CTX_CACHE_CAP: usize = 16;
+
+/// A shareable store of analysis contexts, keyed by program hash. Several
+/// engines (e.g. the stages of a pipeline) can share one store so a program
+/// analyzed by any of them hands its memoized artifacts to all.
+pub type CtxStore = Arc<Mutex<HashMap<u64, Arc<AnalysisCtx>>>>;
+
+/// The analysis engine. Cheap to clone the configuration of (checkers are
+/// shared `Arc`s, the cache is shared by design).
+pub struct Engine {
+    checkers: Vec<Arc<dyn Checker>>,
+    threads: usize,
+    cache: Arc<DiagnosticCache>,
+    ctx_store: CtxStore,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// An engine with no checkers, default parallelism, and a fresh cache.
+    pub fn new() -> Engine {
+        Engine {
+            checkers: Vec::new(),
+            threads: 0,
+            cache: Arc::new(DiagnosticCache::new()),
+            ctx_store: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// Registers a checker plugin (builder style).
+    pub fn with_checker(mut self, checker: Arc<dyn Checker>) -> Engine {
+        self.checkers.push(checker);
+        self
+    }
+
+    /// Sets the worker thread count (0 = one per hardware thread).
+    pub fn with_threads(mut self, threads: usize) -> Engine {
+        self.threads = threads;
+        self
+    }
+
+    /// Shares an existing diagnostic cache (e.g. across the engines of a
+    /// pipeline, or across corpus analyses).
+    pub fn with_cache(mut self, cache: Arc<DiagnosticCache>) -> Engine {
+        self.cache = cache;
+        self
+    }
+
+    /// Shares an existing context store (see [`CtxStore`]).
+    pub fn with_ctx_store(mut self, store: CtxStore) -> Engine {
+        self.ctx_store = store;
+        self
+    }
+
+    /// The engine's diagnostic cache.
+    pub fn cache(&self) -> Arc<DiagnosticCache> {
+        Arc::clone(&self.cache)
+    }
+
+    /// The engine's context store.
+    pub fn ctx_store(&self) -> CtxStore {
+        Arc::clone(&self.ctx_store)
+    }
+
+    /// The registered checkers.
+    pub fn checkers(&self) -> &[Arc<dyn Checker>] {
+        &self.checkers
+    }
+
+    /// The most precise points-to sensitivity any registered checker
+    /// requires; also the precision of the scheduling call graph.
+    pub fn required_sensitivity(&self) -> Sensitivity {
+        self.checkers
+            .iter()
+            .map(|c| c.sensitivity())
+            .max_by_key(|s| sensitivity_rank(*s))
+            .unwrap_or(Sensitivity::Steensgaard)
+    }
+
+    /// Returns the shared analysis context for a program, reusing the one
+    /// from a previous run when the program is byte-identical. Only the
+    /// program hash is computed before the store lookup; the context (and
+    /// its AST copy) is built on a miss.
+    pub fn context_for(&self, program: &Program) -> (Arc<AnalysisCtx>, bool) {
+        let hash = AnalysisCtx::hash_program(program);
+        let mut cache = self.ctx_store.lock().expect("ctx store poisoned");
+        if let Some(existing) = cache.get(&hash) {
+            return (Arc::clone(existing), true);
+        }
+        if cache.len() >= CTX_CACHE_CAP {
+            cache.clear();
+        }
+        let ctx = Arc::new(AnalysisCtx::with_hash(program, hash));
+        cache.insert(hash, Arc::clone(&ctx));
+        (ctx, false)
+    }
+
+    /// Analyzes a program with every registered checker.
+    pub fn analyze(&self, program: &Program) -> Report {
+        let (ctx, reused) = self.context_for(program);
+        self.analyze_with_ctx(&ctx, reused)
+    }
+
+    /// Analyzes an already-constructed context. `ctx_reused` is only
+    /// recorded in the stats.
+    pub fn analyze_with_ctx(&self, ctx: &Arc<AnalysisCtx>, ctx_reused: bool) -> Report {
+        let sensitivity = self.required_sensitivity();
+        let summaries = ctx.summaries(sensitivity);
+        let condensation = &summaries.condensation;
+
+        let hits = AtomicU64::new(0);
+        let misses = AtomicU64::new(0);
+        let mut diagnostics: Vec<Diagnostic> = Vec::new();
+
+        // Program-level diagnostics (composite/global annotation errors and
+        // the like) have no scheduled function to ride on.
+        for checker in &self.checkers {
+            diagnostics.extend(checker.check_program(ctx));
+        }
+
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(self.threads)
+            .build()
+            .expect("thread pool builds");
+        pool.install(|| {
+            // Bottom-up over the condensation: each level only calls into
+            // completed levels, so its functions are independent units.
+            for level in &condensation.levels {
+                let wave: Vec<&str> = level
+                    .iter()
+                    .flat_map(|&scc| condensation.sccs[scc].iter())
+                    .map(String::as_str)
+                    .collect();
+                let results: Vec<Vec<Diagnostic>> = wave
+                    .par_iter()
+                    .map(|name| {
+                        let Some(func) = ctx.program.function(name) else {
+                            return Vec::new();
+                        };
+                        let cone = summaries
+                            .cone_hash(name)
+                            .expect("scheduled function has a summary");
+                        let mut out = Vec::new();
+                        for checker in &self.checkers {
+                            let key =
+                                (checker.name(), cone, checker.context_fingerprint(ctx, func));
+                            if let Some(cached) = self.cache.get(&key) {
+                                hits.fetch_add(1, Ordering::Relaxed);
+                                out.extend(cached.iter().cloned());
+                            } else {
+                                misses.fetch_add(1, Ordering::Relaxed);
+                                let fresh = checker.check_function(ctx, func);
+                                self.cache.put(key, fresh.clone());
+                                out.extend(fresh);
+                            }
+                        }
+                        out
+                    })
+                    .collect();
+                diagnostics.extend(results.into_iter().flatten());
+            }
+        });
+
+        let stats = EngineStats {
+            functions: ctx.program.functions.len(),
+            checkers: self.checkers.len(),
+            sccs: condensation.sccs.len(),
+            levels: condensation.levels.len(),
+            cache_hits: hits.into_inner(),
+            cache_misses: misses.into_inner(),
+            ctx_reused,
+        };
+        Report::new(diagnostics, stats)
+    }
+
+    /// Fleet/batch mode: analyzes many program variants concurrently, with
+    /// the diagnostic cache shared across variants — generated kernels
+    /// share most functions, so later variants are served largely from the
+    /// cache filled by earlier ones. Reports come back in input order.
+    pub fn analyze_corpus(&self, programs: &[Program]) -> Vec<Report> {
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(self.threads)
+            .build()
+            .expect("thread pool builds");
+        pool.install(|| {
+            programs
+                .par_iter()
+                .map(|p| {
+                    let (ctx, reused) = self.context_for(p);
+                    // Variant analyses run single-threaded internally; the
+                    // parallelism budget is spent across variants here.
+                    let inner = Engine {
+                        checkers: self.checkers.clone(),
+                        threads: 1,
+                        cache: Arc::clone(&self.cache),
+                        ctx_store: Arc::clone(&self.ctx_store),
+                    };
+                    inner.analyze_with_ctx(&ctx, reused)
+                })
+                .collect()
+        })
+    }
+}

@@ -1,0 +1,91 @@
+//! `ivy-engine` — the parallel, incremental, plugin-based analysis engine.
+//!
+//! The paper's central claim is that sound analyses share one substrate and
+//! can be applied *together* to a whole kernel. This crate is that substrate
+//! turned into an execution engine. It has four layers:
+//!
+//! 1. **Plugins** — the [`Checker`] trait: a name, a required points-to
+//!    [`Sensitivity`](ivy_analysis::pointsto::Sensitivity), and a
+//!    per-function `check_function`. Deputy, CCount, and BlockStop register
+//!    through adapter impls in their own crates; new checkers need no engine
+//!    changes (the STANSE-style framework/plugin split).
+//! 2. **Scheduler** — [`Engine::analyze`] condenses the call graph into
+//!    SCCs, orders them into bottom-up levels, and fans each level out
+//!    across rayon workers. Whole-program artifacts (points-to, call graph,
+//!    CFGs, checker precomputations) live in the shared, memoized
+//!    [`AnalysisCtx`] and are computed once instead of once per checker.
+//! 3. **Incremental cache** — per-function results are keyed by a content
+//!    hash of the function's transitive-callee *cone* plus a checker
+//!    context fingerprint ([`DiagnosticCache`]); after an edit only the
+//!    dirty cone recomputes, and re-analyzing an unchanged kernel is served
+//!    entirely from cache. The cache is shared across runs, across the
+//!    pipeline's analyze→fix→re-analyze loop, and across corpus variants
+//!    ([`Engine::analyze_corpus`]).
+//! 4. **Reports** — the unified [`Diagnostic`]/[`Report`] model with
+//!    stable-ordered JSON and SARIF serialization; parallel and
+//!    single-threaded runs produce byte-identical reports.
+//!
+//! # Examples
+//!
+//! ```
+//! use ivy_engine::{AnalysisCtx, Checker, Diagnostic, Engine, Severity};
+//! use ivy_cmir::ast::Function;
+//! use ivy_cmir::parser::parse_program;
+//! use std::sync::Arc;
+//!
+//! /// A toy plugin flagging functions with more than two parameters.
+//! struct ParamCount;
+//!
+//! impl Checker for ParamCount {
+//!     fn name(&self) -> &'static str {
+//!         "param-count"
+//!     }
+//!     fn check_function(&self, _ctx: &AnalysisCtx, func: &Function) -> Vec<Diagnostic> {
+//!         if func.params.len() <= 2 {
+//!             return Vec::new();
+//!         }
+//!         vec![Diagnostic {
+//!             checker: "param-count".into(),
+//!             code: "param-count/too-many".into(),
+//!             function: func.name.clone(),
+//!             severity: Severity::Warning,
+//!             message: format!("{} parameters", func.params.len()),
+//!             span: Some(func.span),
+//!             fix_hint: None,
+//!         }]
+//!     }
+//! }
+//!
+//! let program = parse_program("fn f(a: u32, b: u32, c: u32) { }").unwrap();
+//! let engine = Engine::new().with_checker(Arc::new(ParamCount));
+//! let report = engine.analyze(&program);
+//! assert_eq!(report.diagnostics.len(), 1);
+//! // A second run over the unchanged program is served from cache.
+//! let again = engine.analyze(&program);
+//! assert_eq!(again.stats.cache_hits, 1);
+//! assert_eq!(again.diagnostics, report.diagnostics);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod checker;
+pub mod ctx;
+pub mod diag;
+mod engine;
+
+pub use cache::{CacheKey, DiagnosticCache};
+pub use checker::Checker;
+pub use ctx::AnalysisCtx;
+pub use diag::{Diagnostic, EngineStats, Report, Severity};
+pub use engine::{CtxStore, Engine};
+
+/// Re-export of the JSON value model used by report serialization (the
+/// vendored `serde_json` shim; see `vendor/serde_json`).
+pub use serde_json as json;
+
+/// Content-hashing helpers shared with checker plugins (re-exported from
+/// `ivy_analysis::summary` so plugins need no direct `ivy-analysis` dep).
+pub mod hash {
+    pub use ivy_analysis::summary::{fnv1a, mix};
+}

@@ -69,7 +69,10 @@ impl GroundTruth {
     /// Functions that the seeded blocking bugs implicate (for classifying
     /// BlockStop findings).
     pub fn blocking_bug_callers(&self) -> BTreeSet<String> {
-        self.blocking_bugs.iter().map(|b| b.caller.clone()).collect()
+        self.blocking_bugs
+            .iter()
+            .map(|b| b.caller.clone())
+            .collect()
     }
 }
 

@@ -36,8 +36,8 @@ pub mod workloads;
 
 pub use ground_truth::{BadFreeDefect, BlockingBug, GroundTruth};
 pub use workloads::{
-    boot_workload, fork_workload, hbench_suite, light_use_workload, module_load_workload,
-    Category, Workload,
+    boot_workload, fork_workload, hbench_suite, light_use_workload, module_load_workload, Category,
+    Workload,
 };
 
 use ivy_cmir::parser::parse_program;
@@ -123,7 +123,11 @@ impl KernelBuild {
         let program = parse_program(&source)
             .unwrap_or_else(|e| panic!("generated kernel does not parse: {e}"));
         let ground_truth = build_ground_truth(config);
-        KernelBuild { program, ground_truth, config: config.clone() }
+        KernelBuild {
+            program,
+            ground_truth,
+            config: config.clone(),
+        }
     }
 
     /// The concatenated KC source of the kernel (useful for inspection and
@@ -184,7 +188,9 @@ fn boot_source(config: &KernelConfig) -> String {
         .collect();
 
     let mut out = String::new();
-    out.push_str("\n// ---- init/main.kc ----------------------------------------------------------\n");
+    out.push_str(
+        "\n// ---- init/main.kc ----------------------------------------------------------\n",
+    );
     out.push_str(&format!("global boot_sizes: u32[{table_len}];\n"));
     out.push_str("global boot_completed: u32 = 0;\n\n");
 
@@ -203,7 +209,9 @@ fn boot_source(config: &KernelConfig) -> String {
     // Defect exercising: registration + release of every defect site.
     out.push_str("#[subsystem(\"init\")]\nfn boot_exercise_caches() {\n");
     for i in 0..config.cache_defects {
-        out.push_str(&format!("    cache{i}_register();\n    cache{i}_release();\n"));
+        out.push_str(&format!(
+            "    cache{i}_register();\n    cache{i}_release();\n"
+        ));
     }
     for i in 0..config.ring_defects {
         out.push_str(&format!("    ring{i}_setup();\n    ring{i}_teardown();\n"));
@@ -308,7 +316,8 @@ fn build_ground_truth(config: &KernelConfig) -> GroundTruth {
         description: "interrupt handler reaches msleep through watchdog_sync".to_string(),
     });
     for i in 0..config.fp_groups {
-        gt.false_positive_asserts.insert(format!("blk{i}_submit_wait"));
+        gt.false_positive_asserts
+            .insert(format!("blk{i}_submit_wait"));
     }
     for i in 0..config.cache_defects {
         gt.bad_free_defects.push(BadFreeDefect {
@@ -339,8 +348,16 @@ mod tests {
     fn small_kernel_parses_and_validates() {
         let build = KernelBuild::generate(&KernelConfig::small());
         let v = validate_program(&build.program);
-        assert!(v.is_ok(), "validation errors: {:#?}", &v.errors[..v.errors.len().min(5)]);
-        assert!(build.line_count() > 1500, "corpus too small: {} lines", build.line_count());
+        assert!(
+            v.is_ok(),
+            "validation errors: {:#?}",
+            &v.errors[..v.errors.len().min(5)]
+        );
+        assert!(
+            build.line_count() > 1500,
+            "corpus too small: {} lines",
+            build.line_count()
+        );
     }
 
     #[test]
@@ -370,8 +387,11 @@ mod tests {
         let cfg = KernelConfig::small();
         let build = KernelBuild::generate(&cfg);
         let mut vm = Vm::new(build.program.clone(), VmConfig::ccounted(false)).unwrap();
-        vm.run("kernel_boot", vec![Value::Int(i64::from(cfg.boot_cycles)), Value::Int(0)])
-            .unwrap();
+        vm.run(
+            "kernel_boot",
+            vec![Value::Int(i64::from(cfg.boot_cycles)), Value::Int(0)],
+        )
+        .unwrap();
         // Every cache and ring defect produces exactly one bad free.
         assert_eq!(
             vm.stats.frees_bad,
@@ -387,9 +407,15 @@ mod tests {
             .iter()
             .map(|v| v.caller.clone())
             .collect();
-        assert!(violators.contains("eth0_reset"), "violations: {violators:?}");
+        assert!(
+            violators.contains("eth0_reset"),
+            "violations: {violators:?}"
+        );
         // The watchdog bug is attributed to the immediate caller of msleep.
-        assert!(violators.contains("watchdog_sync"), "violations: {violators:?}");
+        assert!(
+            violators.contains("watchdog_sync"),
+            "violations: {violators:?}"
+        );
     }
 
     #[test]
@@ -397,10 +423,20 @@ mod tests {
         let build = KernelBuild::generate(&KernelConfig::small());
         // Spot-check a bandwidth and a latency workload end to end.
         for name in ["bw_mem_cp", "lat_udp", "lat_syscall"] {
-            let w = hbench_suite().into_iter().find(|w| w.name == name).unwrap().scaled(0.1);
+            let w = hbench_suite()
+                .into_iter()
+                .find(|w| w.name == name)
+                .unwrap()
+                .scaled(0.1);
             let mut vm = Vm::new(build.program.clone(), VmConfig::baseline()).unwrap();
-            vm.run(&w.entry, vec![Value::Int(i64::from(w.iters)), Value::Int(i64::from(w.size))])
-                .unwrap();
+            vm.run(
+                &w.entry,
+                vec![
+                    Value::Int(i64::from(w.iters)),
+                    Value::Int(i64::from(w.size)),
+                ],
+            )
+            .unwrap();
             assert!(vm.cycles() > 0, "{name} did no work");
         }
     }
@@ -409,8 +445,16 @@ mod tests {
     fn annotation_burden_is_a_small_fraction() {
         let build = KernelBuild::generate(&KernelConfig::paper());
         let burden = ivy_deputy::stats::burden(&build.program);
-        assert!(burden.annotated_fraction() < 0.10, "{}", burden.annotated_fraction());
-        assert!(burden.trusted_fraction() < 0.05, "{}", burden.trusted_fraction());
+        assert!(
+            burden.annotated_fraction() < 0.10,
+            "{}",
+            burden.annotated_fraction()
+        );
+        assert!(
+            burden.trusted_fraction() < 0.05,
+            "{}",
+            burden.trusted_fraction()
+        );
         assert!(burden.annotated_lines > 0);
         assert!(burden.trusted_lines > 0);
     }

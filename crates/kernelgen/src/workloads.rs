@@ -34,14 +34,23 @@ pub struct Workload {
 
 impl Workload {
     fn new(name: &str, entry: &str, iters: u32, size: u32, category: Category) -> Self {
-        Workload { name: name.into(), entry: entry.into(), iters, size, category }
+        Workload {
+            name: name.into(),
+            entry: entry.into(),
+            iters,
+            size,
+            category,
+        }
     }
 
     /// Scales the iteration count (used to shrink test runs / grow bench
     /// runs) without changing the workload's character.
     pub fn scaled(&self, factor: f64) -> Workload {
         let iters = ((self.iters as f64 * factor).round() as u32).max(1);
-        Workload { iters, ..self.clone() }
+        Workload {
+            iters,
+            ..self.clone()
+        }
     }
 }
 
@@ -93,7 +102,13 @@ pub fn boot_workload(cycles: u32) -> Workload {
 /// The light-use phase (E3): idling plus copying a kernel in over the
 /// network and writing it to disk.
 pub fn light_use_workload(rounds: u32) -> Workload {
-    Workload::new("light_use", "kernel_light_use", rounds, 1460, Category::Latency)
+    Workload::new(
+        "light_use",
+        "kernel_light_use",
+        rounds,
+        1460,
+        Category::Latency,
+    )
 }
 
 /// The KC source of every workload entry point (shared scratch buffers plus
@@ -430,8 +445,14 @@ mod tests {
     fn suite_matches_table1_rows() {
         let suite = hbench_suite();
         assert_eq!(suite.len(), 21, "Table 1 has 21 benchmarks");
-        let bw = suite.iter().filter(|w| w.category == Category::Bandwidth).count();
-        let lat = suite.iter().filter(|w| w.category == Category::Latency).count();
+        let bw = suite
+            .iter()
+            .filter(|w| w.category == Category::Bandwidth)
+            .count();
+        let lat = suite
+            .iter()
+            .filter(|w| w.category == Category::Latency)
+            .count();
         assert_eq!(bw, 8);
         assert_eq!(lat, 13);
         // Names are unique and every entry function is distinct except the

@@ -203,8 +203,12 @@ impl Vm {
         if Memory::is_stack_addr(dst) {
             return Ok(());
         }
-        let Some(src_obj) = self.mem.object_containing(src).copied() else { return Ok(()) };
-        let Some(dst_obj) = self.mem.object_containing(dst).copied() else { return Ok(()) };
+        let Some(src_obj) = self.mem.object_containing(src).copied() else {
+            return Ok(());
+        };
+        let Some(dst_obj) = self.mem.object_containing(dst).copied() else {
+            return Ok(());
+        };
         let src_slots: Vec<u32> = self
             .ptr_slots
             .get(&src_obj.base)
@@ -221,7 +225,10 @@ impl Vm {
                 self.charge(self.cost.rc_update(self.config.machine));
             }
             let dst_off = dst + (a - src) - dst_obj.base;
-            self.ptr_slots.entry(dst_obj.base).or_default().insert(dst_off);
+            self.ptr_slots
+                .entry(dst_obj.base)
+                .or_default()
+                .insert(dst_off);
         }
         Ok(())
     }
@@ -232,7 +239,9 @@ impl Vm {
         if !self.config.ccount || len == 0 || Memory::is_stack_addr(dst) {
             return Ok(());
         }
-        let Some(obj) = self.mem.object_containing(dst).copied() else { return Ok(()) };
+        let Some(obj) = self.mem.object_containing(dst).copied() else {
+            return Ok(());
+        };
         let slots: Vec<u32> = self
             .ptr_slots
             .get(&obj.base)
@@ -307,7 +316,10 @@ mod tests {
         vm.run("bad", vec![]).unwrap();
         assert_eq!(vm.stats.blocking_violations.len(), 1);
         assert_eq!(vm.stats.blocking_violations[0].callee, "kmalloc");
-        assert_eq!(vm.stats.blocking_violations[0].locks_held, vec!["io_lock".to_string()]);
+        assert_eq!(
+            vm.stats.blocking_violations[0].locks_held,
+            vec!["io_lock".to_string()]
+        );
 
         let mut vm2 = vm_for(&src, VmConfig::baseline());
         vm2.run("fine", vec![]).unwrap();
@@ -348,7 +360,10 @@ mod tests {
         );
         let mut vm = vm_for(&src, VmConfig::ccounted(false));
         vm.run("dup_then_free", vec![]).unwrap();
-        assert_eq!(vm.stats.frees_bad, 1, "memcpy'd reference must keep the count");
+        assert_eq!(
+            vm.stats.frees_bad, 1,
+            "memcpy'd reference must keep the count"
+        );
     }
 
     #[test]

@@ -15,16 +15,10 @@
 use serde::{Deserialize, Serialize};
 
 /// Machine configuration affecting instruction costs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub struct MachineConfig {
     /// Symmetric multiprocessing: refcount updates use locked operations.
     pub smp: bool,
-}
-
-impl Default for MachineConfig {
-    fn default() -> Self {
-        MachineConfig { smp: false }
-    }
 }
 
 /// Cycle costs of VM operations.

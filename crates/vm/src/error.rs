@@ -38,7 +38,11 @@ pub enum TrapKind {
 impl VmError {
     /// Creates an error with an empty stack (the interpreter fills it in).
     pub fn new(kind: TrapKind, message: impl Into<String>) -> Self {
-        VmError { kind, message: message.into(), stack: Vec::new() }
+        VmError {
+            kind,
+            message: message.into(),
+            stack: Vec::new(),
+        }
     }
 }
 

@@ -63,12 +63,19 @@ impl VmConfig {
 
     /// Deputized kernel: Deputy run-time checks enabled.
     pub fn deputized() -> Self {
-        VmConfig { deputy_checks: true, ..VmConfig::default() }
+        VmConfig {
+            deputy_checks: true,
+            ..VmConfig::default()
+        }
     }
 
     /// CCount kernel: reference counting enabled.
     pub fn ccounted(smp: bool) -> Self {
-        VmConfig { ccount: true, machine: MachineConfig { smp }, ..VmConfig::default() }
+        VmConfig {
+            ccount: true,
+            machine: MachineConfig { smp },
+            ..VmConfig::default()
+        }
     }
 
     /// Fully instrumented kernel: Deputy + CCount + BlockStop assertions.
@@ -193,7 +200,8 @@ impl Vm {
         for g in &globals {
             let size = self.size_of(&g.decl.ty)? as u32;
             let addr = self.mem.alloc_global(size);
-            self.globals.insert(g.decl.name.clone(), (addr, g.decl.ty.clone()));
+            self.globals
+                .insert(g.decl.name.clone(), (addr, g.decl.ty.clone()));
             self.global_names.insert(addr, g.decl.name.clone());
         }
         // Initialisers may reference other globals, so run them after layout.
@@ -215,15 +223,15 @@ impl Vm {
     // ----- type helpers -----
 
     pub(crate) fn size_of(&self, ty: &Type) -> VmResult<u64> {
-        LayoutCtx::new(&self.program).size_of(ty).map_err(|e| {
-            VmError::new(TrapKind::IllFormed, format!("layout error: {e}"))
-        })
+        LayoutCtx::new(&self.program)
+            .size_of(ty)
+            .map_err(|e| VmError::new(TrapKind::IllFormed, format!("layout error: {e}")))
     }
 
     pub(crate) fn field_offset(&self, composite: &str, field: &str) -> VmResult<u64> {
-        LayoutCtx::new(&self.program).field_offset(composite, field).map_err(|e| {
-            VmError::new(TrapKind::IllFormed, format!("layout error: {e}"))
-        })
+        LayoutCtx::new(&self.program)
+            .field_offset(composite, field)
+            .map_err(|e| VmError::new(TrapKind::IllFormed, format!("layout error: {e}")))
     }
 
     fn resolve<'a>(&'a self, ty: &'a Type) -> &'a Type {
@@ -427,10 +435,16 @@ impl Vm {
         if !self.config.ccount || Memory::is_stack_addr(addr) {
             return Ok(());
         }
-        let Some(obj) = self.mem.object_containing(addr) else { return Ok(()) };
+        let Some(obj) = self.mem.object_containing(addr) else {
+            return Ok(());
+        };
         let base = obj.base;
         let off = addr - base;
-        let tracked = self.ptr_slots.get(&base).map(|s| s.contains(&off)).unwrap_or(false);
+        let tracked = self
+            .ptr_slots
+            .get(&base)
+            .map(|s| s.contains(&off))
+            .unwrap_or(false);
         if tracked {
             let old = self.mem.read(addr, 4)? as u32;
             if charge_rc && self.mem.rc_adjust(old, -1) {
@@ -582,7 +596,11 @@ impl Vm {
                 }
                 let delta = vb.as_int() * elem;
                 let base = i64::from(va.as_ptr());
-                let out = if op == BinOp::Add { base + delta } else { base - delta };
+                let out = if op == BinOp::Add {
+                    base + delta
+                } else {
+                    base - delta
+                };
                 return Ok(Value::Ptr(out as u32));
             }
             // int + ptr
@@ -690,9 +708,9 @@ impl Vm {
                     }
                 };
                 let off = self.field_offset(&comp, field)? as u32;
-                let fty = self.field_type(&Type::Struct(comp.clone()), field).or_else(|_| {
-                    self.field_type(&Type::Union(comp.clone()), field)
-                })?;
+                let fty = self
+                    .field_type(&Type::Struct(comp.clone()), field)
+                    .or_else(|_| self.field_type(&Type::Union(comp.clone()), field))?;
                 Ok((base + off, fty))
             }
             Expr::Arrow(obj, field) => {
@@ -716,15 +734,18 @@ impl Vm {
                     }
                 };
                 let off = self.field_offset(&comp, field)? as u32;
-                let fty = self.field_type(&Type::Struct(comp.clone()), field).or_else(|_| {
-                    self.field_type(&Type::Union(comp.clone()), field)
-                })?;
+                let fty = self
+                    .field_type(&Type::Struct(comp.clone()), field)
+                    .or_else(|_| self.field_type(&Type::Union(comp.clone()), field))?;
                 Ok((ptr + off, fty))
             }
             Expr::Cast(_, inner) => self.lval(inner, frame),
             other => Err(VmError::new(
                 TrapKind::IllFormed,
-                format!("expression is not an lvalue: {}", ivy_cmir::pretty::expr_str(other)),
+                format!(
+                    "expression is not an lvalue: {}",
+                    ivy_cmir::pretty::expr_str(other)
+                ),
             )),
         }
     }
@@ -737,7 +758,10 @@ impl Vm {
         self.stats.calls += 1;
         self.charge(self.cost.call);
         if self.call_stack.len() > 512 {
-            return Err(VmError::new(TrapKind::StepLimit, "call stack depth exceeded 512"));
+            return Err(VmError::new(
+                TrapKind::StepLimit,
+                "call stack depth exceeded 512",
+            ));
         }
 
         let func = self.program.function(name).cloned();
@@ -773,7 +797,11 @@ impl Vm {
     /// context (interrupts disabled or holding a spinlock).
     pub(crate) fn note_block_attempt(&mut self, callee: &str) {
         if self.irq_depth > 0 || !self.locks_held.is_empty() {
-            let caller = self.call_stack.last().cloned().unwrap_or_else(|| "<entry>".to_string());
+            let caller = self
+                .call_stack
+                .last()
+                .cloned()
+                .unwrap_or_else(|| "<entry>".to_string());
             self.stats.blocking_violations.push(BlockingViolation {
                 callee: callee.to_string(),
                 caller,
@@ -844,7 +872,9 @@ impl Vm {
             Stmt::Local(decl, init) => {
                 let size = self.size_of(&decl.ty)? as u32;
                 let addr = self.mem.alloc_stack(size.max(1));
-                frame.locals.insert(decl.name.clone(), (addr, decl.ty.clone()));
+                frame
+                    .locals
+                    .insert(decl.name.clone(), (addr, decl.ty.clone()));
                 if let Some(e) = init {
                     let v = self.eval(e, frame)?;
                     self.store_typed(addr, &decl.ty, v, false)?;
@@ -931,8 +961,7 @@ impl Vm {
                     Some(len_expr) => {
                         self.charge(self.cost.check_bounds);
                         let n = self.eval(len_expr, frame)?.as_int();
-                        (i < 0 || i >= n)
-                            .then(|| format!("index {i} outside count({n})"))
+                        (i < 0 || i >= n).then(|| format!("index {i} outside count({n})"))
                     }
                     None => {
                         self.charge(self.cost.check_bounds_auto);
@@ -956,7 +985,12 @@ impl Vm {
                     }
                 }
             }
-            Check::UnionTag { obj, field, tag, value } => {
+            Check::UnionTag {
+                obj,
+                field,
+                tag,
+                value,
+            } => {
                 self.charge(self.cost.check_union);
                 let (base, ty) = self.lval(obj, frame)?;
                 let comp = match self.resolve(&ty) {
@@ -969,7 +1003,9 @@ impl Vm {
                     let tag_off = self.field_offset(&comp, tag).unwrap_or(0) as u32;
                     let tag_val = self.mem.read(base + tag_off, 4)? as i64;
                     (tag_val != *value).then(|| {
-                        format!("union arm `{field}` read while {tag} == {tag_val} (expected {value})")
+                        format!(
+                            "union arm `{field}` read while {tag} == {tag_val} (expected {value})"
+                        )
                     })
                 }
             }
@@ -1027,7 +1063,10 @@ impl Vm {
             if self.config.trap_on_check_failure {
                 return Err(VmError::new(
                     TrapKind::CheckFailure,
-                    format!("{} check failed in {}: {}", failure.kind, failure.function, failure.detail),
+                    format!(
+                        "{} check failed in {}: {}",
+                        failure.kind, failure.function, failure.detail
+                    ),
                 ));
             }
         }
@@ -1234,7 +1273,10 @@ mod tests {
         let (_, dep) = run_src(src, "work", VmConfig::deputized());
         assert!(dep.cycles() > base.cycles());
         let ratio = dep.cycles() as f64 / base.cycles() as f64;
-        assert!(ratio < 2.0, "bounds checks should be cheap relative to work, got {ratio}");
+        assert!(
+            ratio < 2.0,
+            "bounds checks should be cheap relative to work, got {ratio}"
+        );
     }
 
     #[test]
@@ -1264,7 +1306,10 @@ mod tests {
         r.unwrap();
         assert_eq!(vm.stats.frees_bad, 1);
         assert_eq!(vm.stats.frees_good, 0);
-        assert_eq!(vm.mem.stats.leaked_objects, 1, "bad frees leak for soundness");
+        assert_eq!(
+            vm.mem.stats.leaked_objects, 1,
+            "bad frees leak for soundness"
+        );
 
         let (r2, vm2) = run_src(src, "good_free", VmConfig::ccounted(false));
         r2.unwrap();
@@ -1369,7 +1414,10 @@ mod tests {
                 return r;
             }
         "#;
-        let cfg = VmConfig { blockstop_asserts: true, ..VmConfig::baseline() };
+        let cfg = VmConfig {
+            blockstop_asserts: true,
+            ..VmConfig::baseline()
+        };
         let (r, vm) = run_src(src, "checked", cfg);
         r.unwrap();
         assert_eq!(vm.stats.assert_failures, 0);
@@ -1403,7 +1451,10 @@ mod tests {
     fn step_limit_stops_runaway_loops() {
         let src = "fn spin() { while (1) { } }";
         let p = parse_program(src).unwrap();
-        let cfg = VmConfig { max_steps: 10_000, ..VmConfig::baseline() };
+        let cfg = VmConfig {
+            max_steps: 10_000,
+            ..VmConfig::baseline()
+        };
         let mut vm = Vm::new(p, cfg).unwrap();
         let err = vm.run("spin", vec![]).unwrap_err();
         assert_eq!(err.kind, TrapKind::StepLimit);
@@ -1429,7 +1480,11 @@ mod tests {
             fn main() -> u32 { return f(null as u8 *); }
         "#;
         let p = parse_program(src).unwrap();
-        let cfg = VmConfig { deputy_checks: true, trap_on_check_failure: true, ..VmConfig::baseline() };
+        let cfg = VmConfig {
+            deputy_checks: true,
+            trap_on_check_failure: true,
+            ..VmConfig::baseline()
+        };
         let mut vm = Vm::new(p, cfg).unwrap();
         let err = vm.run("main", vec![]).unwrap_err();
         assert_eq!(err.kind, TrapKind::CheckFailure);

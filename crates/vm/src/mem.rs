@@ -80,7 +80,10 @@ struct Segment {
 
 impl Segment {
     fn new(base: u32) -> Self {
-        Segment { data: Vec::new(), base }
+        Segment {
+            data: Vec::new(),
+            base,
+        }
     }
 
     fn contains(&self, addr: u32) -> bool {
@@ -176,8 +179,15 @@ impl Memory {
         let base = align_up(self.global_top, 8);
         self.global_top = base + size;
         self.globals.ensure(self.global_top);
-        self.objects
-            .insert(base, ObjectInfo { base, size, kind: ObjectKind::Global, live: true });
+        self.objects.insert(
+            base,
+            ObjectInfo {
+                base,
+                size,
+                kind: ObjectKind::Global,
+                live: true,
+            },
+        );
         base
     }
 
@@ -190,8 +200,15 @@ impl Memory {
         self.globals.ensure(self.global_top);
         let off = (base - GLOBAL_BASE) as usize;
         self.globals.data[off..off + bytes.len()].copy_from_slice(bytes);
-        self.objects
-            .insert(base, ObjectInfo { base, size, kind: ObjectKind::Rodata, live: true });
+        self.objects.insert(
+            base,
+            ObjectInfo {
+                base,
+                size,
+                kind: ObjectKind::Rodata,
+                live: true,
+            },
+        );
         base
     }
 
@@ -212,8 +229,15 @@ impl Memory {
         for b in &mut self.stack.data[off..off + size as usize] {
             *b = 0;
         }
-        self.objects
-            .insert(base, ObjectInfo { base, size, kind: ObjectKind::Stack, live: true });
+        self.objects.insert(
+            base,
+            ObjectInfo {
+                base,
+                size,
+                kind: ObjectKind::Stack,
+                live: true,
+            },
+        );
         base
     }
 
@@ -258,7 +282,15 @@ impl Memory {
             *b = 0;
         }
         self.stats.bytes_zeroed += u64::from(class);
-        self.objects.insert(base, ObjectInfo { base, size, kind: ObjectKind::Heap, live: true });
+        self.objects.insert(
+            base,
+            ObjectInfo {
+                base,
+                size,
+                kind: ObjectKind::Heap,
+                live: true,
+            },
+        );
         self.stats.allocs += 1;
         self.stats.heap_bytes_live += u64::from(class);
         self.stats.heap_bytes_peak = self.stats.heap_bytes_peak.max(self.stats.heap_bytes_live);
@@ -272,7 +304,10 @@ impl Memory {
     pub fn kfree(&mut self, addr: u32, leak: bool) -> VmResult<u32> {
         self.stats.frees += 1;
         let obj = self.objects.get_mut(&addr).ok_or_else(|| {
-            VmError::new(TrapKind::MemoryFault, format!("free of unallocated address 0x{addr:x}"))
+            VmError::new(
+                TrapKind::MemoryFault,
+                format!("free of unallocated address 0x{addr:x}"),
+            )
         })?;
         if obj.kind != ObjectKind::Heap {
             return Err(VmError::new(
@@ -281,7 +316,10 @@ impl Memory {
             ));
         }
         if !obj.live {
-            return Err(VmError::new(TrapKind::MemoryFault, format!("double free of 0x{addr:x}")));
+            return Err(VmError::new(
+                TrapKind::MemoryFault,
+                format!("double free of 0x{addr:x}"),
+            ));
         }
         obj.live = false;
         let size = obj.size;
@@ -382,7 +420,10 @@ impl Memory {
 
     /// The reference count of the chunk containing `addr`.
     pub fn rc_of(&self, addr: u32) -> u8 {
-        *self.refcounts.get(&(addr / CHUNK_SIZE as u32)).unwrap_or(&0)
+        *self
+            .refcounts
+            .get(&(addr / CHUNK_SIZE as u32))
+            .unwrap_or(&0)
     }
 
     /// True if every chunk of the object `[base, base+size)` has a zero
@@ -412,7 +453,10 @@ fn fault(addr: u32) -> VmError {
     if addr == 0 {
         VmError::new(TrapKind::MemoryFault, "null pointer dereference")
     } else {
-        VmError::new(TrapKind::MemoryFault, format!("unmapped address 0x{addr:x}"))
+        VmError::new(
+            TrapKind::MemoryFault,
+            format!("unmapped address 0x{addr:x}"),
+        )
     }
 }
 

@@ -111,14 +111,16 @@ impl RunStats {
         for (k, v) in &other.checks_executed {
             *self.checks_executed.entry(k.clone()).or_insert(0) += v;
         }
-        self.check_failures.extend(other.check_failures.iter().cloned());
+        self.check_failures
+            .extend(other.check_failures.iter().cloned());
         self.rc_updates += other.rc_updates;
         self.frees_good += other.frees_good;
         self.frees_bad += other.frees_bad;
         self.bad_frees.extend(other.bad_frees.iter().cloned());
         self.frees_delayed += other.frees_delayed;
         self.allocs += other.allocs;
-        self.blocking_violations.extend(other.blocking_violations.iter().cloned());
+        self.blocking_violations
+            .extend(other.blocking_violations.iter().cloned());
         self.assert_failures += other.assert_failures;
         self.user_copy_bytes += other.user_copy_bytes;
         self.context_switches += other.context_switches;
@@ -137,9 +139,11 @@ mod tests {
 
     #[test]
     fn good_free_ratio_computes() {
-        let mut s = RunStats::default();
-        s.frees_good = 197;
-        s.frees_bad = 3;
+        let s = RunStats {
+            frees_good: 197,
+            frees_bad: 3,
+            ..RunStats::default()
+        };
         assert!((s.good_free_ratio() - 0.985).abs() < 1e-9);
     }
 
@@ -155,13 +159,17 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
-        let mut a = RunStats::default();
-        a.cycles = 100;
-        a.frees_good = 2;
+        let mut a = RunStats {
+            cycles: 100,
+            frees_good: 2,
+            ..RunStats::default()
+        };
         a.count_check("bounds");
-        let mut b = RunStats::default();
-        b.cycles = 50;
-        b.frees_bad = 1;
+        let mut b = RunStats {
+            cycles: 50,
+            frees_bad: 1,
+            ..RunStats::default()
+        };
         b.count_check("bounds");
         a.merge(&b);
         assert_eq!(a.cycles, 150);

@@ -8,7 +8,11 @@ use ivy::core::pipeline::Pipeline;
 use ivy::kernelgen::{KernelBuild, KernelConfig};
 
 fn main() {
-    let config = if cfg!(debug_assertions) { KernelConfig::small() } else { KernelConfig::paper() };
+    let config = if cfg!(debug_assertions) {
+        KernelConfig::small()
+    } else {
+        KernelConfig::paper()
+    };
     let build = KernelBuild::generate(&config);
     println!(
         "Generated kernel: {} functions, {} lines of KC.",

@@ -8,21 +8,37 @@
 use ivy::core::experiments::{blockstop_results, pointsto_ablation, Scale};
 
 fn main() {
-    let scale = if cfg!(debug_assertions) { Scale::test() } else { Scale::paper() };
+    let scale = if cfg!(debug_assertions) {
+        Scale::test()
+    } else {
+        Scale::paper()
+    };
 
     println!("Running BlockStop over the synthetic kernel...\n");
     let r = blockstop_results(&scale);
     println!("BlockStop findings (E5):");
     println!("  findings (no assertions):      {}", r.findings_before);
-    println!("  real bugs covered:             {} of 2 seeded", r.real_bugs_found);
+    println!(
+        "  real bugs covered:             {} of 2 seeded",
+        r.real_bugs_found
+    );
     println!("  false positives:               {}", r.false_positives);
     println!("  run-time assertions inserted:  {}", r.asserts_inserted);
     println!("  findings after assertions:     {}", r.findings_after);
-    println!("  assertion failures at runtime: {}", r.runtime_assert_failures);
-    println!("  observed runtime violations:   {}\n", r.runtime_violations);
+    println!(
+        "  assertion failures at runtime: {}",
+        r.runtime_assert_failures
+    );
+    println!(
+        "  observed runtime violations:   {}\n",
+        r.runtime_violations
+    );
 
     println!("Points-to precision ablation (E6):");
-    println!("  {:<16} {:>9} {:>16} {:>14}", "variant", "findings", "false positives", "mean fanout");
+    println!(
+        "  {:<16} {:>9} {:>16} {:>14}",
+        "variant", "findings", "false positives", "mean fanout"
+    );
     for row in pointsto_ablation(&scale) {
         println!(
             "  {:<16} {:>9} {:>16} {:>14.2}",

@@ -42,7 +42,10 @@ fn main() {
 
     let program = parse_program(source).expect("snippet parses");
     let conversion = Deputy::new().convert(&program);
-    println!("== Deputized program ==\n{}", pretty_program(&conversion.program));
+    println!(
+        "== Deputized program ==\n{}",
+        pretty_program(&conversion.program)
+    );
     println!(
         "Deputy inserted {} run-time check(s); {} site(s) discharged statically.\n",
         conversion.report.total_runtime_checks(),
@@ -52,10 +55,16 @@ fn main() {
     // A correct access runs unchanged.
     let mut vm = Vm::new(conversion.program.clone(), VmConfig::deputized()).unwrap();
     let ok = vm.run("demo", vec![Value::Int(5), Value::Int(0)]).unwrap();
-    println!("demo(5) = {ok} with {} checks executed, 0 failures", vm.stats.total_checks());
+    println!(
+        "demo(5) = {ok} with {} checks executed, 0 failures",
+        vm.stats.total_checks()
+    );
 
     // An out-of-bounds access traps on the inserted check.
-    let cfg = VmConfig { trap_on_check_failure: true, ..VmConfig::deputized() };
+    let cfg = VmConfig {
+        trap_on_check_failure: true,
+        ..VmConfig::deputized()
+    };
     let mut vm2 = Vm::new(conversion.program, cfg).unwrap();
     match vm2.run("demo", vec![Value::Int(40), Value::Int(0)]) {
         Err(e) if e.kind == TrapKind::CheckFailure => {

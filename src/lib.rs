@@ -6,7 +6,10 @@
 //! single package:
 //!
 //! * [`cmir`] — the KC (kernel C subset) language front end.
-//! * [`analysis`] — dataflow, points-to, and call-graph infrastructure.
+//! * [`analysis`] — dataflow, points-to, call-graph, and summary
+//!   infrastructure.
+//! * [`engine`] — the parallel, incremental, plugin-based analysis engine
+//!   all checkers run on.
 //! * [`vm`] — the execution substrate (memory model, interpreter, cost model).
 //! * [`deputy`] — the Deputy dependent type system (§2.1).
 //! * [`ccount`] — CCount reference-count checking of manual memory
@@ -38,5 +41,6 @@ pub use ivy_ccount as ccount;
 pub use ivy_cmir as cmir;
 pub use ivy_core as core;
 pub use ivy_deputy as deputy;
+pub use ivy_engine as engine;
 pub use ivy_kernelgen as kernelgen;
 pub use ivy_vm as vm;

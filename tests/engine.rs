@@ -1,0 +1,137 @@
+//! Integration tests for the analysis engine over the generated kernel:
+//! parallel determinism, incremental caching, dirty-cone invalidation, and
+//! fleet (corpus) mode.
+
+use ivy::blockstop::BlockStopChecker;
+use ivy::ccount::CCountChecker;
+use ivy::deputy::DeputyChecker;
+use ivy::engine::{Engine, Severity};
+use ivy::kernelgen::{KernelBuild, KernelConfig};
+use std::sync::Arc;
+
+fn kernel_engine(threads: usize) -> Engine {
+    Engine::new()
+        .with_threads(threads)
+        .with_checker(Arc::new(DeputyChecker::new()))
+        .with_checker(Arc::new(CCountChecker::new()))
+        .with_checker(Arc::new(BlockStopChecker::new()))
+}
+
+#[test]
+fn parallel_run_is_byte_identical_to_single_threaded() {
+    let build = KernelBuild::generate(&KernelConfig::small());
+    let single = kernel_engine(1).analyze(&build.program);
+    let parallel = kernel_engine(4).analyze(&build.program);
+    assert!(!single.diagnostics.is_empty());
+    assert_eq!(single.diagnostics, parallel.diagnostics);
+    assert_eq!(single.diagnostics_json(), parallel.diagnostics_json());
+    assert_eq!(single.to_sarif(), parallel.to_sarif());
+}
+
+#[test]
+fn unchanged_kernel_is_served_from_cache() {
+    let build = KernelBuild::generate(&KernelConfig::small());
+    let engine = kernel_engine(4);
+    let cold = engine.analyze(&build.program);
+    assert_eq!(cold.stats.cache_hits, 0, "first run must be cold");
+    assert!(cold.stats.cache_misses > 0);
+
+    let warm = engine.analyze(&build.program);
+    assert_eq!(warm.diagnostics, cold.diagnostics);
+    assert!(
+        warm.stats.ctx_reused,
+        "identical program must reuse the analysis context"
+    );
+    assert!(
+        warm.stats.hit_rate() >= 0.9,
+        "second analyze over an unchanged kernel must be >=90% cache-served, got {:.3} ({} hits, {} misses)",
+        warm.stats.hit_rate(),
+        warm.stats.cache_hits,
+        warm.stats.cache_misses
+    );
+}
+
+#[test]
+fn small_edit_recomputes_only_the_dirty_cone() {
+    let build = KernelBuild::generate(&KernelConfig::small());
+    let engine = kernel_engine(4);
+    engine.analyze(&build.program);
+
+    // Edit one leaf-ish function body; everything outside its caller cone
+    // keeps its cache entries. Deputy and CCount are per-function, so for
+    // them only the dirty cone misses; BlockStop re-derives its
+    // whole-program context but still reuses entries whose findings are
+    // unchanged.
+    let mut edited = build.program.clone();
+    let func = edited
+        .function_mut("watchdog_tick")
+        .expect("corpus has watchdog_tick");
+    let body = func.body.as_mut().expect("defined");
+    let extra = body.stmts.first().cloned().expect("non-empty body");
+    body.stmts.insert(0, extra);
+
+    let incremental = engine.analyze(&edited);
+    let total = incremental.stats.cache_hits + incremental.stats.cache_misses;
+    assert!(
+        incremental.stats.cache_hits * 2 > total,
+        "a one-function edit should keep most entries cached: {} hits / {} lookups",
+        incremental.stats.cache_hits,
+        total
+    );
+    assert!(
+        incremental.stats.cache_misses > 0,
+        "the dirty function itself must recompute"
+    );
+}
+
+#[test]
+fn corpus_mode_shares_the_cache_across_variants() {
+    // Seed-varied kernels share almost all function bodies.
+    let programs: Vec<_> = (0..3)
+        .map(|i| {
+            let mut config = KernelConfig::small();
+            config.seed += i;
+            KernelBuild::generate(&config).program
+        })
+        .collect();
+    let engine = kernel_engine(4);
+    let reports = engine.analyze_corpus(&programs);
+    assert_eq!(reports.len(), 3);
+    for r in &reports {
+        assert!(!r.diagnostics.is_empty());
+    }
+    let hits: u64 = reports.iter().map(|r| r.stats.cache_hits).sum();
+    let misses: u64 = reports.iter().map(|r| r.stats.cache_misses).sum();
+    let rate = hits as f64 / (hits + misses) as f64;
+    assert!(
+        rate > 0.5,
+        "cross-variant sharing too low: {rate:.3} ({hits} hits, {misses} misses)"
+    );
+
+    // Corpus reports equal the individually-computed ones.
+    let solo = kernel_engine(1).analyze(&programs[1]);
+    assert_eq!(solo.diagnostics, reports[1].diagnostics);
+}
+
+#[test]
+fn engine_finds_the_seeded_blocking_bugs() {
+    let build = KernelBuild::generate(&KernelConfig::small());
+    let report = kernel_engine(0).analyze(&build.program);
+    let blockstop_errors: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.checker == "blockstop" && d.severity == Severity::Error)
+        .collect();
+    assert!(!blockstop_errors.is_empty());
+    for bug in &build.ground_truth.blocking_bugs {
+        assert!(
+            blockstop_errors
+                .iter()
+                .any(|d| d.function == bug.caller || d.message.contains(&bug.caller)),
+            "seeded bug in {} not surfaced",
+            bug.caller
+        );
+    }
+    // Every blockstop error carries an actionable fix hint.
+    assert!(blockstop_errors.iter().all(|d| d.fix_hint.is_some()));
+}

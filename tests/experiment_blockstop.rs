@@ -7,7 +7,10 @@ use ivy::core::experiments::{blockstop_results, pointsto_ablation, Scale};
 fn blockstop_finds_both_seeded_bugs_and_silences_false_positives() {
     let r = blockstop_results(&Scale::test());
     assert_eq!(r.real_bugs_found, 2, "the paper found two apparent bugs");
-    assert!(r.false_positives > 0, "conservative points-to must produce false positives");
+    assert!(
+        r.false_positives > 0,
+        "conservative points-to must produce false positives"
+    );
     assert!(r.asserts_inserted >= 1);
     assert!(
         r.findings_after < r.findings_before,

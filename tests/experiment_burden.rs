@@ -9,8 +9,16 @@ fn annotation_burden_is_a_small_fraction_of_the_kernel() {
     // The paper: ~0.6% annotated, <0.8% trusted. Our corpus is denser in
     // annotated subsystems, so allow a looser bound while keeping the
     // "small fraction" shape.
-    assert!(r.burden.annotated_fraction() < 0.10, "{}", r.burden.annotated_fraction());
-    assert!(r.burden.trusted_fraction() < 0.05, "{}", r.burden.trusted_fraction());
+    assert!(
+        r.burden.annotated_fraction() < 0.10,
+        "{}",
+        r.burden.annotated_fraction()
+    );
+    assert!(
+        r.burden.trusted_fraction() < 0.05,
+        "{}",
+        r.burden.trusted_fraction()
+    );
     assert!(r.burden.annotated_lines > 0);
     assert!(r.burden.trusted_lines > 0);
     assert!(r.burden.trusted_functions >= 2);

@@ -18,5 +18,9 @@ fn ccount_overhead_ordering_matches_paper() {
     // in the paper): pointer-dense page-table copying vs bulk text copying.
     assert!(o.fork_smp.percent() > o.module_smp.percent());
     // Nothing explodes: overheads stay under 2x even on SMP.
-    assert!(o.fork_smp.ratio() < 2.0, "fork SMP ratio {:.2}", o.fork_smp.ratio());
+    assert!(
+        o.fork_smp.ratio() < 2.0,
+        "fork SMP ratio {:.2}",
+        o.fork_smp.ratio()
+    );
 }

@@ -9,7 +9,11 @@ fn extension_analyses_produce_findings() {
 
     // Lock safety: the corpus locks consistently, so no order violations, and
     // locks taken in interrupt handlers are known.
-    assert!(r.locks.order_violations.is_empty(), "{:?}", r.locks.order_violations);
+    assert!(
+        r.locks.order_violations.is_empty(),
+        "{:?}",
+        r.locks.order_violations
+    );
 
     // Stack bounds: every syscall/workload entry point gets a bound and fits
     // in 8 kB; recursive functions are identified separately.

@@ -18,8 +18,18 @@ fn table1_reproduces_paper_shape() {
 
     // Every benchmark pays a bounded overhead: nothing slows by 2x or more.
     for r in &table.rows {
-        assert!(r.relative() >= 0.99, "{} sped up: {:.2}", r.name, r.relative());
-        assert!(r.relative() < 2.0, "{} slowed by {:.2}x", r.name, r.relative());
+        assert!(
+            r.relative() >= 0.99,
+            "{} sped up: {:.2}",
+            r.name,
+            r.relative()
+        );
+        assert!(
+            r.relative() < 2.0,
+            "{} slowed by {:.2}x",
+            r.name,
+            r.relative()
+        );
     }
 
     // Bandwidth benchmarks are cheaper to check than the worst latency

@@ -20,9 +20,17 @@ fn hardened_kernel_boots_cleanly_and_erasure_recovers_the_original() {
     // assertions, all at once.
     let boot = boot_workload(config.boot_cycles);
     let mut vm = Vm::new(hardened.program.clone(), VmConfig::full(false)).unwrap();
-    vm.run(&boot.entry, vec![Value::Int(i64::from(boot.iters)), Value::Int(0)]).unwrap();
+    vm.run(
+        &boot.entry,
+        vec![Value::Int(i64::from(boot.iters)), Value::Int(0)],
+    )
+    .unwrap();
     assert!(vm.stats.total_checks() > 0);
-    assert!(vm.stats.check_failures.is_empty(), "{:?}", vm.stats.check_failures);
+    assert!(
+        vm.stats.check_failures.is_empty(),
+        "{:?}",
+        vm.stats.check_failures
+    );
     let frees = FreeVerification::from_stats(&vm.stats);
     assert_eq!(frees.bad, 0);
     assert!(frees.good > 0);
@@ -32,7 +40,14 @@ fn hardened_kernel_boots_cleanly_and_erasure_recovers_the_original() {
     // that still boots and does the same work, with no checks executed.
     let erased = erase(&hardened.program);
     let mut vm2 = Vm::new(erased, VmConfig::full(false)).unwrap();
-    vm2.run(&boot.entry, vec![Value::Int(i64::from(boot.iters)), Value::Int(0)]).unwrap();
+    vm2.run(
+        &boot.entry,
+        vec![Value::Int(i64::from(boot.iters)), Value::Int(0)],
+    )
+    .unwrap();
     assert_eq!(vm2.stats.checks_executed.get("bounds"), None);
-    assert_eq!(vm2.stats.calls, vm.stats.calls, "erasure must not change the work done");
+    assert_eq!(
+        vm2.stats.calls, vm.stats.calls,
+        "erasure must not change the work done"
+    );
 }

@@ -1,0 +1,628 @@
+//! Vendored shim for `proptest` (no network access to a crates registry in
+//! the build environment).
+//!
+//! A minimal property-testing library implementing the API subset the
+//! `ivy-cmir` round-trip tests use: the [`strategy::Strategy`] trait with
+//! `prop_map` / `prop_filter` / `prop_recursive`, [`strategy::Just`], tuple
+//! and range strategies, a character-class regex subset for `&str`
+//! strategies, `prop::collection::vec`, `any::<T>()`, and the `proptest!` /
+//! `prop_oneof!` / `prop_assert*!` macros. Generation is deterministic
+//! (fixed-seed SplitMix64) and there is no shrinking: a failing case panics
+//! with the generated inputs debug-printed, which has proven enough to act
+//! on in this workspace.
+
+pub mod test_runner {
+    /// Deterministic RNG used for all generation (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A fixed-seed generator; every `proptest!` test gets the same
+        /// stream, making failures reproducible run to run.
+        pub fn deterministic() -> TestRng {
+            TestRng {
+                state: 0x01BA_D5EE_D0DD_BA11,
+            }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `[0, n)`.
+        pub fn below(&mut self, n: usize) -> usize {
+            assert!(n > 0);
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+
+    /// Per-test configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` generated inputs.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::sync::Arc;
+
+    /// A generator of values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generates one value. `size` bounds recursive/collection growth.
+        fn gen_value(&self, rng: &mut TestRng, size: u32) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<R, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> R,
+        {
+            Map {
+                base: self,
+                f: Arc::new(f),
+            }
+        }
+
+        /// Rejects generated values failing `pred` (regenerates, up to a
+        /// retry cap).
+        fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                base: self,
+                reason,
+                pred: Arc::new(pred),
+            }
+        }
+
+        /// Builds a bounded recursive strategy: `recurse` receives the
+        /// strategy for the previous level and returns the branching level.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let leaf = self.boxed();
+            let mut current = leaf.clone();
+            for _ in 0..depth {
+                let branched = recurse(current).boxed();
+                // Lean toward leaves so sizes stay small at every level.
+                current = Union {
+                    options: vec![leaf.clone(), leaf.clone(), branched],
+                }
+                .boxed();
+            }
+            current
+        }
+
+        /// Type-erases the strategy behind an `Arc`.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                inner: Arc::new(self),
+            }
+        }
+    }
+
+    trait DynStrategy<T> {
+        fn gen_dyn(&self, rng: &mut TestRng, size: u32) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn gen_dyn(&self, rng: &mut TestRng, size: u32) -> S::Value {
+            self.gen_value(rng, size)
+        }
+    }
+
+    /// A cheaply clonable, type-erased strategy.
+    pub struct BoxedStrategy<T> {
+        inner: Arc<dyn DynStrategy<T>>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng, size: u32) -> T {
+            self.inner.gen_dyn(rng, size)
+        }
+    }
+
+    /// Always generates a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn gen_value(&self, _rng: &mut TestRng, _size: u32) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `prop_map` combinator.
+    pub struct Map<S, F: ?Sized> {
+        base: S,
+        f: Arc<F>,
+    }
+
+    impl<S: Clone, F: ?Sized> Clone for Map<S, F> {
+        fn clone(&self) -> Self {
+            Map {
+                base: self.base.clone(),
+                f: Arc::clone(&self.f),
+            }
+        }
+    }
+
+    impl<S, R, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> R + ?Sized,
+    {
+        type Value = R;
+        fn gen_value(&self, rng: &mut TestRng, size: u32) -> R {
+            (self.f)(self.base.gen_value(rng, size))
+        }
+    }
+
+    /// `prop_filter` combinator.
+    pub struct Filter<S, F: ?Sized> {
+        base: S,
+        reason: &'static str,
+        pred: Arc<F>,
+    }
+
+    impl<S: Clone, F: ?Sized> Clone for Filter<S, F> {
+        fn clone(&self) -> Self {
+            Filter {
+                base: self.base.clone(),
+                reason: self.reason,
+                pred: Arc::clone(&self.pred),
+            }
+        }
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool + ?Sized,
+    {
+        type Value = S::Value;
+        fn gen_value(&self, rng: &mut TestRng, size: u32) -> S::Value {
+            for _ in 0..10_000 {
+                let v = self.base.gen_value(rng, size);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter rejected 10000 candidates: {}", self.reason)
+        }
+    }
+
+    /// Uniform choice between strategies of one value type (`prop_oneof!`).
+    pub struct Union<T> {
+        /// The alternatives.
+        pub options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union {
+                options: self.options.clone(),
+            }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng, size: u32) -> T {
+            let idx = rng.below(self.options.len());
+            self.options[idx].gen_value(rng, size)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident / $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn gen_value(&self, rng: &mut TestRng, size: u32) -> Self::Value {
+                    ($(self.$idx.gen_value(rng, size),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A/0, B/1)
+        (A/0, B/1, C/2)
+        (A/0, B/1, C/2, D/3)
+        (A/0, B/1, C/2, D/3, E/4)
+        (A/0, B/1, C/2, D/3, E/4, F/5)
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng, _size: u32) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize);
+
+    /// `&str` strategies interpret the string as a regex over a small
+    /// subset: literal characters, `[...]` classes with ranges, and `{m,n}`
+    /// / `{n}` / `?` / `*` / `+` repetition suffixes.
+    impl Strategy for &str {
+        type Value = String;
+        fn gen_value(&self, rng: &mut TestRng, _size: u32) -> String {
+            gen_from_pattern(self, rng)
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    struct Atom {
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse_class(chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+        // `chars[i]` is the character after `[`.
+        let mut set = Vec::new();
+        while i < chars.len() && chars[i] != ']' {
+            if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                let (lo, hi) = (chars[i], chars[i + 2]);
+                let (lo, hi) = (lo.min(hi), lo.max(hi));
+                for c in lo..=hi {
+                    set.push(c);
+                }
+                i += 3;
+            } else {
+                set.push(chars[i]);
+                i += 1;
+            }
+        }
+        (set, i + 1) // past `]`
+    }
+
+    fn parse_repeat(chars: &[char], i: usize) -> (usize, usize, usize) {
+        match chars.get(i) {
+            Some('?') => (0, 1, i + 1),
+            Some('*') => (0, 8, i + 1),
+            Some('+') => (1, 8, i + 1),
+            Some('{') => {
+                let close = chars[i..].iter().position(|&c| c == '}').map(|p| p + i);
+                let Some(close) = close else { return (1, 1, i) };
+                let body: String = chars[i + 1..close].iter().collect();
+                let (min, max) = match body.split_once(',') {
+                    Some((a, b)) => (
+                        a.trim().parse().unwrap_or(0),
+                        b.trim()
+                            .parse()
+                            .unwrap_or_else(|_| a.trim().parse().unwrap_or(0)),
+                    ),
+                    None => {
+                        let n = body.trim().parse().unwrap_or(1);
+                        (n, n)
+                    }
+                };
+                (min, max, close + 1)
+            }
+            _ => (1, 1, i),
+        }
+    }
+
+    fn gen_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let (set, next) = match chars[i] {
+                '[' => parse_class(&chars, i + 1),
+                '\\' if i + 1 < chars.len() => (vec![chars[i + 1]], i + 2),
+                c => (vec![c], i + 1),
+            };
+            let (min, max, next) = parse_repeat(&chars, next);
+            atoms.push(Atom {
+                chars: set,
+                min,
+                max,
+            });
+            i = next;
+        }
+        let mut out = String::new();
+        for atom in &atoms {
+            if atom.chars.is_empty() {
+                continue;
+            }
+            let count = atom.min + rng.below(atom.max - atom.min + 1);
+            for _ in 0..count {
+                out.push(atom.chars[rng.below(atom.chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy type.
+    type Strategy: strategy::Strategy<Value = Self>;
+    /// The strategy generating arbitrary values.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// A strategy for any value of `T` (proptest's `any::<T>()`).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Function-pointer-backed strategy used by [`Arbitrary`] impls.
+#[derive(Clone)]
+pub struct FnStrategy<T> {
+    gen: fn(&mut test_runner::TestRng) -> T,
+}
+
+impl<T> strategy::Strategy for FnStrategy<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut test_runner::TestRng, _size: u32) -> T {
+        (self.gen)(rng)
+    }
+}
+
+macro_rules! impl_arbitrary {
+    ($($t:ty => $f:expr),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            type Strategy = FnStrategy<$t>;
+            fn arbitrary() -> FnStrategy<$t> {
+                FnStrategy { gen: $f }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary! {
+    bool => |rng| rng.next_u64() & 1 == 1,
+    u8 => |rng| rng.next_u64() as u8,
+    u16 => |rng| rng.next_u64() as u16,
+    u32 => |rng| rng.next_u64() as u32,
+    u64 => |rng| rng.next_u64(),
+    usize => |rng| rng.next_u64() as usize,
+    i8 => |rng| rng.next_u64() as i8,
+    i16 => |rng| rng.next_u64() as i16,
+    i32 => |rng| rng.next_u64() as i32,
+    i64 => |rng| rng.next_u64() as i64,
+}
+
+/// The `prop::` namespace (`prop::collection::vec` etc.).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// A strategy for vectors with lengths drawn from `len`.
+        pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+
+        /// Strategy for `Vec<T>` (see [`vec`]).
+        #[derive(Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            len: std::ops::Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn gen_value(&self, rng: &mut TestRng, size: u32) -> Vec<S::Value> {
+                let span = self.len.end.saturating_sub(self.len.start).max(1);
+                let n = self.len.start + rng.below(span);
+                (0..n).map(|_| self.element.gen_value(rng, size)).collect()
+            }
+        }
+    }
+}
+
+/// Everything a proptest-based test file usually imports.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, Arbitrary};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Uniform choice between the listed strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union {
+            options: vec![$($crate::strategy::Strategy::boxed($strategy)),+],
+        }
+    };
+}
+
+/// Property assertion; returns an error from the test case on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!(
+                "prop_assert failed: {}", stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Equality assertion; returns an error from the test case on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return ::std::result::Result::Err(format!("prop_assert_eq failed: {a:?} != {b:?}"));
+        }
+    }};
+}
+
+/// Inequality assertion; returns an error from the test case on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a != b) {
+            return ::std::result::Result::Err(format!("prop_assert_ne failed: both were {a:?}"));
+        }
+    }};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...)` runs its
+/// body against `config.cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::deterministic();
+                $(let $arg = $strategy;)+
+                for case in 0..config.cases {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::gen_value(&$arg, &mut rng, 16);
+                    )+
+                    let dbg_args = format!(concat!($(stringify!($arg), "={:?} ",)+), $(&$arg),+);
+                    let outcome: ::std::result::Result<(), ::std::string::String> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(msg) = outcome {
+                        panic!("case {case}/{} failed: {msg}\n  inputs: {dbg_args}",
+                               config.cases);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Tree {
+        Leaf(i64),
+        Node(Box<Tree>, Box<Tree>),
+    }
+
+    fn depth(t: &Tree) -> u32 {
+        match t {
+            Tree::Leaf(_) => 0,
+            Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+        }
+    }
+
+    fn arb_tree() -> impl Strategy<Value = Tree> {
+        let leaf = (0i64..100).prop_map(Tree::Leaf);
+        leaf.prop_recursive(3, 16, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn regex_subset_generates_matching_idents(s in "[a-z][a-z0-9_]{0,6}") {
+            prop_assert!(!s.is_empty() && s.len() <= 7, "bad length: {s:?}");
+            prop_assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()
+                || c.is_ascii_digit() || c == '_'));
+        }
+
+        #[test]
+        fn recursion_depth_is_bounded(t in arb_tree()) {
+            prop_assert!(depth(&t) <= 3, "depth {} for {t:?}", depth(&t));
+        }
+
+        #[test]
+        fn oneof_filters_and_vectors_work(
+            v in prop::collection::vec(prop_oneof![Just(1i64), Just(2i64)], 0..5),
+            x in (0i64..50).prop_filter("even", |n| n % 2 == 0),
+        ) {
+            prop_assert!(v.len() < 5);
+            prop_assert!(v.iter().all(|n| *n == 1 || *n == 2));
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+}

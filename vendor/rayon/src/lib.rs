@@ -1,0 +1,323 @@
+//! Vendored shim for `rayon` (no network access to a crates registry in the
+//! build environment).
+//!
+//! Implements the subset of the rayon API that `ivy-engine` uses —
+//! `ThreadPoolBuilder` / `ThreadPool::install`, `par_iter()` /
+//! `into_par_iter()`, `map`, `for_each`, and `collect` — on top of
+//! `std::thread::scope`. Unlike the real rayon there is no work-stealing
+//! deque: items are striped round-robin across the pool, which balances well
+//! for the many-small-functions workloads the engine schedules. Results are
+//! always returned in input order, so parallel and sequential runs are
+//! byte-identical — a property the engine's determinism test pins down.
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Thread count installed by [`ThreadPool::install`] for the dynamic
+    /// extent of the closure; 0 means "use the hardware default".
+    static INSTALLED_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The number of threads parallel operations on this thread will use.
+pub fn current_num_threads() -> usize {
+    let installed = INSTALLED_THREADS.with(|c| c.get());
+    if installed > 0 {
+        installed
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Error from building a thread pool (never actually produced by the shim;
+/// present for API compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the number of worker threads (0 = hardware default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A logical thread pool. The shim spawns scoped threads per operation
+/// rather than keeping workers alive; `install` scopes the configured
+/// parallelism exactly like the real rayon does.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's thread count governing any parallel
+    /// iterators used inside it.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        INSTALLED_THREADS.with(|c| {
+            let prev = c.get();
+            c.set(self.num_threads);
+            let out = f();
+            c.set(prev);
+            out
+        })
+    }
+
+    /// The pool's configured thread count.
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// Applies `f` to every item on the current pool, preserving input order.
+fn parallel_apply<T: Send, R: Send>(items: Vec<T>, f: &(impl Fn(T) -> R + Sync)) -> Vec<R> {
+    let threads = current_num_threads().min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Stripe items round-robin across the workers, remembering each item's
+    // original position so the merged output is order-stable.
+    let mut buckets: Vec<Vec<(usize, T)>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        buckets[i % threads].push((i, item));
+    }
+
+    let mut slots: Vec<Option<R>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = buckets
+            .into_iter()
+            .map(|bucket| {
+                scope.spawn(move || {
+                    bucket
+                        .into_iter()
+                        .map(|(i, item)| (i, f(item)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut results: Vec<(usize, R)> = Vec::new();
+        for h in handles {
+            results.extend(h.join().expect("rayon-shim worker panicked"));
+        }
+        slots.resize_with(results.len(), || None);
+        for (i, r) in results {
+            slots[i] = Some(r);
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot filled"))
+        .collect()
+}
+
+/// A parallel iterator: a materialized item list plus a composed pipeline.
+pub trait ParallelIterator: Sized {
+    /// Item type flowing out of this stage.
+    type Item: Send;
+
+    /// Executes the pipeline in parallel, preserving order.
+    fn drive(self) -> Vec<Self::Item>;
+
+    /// Maps each item through `f` in parallel.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Runs `f` on every item in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        let _ = parallel_apply(self.drive(), &|item| f(item));
+    }
+
+    /// Collects the results.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_ordered_vec(self.drive())
+    }
+}
+
+/// Collection types a parallel iterator can collect into.
+pub trait FromParallelIterator<T> {
+    /// Builds the collection from items already in order.
+    fn from_ordered_vec(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered_vec(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+/// A mapped parallel iterator.
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync,
+{
+    type Item = R;
+
+    fn drive(self) -> Vec<R> {
+        parallel_apply(self.base.drive(), &self.f)
+    }
+}
+
+/// Leaf iterator over owned items.
+pub struct IntoParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for IntoParIter<T> {
+    type Item = T;
+
+    fn drive(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// Types convertible into a parallel iterator over owned items.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> IntoParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> IntoParIter<T> {
+        IntoParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> IntoParIter<usize> {
+        IntoParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Types whose references can be iterated in parallel (`par_iter`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type (a reference).
+    type Item: Send;
+    /// Parallel iterator over references.
+    fn par_iter(&'a self) -> IntoParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> IntoParIter<&'a T> {
+        IntoParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> IntoParIter<&'a T> {
+        IntoParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// The usual rayon prelude.
+pub mod prelude {
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(8).build().unwrap();
+        let doubled: Vec<usize> = pool.install(|| items.par_iter().map(|x| x * 2).collect());
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_matches_parallel() {
+        let items: Vec<u64> = (0..257).collect();
+        let seq: Vec<u64> = ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(|| items.par_iter().map(|x| x * x).collect());
+        let par: Vec<u64> = ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap()
+            .install(|| items.par_iter().map(|x| x * x).collect());
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        pool.install(|| assert_eq!(current_num_threads(), 3));
+    }
+
+    #[test]
+    fn into_par_iter_and_for_each() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let sum = AtomicUsize::new(0);
+        (0..100).into_par_iter().for_each(|i| {
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 4950);
+    }
+}

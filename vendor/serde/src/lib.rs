@@ -1,0 +1,60 @@
+//! Vendored shim for `serde` (no network access to a crates registry in the
+//! build environment).
+//!
+//! `Serialize` / `Deserialize` are marker traits here: the workspace derives
+//! them on its data model for API compatibility with the real serde, but all
+//! serialization that actually runs is the hand-written, stable-field-order
+//! JSON in `ivy_engine::json`. The shim is swappable for the real crate by
+//! pointing the workspace dependency at the registry instead of `vendor/`.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! impl_markers {
+    ($($t:ty),* $(,)?) => {
+        $(impl Serialize for $t {}
+          impl Deserialize for $t {})*
+    };
+}
+
+impl_markers!(
+    (),
+    bool,
+    char,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    f32,
+    f64,
+    String
+);
+
+impl<T> Serialize for Option<T> {}
+impl<T> Deserialize for Option<T> {}
+impl<T> Serialize for Vec<T> {}
+impl<T> Deserialize for Vec<T> {}
+impl<T> Serialize for Box<T> {}
+impl<T> Deserialize for Box<T> {}
+impl<T> Serialize for std::collections::BTreeSet<T> {}
+impl<T> Deserialize for std::collections::BTreeSet<T> {}
+impl<K, V> Serialize for std::collections::BTreeMap<K, V> {}
+impl<K, V> Deserialize for std::collections::BTreeMap<K, V> {}
+impl<K, V, S> Serialize for std::collections::HashMap<K, V, S> {}
+impl<K, V, S> Deserialize for std::collections::HashMap<K, V, S> {}
+impl<A, B> Serialize for (A, B) {}
+impl<A, B> Deserialize for (A, B) {}
+impl Serialize for &str {}

@@ -1,0 +1,118 @@
+//! Vendored shim for `serde_derive` (the build environment has no network
+//! access to a crates registry).
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as a marker —
+//! all actual serialization in this repository is hand-written against
+//! `ivy_engine::json` (stable field ordering is a requirement there, so the
+//! hand-rolled writers are the source of truth anyway). These derives
+//! therefore expand to a marker-trait impl and nothing else, which keeps the
+//! seed sources building unmodified while staying swappable for the real
+//! serde: replacing the `vendor/` path deps with registry versions requires
+//! no source changes.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name and generics-arity facts needed to emit a marker
+/// impl. Returns `(name, generic_params)` where `generic_params` is the raw
+/// token text between `<...>` of the type definition (bounds included).
+fn parse_item(input: &TokenStream) -> Option<(String, String)> {
+    let mut tokens = input.clone().into_iter().peekable();
+    // Skip attributes (`#[...]`) and visibility / doc tokens until the item
+    // keyword, then take the following identifier as the type name.
+    let mut name = None;
+    while let Some(tt) = tokens.next() {
+        match &tt {
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" || s == "union" {
+                    if let Some(TokenTree::Ident(n)) = tokens.next() {
+                        name = Some(n.to_string());
+                    }
+                    break;
+                }
+            }
+            _ => continue,
+        }
+    }
+    let name = name?;
+    // Capture a generic parameter list if one follows the name.
+    let mut generics = String::new();
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            let mut depth = 0i32;
+            for tt in tokens.by_ref() {
+                let text = tt.to_string();
+                match &tt {
+                    TokenTree::Punct(p) if p.as_char() == '<' => {
+                        depth += 1;
+                        if depth > 1 {
+                            generics.push('<');
+                        }
+                    }
+                    TokenTree::Punct(p) if p.as_char() == '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                        generics.push('>');
+                    }
+                    _ => {
+                        generics.push_str(&text);
+                        generics.push(' ');
+                    }
+                }
+            }
+        }
+    }
+    Some((name, generics))
+}
+
+/// Names of the generic parameters (without bounds), for the `Type<P1, P2>`
+/// position of the impl.
+fn param_names(generics: &str) -> String {
+    let mut names = Vec::new();
+    let mut depth = 0i32;
+    for part in generics.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        if depth == 0 {
+            let head = part.split(':').next().unwrap_or(part).trim();
+            // `'a` lifetimes and plain idents both work here; skip const
+            // generics' `const` keyword.
+            let head = head.strip_prefix("const ").unwrap_or(head);
+            let head = head.split_whitespace().next().unwrap_or(head);
+            if !head.is_empty() {
+                names.push(head.to_string());
+            }
+        }
+        depth += part.matches('<').count() as i32 - part.matches('>').count() as i32;
+    }
+    names.join(", ")
+}
+
+fn marker_impl(input: TokenStream, trait_path: &str) -> TokenStream {
+    let Some((name, generics)) = parse_item(&input) else {
+        return TokenStream::new();
+    };
+    let params = param_names(&generics);
+    let code = if generics.is_empty() {
+        format!("impl {trait_path} for {name} {{}}")
+    } else {
+        format!("impl<{generics}> {trait_path} for {name}<{params}> {{}}")
+    };
+    code.parse().unwrap_or_else(|_| TokenStream::new())
+}
+
+/// Marker derive for `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Serialize")
+}
+
+/// Marker derive for `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Deserialize")
+}
