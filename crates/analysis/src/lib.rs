@@ -7,7 +7,11 @@
 //!   CFGs built by `ivy-cmir`.
 //! * [`pointsto`] — whole-program points-to analysis in three precision
 //!   levels (Steensgaard, Andersen, Andersen + field-based field
-//!   sensitivity), used to resolve function-pointer calls.
+//!   sensitivity), used to resolve function-pointer calls. Solved by an
+//!   interned worklist engine with difference propagation; per-function
+//!   constraint batches can be cached across programs
+//!   ([`pointsto::ConstraintCache`]) for incremental re-solves, and a
+//!   naive reference solver is retained for differential testing.
 //! * [`callgraph`] — call-graph construction (direct + indirect edges),
 //!   backwards property propagation, reachability, and weighted depth
 //!   queries for the stack-bound extension.
@@ -47,5 +51,7 @@ pub mod summary;
 pub use callgraph::{CallGraph, CallSite, EdgeKind};
 pub use dataflow::{solve, Direction, Solution, Transfer};
 pub use lattice::{BoolLattice, Lattice, MapLattice, SetLattice};
-pub use pointsto::{analyze, Loc, PointsToResult, Sensitivity};
+pub use pointsto::{
+    analyze, analyze_incremental, analyze_naive, ConstraintCache, Loc, PointsToResult, Sensitivity,
+};
 pub use summary::{Condensation, FunctionSummary, ProgramSummaries};

@@ -1,0 +1,520 @@
+//! Constraint generation: KC AST → inclusion constraints, batched per
+//! function.
+//!
+//! Generation is the only phase that looks at syntax. It produces
+//! [`LocBatch`]es — plain [`Loc`]-level constraints plus indirect call
+//! sites — one batch for all global initializers and one per defined
+//! function. A batch depends *only* on the function's own definition and on
+//! the whole-program type environment (callee signatures and attributes,
+//! global and composite declarations): never on other function bodies.
+//! That makes `mix(content_hash, env_hash)` a sound cache key for a batch,
+//! which is what [`ConstraintCache`](super::ConstraintCache) exploits to
+//! skip regeneration for clean functions after an edit.
+//!
+//! Per-batch determinism: temporary and allocation-site counters reset per
+//! function (the seed generator numbered allocation sites program-wide,
+//! which made a function's constraints depend on its position in the
+//! file — unusable as a cache unit).
+
+use super::intern::LocInterner;
+use super::{Loc, Sensitivity};
+use ivy_cmir::ast::{Expr, Function, Program, Stmt};
+use ivy_cmir::typecheck::TypeCtx;
+use ivy_cmir::types::Type;
+use ivy_cmir::visit;
+
+/// An inclusion constraint over abstract locations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Constraint {
+    /// `dst ⊇ {loc}` — `dst` may point to `loc`.
+    AddrOf { dst: Loc, loc: Loc },
+    /// `dst ⊇ src`.
+    Copy { dst: Loc, src: Loc },
+    /// `dst ⊇ *src` — for every `t ∈ pts(src)`, `dst ⊇ t`.
+    Load { dst: Loc, src: Loc },
+    /// `*dst ⊇ src` — for every `t ∈ pts(dst)`, `t ⊇ src`.
+    Store { dst: Loc, src: Loc },
+}
+
+/// A call through a function pointer, waiting for its callee set.
+#[derive(Debug, Clone)]
+pub(crate) struct IndirectSite {
+    /// Enclosing function.
+    pub func: String,
+    /// The callee expression as written (`ops->read`).
+    pub callee_text: String,
+    /// Location holding the function pointer value.
+    pub callee_loc: Loc,
+    /// Locations of the evaluated arguments, in order.
+    pub arg_locs: Vec<Loc>,
+    /// Location receiving the call's result.
+    pub result_loc: Loc,
+}
+
+/// The constraints of one generation unit (the global-initializer batch or
+/// one function), in `Loc` form.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct LocBatch {
+    pub constraints: Vec<Constraint>,
+    pub indirect_sites: Vec<IndirectSite>,
+}
+
+/// [`Constraint`] with both operands interned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum IConstraint {
+    AddrOf { dst: u32, loc: u32 },
+    Copy { dst: u32, src: u32 },
+    Load { dst: u32, src: u32 },
+    Store { dst: u32, src: u32 },
+}
+
+/// [`IndirectSite`] with its locations interned. The strings survive
+/// interning because they key the public `indirect_targets` map.
+#[derive(Debug, Clone)]
+pub(crate) struct ISite {
+    pub func: String,
+    pub callee_text: String,
+    pub callee: u32,
+    pub args: Vec<u32>,
+    pub result: u32,
+}
+
+/// One generation unit in interned form — the unit the solver consumes and
+/// the [`ConstraintCache`](super::ConstraintCache) stores.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct InternedBatch {
+    pub constraints: Vec<IConstraint>,
+    pub sites: Vec<ISite>,
+}
+
+/// Interns a batch against an interner (ids remain valid as long as the
+/// interner lives).
+pub(crate) fn intern_batch(batch: &LocBatch, interner: &mut LocInterner) -> InternedBatch {
+    let constraints = batch
+        .constraints
+        .iter()
+        .map(|c| match c {
+            Constraint::AddrOf { dst, loc } => IConstraint::AddrOf {
+                dst: interner.intern(dst),
+                loc: interner.intern(loc),
+            },
+            Constraint::Copy { dst, src } => IConstraint::Copy {
+                dst: interner.intern(dst),
+                src: interner.intern(src),
+            },
+            Constraint::Load { dst, src } => IConstraint::Load {
+                dst: interner.intern(dst),
+                src: interner.intern(src),
+            },
+            Constraint::Store { dst, src } => IConstraint::Store {
+                dst: interner.intern(dst),
+                src: interner.intern(src),
+            },
+        })
+        .collect();
+    let sites = batch
+        .indirect_sites
+        .iter()
+        .map(|s| ISite {
+            func: s.func.clone(),
+            callee_text: s.callee_text.clone(),
+            callee: interner.intern(&s.callee_loc),
+            args: s.arg_locs.iter().map(|a| interner.intern(a)).collect(),
+            result: interner.intern(&s.result_loc),
+        })
+        .collect();
+    InternedBatch { constraints, sites }
+}
+
+/// Generates the batch for all global initializers.
+pub(crate) fn gen_globals(program: &Program, sensitivity: Sensitivity) -> LocBatch {
+    let mut gen = ConstraintGen::new(program, sensitivity);
+    for g in &program.globals {
+        if let Some(init) = &g.init {
+            gen.current_func = format!("__global_init_{}", g.decl.name);
+            gen.temp_counter = 0;
+            gen.alloc_counter = 0;
+            let mut ctx = TypeCtx::new(program);
+            let src = gen.gen_value(init, &mut ctx);
+            gen.push(Constraint::Copy {
+                dst: Loc::Global(g.decl.name.clone()),
+                src,
+            });
+        }
+    }
+    gen.into_batch()
+}
+
+/// Generates the batch of one defined function.
+pub(crate) fn gen_function_batch(
+    program: &Program,
+    sensitivity: Sensitivity,
+    func: &Function,
+) -> LocBatch {
+    let mut gen = ConstraintGen::new(program, sensitivity);
+    gen.gen_function(func);
+    gen.into_batch()
+}
+
+/// Generates every batch of a program: globals first, then defined
+/// functions in program order (the order the seed generator used).
+pub(crate) fn gen_program(program: &Program, sensitivity: Sensitivity) -> Vec<LocBatch> {
+    let mut out = vec![gen_globals(program, sensitivity)];
+    for f in program.functions.iter().filter(|f| f.body.is_some()) {
+        out.push(gen_function_batch(program, sensitivity, f));
+    }
+    out
+}
+
+struct ConstraintGen<'p> {
+    program: &'p Program,
+    sensitivity: Sensitivity,
+    constraints: Vec<Constraint>,
+    indirect_sites: Vec<IndirectSite>,
+    temp_counter: u32,
+    alloc_counter: u32,
+    current_func: String,
+}
+
+impl<'p> ConstraintGen<'p> {
+    fn new(program: &'p Program, sensitivity: Sensitivity) -> ConstraintGen<'p> {
+        ConstraintGen {
+            program,
+            sensitivity,
+            constraints: Vec::new(),
+            indirect_sites: Vec::new(),
+            temp_counter: 0,
+            alloc_counter: 0,
+            current_func: String::new(),
+        }
+    }
+
+    fn into_batch(self) -> LocBatch {
+        LocBatch {
+            constraints: self.constraints,
+            indirect_sites: self.indirect_sites,
+        }
+    }
+
+    fn fresh(&mut self) -> Loc {
+        self.temp_counter += 1;
+        Loc::Temp {
+            func: self.current_func.clone(),
+            id: self.temp_counter,
+        }
+    }
+
+    fn push(&mut self, c: Constraint) {
+        if self.sensitivity == Sensitivity::Steensgaard {
+            if let Constraint::Copy { dst, src } = &c {
+                self.constraints.push(Constraint::Copy {
+                    dst: src.clone(),
+                    src: dst.clone(),
+                });
+            }
+        }
+        self.constraints.push(c);
+    }
+
+    fn var_loc(&self, ctx: &TypeCtx<'_>, name: &str) -> Option<Loc> {
+        if ctx.lookup(name).is_some() {
+            if self.program.global(name).is_some() {
+                return Some(Loc::Global(name.to_string()));
+            }
+            if self.program.function(name).is_some()
+                && !matches!(ctx.lookup(name), Some(t) if !matches!(t, Type::Func(_)))
+            {
+                // A bare function name: handled by the caller (AddrOf(Func)).
+                return None;
+            }
+            return Some(Loc::Local {
+                func: self.current_func.clone(),
+                var: name.to_string(),
+            });
+        }
+        if self.program.global(name).is_some() {
+            return Some(Loc::Global(name.to_string()));
+        }
+        None
+    }
+
+    fn field_loc(&self, composite: Option<String>, field: &str) -> Loc {
+        match (self.sensitivity, composite) {
+            (Sensitivity::AndersenField, Some(c)) => Loc::Field {
+                composite: c,
+                field: field.to_string(),
+            },
+            (_, Some(c)) => Loc::Composite(c),
+            (_, None) => Loc::Composite("<unknown>".to_string()),
+        }
+    }
+
+    fn gen_function(&mut self, func: &Function) {
+        self.current_func = func.name.clone();
+        self.temp_counter = 0;
+        self.alloc_counter = 0;
+        let mut ctx = TypeCtx::for_function(self.program, func);
+        let body = func
+            .body
+            .clone()
+            .expect("only called for defined functions");
+        self.gen_block(&body, func, &mut ctx);
+    }
+
+    fn gen_block(&mut self, block: &ivy_cmir::Block, func: &Function, ctx: &mut TypeCtx<'_>) {
+        for stmt in &block.stmts {
+            self.gen_stmt(stmt, func, ctx);
+        }
+    }
+
+    fn gen_stmt(&mut self, stmt: &Stmt, func: &Function, ctx: &mut TypeCtx<'_>) {
+        match stmt {
+            Stmt::Local(d, init) => {
+                if let Some(init) = init {
+                    let src = self.gen_value(init, ctx);
+                    self.push(Constraint::Copy {
+                        dst: Loc::Local {
+                            func: self.current_func.clone(),
+                            var: d.name.clone(),
+                        },
+                        src,
+                    });
+                }
+                ctx.bind(&d.name, d.ty.clone());
+            }
+            Stmt::Assign(lhs, rhs, _) => {
+                let src = self.gen_value(rhs, ctx);
+                self.gen_store(lhs, src, ctx);
+            }
+            Stmt::Expr(e, _) => {
+                let _ = self.gen_value(e, ctx);
+            }
+            Stmt::Return(Some(e), _) => {
+                let src = self.gen_value(e, ctx);
+                self.push(Constraint::Copy {
+                    dst: Loc::Ret(self.current_func.clone()),
+                    src,
+                });
+            }
+            Stmt::Return(None, _) | Stmt::Break(_) | Stmt::Continue(_) => {}
+            Stmt::If(c, then_b, else_b, _) => {
+                let _ = self.gen_value(c, ctx);
+                self.gen_block(then_b, func, ctx);
+                if let Some(b) = else_b {
+                    self.gen_block(b, func, ctx);
+                }
+            }
+            Stmt::While(c, body, _) => {
+                let _ = self.gen_value(c, ctx);
+                self.gen_block(body, func, ctx);
+            }
+            Stmt::Block(b) | Stmt::DelayedFreeScope(b, _) => self.gen_block(b, func, ctx),
+            Stmt::Check(c, _) => {
+                visit::walk_check_exprs(c, &mut |_| {});
+            }
+        }
+    }
+
+    fn gen_store(&mut self, lhs: &Expr, src: Loc, ctx: &mut TypeCtx<'_>) {
+        match lhs {
+            Expr::Var(name) => {
+                if let Some(dst) = self.var_loc(ctx, name) {
+                    self.push(Constraint::Copy { dst, src });
+                }
+            }
+            Expr::Deref(inner) | Expr::Index(inner, _) => {
+                let dst = self.gen_value(inner, ctx);
+                self.push(Constraint::Store { dst, src });
+            }
+            Expr::Arrow(obj, field) => {
+                let comp = ctx.composite_name_of(obj);
+                let _ = self.gen_value(obj, ctx);
+                let dst = self.field_loc(comp, field);
+                self.push(Constraint::Copy { dst, src });
+            }
+            Expr::Field(obj, field) => {
+                let comp = ctx.composite_name_of(obj);
+                let _ = self.gen_value(obj, ctx);
+                let dst = self.field_loc(comp, field);
+                self.push(Constraint::Copy { dst, src });
+            }
+            Expr::Cast(_, inner) => self.gen_store(inner, src, ctx),
+            _ => {
+                // Not an lvalue the analysis models; evaluate for calls.
+                let _ = self.gen_value(lhs, ctx);
+            }
+        }
+    }
+
+    fn gen_value(&mut self, e: &Expr, ctx: &mut TypeCtx<'_>) -> Loc {
+        match e {
+            Expr::Int(_) | Expr::Str(_) | Expr::Null | Expr::SizeOf(_) => self.fresh(),
+            Expr::Var(name) => {
+                if self.program.function(name).is_some() && ctx_local_shadows(ctx, name).is_none() {
+                    let t = self.fresh();
+                    self.push(Constraint::AddrOf {
+                        dst: t.clone(),
+                        loc: Loc::Func(name.clone()),
+                    });
+                    t
+                } else if let Some(l) = self.var_loc(ctx, name) {
+                    // Arrays decay to a pointer to their own storage when used
+                    // as a value.
+                    let is_array = ctx
+                        .lookup(name)
+                        .map(|t| matches!(self.program.resolve_type(&t), Type::Array(..)))
+                        .unwrap_or(false);
+                    if is_array {
+                        let t = self.fresh();
+                        self.push(Constraint::AddrOf {
+                            dst: t.clone(),
+                            loc: l,
+                        });
+                        t
+                    } else {
+                        l
+                    }
+                } else {
+                    self.fresh()
+                }
+            }
+            Expr::Unary(_, inner) => self.gen_value(inner, ctx),
+            Expr::Binary(_, a, b) => {
+                let la = self.gen_value(a, ctx);
+                let lb = self.gen_value(b, ctx);
+                let t = self.fresh();
+                self.push(Constraint::Copy {
+                    dst: t.clone(),
+                    src: la,
+                });
+                self.push(Constraint::Copy {
+                    dst: t.clone(),
+                    src: lb,
+                });
+                t
+            }
+            Expr::Cast(_, inner) => self.gen_value(inner, ctx),
+            Expr::Deref(inner) | Expr::Index(inner, _) => {
+                let src = self.gen_value(inner, ctx);
+                let t = self.fresh();
+                self.push(Constraint::Load {
+                    dst: t.clone(),
+                    src,
+                });
+                t
+            }
+            Expr::Arrow(obj, field) => {
+                let comp = ctx.composite_name_of(obj);
+                let _ = self.gen_value(obj, ctx);
+                let t = self.fresh();
+                let f = self.field_loc(comp, field);
+                self.push(Constraint::Copy {
+                    dst: t.clone(),
+                    src: f,
+                });
+                t
+            }
+            Expr::Field(obj, field) => {
+                let comp = ctx.composite_name_of(obj);
+                let _ = self.gen_value(obj, ctx);
+                let t = self.fresh();
+                let f = self.field_loc(comp, field);
+                self.push(Constraint::Copy {
+                    dst: t.clone(),
+                    src: f,
+                });
+                t
+            }
+            Expr::AddrOf(inner) => match &**inner {
+                Expr::Var(name) => {
+                    let t = self.fresh();
+                    let loc = if self.program.function(name).is_some()
+                        && ctx_local_shadows(ctx, name).is_none()
+                    {
+                        Loc::Func(name.clone())
+                    } else if let Some(l) = self.var_loc(ctx, name) {
+                        l
+                    } else {
+                        return t;
+                    };
+                    self.push(Constraint::AddrOf {
+                        dst: t.clone(),
+                        loc,
+                    });
+                    t
+                }
+                Expr::Arrow(obj, field) | Expr::Field(obj, field) => {
+                    let comp = ctx.composite_name_of(obj);
+                    let _ = self.gen_value(obj, ctx);
+                    let t = self.fresh();
+                    let loc = self.field_loc(comp, field);
+                    self.push(Constraint::AddrOf {
+                        dst: t.clone(),
+                        loc,
+                    });
+                    t
+                }
+                Expr::Index(base, _) => self.gen_value(base, ctx),
+                Expr::Deref(p) => self.gen_value(p, ctx),
+                other => self.gen_value(other, ctx),
+            },
+            Expr::Call(callee, args) => {
+                let arg_locs: Vec<Loc> = args.iter().map(|a| self.gen_value(a, ctx)).collect();
+                let result = self.fresh();
+                match &**callee {
+                    Expr::Var(name)
+                        if self.program.function(name).is_some()
+                            && ctx_local_shadows(ctx, name).is_none() =>
+                    {
+                        let f = self.program.function(name).expect("checked above").clone();
+                        if f.attrs.allocator {
+                            self.alloc_counter += 1;
+                            let site = format!("{}#{}", self.current_func, self.alloc_counter);
+                            self.push(Constraint::AddrOf {
+                                dst: result.clone(),
+                                loc: Loc::Alloc { site },
+                            });
+                        }
+                        for (idx, param) in f.params.iter().enumerate() {
+                            if let Some(arg_loc) = arg_locs.get(idx) {
+                                self.push(Constraint::Copy {
+                                    dst: Loc::Local {
+                                        func: name.clone(),
+                                        var: param.name.clone(),
+                                    },
+                                    src: arg_loc.clone(),
+                                });
+                            }
+                        }
+                        if !f.attrs.allocator {
+                            self.push(Constraint::Copy {
+                                dst: result.clone(),
+                                src: Loc::Ret(name.clone()),
+                            });
+                        }
+                    }
+                    other => {
+                        let callee_loc = self.gen_value(other, ctx);
+                        self.indirect_sites.push(IndirectSite {
+                            func: self.current_func.clone(),
+                            callee_text: ivy_cmir::pretty::expr_str(other),
+                            callee_loc,
+                            arg_locs,
+                            result_loc: result.clone(),
+                        });
+                    }
+                }
+                result
+            }
+        }
+    }
+}
+
+fn ctx_local_shadows(ctx: &TypeCtx<'_>, name: &str) -> Option<Type> {
+    // A local variable with the same name as a function shadows it; in that
+    // case the variable is not a function constant.
+    match ctx.lookup(name) {
+        Some(Type::Func(_)) | None => None,
+        Some(t) => Some(t),
+    }
+}

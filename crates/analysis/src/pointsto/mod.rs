@@ -1,0 +1,716 @@
+//! Whole-program points-to analysis.
+//!
+//! BlockStop needs to know "which functions can this function pointer refer
+//! to" (§2.3 of the paper); Deputy and CCount reuse the same results for
+//! alias queries. Three precision levels are provided, matching the paper's
+//! observation that replacing the "simple points-to analysis with one that is
+//! field- and context-sensitive would improve the results":
+//!
+//! * [`Sensitivity::Steensgaard`] — equality-based (assignments unify both
+//!   sides), the coarsest and fastest.
+//! * [`Sensitivity::Andersen`] — subset-based, struct fields collapsed per
+//!   composite type.
+//! * [`Sensitivity::AndersenField`] — subset-based with field-based
+//!   field-sensitivity (one abstract location per `(composite, field)` pair).
+//!
+//! The analysis is flow-insensitive and context-insensitive, as in the paper.
+//!
+//! # The substrate
+//!
+//! The analysis is split into three layers (one module each):
+//!
+//! * [`constraints`](self) — syntax-directed constraint generation, batched
+//!   per function; a batch depends only on the function's own definition
+//!   plus the whole-program type environment.
+//! * `intern` — [`Loc`] ↔ dense `u32` interning, so the solver runs on
+//!   integer indices and `Vec` adjacency instead of string-keyed maps.
+//! * `solve` — the worklist solver with **difference propagation** (only
+//!   newly-added locations flow along edges) and online indirect-call
+//!   resolution (discovering a function-pointer target adds its binding
+//!   edges inside the worklist). The fixpoint terminates by construction;
+//!   there is no iteration cap anywhere.
+//!
+//! Three entry points share those layers:
+//!
+//! * [`analyze`] — one-shot worklist solve (the default).
+//! * [`analyze_incremental`] — worklist solve against a [`ConstraintCache`]:
+//!   per-function constraint batches are keyed by
+//!   `mix(content_hash, env_hash)` and reused across programs, so
+//!   re-analyzing an edited program regenerates constraints only for the
+//!   dirty functions and re-solves from the cached interned graph.
+//! * [`analyze_naive`] — the retained naive reference solver, kept for
+//!   differential testing (Klinger et al.-style) and the ablation bench.
+//!
+//! All three produce identical `pts` / `indirect_targets`; the differential
+//! property test in `crates/analysis/tests/differential_pointsto.rs` pins
+//! that down on generated programs across every sensitivity.
+
+mod constraints;
+mod intern;
+mod naive;
+mod solve;
+
+use crate::summary::{env_hash, fnv1a, mix};
+use constraints::{gen_function_batch, gen_globals, gen_program, intern_batch, InternedBatch};
+use intern::SharedInterner;
+use ivy_cmir::ast::Program;
+use ivy_cmir::content::function_content_hash;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Precision level of the points-to analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Sensitivity {
+    /// Equality-based unification (Steensgaard-style).
+    #[default]
+    Steensgaard,
+    /// Subset-based, field-insensitive (all fields of a composite collapse).
+    Andersen,
+    /// Subset-based, field-based field-sensitivity.
+    AndersenField,
+}
+
+impl Sensitivity {
+    /// Human-readable name used in reports and the ablation benchmark.
+    pub fn name(self) -> &'static str {
+        match self {
+            Sensitivity::Steensgaard => "steensgaard",
+            Sensitivity::Andersen => "andersen",
+            Sensitivity::AndersenField => "andersen+field",
+        }
+    }
+}
+
+/// An abstract memory location.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Loc {
+    /// A global variable.
+    Global(String),
+    /// A local variable or parameter of a function.
+    Local {
+        /// Enclosing function.
+        func: String,
+        /// Variable name.
+        var: String,
+    },
+    /// A field of a composite type (field-sensitive mode).
+    Field {
+        /// Composite type name.
+        composite: String,
+        /// Field name.
+        field: String,
+    },
+    /// A whole composite type (field-insensitive mode).
+    Composite(String),
+    /// A heap allocation site.
+    Alloc {
+        /// `function#index` of the allocating call (index counted within
+        /// the function, so a function's constraints are position
+        /// independent).
+        site: String,
+    },
+    /// The address of a function (the targets of function pointers).
+    Func(String),
+    /// The return value of a function.
+    Ret(String),
+    /// An analysis-internal temporary.
+    Temp {
+        /// Enclosing function.
+        func: String,
+        /// Sequential id.
+        id: u32,
+    },
+}
+
+/// The interned solution a worklist solve produces: final sets per location
+/// id plus the interner that gives the ids meaning. The `Loc`-keyed view is
+/// materialized lazily (see [`PointsToResult::pts`]); incremental re-solves
+/// that never get asked for the full map never pay for building it.
+#[derive(Debug, Clone)]
+struct Solution {
+    interner: Arc<SharedInterner>,
+    /// Non-empty points-to sets, `(location id, sorted pointee ids)`.
+    sets: Arc<Vec<(u32, Vec<u32>)>>,
+}
+
+impl Solution {
+    fn materialize(&self) -> BTreeMap<Loc, BTreeSet<Loc>> {
+        let interner = self.interner.lock();
+        self.sets
+            .iter()
+            .map(|(id, set)| {
+                (
+                    interner.resolve(*id).clone(),
+                    set.iter().map(|&p| interner.resolve(p).clone()).collect(),
+                )
+            })
+            .collect()
+    }
+}
+
+/// Result of the points-to analysis.
+#[derive(Debug, Clone, Default)]
+pub struct PointsToResult {
+    /// Interned solution (absent for results of the naive reference, which
+    /// computes the `Loc`-keyed map directly).
+    solution: Option<Solution>,
+    /// Lazily materialized `Loc`-keyed view of the solution.
+    pts_cache: OnceLock<BTreeMap<Loc, BTreeSet<Loc>>>,
+    /// For every indirect call, keyed by `(function, callee expression
+    /// text)`, the set of function names the callee may refer to.
+    pub indirect_targets: HashMap<(String, String), BTreeSet<String>>,
+    /// Precision level that produced this result.
+    pub sensitivity: Sensitivity,
+    /// Constraints generated from syntax, before indirect-call resolution
+    /// appended bindings (the number the seed's ablation bench
+    /// under-reported as its total).
+    pub initial_constraints: usize,
+    /// Total constraints solved, *including* the argument/return bindings
+    /// added while resolving indirect calls.
+    pub constraint_count: usize,
+    /// Solver steps to fixpoint: full rescan rounds for the naive
+    /// reference, worklist pops for the difference-propagating solver.
+    pub iterations: usize,
+    /// Per-function constraint batches served from a [`ConstraintCache`]
+    /// (0 for non-incremental runs).
+    pub batches_reused: usize,
+    /// Per-function constraint batches generated fresh in this run.
+    pub batches_generated: usize,
+}
+
+impl PointsToResult {
+    fn from_solution(
+        interner: Arc<SharedInterner>,
+        out: solve::SolveOutput,
+        sensitivity: Sensitivity,
+        batches_reused: usize,
+        batches_generated: usize,
+    ) -> PointsToResult {
+        let sets: Vec<(u32, Vec<u32>)> = out
+            .sets
+            .into_iter()
+            .enumerate()
+            .filter(|(_, s)| !s.is_empty())
+            .map(|(id, s)| (id as u32, s))
+            .collect();
+        PointsToResult {
+            solution: Some(Solution {
+                interner,
+                sets: Arc::new(sets),
+            }),
+            pts_cache: OnceLock::new(),
+            indirect_targets: out.indirect_targets,
+            sensitivity,
+            initial_constraints: out.initial_constraints,
+            constraint_count: out.total_constraints,
+            iterations: out.pops,
+            batches_reused,
+            batches_generated,
+        }
+    }
+
+    pub(crate) fn from_naive(
+        pts: BTreeMap<Loc, BTreeSet<Loc>>,
+        indirect_targets: HashMap<(String, String), BTreeSet<String>>,
+        sensitivity: Sensitivity,
+        initial_constraints: usize,
+        constraint_count: usize,
+        iterations: usize,
+    ) -> PointsToResult {
+        PointsToResult {
+            solution: None,
+            pts_cache: OnceLock::from(pts),
+            indirect_targets,
+            sensitivity,
+            initial_constraints,
+            constraint_count,
+            iterations,
+            batches_reused: 0,
+            batches_generated: 0,
+        }
+    }
+
+    /// Points-to sets for every abstract location with a non-empty set,
+    /// materialized from the interned solution on first use and cached.
+    pub fn pts(&self) -> &BTreeMap<Loc, BTreeSet<Loc>> {
+        self.pts_cache.get_or_init(|| {
+            self.solution
+                .as_ref()
+                .map(Solution::materialize)
+                .unwrap_or_default()
+        })
+    }
+
+    /// The points-to set of a location (empty if unknown).
+    pub fn points_to(&self, loc: &Loc) -> BTreeSet<Loc> {
+        self.pts().get(loc).cloned().unwrap_or_default()
+    }
+
+    /// The functions a given location may point to.
+    pub fn functions_pointed_by(&self, loc: &Loc) -> BTreeSet<String> {
+        self.points_to(loc)
+            .into_iter()
+            .filter_map(|l| match l {
+                Loc::Func(f) => Some(f),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Borrowed view of the possible targets of an indirect call (`None`
+    /// when the site is unknown). This is the query path for call-graph
+    /// construction and checkers — no set clone per call site.
+    pub fn indirect_targets_for(&self, func: &str, callee_text: &str) -> Option<&BTreeSet<String>> {
+        self.indirect_targets
+            .get(&(func.to_string(), callee_text.to_string()))
+    }
+
+    /// The possible targets of an indirect call, identified by the enclosing
+    /// function and the callee expression's printed form.
+    pub fn indirect_call_targets(&self, func: &str, callee_text: &str) -> BTreeSet<String> {
+        self.indirect_targets_for(func, callee_text)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Average size of the points-to sets of indirect-call callees (a
+    /// precision metric used by the E6 ablation).
+    pub fn mean_indirect_fanout(&self) -> f64 {
+        if self.indirect_targets.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.indirect_targets.values().map(|s| s.len()).sum();
+        total as f64 / self.indirect_targets.len() as f64
+    }
+}
+
+/// Runs the points-to analysis over a whole program with the worklist
+/// solver (one-shot: constraints are generated, interned into a fresh
+/// interner, and solved).
+pub fn analyze(program: &Program, sensitivity: Sensitivity) -> PointsToResult {
+    let interner = Arc::new(SharedInterner::default());
+    let (batches, bind) = {
+        let mut guard = interner.lock();
+        let batches: Vec<Arc<InternedBatch>> = gen_program(program, sensitivity)
+            .iter()
+            .map(|b| Arc::new(intern_batch(b, &mut guard)))
+            .collect();
+        let bind = solve::BindTable::build(program, &batches, &mut guard);
+        (batches, bind)
+    };
+    let out = solve::solve_worklist(sensitivity, &batches, &bind);
+    let generated = batches.len();
+    PointsToResult::from_solution(interner, out, sensitivity, 0, generated)
+}
+
+/// Runs the retained naive reference solver (rescan-all rounds over
+/// `Loc`-keyed `BTreeMap`s). Slow by design; used by the differential
+/// property tests and the solver-scaling bench.
+pub fn analyze_naive(program: &Program, sensitivity: Sensitivity) -> PointsToResult {
+    let mut constraints = Vec::new();
+    let mut indirect_sites = Vec::new();
+    for batch in gen_program(program, sensitivity) {
+        constraints.extend(batch.constraints);
+        indirect_sites.extend(batch.indirect_sites);
+    }
+    naive::solve_naive(program, sensitivity, constraints, indirect_sites)
+}
+
+/// Upper bound on cached constraint batches before the cache is cleared
+/// wholesale (the interner is kept — ids stay valid).
+const BATCH_CACHE_CAP: usize = 16384;
+
+/// A cross-program cache of interned per-function constraint batches.
+///
+/// Batches are keyed by `mix(mix(content_hash, env_hash), sensitivity)`:
+/// a function's constraints depend only on its own pretty-printed
+/// definition and the whole-program type environment (callee signatures and
+/// attributes, globals, composites, typedefs), so two programs that share a
+/// function body and environment share its batch. After an edit,
+/// [`analyze_incremental`] regenerates batches only for dirty functions and
+/// re-solves from the cached interned graph — no `Loc` is constructed,
+/// hashed, or interned for a clean function.
+///
+/// The interner is shared with every [`PointsToResult`] produced through
+/// the cache, which is what makes their lazy `pts()` materialization work.
+#[derive(Debug, Default)]
+pub struct ConstraintCache {
+    interner: Arc<SharedInterner>,
+    batches: Mutex<HashMap<u64, Arc<InternedBatch>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ConstraintCache {
+    /// An empty cache.
+    pub fn new() -> ConstraintCache {
+        ConstraintCache::default()
+    }
+
+    /// Number of cached batches.
+    pub fn len(&self) -> usize {
+        self.batches.lock().expect("batch map poisoned").len()
+    }
+
+    /// Whether the cache holds no batches.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Batches served from cache across all runs.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Batches generated fresh across all runs.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+/// Runs the worklist analysis against a [`ConstraintCache`], reusing the
+/// constraint batches of every function whose definition and type
+/// environment are unchanged. Produces exactly the same result as
+/// [`analyze`].
+pub fn analyze_incremental(
+    program: &Program,
+    sensitivity: Sensitivity,
+    cache: &ConstraintCache,
+) -> PointsToResult {
+    let env = env_hash(program);
+    let sens_tag = fnv1a(sensitivity.name().as_bytes());
+    // The interner lock covers only batch fetch/generation/interning and
+    // the bind-table pre-resolution; the solve itself runs lock-free, so
+    // solves sharing one cache (e.g. corpus variants) stay parallel.
+    let mut interner = cache.interner.lock();
+    let mut plan: Vec<Arc<InternedBatch>> = Vec::with_capacity(program.functions.len() + 1);
+    let mut reused = 0usize;
+    let mut generated = 0usize;
+    {
+        let mut map = cache.batches.lock().expect("batch map poisoned");
+        let globals_key = mix(mix(fnv1a(b"pointsto/globals"), env), sens_tag);
+        let mut fetch = |key: u64,
+                         make: &dyn Fn() -> constraints::LocBatch,
+                         interner: &mut intern::LocInterner| {
+            if let Some(batch) = map.get(&key) {
+                reused += 1;
+                return Arc::clone(batch);
+            }
+            generated += 1;
+            let batch = Arc::new(intern_batch(&make(), interner));
+            if map.len() >= BATCH_CACHE_CAP {
+                map.clear();
+            }
+            map.insert(key, Arc::clone(&batch));
+            batch
+        };
+        plan.push(fetch(
+            globals_key,
+            &|| gen_globals(program, sensitivity),
+            &mut interner,
+        ));
+        for f in program.functions.iter().filter(|f| f.body.is_some()) {
+            let content = function_content_hash(f);
+            let key = mix(mix(content, env), sens_tag);
+            plan.push(fetch(
+                key,
+                &|| gen_function_batch(program, sensitivity, f),
+                &mut interner,
+            ));
+        }
+    }
+    cache.hits.fetch_add(reused as u64, Ordering::Relaxed);
+    cache.misses.fetch_add(generated as u64, Ordering::Relaxed);
+    let bind = solve::BindTable::build(program, &plan, &mut interner);
+    drop(interner);
+    let out = solve::solve_worklist(sensitivity, &plan, &bind);
+    PointsToResult::from_solution(
+        Arc::clone(&cache.interner),
+        out,
+        sensitivity,
+        reused,
+        generated,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivy_cmir::parser::parse_program;
+
+    const OPS_TABLE: &str = r#"
+        struct file_ops {
+            read: fnptr(u32) -> i32;
+            write: fnptr(u32) -> i32;
+        }
+        global ext2_ops: struct file_ops;
+        global pipe_ops: struct file_ops;
+
+        fn ext2_read(n: u32) -> i32 { return 1; }
+        fn ext2_write(n: u32) -> i32 { return 2; }
+        fn pipe_read(n: u32) -> i32 { return 3; }
+
+        fn register_ops() {
+            ext2_ops.read = ext2_read;
+            ext2_ops.write = ext2_write;
+            pipe_ops.read = pipe_read;
+        }
+
+        fn vfs_read(ops: struct file_ops *, n: u32) -> i32 {
+            return ops->read(n);
+        }
+
+        fn do_read(n: u32) -> i32 {
+            return vfs_read(&ext2_ops, n);
+        }
+    "#;
+
+    #[test]
+    fn resolves_function_pointers_through_struct_fields() {
+        let p = parse_program(OPS_TABLE).unwrap();
+        let r = analyze(&p, Sensitivity::AndersenField);
+        let targets = r.indirect_call_targets("vfs_read", "ops->read");
+        assert!(targets.contains("ext2_read"), "targets: {targets:?}");
+        assert!(
+            targets.contains("pipe_read"),
+            "field-based merging expected"
+        );
+        // Field sensitivity separates read from write.
+        assert!(!targets.contains("ext2_write"), "targets: {targets:?}");
+    }
+
+    #[test]
+    fn field_insensitive_merges_fields() {
+        let p = parse_program(OPS_TABLE).unwrap();
+        let r = analyze(&p, Sensitivity::Andersen);
+        let targets = r.indirect_call_targets("vfs_read", "ops->read");
+        // Without field sensitivity read and write collapse.
+        assert!(targets.contains("ext2_write"), "targets: {targets:?}");
+    }
+
+    #[test]
+    fn steensgaard_is_no_more_precise_than_andersen() {
+        let p = parse_program(OPS_TABLE).unwrap();
+        let st = analyze(&p, Sensitivity::Steensgaard);
+        let an = analyze(&p, Sensitivity::Andersen);
+        let t_st = st.indirect_call_targets("vfs_read", "ops->read");
+        let t_an = an.indirect_call_targets("vfs_read", "ops->read");
+        assert!(t_an.is_subset(&t_st) || t_an == t_st);
+    }
+
+    #[test]
+    fn direct_call_binds_parameters() {
+        let src = r#"
+            fn callee(p: u8 *) -> u8 * { return p; }
+            global buffer: u8[64];
+            fn caller() -> u8 * {
+                let q: u8 * = callee(&buffer[0]);
+                return q;
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        let r = analyze(&p, Sensitivity::Andersen);
+        let q = Loc::Local {
+            func: "caller".into(),
+            var: "q".into(),
+        };
+        let pts = r.points_to(&q);
+        assert!(
+            pts.iter()
+                .any(|l| matches!(l, Loc::Global(g) if g == "buffer")),
+            "q should point to buffer, got {pts:?}"
+        );
+    }
+
+    #[test]
+    fn allocation_sites_are_distinct() {
+        let src = r#"
+            #[allocator]
+            fn kmalloc(size: u32, flags: u32) -> void * { return null; }
+            fn f() {
+                let a: u8 * = kmalloc(16, 0) as u8 *;
+                let b: u8 * = kmalloc(32, 0) as u8 *;
+                a = b;
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        let r = analyze(&p, Sensitivity::Andersen);
+        let a = Loc::Local {
+            func: "f".into(),
+            var: "a".into(),
+        };
+        let b = Loc::Local {
+            func: "f".into(),
+            var: "b".into(),
+        };
+        // `a` sees both sites after `a = b`; `b` sees only its own.
+        assert_eq!(r.points_to(&a).len(), 2, "{:?}", r.points_to(&a));
+        assert_eq!(r.points_to(&b).len(), 1);
+    }
+
+    #[test]
+    fn function_pointer_call_binds_arguments() {
+        let src = r#"
+            global sink: u8 *;
+            fn store(p: u8 *) { sink = p; }
+            global hook: fnptr(u8 *) -> void;
+            global data: u8[8];
+            fn setup() { hook = store; }
+            fn fire() { hook(&data[0]); }
+        "#;
+        let p = parse_program(src).unwrap();
+        let r = analyze(&p, Sensitivity::Andersen);
+        let sink = Loc::Global("sink".into());
+        let pts = r.points_to(&sink);
+        assert!(
+            pts.iter()
+                .any(|l| matches!(l, Loc::Global(g) if g == "data")),
+            "indirect call must bind args: {pts:?}"
+        );
+        let targets = r.indirect_call_targets("fire", "hook");
+        assert_eq!(
+            targets.into_iter().collect::<Vec<_>>(),
+            vec!["store".to_string()]
+        );
+    }
+
+    #[test]
+    fn reports_constraint_statistics() {
+        let p = parse_program(OPS_TABLE).unwrap();
+        let r = analyze(&p, Sensitivity::AndersenField);
+        assert!(r.initial_constraints > 0);
+        assert!(
+            r.constraint_count > r.initial_constraints,
+            "indirect-call bindings must be counted in the total: {} vs {}",
+            r.constraint_count,
+            r.initial_constraints
+        );
+        assert!(r.iterations >= 1);
+        assert!(r.mean_indirect_fanout() >= 1.0);
+    }
+
+    /// The worklist solver and the naive reference agree byte for byte on
+    /// every unit-test program, for all sensitivities.
+    #[test]
+    fn worklist_matches_naive_on_unit_programs() {
+        let chain_src = r#"
+            global g: u32 = 0;
+            fn f() {
+                let p3: u32 * = null;
+                let p2: u32 * = null;
+                let p1: u32 * = null;
+                p3 = p2;
+                p2 = p1;
+                p1 = &g;
+            }
+        "#;
+        for src in [OPS_TABLE, chain_src] {
+            let p = parse_program(src).unwrap();
+            for s in [
+                Sensitivity::Steensgaard,
+                Sensitivity::Andersen,
+                Sensitivity::AndersenField,
+            ] {
+                let fast = analyze(&p, s);
+                let slow = analyze_naive(&p, s);
+                assert_eq!(fast.pts(), slow.pts(), "{} pts diverge", s.name());
+                assert_eq!(
+                    fast.indirect_targets,
+                    slow.indirect_targets,
+                    "{} indirect targets diverge",
+                    s.name()
+                );
+                assert_eq!(fast.initial_constraints, slow.initial_constraints);
+                assert_eq!(fast.constraint_count, slow.constraint_count);
+            }
+        }
+    }
+
+    /// A reverse-ordered copy chain longer than the seed's deleted
+    /// `iterations > 256` bailout: the naive solver needs one rescan round
+    /// per link, so reaching the far end proves the fixpoint runs to
+    /// completion with no cap.
+    #[test]
+    fn deep_copy_chain_reaches_a_true_fixpoint() {
+        const LINKS: usize = 320;
+        let mut src = String::from("global g: u32 = 0;\nfn f() {\n");
+        for i in (0..=LINKS).rev() {
+            src.push_str(&format!("    let p{i}: u32 * = null;\n"));
+        }
+        // Adversarial order: the last link is assigned first, so each naive
+        // rescan round advances the fact by exactly one link.
+        for i in (1..=LINKS).rev() {
+            src.push_str(&format!("    p{i} = p{};\n", i - 1));
+        }
+        src.push_str("    p0 = &g;\n}\n");
+        let p = parse_program(&src).unwrap();
+
+        let fast = analyze(&p, Sensitivity::Andersen);
+        let slow = analyze_naive(&p, Sensitivity::Andersen);
+        assert!(
+            slow.iterations > 256,
+            "the chain must genuinely need more rounds than the old cap, got {}",
+            slow.iterations
+        );
+        let tail = Loc::Local {
+            func: "f".into(),
+            var: format!("p{LINKS}"),
+        };
+        for r in [&fast, &slow] {
+            assert!(
+                r.points_to(&tail)
+                    .iter()
+                    .any(|l| matches!(l, Loc::Global(g) if g == "g")),
+                "the fact must reach the end of the chain"
+            );
+        }
+        assert_eq!(fast.pts(), slow.pts());
+    }
+
+    #[test]
+    fn incremental_reuses_clean_batches_and_matches_cold() {
+        let p = parse_program(OPS_TABLE).unwrap();
+        let cache = ConstraintCache::new();
+        let cold = analyze_incremental(&p, Sensitivity::AndersenField, &cache);
+        assert_eq!(cold.batches_reused, 0);
+        assert!(cold.batches_generated > 0);
+
+        // Identical program: everything reused.
+        let warm = analyze_incremental(&p, Sensitivity::AndersenField, &cache);
+        assert_eq!(warm.batches_generated, 0);
+        assert_eq!(warm.batches_reused, cold.batches_generated);
+        assert_eq!(warm.pts(), cold.pts());
+        assert_eq!(warm.indirect_targets, cold.indirect_targets);
+
+        // One-function edit: exactly one batch regenerates.
+        let edited_src = OPS_TABLE.replace("return vfs_read(&ext2_ops, n);", "return 0;");
+        let edited = parse_program(&edited_src).unwrap();
+        let incr = analyze_incremental(&edited, Sensitivity::AndersenField, &cache);
+        assert_eq!(
+            incr.batches_generated, 1,
+            "only the edited function is dirty"
+        );
+        let scratch = analyze(&edited, Sensitivity::AndersenField);
+        assert_eq!(incr.pts(), scratch.pts());
+        assert_eq!(incr.indirect_targets, scratch.indirect_targets);
+
+        // Sensitivity is part of the key: a different level shares nothing.
+        let other = analyze_incremental(&p, Sensitivity::Andersen, &cache);
+        assert_eq!(other.batches_reused, 0);
+    }
+
+    #[test]
+    fn signature_edits_invalidate_every_batch() {
+        let p = parse_program(OPS_TABLE).unwrap();
+        let cache = ConstraintCache::new();
+        analyze_incremental(&p, Sensitivity::Andersen, &cache);
+        // Changing a signature changes the env hash, which keys every batch:
+        // constraints consult callee signatures, so all must regenerate.
+        let edited =
+            parse_program(&OPS_TABLE.replace("fn do_read(n: u32)", "fn do_read()")).unwrap();
+        let incr = analyze_incremental(&edited, Sensitivity::Andersen, &cache);
+        assert_eq!(incr.batches_reused, 0, "env change dirties everything");
+    }
+}

@@ -1,0 +1,164 @@
+//! The retained naive reference solver.
+//!
+//! This is the seed's textbook solver, kept verbatim (minus the unsound
+//! `iterations > 256` bailout, which has been deleted everywhere): rescan
+//! every constraint each round, clone whole points-to sets on every
+//! copy/load/store, append indirect-call bindings between rounds, repeat
+//! until nothing changes. It is deliberately slow and deliberately simple —
+//! the differential property tests (Klinger et al.-style) assert the
+//! worklist solver's `pts` and `indirect_targets` are identical to this
+//! implementation on generated programs, which is what lets the fast path
+//! evolve without a soundness leap of faith.
+
+use super::constraints::{Constraint, IndirectSite};
+use super::{PointsToResult, Sensitivity};
+use ivy_cmir::ast::Program;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Runs the reference solver to a true fixpoint (no iteration cap: the
+/// constraint system is finite and monotone, so termination is by
+/// construction).
+pub(crate) fn solve_naive(
+    program: &Program,
+    sensitivity: Sensitivity,
+    mut constraints: Vec<Constraint>,
+    indirect_sites: Vec<IndirectSite>,
+) -> PointsToResult {
+    let initial_constraints = constraints.len();
+    let mut pts: BTreeMap<super::Loc, BTreeSet<super::Loc>> = BTreeMap::new();
+    let mut bound: BTreeSet<(usize, String)> = BTreeSet::new();
+    let mut iterations = 0usize;
+
+    loop {
+        iterations += 1;
+        let mut changed = false;
+
+        for c in &constraints {
+            match c {
+                Constraint::AddrOf { dst, loc } => {
+                    changed |= pts.entry(dst.clone()).or_default().insert(loc.clone());
+                }
+                Constraint::Copy { dst, src } => {
+                    changed |= copy_into(&mut pts, dst, src);
+                }
+                Constraint::Load { dst, src } => {
+                    let targets = pts.get(src).cloned().unwrap_or_default();
+                    for t in targets {
+                        changed |= copy_into(&mut pts, dst, &t);
+                    }
+                }
+                Constraint::Store { dst, src } => {
+                    let targets = pts.get(dst).cloned().unwrap_or_default();
+                    for t in targets {
+                        changed |= copy_into(&mut pts, &t, src);
+                    }
+                }
+            }
+        }
+
+        // Resolve indirect calls discovered so far: bind arguments and return
+        // values for every function the callee may point to.
+        let mut new_constraints = Vec::new();
+        for (i, site) in indirect_sites.iter().enumerate() {
+            let callees: Vec<String> = pts
+                .get(&site.callee_loc)
+                .map(|s| {
+                    s.iter()
+                        .filter_map(|l| match l {
+                            super::Loc::Func(f) => Some(f.clone()),
+                            _ => None,
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            for callee in callees {
+                if !bound.insert((i, callee.clone())) {
+                    continue;
+                }
+                changed = true;
+                if let Some(f) = program.function(&callee) {
+                    for (idx, param) in f.params.iter().enumerate() {
+                        if let Some(arg_loc) = site.arg_locs.get(idx) {
+                            new_constraints.push(Constraint::Copy {
+                                dst: super::Loc::Local {
+                                    func: callee.clone(),
+                                    var: param.name.clone(),
+                                },
+                                src: arg_loc.clone(),
+                            });
+                        }
+                    }
+                    new_constraints.push(Constraint::Copy {
+                        dst: site.result_loc.clone(),
+                        src: super::Loc::Ret(callee.clone()),
+                    });
+                }
+            }
+        }
+        if sensitivity == Sensitivity::Steensgaard {
+            // Equality-based: every copy constraint is bidirectional.
+            let reversed: Vec<Constraint> = new_constraints
+                .iter()
+                .filter_map(|c| match c {
+                    Constraint::Copy { dst, src } => Some(Constraint::Copy {
+                        dst: src.clone(),
+                        src: dst.clone(),
+                    }),
+                    _ => None,
+                })
+                .collect();
+            new_constraints.extend(reversed);
+        }
+        constraints.extend(new_constraints);
+
+        if !changed {
+            break;
+        }
+    }
+
+    let mut indirect_targets: HashMap<(String, String), BTreeSet<String>> = HashMap::new();
+    for site in &indirect_sites {
+        let targets: BTreeSet<String> = pts
+            .get(&site.callee_loc)
+            .map(|s| {
+                s.iter()
+                    .filter_map(|l| match l {
+                        super::Loc::Func(f) => Some(f.clone()),
+                        _ => None,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        indirect_targets
+            .entry((site.func.clone(), site.callee_text.clone()))
+            .or_default()
+            .extend(targets);
+    }
+
+    PointsToResult::from_naive(
+        pts,
+        indirect_targets,
+        sensitivity,
+        initial_constraints,
+        constraints.len(),
+        iterations,
+    )
+}
+
+fn copy_into(
+    pts: &mut BTreeMap<super::Loc, BTreeSet<super::Loc>>,
+    dst: &super::Loc,
+    src: &super::Loc,
+) -> bool {
+    if dst == src {
+        return false;
+    }
+    let src_set = pts.get(src).cloned().unwrap_or_default();
+    if src_set.is_empty() {
+        return false;
+    }
+    let dst_set = pts.entry(dst.clone()).or_default();
+    let before = dst_set.len();
+    dst_set.extend(src_set);
+    dst_set.len() != before
+}

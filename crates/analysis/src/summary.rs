@@ -20,7 +20,7 @@
 
 use crate::callgraph::CallGraph;
 use ivy_cmir::ast::Program;
-use ivy_cmir::pretty::{expr_str, pretty_composite, pretty_function, type_str};
+use ivy_cmir::pretty::pretty_function;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// 64-bit FNV-1a over a byte string.
@@ -216,38 +216,13 @@ impl Condensation {
 }
 
 /// Hash of the whole-program type environment (signatures, not bodies).
+///
+/// Delegates to the span-insensitive structural hasher in
+/// [`ivy_cmir::content`]; the incremental points-to path computes this on
+/// every re-solve, so it must not allocate the pretty-printed environment
+/// just to hash it.
 pub fn env_hash(program: &Program) -> u64 {
-    let mut text = String::new();
-    for comp in &program.composites {
-        text.push_str(&pretty_composite(comp));
-    }
-    for (name, ty) in &program.typedefs {
-        text.push_str("typedef ");
-        text.push_str(name);
-        text.push_str(" = ");
-        text.push_str(&type_str(ty));
-        text.push('\n');
-    }
-    for global in &program.globals {
-        text.push_str("global ");
-        text.push_str(&global.decl.name);
-        text.push_str(": ");
-        text.push_str(&type_str(&global.decl.ty));
-        if let Some(init) = &global.init {
-            text.push_str(" = ");
-            text.push_str(&expr_str(init));
-        }
-        text.push('\n');
-    }
-    for func in &program.functions {
-        // Pretty-print with the body stripped: attributes + signature only.
-        let sig_only = ivy_cmir::ast::Function {
-            body: None,
-            ..func.clone()
-        };
-        text.push_str(&pretty_function(&sig_only));
-    }
-    fnv1a(text.as_bytes())
+    ivy_cmir::content::program_env_hash(program)
 }
 
 /// Builds the per-function summaries of a program over a call graph.

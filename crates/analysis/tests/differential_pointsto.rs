@@ -1,0 +1,141 @@
+//! Differential testing of the worklist points-to solver against the
+//! retained naive reference, in the spirit of Klinger et al.'s differential
+//! program-analysis testing: generate random programs, run both solvers at
+//! every sensitivity, and require *identical* `pts` and `indirect_targets`.
+//!
+//! Programs are derived from `ivy-kernelgen` corpora: a generated kernel is
+//! randomly sub-sampled (whole functions dropped, bodies of others turned
+//! extern) so every case exercises a different constraint graph — dangling
+//! direct calls, unresolved indirect sites, orphaned function pointers —
+//! while staying realistic kernel code. The incremental path re-solves each
+//! case against one shared [`ConstraintCache`], so cross-program batch and
+//! interner reuse is under the same identity check.
+//!
+//! CI runs this file explicitly and fails if these tests are filtered out
+//! or skipped (see `.github/workflows/ci.yml`).
+
+use ivy_analysis::pointsto::{
+    analyze, analyze_incremental, analyze_naive, ConstraintCache, Sensitivity,
+};
+use ivy_cmir::ast::Program;
+use ivy_kernelgen::{KernelBuild, KernelConfig};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Cases per property; each case checks all three sensitivities, so every
+/// sensitivity level sees this many generated programs (the acceptance
+/// floor is 100 per level).
+const CASES: u32 = 110;
+
+/// A tiny deterministic RNG for the sub-sampling decisions (the proptest
+/// shim hands us a seed; SplitMix64 stretches it).
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// True with probability `percent`/100.
+    fn chance(&mut self, percent: u64) -> bool {
+        self.next() % 100 < percent
+    }
+}
+
+/// Derives a random sub-program: some functions removed outright, some
+/// stripped to extern declarations, everything else (globals, composites,
+/// typedefs) kept.
+fn subsample(base: &Program, seed: u64, drop_pct: u64, strip_pct: u64) -> Program {
+    let mut rng = Mix(seed);
+    let mut program = base.clone();
+    let mut functions = Vec::with_capacity(base.functions.len());
+    for f in &base.functions {
+        if rng.chance(drop_pct) {
+            continue;
+        }
+        let mut f = f.clone();
+        if f.body.is_some() && rng.chance(strip_pct) {
+            f.body = None;
+        }
+        functions.push(f);
+    }
+    program.functions = functions;
+    program
+}
+
+/// Base kernels, generated once for the whole run.
+fn base_kernels() -> &'static Vec<Program> {
+    static BASES: OnceLock<Vec<Program>> = OnceLock::new();
+    BASES.get_or_init(|| {
+        let mut tiny = KernelConfig::small();
+        tiny.drivers = 1;
+        tiny.fp_groups = 1;
+        tiny.cache_defects = 1;
+        tiny.ring_defects = 1;
+        vec![
+            KernelBuild::generate(&tiny).program,
+            KernelBuild::generate(&KernelConfig::small()).program,
+        ]
+    })
+}
+
+/// One constraint cache per sensitivity, shared across *all* generated
+/// cases so the incremental path is exercised with genuine cross-program
+/// batch and interner reuse.
+fn shared_caches() -> &'static [ConstraintCache; 3] {
+    static CACHES: OnceLock<[ConstraintCache; 3]> = OnceLock::new();
+    CACHES.get_or_init(|| {
+        [
+            ConstraintCache::new(),
+            ConstraintCache::new(),
+            ConstraintCache::new(),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(CASES))]
+
+    #[test]
+    fn worklist_and_incremental_match_naive_on_generated_programs(
+        seed in any::<u64>(),
+        base_idx in 0usize..2,
+        drop_pct in 0u64..40,
+        strip_pct in 0u64..35,
+    ) {
+        let bases = base_kernels();
+        let caches = shared_caches();
+        let program = subsample(&bases[base_idx], seed, drop_pct, strip_pct);
+        for (i, s) in [
+            Sensitivity::Steensgaard,
+            Sensitivity::Andersen,
+            Sensitivity::AndersenField,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let slow = analyze_naive(&program, s);
+            let fast = analyze(&program, s);
+            prop_assert_eq!(fast.pts(), slow.pts(), "pts diverge at {}", s.name());
+            prop_assert_eq!(
+                &fast.indirect_targets, &slow.indirect_targets,
+                "indirect targets diverge at {}", s.name()
+            );
+            prop_assert_eq!(fast.initial_constraints, slow.initial_constraints);
+            prop_assert_eq!(fast.constraint_count, slow.constraint_count);
+
+            // The cache-backed path must agree too (shared interner,
+            // cross-program batch reuse).
+            let incr = analyze_incremental(&program, s, &caches[i]);
+            prop_assert_eq!(incr.pts(), slow.pts(), "cached pts diverge at {}", s.name());
+            prop_assert_eq!(
+                &incr.indirect_targets, &slow.indirect_targets,
+                "cached indirect targets diverge at {}", s.name()
+            );
+        }
+    }
+}

@@ -1,11 +1,57 @@
 //! Bench for E6: points-to precision ablation (Steensgaard vs Andersen vs
 //! field-sensitive Andersen), the paper's "field- and context-sensitive
-//! analysis would improve the results" remark quantified.
+//! analysis would improve the results" remark quantified — plus the
+//! solver-scaling comparison for the worklist substrate: naive reference vs
+//! interned worklist solver, cold solve vs incremental re-solve after a
+//! one-function edit. Emits a machine-readable `JSON-SUMMARY` line (the
+//! `BENCH_pointsto.json` trajectory).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ivy_analysis::pointsto::{analyze, Sensitivity};
+use ivy_analysis::pointsto::{
+    analyze, analyze_incremental, analyze_naive, ConstraintCache, Sensitivity,
+};
+use ivy_cmir::ast::Program;
 use ivy_core::experiments::{pointsto_ablation, Scale};
-use ivy_kernelgen::KernelBuild;
+use ivy_kernelgen::{KernelBuild, KernelConfig};
+use serde_json::{Map, Value};
+use std::time::Instant;
+
+const SENSITIVITIES: [Sensitivity; 3] = [
+    Sensitivity::Steensgaard,
+    Sensitivity::Andersen,
+    Sensitivity::AndersenField,
+];
+
+fn median_secs(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[samples.len() / 2]
+}
+
+fn time_runs(mut run: impl FnMut(), samples: usize) -> f64 {
+    median_secs(
+        (0..samples)
+            .map(|_| {
+                let start = Instant::now();
+                run();
+                start.elapsed().as_secs_f64()
+            })
+            .collect(),
+    )
+}
+
+/// The edited program for the incremental measurement: one function body
+/// grows by a duplicated statement (the same edit the engine's dirty-cone
+/// test uses).
+fn one_function_edit(program: &Program) -> Program {
+    let mut edited = program.clone();
+    let func = edited
+        .function_mut("watchdog_tick")
+        .expect("corpus has watchdog_tick");
+    let body = func.body.as_mut().expect("defined");
+    let extra = body.stmts.first().cloned().expect("non-empty body");
+    body.stmts.insert(0, extra);
+    edited
+}
 
 fn bench_ablation(c: &mut Criterion) {
     let scale = Scale::paper();
@@ -22,16 +68,131 @@ fn bench_ablation(c: &mut Criterion) {
     }
     println!();
 
+    // ---- Solver scaling: naive vs worklist, cold vs incremental. --------
+    // `large` is the largest configuration this bench uses: the paper
+    // corpus plus four 400-deep reverse-ordered pointer-handoff chains —
+    // the adversarial case for the naive solver (one full rescan round per
+    // chain link) and the representative case for deep kernel pointer
+    // plumbing.
+    let mut large_config = KernelConfig::paper();
+    large_config.chains = 4;
+    large_config.chain_depth = 400;
+    let sweep = [
+        ("paper", KernelConfig::paper(), 3usize),
+        ("large", large_config, 1usize),
+    ];
+
+    let mut summary: Vec<Value> = Vec::new();
+    println!("==== E6b: solver scaling (naive vs worklist, cold vs incremental) ====");
+    println!(
+        "{:<8} {:<16} {:>12} {:>12} {:>9} {:>12} {:>9} {:>9}",
+        "kernel",
+        "variant",
+        "naive (s)",
+        "worklist (s)",
+        "speedup",
+        "incr (s)",
+        "vs cold",
+        "vs naive"
+    );
+    for (name, config, naive_samples) in &sweep {
+        let build = KernelBuild::generate(config);
+        let edited = one_function_edit(&build.program);
+        for s in SENSITIVITIES {
+            let naive_cold = time_runs(
+                || {
+                    analyze_naive(&build.program, s);
+                },
+                *naive_samples,
+            );
+            let worklist_cold = time_runs(
+                || {
+                    analyze(&build.program, s);
+                },
+                5,
+            );
+            // Incremental: prime a fresh cache with the base program, then
+            // measure the first re-solve of the one-function edit (so every
+            // sample sees exactly one dirty batch, never a fully-warm
+            // replay).
+            let incremental = median_secs(
+                (0..5)
+                    .map(|_| {
+                        let cache = ConstraintCache::new();
+                        analyze_incremental(&build.program, s, &cache);
+                        let start = Instant::now();
+                        analyze_incremental(&edited, s, &cache);
+                        start.elapsed().as_secs_f64()
+                    })
+                    .collect(),
+            );
+            let reference = analyze(&build.program, s);
+            println!(
+                "{:<8} {:<16} {:>12.4} {:>12.4} {:>8.1}x {:>12.5} {:>8.1}x {:>8.1}x",
+                name,
+                s.name(),
+                naive_cold,
+                worklist_cold,
+                naive_cold / worklist_cold.max(1e-9),
+                incremental,
+                worklist_cold / incremental.max(1e-9),
+                naive_cold / incremental.max(1e-9),
+            );
+            let mut row = Map::new();
+            row.insert("kernel".into(), Value::from(*name));
+            row.insert("sensitivity".into(), Value::from(s.name()));
+            row.insert(
+                "functions".into(),
+                Value::from(build.program.functions.len()),
+            );
+            row.insert(
+                "initial_constraints".into(),
+                Value::from(reference.initial_constraints),
+            );
+            row.insert(
+                "total_constraints".into(),
+                Value::from(reference.constraint_count),
+            );
+            row.insert("naive_cold_seconds".into(), Value::from(naive_cold));
+            row.insert("worklist_cold_seconds".into(), Value::from(worklist_cold));
+            row.insert(
+                "cold_speedup".into(),
+                Value::from(naive_cold / worklist_cold.max(1e-9)),
+            );
+            row.insert("incremental_seconds".into(), Value::from(incremental));
+            row.insert(
+                "incremental_speedup_vs_cold".into(),
+                Value::from(worklist_cold / incremental.max(1e-9)),
+            );
+            row.insert(
+                "incremental_speedup_vs_naive".into(),
+                Value::from(naive_cold / incremental.max(1e-9)),
+            );
+            summary.push(Value::Object(row));
+        }
+    }
+    let mut root = Map::new();
+    root.insert("bench".into(), Value::from("table6_pointsto_solver"));
+    root.insert("rows".into(), Value::Array(summary));
+    println!(
+        "\nJSON-SUMMARY {}",
+        serde_json::to_string(&Value::Object(root)).expect("serializes")
+    );
+
+    // Criterion measurements on the paper configuration.
     let build = KernelBuild::generate(&scale.kernel);
     let mut group = c.benchmark_group("pointsto");
     group.sample_size(10);
-    for s in [
-        Sensitivity::Steensgaard,
-        Sensitivity::Andersen,
-        Sensitivity::AndersenField,
-    ] {
-        group.bench_function(s.name(), |b| b.iter(|| analyze(&build.program, s)));
+    for s in SENSITIVITIES {
+        group.bench_function(format!("worklist/{}", s.name()), |b| {
+            b.iter(|| analyze(&build.program, s))
+        });
     }
+    let cache = ConstraintCache::new();
+    analyze_incremental(&build.program, Sensitivity::AndersenField, &cache);
+    group.bench_function("incremental-warm/andersen+field", |b| {
+        b.iter(|| analyze_incremental(&build.program, Sensitivity::AndersenField, &cache))
+    });
     group.finish();
 }
 

@@ -50,6 +50,11 @@ pub struct InstrumentationReport {
     /// Free sites whose argument is a `void *` (or cast), i.e. places where
     /// explicit run-time type information is needed.
     pub runtime_type_info_sites: u64,
+    /// The root variables of those untyped free sites (one entry per site
+    /// that frees a bare variable, in traversal order). The engine plugin
+    /// feeds these to the shared points-to analysis to name candidate
+    /// allocation sites in its diagnostics.
+    pub untyped_free_roots: Vec<String>,
     /// Delayed-free scopes already present in the program.
     pub delayed_free_scopes: u64,
     /// Per-subsystem counted pointer writes.
@@ -79,6 +84,8 @@ impl InstrumentationReport {
         self.memset_sites += other.memset_sites;
         self.types_needing_layout += other.types_needing_layout;
         self.runtime_type_info_sites += other.runtime_type_info_sites;
+        self.untyped_free_roots
+            .extend(other.untyped_free_roots.iter().cloned());
         self.delayed_free_scopes += other.delayed_free_scopes;
         for (subsystem, n) in &other.writes_by_subsystem {
             *self
@@ -167,6 +174,9 @@ pub fn analyze_function(program: &Program, func: &Function) -> InstrumentationRe
                                 if let Some(arg) = args.first() {
                                     if is_untyped_pointer(program, &ctx, arg) {
                                         report.runtime_type_info_sites += 1;
+                                        if let Some(var) = root_var(arg) {
+                                            report.untyped_free_roots.push(var);
+                                        }
                                     }
                                 }
                             } else if ALLOC_FUNCTIONS.contains(&name.as_str()) {
@@ -183,6 +193,15 @@ pub fn analyze_function(program: &Program, func: &Function) -> InstrumentationRe
         });
     }
     report
+}
+
+/// Peels casts and unary operators down to a bare variable, if any.
+fn root_var(e: &Expr) -> Option<String> {
+    match e {
+        Expr::Var(n) => Some(n.clone()),
+        Expr::Cast(_, inner) | Expr::Unary(_, inner) => root_var(inner),
+        _ => None,
+    }
 }
 
 /// The expressions belonging directly to a statement (excluding those inside

@@ -9,9 +9,11 @@
 //! information), and the fix hint says so.
 
 use crate::analyze::{analyze, analyze_function, InstrumentationReport};
+use ivy_analysis::pointsto::{Loc, Sensitivity};
 use ivy_cmir::ast::Function;
-use ivy_engine::hash::mix;
+use ivy_engine::hash::{fnv1a, mix};
 use ivy_engine::{AnalysisCtx, Checker, Diagnostic, Severity};
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 /// CCount as an engine plugin.
@@ -30,6 +32,51 @@ impl CCountChecker {
     pub fn report(&self, ctx: &AnalysisCtx) -> Arc<InstrumentationReport> {
         ctx.memo("ccount/report", || analyze(&ctx.program))
     }
+
+    /// The per-function instrumentation report, memoized per context — the
+    /// cache fingerprint and the per-function check both need it, and
+    /// fingerprints run on every engine pass, so one AST traversal per
+    /// function per context must suffice.
+    fn function_report(&self, ctx: &AnalysisCtx, func: &Function) -> Arc<InstrumentationReport> {
+        let key = format!("ccount/fn-report/{}", func.name);
+        ctx.memo(&key, || analyze_function(&ctx.program, func))
+    }
+
+    /// Alias query against the shared points-to substrate: the candidate
+    /// heap allocation sites of every pointer the function frees as a raw
+    /// `void *`. These are exactly the objects whose layout would have to
+    /// be registered with CCount, so the untyped-free warning can name
+    /// them.
+    fn alloc_sites_of_untyped_frees(
+        &self,
+        ctx: &AnalysisCtx,
+        func: &Function,
+    ) -> Arc<BTreeSet<String>> {
+        let key = format!("ccount/untyped-free-sites/{}", func.name);
+        ctx.memo(&key, || {
+            let vars = self.function_report(ctx, func).untyped_free_roots.clone();
+            if vars.is_empty() {
+                return BTreeSet::new();
+            }
+            let pts = ctx.pointsto(self.sensitivity());
+            let mut sites = BTreeSet::new();
+            for var in vars {
+                let loc = if ctx.program.global(&var).is_some() {
+                    Loc::Global(var)
+                } else {
+                    Loc::Local {
+                        func: func.name.clone(),
+                        var,
+                    }
+                };
+                sites.extend(pts.points_to(&loc).into_iter().filter_map(|l| match l {
+                    Loc::Alloc { site } => Some(site),
+                    _ => None,
+                }));
+            }
+            sites
+        })
+    }
 }
 
 impl Checker for CCountChecker {
@@ -37,19 +84,42 @@ impl Checker for CCountChecker {
         "ccount"
     }
 
-    fn context_fingerprint(&self, ctx: &AnalysisCtx, _func: &Function) -> u64 {
+    fn sensitivity(&self) -> Sensitivity {
+        // The alloc-site hints only distinguish allocation sites, which
+        // every precision level models identically; the cheapest suffices.
+        Sensitivity::Steensgaard
+    }
+
+    fn context_fingerprint(&self, ctx: &AnalysisCtx, func: &Function) -> u64 {
         // Pointer-ness of writes is resolved against composites/typedefs
-        // and global/param types; the env hash covers those.
-        mix(0xcc0417, ctx.env_hash())
+        // and global/param types; the env hash covers those. The untyped-
+        // free hints additionally read points-to sets, which can change
+        // with *any* body edit — fold the queried sites in so cached
+        // diagnostics are replayed only when the hints would reproduce.
+        let mut h = mix(0xcc0417, ctx.env_hash());
+        for site in self.alloc_sites_of_untyped_frees(ctx, func).iter() {
+            h = mix(h, fnv1a(site.as_bytes()));
+        }
+        h
     }
 
     fn check_function(&self, ctx: &AnalysisCtx, func: &Function) -> Vec<Diagnostic> {
         if func.body.is_none() {
             return Vec::new();
         }
-        let report = analyze_function(&ctx.program, func);
+        let report = self.function_report(ctx, func);
         let mut out = Vec::new();
         if report.runtime_type_info_sites > 0 {
+            let sites = self.alloc_sites_of_untyped_frees(ctx, func);
+            let fix_hint = if sites.is_empty() {
+                "free through a typed pointer, or register the object's layout with CCount"
+                    .to_string()
+            } else {
+                format!(
+                    "free through a typed pointer, or register the layout of the object(s) allocated at: {}",
+                    sites.iter().cloned().collect::<Vec<_>>().join(", ")
+                )
+            };
             out.push(Diagnostic {
                 checker: "ccount".into(),
                 code: "ccount/untyped-free".into(),
@@ -60,9 +130,7 @@ impl Checker for CCountChecker {
                     report.runtime_type_info_sites
                 ),
                 span: Some(func.span),
-                fix_hint: Some(
-                    "free through a typed pointer, or register the object's layout with CCount".into(),
-                ),
+                fix_hint: Some(fix_hint),
             });
         }
         if report.counted_pointer_writes > 0 || report.free_sites > 0 {

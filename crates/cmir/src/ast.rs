@@ -493,7 +493,7 @@ impl Stmt {
 /// These correspond to the paper's seed annotations (`blocking`, allocator
 /// GFP behaviour, interrupt handlers) plus the escape hatch (`trusted`) and
 /// the soundness caveat for inline assembly.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub struct FuncAttrs {
     /// The function may block (sleep). Seed annotation for BlockStop.
     pub blocking: bool,

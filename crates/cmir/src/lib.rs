@@ -43,6 +43,7 @@
 pub mod ast;
 pub mod builder;
 pub mod cfg;
+pub mod content;
 pub mod error;
 pub mod layout;
 pub mod lexer;

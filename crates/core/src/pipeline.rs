@@ -18,6 +18,7 @@
 
 use crate::experiments::fix_plan_for;
 use crate::repository::Repository;
+use ivy_analysis::pointsto::ConstraintCache;
 use ivy_blockstop::{insert_asserts, BlockStopChecker, BlockStopConfig, BlockStopReport};
 use ivy_ccount::{CCountChecker, InstrumentationReport};
 use ivy_cmir::ast::Program;
@@ -36,6 +37,7 @@ pub struct Pipeline {
     pub threads: usize,
     cache: Arc<DiagnosticCache>,
     ctx_store: CtxStore,
+    pts_cache: Arc<ConstraintCache>,
 }
 
 impl Default for Pipeline {
@@ -45,19 +47,22 @@ impl Default for Pipeline {
             threads: 0,
             cache: Arc::new(DiagnosticCache::new()),
             ctx_store: Arc::new(Mutex::new(HashMap::new())),
+            pts_cache: Arc::new(ConstraintCache::new()),
         }
     }
 }
 
 impl Clone for Pipeline {
-    /// Clones share the diagnostic cache and context store, so a cloned
-    /// pipeline benefits from the original's warm state.
+    /// Clones share the diagnostic cache, context store, and points-to
+    /// constraint cache, so a cloned pipeline benefits from the original's
+    /// warm state.
     fn clone(&self) -> Self {
         Pipeline {
             deputy: self.deputy.clone(),
             threads: self.threads,
             cache: Arc::clone(&self.cache),
             ctx_store: Arc::clone(&self.ctx_store),
+            pts_cache: Arc::clone(&self.pts_cache),
         }
     }
 }
@@ -117,10 +122,15 @@ impl Pipeline {
     }
 
     fn engine(&self) -> Engine {
+        // All three stages share one points-to constraint cache: the
+        // pipeline's program states (fixed → asserted → deputized) share
+        // almost all function bodies, so each state regenerates constraints
+        // only for the functions the previous stage actually rewrote.
         Engine::new()
             .with_threads(self.threads)
             .with_cache(Arc::clone(&self.cache))
             .with_ctx_store(Arc::clone(&self.ctx_store))
+            .with_pointsto_cache(Arc::clone(&self.pts_cache))
     }
 
     /// Runs the whole pipeline over a generated kernel.

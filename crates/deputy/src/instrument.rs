@@ -33,6 +33,11 @@ pub struct DeputyConfig {
     pub insert_checks: bool,
     /// Run the redundant-check optimiser after insertion.
     pub optimize: bool,
+    /// Check that the resolved targets of every indirect call agree on
+    /// their parameter types and annotations (engine plugin only: the check
+    /// queries the shared points-to analysis). Off by default — it warns
+    /// about latent interface drift rather than definite type errors.
+    pub check_indirect_annotations: bool,
 }
 
 impl Default for DeputyConfig {
@@ -41,6 +46,7 @@ impl Default for DeputyConfig {
             infer_defaults: true,
             insert_checks: true,
             optimize: true,
+            check_indirect_annotations: false,
         }
     }
 }

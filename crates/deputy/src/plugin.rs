@@ -11,9 +11,13 @@
 
 use crate::instrument::{convert_function, Conversion, Deputy, DeputyConfig};
 use crate::report::{ConversionReport, DeputyDiagnostic, Severity as DeputySeverity};
-use ivy_cmir::ast::{Function, Program};
+use ivy_analysis::callgraph::calls_in;
+use ivy_analysis::pointsto::Sensitivity;
+use ivy_cmir::ast::{Expr, Function, Program};
+use ivy_cmir::pretty::{expr_str, type_str};
 use ivy_engine::hash::{fnv1a, mix};
 use ivy_engine::{AnalysisCtx, Checker, Diagnostic, Severity};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// Deputy as an engine plugin.
@@ -98,6 +102,64 @@ impl DeputyChecker {
         })
     }
 
+    /// Query path into the shared points-to substrate: for every indirect
+    /// call in `func`, the resolved targets grouped by their parameter
+    /// signature (types *and* Deputy annotations). More than one group
+    /// means the function-pointer interface is inconsistent — some target
+    /// will be entered with obligations its annotations do not state.
+    /// Memoized per context: the cache fingerprint and the per-function
+    /// check both read it, and fingerprints run on every engine pass.
+    fn indirect_signature_groups(
+        &self,
+        ctx: &AnalysisCtx,
+        func: &Function,
+    ) -> Arc<BTreeMap<String, BTreeMap<String, BTreeSet<String>>>> {
+        let key = format!(
+            "deputy/indirect-groups/{:016x}/{}",
+            self.config_hash(),
+            func.name
+        );
+        ctx.memo(&key, || self.compute_indirect_signature_groups(ctx, func))
+    }
+
+    fn compute_indirect_signature_groups(
+        &self,
+        ctx: &AnalysisCtx,
+        func: &Function,
+    ) -> BTreeMap<String, BTreeMap<String, BTreeSet<String>>> {
+        let pts = ctx.pointsto(self.sensitivity());
+        let mut out: BTreeMap<String, BTreeMap<String, BTreeSet<String>>> = BTreeMap::new();
+        for (callee_expr, _argc) in calls_in(func) {
+            if matches!(&callee_expr, Expr::Var(name) if ctx.program.function(name).is_some()) {
+                continue; // direct call
+            }
+            let text = expr_str(&callee_expr);
+            if out.contains_key(&text) {
+                continue;
+            }
+            let Some(targets) = pts.indirect_targets_for(&func.name, &text) else {
+                continue;
+            };
+            let mut groups: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+            for target in targets {
+                let Some(f) = ctx.program.function(target) else {
+                    continue;
+                };
+                let sig: String = f
+                    .params
+                    .iter()
+                    .map(|p| type_str(&p.ty))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                groups.entry(sig).or_default().insert(target.clone());
+            }
+            if !groups.is_empty() {
+                out.insert(text, groups);
+            }
+        }
+        out
+    }
+
     fn to_diagnostic(d: &DeputyDiagnostic) -> Diagnostic {
         Diagnostic {
             checker: "deputy".into(),
@@ -127,11 +189,31 @@ impl Checker for DeputyChecker {
         "deputy"
     }
 
-    fn context_fingerprint(&self, ctx: &AnalysisCtx, _func: &Function) -> u64 {
+    fn sensitivity(&self) -> Sensitivity {
+        // The indirect-annotation check only needs target *sets*; the
+        // cheapest level suffices (and is shared with the other checkers).
+        Sensitivity::Steensgaard
+    }
+
+    fn context_fingerprint(&self, ctx: &AnalysisCtx, func: &Function) -> u64 {
         // Per-function instrumentation reads callee *signatures* (and
         // composite layouts) from the prepared program; the env hash covers
-        // exactly that. Bodies are covered by the cone hash.
-        mix(self.config_hash(), ctx.env_hash())
+        // exactly that. Bodies are covered by the cone hash. The indirect-
+        // annotation check additionally reads points-to target sets, which
+        // any body edit can change — fold the resolved groups in.
+        let mut h = mix(self.config_hash(), ctx.env_hash());
+        if self.config.check_indirect_annotations && func.body.is_some() {
+            for (text, groups) in self.indirect_signature_groups(ctx, func).iter() {
+                h = mix(h, fnv1a(text.as_bytes()));
+                for (sig, targets) in groups {
+                    h = mix(h, fnv1a(sig.as_bytes()));
+                    for t in targets {
+                        h = mix(h, fnv1a(t.as_bytes()));
+                    }
+                }
+            }
+        }
+        h
     }
 
     fn check_program(&self, ctx: &AnalysisCtx) -> Vec<Diagnostic> {
@@ -158,6 +240,39 @@ impl Checker for DeputyChecker {
             .filter(|d| d.function == func.name)
             .map(Self::to_diagnostic)
             .collect();
+
+        if func.body.is_some() && self.config.check_indirect_annotations {
+            for (text, groups) in self.indirect_signature_groups(ctx, func).iter() {
+                if groups.len() < 2 {
+                    continue;
+                }
+                let variants: Vec<String> = groups
+                    .iter()
+                    .map(|(sig, targets)| {
+                        format!(
+                            "({sig}) <- {}",
+                            targets.iter().cloned().collect::<Vec<_>>().join(", ")
+                        )
+                    })
+                    .collect();
+                out.push(Diagnostic {
+                    checker: "deputy".into(),
+                    code: "deputy/indirect-annot".into(),
+                    function: func.name.clone(),
+                    severity: Severity::Warning,
+                    message: format!(
+                        "indirect call `{text}` resolves to targets with {} incompatible parameter signatures: {}",
+                        groups.len(),
+                        variants.join("; ")
+                    ),
+                    span: Some(func.span),
+                    fix_hint: Some(
+                        "unify the annotations of every function assigned to this function pointer"
+                            .into(),
+                    ),
+                });
+            }
+        }
 
         if func.body.is_some() && self.config.insert_checks {
             // Instrument the *prepared* copy of the function so inferred
@@ -221,6 +336,48 @@ mod tests {
         let via_plugin = DeputyChecker::new().conversion(&ctx);
         assert_eq!(direct.program, via_plugin.program);
         assert_eq!(direct.report, via_plugin.report);
+    }
+
+    #[test]
+    fn indirect_annotation_check_flags_signature_drift() {
+        let p = parse_program(
+            r#"
+            global hook: fnptr(u8 *, u32) -> void;
+            fn strict(p: u8 * count(n) nonnull, n: u32) { }
+            fn loose(p: u8 *, n: u32) { }
+            fn register_both() { hook = strict; hook = loose; }
+            fn fire(q: u8 *, n: u32) { hook(q, n); }
+            "#,
+        )
+        .unwrap();
+        let ctx = AnalysisCtx::new(&p);
+
+        // Off by default: no drift warnings.
+        let default_checker = DeputyChecker::new();
+        let fire = ctx.program.function("fire").unwrap();
+        assert!(default_checker
+            .check_function(&ctx, fire)
+            .iter()
+            .all(|d| d.code != "deputy/indirect-annot"));
+
+        let config = DeputyConfig {
+            check_indirect_annotations: true,
+            ..DeputyConfig::default()
+        };
+        let checker = DeputyChecker::with_config(config);
+        let diags = checker.check_function(&ctx, fire);
+        let drift: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == "deputy/indirect-annot")
+            .collect();
+        assert_eq!(drift.len(), 1, "diags: {diags:?}");
+        assert!(drift[0].message.contains("strict") && drift[0].message.contains("loose"));
+        // Fingerprints differ between the two configurations (the check
+        // folds the resolved target groups in).
+        assert_ne!(
+            checker.context_fingerprint(&ctx, fire),
+            default_checker.context_fingerprint(&ctx, fire)
+        );
     }
 
     #[test]

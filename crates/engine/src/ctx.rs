@@ -9,7 +9,7 @@
 //! checker plugins stash their own whole-program precomputations (e.g. the
 //! BlockStop may-block propagation) without the engine knowing their types.
 
-use ivy_analysis::pointsto::{self, PointsToResult, Sensitivity};
+use ivy_analysis::pointsto::{self, ConstraintCache, PointsToResult, Sensitivity};
 use ivy_analysis::summary::{self, fnv1a, ProgramSummaries};
 use ivy_analysis::CallGraph;
 use ivy_cmir::ast::Program;
@@ -58,6 +58,10 @@ pub struct AnalysisCtx {
     /// FNV-1a hash of the pretty-printed program; the engine's context
     /// cache key.
     pub program_hash: u64,
+    /// Cross-program cache of interned points-to constraint batches;
+    /// shared by the engine across contexts so an edited program re-solves
+    /// points-to from the cached constraint graph.
+    pts_cache: Arc<ConstraintCache>,
     memo: Memo,
 }
 
@@ -78,15 +82,26 @@ impl AnalysisCtx {
         AnalysisCtx {
             program_hash,
             program: program.clone(),
+            pts_cache: Arc::new(ConstraintCache::new()),
             memo: Memo::default(),
         }
     }
 
+    /// Shares an existing points-to constraint cache (builder style). The
+    /// engine passes its own cache here so contexts for successive program
+    /// states reuse each other's per-function constraint batches.
+    pub fn with_pointsto_cache(mut self, cache: Arc<ConstraintCache>) -> AnalysisCtx {
+        self.pts_cache = cache;
+        self
+    }
+
     /// Points-to results at a precision level, computed once per level.
+    /// Solved incrementally against the shared constraint cache: only
+    /// functions this context sees for the first time generate constraints.
     pub fn pointsto(&self, sensitivity: Sensitivity) -> Arc<PointsToResult> {
         self.memo
             .get_or_insert(&format!("pointsto/{}", sensitivity.name()), || {
-                pointsto::analyze(&self.program, sensitivity)
+                pointsto::analyze_incremental(&self.program, sensitivity, &self.pts_cache)
             })
     }
 

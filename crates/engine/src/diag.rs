@@ -113,6 +113,17 @@ pub struct EngineStats {
     /// Whether the analysis context itself was reused from a previous run
     /// of an identical program.
     pub ctx_reused: bool,
+    /// Points-to constraints generated from syntax (before indirect-call
+    /// resolution) at the scheduling sensitivity.
+    pub pointsto_initial_constraints: usize,
+    /// Total points-to constraints solved, including indirect-call
+    /// bindings, at the scheduling sensitivity.
+    pub pointsto_constraints: usize,
+    /// Per-function points-to constraint batches served from the shared
+    /// constraint cache when this context's points-to was first solved.
+    pub pointsto_batches_reused: usize,
+    /// Per-function points-to constraint batches generated fresh.
+    pub pointsto_batches_generated: usize,
 }
 
 impl EngineStats {
@@ -180,6 +191,22 @@ impl Report {
         stats.insert("cache_hits".into(), Value::from(self.stats.cache_hits));
         stats.insert("cache_misses".into(), Value::from(self.stats.cache_misses));
         stats.insert("ctx_reused".into(), Value::from(self.stats.ctx_reused));
+        stats.insert(
+            "pointsto_initial_constraints".into(),
+            Value::from(self.stats.pointsto_initial_constraints),
+        );
+        stats.insert(
+            "pointsto_constraints".into(),
+            Value::from(self.stats.pointsto_constraints),
+        );
+        stats.insert(
+            "pointsto_batches_reused".into(),
+            Value::from(self.stats.pointsto_batches_reused),
+        );
+        stats.insert(
+            "pointsto_batches_generated".into(),
+            Value::from(self.stats.pointsto_batches_generated),
+        );
         let mut root = Map::new();
         root.insert(
             "diagnostics".into(),

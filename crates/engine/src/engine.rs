@@ -15,7 +15,7 @@ use crate::cache::DiagnosticCache;
 use crate::checker::{sensitivity_rank, Checker};
 use crate::ctx::AnalysisCtx;
 use crate::diag::{Diagnostic, EngineStats, Report};
-use ivy_analysis::pointsto::Sensitivity;
+use ivy_analysis::pointsto::{ConstraintCache, Sensitivity};
 use ivy_cmir::ast::Program;
 use rayon::prelude::*;
 use rayon::ThreadPoolBuilder;
@@ -38,6 +38,7 @@ pub struct Engine {
     threads: usize,
     cache: Arc<DiagnosticCache>,
     ctx_store: CtxStore,
+    pts_cache: Arc<ConstraintCache>,
 }
 
 impl Default for Engine {
@@ -54,6 +55,7 @@ impl Engine {
             threads: 0,
             cache: Arc::new(DiagnosticCache::new()),
             ctx_store: Arc::new(Mutex::new(HashMap::new())),
+            pts_cache: Arc::new(ConstraintCache::new()),
         }
     }
 
@@ -80,6 +82,19 @@ impl Engine {
     pub fn with_ctx_store(mut self, store: CtxStore) -> Engine {
         self.ctx_store = store;
         self
+    }
+
+    /// Shares an existing points-to constraint cache (e.g. across the
+    /// engines of a pipeline), so every program state solves points-to
+    /// incrementally from the batches its siblings already generated.
+    pub fn with_pointsto_cache(mut self, cache: Arc<ConstraintCache>) -> Engine {
+        self.pts_cache = cache;
+        self
+    }
+
+    /// The engine's points-to constraint cache.
+    pub fn pointsto_cache(&self) -> Arc<ConstraintCache> {
+        Arc::clone(&self.pts_cache)
     }
 
     /// The engine's diagnostic cache.
@@ -120,7 +135,9 @@ impl Engine {
         if cache.len() >= CTX_CACHE_CAP {
             cache.clear();
         }
-        let ctx = Arc::new(AnalysisCtx::with_hash(program, hash));
+        let ctx = Arc::new(
+            AnalysisCtx::with_hash(program, hash).with_pointsto_cache(Arc::clone(&self.pts_cache)),
+        );
         cache.insert(hash, Arc::clone(&ctx));
         (ctx, false)
     }
@@ -191,6 +208,11 @@ impl Engine {
             }
         });
 
+        // Points-to substrate statistics: the memoized result for the
+        // scheduling sensitivity was computed above (via the summaries), so
+        // this lookup is free. For a reused context the numbers describe
+        // the run that first built the result.
+        let pts = ctx.pointsto(sensitivity);
         let stats = EngineStats {
             functions: ctx.program.functions.len(),
             checkers: self.checkers.len(),
@@ -199,6 +221,10 @@ impl Engine {
             cache_hits: hits.into_inner(),
             cache_misses: misses.into_inner(),
             ctx_reused,
+            pointsto_initial_constraints: pts.initial_constraints,
+            pointsto_constraints: pts.constraint_count,
+            pointsto_batches_reused: pts.batches_reused,
+            pointsto_batches_generated: pts.batches_generated,
         };
         Report::new(diagnostics, stats)
     }
@@ -224,6 +250,7 @@ impl Engine {
                         threads: 1,
                         cache: Arc::clone(&self.cache),
                         ctx_store: Arc::clone(&self.ctx_store),
+                        pts_cache: Arc::clone(&self.pts_cache),
                     };
                     inner.analyze_with_ctx(&ctx, reused)
                 })

@@ -1126,3 +1126,31 @@ fn ring{index}_teardown() {{
 "#
     )
 }
+
+/// A pointer-handoff chain: `depth` chained pointer copies written in
+/// *reverse* program order, so a naive rescan-in-order points-to solver
+/// needs one full round per link to carry the pointee to the far end
+/// (a worklist solver with difference propagation stays linear). Used by
+/// the solver-scaling benchmark (`chain_depth` in [`crate::KernelConfig`])
+/// and mirrors the shape of the deep-chain regression test in
+/// `ivy-analysis`.
+pub fn chain_source(index: usize, depth: u32) -> String {
+    let mut out = String::with_capacity(64 * depth as usize);
+    out.push_str(&format!(
+        "\n// ---- stress/chain{index}.kc ----------------------------------------------------\n"
+    ));
+    out.push_str(&format!("global chain{index}_seed: u8[64];\n\n"));
+    out.push_str(&format!(
+        "#[subsystem(\"stress\")]\nfn chain{index}_shift() -> u8 * {{\n"
+    ));
+    for i in (0..=depth).rev() {
+        out.push_str(&format!("    let h{i}: u8 * = null;\n"));
+    }
+    // Adversarial order: the far end of the chain is assigned first.
+    for i in (1..=depth).rev() {
+        out.push_str(&format!("    h{i} = h{};\n", i - 1));
+    }
+    out.push_str(&format!("    h0 = &chain{index}_seed[0];\n"));
+    out.push_str(&format!("    return h{depth};\n}}\n"));
+    out
+}

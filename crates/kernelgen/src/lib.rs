@@ -69,6 +69,12 @@ pub struct KernelConfig {
     /// creates/writes/reads/unlinks files, sends packets, loads a module,
     /// and maps/unmaps memory).
     pub boot_cycles: u32,
+    /// Number of pointer-handoff stress chains (see
+    /// [`corpus::chain_source`]); 0 in the standard corpora.
+    pub chains: usize,
+    /// Length of each stress chain. Chains are written in reverse program
+    /// order, the adversarial case for naive points-to solving.
+    pub chain_depth: u32,
 }
 
 impl Default for KernelConfig {
@@ -80,6 +86,8 @@ impl Default for KernelConfig {
             cache_defects: 27,
             ring_defects: 26,
             boot_cycles: 48,
+            chains: 0,
+            chain_depth: 0,
         }
     }
 }
@@ -99,6 +107,8 @@ impl KernelConfig {
             cache_defects: 4,
             ring_defects: 3,
             boot_cycles: 8,
+            chains: 0,
+            chain_depth: 0,
         }
     }
 }
@@ -170,6 +180,9 @@ pub fn kernel_source(config: &KernelConfig) -> String {
     }
     for i in 0..config.ring_defects {
         src.push_str(&corpus::ring_defect_source(i));
+    }
+    for i in 0..config.chains {
+        src.push_str(&corpus::chain_source(i, config.chain_depth));
     }
     src.push_str(&boot_source(config));
     src.push_str(workloads::WORKLOAD_SOURCE);
@@ -439,6 +452,24 @@ mod tests {
             .unwrap();
             assert!(vm.cycles() > 0, "{name} did no work");
         }
+    }
+
+    #[test]
+    fn chain_stress_corpus_parses_validates_and_runs() {
+        let mut cfg = KernelConfig::small();
+        cfg.chains = 2;
+        cfg.chain_depth = 12;
+        let build = KernelBuild::generate(&cfg);
+        assert!(validate_program(&build.program).is_ok());
+        assert!(build.program.function("chain1_shift").is_some());
+        // The chain body is executable KC, not just analyzable.
+        let mut vm = Vm::new(build.program.clone(), VmConfig::baseline()).unwrap();
+        vm.run("chain0_shift", vec![]).unwrap();
+        // Default configs carry no chains, so existing corpora are unchanged.
+        assert!(KernelBuild::generate(&KernelConfig::small())
+            .program
+            .function("chain0_shift")
+            .is_none());
     }
 
     #[test]

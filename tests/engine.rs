@@ -82,6 +82,31 @@ fn small_edit_recomputes_only_the_dirty_cone() {
         incremental.stats.cache_misses > 0,
         "the dirty function itself must recompute"
     );
+    // The points-to substrate is incremental across contexts too: the
+    // edited program's solve regenerates exactly one constraint batch.
+    assert_eq!(
+        incremental.stats.pointsto_batches_generated, 1,
+        "only the edited function's constraint batch is dirty"
+    );
+    assert!(incremental.stats.pointsto_batches_reused > 0);
+}
+
+#[test]
+fn reports_carry_pointsto_substrate_stats() {
+    let build = KernelBuild::generate(&KernelConfig::small());
+    let report = kernel_engine(1).analyze(&build.program);
+    assert!(report.stats.pointsto_initial_constraints > 0);
+    assert!(
+        report.stats.pointsto_constraints > report.stats.pointsto_initial_constraints,
+        "indirect-call bindings must be counted in the total ({} vs {})",
+        report.stats.pointsto_constraints,
+        report.stats.pointsto_initial_constraints
+    );
+    // A cold engine generated every batch fresh.
+    assert_eq!(report.stats.pointsto_batches_reused, 0);
+    assert!(report.stats.pointsto_batches_generated > 0);
+    // The stats serialize into the report JSON.
+    assert!(report.to_json().contains("pointsto_batches_generated"));
 }
 
 #[test]

@@ -519,6 +519,14 @@ macro_rules! prop_assert_eq {
             return ::std::result::Result::Err(format!("prop_assert_eq failed: {a:?} != {b:?}"));
         }
     }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return ::std::result::Result::Err(format!(
+                "prop_assert_eq failed ({}): {a:?} != {b:?}", format!($($fmt)+)
+            ));
+        }
+    }};
 }
 
 /// Inequality assertion; returns an error from the test case on failure.
@@ -528,6 +536,14 @@ macro_rules! prop_assert_ne {
         let (a, b) = (&$a, &$b);
         if !(a != b) {
             return ::std::result::Result::Err(format!("prop_assert_ne failed: both were {a:?}"));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a != b) {
+            return ::std::result::Result::Err(format!(
+                "prop_assert_ne failed ({}): both were {a:?}", format!($($fmt)+)
+            ));
         }
     }};
 }
