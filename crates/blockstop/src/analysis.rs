@@ -80,7 +80,7 @@ pub const ATOMIC_EXIT: &[&str] = &[
 ];
 
 /// Configuration for a BlockStop run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BlockStopConfig {
     /// Points-to precision used to resolve function-pointer calls.
     pub sensitivity: Sensitivity,
@@ -103,6 +103,9 @@ pub struct Finding {
     /// One call chain from a blocking target down to a blocking seed,
     /// for diagnosis (innermost last).
     pub example_chain: Vec<String>,
+    /// Span of the statement containing the flagged call (synthetic when
+    /// the program was built programmatically rather than parsed).
+    pub span: Span,
 }
 
 /// Why a call site is considered to execute in atomic context.
@@ -118,6 +121,29 @@ pub enum AtomicReason {
     /// The enclosing function is reachable from an atomic call site in some
     /// caller.
     CalledFromAtomic,
+}
+
+impl AtomicReason {
+    /// Stable name used by the persisted report encoding.
+    pub fn name(self) -> &'static str {
+        match self {
+            AtomicReason::InterruptHandler => "interrupt-handler",
+            AtomicReason::DisablesIrq => "disables-irq",
+            AtomicReason::InsideAtomicRegion => "inside-atomic-region",
+            AtomicReason::CalledFromAtomic => "called-from-atomic",
+        }
+    }
+
+    /// Parses the stable name back (inverse of [`AtomicReason::name`]).
+    pub fn from_name(name: &str) -> Option<AtomicReason> {
+        match name {
+            "interrupt-handler" => Some(AtomicReason::InterruptHandler),
+            "disables-irq" => Some(AtomicReason::DisablesIrq),
+            "inside-atomic-region" => Some(AtomicReason::InsideAtomicRegion),
+            "called-from-atomic" => Some(AtomicReason::CalledFromAtomic),
+            _ => None,
+        }
+    }
 }
 
 /// The result of a BlockStop analysis.
@@ -173,6 +199,8 @@ struct Site {
     /// True if the site sits inside an IRQ-disabled / spinlocked region of
     /// the caller's body.
     in_atomic_region: bool,
+    /// Span of the statement containing the call.
+    span: Span,
 }
 
 impl BlockStop {
@@ -341,6 +369,7 @@ impl BlockStop {
                 blocking_targets,
                 reason,
                 example_chain,
+                span: site.span,
             });
         }
         report
@@ -369,9 +398,13 @@ fn collect_sites_in_block(
     out: &mut Vec<Site>,
 ) {
     for stmt in &block.stmts {
+        // The statement's span localizes every call inside it — KC
+        // expressions carry no spans of their own, so the enclosing
+        // statement is the finest line-accurate anchor available.
+        let span = stmt.span();
         match stmt {
             Stmt::If(c, t, e, _) => {
-                collect_sites_in_expr(program, pts, func, c, *depth, out);
+                collect_sites_in_expr(program, pts, func, c, *depth, span, out);
                 let mut d_then = *depth;
                 collect_sites_in_block(program, pts, func, t, &mut d_then, out);
                 if let Some(e) = e {
@@ -380,7 +413,7 @@ fn collect_sites_in_block(
                 }
             }
             Stmt::While(c, b, _) => {
-                collect_sites_in_expr(program, pts, func, c, *depth, out);
+                collect_sites_in_expr(program, pts, func, c, *depth, span, out);
                 let mut d_body = *depth;
                 collect_sites_in_block(program, pts, func, b, &mut d_body, out);
             }
@@ -397,17 +430,17 @@ fn collect_sites_in_block(
                     if let Expr::Call(callee, _) = e {
                         if let Expr::Var(name) = &**callee {
                             if ATOMIC_ENTER.contains(&name.as_str()) {
-                                collect_sites_in_expr(program, pts, func, e, *depth, out);
+                                collect_sites_in_expr(program, pts, func, e, *depth, span, out);
                                 *depth += 1;
                                 continue;
                             }
                             if ATOMIC_EXIT.contains(&name.as_str()) {
                                 *depth = depth.saturating_sub(1);
-                                collect_sites_in_expr(program, pts, func, e, *depth, out);
+                                collect_sites_in_expr(program, pts, func, e, *depth, span, out);
                                 continue;
                             }
                         }
-                        collect_one_site(program, pts, func, e, *depth, out);
+                        collect_one_site(program, pts, func, e, *depth, span, out);
                     }
                 }
             }
@@ -421,11 +454,12 @@ fn collect_sites_in_expr(
     func: &Function,
     e: &Expr,
     depth: u32,
+    span: Span,
     out: &mut Vec<Site>,
 ) {
     visit::walk_expr(e, &mut |sub| {
         if matches!(sub, Expr::Call(..)) {
-            collect_one_site(program, pts, func, sub, depth, out);
+            collect_one_site(program, pts, func, sub, depth, span, out);
         }
     });
 }
@@ -436,6 +470,7 @@ fn collect_one_site(
     func: &Function,
     call: &Expr,
     depth: u32,
+    span: Span,
     out: &mut Vec<Site>,
 ) {
     let Expr::Call(callee, args) = call else {
@@ -461,6 +496,7 @@ fn collect_one_site(
         targets,
         waits_for_memory: waits,
         in_atomic_region: depth > 0,
+        span,
     });
 }
 
@@ -715,6 +751,27 @@ mod tests {
             .expect("real bug 2 must be found");
         let last = finding.example_chain.last().unwrap();
         assert!(r.seeds.contains(last), "chain {:?}", finding.example_chain);
+    }
+
+    #[test]
+    fn findings_carry_call_site_spans() {
+        let p = parse_program(TTY).unwrap();
+        let r = BlockStop::new().analyze(&p);
+        let f = r
+            .findings
+            .iter()
+            .find(|f| f.caller == "queue_packet")
+            .expect("GFP_WAIT bug is found");
+        assert!(f.span.is_real(), "parsed programs yield real spans");
+        let expected_line = TTY
+            .lines()
+            .position(|l| l.contains("kmalloc(len, 0x10)"))
+            .expect("source contains the bug") as u32
+            + 1;
+        assert_eq!(
+            f.span.start.line, expected_line,
+            "the finding points at the allocating statement, not the function"
+        );
     }
 
     #[test]

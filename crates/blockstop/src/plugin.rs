@@ -2,19 +2,132 @@
 //!
 //! BlockStop is inherently whole-program — atomic context flows *down* the
 //! call graph from interrupt handlers, may-block facts flow *up* from
-//! sleeping primitives — so the adapter memoizes one [`BlockStopReport`] in
-//! the shared [`AnalysisCtx`] (reusing the context's points-to results and
-//! call graph instead of recomputing its own) and attributes findings to
-//! their caller function. The cache fingerprint folds in the caller-derived
+//! sleeping primitives — so the adapter demands one [`BlockStopReport`]
+//! through the typed query layer ([`ReportQuery`], keyed by the analysis
+//! configuration, reusing the db's points-to results and call graph) and
+//! attributes findings to their caller function at the flagged call-site
+//! span. The report is a [`DurableQuery`]: with a persist layer attached,
+//! a warm process reloads it from `target/ivy-cache/` instead of solving
+//! points-to again. The cache fingerprint folds in the caller-derived
 //! state a finding depends on beyond the function's callee cone: the
 //! function's atomic/may-block membership and its own finding set.
 
-use crate::analysis::{BlockStop, BlockStopConfig, BlockStopReport, Finding};
+use crate::analysis::{AtomicReason, BlockStop, BlockStopConfig, BlockStopReport, Finding};
 use ivy_analysis::pointsto::Sensitivity;
 use ivy_analysis::summary::{fnv1a, mix};
 use ivy_cmir::ast::Function;
-use ivy_engine::{AnalysisCtx, Checker, Diagnostic, Severity};
+use ivy_engine::json::{Map, Value};
+use ivy_engine::persist::{
+    span_from_value, span_to_value, string_set_from_value, string_vec_from_value, strings_to_value,
+};
+use ivy_engine::{
+    AnalysisCtx, Checker, Diagnostic, DurableQuery, Query, QueryDb, QueryKey, Severity,
+};
 use std::sync::Arc;
+
+impl QueryKey for BlockStopConfig {
+    fn stable_hash(&self) -> u64 {
+        let mut h = fnv1a(self.sensitivity.name().as_bytes());
+        for name in &self.asserted_functions {
+            h = mix(h, fnv1a(name.as_bytes()));
+        }
+        h
+    }
+}
+
+/// The whole-program BlockStop report as a typed query, keyed by the
+/// analysis configuration.
+pub struct ReportQuery;
+
+impl Query for ReportQuery {
+    type Key = BlockStopConfig;
+    type Value = BlockStopReport;
+    const NAME: &'static str = "blockstop/report";
+
+    fn compute(db: &QueryDb, key: &BlockStopConfig) -> BlockStopReport {
+        let sens = key.sensitivity;
+        let pts = db.pointsto(sens);
+        let cg = db.callgraph(sens);
+        BlockStop::with_config(key.clone()).analyze_with(&db.program, &pts, &cg)
+    }
+}
+
+impl DurableQuery for ReportQuery {
+    const FORMAT_VERSION: u32 = 1;
+
+    fn durable_key(db: &QueryDb, key: &BlockStopConfig) -> u64 {
+        // Whole-program artifact: valid exactly for this program content.
+        mix(db.program_hash, key.stable_hash())
+    }
+
+    fn encode(report: &BlockStopReport) -> Value {
+        let findings: Vec<Value> = report
+            .findings
+            .iter()
+            .map(|f| {
+                let mut m = Map::new();
+                m.insert("caller".into(), Value::from(f.caller.as_str()));
+                m.insert("callee_text".into(), Value::from(f.callee_text.as_str()));
+                m.insert(
+                    "blocking_targets".into(),
+                    strings_to_value(&f.blocking_targets),
+                );
+                m.insert("reason".into(), Value::from(f.reason.name()));
+                m.insert("example_chain".into(), strings_to_value(&f.example_chain));
+                m.insert("span".into(), span_to_value(&f.span));
+                Value::Object(m)
+            })
+            .collect();
+        let mut root = Map::new();
+        root.insert("may_block".into(), strings_to_value(&report.may_block));
+        root.insert("seeds".into(), strings_to_value(&report.seeds));
+        root.insert(
+            "atomic_functions".into(),
+            strings_to_value(&report.atomic_functions),
+        );
+        root.insert("findings".into(), Value::Array(findings));
+        root.insert(
+            "callgraph_edges".into(),
+            Value::from(report.callgraph_edges),
+        );
+        root.insert(
+            "unresolved_indirect_sites".into(),
+            Value::from(report.unresolved_indirect_sites),
+        );
+        root.insert(
+            "suppressed_by_assert".into(),
+            Value::from(report.suppressed_by_assert),
+        );
+        Value::Object(root)
+    }
+
+    fn decode(raw: &Value) -> Option<BlockStopReport> {
+        let findings = raw
+            .get("findings")?
+            .as_array()?
+            .iter()
+            .map(|f| {
+                Some(Finding {
+                    caller: f.get("caller")?.as_str()?.to_string(),
+                    callee_text: f.get("callee_text")?.as_str()?.to_string(),
+                    blocking_targets: string_set_from_value(f.get("blocking_targets")?)?,
+                    reason: AtomicReason::from_name(f.get("reason")?.as_str()?)?,
+                    example_chain: string_vec_from_value(f.get("example_chain")?)?,
+                    span: span_from_value(f.get("span")?)?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?;
+        Some(BlockStopReport {
+            may_block: string_set_from_value(raw.get("may_block")?)?,
+            seeds: string_set_from_value(raw.get("seeds")?)?,
+            atomic_functions: string_set_from_value(raw.get("atomic_functions")?)?,
+            findings,
+            callgraph_edges: raw.get("callgraph_edges")?.as_u64()? as usize,
+            unresolved_indirect_sites: raw.get("unresolved_indirect_sites")?.as_u64()? as usize,
+            suppressed_by_assert: raw.get("suppressed_by_assert")?.as_u64()?,
+        })
+    }
+}
 
 /// BlockStop as an engine plugin.
 #[derive(Debug, Clone, Default)]
@@ -35,23 +148,14 @@ impl BlockStopChecker {
     }
 
     fn config_hash(&self) -> u64 {
-        let mut h = fnv1a(self.config.sensitivity.name().as_bytes());
-        for name in &self.config.asserted_functions {
-            h = mix(h, fnv1a(name.as_bytes()));
-        }
-        h
+        self.config.stable_hash()
     }
 
-    /// The memoized whole-program report for a shared context. Exposed so
-    /// the pipeline can reuse the exact report the plugin produced.
+    /// The whole-program report for a shared context, demanded through the
+    /// durable query layer. Exposed so the pipeline can reuse the exact
+    /// report the plugin produced.
     pub fn report(&self, ctx: &AnalysisCtx) -> Arc<BlockStopReport> {
-        let key = format!("blockstop/report/{:016x}", self.config_hash());
-        ctx.memo(&key, || {
-            let sens = self.config.sensitivity;
-            let pts = ctx.pointsto(sens);
-            let cg = ctx.callgraph(sens);
-            BlockStop::with_config(self.config.clone()).analyze_with(&ctx.program, &pts, &cg)
-        })
+        ctx.get_durable::<ReportQuery>(&self.config)
     }
 
     fn finding_to_diagnostic(&self, finding: &Finding) -> Diagnostic {
@@ -73,7 +177,7 @@ impl BlockStopChecker {
                 targets.join(", "),
                 chain
             ),
-            span: None,
+            span: finding.span.is_real().then_some(finding.span),
             fix_hint: Some(format!(
                 "fix the call path, or insert a run-time `__assert_may_block` at the entry of `{}` and list it in BlockStopConfig::asserted_functions if this is a false positive",
                 finding.blocking_targets.iter().next().unwrap_or(&finding.callee_text)
@@ -114,5 +218,68 @@ impl Checker for BlockStopChecker {
             .filter(|f| f.caller == func.name)
             .map(|f| self.finding_to_diagnostic(f))
             .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivy_cmir::parser::parse_program;
+
+    #[test]
+    fn report_roundtrips_through_the_durable_encoding() {
+        let p = parse_program(
+            r#"
+            extern fn spin_lock_irqsave(l: u32 *);
+            extern fn spin_unlock_irqrestore(l: u32 *);
+            #[blocking]
+            extern fn wait_for_completion(x: u32 *);
+            global lock: u32 = 0;
+            global done: u32 = 0;
+            fn bad() {
+                spin_lock_irqsave(&lock);
+                wait_for_completion(&done);
+                spin_unlock_irqrestore(&lock);
+            }
+            "#,
+        )
+        .unwrap();
+        let report = BlockStop::new().analyze(&p);
+        assert!(!report.findings.is_empty());
+        let decoded = <ReportQuery as DurableQuery>::decode(&ReportQuery::encode(&report))
+            .expect("well-formed encoding decodes");
+        assert_eq!(decoded.findings, report.findings);
+        assert_eq!(decoded.may_block, report.may_block);
+        assert_eq!(decoded.atomic_functions, report.atomic_functions);
+        assert_eq!(decoded.suppressed_by_assert, report.suppressed_by_assert);
+        // Spans survive the roundtrip (they feed SARIF line accuracy).
+        assert!(decoded.findings[0].span.is_real());
+        // Tampering is rejected.
+        assert!(<ReportQuery as DurableQuery>::decode(&Value::from(3u64)).is_none());
+    }
+
+    #[test]
+    fn diagnostics_carry_call_site_spans() {
+        let p = parse_program(
+            r#"
+            #[blocking]
+            extern fn msleep(ms: u32);
+            #[irq_handler]
+            fn tick() {
+                msleep(10);
+            }
+            "#,
+        )
+        .unwrap();
+        let ctx = AnalysisCtx::new(&p);
+        let checker = BlockStopChecker::new();
+        let func = ctx.program.function("tick").unwrap();
+        let diags = checker.check_function(&ctx, func);
+        assert_eq!(diags.len(), 1);
+        let span = diags[0].span.expect("parsed program yields a span");
+        assert_ne!(
+            span, func.span,
+            "the diagnostic points at the call statement, not the function"
+        );
     }
 }

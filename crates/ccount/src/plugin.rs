@@ -12,9 +12,101 @@ use crate::analyze::{analyze, analyze_function, InstrumentationReport};
 use ivy_analysis::pointsto::{Loc, Sensitivity};
 use ivy_cmir::ast::Function;
 use ivy_engine::hash::{fnv1a, mix};
-use ivy_engine::{AnalysisCtx, Checker, Diagnostic, Severity};
+use ivy_engine::json::Value;
+use ivy_engine::persist::{string_set_from_value, strings_to_value};
+use ivy_engine::{AnalysisCtx, Checker, Diagnostic, DurableQuery, Query, QueryDb, Severity};
 use std::collections::BTreeSet;
 use std::sync::Arc;
+
+/// The whole-program CCount instrumentation report (used by the pipeline;
+/// per-function checking uses [`FnReportQuery`]).
+pub struct ProgramReportQuery;
+
+impl Query for ProgramReportQuery {
+    type Key = ();
+    type Value = InstrumentationReport;
+    const NAME: &'static str = "ccount/report";
+
+    fn compute(db: &QueryDb, _key: &()) -> InstrumentationReport {
+        analyze(&db.program)
+    }
+}
+
+/// The per-function instrumentation report, keyed by function name — the
+/// cache fingerprint and the per-function check both need it, and
+/// fingerprints run on every engine pass, so one AST traversal per
+/// function per db must suffice.
+pub struct FnReportQuery;
+
+impl Query for FnReportQuery {
+    type Key = String;
+    type Value = InstrumentationReport;
+    const NAME: &'static str = "ccount/fn-report";
+
+    fn compute(db: &QueryDb, key: &String) -> InstrumentationReport {
+        let func = db
+            .program
+            .function(key)
+            .expect("fn-report queried for a known function");
+        analyze_function(&db.program, func)
+    }
+}
+
+/// Alias query against the shared points-to substrate: the candidate heap
+/// allocation sites of every pointer the function frees as a raw `void *`.
+/// These are exactly the objects whose layout would have to be registered
+/// with CCount, so the untyped-free warning can name them. Durable (keyed
+/// by program content): the fingerprint reads it on every pass, and a warm
+/// process must serve it without solving points-to.
+pub struct UntypedFreeSitesQuery;
+
+impl Query for UntypedFreeSitesQuery {
+    type Key = String;
+    type Value = BTreeSet<String>;
+    const NAME: &'static str = "ccount/untyped-free-sites";
+
+    fn compute(db: &QueryDb, key: &String) -> BTreeSet<String> {
+        let vars = db.get::<FnReportQuery>(key).untyped_free_roots.clone();
+        if vars.is_empty() {
+            return BTreeSet::new();
+        }
+        let pts = db.pointsto(CCountChecker.sensitivity());
+        let mut sites = BTreeSet::new();
+        for var in vars {
+            let loc = if db.program.global(&var).is_some() {
+                Loc::Global(var)
+            } else {
+                Loc::Local {
+                    func: key.clone(),
+                    var,
+                }
+            };
+            sites.extend(pts.points_to(&loc).into_iter().filter_map(|l| match l {
+                Loc::Alloc { site } => Some(site),
+                _ => None,
+            }));
+        }
+        sites
+    }
+}
+
+impl DurableQuery for UntypedFreeSitesQuery {
+    const FORMAT_VERSION: u32 = 1;
+
+    fn durable_key(db: &QueryDb, key: &String) -> u64 {
+        // The sites come from whole-program points-to: valid exactly for
+        // this program content.
+        mix(db.program_hash, fnv1a(key.as_bytes()))
+    }
+
+    fn encode(sites: &BTreeSet<String>) -> Value {
+        strings_to_value(sites)
+    }
+
+    fn decode(raw: &Value) -> Option<BTreeSet<String>> {
+        string_set_from_value(raw)
+    }
+}
 
 /// CCount as an engine plugin.
 #[derive(Debug, Clone, Copy, Default)]
@@ -26,56 +118,21 @@ impl CCountChecker {
         CCountChecker
     }
 
-    /// The memoized whole-program instrumentation report for a shared
-    /// context (used by the pipeline; per-function checking below does not
-    /// need it).
+    /// The whole-program instrumentation report for a shared context.
     pub fn report(&self, ctx: &AnalysisCtx) -> Arc<InstrumentationReport> {
-        ctx.memo("ccount/report", || analyze(&ctx.program))
+        ctx.get::<ProgramReportQuery>(&())
     }
 
-    /// The per-function instrumentation report, memoized per context — the
-    /// cache fingerprint and the per-function check both need it, and
-    /// fingerprints run on every engine pass, so one AST traversal per
-    /// function per context must suffice.
     fn function_report(&self, ctx: &AnalysisCtx, func: &Function) -> Arc<InstrumentationReport> {
-        let key = format!("ccount/fn-report/{}", func.name);
-        ctx.memo(&key, || analyze_function(&ctx.program, func))
+        ctx.get::<FnReportQuery>(&func.name)
     }
 
-    /// Alias query against the shared points-to substrate: the candidate
-    /// heap allocation sites of every pointer the function frees as a raw
-    /// `void *`. These are exactly the objects whose layout would have to
-    /// be registered with CCount, so the untyped-free warning can name
-    /// them.
     fn alloc_sites_of_untyped_frees(
         &self,
         ctx: &AnalysisCtx,
         func: &Function,
     ) -> Arc<BTreeSet<String>> {
-        let key = format!("ccount/untyped-free-sites/{}", func.name);
-        ctx.memo(&key, || {
-            let vars = self.function_report(ctx, func).untyped_free_roots.clone();
-            if vars.is_empty() {
-                return BTreeSet::new();
-            }
-            let pts = ctx.pointsto(self.sensitivity());
-            let mut sites = BTreeSet::new();
-            for var in vars {
-                let loc = if ctx.program.global(&var).is_some() {
-                    Loc::Global(var)
-                } else {
-                    Loc::Local {
-                        func: func.name.clone(),
-                        var,
-                    }
-                };
-                sites.extend(pts.points_to(&loc).into_iter().filter_map(|l| match l {
-                    Loc::Alloc { site } => Some(site),
-                    _ => None,
-                }));
-            }
-            sites
-        })
+        ctx.get_durable::<UntypedFreeSitesQuery>(&func.name)
     }
 }
 

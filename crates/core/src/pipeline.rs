@@ -24,7 +24,7 @@ use ivy_ccount::{CCountChecker, InstrumentationReport};
 use ivy_cmir::ast::Program;
 use ivy_deputy::plugin::DeputyChecker;
 use ivy_deputy::{ConversionReport, Deputy};
-use ivy_engine::{CtxStore, Diagnostic, DiagnosticCache, Engine, Report};
+use ivy_engine::{CtxStore, Diagnostic, DiagnosticCache, Engine, PersistLayer, Report};
 use ivy_kernelgen::KernelBuild;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -38,6 +38,7 @@ pub struct Pipeline {
     cache: Arc<DiagnosticCache>,
     ctx_store: CtxStore,
     pts_cache: Arc<ConstraintCache>,
+    persist: Option<Arc<PersistLayer>>,
 }
 
 impl Default for Pipeline {
@@ -48,14 +49,15 @@ impl Default for Pipeline {
             cache: Arc::new(DiagnosticCache::new()),
             ctx_store: Arc::new(Mutex::new(HashMap::new())),
             pts_cache: Arc::new(ConstraintCache::new()),
+            persist: None,
         }
     }
 }
 
 impl Clone for Pipeline {
-    /// Clones share the diagnostic cache, context store, and points-to
-    /// constraint cache, so a cloned pipeline benefits from the original's
-    /// warm state.
+    /// Clones share the diagnostic cache, context store, points-to
+    /// constraint cache, and persist layer, so a cloned pipeline benefits
+    /// from the original's warm state.
     fn clone(&self) -> Self {
         Pipeline {
             deputy: self.deputy.clone(),
@@ -63,6 +65,7 @@ impl Clone for Pipeline {
             cache: Arc::clone(&self.cache),
             ctx_store: Arc::clone(&self.ctx_store),
             pts_cache: Arc::clone(&self.pts_cache),
+            persist: self.persist.clone(),
         }
     }
 }
@@ -115,6 +118,14 @@ impl Pipeline {
         }
     }
 
+    /// Attaches a cross-process persist layer (builder style): all engine
+    /// stages spill per-function diagnostics and durable query results to
+    /// it, so a separate process running the same pipeline starts warm.
+    pub fn with_persist(mut self, persist: Arc<PersistLayer>) -> Self {
+        self.persist = Some(persist);
+        self
+    }
+
     /// The diagnostic cache shared by this pipeline's engine stages; expose
     /// it to observe hit rates across repeated runs.
     pub fn cache(&self) -> Arc<DiagnosticCache> {
@@ -126,11 +137,15 @@ impl Pipeline {
         // pipeline's program states (fixed → asserted → deputized) share
         // almost all function bodies, so each state regenerates constraints
         // only for the functions the previous stage actually rewrote.
-        Engine::new()
+        let engine = Engine::new()
             .with_threads(self.threads)
             .with_cache(Arc::clone(&self.cache))
             .with_ctx_store(Arc::clone(&self.ctx_store))
-            .with_pointsto_cache(Arc::clone(&self.pts_cache))
+            .with_pointsto_cache(Arc::clone(&self.pts_cache));
+        match &self.persist {
+            Some(layer) => engine.with_persist(Arc::clone(layer)),
+            None => engine,
+        }
     }
 
     /// Runs the whole pipeline over a generated kernel.
@@ -190,6 +205,8 @@ impl Pipeline {
         let mut stats = post_report.stats.clone();
         stats.cache_hits += final_report.stats.cache_hits;
         stats.cache_misses += final_report.stats.cache_misses;
+        stats.persist_hits += final_report.stats.persist_hits;
+        stats.persist_misses += final_report.stats.persist_misses;
         let report = Report::new(diagnostics, stats);
 
         Hardened {
@@ -270,6 +287,43 @@ mod tests {
             .filter(|d| d.severity == ivy_engine::Severity::Error)
             .count();
         assert_eq!(blockstop_errors, hardened.blockstop_after.findings.len());
+    }
+
+    #[test]
+    fn separate_pipeline_processes_share_the_persist_layer() {
+        let build = KernelBuild::generate(&KernelConfig::small());
+        let dir = std::env::temp_dir().join(format!("ivy-pipeline-persist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // "Process A": cold pipeline, spills to the persist directory.
+        let first = Pipeline::new()
+            .with_persist(Arc::new(PersistLayer::open(&dir).unwrap()))
+            .run(&build);
+
+        // "Process B": every in-memory cache is fresh; only the directory
+        // is shared. Deputization and checking are served from disk.
+        let second = Pipeline::new()
+            .with_persist(Arc::new(PersistLayer::open(&dir).unwrap()))
+            .run(&build);
+        assert_eq!(first.report.diagnostics, second.report.diagnostics);
+        assert_eq!(
+            first.report.diagnostics_json(),
+            second.report.diagnostics_json()
+        );
+        // The hardened programs are textually identical (AST spans may
+        // differ: reloaded instrumented bodies carry spans from their
+        // pretty-printed persisted form, which never affect semantics,
+        // hashing, or serialized output).
+        assert_eq!(
+            ivy_cmir::pretty::pretty_program(&first.program),
+            ivy_cmir::pretty::pretty_program(&second.program)
+        );
+        assert!(
+            second.report.stats.persist_hits > 0,
+            "warm pipeline process must be served from the persist layer: {:?}",
+            second.report.stats
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

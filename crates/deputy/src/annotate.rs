@@ -37,6 +37,7 @@ pub fn validate_annotations(program: &Program, report: &mut ConversionReport) ->
                             "bounds annotation mentions `{var}`, which is neither a sibling field nor a global"
                         ),
                         severity: Severity::Error,
+                        span: Some(field.span),
                     });
                 }
             }
@@ -46,6 +47,7 @@ pub fn validate_annotations(program: &Program, report: &mut ConversionReport) ->
                         function: format!("{}::{}", comp.name, field.name),
                         message: format!("when() refers to unknown tag field `{tag}`"),
                         severity: Severity::Error,
+                        span: Some(field.span),
                     });
                 }
             }
@@ -61,6 +63,7 @@ pub fn validate_annotations(program: &Program, report: &mut ConversionReport) ->
                     function: format!("global {}", g.decl.name),
                     message: format!("bounds annotation mentions unknown global `{var}`"),
                     severity: Severity::Error,
+                    span: Some(g.decl.span),
                 });
             }
         }
@@ -84,6 +87,7 @@ pub fn validate_annotations(program: &Program, report: &mut ConversionReport) ->
                             p.name
                         ),
                         severity: Severity::Error,
+                        span: Some(if p.span.is_real() { p.span } else { f.span }),
                     });
                 }
             }
@@ -101,6 +105,11 @@ pub fn validate_annotations(program: &Program, report: &mut ConversionReport) ->
                                 decl.name
                             ),
                             severity: Severity::Error,
+                            span: Some(if decl.span.is_real() {
+                                decl.span
+                            } else {
+                                f.span
+                            }),
                         });
                     }
                 }

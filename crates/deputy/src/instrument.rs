@@ -141,6 +141,9 @@ struct Instrumenter<'p> {
     func: &'p Function,
     report: &'p mut ConversionReport,
     facts: Vec<LessFact>,
+    /// Span of the statement currently being rewritten; diagnostics raised
+    /// while checking its expressions attach here (line-accurate SARIF).
+    current_span: Span,
 }
 
 fn instrument_function(
@@ -167,6 +170,7 @@ fn instrument_function(
         func,
         report,
         facts: Vec::new(),
+        current_span: func.span,
     };
     let body = func
         .body
@@ -190,6 +194,9 @@ impl<'p> Instrumenter<'p> {
     }
 
     fn rewrite_stmt(&mut self, stmt: &Stmt, ctx: &mut TypeCtx<'p>, out: &mut Vec<Stmt>) {
+        if stmt.span().is_real() {
+            self.current_span = stmt.span();
+        }
         match stmt {
             Stmt::Expr(e, span) => {
                 self.emit_checks_for_expr(e, ctx, out);
@@ -474,6 +481,7 @@ impl<'p> Instrumenter<'p> {
             function: self.func.name.clone(),
             message: message.into(),
             severity: Severity::Error,
+            span: Some(self.current_span).filter(|s| s.is_real()),
         });
     }
 
@@ -482,6 +490,7 @@ impl<'p> Instrumenter<'p> {
             function: self.func.name.clone(),
             message: message.into(),
             severity: Severity::Note,
+            span: Some(self.current_span).filter(|s| s.is_real()),
         });
     }
 }

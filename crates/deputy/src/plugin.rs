@@ -1,11 +1,17 @@
 //! The Deputy checker plugin for `ivy-engine`.
 //!
 //! Deputy checking decomposes cleanly per function: validation and default
-//! inference are prepared once per program (memoized in the shared
-//! [`AnalysisCtx`]), then each function is instrumented independently —
+//! inference are prepared once per program ([`PreparedQuery`]), then each
+//! function is instrumented independently ([`InstrumentedQuery`]) —
 //! call-site obligations only consult *signatures* of callees, never their
-//! bodies. The cache fingerprint is therefore the whole-program type
-//! environment hash: a body edit leaves every other function's Deputy
+//! bodies. The instrumented query is a [`DurableQuery`] keyed by the
+//! function's span-insensitive content hash and the whole-program type
+//! environment hash: with a persist layer attached, re-deputization after
+//! a one-function edit re-instruments exactly the edited function — in
+//! this process or a later one — and the instrumented body travels as
+//! pretty-printed KC source (the parser round-trips inserted checks).
+//! The cache fingerprint for per-function diagnostics is the env hash for
+//! the same reason: a body edit leaves every other function's Deputy
 //! result cached, which is exactly the dirty-cone behaviour the engine's
 //! incremental loop relies on.
 
@@ -14,11 +20,23 @@ use crate::report::{ConversionReport, DeputyDiagnostic, Severity as DeputySeveri
 use ivy_analysis::callgraph::calls_in;
 use ivy_analysis::pointsto::Sensitivity;
 use ivy_cmir::ast::{Expr, Function, Program};
-use ivy_cmir::pretty::{expr_str, type_str};
+use ivy_cmir::content::function_content_hash;
+use ivy_cmir::parser::parse_program;
+use ivy_cmir::pretty::{expr_str, pretty_function, type_str};
 use ivy_engine::hash::{fnv1a, mix};
-use ivy_engine::{AnalysisCtx, Checker, Diagnostic, Severity};
+use ivy_engine::json::{Map, Value};
+use ivy_engine::persist::{span_from_value, span_to_value};
+use ivy_engine::{
+    AnalysisCtx, Checker, Diagnostic, DurableQuery, Query, QueryDb, QueryKey, Severity,
+};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
+
+impl QueryKey for DeputyConfig {
+    fn stable_hash(&self) -> u64 {
+        fnv1a(format!("{self:?}").as_bytes())
+    }
+}
 
 /// Deputy as an engine plugin.
 #[derive(Debug, Clone, Default)]
@@ -27,13 +45,218 @@ pub struct DeputyChecker {
     pub config: DeputyConfig,
 }
 
-/// The memoized preparation result: the program with defaults inferred,
-/// plus the validation/inference report.
+/// The prepared-program result: the program with defaults inferred, plus
+/// the validation/inference report.
 pub struct Prepared {
     /// Program after validation and default inference.
     pub program: Program,
     /// Validation diagnostics and inference counts.
     pub report: ConversionReport,
+}
+
+/// Validation + default inference for a whole program, keyed by the
+/// conversion configuration.
+pub struct PreparedQuery;
+
+impl Query for PreparedQuery {
+    type Key = DeputyConfig;
+    type Value = Prepared;
+    const NAME: &'static str = "deputy/prepared";
+
+    fn compute(db: &QueryDb, key: &DeputyConfig) -> Prepared {
+        let deputy = Deputy::with_config(*key);
+        let (program, report) = deputy.prepare(&db.program);
+        Prepared { program, report }
+    }
+}
+
+/// Key of [`InstrumentedQuery`]: content-addressed, so a durable entry is
+/// valid exactly as long as the function's own definition and the
+/// whole-program type environment (the two inputs instrumentation reads)
+/// are unchanged — a one-function edit invalidates one entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstrumentedKey {
+    /// Conversion configuration.
+    pub config: DeputyConfig,
+    /// Function name.
+    pub function: String,
+    /// Span-insensitive structural hash of the function definition.
+    pub content_hash: u64,
+    /// Whole-program type environment hash (callee signatures, composites).
+    pub env_hash: u64,
+}
+
+impl QueryKey for InstrumentedKey {
+    fn stable_hash(&self) -> u64 {
+        let h = mix(self.config.stable_hash(), fnv1a(self.function.as_bytes()));
+        mix(mix(h, self.content_hash), self.env_hash)
+    }
+}
+
+/// The instrumented ("deputized") form of one function against the
+/// prepared program, plus its conversion report. Durable: the body is
+/// persisted as pretty-printed KC source and re-parsed on reload.
+pub struct InstrumentedQuery;
+
+impl Query for InstrumentedQuery {
+    type Key = InstrumentedKey;
+    type Value = (Function, ConversionReport);
+    const NAME: &'static str = "deputy/instrumented";
+
+    fn compute(db: &QueryDb, key: &InstrumentedKey) -> (Function, ConversionReport) {
+        let prepared = db.get::<PreparedQuery>(&key.config);
+        let subject = prepared
+            .program
+            .function(&key.function)
+            .or_else(|| db.program.function(&key.function))
+            .expect("instrumented query demanded for a known function");
+        convert_function(&prepared.program, subject)
+    }
+}
+
+impl DurableQuery for InstrumentedQuery {
+    const FORMAT_VERSION: u32 = 1;
+
+    fn encode(value: &(Function, ConversionReport)) -> Value {
+        let mut root = Map::new();
+        root.insert(
+            "func".into(),
+            Value::from(pretty_function(&value.0).as_str()),
+        );
+        root.insert("report".into(), report_to_value(&value.1));
+        Value::Object(root)
+    }
+
+    fn decode(raw: &Value) -> Option<(Function, ConversionReport)> {
+        let program = parse_program(raw.get("func")?.as_str()?).ok()?;
+        let func = program.functions.into_iter().next()?;
+        Some((func, report_from_value(raw.get("report")?)?))
+    }
+}
+
+/// Whole-program conversion assembled from the per-function
+/// instrumentations, keyed by configuration.
+pub struct ConversionQuery;
+
+impl Query for ConversionQuery {
+    type Key = DeputyConfig;
+    type Value = Conversion;
+    const NAME: &'static str = "deputy/conversion";
+
+    fn compute(db: &QueryDb, key: &DeputyConfig) -> Conversion {
+        DeputyChecker::with_config(*key).assemble_conversion(db)
+    }
+}
+
+/// Resolved indirect-call target groups per function (see
+/// [`DeputyChecker::indirect_signature_groups`]); keyed by configuration
+/// and function name. Not durable: it reads points-to target sets, and is
+/// only demanded when the (off-by-default) drift check is enabled.
+pub struct IndirectGroupsQuery;
+
+impl Query for IndirectGroupsQuery {
+    type Key = (DeputyConfig, String);
+    type Value = BTreeMap<String, BTreeMap<String, BTreeSet<String>>>;
+    const NAME: &'static str = "deputy/indirect-groups";
+
+    fn compute(db: &QueryDb, key: &(DeputyConfig, String)) -> Self::Value {
+        let Some(func) = db.program.function(&key.1) else {
+            return BTreeMap::new();
+        };
+        DeputyChecker::with_config(key.0).compute_indirect_signature_groups(db, func)
+    }
+}
+
+/// Encodes a [`ConversionReport`] for persistence.
+fn report_to_value(report: &ConversionReport) -> Value {
+    let mut runtime = Map::new();
+    for (kind, n) in &report.runtime_checks {
+        runtime.insert(kind.clone(), Value::from(*n));
+    }
+    let mut per_fn = Map::new();
+    for (function, n) in &report.checks_per_function {
+        per_fn.insert(function.clone(), Value::from(*n));
+    }
+    let diagnostics: Vec<Value> = report
+        .diagnostics
+        .iter()
+        .map(|d| {
+            let mut m = Map::new();
+            m.insert("function".into(), Value::from(d.function.as_str()));
+            m.insert("message".into(), Value::from(d.message.as_str()));
+            m.insert(
+                "severity".into(),
+                Value::from(match d.severity {
+                    DeputySeverity::Error => "error",
+                    DeputySeverity::Note => "note",
+                }),
+            );
+            if let Some(span) = &d.span {
+                m.insert("span".into(), span_to_value(span));
+            }
+            Value::Object(m)
+        })
+        .collect();
+    let mut root = Map::new();
+    root.insert(
+        "static_discharged".into(),
+        Value::from(report.static_discharged),
+    );
+    root.insert(
+        "checks_optimized_away".into(),
+        Value::from(report.checks_optimized_away),
+    );
+    root.insert("trusted_sites".into(), Value::from(report.trusted_sites));
+    root.insert(
+        "inferred_defaults".into(),
+        Value::from(report.inferred_defaults),
+    );
+    root.insert("runtime_checks".into(), Value::Object(runtime));
+    root.insert("checks_per_function".into(), Value::Object(per_fn));
+    root.insert("diagnostics".into(), Value::Array(diagnostics));
+    Value::Object(root)
+}
+
+/// Decodes a [`ConversionReport`] from its persisted form.
+fn report_from_value(v: &Value) -> Option<ConversionReport> {
+    let u64_map = |value: &Value| -> Option<BTreeMap<String, u64>> {
+        value
+            .as_object()?
+            .iter()
+            .map(|(k, n)| n.as_u64().map(|n| (k.clone(), n)))
+            .collect()
+    };
+    let diagnostics = v
+        .get("diagnostics")?
+        .as_array()?
+        .iter()
+        .map(|d| {
+            Some(DeputyDiagnostic {
+                function: d.get("function")?.as_str()?.to_string(),
+                message: d.get("message")?.as_str()?.to_string(),
+                severity: match d.get("severity")?.as_str()? {
+                    "error" => DeputySeverity::Error,
+                    "note" => DeputySeverity::Note,
+                    _ => return None,
+                },
+                // Present-but-undecodable spans reject the entry (forcing
+                // recompute) instead of decaying to a spanless diagnostic.
+                span: match d.get("span") {
+                    Some(raw) => Some(span_from_value(raw)?),
+                    None => None,
+                },
+            })
+        })
+        .collect::<Option<Vec<_>>>()?;
+    Some(ConversionReport {
+        static_discharged: v.get("static_discharged")?.as_u64()?,
+        runtime_checks: u64_map(v.get("runtime_checks")?)?,
+        checks_optimized_away: v.get("checks_optimized_away")?.as_u64()?,
+        trusted_sites: v.get("trusted_sites")?.as_u64()?,
+        inferred_defaults: v.get("inferred_defaults")?.as_u64()?,
+        diagnostics,
+        checks_per_function: u64_map(v.get("checks_per_function")?)?,
+    })
 }
 
 impl DeputyChecker {
@@ -48,33 +271,31 @@ impl DeputyChecker {
     }
 
     fn config_hash(&self) -> u64 {
-        fnv1a(format!("{:?}", self.config).as_bytes())
+        self.config.stable_hash()
     }
 
     /// The prepared program for a shared context, computed once.
     pub fn prepared(&self, ctx: &AnalysisCtx) -> Arc<Prepared> {
-        let key = format!("deputy/prepared/{:016x}", self.config_hash());
-        ctx.memo(&key, || {
-            let deputy = Deputy::with_config(self.config);
-            let (program, report) = deputy.prepare(&ctx.program);
-            Prepared { program, report }
-        })
+        ctx.get::<PreparedQuery>(&self.config)
     }
 
     /// The instrumented form of one function (against the prepared
-    /// program), memoized per context so the per-function checking pass and
-    /// a later whole-program [`DeputyChecker::conversion`] share the work.
+    /// program), demanded through the durable query layer so the
+    /// per-function checking pass, a later whole-program
+    /// [`DeputyChecker::conversion`], and warm-started processes all share
+    /// the work.
     pub fn instrumented(
         &self,
         ctx: &AnalysisCtx,
         func: &Function,
     ) -> Arc<(Function, ConversionReport)> {
-        let key = format!("deputy/instr/{:016x}/{}", self.config_hash(), func.name);
-        ctx.memo(&key, || {
-            let prepared = self.prepared(ctx);
-            let subject = prepared.program.function(&func.name).unwrap_or(func);
-            convert_function(&prepared.program, subject)
-        })
+        let key = InstrumentedKey {
+            config: self.config,
+            function: func.name.clone(),
+            content_hash: function_content_hash(func),
+            env_hash: ctx.env_hash(),
+        };
+        ctx.get_durable::<InstrumentedQuery>(&key)
     }
 
     /// The full conversion of a context's program, assembled from the
@@ -82,24 +303,34 @@ impl DeputyChecker {
     /// ran the checker pays nothing extra) and memoized itself. Produces
     /// the same program and report as [`Deputy::convert`].
     pub fn conversion(&self, ctx: &AnalysisCtx) -> Arc<Conversion> {
-        let key = format!("deputy/conversion/{:016x}", self.config_hash());
-        ctx.memo(&key, || {
-            let prepared = self.prepared(ctx);
-            let mut program = prepared.program.clone();
-            let mut report = prepared.report.clone();
-            if self.config.insert_checks {
-                for func in ctx.program.functions.iter().filter(|f| f.body.is_some()) {
-                    let instrumented = self.instrumented(ctx, func);
-                    program.add_function(instrumented.0.clone());
-                    report.merge(&instrumented.1);
-                }
+        ctx.get::<ConversionQuery>(&self.config)
+    }
+
+    /// The body of [`ConversionQuery::compute`]; separated so the query
+    /// and direct callers share one implementation.
+    fn assemble_conversion(&self, db: &QueryDb) -> Conversion {
+        let prepared = db.get::<PreparedQuery>(&self.config);
+        let mut program = prepared.program.clone();
+        let mut report = prepared.report.clone();
+        if self.config.insert_checks {
+            let env_hash = db.env_hash();
+            for func in db.program.functions.iter().filter(|f| f.body.is_some()) {
+                let key = InstrumentedKey {
+                    config: self.config,
+                    function: func.name.clone(),
+                    content_hash: function_content_hash(func),
+                    env_hash,
+                };
+                let instrumented = db.get_durable::<InstrumentedQuery>(&key);
+                program.add_function(instrumented.0.clone());
+                report.merge(&instrumented.1);
             }
-            if self.config.optimize {
-                report.checks_optimized_away =
-                    crate::optimize::eliminate_redundant_checks(&mut program);
-            }
-            Conversion { program, report }
-        })
+        }
+        if self.config.optimize {
+            report.checks_optimized_away =
+                crate::optimize::eliminate_redundant_checks(&mut program);
+        }
+        Conversion { program, report }
     }
 
     /// Query path into the shared points-to substrate: for every indirect
@@ -107,30 +338,25 @@ impl DeputyChecker {
     /// signature (types *and* Deputy annotations). More than one group
     /// means the function-pointer interface is inconsistent — some target
     /// will be entered with obligations its annotations do not state.
-    /// Memoized per context: the cache fingerprint and the per-function
+    /// Demanded as a query: the cache fingerprint and the per-function
     /// check both read it, and fingerprints run on every engine pass.
     fn indirect_signature_groups(
         &self,
         ctx: &AnalysisCtx,
         func: &Function,
     ) -> Arc<BTreeMap<String, BTreeMap<String, BTreeSet<String>>>> {
-        let key = format!(
-            "deputy/indirect-groups/{:016x}/{}",
-            self.config_hash(),
-            func.name
-        );
-        ctx.memo(&key, || self.compute_indirect_signature_groups(ctx, func))
+        ctx.get::<IndirectGroupsQuery>(&(self.config, func.name.clone()))
     }
 
     fn compute_indirect_signature_groups(
         &self,
-        ctx: &AnalysisCtx,
+        db: &QueryDb,
         func: &Function,
     ) -> BTreeMap<String, BTreeMap<String, BTreeSet<String>>> {
-        let pts = ctx.pointsto(self.sensitivity());
+        let pts = db.pointsto(self.sensitivity());
         let mut out: BTreeMap<String, BTreeMap<String, BTreeSet<String>>> = BTreeMap::new();
         for (callee_expr, _argc) in calls_in(func) {
-            if matches!(&callee_expr, Expr::Var(name) if ctx.program.function(name).is_some()) {
+            if matches!(&callee_expr, Expr::Var(name) if db.program.function(name).is_some()) {
                 continue; // direct call
             }
             let text = expr_str(&callee_expr);
@@ -142,7 +368,7 @@ impl DeputyChecker {
             };
             let mut groups: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
             for target in targets {
-                let Some(f) = ctx.program.function(target) else {
+                let Some(f) = db.program.function(target) else {
                     continue;
                 };
                 let sig: String = f
@@ -173,7 +399,7 @@ impl DeputyChecker {
                 DeputySeverity::Note => Severity::Info,
             },
             message: d.message.clone(),
-            span: None,
+            span: d.span,
             fix_hint: match d.severity {
                 DeputySeverity::Error => {
                     Some("annotate the pointer, rewrite the construct, or mark it trusted".into())
@@ -277,7 +503,8 @@ impl Checker for DeputyChecker {
         if func.body.is_some() && self.config.insert_checks {
             // Instrument the *prepared* copy of the function so inferred
             // defaults are in effect, exactly as in `Deputy::convert`;
-            // memoized so `conversion` reuses the same work.
+            // demanded through the durable query so `conversion` (and warm
+            // processes) reuse the same work.
             let instrumented = self.instrumented(ctx, func);
             let report = &instrumented.1;
             out.extend(report.diagnostics.iter().map(Self::to_diagnostic));
@@ -339,6 +566,28 @@ mod tests {
     }
 
     #[test]
+    fn instrumented_bodies_roundtrip_through_the_durable_encoding() {
+        let p = parse_program(SRC).unwrap();
+        let ctx = AnalysisCtx::new(&p);
+        let checker = DeputyChecker::new();
+        let sum = ctx.program.function("sum").unwrap();
+        let instrumented = checker.instrumented(&ctx, sum);
+        let encoded = InstrumentedQuery::encode(&instrumented);
+        let (func, report) =
+            <InstrumentedQuery as DurableQuery>::decode(&encoded).expect("decodes");
+        // The reloaded body is structurally identical (spans aside: the
+        // content hash ignores them, and so does program equality-of-text).
+        assert_eq!(pretty_function(&func), pretty_function(&instrumented.0));
+        assert_eq!(
+            function_content_hash(&func),
+            function_content_hash(&instrumented.0)
+        );
+        assert_eq!(report, instrumented.1);
+        // Tampering is rejected.
+        assert!(<InstrumentedQuery as DurableQuery>::decode(&Value::from(1u64)).is_none());
+    }
+
+    #[test]
     fn indirect_annotation_check_flags_signature_drift() {
         let p = parse_program(
             r#"
@@ -397,6 +646,11 @@ mod tests {
         assert!(
             program_level.iter().any(|d| d.function == "buf::data"),
             "composite-field diagnostics must surface: {program_level:?}"
+        );
+        // Satellite: validation diagnostics now carry declaration spans.
+        assert!(
+            program_level.iter().all(|d| d.span.is_some()),
+            "composite-field diagnostics carry the field's span: {program_level:?}"
         );
         // And the per-function pass does not duplicate them.
         let per_fn = checker.check_function(&ctx, ctx.program.function("id").unwrap());

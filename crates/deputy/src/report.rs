@@ -1,5 +1,6 @@
 //! Report types produced by the Deputy conversion pipeline.
 
+use ivy_cmir::Span;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -13,6 +14,9 @@ pub struct DeputyDiagnostic {
     /// Severity: errors must be fixed (annotate, rewrite, or trust); notes
     /// are informational.
     pub severity: Severity,
+    /// Span of the offending construct (the declaration or statement it
+    /// was found in), when one is known.
+    pub span: Option<Span>,
 }
 
 /// Severity of a [`DeputyDiagnostic`].
@@ -171,6 +175,7 @@ mod tests {
             function: "f".into(),
             message: "bad cast".into(),
             severity: Severity::Error,
+            span: None,
         });
         assert!(!r.accepted());
     }

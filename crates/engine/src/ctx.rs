@@ -1,89 +1,50 @@
-//! The shared, memoized analysis context.
+//! The shared analysis context — a thin façade over the [`QueryDb`].
 //!
-//! In the seed workspace every checker re-ran its own points-to analysis and
-//! rebuilt its own call graph. An [`AnalysisCtx`] is constructed once per
-//! program and handed to every checker; whole-program artifacts — points-to
-//! results per sensitivity, call graphs, per-function CFGs, SCC summaries,
-//! and arbitrary checker-owned values — are computed on first use and shared
-//! from then on. The generic [`AnalysisCtx::memo`] entry point is what lets
-//! checker plugins stash their own whole-program precomputations (e.g. the
-//! BlockStop may-block propagation) without the engine knowing their types.
+//! In the seed workspace every checker re-ran its own points-to analysis
+//! and rebuilt its own call graph; later the context grew a string-keyed,
+//! type-erased memo table (`ctx.memo("string", ...)`) that plugins stashed
+//! precomputations in. Both are gone: an [`AnalysisCtx`] now *is* a typed
+//! [`QueryDb`] (it derefs to one), constructed once per program and handed
+//! to every checker. Whole-program artifacts — points-to results per
+//! sensitivity, call graphs, per-function CFGs, SCC summaries — are
+//! built-in queries computed on first demand; checker-owned
+//! precomputations are [`Query`](crate::query::Query) impls in the checker
+//! crates, demanded through [`QueryDb::get`] /
+//! [`QueryDb::get_durable`]. The string-keyed `Any` entry point (and its
+//! "memo key used with two different types" panic class) no longer exists.
 
-use ivy_analysis::pointsto::{self, ConstraintCache, PointsToResult, Sensitivity};
-use ivy_analysis::summary::{self, fnv1a, ProgramSummaries};
-use ivy_analysis::CallGraph;
+use crate::persist::PersistLayer;
+use crate::query::QueryDb;
+use ivy_analysis::pointsto::ConstraintCache;
 use ivy_cmir::ast::Program;
-use ivy_cmir::cfg::Cfg;
-use ivy_cmir::pretty::pretty_program;
-use std::any::Any;
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::ops::Deref;
+use std::sync::Arc;
 
-type Slot = Arc<Mutex<Option<Arc<dyn Any + Send + Sync>>>>;
-
-/// A string-keyed, type-erased, thread-safe memo table. Each key gets its
-/// own slot mutex, so two threads demanding the same expensive artifact
-/// compute it once while unrelated keys proceed in parallel.
-#[derive(Default)]
-struct Memo {
-    slots: Mutex<HashMap<String, Slot>>,
-}
-
-impl Memo {
-    fn get_or_insert<T: Send + Sync + 'static>(
-        &self,
-        key: &str,
-        compute: impl FnOnce() -> T,
-    ) -> Arc<T> {
-        let slot = {
-            let mut slots = self.slots.lock().expect("memo map poisoned");
-            Arc::clone(slots.entry(key.to_string()).or_default())
-        };
-        let mut guard = slot.lock().expect("memo slot poisoned");
-        if let Some(existing) = guard.as_ref() {
-            return Arc::clone(existing)
-                .downcast::<T>()
-                .unwrap_or_else(|_| panic!("memo key {key:?} used with two different types"));
-        }
-        let value: Arc<T> = Arc::new(compute());
-        *guard = Some(value.clone() as Arc<dyn Any + Send + Sync>);
-        value
-    }
-}
-
-/// Shared analysis state for one program.
+/// Shared analysis state for one program: the query db plus construction
+/// conveniences. Derefs to [`QueryDb`], so `ctx.program`,
+/// `ctx.pointsto(..)`, `ctx.get::<Q>(..)` etc. all resolve on the db.
 pub struct AnalysisCtx {
-    /// The program under analysis.
-    pub program: Program,
-    /// FNV-1a hash of the pretty-printed program; the engine's context
-    /// cache key.
-    pub program_hash: u64,
-    /// Cross-program cache of interned points-to constraint batches;
-    /// shared by the engine across contexts so an edited program re-solves
-    /// points-to from the cached constraint graph.
-    pts_cache: Arc<ConstraintCache>,
-    memo: Memo,
+    db: QueryDb,
 }
 
 impl AnalysisCtx {
     /// Builds a context for a program (cheap: artifacts are lazy).
     pub fn new(program: &Program) -> AnalysisCtx {
-        AnalysisCtx::with_hash(program, AnalysisCtx::hash_program(program))
+        AnalysisCtx {
+            db: QueryDb::new(program),
+        }
     }
 
     /// The content hash a context for `program` would carry; computable
     /// without cloning the program (used for context-store lookups).
     pub fn hash_program(program: &Program) -> u64 {
-        fnv1a(pretty_program(program).as_bytes())
+        QueryDb::hash_program(program)
     }
 
     /// Builds a context with an already-computed program hash.
     pub fn with_hash(program: &Program, program_hash: u64) -> AnalysisCtx {
         AnalysisCtx {
-            program_hash,
-            program: program.clone(),
-            pts_cache: Arc::new(ConstraintCache::new()),
-            memo: Memo::default(),
+            db: QueryDb::with_hash(program, program_hash),
         }
     }
 
@@ -91,89 +52,40 @@ impl AnalysisCtx {
     /// engine passes its own cache here so contexts for successive program
     /// states reuse each other's per-function constraint batches.
     pub fn with_pointsto_cache(mut self, cache: Arc<ConstraintCache>) -> AnalysisCtx {
-        self.pts_cache = cache;
+        self.db = self.db.with_pointsto_cache(cache);
         self
     }
 
-    /// Points-to results at a precision level, computed once per level.
-    /// Solved incrementally against the shared constraint cache: only
-    /// functions this context sees for the first time generate constraints.
-    pub fn pointsto(&self, sensitivity: Sensitivity) -> Arc<PointsToResult> {
-        self.memo
-            .get_or_insert(&format!("pointsto/{}", sensitivity.name()), || {
-                pointsto::analyze_incremental(&self.program, sensitivity, &self.pts_cache)
-            })
+    /// Attaches a cross-process persist layer (builder style): durable
+    /// queries reload from it instead of recomputing.
+    pub fn with_persist(mut self, persist: Option<Arc<PersistLayer>>) -> AnalysisCtx {
+        self.db = self.db.with_persist(persist);
+        self
     }
 
-    /// The call graph at a precision level, computed once per level.
-    pub fn callgraph(&self, sensitivity: Sensitivity) -> Arc<CallGraph> {
-        self.memo
-            .get_or_insert(&format!("callgraph/{}", sensitivity.name()), || {
-                CallGraph::build(&self.program, &self.pointsto(sensitivity))
-            })
+    /// The underlying query db.
+    pub fn db(&self) -> &QueryDb {
+        &self.db
     }
+}
 
-    /// Per-function summaries (content/cone hashes, SCC condensation) over
-    /// the call graph at a precision level.
-    pub fn summaries(&self, sensitivity: Sensitivity) -> Arc<ProgramSummaries> {
-        self.memo
-            .get_or_insert(&format!("summaries/{}", sensitivity.name()), || {
-                summary::summarize(&self.program, &self.callgraph(sensitivity))
-            })
-    }
+impl Deref for AnalysisCtx {
+    type Target = QueryDb;
 
-    /// The CFG of one function, built once.
-    pub fn cfg(&self, function: &str) -> Option<Arc<Cfg>> {
-        let func = self.program.function(function)?;
-        func.body.as_ref()?;
-        Some(
-            self.memo
-                .get_or_insert(&format!("cfg/{function}"), || Cfg::build(func)),
-        )
-    }
-
-    /// Hash of the whole-program type environment (signatures, composites,
-    /// typedefs, globals — bodies excluded). See
-    /// [`ivy_analysis::summary::env_hash`].
-    pub fn env_hash(&self) -> u64 {
-        *self
-            .memo
-            .get_or_insert("env_hash", || summary::env_hash(&self.program))
-    }
-
-    /// Generic checker-owned memoization: computes `compute` at most once
-    /// per key per context and shares the result. Keys are namespaced by
-    /// convention (`"<checker>/<artifact>"`).
-    pub fn memo<T: Send + Sync + 'static>(&self, key: &str, compute: impl FnOnce() -> T) -> Arc<T> {
-        self.memo.get_or_insert(key, compute)
+    fn deref(&self) -> &QueryDb {
+        &self.db
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ivy_analysis::pointsto::Sensitivity;
     use ivy_cmir::parser::parse_program;
-    use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn small_ctx() -> AnalysisCtx {
         let p = parse_program("fn a() { b(); } fn b() { }").unwrap();
         AnalysisCtx::new(&p)
-    }
-
-    #[test]
-    fn memo_computes_once_and_shares() {
-        let ctx = small_ctx();
-        let calls = AtomicUsize::new(0);
-        let a = ctx.memo("test/x", || {
-            calls.fetch_add(1, Ordering::SeqCst);
-            42u64
-        });
-        let b = ctx.memo("test/x", || {
-            calls.fetch_add(1, Ordering::SeqCst);
-            7u64
-        });
-        assert_eq!((*a, *b), (42, 42));
-        assert_eq!(calls.load(Ordering::SeqCst), 1);
     }
 
     #[test]
@@ -194,5 +106,12 @@ mod tests {
         let p2 = parse_program("fn a() { b(); b(); } fn b() { }").unwrap();
         let ctx2 = AnalysisCtx::new(&p2);
         assert_ne!(ctx1.program_hash, ctx2.program_hash);
+    }
+
+    #[test]
+    fn facade_exposes_the_query_graph() {
+        let ctx = small_ctx();
+        ctx.summaries(Sensitivity::Steensgaard);
+        assert!(ctx.db().depends_on("engine/summaries", "engine/callgraph"));
     }
 }

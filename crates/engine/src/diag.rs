@@ -40,6 +40,17 @@ impl Severity {
             Severity::Info => "note",
         }
     }
+
+    /// Parses the stable lower-case name back (inverse of
+    /// [`Severity::name`]); used when reloading persisted diagnostics.
+    pub fn from_name(name: &str) -> Option<Severity> {
+        match name {
+            "error" => Some(Severity::Error),
+            "warning" => Some(Severity::Warning),
+            "info" => Some(Severity::Info),
+            _ => None,
+        }
+    }
 }
 
 /// One finding from one checker about one function.
@@ -73,7 +84,9 @@ impl Diagnostic {
         )
     }
 
-    fn to_value(&self) -> Value {
+    /// Serializes to the stable JSON object used by reports and the
+    /// persist layer.
+    pub fn to_value(&self) -> Value {
         let mut m = Map::new();
         m.insert("checker".into(), Value::from(self.checker.as_str()));
         m.insert("code".into(), Value::from(self.code.as_str()));
@@ -81,17 +94,34 @@ impl Diagnostic {
         m.insert("severity".into(), Value::from(self.severity.name()));
         m.insert("message".into(), Value::from(self.message.as_str()));
         if let Some(span) = &self.span {
-            let mut s = Map::new();
-            s.insert("line".into(), Value::from(span.start.line));
-            s.insert("col".into(), Value::from(span.start.col));
-            s.insert("end_line".into(), Value::from(span.end.line));
-            s.insert("end_col".into(), Value::from(span.end.col));
-            m.insert("span".into(), Value::Object(s));
+            m.insert("span".into(), crate::persist::span_to_value(span));
         }
         if let Some(hint) = &self.fix_hint {
             m.insert("fix_hint".into(), Value::from(hint.as_str()));
         }
         Value::Object(m)
+    }
+
+    /// Decodes a diagnostic from its [`Diagnostic::to_value`] form; `None`
+    /// rejects malformed input (the persist layer then recomputes).
+    pub fn from_value(v: &Value) -> Option<Diagnostic> {
+        let text = |key: &str| v.get(key).and_then(Value::as_str).map(String::from);
+        // A present-but-undecodable span rejects the whole entry (so the
+        // persist layer recomputes) rather than silently dropping the span
+        // and breaking warm/cold report byte-identity.
+        let span = match v.get("span") {
+            Some(raw) => Some(crate::persist::span_from_value(raw)?),
+            None => None,
+        };
+        Some(Diagnostic {
+            checker: text("checker")?,
+            code: text("code")?,
+            function: text("function")?,
+            severity: Severity::from_name(v.get("severity")?.as_str()?)?,
+            message: text("message")?,
+            span,
+            fix_hint: text("fix_hint"),
+        })
     }
 }
 
@@ -106,10 +136,18 @@ pub struct EngineStats {
     pub sccs: usize,
     /// Bottom-up parallel waves.
     pub levels: usize,
-    /// Per-function results served from the incremental cache in this run.
+    /// Per-function results served from the in-memory incremental cache in
+    /// this run.
     pub cache_hits: u64,
-    /// Per-function results computed fresh in this run.
+    /// Per-function results computed fresh in this run (served by neither
+    /// the in-memory cache nor the persist layer).
     pub cache_misses: u64,
+    /// Per-function results served from the cross-process persist layer in
+    /// this run.
+    pub persist_hits: u64,
+    /// Per-function results that consulted the persist layer and missed
+    /// (0 when no persist layer is attached).
+    pub persist_misses: u64,
     /// Whether the analysis context itself was reused from a previous run
     /// of an identical program.
     pub ctx_reused: bool,
@@ -127,13 +165,25 @@ pub struct EngineStats {
 }
 
 impl EngineStats {
-    /// Fraction of per-function checker results served from cache.
+    /// Fraction of per-function checker results served from the in-memory
+    /// cache (persist-served results count toward the denominator only).
     pub fn hit_rate(&self) -> f64 {
-        let total = self.cache_hits + self.cache_misses;
+        let total = self.cache_hits + self.cache_misses + self.persist_hits;
         if total == 0 {
             0.0
         } else {
             self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of per-function checker results served from the
+    /// cross-process persist layer.
+    pub fn persist_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses + self.persist_hits;
+        if total == 0 {
+            0.0
+        } else {
+            self.persist_hits as f64 / total as f64
         }
     }
 }
@@ -190,6 +240,11 @@ impl Report {
         stats.insert("levels".into(), Value::from(self.stats.levels));
         stats.insert("cache_hits".into(), Value::from(self.stats.cache_hits));
         stats.insert("cache_misses".into(), Value::from(self.stats.cache_misses));
+        stats.insert("persist_hits".into(), Value::from(self.stats.persist_hits));
+        stats.insert(
+            "persist_misses".into(),
+            Value::from(self.stats.persist_misses),
+        );
         stats.insert("ctx_reused".into(), Value::from(self.stats.ctx_reused));
         stats.insert(
             "pointsto_initial_constraints".into(),
@@ -317,6 +372,21 @@ mod tests {
         );
         assert_eq!(a.diagnostics, b.diagnostics);
         assert_eq!(a.diagnostics_json(), b.diagnostics_json());
+    }
+
+    #[test]
+    fn diagnostic_value_roundtrip_is_exact() {
+        use ivy_cmir::span::Pos;
+        let mut d = diag("f", "deputy/type-error", "bad cast");
+        d.severity = Severity::Warning;
+        d.span = Some(Span::new(Pos::new(12, 5), Pos::new(12, 30)));
+        d.fix_hint = Some("annotate the pointer".into());
+        assert_eq!(Diagnostic::from_value(&d.to_value()).unwrap(), d);
+        // Spanless/hintless diagnostics roundtrip too.
+        let bare = diag("g", "c/x", "m");
+        assert_eq!(Diagnostic::from_value(&bare.to_value()).unwrap(), bare);
+        // Malformed input is rejected, not mis-decoded.
+        assert!(Diagnostic::from_value(&Value::from("nope")).is_none());
     }
 
     #[test]

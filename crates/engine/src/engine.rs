@@ -15,16 +15,36 @@ use crate::cache::DiagnosticCache;
 use crate::checker::{sensitivity_rank, Checker};
 use crate::ctx::AnalysisCtx;
 use crate::diag::{Diagnostic, EngineStats, Report};
+use crate::persist::PersistLayer;
+use crate::query::Pointsto;
 use ivy_analysis::pointsto::{ConstraintCache, Sensitivity};
+use ivy_analysis::summary::{fnv1a, mix};
 use ivy_cmir::ast::Program;
 use rayon::prelude::*;
 use rayon::ThreadPoolBuilder;
+use serde_json::Value;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Maximum number of analysis contexts kept alive for reuse.
 const CTX_CACHE_CAP: usize = 16;
+
+/// Payload version of persisted per-function diagnostic entries; bump when
+/// the diagnostic encoding changes.
+const DIAG_FORMAT: u32 = 1;
+
+/// Persist namespace for one checker's per-function diagnostics.
+fn diag_namespace(checker: &str) -> String {
+    format!("diag/{checker}")
+}
+
+/// Content-addressed persist key for one per-function checker result: the
+/// cone hash covers the function and its transitive callees, the
+/// fingerprint covers everything else the checker declared.
+fn diag_key(cone: u64, fingerprint: u64) -> u64 {
+    mix(mix(fnv1a(b"diag"), cone), fingerprint)
+}
 
 /// A shareable store of analysis contexts, keyed by program hash. Several
 /// engines (e.g. the stages of a pipeline) can share one store so a program
@@ -39,6 +59,7 @@ pub struct Engine {
     cache: Arc<DiagnosticCache>,
     ctx_store: CtxStore,
     pts_cache: Arc<ConstraintCache>,
+    persist: Option<Arc<PersistLayer>>,
 }
 
 impl Default for Engine {
@@ -56,6 +77,7 @@ impl Engine {
             cache: Arc::new(DiagnosticCache::new()),
             ctx_store: Arc::new(Mutex::new(HashMap::new())),
             pts_cache: Arc::new(ConstraintCache::new()),
+            persist: None,
         }
     }
 
@@ -90,6 +112,20 @@ impl Engine {
     pub fn with_pointsto_cache(mut self, cache: Arc<ConstraintCache>) -> Engine {
         self.pts_cache = cache;
         self
+    }
+
+    /// Attaches a cross-process persist layer: per-function diagnostics
+    /// and every durable query result spill to it, and later runs — in
+    /// this process or another — are served from it. Engine runs flush the
+    /// layer when they finish.
+    pub fn with_persist(mut self, persist: Arc<PersistLayer>) -> Engine {
+        self.persist = Some(persist);
+        self
+    }
+
+    /// The engine's persist layer, if one is attached.
+    pub fn persist(&self) -> Option<Arc<PersistLayer>> {
+        self.persist.clone()
     }
 
     /// The engine's points-to constraint cache.
@@ -136,7 +172,9 @@ impl Engine {
             cache.clear();
         }
         let ctx = Arc::new(
-            AnalysisCtx::with_hash(program, hash).with_pointsto_cache(Arc::clone(&self.pts_cache)),
+            AnalysisCtx::with_hash(program, hash)
+                .with_pointsto_cache(Arc::clone(&self.pts_cache))
+                .with_persist(self.persist.clone()),
         );
         cache.insert(hash, Arc::clone(&ctx));
         (ctx, false)
@@ -157,6 +195,8 @@ impl Engine {
 
         let hits = AtomicU64::new(0);
         let misses = AtomicU64::new(0);
+        let persist_hits = AtomicU64::new(0);
+        let persist_misses = AtomicU64::new(0);
         let mut diagnostics: Vec<Diagnostic> = Vec::new();
 
         // Program-level diagnostics (composite/global annotation errors and
@@ -189,17 +229,38 @@ impl Engine {
                             .expect("scheduled function has a summary");
                         let mut out = Vec::new();
                         for checker in &self.checkers {
-                            let key =
-                                (checker.name(), cone, checker.context_fingerprint(ctx, func));
+                            let fingerprint = checker.context_fingerprint(ctx, func);
+                            let key = (checker.name(), cone, fingerprint);
                             if let Some(cached) = self.cache.get(&key) {
                                 hits.fetch_add(1, Ordering::Relaxed);
                                 out.extend(cached.iter().cloned());
-                            } else {
-                                misses.fetch_add(1, Ordering::Relaxed);
-                                let fresh = checker.check_function(ctx, func);
-                                self.cache.put(key, fresh.clone());
-                                out.extend(fresh);
+                                continue;
                             }
+                            // In-memory miss: the persist layer may have the
+                            // result from an earlier process.
+                            if let Some(reloaded) =
+                                self.persisted_diags(checker.name(), cone, fingerprint)
+                            {
+                                persist_hits.fetch_add(1, Ordering::Relaxed);
+                                self.cache.put(key, reloaded.clone());
+                                out.extend(reloaded);
+                                continue;
+                            }
+                            if self.persist.is_some() {
+                                persist_misses.fetch_add(1, Ordering::Relaxed);
+                            }
+                            misses.fetch_add(1, Ordering::Relaxed);
+                            let fresh = checker.check_function(ctx, func);
+                            if let Some(layer) = &self.persist {
+                                layer.put(
+                                    &diag_namespace(checker.name()),
+                                    DIAG_FORMAT,
+                                    diag_key(cone, fingerprint),
+                                    Value::Array(fresh.iter().map(Diagnostic::to_value).collect()),
+                                );
+                            }
+                            self.cache.put(key, fresh.clone());
+                            out.extend(fresh);
                         }
                         out
                     })
@@ -208,25 +269,58 @@ impl Engine {
             }
         });
 
-        // Points-to substrate statistics: the memoized result for the
-        // scheduling sensitivity was computed above (via the summaries), so
-        // this lookup is free. For a reused context the numbers describe
-        // the run that first built the result.
-        let pts = ctx.pointsto(sensitivity);
-        let stats = EngineStats {
+        // Points-to substrate statistics, peeked rather than demanded: a
+        // cold run computed the result above (the summaries depend on it),
+        // but a run served entirely from the persist layer never solves
+        // points-to — forcing a solve just for the stats would throw the
+        // warm start away. For a reused context the numbers describe the
+        // run that first built the result.
+        let pts = ctx.peek::<Pointsto>(&sensitivity);
+        let mut stats = EngineStats {
             functions: ctx.program.functions.len(),
             checkers: self.checkers.len(),
             sccs: condensation.sccs.len(),
             levels: condensation.levels.len(),
             cache_hits: hits.into_inner(),
             cache_misses: misses.into_inner(),
+            persist_hits: persist_hits.into_inner(),
+            persist_misses: persist_misses.into_inner(),
             ctx_reused,
-            pointsto_initial_constraints: pts.initial_constraints,
-            pointsto_constraints: pts.constraint_count,
-            pointsto_batches_reused: pts.batches_reused,
-            pointsto_batches_generated: pts.batches_generated,
+            ..EngineStats::default()
         };
+        if let Some(pts) = pts {
+            stats.pointsto_initial_constraints = pts.initial_constraints;
+            stats.pointsto_constraints = pts.constraint_count;
+            stats.pointsto_batches_reused = pts.batches_reused;
+            stats.pointsto_batches_generated = pts.batches_generated;
+        }
+        // Make this run's results durable before handing the report back.
+        if let Some(layer) = &self.persist {
+            if let Err(err) = layer.flush() {
+                eprintln!("ivy-engine: persist flush failed: {err}");
+            }
+        }
         Report::new(diagnostics, stats)
+    }
+
+    /// Reloads one per-function checker result from the persist layer, if
+    /// it is attached and has a decodable entry.
+    fn persisted_diags(
+        &self,
+        checker: &str,
+        cone: u64,
+        fingerprint: u64,
+    ) -> Option<Vec<Diagnostic>> {
+        let layer = self.persist.as_ref()?;
+        let raw = layer.get(
+            &diag_namespace(checker),
+            DIAG_FORMAT,
+            diag_key(cone, fingerprint),
+        )?;
+        raw.as_array()?
+            .iter()
+            .map(Diagnostic::from_value)
+            .collect::<Option<Vec<_>>>()
     }
 
     /// Fleet/batch mode: analyzes many program variants concurrently, with
@@ -251,6 +345,7 @@ impl Engine {
                         cache: Arc::clone(&self.cache),
                         ctx_store: Arc::clone(&self.ctx_store),
                         pts_cache: Arc::clone(&self.pts_cache),
+                        persist: self.persist.clone(),
                     };
                     inner.analyze_with_ctx(&ctx, reused)
                 })

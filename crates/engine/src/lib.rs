@@ -2,28 +2,38 @@
 //!
 //! The paper's central claim is that sound analyses share one substrate and
 //! can be applied *together* to a whole kernel. This crate is that substrate
-//! turned into an execution engine. It has four layers:
+//! turned into an execution engine. It has five layers:
 //!
-//! 1. **Plugins** — the [`Checker`] trait: a name, a required points-to
+//! 1. **Queries** — the typed, demand-driven [`query`] subsystem: every
+//!    artifact (points-to, call graphs, summaries, CFGs, checker-owned
+//!    precomputations) is a [`query::Query`] with a typed key and value,
+//!    memoized per `(query, key)` in a [`query::QueryDb`] that records
+//!    dependency edges between queries. [`AnalysisCtx`] is a thin façade
+//!    over the db; the old string-keyed `Any` memo table (and its runtime
+//!    type-confusion panics) is gone.
+//! 2. **Plugins** — the [`Checker`] trait: a name, a required points-to
 //!    [`Sensitivity`](ivy_analysis::pointsto::Sensitivity), and a
 //!    per-function `check_function`. Deputy, CCount, and BlockStop register
-//!    through adapter impls in their own crates; new checkers need no engine
-//!    changes (the STANSE-style framework/plugin split).
-//! 2. **Scheduler** — [`Engine::analyze`] condenses the call graph into
+//!    through adapter impls in their own crates and define their own typed
+//!    queries; new checkers need no engine changes (the STANSE-style
+//!    framework/plugin split).
+//! 3. **Scheduler** — [`Engine::analyze`] condenses the call graph into
 //!    SCCs, orders them into bottom-up levels, and fans each level out
-//!    across rayon workers. Whole-program artifacts (points-to, call graph,
-//!    CFGs, checker precomputations) live in the shared, memoized
-//!    [`AnalysisCtx`] and are computed once instead of once per checker.
-//! 3. **Incremental cache** — per-function results are keyed by a content
-//!    hash of the function's transitive-callee *cone* plus a checker
-//!    context fingerprint ([`DiagnosticCache`]); after an edit only the
-//!    dirty cone recomputes, and re-analyzing an unchanged kernel is served
-//!    entirely from cache. The cache is shared across runs, across the
-//!    pipeline's analyze→fix→re-analyze loop, and across corpus variants
-//!    ([`Engine::analyze_corpus`]).
-//! 4. **Reports** — the unified [`Diagnostic`]/[`Report`] model with
+//!    across rayon workers.
+//! 4. **Incremental + persistent caches** — per-function results are keyed
+//!    by a content hash of the function's transitive-callee *cone* plus a
+//!    checker context fingerprint ([`DiagnosticCache`]); after an edit only
+//!    the dirty cone recomputes, and re-analyzing an unchanged kernel is
+//!    served entirely from cache. With a [`PersistLayer`] attached
+//!    ([`Engine::with_persist`]), per-function diagnostics and every
+//!    [`query::DurableQuery`] result additionally spill to versioned JSON
+//!    under `target/ivy-cache/`, so a *separate process* (a CI run, a
+//!    fleet worker) starts warm and can reproduce a report without solving
+//!    points-to at all.
+//! 5. **Reports** — the unified [`Diagnostic`]/[`Report`] model with
 //!    stable-ordered JSON and SARIF serialization; parallel and
-//!    single-threaded runs produce byte-identical reports.
+//!    single-threaded runs produce byte-identical reports, and warm
+//!    (persist-served) runs reproduce cold reports byte-identically.
 //!
 //! # Examples
 //!
@@ -73,12 +83,16 @@ pub mod checker;
 pub mod ctx;
 pub mod diag;
 mod engine;
+pub mod persist;
+pub mod query;
 
 pub use cache::{CacheKey, DiagnosticCache};
 pub use checker::Checker;
 pub use ctx::AnalysisCtx;
 pub use diag::{Diagnostic, EngineStats, Report, Severity};
 pub use engine::{CtxStore, Engine};
+pub use persist::PersistLayer;
+pub use query::{DurableQuery, Query, QueryDb, QueryKey};
 
 /// Re-export of the JSON value model used by report serialization (the
 /// vendored `serde_json` shim; see `vendor/serde_json`).

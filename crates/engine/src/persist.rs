@@ -1,0 +1,354 @@
+//! Cross-process persistence for durable query results.
+//!
+//! A [`PersistLayer`] is a directory (by convention `target/ivy-cache/`) of
+//! versioned JSON namespace files. Each [`DurableQuery`](crate::query::DurableQuery)
+//! (and the engine's per-function diagnostic results) owns one namespace;
+//! entries inside a namespace are keyed by 16-hex-digit content hashes, so
+//! a key is valid exactly as long as the program content it was derived
+//! from — there is no invalidation protocol, only content addressing.
+//!
+//! The layer is deliberately forgiving on the read side: a missing
+//! directory, an unparsable file, a file with the wrong container format,
+//! or a namespace written by a different `FORMAT_VERSION` of its query is
+//! *ignored* (treated as empty and later overwritten), never an error —
+//! a corrupt cache must cost a recomputation, not a crash.
+//!
+//! File layout:
+//!
+//! ```text
+//! target/ivy-cache/
+//!   engine-summaries.json        {"format":1,"namespace":"engine/summaries",
+//!   blockstop-report.json         "version":<query FORMAT_VERSION>,
+//!   diag-deputy.json              "entries":{"<16-hex key>": <value>}}
+//!   ...
+//! ```
+
+use ivy_cmir::span::Pos;
+use ivy_cmir::Span;
+use serde_json::{Map, Value};
+use std::collections::{BTreeSet, HashMap};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Version of the namespace *container* format (the envelope around the
+/// entries). Per-namespace payload versions are the owning query's
+/// `FORMAT_VERSION` and are checked independently.
+pub const PERSIST_FORMAT: u32 = 1;
+
+/// One loaded namespace: its payload version and entries.
+struct Namespace {
+    version: u32,
+    entries: HashMap<String, Value>,
+    dirty: bool,
+}
+
+/// A directory of versioned, namespaced, content-addressed JSON entries
+/// shared across processes.
+///
+/// All reads and writes go through an in-memory image; [`PersistLayer::flush`]
+/// writes dirty namespaces back to disk (via a temp file + rename, so a
+/// crashed writer leaves the previous file intact rather than a torn one).
+pub struct PersistLayer {
+    root: PathBuf,
+    namespaces: Mutex<HashMap<String, Namespace>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    writes: AtomicU64,
+    flush_seq: AtomicU64,
+}
+
+/// Turns a namespace name into a safe file stem (`diag/deputy` →
+/// `diag-deputy`).
+fn file_stem(namespace: &str) -> String {
+    namespace
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect()
+}
+
+/// Formats a durable key as its on-disk entry key.
+pub fn hex_key(key: u64) -> String {
+    format!("{key:016x}")
+}
+
+// ---- encoding helpers shared by durable query implementations ----------
+
+/// Encodes a span as the JSON object used across persisted results.
+pub fn span_to_value(span: &Span) -> Value {
+    let mut s = Map::new();
+    s.insert("line".into(), Value::from(span.start.line));
+    s.insert("col".into(), Value::from(span.start.col));
+    s.insert("end_line".into(), Value::from(span.end.line));
+    s.insert("end_col".into(), Value::from(span.end.col));
+    Value::Object(s)
+}
+
+/// Decodes a span encoded by [`span_to_value`].
+pub fn span_from_value(v: &Value) -> Option<Span> {
+    let field = |key: &str| v.get(key).and_then(Value::as_u64).map(|n| n as u32);
+    Some(Span::new(
+        Pos::new(field("line")?, field("col")?),
+        Pos::new(field("end_line")?, field("end_col")?),
+    ))
+}
+
+/// Encodes an iterator of strings as a JSON array.
+pub fn strings_to_value<'a>(items: impl IntoIterator<Item = &'a String>) -> Value {
+    Value::Array(items.into_iter().map(|s| Value::from(s.as_str())).collect())
+}
+
+/// Decodes a JSON array of strings as an ordered set.
+pub fn string_set_from_value(v: &Value) -> Option<BTreeSet<String>> {
+    v.as_array()?
+        .iter()
+        .map(|s| s.as_str().map(String::from))
+        .collect()
+}
+
+/// Decodes a JSON array of strings preserving order.
+pub fn string_vec_from_value(v: &Value) -> Option<Vec<String>> {
+    v.as_array()?
+        .iter()
+        .map(|s| s.as_str().map(String::from))
+        .collect()
+}
+
+impl PersistLayer {
+    /// Opens (creating if needed) a persist directory. Namespace files are
+    /// loaded lazily on first access.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<PersistLayer> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(PersistLayer {
+            root,
+            namespaces: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            flush_seq: AtomicU64::new(0),
+        })
+    }
+
+    /// The directory this layer persists to.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn file_of(&self, namespace: &str) -> PathBuf {
+        self.root.join(format!("{}.json", file_stem(namespace)))
+    }
+
+    /// Loads a namespace from disk, tolerating every corruption mode by
+    /// returning an empty namespace instead.
+    fn load(&self, namespace: &str, version: u32) -> Namespace {
+        let empty = Namespace {
+            version,
+            entries: HashMap::new(),
+            dirty: false,
+        };
+        let Ok(text) = fs::read_to_string(self.file_of(namespace)) else {
+            return empty;
+        };
+        let Ok(value) = serde_json::from_str(&text) else {
+            return empty; // unparsable: ignore, will be overwritten
+        };
+        let format_ok =
+            value.get("format").and_then(Value::as_u64) == Some(u64::from(PERSIST_FORMAT));
+        let namespace_ok = value.get("namespace").and_then(Value::as_str) == Some(namespace);
+        let version_ok = value.get("version").and_then(Value::as_u64) == Some(u64::from(version));
+        if !format_ok || !namespace_ok || !version_ok {
+            return empty; // stale or foreign: recompute rather than mis-decode
+        }
+        let Some(entries) = value.get("entries").and_then(Value::as_object) else {
+            return empty;
+        };
+        Namespace {
+            version,
+            entries: entries
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+            dirty: false,
+        }
+    }
+
+    fn with_namespace<T>(
+        &self,
+        namespace: &str,
+        version: u32,
+        f: impl FnOnce(&mut Namespace) -> T,
+    ) -> T {
+        let mut map = self.namespaces.lock().expect("persist namespaces poisoned");
+        let ns = map
+            .entry(namespace.to_string())
+            .or_insert_with(|| self.load(namespace, version));
+        if ns.version != version {
+            // The same namespace demanded at a new payload version: drop the
+            // stale image (its file will be overwritten on the next flush).
+            *ns = Namespace {
+                version,
+                entries: HashMap::new(),
+                dirty: ns.dirty,
+            };
+        }
+        f(ns)
+    }
+
+    /// Looks up an entry, counting the outcome.
+    pub fn get(&self, namespace: &str, version: u32, key: u64) -> Option<Value> {
+        let found = self.with_namespace(namespace, version, |ns| {
+            ns.entries.get(&hex_key(key)).cloned()
+        });
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Stores an entry (in memory; [`PersistLayer::flush`] writes it out).
+    pub fn put(&self, namespace: &str, version: u32, key: u64, value: Value) {
+        self.with_namespace(namespace, version, |ns| {
+            ns.entries.insert(hex_key(key), value);
+            ns.dirty = true;
+        });
+        self.writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of entries currently held for a namespace.
+    pub fn entry_count(&self, namespace: &str, version: u32) -> usize {
+        self.with_namespace(namespace, version, |ns| ns.entries.len())
+    }
+
+    /// Writes every dirty namespace back to its file; returns the number of
+    /// files written.
+    pub fn flush(&self) -> io::Result<usize> {
+        let mut map = self.namespaces.lock().expect("persist namespaces poisoned");
+        let mut written = 0;
+        for (name, ns) in map.iter_mut() {
+            if !ns.dirty {
+                continue;
+            }
+            let mut entries = Map::new();
+            for (k, v) in &ns.entries {
+                entries.insert(k.clone(), v.clone());
+            }
+            let mut root = Map::new();
+            root.insert("format".into(), Value::from(PERSIST_FORMAT));
+            root.insert("namespace".into(), Value::from(name.as_str()));
+            root.insert("version".into(), Value::from(ns.version));
+            root.insert("entries".into(), Value::Object(entries));
+            let text = serde_json::to_string_pretty(&Value::Object(root)).expect("serializes");
+            let path = self.file_of(name);
+            // The temp name is unique per process and per flush: two
+            // processes sharing one directory must never interleave a
+            // write and a rename of the same temp file, or the "last
+            // flush wins, never a torn file" guarantee breaks.
+            let tmp = path.with_extension(format!(
+                "json.{}.{}.tmp",
+                std::process::id(),
+                self.flush_seq.fetch_add(1, Ordering::Relaxed)
+            ));
+            fs::write(&tmp, text)?;
+            fs::rename(&tmp, &path)?;
+            ns.dirty = false;
+            written += 1;
+        }
+        Ok(written)
+    }
+
+    /// Lifetime entry lookups served.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime entry lookups missed.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime entries stored.
+    pub fn writes(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ivy-persist-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn roundtrips_across_reopen() {
+        let root = temp_root("roundtrip");
+        let layer = PersistLayer::open(&root).unwrap();
+        layer.put("test/ns", 1, 0xabcd, Value::from("payload"));
+        assert_eq!(
+            layer.get("test/ns", 1, 0xabcd).unwrap().as_str(),
+            Some("payload")
+        );
+        layer.flush().unwrap();
+
+        let reopened = PersistLayer::open(&root).unwrap();
+        assert_eq!(
+            reopened.get("test/ns", 1, 0xabcd).unwrap().as_str(),
+            Some("payload")
+        );
+        assert_eq!(reopened.hits(), 1);
+        assert!(reopened.get("test/ns", 1, 0x1234).is_none());
+        assert_eq!(reopened.misses(), 1);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn version_mismatch_and_corruption_are_ignored() {
+        let root = temp_root("corrupt");
+        let layer = PersistLayer::open(&root).unwrap();
+        layer.put("test/ns", 1, 7, Value::from(1u64));
+        layer.flush().unwrap();
+
+        // Payload-version bump: entries written at v1 are invisible at v2.
+        let reopened = PersistLayer::open(&root).unwrap();
+        assert!(reopened.get("test/ns", 2, 7).is_none());
+
+        // Outright corruption: unparsable file reads as empty, not a crash.
+        fs::write(root.join("test-ns.json"), "{ not json").unwrap();
+        let corrupted = PersistLayer::open(&root).unwrap();
+        assert!(corrupted.get("test/ns", 1, 7).is_none());
+        // And the namespace is still writable afterwards.
+        corrupted.put("test/ns", 1, 8, Value::from(2u64));
+        corrupted.flush().unwrap();
+        let healed = PersistLayer::open(&root).unwrap();
+        assert_eq!(healed.get("test/ns", 1, 8).unwrap().as_u64(), Some(2));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn namespaces_map_to_distinct_sanitized_files() {
+        let root = temp_root("files");
+        let layer = PersistLayer::open(&root).unwrap();
+        layer.put("diag/deputy", 1, 1, Value::from(1u64));
+        layer.put("diag/ccount", 1, 1, Value::from(2u64));
+        assert_eq!(layer.flush().unwrap(), 2);
+        assert!(root.join("diag-deputy.json").exists());
+        assert!(root.join("diag-ccount.json").exists());
+        // Clean flushes write nothing.
+        assert_eq!(layer.flush().unwrap(), 0);
+        let _ = fs::remove_dir_all(&root);
+    }
+}

@@ -1,0 +1,732 @@
+//! The typed, demand-driven query subsystem.
+//!
+//! Everything an analysis can ask for — points-to results, call graphs,
+//! summaries, CFGs, checker-owned precomputations — is a [`Query`]: a unit
+//! type naming the artifact, a typed [`Query::Key`], a typed
+//! [`Query::Value`], and a `compute` function that derives the value from
+//! the [`QueryDb`] on first demand. The db memoizes per `(query type,
+//! key)`, records dependency edges between queries as they demand each
+//! other, and — for queries that opt into [`DurableQuery`] — spills results
+//! to the cross-process [`PersistLayer`](crate::persist::PersistLayer) and
+//! reloads them in later processes.
+//!
+//! This replaces the seed engine's string-keyed `Any` memo table
+//! (`AnalysisCtx::memo`). That API had a panic class built in: two checkers
+//! (or one checker in two places) using the same string key with different
+//! types would `downcast` across types and panic at run time. Typed queries
+//! make the confusion unrepresentable: the memo table is keyed by the
+//! query's [`TypeId`], so even two query types with *identical* `NAME`
+//! strings cannot alias each other's slots, and the value type is fixed by
+//! the trait impl rather than inferred at the call site:
+//!
+//! ```compile_fail
+//! use ivy_engine::query::{Query, QueryDb};
+//! use ivy_engine::query::Summaries;
+//! use ivy_analysis::pointsto::Sensitivity;
+//! # use ivy_cmir::parser::parse_program;
+//! let db = QueryDb::new(&parse_program("fn f() { }").unwrap());
+//! // The old `ctx.memo::<String>("summaries/steensgaard", ...)` would have
+//! // compiled and panicked at run time on the type confusion. The typed
+//! // query API rejects the wrong value type at compile time:
+//! let s: std::sync::Arc<String> = db.get::<Summaries>(&Sensitivity::Steensgaard);
+//! ```
+
+use crate::persist::PersistLayer;
+use ivy_analysis::pointsto::{self, ConstraintCache, PointsToResult, Sensitivity};
+use ivy_analysis::summary::{self, fnv1a, mix, Condensation, FunctionSummary, ProgramSummaries};
+use ivy_analysis::CallGraph;
+use ivy_cmir::ast::Program;
+use ivy_cmir::cfg::Cfg;
+use ivy_cmir::pretty::pretty_program;
+use serde_json::{Map, Value};
+use std::any::{Any, TypeId};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A key a query can be demanded at.
+///
+/// `stable_hash` must be deterministic across processes (no `std::hash`
+/// randomization) — it is the memo-slot index and, for [`DurableQuery`]
+/// entries, part of the on-disk cache key. Keys whose durable results
+/// depend on program *content* must fold the relevant content hashes in
+/// (or the query must override [`DurableQuery::durable_key`]).
+pub trait QueryKey: Clone + PartialEq + std::fmt::Debug + Send + Sync + 'static {
+    /// Process-independent hash of the key.
+    fn stable_hash(&self) -> u64;
+}
+
+impl QueryKey for () {
+    fn stable_hash(&self) -> u64 {
+        fnv1a(b"unit")
+    }
+}
+
+impl QueryKey for u64 {
+    fn stable_hash(&self) -> u64 {
+        mix(fnv1a(b"u64"), *self)
+    }
+}
+
+impl QueryKey for String {
+    fn stable_hash(&self) -> u64 {
+        fnv1a(self.as_bytes())
+    }
+}
+
+impl QueryKey for Sensitivity {
+    fn stable_hash(&self) -> u64 {
+        fnv1a(self.name().as_bytes())
+    }
+}
+
+impl<A: QueryKey, B: QueryKey> QueryKey for (A, B) {
+    fn stable_hash(&self) -> u64 {
+        mix(self.0.stable_hash(), self.1.stable_hash())
+    }
+}
+
+impl<A: QueryKey, B: QueryKey, C: QueryKey> QueryKey for (A, B, C) {
+    fn stable_hash(&self) -> u64 {
+        mix(
+            mix(self.0.stable_hash(), self.1.stable_hash()),
+            self.2.stable_hash(),
+        )
+    }
+}
+
+/// A typed, memoized, demand-driven computation over a [`QueryDb`].
+///
+/// Implementors are unit types; the db computes `Q::compute(db, key)` at
+/// most once per `(Q, key)` and shares the `Arc`'d result. `compute` may
+/// demand other queries through the db — those reads are recorded as
+/// dependency edges (see [`QueryDb::dependencies`]).
+pub trait Query: 'static {
+    /// Key type this query is demanded at.
+    type Key: QueryKey;
+    /// Result type.
+    type Value: Send + Sync + 'static;
+    /// Stable human-readable name (`"<owner>/<artifact>"` by convention).
+    /// Used for dependency-edge reporting and as the persistence namespace;
+    /// *not* used for memo addressing (the [`TypeId`] is), so two query
+    /// types with colliding names still cannot alias.
+    const NAME: &'static str;
+    /// Computes the value for a key. Must be deterministic in `(db, key)`.
+    fn compute(db: &QueryDb, key: &Self::Key) -> Self::Value;
+}
+
+/// A [`Query`] whose results additionally spill to the cross-process
+/// [`PersistLayer`] (when one is attached to the db) and are reloaded from
+/// disk in later processes instead of being recomputed.
+pub trait DurableQuery: Query {
+    /// Version of the encoded representation; bumping it invalidates every
+    /// persisted entry of this query (old files are ignored, not read).
+    const FORMAT_VERSION: u32;
+
+    /// The on-disk cache key. Must be *content-addressed*: equal keys must
+    /// guarantee equal results across processes and program states. The
+    /// default is the key's stable hash; queries whose keys do not capture
+    /// all inputs (e.g. whole-program artifacts keyed only by sensitivity)
+    /// must override this to mix in the content hashes they depend on.
+    fn durable_key(db: &QueryDb, key: &Self::Key) -> u64 {
+        let _ = db;
+        key.stable_hash()
+    }
+
+    /// Encodes a value for persistence.
+    fn encode(value: &Self::Value) -> Value;
+
+    /// Decodes a persisted value; `None` rejects the entry (it is then
+    /// recomputed and overwritten).
+    fn decode(raw: &Value) -> Option<Self::Value>;
+}
+
+/// A `(query name, key hash)` pair identifying one query instance in the
+/// dependency graph.
+pub type QueryRef = (&'static str, u64);
+
+type Slot = Arc<Mutex<Vec<Box<dyn Any + Send + Sync>>>>;
+
+thread_local! {
+    /// Stack of queries currently computing on this thread; the top is the
+    /// dependent of any query demanded next.
+    static ACTIVE: RefCell<Vec<QueryRef>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Pops the active-query stack even if `compute` unwinds.
+struct ActiveGuard;
+
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        ACTIVE.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+/// Counters describing a db's query traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Values computed fresh.
+    pub computed: u64,
+    /// Reads served from the in-memory memo table.
+    pub memo_hits: u64,
+    /// Durable reads served from the persist layer.
+    pub persist_hits: u64,
+    /// Durable reads that consulted the persist layer and missed.
+    pub persist_misses: u64,
+}
+
+/// The query database: one program plus every artifact demanded of it.
+///
+/// This is the typed replacement for the seed's string-keyed memo table.
+/// One db is built per program state; the engine's context store keeps dbs
+/// alive across runs of byte-identical programs, and the optional
+/// [`PersistLayer`] extends reuse across *processes*.
+pub struct QueryDb {
+    /// The program under analysis.
+    pub program: Program,
+    /// FNV-1a hash of the pretty-printed program; the engine's context
+    /// cache key and the content anchor for durable whole-program queries.
+    pub program_hash: u64,
+    /// Cross-program cache of interned points-to constraint batches (shared
+    /// by the engine across dbs so an edited program re-solves points-to
+    /// from the cached constraint graph).
+    pts_cache: Arc<ConstraintCache>,
+    /// Cross-process persistence, when attached.
+    persist: Option<Arc<PersistLayer>>,
+    table: Mutex<HashMap<(TypeId, u64), Slot>>,
+    deps: Mutex<BTreeSet<(QueryRef, QueryRef)>>,
+    computed: AtomicU64,
+    memo_hits: AtomicU64,
+    persist_hits: AtomicU64,
+    persist_misses: AtomicU64,
+}
+
+impl QueryDb {
+    /// Builds a db for a program (cheap: every artifact is lazy).
+    pub fn new(program: &Program) -> QueryDb {
+        QueryDb::with_hash(program, QueryDb::hash_program(program))
+    }
+
+    /// The content hash a db for `program` would carry; computable without
+    /// cloning the program (used for context-store lookups).
+    pub fn hash_program(program: &Program) -> u64 {
+        fnv1a(pretty_program(program).as_bytes())
+    }
+
+    /// Builds a db with an already-computed program hash.
+    pub fn with_hash(program: &Program, program_hash: u64) -> QueryDb {
+        QueryDb {
+            program: program.clone(),
+            program_hash,
+            pts_cache: Arc::new(ConstraintCache::new()),
+            persist: None,
+            table: Mutex::new(HashMap::new()),
+            deps: Mutex::new(BTreeSet::new()),
+            computed: AtomicU64::new(0),
+            memo_hits: AtomicU64::new(0),
+            persist_hits: AtomicU64::new(0),
+            persist_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Shares an existing points-to constraint cache (builder style).
+    pub fn with_pointsto_cache(mut self, cache: Arc<ConstraintCache>) -> QueryDb {
+        self.pts_cache = cache;
+        self
+    }
+
+    /// Attaches a cross-process persist layer: [`DurableQuery`] reads
+    /// consult it before computing and spill fresh results into it.
+    pub fn with_persist(mut self, persist: Option<Arc<PersistLayer>>) -> QueryDb {
+        self.persist = persist;
+        self
+    }
+
+    /// The attached persist layer, if any.
+    pub fn persist(&self) -> Option<Arc<PersistLayer>> {
+        self.persist.clone()
+    }
+
+    /// The shared points-to constraint cache.
+    pub fn pointsto_cache(&self) -> Arc<ConstraintCache> {
+        Arc::clone(&self.pts_cache)
+    }
+
+    fn slot(&self, type_id: TypeId, key_hash: u64) -> Slot {
+        let mut table = self.table.lock().expect("query table poisoned");
+        Arc::clone(table.entry((type_id, key_hash)).or_default())
+    }
+
+    fn record_edge(&self, child: QueryRef) {
+        if let Some(parent) = ACTIVE.with(|s| s.borrow().last().copied()) {
+            self.deps
+                .lock()
+                .expect("query deps poisoned")
+                .insert((parent, child));
+        }
+    }
+
+    fn scan<Q: Query>(
+        entries: &[Box<dyn Any + Send + Sync>],
+        key: &Q::Key,
+    ) -> Option<Arc<Q::Value>> {
+        entries.iter().find_map(|e| {
+            e.downcast_ref::<(Q::Key, Arc<Q::Value>)>()
+                .filter(|(k, _)| k == key)
+                .map(|(_, v)| Arc::clone(v))
+        })
+    }
+
+    fn compute_entry<Q: Query>(&self, key: &Q::Key, key_hash: u64) -> Arc<Q::Value> {
+        ACTIVE.with(|s| s.borrow_mut().push((Q::NAME, key_hash)));
+        let guard = ActiveGuard;
+        let value = Arc::new(Q::compute(self, key));
+        drop(guard);
+        self.computed.fetch_add(1, Ordering::Relaxed);
+        value
+    }
+
+    /// Demands a query at a key, computing it at most once per `(Q, key)`.
+    ///
+    /// Two threads demanding the same instance serialize on its slot and
+    /// compute once; unrelated instances proceed in parallel. A query whose
+    /// `compute` (transitively) demands *itself at the same key* is a cycle
+    /// and deadlocks — dependencies must be acyclic, which the bottom-up
+    /// artifact stack guarantees by construction.
+    pub fn get<Q: Query>(&self, key: &Q::Key) -> Arc<Q::Value> {
+        let key_hash = key.stable_hash();
+        self.record_edge((Q::NAME, key_hash));
+        let slot = self.slot(TypeId::of::<Q>(), key_hash);
+        let mut entries = slot.lock().expect("query slot poisoned");
+        if let Some(found) = Self::scan::<Q>(&entries, key) {
+            self.memo_hits.fetch_add(1, Ordering::Relaxed);
+            return found;
+        }
+        let value = self.compute_entry::<Q>(key, key_hash);
+        entries.push(Box::new((key.clone(), Arc::clone(&value))));
+        value
+    }
+
+    /// Demands a durable query: like [`QueryDb::get`], but a memo miss
+    /// consults the attached persist layer before computing, and fresh
+    /// results are spilled back to it.
+    pub fn get_durable<Q: DurableQuery>(&self, key: &Q::Key) -> Arc<Q::Value> {
+        let key_hash = key.stable_hash();
+        self.record_edge((Q::NAME, key_hash));
+        let slot = self.slot(TypeId::of::<Q>(), key_hash);
+        let mut entries = slot.lock().expect("query slot poisoned");
+        if let Some(found) = Self::scan::<Q>(&entries, key) {
+            self.memo_hits.fetch_add(1, Ordering::Relaxed);
+            return found;
+        }
+        if let Some(layer) = &self.persist {
+            let durable_key = Q::durable_key(self, key);
+            if let Some(value) = layer
+                .get(Q::NAME, Q::FORMAT_VERSION, durable_key)
+                .and_then(|raw| Q::decode(&raw))
+            {
+                self.persist_hits.fetch_add(1, Ordering::Relaxed);
+                let value = Arc::new(value);
+                entries.push(Box::new((key.clone(), Arc::clone(&value))));
+                return value;
+            }
+            self.persist_misses.fetch_add(1, Ordering::Relaxed);
+            let value = self.compute_entry::<Q>(key, key_hash);
+            layer.put(Q::NAME, Q::FORMAT_VERSION, durable_key, Q::encode(&value));
+            entries.push(Box::new((key.clone(), Arc::clone(&value))));
+            return value;
+        }
+        let value = self.compute_entry::<Q>(key, key_hash);
+        entries.push(Box::new((key.clone(), Arc::clone(&value))));
+        value
+    }
+
+    /// The memoized value for a query instance, if it has already been
+    /// computed (or loaded) in this db. Never computes — the engine uses
+    /// this to report points-to statistics without forcing a solve on runs
+    /// that were served entirely from caches.
+    pub fn peek<Q: Query>(&self, key: &Q::Key) -> Option<Arc<Q::Value>> {
+        let slot = self.slot(TypeId::of::<Q>(), key.stable_hash());
+        let entries = slot.lock().expect("query slot poisoned");
+        Self::scan::<Q>(&entries, key)
+    }
+
+    /// The dependency edges recorded so far: `(dependent, dependency)`
+    /// pairs of `(query name, key hash)`.
+    pub fn dependencies(&self) -> Vec<(QueryRef, QueryRef)> {
+        self.deps
+            .lock()
+            .expect("query deps poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// True if a `dependent`-named query was recorded demanding a
+    /// `dependency`-named query (at any keys).
+    pub fn depends_on(&self, dependent: &str, dependency: &str) -> bool {
+        self.deps
+            .lock()
+            .expect("query deps poisoned")
+            .iter()
+            .any(|((p, _), (c, _))| *p == dependent && *c == dependency)
+    }
+
+    /// Query-traffic counters for this db.
+    pub fn query_stats(&self) -> QueryStats {
+        QueryStats {
+            computed: self.computed.load(Ordering::Relaxed),
+            memo_hits: self.memo_hits.load(Ordering::Relaxed),
+            persist_hits: self.persist_hits.load(Ordering::Relaxed),
+            persist_misses: self.persist_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    // ---- built-in artifact façade -------------------------------------
+
+    /// Points-to results at a precision level. Solved incrementally against
+    /// the shared constraint cache: only functions this db sees for the
+    /// first time generate constraints.
+    pub fn pointsto(&self, sensitivity: Sensitivity) -> Arc<PointsToResult> {
+        self.get::<Pointsto>(&sensitivity)
+    }
+
+    /// The call graph at a precision level.
+    pub fn callgraph(&self, sensitivity: Sensitivity) -> Arc<CallGraph> {
+        self.get::<Callgraph>(&sensitivity)
+    }
+
+    /// Per-function summaries (content/cone hashes, SCC condensation) over
+    /// the call graph at a precision level. Durable: with a persist layer
+    /// attached, a warm process reloads these from disk without solving
+    /// points-to at all.
+    pub fn summaries(&self, sensitivity: Sensitivity) -> Arc<ProgramSummaries> {
+        self.get_durable::<Summaries>(&sensitivity)
+    }
+
+    /// The CFG of one defined function.
+    pub fn cfg(&self, function: &str) -> Option<Arc<Cfg>> {
+        let func = self.program.function(function)?;
+        func.body.as_ref()?;
+        Some(self.get::<CfgOf>(&function.to_string()))
+    }
+
+    /// Hash of the whole-program type environment (signatures, composites,
+    /// typedefs, globals — bodies excluded).
+    pub fn env_hash(&self) -> u64 {
+        *self.get::<EnvHash>(&())
+    }
+}
+
+// ---- built-in queries --------------------------------------------------
+
+/// Points-to analysis at a [`Sensitivity`].
+pub struct Pointsto;
+
+impl Query for Pointsto {
+    type Key = Sensitivity;
+    type Value = PointsToResult;
+    const NAME: &'static str = "engine/pointsto";
+
+    fn compute(db: &QueryDb, key: &Sensitivity) -> PointsToResult {
+        pointsto::analyze_incremental(&db.program, *key, &db.pts_cache)
+    }
+}
+
+/// Call graph built over [`Pointsto`] results.
+pub struct Callgraph;
+
+impl Query for Callgraph {
+    type Key = Sensitivity;
+    type Value = CallGraph;
+    const NAME: &'static str = "engine/callgraph";
+
+    fn compute(db: &QueryDb, key: &Sensitivity) -> CallGraph {
+        CallGraph::build(&db.program, &db.get::<Pointsto>(key))
+    }
+}
+
+/// Per-function summaries and SCC condensation over [`Callgraph`].
+pub struct Summaries;
+
+impl Query for Summaries {
+    type Key = Sensitivity;
+    type Value = ProgramSummaries;
+    const NAME: &'static str = "engine/summaries";
+
+    fn compute(db: &QueryDb, key: &Sensitivity) -> ProgramSummaries {
+        summary::summarize(&db.program, &db.get::<Callgraph>(key))
+    }
+}
+
+impl DurableQuery for Summaries {
+    const FORMAT_VERSION: u32 = 1;
+
+    fn durable_key(db: &QueryDb, key: &Sensitivity) -> u64 {
+        mix(db.program_hash, key.stable_hash())
+    }
+
+    fn encode(value: &ProgramSummaries) -> Value {
+        let mut functions = Map::new();
+        for (name, s) in &value.functions {
+            let mut f = Map::new();
+            f.insert(
+                "callees".into(),
+                Value::Array(s.callees.iter().map(|c| Value::from(c.as_str())).collect()),
+            );
+            f.insert("content_hash".into(), Value::from(s.content_hash));
+            f.insert("cone_hash".into(), Value::from(s.cone_hash));
+            f.insert("scc".into(), Value::from(s.scc));
+            functions.insert(name.clone(), Value::Object(f));
+        }
+        let sccs: Vec<Value> = value
+            .condensation
+            .sccs
+            .iter()
+            .map(|c| Value::Array(c.iter().map(|n| Value::from(n.as_str())).collect()))
+            .collect();
+        let levels: Vec<Value> = value
+            .condensation
+            .levels
+            .iter()
+            .map(|l| Value::Array(l.iter().map(|&i| Value::from(i)).collect()))
+            .collect();
+        let mut root = Map::new();
+        root.insert("env_hash".into(), Value::from(value.env_hash));
+        root.insert("functions".into(), Value::Object(functions));
+        root.insert("sccs".into(), Value::Array(sccs));
+        root.insert("levels".into(), Value::Array(levels));
+        Value::Object(root)
+    }
+
+    fn decode(raw: &Value) -> Option<ProgramSummaries> {
+        let env_hash = raw.get("env_hash")?.as_u64()?;
+        let sccs: Vec<Vec<String>> = raw
+            .get("sccs")?
+            .as_array()?
+            .iter()
+            .map(|c| {
+                c.as_array().map(|ns| {
+                    ns.iter()
+                        .filter_map(|n| n.as_str().map(String::from))
+                        .collect()
+                })
+            })
+            .collect::<Option<_>>()?;
+        let levels: Vec<Vec<usize>> = raw
+            .get("levels")?
+            .as_array()?
+            .iter()
+            .map(|l| {
+                l.as_array().map(|is| {
+                    is.iter()
+                        .filter_map(|i| i.as_u64().map(|v| v as usize))
+                        .collect()
+                })
+            })
+            .collect::<Option<_>>()?;
+        let mut scc_of = BTreeMap::new();
+        for (i, comp) in sccs.iter().enumerate() {
+            for name in comp {
+                scc_of.insert(name.clone(), i);
+            }
+        }
+        let mut functions = BTreeMap::new();
+        for (name, f) in raw.get("functions")?.as_object()?.iter() {
+            let callees: BTreeSet<String> = f
+                .get("callees")?
+                .as_array()?
+                .iter()
+                .filter_map(|c| c.as_str().map(String::from))
+                .collect();
+            functions.insert(
+                name.clone(),
+                FunctionSummary {
+                    name: name.clone(),
+                    callees,
+                    content_hash: f.get("content_hash")?.as_u64()?,
+                    cone_hash: f.get("cone_hash")?.as_u64()?,
+                    scc: f.get("scc")?.as_u64()? as usize,
+                },
+            );
+        }
+        Some(ProgramSummaries {
+            functions,
+            condensation: Condensation {
+                sccs,
+                scc_of,
+                levels,
+            },
+            env_hash,
+        })
+    }
+}
+
+/// CFG of one defined function (key: function name).
+pub struct CfgOf;
+
+impl Query for CfgOf {
+    type Key = String;
+    type Value = Cfg;
+    const NAME: &'static str = "engine/cfg";
+
+    fn compute(db: &QueryDb, key: &String) -> Cfg {
+        Cfg::build(
+            db.program
+                .function(key)
+                .expect("cfg queried for a defined function"),
+        )
+    }
+}
+
+/// Hash of the whole-program type environment.
+pub struct EnvHash;
+
+impl Query for EnvHash {
+    type Key = ();
+    type Value = u64;
+    const NAME: &'static str = "engine/env-hash";
+
+    fn compute(db: &QueryDb, _key: &()) -> u64 {
+        summary::env_hash(&db.program)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivy_cmir::parser::parse_program;
+    use std::sync::atomic::AtomicUsize;
+
+    fn small_db() -> QueryDb {
+        let p = parse_program("fn a() { b(); } fn b() { }").unwrap();
+        QueryDb::new(&p)
+    }
+
+    static CALLS_A: AtomicUsize = AtomicUsize::new(0);
+    static CALLS_B: AtomicUsize = AtomicUsize::new(0);
+
+    /// Two query types with deliberately *identical* names and keys but
+    /// different value types — the exact shape that panicked the old
+    /// string-keyed memo with "used with two different types".
+    struct CollidingA;
+    struct CollidingB;
+
+    impl Query for CollidingA {
+        type Key = String;
+        type Value = u64;
+        const NAME: &'static str = "test/colliding";
+        fn compute(_db: &QueryDb, _key: &String) -> u64 {
+            CALLS_A.fetch_add(1, Ordering::SeqCst);
+            42
+        }
+    }
+
+    impl Query for CollidingB {
+        type Key = String;
+        type Value = String;
+        const NAME: &'static str = "test/colliding";
+        fn compute(_db: &QueryDb, _key: &String) -> String {
+            CALLS_B.fetch_add(1, Ordering::SeqCst);
+            "forty-two".to_string()
+        }
+    }
+
+    #[test]
+    fn colliding_names_cannot_alias() {
+        // With the seed's `Memo`, this sequence was the documented panic:
+        //   ctx.memo::<u64>("test/colliding", ..);
+        //   ctx.memo::<String>("test/colliding", ..);  // -> panic!
+        // Typed queries key the table by TypeId, so both coexist.
+        let db = small_db();
+        let key = "same-key".to_string();
+        let a = db.get::<CollidingA>(&key);
+        let b = db.get::<CollidingB>(&key);
+        assert_eq!(*a, 42);
+        assert_eq!(*b, "forty-two");
+        // And each computed exactly once despite the shared name and key.
+        let a2 = db.get::<CollidingA>(&key);
+        let b2 = db.get::<CollidingB>(&key);
+        assert!(Arc::ptr_eq(&a, &a2));
+        assert!(Arc::ptr_eq(&b, &b2));
+    }
+
+    #[test]
+    fn computes_once_and_shares() {
+        struct Counted;
+        static CALLS: AtomicUsize = AtomicUsize::new(0);
+        impl Query for Counted {
+            type Key = u64;
+            type Value = u64;
+            const NAME: &'static str = "test/counted";
+            fn compute(_db: &QueryDb, key: &u64) -> u64 {
+                CALLS.fetch_add(1, Ordering::SeqCst);
+                key * 2
+            }
+        }
+        let db = small_db();
+        assert_eq!(*db.get::<Counted>(&3), 6);
+        assert_eq!(*db.get::<Counted>(&3), 6);
+        assert_eq!(*db.get::<Counted>(&4), 8);
+        assert_eq!(CALLS.load(Ordering::SeqCst), 2);
+        let stats = db.query_stats();
+        assert_eq!(stats.memo_hits, 1);
+        assert!(stats.computed >= 2);
+    }
+
+    #[test]
+    fn builtin_artifacts_are_shared_instances() {
+        let db = small_db();
+        let p1 = db.pointsto(Sensitivity::Steensgaard);
+        let p2 = db.pointsto(Sensitivity::Steensgaard);
+        assert!(Arc::ptr_eq(&p1, &p2));
+        let s = db.summaries(Sensitivity::Steensgaard);
+        assert!(s.functions.contains_key("a"));
+        assert!(db.cfg("a").is_some());
+        assert!(db.cfg("missing").is_none());
+    }
+
+    #[test]
+    fn dependency_edges_are_recorded() {
+        let db = small_db();
+        db.summaries(Sensitivity::Steensgaard);
+        assert!(db.depends_on(Summaries::NAME, Callgraph::NAME));
+        assert!(db.depends_on(Callgraph::NAME, Pointsto::NAME));
+        // The leaf computed nothing below it.
+        assert!(!db.depends_on(Pointsto::NAME, Callgraph::NAME));
+    }
+
+    #[test]
+    fn peek_never_computes() {
+        let db = small_db();
+        assert!(db.peek::<Pointsto>(&Sensitivity::Steensgaard).is_none());
+        db.pointsto(Sensitivity::Steensgaard);
+        assert!(db.peek::<Pointsto>(&Sensitivity::Steensgaard).is_some());
+    }
+
+    #[test]
+    fn summaries_roundtrip_through_the_durable_encoding() {
+        let db = small_db();
+        let s = db.summaries(Sensitivity::Steensgaard);
+        let decoded = <Summaries as DurableQuery>::decode(&Summaries::encode(&s))
+            .expect("well-formed encoding decodes");
+        assert_eq!(decoded.env_hash, s.env_hash);
+        assert_eq!(decoded.functions, s.functions);
+        assert_eq!(decoded.condensation.sccs, s.condensation.sccs);
+        assert_eq!(decoded.condensation.levels, s.condensation.levels);
+        assert_eq!(decoded.condensation.scc_of, s.condensation.scc_of);
+        // Tampered encodings are rejected, not mis-decoded.
+        assert!(<Summaries as DurableQuery>::decode(&Value::from("garbage")).is_none());
+    }
+
+    #[test]
+    fn colliding_test_counters_are_exercised() {
+        // Silence dead-code analysis honestly: the statics above are bumped
+        // by the colliding-queries test regardless of execution order.
+        assert!(CALLS_A.load(Ordering::SeqCst) <= 1);
+        assert!(CALLS_B.load(Ordering::SeqCst) <= 1);
+    }
+}

@@ -5,8 +5,9 @@
 use ivy::blockstop::BlockStopChecker;
 use ivy::ccount::CCountChecker;
 use ivy::deputy::DeputyChecker;
-use ivy::engine::{Engine, Severity};
+use ivy::engine::{Engine, PersistLayer, Severity};
 use ivy::kernelgen::{KernelBuild, KernelConfig};
+use std::path::PathBuf;
 use std::sync::Arc;
 
 fn kernel_engine(threads: usize) -> Engine {
@@ -15,6 +16,13 @@ fn kernel_engine(threads: usize) -> Engine {
         .with_checker(Arc::new(DeputyChecker::new()))
         .with_checker(Arc::new(CCountChecker::new()))
         .with_checker(Arc::new(BlockStopChecker::new()))
+}
+
+/// A unique, empty persist directory for one test.
+fn persist_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ivy-engine-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
 }
 
 #[test]
@@ -136,6 +144,115 @@ fn corpus_mode_shares_the_cache_across_variants() {
     // Corpus reports equal the individually-computed ones.
     let solo = kernel_engine(1).analyze(&programs[1]);
     assert_eq!(solo.diagnostics, reports[1].diagnostics);
+}
+
+#[test]
+fn warm_start_from_persist_layer_reproduces_the_report_from_disk() {
+    let build = KernelBuild::generate(&KernelConfig::small());
+    let dir = persist_dir("warm-start");
+
+    // "Process A": cold engine, spills everything durable to the directory.
+    let cold = kernel_engine(4)
+        .with_persist(Arc::new(PersistLayer::open(&dir).unwrap()))
+        .analyze(&build.program);
+    assert_eq!(cold.stats.persist_hits, 0, "first process is cold");
+    assert!(cold.stats.persist_misses > 0);
+
+    // "Process B": a fresh engine with fresh in-memory caches; only the
+    // directory is shared (everything process A held has been dropped).
+    let warm = kernel_engine(4)
+        .with_persist(Arc::new(PersistLayer::open(&dir).unwrap()))
+        .analyze(&build.program);
+
+    // Byte-identical report, served overwhelmingly from disk.
+    assert_eq!(warm.diagnostics, cold.diagnostics);
+    assert_eq!(warm.diagnostics_json(), cold.diagnostics_json());
+    assert_eq!(warm.to_sarif(), cold.to_sarif());
+    assert_eq!(
+        warm.stats.cache_hits, 0,
+        "process B's memory caches are empty"
+    );
+    assert!(
+        warm.stats.persist_hit_rate() >= 0.9,
+        "a warm process must serve >=90% of per-function results from disk, got {:.3} ({} persist hits, {} misses)",
+        warm.stats.persist_hit_rate(),
+        warm.stats.persist_hits,
+        warm.stats.cache_misses
+    );
+    // The warm process never had to solve points-to: the summaries, the
+    // BlockStop report, and the CCount alias sites all reloaded from disk.
+    assert_eq!(
+        warm.stats.pointsto_constraints, 0,
+        "a fully warm process must not solve points-to"
+    );
+    assert!(cold.stats.pointsto_constraints > 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_or_version_mismatched_cache_files_are_ignored_not_fatal() {
+    let build = KernelBuild::generate(&KernelConfig::small());
+    let dir = persist_dir("corrupt");
+    let cold = kernel_engine(2)
+        .with_persist(Arc::new(PersistLayer::open(&dir).unwrap()))
+        .analyze(&build.program);
+
+    // Vandalize the cache: truncate one file mid-JSON, replace another
+    // with a version from the future, and drop in an unrelated file.
+    let mut files: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    files.sort();
+    assert!(files.len() >= 3, "cold run persisted several namespaces");
+    std::fs::write(&files[0], "{\"format\":1,\"entries\":{").unwrap();
+    std::fs::write(
+        &files[1],
+        "{\"format\":1,\"namespace\":\"x\",\"version\":999,\"entries\":{}}",
+    )
+    .unwrap();
+    std::fs::write(dir.join("unrelated.json"), "not json at all").unwrap();
+
+    // A fresh process over the damaged cache recomputes what it must and
+    // still produces the identical report.
+    let recovered = kernel_engine(2)
+        .with_persist(Arc::new(PersistLayer::open(&dir).unwrap()))
+        .analyze(&build.program);
+    assert_eq!(recovered.diagnostics, cold.diagnostics);
+    assert_eq!(recovered.diagnostics_json(), cold.diagnostics_json());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn persisted_deputy_bodies_make_redeputization_incremental() {
+    let build = KernelBuild::generate(&KernelConfig::small());
+    let dir = persist_dir("deputy-incremental");
+    let layer = Arc::new(PersistLayer::open(&dir).unwrap());
+    let engine = kernel_engine(2).with_persist(Arc::clone(&layer));
+    engine.analyze(&build.program);
+    let instrumented_ns = "deputy/instrumented";
+    let version = 1;
+    let before = layer.entry_count(instrumented_ns, version);
+    assert!(before > 0, "cold run persisted instrumented bodies");
+
+    // Edit one function body; only its instrumented body is regenerated
+    // (its content hash changed; every other function's entry is still
+    // valid because the type environment is untouched).
+    let mut edited = build.program.clone();
+    let func = edited
+        .function_mut("watchdog_tick")
+        .expect("corpus has watchdog_tick");
+    let body = func.body.as_mut().expect("defined");
+    let extra = body.stmts.first().cloned().expect("non-empty body");
+    body.stmts.insert(0, extra);
+    engine.analyze(&edited);
+    let after = layer.entry_count(instrumented_ns, version);
+    assert_eq!(
+        after,
+        before + 1,
+        "a one-function edit must add exactly one instrumented-body entry"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
