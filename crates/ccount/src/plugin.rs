@@ -28,6 +28,9 @@ impl Query for ProgramReportQuery {
     const NAME: &'static str = "ccount/report";
 
     fn compute(db: &QueryDb, _key: &()) -> InstrumentationReport {
+        // Reads every function body directly: connect it to the input
+        // layer so dependency-driven invalidation can reach it.
+        db.depend_on_program();
         analyze(&db.program)
     }
 }
@@ -44,6 +47,10 @@ impl Query for FnReportQuery {
     const NAME: &'static str = "ccount/fn-report";
 
     fn compute(db: &QueryDb, key: &String) -> InstrumentationReport {
+        // Per-function, but resolved against the type environment: tie it
+        // to its function's content and the env for invalidation.
+        db.fn_content(key);
+        db.env_hash();
         let func = db
             .program
             .function(key)

@@ -7,10 +7,10 @@
 
 use crate::extensions::{errcheck, lockcheck, stackcheck, ErrReport, LockReport, StackReport};
 use ivy_analysis::pointsto::Sensitivity;
-use ivy_blockstop::{insert_asserts, BlockStop, BlockStopChecker, BlockStopConfig};
-use ivy_ccount::{CCountChecker, FixPlan, FreeVerification, NullFix, Overhead};
+use ivy_blockstop::{insert_asserts, BlockStop, BlockStopConfig};
+use ivy_ccount::{FixPlan, FreeVerification, NullFix, Overhead};
 use ivy_cmir::ast::Program;
-use ivy_deputy::{BurdenStats, ConversionReport, Deputy, DeputyChecker};
+use ivy_deputy::{BurdenStats, ConversionReport, Deputy};
 use ivy_engine::{Engine, EngineStats};
 use ivy_kernelgen::{
     boot_workload, fork_workload, hbench_suite, light_use_workload, module_load_workload,
@@ -20,7 +20,6 @@ use ivy_vm::{RunStats, Value, Vm, VmConfig};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
-use std::sync::Arc;
 
 /// How large an experiment run should be.
 #[derive(Debug, Clone, PartialEq)]
@@ -464,13 +463,15 @@ pub fn pointsto_ablation(scale: &Scale) -> Vec<AblationRow> {
 // E8 — the analysis engine: unified report, incrementality, fleet mode
 // ---------------------------------------------------------------------------
 
-/// The default engine: Deputy, CCount, and BlockStop registered as plugins.
+/// The default engine: Deputy, CCount, and BlockStop registered as
+/// plugins — built from the shared [`ivy_daemon::fleet_checkers`] list,
+/// so the batch fleet and the daemon's resident fleet cannot drift.
 pub fn default_engine(threads: usize) -> Engine {
-    Engine::new()
-        .with_threads(threads)
-        .with_checker(Arc::new(DeputyChecker::new()))
-        .with_checker(Arc::new(CCountChecker::new()))
-        .with_checker(Arc::new(BlockStopChecker::new()))
+    let mut engine = Engine::new().with_threads(threads);
+    for checker in ivy_daemon::fleet_checkers(ivy_deputy::DeputyConfig::default()) {
+        engine = engine.with_checker(checker);
+    }
+    engine
 }
 
 /// Result of the engine experiment: the unified diagnostic report classified

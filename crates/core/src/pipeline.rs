@@ -27,6 +27,8 @@ use ivy_deputy::{ConversionReport, Deputy};
 use ivy_engine::{CtxStore, Diagnostic, DiagnosticCache, Engine, PersistLayer, Report};
 use ivy_kernelgen::KernelBuild;
 use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
 /// Configuration of the combined pipeline.
@@ -39,6 +41,7 @@ pub struct Pipeline {
     ctx_store: CtxStore,
     pts_cache: Arc<ConstraintCache>,
     persist: Option<Arc<PersistLayer>>,
+    daemon: Option<PathBuf>,
 }
 
 impl Default for Pipeline {
@@ -50,6 +53,7 @@ impl Default for Pipeline {
             ctx_store: Arc::new(Mutex::new(HashMap::new())),
             pts_cache: Arc::new(ConstraintCache::new()),
             persist: None,
+            daemon: None,
         }
     }
 }
@@ -66,6 +70,7 @@ impl Clone for Pipeline {
             ctx_store: Arc::clone(&self.ctx_store),
             pts_cache: Arc::clone(&self.pts_cache),
             persist: self.persist.clone(),
+            daemon: self.daemon.clone(),
         }
     }
 }
@@ -124,6 +129,60 @@ impl Pipeline {
     pub fn with_persist(mut self, persist: Arc<PersistLayer>) -> Self {
         self.persist = Some(persist);
         self
+    }
+
+    /// Daemon-backed mode (builder style): point the pipeline at a
+    /// resident [`ivy_daemon`] socket. [`Pipeline::recheck`] then routes
+    /// re-analysis round-trips through the daemon — which keeps points-to,
+    /// query, and diagnostic state alive across processes — and falls back
+    /// to the in-process engine when the socket is dead. The daemon serves
+    /// the default checker fleet, so answers are byte-identical either
+    /// way.
+    pub fn with_daemon(mut self, socket: impl Into<PathBuf>) -> Self {
+        self.daemon = Some(socket.into());
+        self
+    }
+
+    /// One analyze round-trip against a resident daemon, decoded back into
+    /// an engine [`Report`]. The daemon's `diagnostics_json` is the stable
+    /// serialization, so the decoded report reproduces it byte-identically.
+    pub fn daemon_analyze(socket: &Path, program: &Program) -> io::Result<Report> {
+        let mut client = ivy_daemon::Client::connect(socket)?;
+        let outcome = client.analyze(&ivy_cmir::pretty::pretty_program(program))?;
+        let parsed = ivy_engine::json::from_str(&outcome.diagnostics_json)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e:?}")))?;
+        let diagnostics: Vec<Diagnostic> = parsed
+            .as_array()
+            .and_then(|items| items.iter().map(Diagnostic::from_value).collect())
+            .ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidData, "undecodable daemon diagnostics")
+            })?;
+        Ok(Report::new(diagnostics, outcome.stats))
+    }
+
+    /// Re-checks one program state — the analyze half of the
+    /// analyze→fix→re-analyze loop. With a daemon configured (see
+    /// [`Pipeline::with_daemon`]) and reachable, the round-trip is served
+    /// by the resident engine; otherwise an in-process engine pass runs.
+    /// Both paths produce byte-identical stable serializations.
+    ///
+    /// The daemon always serves the *default* checker configurations (the
+    /// protocol carries no config yet — see the ROADMAP item), so a
+    /// pipeline with a non-default Deputy config never routes to it:
+    /// answers must come from the configuration the caller asked for, not
+    /// whichever happens to be resident.
+    pub fn recheck(&self, program: &Program) -> Report {
+        let default_config = self.deputy.config == Deputy::default().config;
+        if let (Some(socket), true) = (&self.daemon, default_config) {
+            if let Ok(report) = Self::daemon_analyze(socket, program) {
+                return report;
+            }
+        }
+        let mut engine = self.engine();
+        for checker in ivy_daemon::fleet_checkers(self.deputy.config) {
+            engine = engine.with_checker(checker);
+        }
+        engine.analyze(program)
     }
 
     /// The diagnostic cache shared by this pipeline's engine stages; expose
@@ -324,6 +383,34 @@ mod tests {
             second.report.stats
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn daemon_backed_recheck_matches_the_in_process_engine() {
+        let build = KernelBuild::generate(&KernelConfig::small());
+        // Canonical program text: the daemon parses source, so compare
+        // both paths over the same parsed form.
+        let source = ivy_cmir::pretty::pretty_program(&build.program);
+        let program = ivy_cmir::parser::parse_program(&source).unwrap();
+
+        let socket =
+            std::env::temp_dir().join(format!("ivy-pipeline-daemon-{}.sock", std::process::id()));
+        let handle = ivy_daemon::Daemon::spawn(ivy_daemon::DaemonConfig::new(&socket)).unwrap();
+
+        let local = Pipeline::new().recheck(&program);
+        let via_daemon = Pipeline::new().with_daemon(&socket).recheck(&program);
+        assert!(!via_daemon.diagnostics.is_empty());
+        assert_eq!(local.diagnostics, via_daemon.diagnostics);
+        assert_eq!(local.diagnostics_json(), via_daemon.diagnostics_json());
+
+        // A dead socket falls back to the in-process engine, not an error.
+        ivy_daemon::Client::connect(&socket)
+            .unwrap()
+            .shutdown()
+            .unwrap();
+        handle.join();
+        let fallback = Pipeline::new().with_daemon(&socket).recheck(&program);
+        assert_eq!(local.diagnostics_json(), fallback.diagnostics_json());
     }
 
     #[test]

@@ -1,0 +1,92 @@
+//! `ivy-client` — one-shot driver for a running `ivy-daemon`.
+//!
+//! ```text
+//! ivy-client <socket-path> analyze <file.kc>
+//! ivy-client <socket-path> diagnostics <file.kc>
+//! ivy-client <socket-path> notify-edit <file.kc>
+//! ivy-client <socket-path> stats
+//! ivy-client <socket-path> shutdown
+//! ```
+//!
+//! `analyze`/`diagnostics` print the stable diagnostics JSON to stdout
+//! (what a batch run would have produced, byte-identically); `stats`
+//! prints the server counters.
+
+use ivy_daemon::Client;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: ivy-client <socket> <analyze|diagnostics|notify-edit> <file.kc>\n       \
+         ivy-client <socket> <stats|shutdown>"
+    );
+    ExitCode::FAILURE
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(socket), Some(cmd)) = (args.first(), args.get(1)) else {
+        return Err("missing arguments".into());
+    };
+    let mut client = Client::connect(socket).map_err(|e| format!("connect {socket}: {e}"))?;
+    let source_arg = || -> Result<String, String> {
+        let path = args.get(2).ok_or("missing <file.kc> argument")?;
+        std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))
+    };
+    match cmd.as_str() {
+        "analyze" => {
+            let outcome = client.analyze(&source_arg()?).map_err(|e| e.to_string())?;
+            eprintln!(
+                "program {} — {} diagnostics, cache {}/{} hits/misses, persist {} hits",
+                outcome.program_hash,
+                outcome.diagnostic_count,
+                outcome.stats.cache_hits,
+                outcome.stats.cache_misses,
+                outcome.stats.persist_hits,
+            );
+            println!("{}", outcome.diagnostics_json);
+        }
+        "diagnostics" => {
+            println!(
+                "{}",
+                client
+                    .diagnostics(&source_arg()?)
+                    .map_err(|e| e.to_string())?
+            );
+        }
+        "notify-edit" => {
+            let outcome = client
+                .notify_edit(&source_arg()?)
+                .map_err(|e| e.to_string())?;
+            let inv = &outcome.invalidation;
+            println!(
+                "edited [{}] -> {} invalidated, {} retained, {} revalidated (env_changed={})",
+                inv.changed_functions.join(", "),
+                inv.invalidated,
+                inv.retained,
+                inv.revalidated,
+                inv.env_changed,
+            );
+        }
+        "stats" => {
+            let stats = client.stats().map_err(|e| e.to_string())?;
+            println!(
+                "{}",
+                ivy_engine::json::to_string_pretty(&stats).map_err(|e| format!("{e:?}"))?
+            );
+        }
+        "shutdown" => client.shutdown().map_err(|e| e.to_string())?,
+        _ => return Err(format!("unknown command {cmd:?}")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("ivy-client: {message}");
+            usage()
+        }
+    }
+}

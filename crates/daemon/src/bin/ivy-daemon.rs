@@ -1,0 +1,43 @@
+//! `ivy-daemon` — serve the resident analysis engine on a Unix socket.
+//!
+//! ```text
+//! ivy-daemon <socket-path> [--cache-dir DIR] [--threads N]
+//! ```
+//!
+//! Blocks until a client sends `shutdown`. Defaults: no persist directory
+//! (memory-only), one engine worker per hardware thread.
+
+use ivy_daemon::{Daemon, DaemonConfig};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: ivy-daemon <socket-path> [--cache-dir DIR] [--threads N]");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(socket) = args.first() else {
+        return usage();
+    };
+    let mut config = DaemonConfig::new(socket);
+    let mut rest = args[1..].iter();
+    while let Some(flag) = rest.next() {
+        match (flag.as_str(), rest.next()) {
+            ("--cache-dir", Some(dir)) => config = config.with_cache_dir(dir),
+            ("--threads", Some(n)) => match n.parse() {
+                Ok(threads) => config = config.with_threads(threads),
+                Err(_) => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    eprintln!("ivy-daemon: listening on {}", config.socket.display());
+    match Daemon::serve(config) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("ivy-daemon: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

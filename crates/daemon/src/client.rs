@@ -1,0 +1,143 @@
+//! The client driver: typed request/response wrappers over one socket
+//! connection.
+
+use crate::protocol::{
+    invalidation_from_value, read_frame, request, response_error, response_ok, write_frame,
+};
+use ivy_engine::{EngineStats, InvalidationStats};
+use serde_json::Value;
+use std::io;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// One `analyze` answer.
+#[derive(Debug, Clone)]
+pub struct AnalyzeOutcome {
+    /// Content hash of the analyzed program, as 16 hex digits.
+    pub program_hash: String,
+    /// The stable diagnostics serialization — byte-identical to
+    /// `Report::diagnostics_json()` of a batch run over the same program.
+    pub diagnostics_json: String,
+    /// Number of diagnostics in the report.
+    pub diagnostic_count: usize,
+    /// The serving run's engine statistics.
+    pub stats: EngineStats,
+}
+
+/// One `notify_edit` answer.
+#[derive(Debug, Clone)]
+pub struct EditOutcome {
+    /// Content hash of the edited program, as 16 hex digits.
+    pub program_hash: String,
+    /// What the edit invalidated and what survived.
+    pub invalidation: InvalidationStats,
+}
+
+/// A connected daemon client. One request at a time per client; open more
+/// clients for concurrency (the daemon serves each connection on its own
+/// thread).
+pub struct Client {
+    stream: UnixStream,
+}
+
+fn malformed(what: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("malformed {what} response"),
+    )
+}
+
+impl Client {
+    /// Connects to a daemon socket.
+    pub fn connect(socket: impl AsRef<Path>) -> io::Result<Client> {
+        Ok(Client {
+            stream: UnixStream::connect(socket)?,
+        })
+    }
+
+    /// One request/response round-trip. A transport failure is an
+    /// `io::Error`; a daemon-reported failure (`ok: false`) comes back as
+    /// `ErrorKind::Other` carrying the daemon's message.
+    pub fn request(&mut self, message: &Value) -> io::Result<Value> {
+        write_frame(&mut self.stream, message)?;
+        let response = read_frame(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "daemon closed mid-request")
+        })?;
+        if !response_ok(&response) {
+            return Err(io::Error::other(response_error(&response)));
+        }
+        Ok(response)
+    }
+
+    fn source_request(&mut self, cmd: &str, source: &str) -> io::Result<Value> {
+        let mut m = request(cmd);
+        m.insert("source".into(), Value::from(source));
+        self.request(&Value::Object(m))
+    }
+
+    /// Analyzes a program (KC source text) with the daemon's checker
+    /// fleet.
+    pub fn analyze(&mut self, source: &str) -> io::Result<AnalyzeOutcome> {
+        let response = self.source_request("analyze", source)?;
+        let text = |key: &str| {
+            response
+                .get(key)
+                .and_then(Value::as_str)
+                .map(String::from)
+                .ok_or_else(|| malformed("analyze"))
+        };
+        Ok(AnalyzeOutcome {
+            program_hash: text("program_hash")?,
+            diagnostics_json: text("diagnostics_json")?,
+            diagnostic_count: response
+                .get("diagnostic_count")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| malformed("analyze"))? as usize,
+            stats: response
+                .get("stats")
+                .and_then(EngineStats::from_value)
+                .ok_or_else(|| malformed("analyze"))?,
+        })
+    }
+
+    /// The stable diagnostics serialization alone (lighter than
+    /// [`Client::analyze`]; same caches serve it).
+    pub fn diagnostics(&mut self, source: &str) -> io::Result<String> {
+        let response = self.source_request("diagnostics", source)?;
+        response
+            .get("diagnostics_json")
+            .and_then(Value::as_str)
+            .map(String::from)
+            .ok_or_else(|| malformed("diagnostics"))
+    }
+
+    /// Notifies the daemon of an edit (the full edited source). The daemon
+    /// diffs it against the resident program and invalidates only the
+    /// dependency-reachable cone.
+    pub fn notify_edit(&mut self, source: &str) -> io::Result<EditOutcome> {
+        let response = self.source_request("notify_edit", source)?;
+        Ok(EditOutcome {
+            program_hash: response
+                .get("program_hash")
+                .and_then(Value::as_str)
+                .map(String::from)
+                .ok_or_else(|| malformed("notify_edit"))?,
+            invalidation: response
+                .get("invalidation")
+                .and_then(invalidation_from_value)
+                .ok_or_else(|| malformed("notify_edit"))?,
+        })
+    }
+
+    /// Server-side counters (uptime, request counts, cache and persist
+    /// traffic).
+    pub fn stats(&mut self) -> io::Result<Value> {
+        self.request(&Value::Object(request("stats")))
+    }
+
+    /// Asks the daemon to shut down (it finishes open connections first).
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        self.request(&Value::Object(request("shutdown")))
+            .map(|_| ())
+    }
+}

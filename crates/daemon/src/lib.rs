@@ -1,0 +1,110 @@
+//! `ivy-daemon` — analysis that lives with the kernel tree.
+//!
+//! Every consumer of the batch [`Engine`](ivy_engine::Engine) pays process
+//! startup, cache reload, and a cold points-to solve per invocation. This
+//! crate keeps one engine *resident*: a server owns the diagnostic cache,
+//! context store, points-to constraint cache, and persist shards, and
+//! serves many clients over a Unix-domain socket speaking a
+//! length-prefixed JSON protocol ([`protocol`]). Three properties make it
+//! more than a cache in a process:
+//!
+//! * **Pinned answers.** A daemon `analyze` runs the same default checker
+//!   fleet as a batch run and returns the same stable serialization, so
+//!   its `diagnostics_json` is byte-identical to
+//!   `Report::diagnostics_json()` of `Engine::analyze` over the same
+//!   program — resident state may make answers *fast*, never *different*
+//!   (the differential-testing discipline, applied to the serving layer).
+//!   One caveat, shared with the cross-process persist layer since it
+//!   exists: every cache key is *span-insensitive* by design (a
+//!   span-sensitive key would dirty the whole file on any line-shifting
+//!   edit), so after an edit that moves later functions to new lines, a
+//!   retained diagnostic keeps the span of the program state it was
+//!   computed against — content, messages, and severities stay exact;
+//!   only the line numbers of *unchanged* functions may lag until their
+//!   results recompute. Span re-anchoring is a ROADMAP item.
+//! * **Dependency-driven invalidation.** `notify_edit` diffs the edited
+//!   source against the resident program at the input layer (per-function
+//!   content hashes + the type environment) and discards only the
+//!   transitive *dependents* of what changed, per the dependency edges the
+//!   query db recorded while computing — everything else is re-served from
+//!   memory. Content-keyed durable results are *revalidated* rather than
+//!   dropped even when they are dependency-reachable.
+//! * **Fleet-safe persistence.** The persist layer writes per-writer shard
+//!   files (`<cache>/<namespace>/<writer>.json`), so concurrent daemon
+//!   workers and batch runs racing a daemon merge losslessly instead of
+//!   clobbering each other's flushes.
+//!
+//! # Quick session
+//!
+//! ```no_run
+//! use ivy_daemon::{Client, Daemon, DaemonConfig};
+//!
+//! let handle = Daemon::spawn(
+//!     DaemonConfig::new("/tmp/ivy.sock").with_cache_dir("target/ivy-cache"),
+//! )
+//! .unwrap();
+//! let mut client = Client::connect(handle.socket()).unwrap();
+//! let cold = client.analyze("fn f() { }").unwrap();
+//! let warm = client.analyze("fn f() { }").unwrap(); // served resident
+//! assert_eq!(cold.diagnostics_json, warm.diagnostics_json);
+//! client.shutdown().unwrap();
+//! handle.join();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{AnalyzeOutcome, Client, EditOutcome};
+pub use server::{fleet_checkers, fleet_engine, Daemon, DaemonConfig, DaemonHandle};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn socket_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("ivy-daemon-{tag}-{}.sock", std::process::id()))
+    }
+
+    #[test]
+    fn daemon_round_trips_a_small_program() {
+        let handle = Daemon::spawn(DaemonConfig::new(socket_path("unit"))).unwrap();
+        let mut client = Client::connect(handle.socket()).unwrap();
+        let cold = client.analyze("fn f() { g(); } fn g() { }").unwrap();
+        let warm = client.analyze("fn f() { g(); } fn g() { }").unwrap();
+        assert_eq!(cold.diagnostics_json, warm.diagnostics_json);
+        assert_eq!(cold.program_hash, warm.program_hash);
+        assert!(warm.stats.ctx_reused, "repeat analyze reuses the context");
+
+        let stats = client.stats().unwrap();
+        assert_eq!(
+            stats.get("analyzes").and_then(serde_json::Value::as_u64),
+            Some(2)
+        );
+        client.shutdown().unwrap();
+        handle.join();
+    }
+
+    #[test]
+    fn malformed_requests_get_error_responses_not_hangs() {
+        let handle = Daemon::spawn(DaemonConfig::new(socket_path("errors"))).unwrap();
+        let mut client = Client::connect(handle.socket()).unwrap();
+        // Unknown command.
+        let err = client
+            .request(&serde_json::Value::from("not an object"))
+            .unwrap_err();
+        assert!(err.to_string().contains("cmd"));
+        // Unparsable program.
+        let mut c2 = Client::connect(handle.socket()).unwrap();
+        assert!(c2.analyze("fn ) {").is_err());
+        // Edit before any analyze.
+        assert!(c2.notify_edit("fn f() { }").is_err());
+        // The daemon survived all of it.
+        assert!(c2.analyze("fn f() { }").is_ok());
+        c2.shutdown().unwrap();
+        handle.join();
+    }
+}

@@ -1,0 +1,199 @@
+//! The daemon wire protocol: length-prefixed JSON frames.
+//!
+//! Every message — request or response — is one JSON value encoded as
+//! UTF-8, preceded by its byte length as a little-endian `u32`:
+//!
+//! ```text
+//! [len: u32 LE][payload: len bytes of JSON]
+//! ```
+//!
+//! Requests are objects with a `"cmd"` field (`analyze`, `diagnostics`,
+//! `notify_edit`, `stats`, `shutdown`); responses carry `"ok": true` plus
+//! command-specific fields, or `"ok": false` with an `"error"` string. A
+//! client may issue any number of requests over one connection; the server
+//! answers them in order and treats a clean close as the end of the
+//! session.
+//!
+//! Request/response examples:
+//!
+//! ```text
+//! -> {"cmd":"analyze","source":"fn f() { } ..."}
+//! <- {"ok":true,"program_hash":"0f3a…","diagnostic_count":12,
+//!     "diagnostics_json":"[ ... ]","stats":{"functions":41,...}}
+//!
+//! -> {"cmd":"notify_edit","source":"<full edited program source>"}
+//! <- {"ok":true,"program_hash":"77b1…","invalidation":{
+//!     "changed_functions":["watchdog_tick"],"env_changed":false,
+//!     "seeds":1,"invalidated":9,"retained":210,"revalidated":64}}
+//! ```
+
+use ivy_engine::InvalidationStats;
+use serde_json::{Map, Value};
+use std::io::{self, Read, Write};
+
+/// Version of the framing + message vocabulary; servers report it in
+/// `stats` responses so drivers can detect skew.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Upper bound on one frame's payload — a multi-megabyte kernel source
+/// fits comfortably; anything larger is a corrupt or hostile length
+/// prefix, not a request.
+pub const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
+
+/// Writes one frame.
+pub fn write_frame(writer: &mut impl Write, message: &Value) -> io::Result<()> {
+    let text = serde_json::to_string(message)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("encode: {e:?}")))?;
+    let bytes = text.as_bytes();
+    if bytes.len() > MAX_FRAME_BYTES as usize {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame exceeds MAX_FRAME_BYTES",
+        ));
+    }
+    writer.write_all(&(bytes.len() as u32).to_le_bytes())?;
+    writer.write_all(bytes)?;
+    writer.flush()
+}
+
+/// Reads one frame. `Ok(None)` is a clean end of session (the peer closed
+/// between frames); a close *inside* a frame is an error.
+pub fn read_frame(reader: &mut impl Read) -> io::Result<Option<Value>> {
+    let mut len = [0u8; 4];
+    match reader.read(&mut len)? {
+        0 => return Ok(None),
+        4 => {}
+        n => reader.read_exact(&mut len[n..])?,
+    }
+    let len = u32::from_le_bytes(len);
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME_BYTES"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    reader.read_exact(&mut payload)?;
+    let text = String::from_utf8(payload)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))?;
+    let value = serde_json::from_str(&text)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("frame JSON: {e:?}")))?;
+    Ok(Some(value))
+}
+
+/// Builds a request object.
+pub fn request(cmd: &str) -> Map {
+    let mut m = Map::new();
+    m.insert("cmd".into(), Value::from(cmd));
+    m
+}
+
+/// Builds the uniform error response.
+pub fn error_response(message: &str) -> Value {
+    let mut m = Map::new();
+    m.insert("ok".into(), Value::from(false));
+    m.insert("error".into(), Value::from(message));
+    Value::Object(m)
+}
+
+/// True if a response reports success.
+pub fn response_ok(response: &Value) -> bool {
+    response.get("ok").and_then(Value::as_bool) == Some(true)
+}
+
+/// Extracts a response's error message (when `ok` is false).
+pub fn response_error(response: &Value) -> String {
+    response
+        .get("error")
+        .and_then(Value::as_str)
+        .unwrap_or("malformed response")
+        .to_string()
+}
+
+/// Encodes [`InvalidationStats`] as the `invalidation` response object.
+pub fn invalidation_to_value(stats: &InvalidationStats) -> Value {
+    let mut m = Map::new();
+    m.insert(
+        "changed_functions".into(),
+        Value::Array(
+            stats
+                .changed_functions
+                .iter()
+                .map(|f| Value::from(f.as_str()))
+                .collect(),
+        ),
+    );
+    m.insert("env_changed".into(), Value::from(stats.env_changed));
+    m.insert("seeds".into(), Value::from(stats.seeds));
+    m.insert("invalidated".into(), Value::from(stats.invalidated));
+    m.insert("retained".into(), Value::from(stats.retained));
+    m.insert("revalidated".into(), Value::from(stats.revalidated));
+    Value::Object(m)
+}
+
+/// Decodes the `invalidation` response object.
+pub fn invalidation_from_value(v: &Value) -> Option<InvalidationStats> {
+    let size = |key: &str| v.get(key).and_then(Value::as_u64).map(|n| n as usize);
+    Some(InvalidationStats {
+        changed_functions: v
+            .get("changed_functions")?
+            .as_array()?
+            .iter()
+            .map(|f| f.as_str().map(String::from))
+            .collect::<Option<_>>()?,
+        env_changed: v.get("env_changed")?.as_bool()?,
+        seeds: size("seeds")?,
+        invalidated: size("invalidated")?,
+        retained: size("retained")?,
+        revalidated: size("revalidated")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip_over_a_buffer() {
+        let mut req = request("analyze");
+        req.insert("source".into(), Value::from("fn f() { }"));
+        let msg = Value::Object(req);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &msg).unwrap();
+        write_frame(&mut buf, &msg).unwrap();
+        let mut reader = io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut reader).unwrap().unwrap(), msg);
+        assert_eq!(read_frame(&mut reader).unwrap().unwrap(), msg);
+        // Clean EOF between frames.
+        assert!(read_frame(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_and_torn_frames_are_errors_not_hangs() {
+        let mut oversized = Vec::new();
+        oversized.extend_from_slice(&(MAX_FRAME_BYTES + 1).to_le_bytes());
+        assert!(read_frame(&mut io::Cursor::new(oversized)).is_err());
+
+        let mut torn = Vec::new();
+        write_frame(&mut torn, &Value::from("hello")).unwrap();
+        torn.truncate(torn.len() - 2);
+        assert!(read_frame(&mut io::Cursor::new(torn)).is_err());
+    }
+
+    #[test]
+    fn invalidation_stats_roundtrip() {
+        let stats = InvalidationStats {
+            changed_functions: vec!["watchdog_tick".into()],
+            env_changed: false,
+            seeds: 1,
+            invalidated: 9,
+            retained: 210,
+            revalidated: 64,
+        };
+        assert_eq!(
+            invalidation_from_value(&invalidation_to_value(&stats)).unwrap(),
+            stats
+        );
+        assert!(invalidation_from_value(&Value::from("nope")).is_none());
+    }
+}

@@ -1,0 +1,440 @@
+//! The resident analysis server.
+//!
+//! A [`Daemon`] binds a Unix-domain socket and serves the framed-JSON
+//! protocol from one shared [`Engine`] + persist layer: every connection
+//! gets its own thread, but all of them hit the same diagnostic cache,
+//! context store, points-to constraint cache, and persist shards — so the
+//! first client pays the cold solve and everyone after (and every repeat
+//! request) is served from resident state. `notify_edit` keeps that state
+//! alive *across* program states: the recorded query dependency edges
+//! invalidate only the edited functions' reachable cone, and the rest of
+//! the memoized artifacts carry over (see
+//! [`Engine::apply_edit`]).
+
+use crate::protocol::{
+    error_response, invalidation_to_value, read_frame, response_ok, write_frame, PROTOCOL_VERSION,
+};
+use ivy_blockstop::BlockStopChecker;
+use ivy_ccount::CCountChecker;
+use ivy_cmir::parser::parse_program;
+use ivy_deputy::plugin::DeputyChecker;
+use ivy_engine::{AnalysisCtx, Engine, PersistLayer, Report};
+use serde_json::{Map, Value};
+use std::io;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+
+/// Configuration of a daemon instance.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Socket path to bind (a stale file at this path is replaced).
+    pub socket: PathBuf,
+    /// Persist directory shared with batch runs and other workers; `None`
+    /// runs memory-only.
+    pub cache_dir: Option<PathBuf>,
+    /// Engine worker threads (0 = one per hardware thread).
+    pub threads: usize,
+}
+
+impl DaemonConfig {
+    /// A daemon on `socket` with no persistence and default parallelism.
+    pub fn new(socket: impl Into<PathBuf>) -> DaemonConfig {
+        DaemonConfig {
+            socket: socket.into(),
+            cache_dir: None,
+            threads: 0,
+        }
+    }
+
+    /// Attaches a persist directory (builder style).
+    pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> DaemonConfig {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Sets the engine thread count (builder style).
+    pub fn with_threads(mut self, threads: usize) -> DaemonConfig {
+        self.threads = threads;
+        self
+    }
+}
+
+/// The checker fleet — Deputy (at the given configuration), CCount, and
+/// BlockStop. The *single* definition every serving path builds from:
+/// the daemon ([`fleet_engine`]), batch mode
+/// (`ivy_core::experiments::default_engine`), and the pipeline's
+/// `recheck` fallback all call this, so their answers cannot drift.
+pub fn fleet_checkers(deputy: ivy_deputy::DeputyConfig) -> Vec<Arc<dyn ivy_engine::Checker>> {
+    vec![
+        Arc::new(DeputyChecker::with_config(deputy)),
+        Arc::new(CCountChecker::new()),
+        Arc::new(BlockStopChecker::new()),
+    ]
+}
+
+/// Builds the engine a daemon serves: the default checker fleet
+/// ([`fleet_checkers`] at the default Deputy configuration) — the same
+/// fleet batch mode runs, which is what makes daemon answers
+/// byte-comparable to batch reports.
+pub fn fleet_engine(threads: usize, persist: Option<Arc<PersistLayer>>) -> Engine {
+    let mut engine = Engine::new().with_threads(threads);
+    for checker in fleet_checkers(ivy_deputy::DeputyConfig::default()) {
+        engine = engine.with_checker(checker);
+    }
+    match persist {
+        Some(layer) => engine.with_persist(layer),
+        None => engine,
+    }
+}
+
+/// Shared server state: the engine, the resident context the last
+/// `analyze` left behind (the base `notify_edit` diffs against), and
+/// request counters.
+struct State {
+    engine: Engine,
+    persist: Option<Arc<PersistLayer>>,
+    resident: Mutex<Option<Arc<AnalysisCtx>>>,
+    /// Clones of every open client stream (keyed by fd), so shutdown can
+    /// unblock connections idling in a read instead of waiting on them
+    /// forever.
+    connections: Mutex<std::collections::HashMap<i32, UnixStream>>,
+    started: Instant,
+    requests: AtomicU64,
+    analyzes: AtomicU64,
+    edits: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl State {
+    fn register_connection(&self, stream: &UnixStream) {
+        use std::os::fd::AsRawFd;
+        if let Ok(clone) = stream.try_clone() {
+            self.connections
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .insert(stream.as_raw_fd(), clone);
+        }
+        // Close the race with a concurrent shutdown: if the registry was
+        // drained before this insert, nobody will close this stream for
+        // us — the mutex ordering guarantees the flag (set before the
+        // drain) is visible here, so self-close instead of blocking in a
+        // read forever and hanging the accept loop's join.
+        if self.shutdown.load(Ordering::SeqCst) {
+            let _ = stream.shutdown(std::net::Shutdown::Read);
+        }
+    }
+
+    fn deregister_connection(&self, stream: &UnixStream) {
+        use std::os::fd::AsRawFd;
+        self.connections
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(&stream.as_raw_fd());
+    }
+
+    /// Unblocks every open connection (idle clients sit in a blocking
+    /// read; a plain join would wait on them forever). Only the *read*
+    /// half is shut down: a connection mid-compute still delivers its
+    /// in-flight response over the intact write half, then sees EOF on
+    /// its next read and exits cleanly.
+    fn close_connections(&self) {
+        let connections = std::mem::take(
+            &mut *self
+                .connections
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        );
+        for stream in connections.into_values() {
+            let _ = stream.shutdown(std::net::Shutdown::Read);
+        }
+    }
+    fn analyze_source(&self, source: &str) -> Result<(Arc<AnalysisCtx>, Report, bool), String> {
+        let program = parse_program(source).map_err(|e| format!("parse error: {e}"))?;
+        let (ctx, reused) = self.engine.context_for(&program);
+        let report = self.engine.analyze_with_ctx(&ctx, reused);
+        *self.resident.lock().unwrap_or_else(PoisonError::into_inner) = Some(Arc::clone(&ctx));
+        Ok((ctx, report, reused))
+    }
+
+    fn handle(&self, request: &Value) -> Value {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let Some(cmd) = request.get("cmd").and_then(Value::as_str) else {
+            return error_response("request has no \"cmd\" field");
+        };
+        match cmd {
+            "analyze" | "diagnostics" => {
+                let Some(source) = request.get("source").and_then(Value::as_str) else {
+                    return error_response("analyze needs a \"source\" field");
+                };
+                self.analyzes.fetch_add(1, Ordering::Relaxed);
+                match self.analyze_source(source) {
+                    Err(message) => error_response(&message),
+                    Ok((ctx, report, _)) => {
+                        let mut m = Map::new();
+                        m.insert("ok".into(), Value::from(true));
+                        m.insert(
+                            "program_hash".into(),
+                            Value::from(format!("{:016x}", ctx.program_hash)),
+                        );
+                        m.insert(
+                            "diagnostics_json".into(),
+                            Value::from(report.diagnostics_json().as_str()),
+                        );
+                        if cmd == "analyze" {
+                            m.insert(
+                                "diagnostic_count".into(),
+                                Value::from(report.diagnostics.len()),
+                            );
+                            m.insert("stats".into(), report.stats.to_value());
+                        }
+                        Value::Object(m)
+                    }
+                }
+            }
+            "notify_edit" => {
+                let Some(source) = request.get("source").and_then(Value::as_str) else {
+                    return error_response("notify_edit needs a \"source\" field");
+                };
+                let edited = match parse_program(source) {
+                    Ok(p) => p,
+                    Err(e) => return error_response(&format!("parse error: {e}")),
+                };
+                let base = self
+                    .resident
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .clone();
+                let Some(base) = base else {
+                    return error_response("notify_edit before any analyze: nothing is resident");
+                };
+                self.edits.fetch_add(1, Ordering::Relaxed);
+                let (ctx, stats) = self.engine.apply_edit(&base, &edited);
+                *self.resident.lock().unwrap_or_else(PoisonError::into_inner) =
+                    Some(Arc::clone(&ctx));
+                let mut m = Map::new();
+                m.insert("ok".into(), Value::from(true));
+                m.insert(
+                    "program_hash".into(),
+                    Value::from(format!("{:016x}", ctx.program_hash)),
+                );
+                m.insert("invalidation".into(), invalidation_to_value(&stats));
+                Value::Object(m)
+            }
+            "stats" => {
+                let cache = self.engine.cache();
+                let mut engine_stats = Map::new();
+                engine_stats.insert("cache_hits".into(), Value::from(cache.hits()));
+                engine_stats.insert("cache_misses".into(), Value::from(cache.misses()));
+                engine_stats.insert("cached_results".into(), Value::from(cache.len()));
+                let mut m = Map::new();
+                m.insert("ok".into(), Value::from(true));
+                m.insert("protocol".into(), Value::from(PROTOCOL_VERSION));
+                m.insert(
+                    "uptime_ms".into(),
+                    Value::from(self.started.elapsed().as_millis() as u64),
+                );
+                m.insert(
+                    "requests".into(),
+                    Value::from(self.requests.load(Ordering::Relaxed)),
+                );
+                m.insert(
+                    "analyzes".into(),
+                    Value::from(self.analyzes.load(Ordering::Relaxed)),
+                );
+                m.insert(
+                    "edits".into(),
+                    Value::from(self.edits.load(Ordering::Relaxed)),
+                );
+                m.insert("engine".into(), Value::Object(engine_stats));
+                if let Some(layer) = &self.persist {
+                    let mut persist = Map::new();
+                    persist.insert("hits".into(), Value::from(layer.hits()));
+                    persist.insert("misses".into(), Value::from(layer.misses()));
+                    persist.insert("writes".into(), Value::from(layer.writes()));
+                    persist.insert("pruned".into(), Value::from(layer.pruned()));
+                    persist.insert("writer".into(), Value::from(layer.writer_id()));
+                    m.insert("persist".into(), Value::Object(persist));
+                }
+                Value::Object(m)
+            }
+            "shutdown" => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                let mut m = Map::new();
+                m.insert("ok".into(), Value::from(true));
+                Value::Object(m)
+            }
+            other => error_response(&format!("unknown cmd {other:?}")),
+        }
+    }
+}
+
+/// A running daemon (see [`Daemon::spawn`] / [`Daemon::serve`]).
+pub struct Daemon;
+
+/// Handle to a daemon spawned in the background; join it after asking the
+/// server to shut down (e.g. via [`crate::Client::shutdown`]).
+pub struct DaemonHandle {
+    socket: PathBuf,
+    accept_thread: JoinHandle<()>,
+}
+
+impl DaemonHandle {
+    /// The socket the daemon is listening on.
+    pub fn socket(&self) -> &PathBuf {
+        &self.socket
+    }
+
+    /// Waits for the accept loop to exit (it exits once a client sent
+    /// `shutdown`).
+    pub fn join(self) {
+        let _ = self.accept_thread.join();
+    }
+}
+
+impl Daemon {
+    fn bind(config: &DaemonConfig) -> io::Result<(UnixListener, Arc<State>)> {
+        // A stale socket file from a dead daemon would fail the bind — but
+        // only remove it after probing that nothing answers, or starting a
+        // second daemon on the path would silently unbind a live one.
+        if config.socket.exists() {
+            if UnixStream::connect(&config.socket).is_ok() {
+                return Err(io::Error::new(
+                    io::ErrorKind::AddrInUse,
+                    format!("a daemon is already serving {}", config.socket.display()),
+                ));
+            }
+            let _ = std::fs::remove_file(&config.socket);
+        }
+        if let Some(parent) = config.socket.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let listener = UnixListener::bind(&config.socket)?;
+        let persist = match &config.cache_dir {
+            Some(dir) => Some(Arc::new(PersistLayer::open(dir)?)),
+            None => None,
+        };
+        let state = Arc::new(State {
+            engine: fleet_engine(config.threads, persist.clone()),
+            persist,
+            resident: Mutex::new(None),
+            connections: Mutex::new(std::collections::HashMap::new()),
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            analyzes: AtomicU64::new(0),
+            edits: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        Ok((listener, state))
+    }
+
+    /// Runs the accept loop until a client sends `shutdown`. Each
+    /// connection is served on its own thread; the shared state makes
+    /// concurrent answers deterministic and byte-identical.
+    fn accept_loop(listener: UnixListener, state: Arc<State>, socket: PathBuf) {
+        let mut clients: Vec<JoinHandle<()>> = Vec::new();
+        for stream in listener.incoming() {
+            if state.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            // Reap finished connections so a long-lived daemon does not
+            // accumulate one handle per connection ever served.
+            clients.retain(|client| !client.is_finished());
+            let Ok(stream) = stream else {
+                continue;
+            };
+            let state = Arc::clone(&state);
+            let socket = socket.clone();
+            clients.push(thread::spawn(move || {
+                serve_connection(stream, &state, &socket);
+            }));
+        }
+        for client in clients {
+            let _ = client.join();
+        }
+        let _ = std::fs::remove_file(&socket);
+    }
+
+    /// Starts a daemon in a background thread of this process and returns
+    /// immediately. The "zero-deploy" mode used by tests, the bench, and
+    /// the session example; production use runs [`Daemon::serve`] in a
+    /// dedicated process (`ivy-daemon` binary).
+    pub fn spawn(config: DaemonConfig) -> io::Result<DaemonHandle> {
+        let (listener, state) = Self::bind(&config)?;
+        let socket = config.socket.clone();
+        let accept_socket = socket.clone();
+        let accept_thread =
+            thread::spawn(move || Self::accept_loop(listener, state, accept_socket));
+        Ok(DaemonHandle {
+            socket,
+            accept_thread,
+        })
+    }
+
+    /// Binds and serves on the calling thread until shutdown (the blocking
+    /// mode the `ivy-daemon` binary runs).
+    pub fn serve(config: DaemonConfig) -> io::Result<()> {
+        let (listener, state) = Self::bind(&config)?;
+        let socket = config.socket.clone();
+        Self::accept_loop(listener, state, socket);
+        Ok(())
+    }
+}
+
+/// Serves one client connection: frames in, frames out, until the peer
+/// closes or asks for shutdown.
+fn serve_connection(stream: UnixStream, state: &State, socket: &PathBuf) {
+    state.register_connection(&stream);
+    let reader = stream.try_clone();
+    connection_loop(reader, stream, state, socket);
+}
+
+fn connection_loop(
+    reader: io::Result<UnixStream>,
+    stream: UnixStream,
+    state: &State,
+    socket: &PathBuf,
+) {
+    let mut reader = match reader {
+        Ok(s) => s,
+        Err(_) => {
+            state.deregister_connection(&stream);
+            return;
+        }
+    };
+    let mut writer = stream;
+    let mut shutdown_sent = false;
+    loop {
+        let request = match read_frame(&mut reader) {
+            Ok(Some(request)) => request,
+            Ok(None) => break,
+            Err(e) => {
+                if !state.shutdown.load(Ordering::SeqCst) {
+                    // A torn read during shutdown is our own teardown of
+                    // the socket, not a client error worth answering.
+                    let _ = write_frame(&mut writer, &error_response(&format!("bad frame: {e}")));
+                }
+                break;
+            }
+        };
+        let response = state.handle(&request);
+        shutdown_sent = state.shutdown.load(Ordering::SeqCst)
+            && request.get("cmd").and_then(Value::as_str) == Some("shutdown");
+        let _ = write_frame(&mut writer, &response);
+        if shutdown_sent && response_ok(&response) {
+            break;
+        }
+    }
+    state.deregister_connection(&writer);
+    if shutdown_sent {
+        // The requester has its answer; now unblock every idle connection
+        // and wake the accept loop so it observes the flag and exits.
+        state.close_connections();
+        let _ = UnixStream::connect(socket);
+    }
+}

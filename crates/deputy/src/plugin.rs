@@ -64,6 +64,9 @@ impl Query for PreparedQuery {
     const NAME: &'static str = "deputy/prepared";
 
     fn compute(db: &QueryDb, key: &DeputyConfig) -> Prepared {
+        // Preparation reads every annotation in the program directly, so
+        // dependency-driven invalidation must see the whole-program read.
+        db.depend_on_program();
         let deputy = Deputy::with_config(*key);
         let (program, report) = deputy.prepare(&db.program);
         Prepared { program, report }
@@ -160,6 +163,10 @@ impl Query for IndirectGroupsQuery {
     const NAME: &'static str = "deputy/indirect-groups";
 
     fn compute(db: &QueryDb, key: &(DeputyConfig, String)) -> Self::Value {
+        // The groups read this function's call sites plus whole-program
+        // points-to targets (demanded below through the db); anchor the
+        // direct body read to the function's content.
+        db.fn_content(&key.1);
         let Some(func) = db.program.function(&key.1) else {
             return BTreeMap::new();
         };

@@ -13,7 +13,7 @@
 use crate::diag::Diagnostic;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock};
 
 /// Cache key: checker name, function cone hash, checker context
 /// fingerprint.
@@ -35,7 +35,12 @@ impl DiagnosticCache {
 
     /// Looks up a result, counting the outcome.
     pub fn get(&self, key: &CacheKey) -> Option<Arc<Vec<Diagnostic>>> {
-        let found = self.map.read().expect("cache poisoned").get(key).cloned();
+        let found = self
+            .map
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(key)
+            .cloned();
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -48,7 +53,7 @@ impl DiagnosticCache {
         let value = Arc::new(diags);
         self.map
             .write()
-            .expect("cache poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .insert(key, value.clone());
         value
     }
@@ -65,7 +70,10 @@ impl DiagnosticCache {
 
     /// Cached entry count.
     pub fn len(&self) -> usize {
-        self.map.read().expect("cache poisoned").len()
+        self.map
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// True when nothing is cached.
@@ -75,7 +83,10 @@ impl DiagnosticCache {
 
     /// Drops every entry and resets the counters.
     pub fn clear(&self) {
-        self.map.write().expect("cache poisoned").clear();
+        self.map
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
     }

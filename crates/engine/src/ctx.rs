@@ -14,7 +14,7 @@
 //! "memo key used with two different types" panic class) no longer exists.
 
 use crate::persist::PersistLayer;
-use crate::query::QueryDb;
+use crate::query::{InvalidationStats, QueryDb};
 use ivy_analysis::pointsto::ConstraintCache;
 use ivy_cmir::ast::Program;
 use std::ops::Deref;
@@ -61,6 +61,21 @@ impl AnalysisCtx {
     pub fn with_persist(mut self, persist: Option<Arc<PersistLayer>>) -> AnalysisCtx {
         self.db = self.db.with_persist(persist);
         self
+    }
+
+    /// Wraps an already-constructed query db (used by
+    /// [`Engine::apply_edit`](crate::Engine::apply_edit) to promote the db
+    /// an edit derived).
+    pub fn from_db(db: QueryDb) -> AnalysisCtx {
+        AnalysisCtx { db }
+    }
+
+    /// Derives a context for an edited program, invalidating only the
+    /// queries the edit can reach through the recorded dependency edges
+    /// (see [`QueryDb::apply_edit`]).
+    pub fn apply_edit(&self, edited: &Program) -> (AnalysisCtx, InvalidationStats) {
+        let (db, stats) = self.db.apply_edit(edited);
+        (AnalysisCtx { db }, stats)
     }
 
     /// The underlying query db.

@@ -165,6 +165,60 @@ pub struct EngineStats {
 }
 
 impl EngineStats {
+    /// Serializes to the stable JSON object used by reports and the daemon
+    /// protocol.
+    pub fn to_value(&self) -> Value {
+        let mut stats = Map::new();
+        stats.insert("functions".into(), Value::from(self.functions));
+        stats.insert("checkers".into(), Value::from(self.checkers));
+        stats.insert("sccs".into(), Value::from(self.sccs));
+        stats.insert("levels".into(), Value::from(self.levels));
+        stats.insert("cache_hits".into(), Value::from(self.cache_hits));
+        stats.insert("cache_misses".into(), Value::from(self.cache_misses));
+        stats.insert("persist_hits".into(), Value::from(self.persist_hits));
+        stats.insert("persist_misses".into(), Value::from(self.persist_misses));
+        stats.insert("ctx_reused".into(), Value::from(self.ctx_reused));
+        stats.insert(
+            "pointsto_initial_constraints".into(),
+            Value::from(self.pointsto_initial_constraints),
+        );
+        stats.insert(
+            "pointsto_constraints".into(),
+            Value::from(self.pointsto_constraints),
+        );
+        stats.insert(
+            "pointsto_batches_reused".into(),
+            Value::from(self.pointsto_batches_reused),
+        );
+        stats.insert(
+            "pointsto_batches_generated".into(),
+            Value::from(self.pointsto_batches_generated),
+        );
+        Value::Object(stats)
+    }
+
+    /// Decodes stats from their [`EngineStats::to_value`] form; `None`
+    /// rejects malformed input.
+    pub fn from_value(v: &Value) -> Option<EngineStats> {
+        let count = |key: &str| v.get(key).and_then(Value::as_u64);
+        let size = |key: &str| count(key).map(|n| n as usize);
+        Some(EngineStats {
+            functions: size("functions")?,
+            checkers: size("checkers")?,
+            sccs: size("sccs")?,
+            levels: size("levels")?,
+            cache_hits: count("cache_hits")?,
+            cache_misses: count("cache_misses")?,
+            persist_hits: count("persist_hits")?,
+            persist_misses: count("persist_misses")?,
+            ctx_reused: v.get("ctx_reused")?.as_bool()?,
+            pointsto_initial_constraints: size("pointsto_initial_constraints")?,
+            pointsto_constraints: size("pointsto_constraints")?,
+            pointsto_batches_reused: size("pointsto_batches_reused")?,
+            pointsto_batches_generated: size("pointsto_batches_generated")?,
+        })
+    }
+
     /// Fraction of per-function checker results served from the in-memory
     /// cache (persist-served results count toward the denominator only).
     pub fn hit_rate(&self) -> f64 {
@@ -233,41 +287,12 @@ impl Report {
 
     /// Full report as JSON: diagnostics plus run statistics.
     pub fn to_json(&self) -> String {
-        let mut stats = Map::new();
-        stats.insert("functions".into(), Value::from(self.stats.functions));
-        stats.insert("checkers".into(), Value::from(self.stats.checkers));
-        stats.insert("sccs".into(), Value::from(self.stats.sccs));
-        stats.insert("levels".into(), Value::from(self.stats.levels));
-        stats.insert("cache_hits".into(), Value::from(self.stats.cache_hits));
-        stats.insert("cache_misses".into(), Value::from(self.stats.cache_misses));
-        stats.insert("persist_hits".into(), Value::from(self.stats.persist_hits));
-        stats.insert(
-            "persist_misses".into(),
-            Value::from(self.stats.persist_misses),
-        );
-        stats.insert("ctx_reused".into(), Value::from(self.stats.ctx_reused));
-        stats.insert(
-            "pointsto_initial_constraints".into(),
-            Value::from(self.stats.pointsto_initial_constraints),
-        );
-        stats.insert(
-            "pointsto_constraints".into(),
-            Value::from(self.stats.pointsto_constraints),
-        );
-        stats.insert(
-            "pointsto_batches_reused".into(),
-            Value::from(self.stats.pointsto_batches_reused),
-        );
-        stats.insert(
-            "pointsto_batches_generated".into(),
-            Value::from(self.stats.pointsto_batches_generated),
-        );
         let mut root = Map::new();
         root.insert(
             "diagnostics".into(),
             Value::Array(self.diagnostics.iter().map(|d| d.to_value()).collect()),
         );
-        root.insert("stats".into(), Value::Object(stats));
+        root.insert("stats".into(), self.stats.to_value());
         serde_json::to_string_pretty(&Value::Object(root)).expect("serializes")
     }
 
@@ -387,6 +412,27 @@ mod tests {
         assert_eq!(Diagnostic::from_value(&bare.to_value()).unwrap(), bare);
         // Malformed input is rejected, not mis-decoded.
         assert!(Diagnostic::from_value(&Value::from("nope")).is_none());
+    }
+
+    #[test]
+    fn engine_stats_roundtrip_through_their_value_form() {
+        let stats = EngineStats {
+            functions: 12,
+            checkers: 3,
+            sccs: 9,
+            levels: 4,
+            cache_hits: 30,
+            cache_misses: 6,
+            persist_hits: 2,
+            persist_misses: 1,
+            ctx_reused: true,
+            pointsto_initial_constraints: 100,
+            pointsto_constraints: 140,
+            pointsto_batches_reused: 11,
+            pointsto_batches_generated: 1,
+        };
+        assert_eq!(EngineStats::from_value(&stats.to_value()).unwrap(), stats);
+        assert!(EngineStats::from_value(&Value::from("nope")).is_none());
     }
 
     #[test]

@@ -16,7 +16,7 @@ use crate::checker::{sensitivity_rank, Checker};
 use crate::ctx::AnalysisCtx;
 use crate::diag::{Diagnostic, EngineStats, Report};
 use crate::persist::PersistLayer;
-use crate::query::Pointsto;
+use crate::query::{InvalidationStats, Pointsto};
 use ivy_analysis::pointsto::{ConstraintCache, Sensitivity};
 use ivy_analysis::summary::{fnv1a, mix};
 use ivy_cmir::ast::Program;
@@ -25,7 +25,7 @@ use rayon::ThreadPoolBuilder;
 use serde_json::Value;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Maximum number of analysis contexts kept alive for reuse.
 const CTX_CACHE_CAP: usize = 16;
@@ -164,7 +164,10 @@ impl Engine {
     /// its AST copy) is built on a miss.
     pub fn context_for(&self, program: &Program) -> (Arc<AnalysisCtx>, bool) {
         let hash = AnalysisCtx::hash_program(program);
-        let mut cache = self.ctx_store.lock().expect("ctx store poisoned");
+        let mut cache = self
+            .ctx_store
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         if let Some(existing) = cache.get(&hash) {
             return (Arc::clone(existing), true);
         }
@@ -184,6 +187,39 @@ impl Engine {
     pub fn analyze(&self, program: &Program) -> Report {
         let (ctx, reused) = self.context_for(program);
         self.analyze_with_ctx(&ctx, reused)
+    }
+
+    /// Applies an edited program against a resident context:
+    /// dependency-driven invalidation discards only the queries the edit
+    /// can reach through the recorded edges, every other memoized result
+    /// is carried into a context for the edited program, and that context
+    /// is registered in the store so the next [`Engine::analyze`] of the
+    /// edited program starts from it. Returns the new context and what the
+    /// edit invalidated. A no-op edit returns the base context unchanged.
+    ///
+    /// This is the daemon's `notify_edit` path: a resident process keeps
+    /// analysis state alive across edits instead of rebuilding a db per
+    /// program state.
+    pub fn apply_edit(
+        &self,
+        base: &Arc<AnalysisCtx>,
+        edited: &Program,
+    ) -> (Arc<AnalysisCtx>, InvalidationStats) {
+        let hash = AnalysisCtx::hash_program(edited);
+        if hash == base.program_hash {
+            return (Arc::clone(base), InvalidationStats::default());
+        }
+        let (ctx, stats) = base.apply_edit(edited);
+        let ctx = Arc::new(ctx);
+        let mut store = self
+            .ctx_store
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if store.len() >= CTX_CACHE_CAP {
+            store.clear();
+        }
+        store.insert(hash, Arc::clone(&ctx));
+        (ctx, stats)
     }
 
     /// Analyzes an already-constructed context. `ctx_reused` is only

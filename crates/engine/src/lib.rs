@@ -8,8 +8,13 @@
 //!    artifact (points-to, call graphs, summaries, CFGs, checker-owned
 //!    precomputations) is a [`query::Query`] with a typed key and value,
 //!    memoized per `(query, key)` in a [`query::QueryDb`] that records
-//!    dependency edges between queries. [`AnalysisCtx`] is a thin façade
-//!    over the db; the old string-keyed `Any` memo table (and its runtime
+//!    dependency edges between queries — and *uses* them:
+//!    [`QueryDb::apply_edit`] / [`Engine::apply_edit`] derive a db for an
+//!    edited program by invalidating only the transitive dependents of
+//!    the changed function contents (with content-keyed durable entries
+//!    revalidated rather than dropped), which is what keeps a resident
+//!    daemon warm across edits. [`AnalysisCtx`] is a thin façade over the
+//!    db; the old string-keyed `Any` memo table (and its runtime
 //!    type-confusion panics) is gone.
 //! 2. **Plugins** — the [`Checker`] trait: a name, a required points-to
 //!    [`Sensitivity`](ivy_analysis::pointsto::Sensitivity), and a
@@ -92,7 +97,7 @@ pub use ctx::AnalysisCtx;
 pub use diag::{Diagnostic, EngineStats, Report, Severity};
 pub use engine::{CtxStore, Engine};
 pub use persist::PersistLayer;
-pub use query::{DurableQuery, Query, QueryDb, QueryKey};
+pub use query::{DurableQuery, InvalidationStats, Query, QueryDb, QueryKey};
 
 /// Re-export of the JSON value model used by report serialization (the
 /// vendored `serde_json` shim; see `vendor/serde_json`).

@@ -37,13 +37,14 @@ use ivy_analysis::summary::{self, fnv1a, mix, Condensation, FunctionSummary, Pro
 use ivy_analysis::CallGraph;
 use ivy_cmir::ast::Program;
 use ivy_cmir::cfg::Cfg;
+use ivy_cmir::content::function_content_hash;
 use ivy_cmir::pretty::pretty_program;
 use serde_json::{Map, Value};
 use std::any::{Any, TypeId};
 use std::cell::RefCell;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// A key a query can be demanded at.
 ///
@@ -146,7 +147,22 @@ pub trait DurableQuery: Query {
 /// dependency graph.
 pub type QueryRef = (&'static str, u64);
 
-type Slot = Arc<Mutex<Vec<Box<dyn Any + Send + Sync>>>>;
+/// Recomputes a durable query instance's content-addressed key against an
+/// arbitrary db. Stored with the memoized entry so invalidation can ask
+/// "would this entry's on-disk key be the same for the edited program?" —
+/// the durable contract (equal keys guarantee equal results) then lets a
+/// dependency-reachable entry be *revalidated* instead of discarded.
+type Revalidator = Arc<dyn Fn(&QueryDb) -> u64 + Send + Sync>;
+
+/// One memoized result: the type-erased `(Q::Key, Arc<Q::Value>)` payload
+/// plus, for durable queries, the durable key it was stored under and the
+/// closure that recomputes that key.
+struct SlotEntry {
+    payload: Box<dyn Any + Send + Sync>,
+    durable: Option<(u64, Revalidator)>,
+}
+
+type Slot = Arc<Mutex<Vec<SlotEntry>>>;
 
 thread_local! {
     /// Stack of queries currently computing on this thread; the top is the
@@ -162,6 +178,37 @@ impl Drop for ActiveGuard {
         ACTIVE.with(|s| {
             s.borrow_mut().pop();
         });
+    }
+}
+
+/// What one [`QueryDb::apply_edit`] invalidated and what it kept.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InvalidationStats {
+    /// Functions whose span-insensitive content hash changed (including
+    /// additions and removals), in sorted order.
+    pub changed_functions: Vec<String>,
+    /// Whether the whole-program type environment changed.
+    pub env_changed: bool,
+    /// Input-layer query instances seeded dirty.
+    pub seeds: usize,
+    /// Memoized results discarded (transitive dependents of the seeds).
+    pub invalidated: usize,
+    /// Memoized results carried into the new db.
+    pub retained: usize,
+    /// Dependency-reachable durable results kept because their
+    /// content-addressed key is unchanged for the edited program.
+    pub revalidated: usize,
+}
+
+impl InvalidationStats {
+    /// Fraction of memoized results that survived the edit.
+    pub fn retention_rate(&self) -> f64 {
+        let total = self.invalidated + self.retained;
+        if total == 0 {
+            0.0
+        } else {
+            self.retained as f64 / total as f64
+        }
     }
 }
 
@@ -197,11 +244,23 @@ pub struct QueryDb {
     /// Cross-process persistence, when attached.
     persist: Option<Arc<PersistLayer>>,
     table: Mutex<HashMap<(TypeId, u64), Slot>>,
+    /// `TypeId` → query `NAME`, filled as queries are demanded; lets
+    /// invalidation translate dependency-graph refs (which use names) back
+    /// to memo-table slots (which use type ids).
+    names: Mutex<HashMap<TypeId, &'static str>>,
     deps: Mutex<BTreeSet<(QueryRef, QueryRef)>>,
     computed: AtomicU64,
     memo_hits: AtomicU64,
     persist_hits: AtomicU64,
     persist_misses: AtomicU64,
+}
+
+/// Poison-tolerant lock acquisition: a checker thread that panicked while
+/// holding a query lock must not wedge every later request of a resident
+/// daemon — the data under these locks is append-only memo state, valid
+/// regardless of where the panicking thread stopped.
+fn lock_recovering<'a, T>(mutex: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 impl QueryDb {
@@ -224,6 +283,7 @@ impl QueryDb {
             pts_cache: Arc::new(ConstraintCache::new()),
             persist: None,
             table: Mutex::new(HashMap::new()),
+            names: Mutex::new(HashMap::new()),
             deps: Mutex::new(BTreeSet::new()),
             computed: AtomicU64::new(0),
             memo_hits: AtomicU64::new(0),
@@ -255,26 +315,22 @@ impl QueryDb {
         Arc::clone(&self.pts_cache)
     }
 
-    fn slot(&self, type_id: TypeId, key_hash: u64) -> Slot {
-        let mut table = self.table.lock().expect("query table poisoned");
+    fn slot(&self, type_id: TypeId, name: &'static str, key_hash: u64) -> Slot {
+        lock_recovering(&self.names).entry(type_id).or_insert(name);
+        let mut table = lock_recovering(&self.table);
         Arc::clone(table.entry((type_id, key_hash)).or_default())
     }
 
     fn record_edge(&self, child: QueryRef) {
         if let Some(parent) = ACTIVE.with(|s| s.borrow().last().copied()) {
-            self.deps
-                .lock()
-                .expect("query deps poisoned")
-                .insert((parent, child));
+            lock_recovering(&self.deps).insert((parent, child));
         }
     }
 
-    fn scan<Q: Query>(
-        entries: &[Box<dyn Any + Send + Sync>],
-        key: &Q::Key,
-    ) -> Option<Arc<Q::Value>> {
+    fn scan<Q: Query>(entries: &[SlotEntry], key: &Q::Key) -> Option<Arc<Q::Value>> {
         entries.iter().find_map(|e| {
-            e.downcast_ref::<(Q::Key, Arc<Q::Value>)>()
+            e.payload
+                .downcast_ref::<(Q::Key, Arc<Q::Value>)>()
                 .filter(|(k, _)| k == key)
                 .map(|(_, v)| Arc::clone(v))
         })
@@ -299,14 +355,17 @@ impl QueryDb {
     pub fn get<Q: Query>(&self, key: &Q::Key) -> Arc<Q::Value> {
         let key_hash = key.stable_hash();
         self.record_edge((Q::NAME, key_hash));
-        let slot = self.slot(TypeId::of::<Q>(), key_hash);
-        let mut entries = slot.lock().expect("query slot poisoned");
+        let slot = self.slot(TypeId::of::<Q>(), Q::NAME, key_hash);
+        let mut entries = lock_recovering(&slot);
         if let Some(found) = Self::scan::<Q>(&entries, key) {
             self.memo_hits.fetch_add(1, Ordering::Relaxed);
             return found;
         }
         let value = self.compute_entry::<Q>(key, key_hash);
-        entries.push(Box::new((key.clone(), Arc::clone(&value))));
+        entries.push(SlotEntry {
+            payload: Box::new((key.clone(), Arc::clone(&value))),
+            durable: None,
+        });
         value
     }
 
@@ -316,31 +375,44 @@ impl QueryDb {
     pub fn get_durable<Q: DurableQuery>(&self, key: &Q::Key) -> Arc<Q::Value> {
         let key_hash = key.stable_hash();
         self.record_edge((Q::NAME, key_hash));
-        let slot = self.slot(TypeId::of::<Q>(), key_hash);
-        let mut entries = slot.lock().expect("query slot poisoned");
+        let slot = self.slot(TypeId::of::<Q>(), Q::NAME, key_hash);
+        let mut entries = lock_recovering(&slot);
         if let Some(found) = Self::scan::<Q>(&entries, key) {
             self.memo_hits.fetch_add(1, Ordering::Relaxed);
             return found;
         }
+        let durable_key = Q::durable_key(self, key);
+        let revalidator: Revalidator = {
+            let key = key.clone();
+            Arc::new(move |db: &QueryDb| Q::durable_key(db, &key))
+        };
         if let Some(layer) = &self.persist {
-            let durable_key = Q::durable_key(self, key);
             if let Some(value) = layer
                 .get(Q::NAME, Q::FORMAT_VERSION, durable_key)
                 .and_then(|raw| Q::decode(&raw))
             {
                 self.persist_hits.fetch_add(1, Ordering::Relaxed);
                 let value = Arc::new(value);
-                entries.push(Box::new((key.clone(), Arc::clone(&value))));
+                entries.push(SlotEntry {
+                    payload: Box::new((key.clone(), Arc::clone(&value))),
+                    durable: Some((durable_key, revalidator)),
+                });
                 return value;
             }
             self.persist_misses.fetch_add(1, Ordering::Relaxed);
             let value = self.compute_entry::<Q>(key, key_hash);
             layer.put(Q::NAME, Q::FORMAT_VERSION, durable_key, Q::encode(&value));
-            entries.push(Box::new((key.clone(), Arc::clone(&value))));
+            entries.push(SlotEntry {
+                payload: Box::new((key.clone(), Arc::clone(&value))),
+                durable: Some((durable_key, revalidator)),
+            });
             return value;
         }
         let value = self.compute_entry::<Q>(key, key_hash);
-        entries.push(Box::new((key.clone(), Arc::clone(&value))));
+        entries.push(SlotEntry {
+            payload: Box::new((key.clone(), Arc::clone(&value))),
+            durable: Some((durable_key, revalidator)),
+        });
         value
     }
 
@@ -349,28 +421,21 @@ impl QueryDb {
     /// this to report points-to statistics without forcing a solve on runs
     /// that were served entirely from caches.
     pub fn peek<Q: Query>(&self, key: &Q::Key) -> Option<Arc<Q::Value>> {
-        let slot = self.slot(TypeId::of::<Q>(), key.stable_hash());
-        let entries = slot.lock().expect("query slot poisoned");
+        let slot = self.slot(TypeId::of::<Q>(), Q::NAME, key.stable_hash());
+        let entries = lock_recovering(&slot);
         Self::scan::<Q>(&entries, key)
     }
 
     /// The dependency edges recorded so far: `(dependent, dependency)`
     /// pairs of `(query name, key hash)`.
     pub fn dependencies(&self) -> Vec<(QueryRef, QueryRef)> {
-        self.deps
-            .lock()
-            .expect("query deps poisoned")
-            .iter()
-            .cloned()
-            .collect()
+        lock_recovering(&self.deps).iter().cloned().collect()
     }
 
     /// True if a `dependent`-named query was recorded demanding a
     /// `dependency`-named query (at any keys).
     pub fn depends_on(&self, dependent: &str, dependency: &str) -> bool {
-        self.deps
-            .lock()
-            .expect("query deps poisoned")
+        lock_recovering(&self.deps)
             .iter()
             .any(|((p, _), (c, _))| *p == dependent && *c == dependency)
     }
@@ -383,6 +448,175 @@ impl QueryDb {
             persist_hits: self.persist_hits.load(Ordering::Relaxed),
             persist_misses: self.persist_misses.load(Ordering::Relaxed),
         }
+    }
+
+    // ---- dependency-driven invalidation -------------------------------
+
+    /// Derives a db for an edited program from this one, invalidating only
+    /// the queries the edit can actually reach.
+    ///
+    /// The edit is diffed at the input layer: every function whose
+    /// span-insensitive content hash changed (including added and removed
+    /// functions) seeds its [`FnContent`] instance, and a changed type
+    /// environment seeds [`EnvHash`]. The transitive *dependents* of the
+    /// seeds — per the dependency edges recorded while this db computed —
+    /// are discarded; every other memoized result is carried into the new
+    /// db and served from memory without recompute. A dependency-reachable
+    /// durable entry whose content-addressed key is unchanged for the
+    /// edited program is *revalidated* (kept, and propagation stops there):
+    /// by the [`DurableQuery::durable_key`] contract an equal key
+    /// guarantees an equal value, so e.g. an unedited function's
+    /// instrumented body survives even though it was derived from
+    /// whole-program state.
+    ///
+    /// The returned db shares the points-to constraint cache, the persist
+    /// layer, and the retained memo slots with `self`; both dbs stay
+    /// usable (retained results are valid for either program by
+    /// construction).
+    pub fn apply_edit(&self, edited: &Program) -> (QueryDb, InvalidationStats) {
+        let new_hash = Self::hash_program(edited);
+        let new_db = QueryDb::with_hash(edited, new_hash)
+            .with_pointsto_cache(Arc::clone(&self.pts_cache))
+            .with_persist(self.persist.clone());
+
+        // 1. Input-layer diff: which functions' contents changed, and did
+        //    the type environment change with them?
+        let hashes = |p: &Program| -> BTreeMap<String, u64> {
+            p.functions
+                .iter()
+                .map(|f| (f.name.clone(), function_content_hash(f)))
+                .collect()
+        };
+        let old_fns = hashes(&self.program);
+        let new_fns = hashes(edited);
+        let changed_functions: Vec<String> = old_fns
+            .keys()
+            .chain(new_fns.keys())
+            .filter(|name| old_fns.get(*name) != new_fns.get(*name))
+            .cloned()
+            .collect::<BTreeSet<String>>()
+            .into_iter()
+            .collect();
+        let env_changed = summary::env_hash(&self.program) != summary::env_hash(edited);
+
+        let mut seeds: Vec<QueryRef> = changed_functions
+            .iter()
+            .map(|name| (FnContent::NAME, name.clone().stable_hash()))
+            .collect();
+        if env_changed {
+            seeds.push((EnvHash::NAME, ().stable_hash()));
+        }
+
+        // 2. Walk the recorded dependency graph upward from the seeds,
+        //    stopping at durable entries whose content key still matches.
+        let edges = self.dependencies();
+        let mut rdeps: HashMap<QueryRef, Vec<QueryRef>> = HashMap::new();
+        for (parent, child) in &edges {
+            rdeps.entry(*child).or_default().push(*parent);
+        }
+        let mut dirty: HashSet<QueryRef> = seeds.iter().copied().collect();
+        let mut clean: HashSet<QueryRef> = HashSet::new();
+        let mut queue: Vec<QueryRef> = seeds.clone();
+        while let Some(q) = queue.pop() {
+            let Some(parents) = rdeps.get(&q) else {
+                continue;
+            };
+            for &parent in parents {
+                if dirty.contains(&parent) || clean.contains(&parent) {
+                    continue;
+                }
+                if self.revalidates(parent, &new_db) {
+                    clean.insert(parent);
+                    continue;
+                }
+                dirty.insert(parent);
+                queue.push(parent);
+            }
+        }
+
+        // 3. Carry every slot outside the dirty set into the new db, and
+        //    every edge whose dependent survived (a dirty dependent will
+        //    re-record its edges when it recomputes).
+        let names = lock_recovering(&self.names).clone();
+        let mut stats = InvalidationStats {
+            changed_functions,
+            env_changed,
+            seeds: seeds.len(),
+            revalidated: clean.len(),
+            ..InvalidationStats::default()
+        };
+        // Snapshot the table before touching any slot lock: an in-flight
+        // compute on another thread holds its slot lock and may demand the
+        // table lock, so holding both here would deadlock a live daemon.
+        let slots: Vec<((TypeId, u64), Slot)> = lock_recovering(&self.table)
+            .iter()
+            .map(|(key, slot)| (*key, Arc::clone(slot)))
+            .collect();
+        {
+            let mut new_table = lock_recovering(&new_db.table);
+            for ((type_id, key_hash), slot) in slots {
+                let entry_count = lock_recovering(&slot).len();
+                if entry_count == 0 {
+                    continue;
+                }
+                let name = names.get(&type_id).copied().unwrap_or("");
+                if dirty.contains(&(name, key_hash)) {
+                    stats.invalidated += entry_count;
+                } else {
+                    new_table.insert((type_id, key_hash), slot);
+                    stats.retained += entry_count;
+                }
+            }
+        }
+        *lock_recovering(&new_db.names) = names;
+        *lock_recovering(&new_db.deps) = edges
+            .into_iter()
+            .filter(|(parent, _)| !dirty.contains(parent))
+            .collect();
+        (new_db, stats)
+    }
+
+    /// True if every memoized entry recorded under a query ref is durable
+    /// and would be stored under the same content-addressed key by the new
+    /// db — in which case the durable contract guarantees the value is
+    /// still exact and the entry need not be invalidated.
+    fn revalidates(&self, q: QueryRef, new_db: &QueryDb) -> bool {
+        let type_ids: Vec<TypeId> = lock_recovering(&self.names)
+            .iter()
+            .filter(|(_, name)| **name == q.0)
+            .map(|(type_id, _)| *type_id)
+            .collect();
+        let slots: Vec<Slot> = {
+            let table = lock_recovering(&self.table);
+            type_ids
+                .iter()
+                .filter_map(|type_id| table.get(&(*type_id, q.1)).cloned())
+                .collect()
+        };
+        let mut found_any = false;
+        for slot in slots {
+            // Collect the durable keys first: the revalidator may demand
+            // cheap queries on the new db, which must not happen under this
+            // slot's lock.
+            let checks: Vec<(u64, Revalidator)> = {
+                let entries = lock_recovering(&slot);
+                let mut checks = Vec::new();
+                for entry in entries.iter() {
+                    let Some((old_key, reval)) = &entry.durable else {
+                        return false;
+                    };
+                    checks.push((*old_key, Arc::clone(reval)));
+                }
+                checks
+            };
+            for (old_key, reval) in checks {
+                if reval(new_db) != old_key {
+                    return false;
+                }
+                found_any = true;
+            }
+        }
+        found_any
     }
 
     // ---- built-in artifact façade -------------------------------------
@@ -419,9 +653,56 @@ impl QueryDb {
     pub fn env_hash(&self) -> u64 {
         *self.get::<EnvHash>(&())
     }
+
+    /// Span-insensitive content hash of one function (0 when the program
+    /// has no function of that name). This is the input layer of the
+    /// dependency graph: edits seed invalidation at [`FnContent`]
+    /// instances, so any query that reads a function body — directly or
+    /// transitively — must be connected to them (see
+    /// [`QueryDb::depend_on_program`]).
+    pub fn fn_content(&self, function: &str) -> u64 {
+        *self.get::<FnContent>(&function.to_string())
+    }
+
+    /// Records the running query's dependency on the *whole* program: the
+    /// type environment plus every function's content. Whole-program
+    /// queries whose `compute` reads `db.program` directly (rather than
+    /// through other queries) must call this first, or
+    /// [`QueryDb::apply_edit`] cannot see that an edit reaches them.
+    pub fn depend_on_program(&self) {
+        self.env_hash();
+        let names: Vec<String> = self
+            .program
+            .functions
+            .iter()
+            .map(|f| f.name.clone())
+            .collect();
+        for name in &names {
+            self.fn_content(name);
+        }
+    }
 }
 
 // ---- built-in queries --------------------------------------------------
+
+/// Span-insensitive content hash of one function definition (key: function
+/// name; value 0 when no such function exists). An *input* query: its
+/// instances are the seeds [`QueryDb::apply_edit`] marks dirty, so its own
+/// compute reads the program directly by design.
+pub struct FnContent;
+
+impl Query for FnContent {
+    type Key = String;
+    type Value = u64;
+    const NAME: &'static str = "engine/fn-content";
+
+    fn compute(db: &QueryDb, key: &String) -> u64 {
+        db.program
+            .function(key)
+            .map(function_content_hash)
+            .unwrap_or(0)
+    }
+}
 
 /// Points-to analysis at a [`Sensitivity`].
 pub struct Pointsto;
@@ -432,6 +713,9 @@ impl Query for Pointsto {
     const NAME: &'static str = "engine/pointsto";
 
     fn compute(db: &QueryDb, key: &Sensitivity) -> PointsToResult {
+        // Whole-program: any function edit (or env change) must reach this
+        // result through the dependency graph.
+        db.depend_on_program();
         pointsto::analyze_incremental(&db.program, *key, &db.pts_cache)
     }
 }
@@ -574,6 +858,9 @@ impl Query for CfgOf {
     const NAME: &'static str = "engine/cfg";
 
     fn compute(db: &QueryDb, key: &String) -> Cfg {
+        // Tie the CFG to its function's content so an edit invalidates
+        // exactly this instance.
+        db.fn_content(key);
         Cfg::build(
             db.program
                 .function(key)
@@ -582,7 +869,9 @@ impl Query for CfgOf {
     }
 }
 
-/// Hash of the whole-program type environment.
+/// Hash of the whole-program type environment. Like [`FnContent`], an
+/// *input* query: [`QueryDb::apply_edit`] seeds it directly when the diff
+/// shows the environment changed.
 pub struct EnvHash;
 
 impl Query for EnvHash {
@@ -720,6 +1009,99 @@ mod tests {
         assert_eq!(decoded.condensation.scc_of, s.condensation.scc_of);
         // Tampered encodings are rejected, not mis-decoded.
         assert!(<Summaries as DurableQuery>::decode(&Value::from("garbage")).is_none());
+    }
+
+    #[test]
+    fn apply_edit_invalidates_only_the_dependent_cone() {
+        let db = QueryDb::new(
+            &parse_program("fn a() { b(); } fn b() { c(); } fn c() { } fn lone() { }").unwrap(),
+        );
+        db.summaries(Sensitivity::Steensgaard);
+        db.cfg("a");
+        db.cfg("lone");
+
+        // Edit `c`'s body only.
+        let edited =
+            parse_program("fn a() { b(); } fn b() { c(); } fn c() { c(); } fn lone() { }").unwrap();
+        let (new_db, stats) = db.apply_edit(&edited);
+        assert_eq!(stats.changed_functions, vec!["c".to_string()]);
+        assert!(!stats.env_changed, "a body edit leaves the env untouched");
+        assert_eq!(stats.seeds, 1);
+        assert!(stats.invalidated > 0, "whole-program artifacts go dirty");
+        assert!(stats.retained > 0, "unrelated per-function results survive");
+
+        // The whole-program points-to result was dropped; the unedited
+        // functions' CFGs and content hashes were carried over.
+        assert!(new_db.peek::<Pointsto>(&Sensitivity::Steensgaard).is_none());
+        assert!(new_db.peek::<CfgOf>(&"a".to_string()).is_some());
+        assert!(new_db.peek::<CfgOf>(&"lone".to_string()).is_some());
+        assert!(new_db.peek::<FnContent>(&"lone".to_string()).is_some());
+        assert!(
+            new_db.peek::<FnContent>(&"c".to_string()).is_none(),
+            "the edited function's content hash is a seed"
+        );
+
+        // Recomputation in the new db is correct and rebuilds the edges.
+        let s = new_db.summaries(Sensitivity::Steensgaard);
+        assert!(s.functions.contains_key("c"));
+        assert!(new_db.depends_on(Summaries::NAME, Callgraph::NAME));
+        assert_ne!(new_db.fn_content("c"), db.fn_content("c"));
+        assert_eq!(new_db.fn_content("lone"), db.fn_content("lone"));
+    }
+
+    #[test]
+    fn apply_edit_detects_signature_and_function_set_changes() {
+        let db = small_db();
+        db.summaries(Sensitivity::Steensgaard);
+
+        // Adding a function changes the env (its signature joins the
+        // environment) and seeds its own content instance.
+        let grown = parse_program("fn a() { b(); } fn b() { } fn d() { }").unwrap();
+        let (new_db, stats) = db.apply_edit(&grown);
+        assert_eq!(stats.changed_functions, vec!["d".to_string()]);
+        assert!(stats.env_changed);
+        assert!(new_db.peek::<Pointsto>(&Sensitivity::Steensgaard).is_none());
+        assert_eq!(
+            new_db.summaries(Sensitivity::Steensgaard).functions.len(),
+            3
+        );
+    }
+
+    #[test]
+    fn apply_edit_revalidates_content_keyed_durable_entries() {
+        /// A durable query keyed (and durably keyed) purely by content —
+        /// the shape of the per-function instrumented-body entries whose
+        /// survival across edits the daemon depends on.
+        struct ContentKeyed;
+        impl Query for ContentKeyed {
+            type Key = u64;
+            type Value = u64;
+            const NAME: &'static str = "test/content-keyed";
+            fn compute(db: &QueryDb, key: &u64) -> u64 {
+                // Reads whole-program state, so it is dependency-reachable
+                // from every function edit...
+                db.depend_on_program();
+                key * 3
+            }
+        }
+        impl DurableQuery for ContentKeyed {
+            const FORMAT_VERSION: u32 = 1;
+            fn encode(value: &u64) -> Value {
+                Value::from(*value)
+            }
+            fn decode(raw: &Value) -> Option<u64> {
+                raw.as_u64()
+            }
+        }
+
+        let db = small_db();
+        db.get_durable::<ContentKeyed>(&7);
+        let edited = parse_program("fn a() { b(); b(); } fn b() { }").unwrap();
+        let (new_db, stats) = db.apply_edit(&edited);
+        // ...but its durable key is untouched by the edit, so it is
+        // revalidated rather than discarded.
+        assert!(stats.revalidated >= 1);
+        assert!(new_db.peek::<ContentKeyed>(&7).is_some());
     }
 
     #[test]

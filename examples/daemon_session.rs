@@ -1,0 +1,132 @@
+//! Cold→edit→warm session against the resident analysis daemon.
+//!
+//! Spawns an in-process daemon over the generated kernel corpus, then
+//! drives one editing session through a client: a cold `analyze`, a
+//! `notify_edit` of one leaf function, and a warm re-`analyze` that is
+//! served almost entirely from resident state (dependency-driven
+//! invalidation keeps everything outside the edited function's cone).
+//!
+//! Environment:
+//! * `IVY_CACHE_DIR` — persist directory (default `target/ivy-cache`).
+//! * `IVY_DAEMON_STRICT=1` — exit non-zero if any *clean* function was
+//!   invalidated, if the warm re-serve rate drops below 90%, or if the
+//!   daemon is unreachable (used by CI to pin the daemon's contract).
+//!
+//! Run with: `cargo run --release --example daemon_session`.
+
+use ivy::cmir::pretty::pretty_program;
+use ivy::daemon::{Client, Daemon, DaemonConfig};
+use ivy::kernelgen::{KernelBuild, KernelConfig};
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn fail(strict: bool, message: &str) -> ExitCode {
+    eprintln!("error: {message}");
+    if strict {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let strict = std::env::var("IVY_DAEMON_STRICT").as_deref() == Ok("1");
+    let cache = std::env::var("IVY_CACHE_DIR").unwrap_or_else(|_| "target/ivy-cache".to_string());
+    let socket = std::env::temp_dir().join(format!("ivy-session-{}.sock", std::process::id()));
+
+    let handle = match Daemon::spawn(DaemonConfig::new(&socket).with_cache_dir(&cache)) {
+        Ok(handle) => handle,
+        Err(e) => return fail(strict, &format!("daemon failed to start: {e}")),
+    };
+    let mut client = match Client::connect(handle.socket()) {
+        Ok(client) => client,
+        Err(e) => return fail(strict, &format!("daemon socket is dead: {e}")),
+    };
+    println!("daemon on {} (cache {cache})", handle.socket().display());
+
+    let source = pretty_program(&KernelBuild::generate(&KernelConfig::small()).program);
+    let edited = source.replacen("watchdog_ticks + 1", "watchdog_ticks + 2", 1);
+
+    // 1. Cold request: the daemon pays the full solve (or reloads shards a
+    //    previous session left behind).
+    let start = Instant::now();
+    let cold = match client.analyze(&source) {
+        Ok(cold) => cold,
+        Err(e) => return fail(strict, &format!("analyze failed: {e}")),
+    };
+    println!(
+        "cold:  {:>8.4}s  {} diagnostics, {} functions, persist_hit_rate={:.3}",
+        start.elapsed().as_secs_f64(),
+        cold.diagnostic_count,
+        cold.stats.functions,
+        cold.stats.persist_hit_rate()
+    );
+
+    // 2. Edit one leaf function; only its dependency-reachable cone may be
+    //    invalidated.
+    let outcome = match client.notify_edit(&edited) {
+        Ok(outcome) => outcome,
+        Err(e) => return fail(strict, &format!("notify_edit failed: {e}")),
+    };
+    let inv = &outcome.invalidation;
+    println!(
+        "edit:  changed=[{}] invalidated={} retained={} revalidated={} (retention {:.1}%)",
+        inv.changed_functions.join(", "),
+        inv.invalidated,
+        inv.retained,
+        inv.revalidated,
+        inv.retention_rate() * 100.0
+    );
+    if inv.changed_functions != ["watchdog_tick".to_string()] {
+        return fail(
+            strict,
+            &format!(
+                "clean functions are dirty at the input layer: {:?}",
+                inv.changed_functions
+            ),
+        );
+    }
+    // The input-layer diff being right is not enough: the graph walk must
+    // not have dragged the clean majority down with the seed.
+    if inv.invalidated * 3 >= inv.invalidated + inv.retained {
+        return fail(
+            strict,
+            &format!(
+                "clean queries were invalidated: {} dropped vs {} retained",
+                inv.invalidated, inv.retained
+            ),
+        );
+    }
+
+    // 3. Warm request over the edited program: resident state plus the
+    //    persist shards serve everything outside the dirty cone.
+    let start = Instant::now();
+    let warm = match client.analyze(&edited) {
+        Ok(warm) => warm,
+        Err(e) => return fail(strict, &format!("warm analyze failed: {e}")),
+    };
+    let lookups = warm.stats.cache_hits + warm.stats.persist_hits + warm.stats.cache_misses;
+    let served = warm.stats.cache_hits + warm.stats.persist_hits;
+    let reserve_rate = if lookups == 0 {
+        0.0
+    } else {
+        served as f64 / lookups as f64
+    };
+    println!(
+        "warm:  {:>8.4}s  {} diagnostics, re-serve rate {:.1}%, pointsto batches regenerated {}",
+        start.elapsed().as_secs_f64(),
+        warm.diagnostic_count,
+        reserve_rate * 100.0,
+        warm.stats.pointsto_batches_generated
+    );
+    if reserve_rate < 0.9 {
+        return fail(
+            strict,
+            &format!("warm re-serve rate {reserve_rate:.3} below 0.9"),
+        );
+    }
+
+    let _ = client.shutdown();
+    handle.join();
+    ExitCode::SUCCESS
+}

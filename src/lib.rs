@@ -10,6 +10,8 @@
 //!   infrastructure.
 //! * [`engine`] — the parallel, incremental, plugin-based analysis engine
 //!   all checkers run on.
+//! * [`daemon`] — the resident analysis service: the engine behind a
+//!   Unix-domain socket, with dependency-driven invalidation across edits.
 //! * [`vm`] — the execution substrate (memory model, interpreter, cost model).
 //! * [`deputy`] — the Deputy dependent type system (§2.1).
 //! * [`ccount`] — CCount reference-count checking of manual memory
@@ -40,6 +42,7 @@ pub use ivy_blockstop as blockstop;
 pub use ivy_ccount as ccount;
 pub use ivy_cmir as cmir;
 pub use ivy_core as core;
+pub use ivy_daemon as daemon;
 pub use ivy_deputy as deputy;
 pub use ivy_engine as engine;
 pub use ivy_kernelgen as kernelgen;

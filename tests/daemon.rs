@@ -1,0 +1,254 @@
+//! Integration tests for the resident analysis daemon: concurrent clients,
+//! byte-identity with the batch engine, dependency-driven invalidation on
+//! `notify_edit`, and warm restarts over the sharded persist directory.
+
+use ivy::cmir::parser::parse_program;
+use ivy::cmir::pretty::pretty_program;
+use ivy::daemon::{Client, Daemon, DaemonConfig};
+use ivy::engine::{Engine, PersistLayer};
+use ivy::kernelgen::{KernelBuild, KernelConfig};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn socket_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ivy-daemon-it-{tag}-{}.sock", std::process::id()))
+}
+
+fn cache_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ivy-daemon-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The canonical kernel source: the daemon parses text, so the batch
+/// comparison must analyze the identical parsed form.
+fn kernel_source() -> String {
+    pretty_program(&KernelBuild::generate(&KernelConfig::small()).program)
+}
+
+/// The corpus with one leaf function's body edited: `watchdog_tick`'s
+/// increment changes from 1 to 2. The edit is deliberately line-count
+/// preserving, so every *other* function keeps its spans and the edited
+/// program's cold report is span-for-span comparable with warm replays.
+fn edited_kernel_source() -> String {
+    let source = kernel_source();
+    let edited = source.replacen("watchdog_ticks + 1", "watchdog_ticks + 2", 1);
+    assert_ne!(source, edited, "corpus must contain the watchdog increment");
+    edited
+}
+
+#[test]
+fn concurrent_clients_get_byte_identical_reports_matching_batch() {
+    let source = kernel_source();
+    let handle = Daemon::spawn(DaemonConfig::new(socket_path("concurrent"))).unwrap();
+    let socket = handle.socket().clone();
+
+    // Two clients race the same cold program through one shared engine.
+    let workers: Vec<_> = (0..2)
+        .map(|_| {
+            let socket = socket.clone();
+            let source = source.clone();
+            std::thread::spawn(move || {
+                Client::connect(&socket)
+                    .unwrap()
+                    .analyze(&source)
+                    .unwrap()
+                    .diagnostics_json
+            })
+        })
+        .collect();
+    let answers: Vec<String> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+    assert_eq!(
+        answers[0], answers[1],
+        "concurrent clients must receive byte-identical diagnostics"
+    );
+
+    // And a repeat request matches too — resident state makes answers
+    // fast, never different.
+    let mut client = Client::connect(&socket).unwrap();
+    let repeat = client.analyze(&source).unwrap();
+    assert_eq!(repeat.diagnostics_json, answers[0]);
+    assert!(repeat.stats.ctx_reused);
+
+    // The daemon's answer is byte-identical to a batch engine run over
+    // the same program with the same fleet.
+    let program = parse_program(&source).unwrap();
+    let batch = ivy::core::experiments::default_engine(0).analyze(&program);
+    assert_eq!(batch.diagnostics_json(), answers[0]);
+
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn notify_edit_invalidates_only_the_dirty_cone_and_reserves_the_rest() {
+    let source = kernel_source();
+    let edited = edited_kernel_source();
+    let dir = cache_dir("edit");
+    let handle =
+        Daemon::spawn(DaemonConfig::new(socket_path("edit")).with_cache_dir(&dir)).unwrap();
+    let mut client = Client::connect(handle.socket()).unwrap();
+
+    let cold = client.analyze(&source).unwrap();
+    assert!(cold.stats.cache_misses > 0, "first request is cold");
+
+    // The edit notification: only watchdog_tick changed, and only its
+    // dependency-reachable cone may be invalidated.
+    let outcome = client.notify_edit(&edited).unwrap();
+    let inv = &outcome.invalidation;
+    assert_eq!(
+        inv.changed_functions,
+        vec!["watchdog_tick".to_string()],
+        "exactly the edited function is dirty at the input layer"
+    );
+    assert!(!inv.env_changed, "a body edit leaves the environment alone");
+    let total = inv.invalidated + inv.retained;
+    assert!(
+        inv.invalidated * 3 < total,
+        "invalidated-query count must be far below the memoized total: {} of {}",
+        inv.invalidated,
+        total
+    );
+    assert!(
+        inv.revalidated > 0,
+        "content-keyed durable entries are revalidated, not dropped"
+    );
+
+    // Analyzing the edited program is served overwhelmingly without
+    // recompute: >=90% of per-function results come from the resident
+    // cache or the persist layer, and points-to regenerates exactly one
+    // constraint batch.
+    let warm = client.analyze(&edited).unwrap();
+    let lookups = warm.stats.cache_hits + warm.stats.persist_hits + warm.stats.cache_misses;
+    let served = warm.stats.cache_hits + warm.stats.persist_hits;
+    assert!(
+        served as f64 >= 0.9 * lookups as f64,
+        "after a one-function edit >=90% must be re-served: {served} of {lookups}"
+    );
+    assert_eq!(
+        warm.stats.pointsto_batches_generated, 1,
+        "only the edited function's constraint batch regenerates"
+    );
+
+    // The answer is still pinned to the batch engine's, byte for byte.
+    let batch = ivy::core::experiments::default_engine(0).analyze(&parse_program(&edited).unwrap());
+    assert_eq!(batch.diagnostics_json(), warm.diagnostics_json);
+
+    // Server counters surface the persist traffic for operators.
+    let stats = client.stats().unwrap();
+    assert_eq!(
+        stats
+            .get("edits")
+            .and_then(ivy::engine::json::Value::as_u64),
+        Some(1)
+    );
+    assert!(stats.get("persist").is_some());
+
+    client.shutdown().unwrap();
+    handle.join();
+
+    // A *restarted* daemon over the same shard directory starts warm: the
+    // persist hit rate stays high across the edit and the restart.
+    let handle =
+        Daemon::spawn(DaemonConfig::new(socket_path("edit-restart")).with_cache_dir(&dir)).unwrap();
+    let mut client = Client::connect(handle.socket()).unwrap();
+    let restarted = client.analyze(&edited).unwrap();
+    assert_eq!(restarted.diagnostics_json, warm.diagnostics_json);
+    assert!(
+        restarted.stats.persist_hit_rate() >= 0.9,
+        "restarted daemon must re-serve >=90% from the shards, got {:.3}",
+        restarted.stats.persist_hit_rate()
+    );
+    client.shutdown().unwrap();
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn daemon_and_batch_writers_shard_the_persist_directory() {
+    let source = kernel_source();
+    let program = parse_program(&source).unwrap();
+    let dir = cache_dir("shards");
+
+    // A batch run and a daemon share one cache directory; each flushes its
+    // own writer shard, so neither clobbers the other.
+    let batch_layer = Arc::new(
+        PersistLayer::open(&dir)
+            .unwrap()
+            .with_writer_id("batch-writer"),
+    );
+    let batch = ivy::core::experiments::default_engine(0)
+        .with_persist(Arc::clone(&batch_layer))
+        .analyze(&program);
+
+    let handle =
+        Daemon::spawn(DaemonConfig::new(socket_path("shards")).with_cache_dir(&dir)).unwrap();
+    let mut client = Client::connect(handle.socket()).unwrap();
+    let daemon_answer = client.analyze(&source).unwrap();
+    assert_eq!(batch.diagnostics_json(), daemon_answer.diagnostics_json);
+    assert!(
+        daemon_answer.stats.persist_hit_rate() >= 0.9,
+        "the daemon must start warm from the batch run's shards, got {:.3}",
+        daemon_answer.stats.persist_hit_rate()
+    );
+    // Give the daemon something the batch run never computed, so it has
+    // fresh results to flush into its own shard.
+    client
+        .analyze("fn daemon_only() { daemon_callee(); } fn daemon_callee() { }")
+        .unwrap();
+    client.shutdown().unwrap();
+    handle.join();
+
+    // Both writers' shards coexist on disk under the namespace dirs.
+    let batch_shards = walk_shards(&dir, "batch-writer.json");
+    let daemon_shards = walk_shards(&dir, &format!("w{}.json", std::process::id()));
+    assert!(!batch_shards.is_empty(), "batch run flushed its shards");
+    assert!(!daemon_shards.is_empty(), "daemon flushed its shards");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn walk_shards(dir: &PathBuf, file_name: &str) -> Vec<PathBuf> {
+    std::fs::read_dir(dir)
+        .into_iter()
+        .flatten()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .map(|ns| ns.join(file_name))
+        .filter(|p| p.exists())
+        .collect()
+}
+
+#[test]
+fn engine_answers_survive_a_panicking_checker_thread() {
+    use ivy::engine::{AnalysisCtx, Checker, Diagnostic};
+    use ivy_cmir::ast::Function;
+
+    /// A checker that panics on exactly one function — the lock-poisoning
+    /// scenario a resident daemon must absorb.
+    struct Grenade;
+    impl Checker for Grenade {
+        fn name(&self) -> &'static str {
+            "grenade"
+        }
+        fn check_function(&self, _ctx: &AnalysisCtx, func: &Function) -> Vec<Diagnostic> {
+            assert!(func.name != "watchdog_tick", "boom");
+            Vec::new()
+        }
+    }
+
+    let program = parse_program(&kernel_source()).unwrap();
+    let engine = Engine::new().with_checker(Arc::new(Grenade));
+    // The panic propagates out of this analyze (rayon joins the worker)...
+    assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        engine.analyze(&program)
+    }))
+    .is_err());
+    // ...but the engine's shared locks recovered: the same engine still
+    // answers later requests instead of panicking on poisoned state.
+    let healthy = ivy::core::experiments::default_engine(1)
+        .with_cache(engine.cache())
+        .with_ctx_store(engine.ctx_store())
+        .analyze(&program);
+    assert!(!healthy.diagnostics.is_empty());
+}

@@ -197,20 +197,26 @@ fn corrupt_or_version_mismatched_cache_files_are_ignored_not_fatal() {
         .with_persist(Arc::new(PersistLayer::open(&dir).unwrap()))
         .analyze(&build.program);
 
-    // Vandalize the cache: truncate one file mid-JSON, replace another
-    // with a version from the future, and drop in an unrelated file.
-    let mut files: Vec<_> = std::fs::read_dir(&dir)
+    // Vandalize the cache: truncate one shard mid-JSON, replace another
+    // with a version from the future, and drop in unrelated files at both
+    // layout levels. (Namespaces are shard *directories* since the
+    // fleet-mode sharding rework; the shards inside are what a crashed or
+    // hostile writer would corrupt.)
+    let mut shards: Vec<_> = std::fs::read_dir(&dir)
         .unwrap()
         .map(|e| e.unwrap().path())
+        .filter(|p| p.is_dir())
+        .flat_map(|ns| std::fs::read_dir(ns).unwrap().map(|e| e.unwrap().path()))
         .collect();
-    files.sort();
-    assert!(files.len() >= 3, "cold run persisted several namespaces");
-    std::fs::write(&files[0], "{\"format\":1,\"entries\":{").unwrap();
+    shards.sort();
+    assert!(shards.len() >= 3, "cold run persisted several namespaces");
+    std::fs::write(&shards[0], "{\"format\":1,\"entries\":{").unwrap();
     std::fs::write(
-        &files[1],
+        &shards[1],
         "{\"format\":1,\"namespace\":\"x\",\"version\":999,\"entries\":{}}",
     )
     .unwrap();
+    std::fs::write(shards[2].parent().unwrap().join("stray.json"), "not json").unwrap();
     std::fs::write(dir.join("unrelated.json"), "not json at all").unwrap();
 
     // A fresh process over the damaged cache recomputes what it must and
