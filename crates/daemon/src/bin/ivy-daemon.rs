@@ -32,9 +32,14 @@ fn main() -> ExitCode {
             _ => return usage(),
         }
     }
-    eprintln!("ivy-daemon: listening on {}", config.socket.display());
-    match Daemon::serve(config) {
-        Ok(()) => ExitCode::SUCCESS,
+    // Spawn (which binds synchronously) before announcing, so the banner
+    // never claims a socket the bind then fails to take.
+    match Daemon::spawn(config) {
+        Ok(handle) => {
+            eprintln!("ivy-daemon: listening on {}", handle.socket().display());
+            handle.join();
+            ExitCode::SUCCESS
+        }
         Err(e) => {
             eprintln!("ivy-daemon: {e}");
             ExitCode::FAILURE

@@ -89,6 +89,30 @@ mod tests {
     }
 
     #[test]
+    fn second_daemon_on_the_same_socket_fails_fast_without_unbinding_the_first() {
+        let socket = socket_path("exclusive");
+        let handle = Daemon::spawn(DaemonConfig::new(socket.clone())).unwrap();
+        // The loser of the socket race must error out at the sidecar lock —
+        // and must NOT unlink the path the winner is serving on (the
+        // probe-then-remove TOCTOU this lock exists to close).
+        let err = match Daemon::spawn(DaemonConfig::new(socket.clone())) {
+            Err(err) => err,
+            Ok(_) => panic!("a second daemon on a held socket must not start"),
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::AddrInUse);
+        let mut client = Client::connect(&socket).unwrap();
+        assert!(client.analyze("fn f() { }").is_ok());
+        client.shutdown().unwrap();
+        handle.join();
+
+        // With the first daemon gone the path is reclaimable.
+        let handle = Daemon::spawn(DaemonConfig::new(socket)).unwrap();
+        let mut client = Client::connect(handle.socket()).unwrap();
+        client.shutdown().unwrap();
+        handle.join();
+    }
+
+    #[test]
     fn malformed_requests_get_error_responses_not_hangs() {
         let handle = Daemon::spawn(DaemonConfig::new(socket_path("errors"))).unwrap();
         let mut client = Client::connect(handle.socket()).unwrap();

@@ -24,7 +24,7 @@ use std::io;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::thread::{self, JoinHandle};
 use std::time::Instant;
 
@@ -98,6 +98,14 @@ struct State {
     engine: Engine,
     persist: Option<Arc<PersistLayer>>,
     resident: Mutex<Option<Arc<AnalysisCtx>>>,
+    /// Serializes `notify_edit` against in-flight analyzes. `apply_edit`
+    /// snapshots the resident db's dependency edges and memo table; a
+    /// compute racing that snapshot could publish a memo entry whose
+    /// edges were not yet recorded, and the entry would be carried into
+    /// the edited db as clean with a pre-edit value. Analyzes take the
+    /// shared side (concurrent clients still run in parallel); an edit
+    /// takes it exclusively and waits for them to drain.
+    edit_gate: RwLock<()>,
     /// Clones of every open client stream (keyed by fd), so shutdown can
     /// unblock connections idling in a read instead of waiting on them
     /// forever.
@@ -107,17 +115,27 @@ struct State {
     analyzes: AtomicU64,
     edits: AtomicU64,
     shutdown: AtomicBool,
+    /// Exclusive lock on the sidecar `<socket>.lock` file, held until the
+    /// accept loop has removed the socket (see [`Daemon::bind`]); the OS
+    /// releases it when the file handle drops.
+    _socket_lock: std::fs::File,
 }
 
 impl State {
-    fn register_connection(&self, stream: &UnixStream) {
+    /// Registers a connection in the shutdown registry; returns false
+    /// (and the caller must drop the connection unserved) if the
+    /// registry clone cannot be made — a connection served while
+    /// invisible to [`State::close_connections`] would hang shutdown's
+    /// join on its blocking read.
+    fn register_connection(&self, stream: &UnixStream) -> bool {
         use std::os::fd::AsRawFd;
-        if let Ok(clone) = stream.try_clone() {
-            self.connections
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .insert(stream.as_raw_fd(), clone);
-        }
+        let Ok(clone) = stream.try_clone() else {
+            return false;
+        };
+        self.connections
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(stream.as_raw_fd(), clone);
         // Close the race with a concurrent shutdown: if the registry was
         // drained before this insert, nobody will close this stream for
         // us — the mutex ordering guarantees the flag (set before the
@@ -126,6 +144,7 @@ impl State {
         if self.shutdown.load(Ordering::SeqCst) {
             let _ = stream.shutdown(std::net::Shutdown::Read);
         }
+        true
     }
 
     fn deregister_connection(&self, stream: &UnixStream) {
@@ -154,6 +173,10 @@ impl State {
     }
     fn analyze_source(&self, source: &str) -> Result<(Arc<AnalysisCtx>, Report, bool), String> {
         let program = parse_program(source).map_err(|e| format!("parse error: {e}"))?;
+        let _gate = self
+            .edit_gate
+            .read()
+            .unwrap_or_else(PoisonError::into_inner);
         let (ctx, reused) = self.engine.context_for(&program);
         let report = self.engine.analyze_with_ctx(&ctx, reused);
         *self.resident.lock().unwrap_or_else(PoisonError::into_inner) = Some(Arc::clone(&ctx));
@@ -203,6 +226,10 @@ impl State {
                     Ok(p) => p,
                     Err(e) => return error_response(&format!("parse error: {e}")),
                 };
+                let _gate = self
+                    .edit_gate
+                    .write()
+                    .unwrap_or_else(PoisonError::into_inner);
                 let base = self
                     .resident
                     .lock()
@@ -297,9 +324,49 @@ impl DaemonHandle {
 
 impl Daemon {
     fn bind(config: &DaemonConfig) -> io::Result<(UnixListener, Arc<State>)> {
-        // A stale socket file from a dead daemon would fail the bind — but
-        // only remove it after probing that nothing answers, or starting a
-        // second daemon on the path would silently unbind a live one.
+        if let Some(parent) = config.socket.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        // Ownership of the socket path is an exclusive OS lock on a
+        // sidecar `<socket>.lock` file, held for the daemon's lifetime
+        // and released by the kernel on exit, clean or not. A bare
+        // probe-then-unlink would be a TOCTOU: two daemons starting
+        // concurrently could both observe a dead socket, and the loser's
+        // `remove_file` would unlink the path the winner had just bound.
+        // The lock also covers the exit-time cleanup in the accept loop,
+        // which could otherwise unlink a *newer* daemon's socket when an
+        // old daemon shuts down late. The lock file itself is never
+        // removed — unlinking it would reopen the race through a second
+        // inode.
+        let mut lock_path = config.socket.clone().into_os_string();
+        lock_path.push(".lock");
+        let socket_lock = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(PathBuf::from(lock_path))?;
+        if let Err(err) = socket_lock.try_lock() {
+            return Err(match err {
+                std::fs::TryLockError::WouldBlock => io::Error::new(
+                    io::ErrorKind::AddrInUse,
+                    format!(
+                        "another daemon owns (or is starting on) {}",
+                        config.socket.display()
+                    ),
+                ),
+                // A lock the filesystem cannot take at all (e.g. ENOLCK)
+                // is an I/O problem, not a second daemon — report it as
+                // itself so the operator does not chase a phantom.
+                std::fs::TryLockError::Error(e) => e,
+            });
+        }
+        // Holding the lock: a live daemon on this path is impossible (it
+        // would hold the lock), so any socket file here is leftover from
+        // a dead process — but keep the probe as a guard against foreign,
+        // non-lock-aware listeners before unlinking.
         if config.socket.exists() {
             if UnixStream::connect(&config.socket).is_ok() {
                 return Err(io::Error::new(
@@ -308,11 +375,6 @@ impl Daemon {
                 ));
             }
             let _ = std::fs::remove_file(&config.socket);
-        }
-        if let Some(parent) = config.socket.parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent)?;
-            }
         }
         let listener = UnixListener::bind(&config.socket)?;
         let persist = match &config.cache_dir {
@@ -323,12 +385,14 @@ impl Daemon {
             engine: fleet_engine(config.threads, persist.clone()),
             persist,
             resident: Mutex::new(None),
+            edit_gate: RwLock::new(()),
             connections: Mutex::new(std::collections::HashMap::new()),
             started: Instant::now(),
             requests: AtomicU64::new(0),
             analyzes: AtomicU64::new(0),
             edits: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
+            _socket_lock: socket_lock,
         });
         Ok((listener, state))
     }
@@ -389,7 +453,11 @@ impl Daemon {
 /// Serves one client connection: frames in, frames out, until the peer
 /// closes or asks for shutdown.
 fn serve_connection(stream: UnixStream, state: &State, socket: &PathBuf) {
-    state.register_connection(&stream);
+    // Under fd pressure the registry clone can fail; shed the connection
+    // (the client sees a clean close) rather than serve it invisibly.
+    if !state.register_connection(&stream) {
+        return;
+    }
     let reader = stream.try_clone();
     connection_loop(reader, stream, state, socket);
 }

@@ -200,6 +200,13 @@ impl Engine {
     /// This is the daemon's `notify_edit` path: a resident process keeps
     /// analysis state alive across edits instead of rebuilding a db per
     /// program state.
+    ///
+    /// Callers must not run this concurrently with analyses of the *base*
+    /// context: the invalidation walk snapshots the base db's dependency
+    /// edges and memo table, and a compute publishing its memo entry
+    /// before its edges are recorded would be carried over as clean. The
+    /// daemon serializes `notify_edit` against in-flight analyzes with a
+    /// reader-writer gate for exactly this reason.
     pub fn apply_edit(
         &self,
         base: &Arc<AnalysisCtx>,

@@ -160,6 +160,11 @@ type Revalidator = Arc<dyn Fn(&QueryDb) -> u64 + Send + Sync>;
 struct SlotEntry {
     payload: Box<dyn Any + Send + Sync>,
     durable: Option<(u64, Revalidator)>,
+    /// True when the value was adopted from the persist layer rather than
+    /// computed: its compute never ran in this process, so it has no
+    /// recorded dependency edges and [`QueryDb::apply_edit`] must judge it
+    /// by its durable key alone.
+    adopted: bool,
 }
 
 type Slot = Arc<Mutex<Vec<SlotEntry>>>;
@@ -365,6 +370,7 @@ impl QueryDb {
         entries.push(SlotEntry {
             payload: Box::new((key.clone(), Arc::clone(&value))),
             durable: None,
+            adopted: false,
         });
         value
     }
@@ -393,9 +399,14 @@ impl QueryDb {
             {
                 self.persist_hits.fetch_add(1, Ordering::Relaxed);
                 let value = Arc::new(value);
+                // The compute never ran, so this entry has no outgoing
+                // dependency edges; [`QueryDb::apply_edit`] compensates by
+                // re-keying every walk-unreachable durable entry against
+                // the edited program instead of trusting reachability.
                 entries.push(SlotEntry {
                     payload: Box::new((key.clone(), Arc::clone(&value))),
                     durable: Some((durable_key, revalidator)),
+                    adopted: true,
                 });
                 return value;
             }
@@ -405,6 +416,7 @@ impl QueryDb {
             entries.push(SlotEntry {
                 payload: Box::new((key.clone(), Arc::clone(&value))),
                 durable: Some((durable_key, revalidator)),
+                adopted: false,
             });
             return value;
         }
@@ -412,6 +424,7 @@ impl QueryDb {
         entries.push(SlotEntry {
             payload: Box::new((key.clone(), Arc::clone(&value))),
             durable: Some((durable_key, revalidator)),
+            adopted: false,
         });
         value
     }
@@ -467,7 +480,11 @@ impl QueryDb {
     /// by the [`DurableQuery::durable_key`] contract an equal key
     /// guarantees an equal value, so e.g. an unedited function's
     /// instrumented body survives even though it was derived from
-    /// whole-program state.
+    /// whole-program state. The same key check runs in reverse for entries
+    /// *adopted from the persist layer*: an adopted entry recorded no
+    /// dependency edges (its compute never ran in this process), so
+    /// reachability cannot vouch for it and it is kept only if its
+    /// content-addressed key still matches under the edited program.
     ///
     /// The returned db shares the points-to constraint cache, the persist
     /// layer, and the retained memo slots with `self`; both dbs stay
@@ -517,27 +534,58 @@ impl QueryDb {
         let mut dirty: HashSet<QueryRef> = seeds.iter().copied().collect();
         let mut clean: HashSet<QueryRef> = HashSet::new();
         let mut queue: Vec<QueryRef> = seeds.clone();
-        while let Some(q) = queue.pop() {
-            let Some(parents) = rdeps.get(&q) else {
+        self.propagate_dirty(&rdeps, &mut queue, &mut dirty, &mut clean, &new_db);
+
+        // Snapshot the table before touching any slot lock: an in-flight
+        // compute on another thread holds its slot lock and may demand the
+        // table lock, so holding both here would deadlock a live daemon.
+        let names = lock_recovering(&self.names).clone();
+        let slots: Vec<((TypeId, u64), Slot)> = lock_recovering(&self.table)
+            .iter()
+            .map(|(key, slot)| (*key, Arc::clone(slot)))
+            .collect();
+
+        // 2b. Re-key every *adopted* entry the walk could not reach. An
+        //    entry adopted from the persist layer recorded no dependency
+        //    edges (its compute never ran in this process), so
+        //    reachability alone cannot prove it current — without this
+        //    sweep, a daemon restarted over a warm cache directory would
+        //    carry pre-edit whole-program results into the new db
+        //    unconditionally. A key mismatch dirties the entry and
+        //    propagates upward exactly like a seed. Entries that *were*
+        //    computed here are exempt: their edges record exactly what
+        //    they read, so unreachable means unaffected — a key check
+        //    would over-invalidate queries whose durable key is anchored
+        //    more coarsely than what they actually read (e.g. a
+        //    program-hash-keyed per-function query that only touches
+        //    points-to when the function frees untyped pointers). Checks
+        //    run outside every lock: a revalidator may demand queries on
+        //    the new db.
+        let mut rekeyed: Vec<QueryRef> = Vec::new();
+        for ((type_id, key_hash), slot) in &slots {
+            let name = names.get(type_id).copied().unwrap_or("");
+            let q = (name, *key_hash);
+            if dirty.contains(&q) || clean.contains(&q) {
                 continue;
-            };
-            for &parent in parents {
-                if dirty.contains(&parent) || clean.contains(&parent) {
-                    continue;
-                }
-                if self.revalidates(parent, &new_db) {
-                    clean.insert(parent);
-                    continue;
-                }
-                dirty.insert(parent);
-                queue.push(parent);
+            }
+            let checks: Vec<(u64, Revalidator)> = lock_recovering(slot)
+                .iter()
+                .filter(|e| e.adopted)
+                .filter_map(|e| e.durable.as_ref().map(|(k, r)| (*k, Arc::clone(r))))
+                .collect();
+            if checks
+                .iter()
+                .any(|(old_key, reval)| reval(&new_db) != *old_key)
+            {
+                dirty.insert(q);
+                rekeyed.push(q);
             }
         }
+        self.propagate_dirty(&rdeps, &mut rekeyed, &mut dirty, &mut clean, &new_db);
 
         // 3. Carry every slot outside the dirty set into the new db, and
         //    every edge whose dependent survived (a dirty dependent will
         //    re-record its edges when it recomputes).
-        let names = lock_recovering(&self.names).clone();
         let mut stats = InvalidationStats {
             changed_functions,
             env_changed,
@@ -545,13 +593,6 @@ impl QueryDb {
             revalidated: clean.len(),
             ..InvalidationStats::default()
         };
-        // Snapshot the table before touching any slot lock: an in-flight
-        // compute on another thread holds its slot lock and may demand the
-        // table lock, so holding both here would deadlock a live daemon.
-        let slots: Vec<((TypeId, u64), Slot)> = lock_recovering(&self.table)
-            .iter()
-            .map(|(key, slot)| (*key, Arc::clone(slot)))
-            .collect();
         {
             let mut new_table = lock_recovering(&new_db.table);
             for ((type_id, key_hash), slot) in slots {
@@ -563,17 +604,57 @@ impl QueryDb {
                 if dirty.contains(&(name, key_hash)) {
                     stats.invalidated += entry_count;
                 } else {
-                    new_table.insert((type_id, key_hash), slot);
+                    // `or_insert`, not `insert`: a revalidator demanding
+                    // queries on the new db may already have computed this
+                    // slot there, and that fresh result is the one whose
+                    // edges the new db recorded.
+                    new_table.entry((type_id, key_hash)).or_insert(slot);
                     stats.retained += entry_count;
                 }
             }
         }
-        *lock_recovering(&new_db.names) = names;
-        *lock_recovering(&new_db.deps) = edges
-            .into_iter()
-            .filter(|(parent, _)| !dirty.contains(parent))
-            .collect();
+        // Merge rather than assign, for the same reason: revalidator
+        // demands during the walk already recorded their own names and
+        // edges on the new db, and overwriting would orphan those memo
+        // entries (their slots would resolve to no name and carry no
+        // edges, so a later edit could retain them as unreachable).
+        lock_recovering(&new_db.names).extend(names);
+        lock_recovering(&new_db.deps).extend(
+            edges
+                .into_iter()
+                .filter(|(parent, _)| !dirty.contains(parent)),
+        );
         (new_db, stats)
+    }
+
+    /// Walks the reverse dependency edges upward from the queued refs,
+    /// marking every transitive dependent dirty unless all of its entries
+    /// revalidate against the new db (in which case propagation stops
+    /// there and the ref joins the clean set).
+    fn propagate_dirty(
+        &self,
+        rdeps: &HashMap<QueryRef, Vec<QueryRef>>,
+        queue: &mut Vec<QueryRef>,
+        dirty: &mut HashSet<QueryRef>,
+        clean: &mut HashSet<QueryRef>,
+        new_db: &QueryDb,
+    ) {
+        while let Some(q) = queue.pop() {
+            let Some(parents) = rdeps.get(&q) else {
+                continue;
+            };
+            for &parent in parents {
+                if dirty.contains(&parent) || clean.contains(&parent) {
+                    continue;
+                }
+                if self.revalidates(parent, new_db) {
+                    clean.insert(parent);
+                    continue;
+                }
+                dirty.insert(parent);
+                queue.push(parent);
+            }
+        }
     }
 
     /// True if every memoized entry recorded under a query ref is durable
@@ -1102,6 +1183,65 @@ mod tests {
         // revalidated rather than discarded.
         assert!(stats.revalidated >= 1);
         assert!(new_db.peek::<ContentKeyed>(&7).is_some());
+    }
+
+    #[test]
+    fn apply_edit_rekeys_entries_adopted_from_the_persist_layer() {
+        /// A whole-program durable query anchored to the program hash —
+        /// the shape of [`Summaries`].
+        struct WholeProgram;
+        impl Query for WholeProgram {
+            type Key = ();
+            type Value = u64;
+            const NAME: &'static str = "test/whole-program";
+            fn compute(db: &QueryDb, _key: &()) -> u64 {
+                db.depend_on_program();
+                db.program.functions.len() as u64
+            }
+        }
+        impl DurableQuery for WholeProgram {
+            const FORMAT_VERSION: u32 = 1;
+            fn durable_key(db: &QueryDb, key: &()) -> u64 {
+                mix(db.program_hash, key.stable_hash())
+            }
+            fn encode(value: &u64) -> Value {
+                Value::from(*value)
+            }
+            fn decode(raw: &Value) -> Option<u64> {
+                raw.as_u64()
+            }
+        }
+
+        let dir = std::env::temp_dir().join(format!("ivy-query-rekey-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let program = parse_program("fn a() { b(); } fn b() { }").unwrap();
+
+        // Process one computes the entry and flushes it to disk.
+        {
+            let layer = Arc::new(PersistLayer::open(&dir).unwrap());
+            let db = QueryDb::new(&program).with_persist(Some(layer.clone()));
+            db.get_durable::<WholeProgram>(&());
+            layer.flush().unwrap();
+        }
+
+        // "Process two" adopts it from disk: a persist hit records no
+        // dependency edges, so the edit walk cannot reach the entry from
+        // the changed-function seeds.
+        let layer = Arc::new(PersistLayer::open(&dir).unwrap());
+        let db = QueryDb::new(&program).with_persist(Some(layer));
+        db.get_durable::<WholeProgram>(&());
+        assert_eq!(db.query_stats().persist_hits, 1);
+
+        let edited = parse_program("fn a() { b(); b(); } fn b() { }").unwrap();
+        let (new_db, _) = db.apply_edit(&edited);
+        assert!(
+            new_db.peek::<WholeProgram>(&()).is_none(),
+            "an edge-less whole-program entry must be re-keyed out on edit"
+        );
+        // Recomputing in the new db stores the entry under the edited
+        // program's key.
+        assert_eq!(*new_db.get_durable::<WholeProgram>(&()), 2);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -164,6 +164,130 @@ fn notify_edit_invalidates_only_the_dirty_cone_and_reserves_the_rest() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The corpus with the blocking call edited *out* of the watchdog
+/// interrupt handler: BlockStop's seeded REAL BUG 2 finding disappears,
+/// so a stale pre-edit answer is byte-visibly different from a correct
+/// re-analysis — exactly what the restart test below needs to detect.
+fn defused_kernel_source() -> String {
+    let source = kernel_source();
+    let edited = source.replacen(
+        "watchdog_sync();",
+        "watchdog_ticks = watchdog_ticks + 2;",
+        1,
+    );
+    assert_ne!(source, edited, "corpus must contain the watchdog sync call");
+    edited
+}
+
+#[test]
+fn restarted_daemon_does_not_serve_stale_results_after_notify_edit() {
+    let source = kernel_source();
+    let edited = defused_kernel_source();
+    let dir = cache_dir("restart-edit");
+
+    // Session one fills the persist shards and exits.
+    let handle =
+        Daemon::spawn(DaemonConfig::new(socket_path("restart-edit-a")).with_cache_dir(&dir))
+            .unwrap();
+    let mut client = Client::connect(handle.socket()).unwrap();
+    client.analyze(&source).unwrap();
+    client.shutdown().unwrap();
+    handle.join();
+
+    // Session two restarts warm: whole-program durable artifacts are
+    // adopted from disk without recording dependency edges, so the edit
+    // walk alone cannot reach them — they must be re-keyed out instead
+    // of retained.
+    let handle =
+        Daemon::spawn(DaemonConfig::new(socket_path("restart-edit-b")).with_cache_dir(&dir))
+            .unwrap();
+    let mut client = Client::connect(handle.socket()).unwrap();
+    let warm = client.analyze(&source).unwrap();
+    assert!(
+        warm.stats.persist_hit_rate() >= 0.9,
+        "the restart must actually be warm, got {:.3}",
+        warm.stats.persist_hit_rate()
+    );
+
+    client.notify_edit(&edited).unwrap();
+    let after = client.analyze(&edited).unwrap();
+    let batch = ivy::core::experiments::default_engine(0).analyze(&parse_program(&edited).unwrap());
+    assert_ne!(
+        batch.diagnostics_json(),
+        warm.diagnostics_json,
+        "the edit must be diagnostic-visible for this test to bite"
+    );
+    assert_eq!(
+        batch.diagnostics_json(),
+        after.diagnostics_json,
+        "a warm-restarted daemon must not serve pre-edit results after notify_edit"
+    );
+
+    client.shutdown().unwrap();
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn edits_racing_concurrent_analyzes_never_corrupt_answers() {
+    let source = kernel_source();
+    let defused = defused_kernel_source();
+    let batch_source = ivy::core::experiments::default_engine(0)
+        .analyze(&parse_program(&source).unwrap())
+        .diagnostics_json();
+    let batch_defused = ivy::core::experiments::default_engine(0)
+        .analyze(&parse_program(&defused).unwrap())
+        .diagnostics_json();
+    assert_ne!(batch_source, batch_defused);
+
+    let handle = Daemon::spawn(DaemonConfig::new(socket_path("race"))).unwrap();
+    let socket = handle.socket().clone();
+    let mut client = Client::connect(&socket).unwrap();
+    client.analyze(&source).unwrap();
+
+    // One client flips the resident program back and forth while another
+    // hammers analyzes of both states. The daemon serializes each edit
+    // against in-flight analyzes, so every answer must match the batch
+    // engine for the program it was asked about — under any interleaving.
+    let editor = {
+        let socket = socket.clone();
+        let (source, defused) = (source.clone(), defused.clone());
+        std::thread::spawn(move || {
+            let mut client = Client::connect(&socket).unwrap();
+            for _ in 0..10 {
+                client.notify_edit(&defused).unwrap();
+                client.notify_edit(&source).unwrap();
+            }
+        })
+    };
+    let analyzer = {
+        let socket = socket.clone();
+        let (source, defused) = (source.clone(), defused.clone());
+        let (batch_source, batch_defused) = (batch_source.clone(), batch_defused.clone());
+        std::thread::spawn(move || {
+            let mut client = Client::connect(&socket).unwrap();
+            for i in 0..20 {
+                let (program, expected) = if i % 2 == 0 {
+                    (&source, &batch_source)
+                } else {
+                    (&defused, &batch_defused)
+                };
+                let answer = client.analyze(program).unwrap();
+                assert_eq!(
+                    &answer.diagnostics_json, expected,
+                    "an analyze racing edits returned a corrupted answer"
+                );
+            }
+        })
+    };
+    editor.join().unwrap();
+    analyzer.join().unwrap();
+
+    let mut client = Client::connect(&socket).unwrap();
+    client.shutdown().unwrap();
+    handle.join();
+}
+
 #[test]
 fn daemon_and_batch_writers_shard_the_persist_directory() {
     let source = kernel_source();
