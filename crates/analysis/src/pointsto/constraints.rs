@@ -403,26 +403,31 @@ impl<'p> ConstraintGen<'p> {
                 });
                 t
             }
-            Expr::Arrow(obj, field) => {
+            Expr::Arrow(obj, field) | Expr::Field(obj, field) => {
                 let comp = ctx.composite_name_of(obj);
                 let _ = self.gen_value(obj, ctx);
                 let t = self.fresh();
                 let f = self.field_loc(comp, field);
-                self.push(Constraint::Copy {
-                    dst: t.clone(),
-                    src: f,
-                });
-                t
-            }
-            Expr::Field(obj, field) => {
-                let comp = ctx.composite_name_of(obj);
-                let _ = self.gen_value(obj, ctx);
-                let t = self.fresh();
-                let f = self.field_loc(comp, field);
-                self.push(Constraint::Copy {
-                    dst: t.clone(),
-                    src: f,
-                });
+                // An array-typed field used as a value decays to a pointer
+                // to the field's own storage (like array-typed variables
+                // above). Modelling it as a value copy would make
+                // `kmemset(dev->ring, ...)`-style handoffs statically
+                // invisible — a soundness gap the dynamic oracle caught.
+                let decays = ctx
+                    .type_of(e)
+                    .map(|t| matches!(self.program.resolve_type(&t), Type::Array(..)))
+                    .unwrap_or(false);
+                if decays {
+                    self.push(Constraint::AddrOf {
+                        dst: t.clone(),
+                        loc: f,
+                    });
+                } else {
+                    self.push(Constraint::Copy {
+                        dst: t.clone(),
+                        src: f,
+                    });
+                }
                 t
             }
             Expr::AddrOf(inner) => match &**inner {

@@ -551,6 +551,56 @@ mod tests {
     }
 
     #[test]
+    fn array_fields_decay_to_their_field_location() {
+        // `dev->ring` used as a value must behave like `&dev->ring[0]`:
+        // the callee's parameter points at the field's storage, and
+        // pointers stored into the array's slots stay visible. The old
+        // value-copy modelling dropped both (caught by the dynamic
+        // soundness oracle on the kernelgen drivers).
+        let src = r#"
+            typedef irq_fn = fnptr(u32) -> u32;
+            struct dev { ring: u8[64]; tbl: irq_fn[4]; }
+            global d0: struct dev;
+            fn handler(x: u32) -> u32 { return x; }
+            fn fill(p: u8 *) { }
+            fn setup() {
+                d0.tbl[0] = handler;
+                fill(d0.ring);
+            }
+            fn fire(i: u32) -> u32 {
+                return d0.tbl[i](7);
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        for s in [Sensitivity::Andersen, Sensitivity::AndersenField] {
+            let r = analyze(&p, s);
+            let param = Loc::Local {
+                func: "fill".into(),
+                var: "p".into(),
+            };
+            let pts = r.points_to(&param);
+            assert!(
+                pts.iter().any(|l| matches!(
+                    l,
+                    Loc::Field { field, .. } if field == "ring"
+                ) || matches!(l, Loc::Composite(c) if c == "dev")),
+                "{}: array-field decay must reach the callee: {pts:?}",
+                s.name()
+            );
+            let targets = r.indirect_call_targets("fire", "d0.tbl[i]");
+            assert!(
+                targets.contains("handler"),
+                "{}: fnptr stored through an array field must resolve: {targets:?}",
+                s.name()
+            );
+            // Worklist and naive agree on the new constraint shape.
+            let slow = analyze_naive(&p, s);
+            assert_eq!(r.pts(), slow.pts());
+            assert_eq!(r.indirect_targets, slow.indirect_targets);
+        }
+    }
+
+    #[test]
     fn function_pointer_call_binds_arguments() {
         let src = r#"
             global sink: u8 *;

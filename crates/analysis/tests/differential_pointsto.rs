@@ -18,7 +18,7 @@ use ivy_analysis::pointsto::{
     analyze, analyze_incremental, analyze_naive, ConstraintCache, Sensitivity,
 };
 use ivy_cmir::ast::Program;
-use ivy_kernelgen::{KernelBuild, KernelConfig};
+use ivy_kernelgen::{subsample_program, KernelBuild, KernelConfig};
 use proptest::prelude::*;
 use std::sync::OnceLock;
 
@@ -26,46 +26,6 @@ use std::sync::OnceLock;
 /// sensitivity level sees this many generated programs (the acceptance
 /// floor is 100 per level).
 const CASES: u32 = 110;
-
-/// A tiny deterministic RNG for the sub-sampling decisions (the proptest
-/// shim hands us a seed; SplitMix64 stretches it).
-struct Mix(u64);
-
-impl Mix {
-    fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    /// True with probability `percent`/100.
-    fn chance(&mut self, percent: u64) -> bool {
-        self.next() % 100 < percent
-    }
-}
-
-/// Derives a random sub-program: some functions removed outright, some
-/// stripped to extern declarations, everything else (globals, composites,
-/// typedefs) kept.
-fn subsample(base: &Program, seed: u64, drop_pct: u64, strip_pct: u64) -> Program {
-    let mut rng = Mix(seed);
-    let mut program = base.clone();
-    let mut functions = Vec::with_capacity(base.functions.len());
-    for f in &base.functions {
-        if rng.chance(drop_pct) {
-            continue;
-        }
-        let mut f = f.clone();
-        if f.body.is_some() && rng.chance(strip_pct) {
-            f.body = None;
-        }
-        functions.push(f);
-    }
-    program.functions = functions;
-    program
-}
 
 /// Base kernels, generated once for the whole run.
 fn base_kernels() -> &'static Vec<Program> {
@@ -109,7 +69,7 @@ proptest! {
     ) {
         let bases = base_kernels();
         let caches = shared_caches();
-        let program = subsample(&bases[base_idx], seed, drop_pct, strip_pct);
+        let program = subsample_program(&bases[base_idx], seed, drop_pct, strip_pct);
         for (i, s) in [
             Sensitivity::Steensgaard,
             Sensitivity::Andersen,

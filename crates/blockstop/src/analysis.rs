@@ -178,6 +178,17 @@ impl BlockStopReport {
         }
         map
     }
+
+    /// True when a run-time blocking-in-atomic event — `caller` invoked
+    /// the blocking `callee` with interrupts disabled or a lock held — is
+    /// covered by some finding of this report. The dynamic soundness
+    /// oracle checks every VM-observed violation through this predicate;
+    /// an uncovered event is a soundness violation of the analysis.
+    pub fn covers_runtime_violation(&self, caller: &str, callee: &str) -> bool {
+        self.findings.iter().any(|f| {
+            f.caller == caller && (f.blocking_targets.contains(callee) || f.callee_text == callee)
+        })
+    }
 }
 
 /// The BlockStop tool.

@@ -96,6 +96,19 @@ impl InstrumentationReport {
     }
 }
 
+/// Per-function instrumentation reports for every defined function, keyed
+/// by name — the granularity the dynamic soundness oracle checks bad-free
+/// coverage at (a run-time bad free in a function with no instrumented
+/// free site would mean CCount missed a site).
+pub fn analyze_by_function(program: &Program) -> BTreeMap<String, InstrumentationReport> {
+    program
+        .functions
+        .iter()
+        .filter(|f| f.body.is_some())
+        .map(|f| (f.name.clone(), analyze_function(program, f)))
+        .collect()
+}
+
 /// Analyses a program and reports what CCount must instrument.
 pub fn analyze(program: &Program) -> InstrumentationReport {
     let mut report = InstrumentationReport::default();

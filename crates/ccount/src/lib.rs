@@ -52,7 +52,7 @@ pub mod plugin;
 pub mod report;
 pub mod transform;
 
-pub use analyze::{analyze, analyze_function, InstrumentationReport};
+pub use analyze::{analyze, analyze_by_function, analyze_function, InstrumentationReport};
 pub use plugin::CCountChecker;
 pub use report::{FreeVerification, Overhead};
 pub use transform::{insert_free_checks, wrap_in_delayed_free, FixPlan, NullFix};

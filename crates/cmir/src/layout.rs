@@ -144,6 +144,80 @@ impl<'p> LayoutCtx<'p> {
     pub fn size_of(&self, ty: &Type) -> Result<u64> {
         Ok(self.layout_of(ty)?.size)
     }
+
+    /// Resolves a byte offset within a value of type `ty` to the chain of
+    /// `(composite, field)` pairs whose storage covers that offset,
+    /// outermost first. Arrays are transparent (the offset is folded into
+    /// the element); every union arm covering the offset is included.
+    ///
+    /// The dynamic soundness oracle uses this to enumerate the field-level
+    /// abstract locations a concrete address inside a global or heap object
+    /// may legitimately stand for.
+    pub fn field_path_at(&self, ty: &Type, offset: u64) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        self.field_path_at_depth(ty, offset, 0, &mut out);
+        out
+    }
+
+    fn field_path_at_depth(
+        &self,
+        ty: &Type,
+        offset: u64,
+        depth: u32,
+        out: &mut Vec<(String, String)>,
+    ) {
+        if depth > 64 {
+            return;
+        }
+        match self.program.resolve_type(ty) {
+            Type::Array(inner, n) => {
+                let Ok(el) = self.layout_of(inner) else {
+                    return;
+                };
+                if el.size == 0 || offset >= el.size * n {
+                    return;
+                }
+                self.field_path_at_depth(inner, offset % el.size, depth + 1, out);
+            }
+            Type::Struct(name) => {
+                let Some(def) = self.program.composite(name) else {
+                    return;
+                };
+                let name = name.clone();
+                let mut off: u64 = 0;
+                for f in &def.fields {
+                    let Ok(fl) = self.layout_of(&f.ty) else {
+                        return;
+                    };
+                    off = round_up(off, fl.align);
+                    if offset >= off && offset < off + fl.size {
+                        out.push((name.clone(), f.name.clone()));
+                        let fty = f.ty.clone();
+                        self.field_path_at_depth(&fty, offset - off, depth + 1, out);
+                        return;
+                    }
+                    off += fl.size;
+                }
+            }
+            Type::Union(name) => {
+                let Some(def) = self.program.composite(name) else {
+                    return;
+                };
+                let name = name.clone();
+                let fields: Vec<_> = def.fields.clone();
+                for f in &fields {
+                    let Ok(fl) = self.layout_of(&f.ty) else {
+                        continue;
+                    };
+                    if offset < fl.size {
+                        out.push((name.clone(), f.name.clone()));
+                        self.field_path_at_depth(&f.ty, offset, depth + 1, out);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
 }
 
 /// Rounds `v` up to the next multiple of `align` (which must be a power of
@@ -241,6 +315,47 @@ mod tests {
         let ctx = LayoutCtx::new(&p);
         assert!(ctx.layout_of(&Type::Void).is_err());
         assert!(ctx.layout_of(&Type::Struct("nope".into())).is_err());
+    }
+
+    #[test]
+    fn field_path_resolution() {
+        let mut p = program_with_structs();
+        p.add_composite(CompositeDef::strukt(
+            "ring",
+            vec![
+                Field::new("id", Type::u32()),
+                Field::new(
+                    "bufs",
+                    Type::Array(Box::new(Type::Struct("sk_buff".into())), 4),
+                ),
+            ],
+        ));
+        let ctx = LayoutCtx::new(&p);
+        let sk = Type::Struct("sk_buff".into());
+        assert_eq!(
+            ctx.field_path_at(&sk, 0),
+            vec![("sk_buff".to_string(), "len".to_string())]
+        );
+        assert_eq!(
+            ctx.field_path_at(&sk, 8),
+            vec![("sk_buff".to_string(), "data".to_string())]
+        );
+        // Padding bytes resolve to no field.
+        assert!(ctx.field_path_at(&sk, 5).is_empty());
+        // Nested array-of-struct: offset folds into the element.
+        let ring = Type::Struct("ring".into());
+        assert_eq!(
+            ctx.field_path_at(&ring, 4 + 12 + 8),
+            vec![
+                ("ring".to_string(), "bufs".to_string()),
+                ("sk_buff".to_string(), "data".to_string())
+            ]
+        );
+        // Unions: every covering arm is reported.
+        let u = Type::Union("payload".into());
+        let arms = ctx.field_path_at(&u, 0);
+        assert!(arms.contains(&("payload".to_string(), "word".to_string())));
+        assert!(arms.contains(&("payload".to_string(), "bytes".to_string())));
     }
 
     #[test]

@@ -26,10 +26,9 @@ use ivy_deputy::plugin::DeputyChecker;
 use ivy_deputy::{ConversionReport, Deputy};
 use ivy_engine::{CtxStore, Diagnostic, DiagnosticCache, Engine, PersistLayer, Report};
 use ivy_kernelgen::KernelBuild;
-use std::collections::HashMap;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Configuration of the combined pipeline.
 pub struct Pipeline {
@@ -38,7 +37,7 @@ pub struct Pipeline {
     /// Worker threads for the engine (0 = one per hardware thread).
     pub threads: usize,
     cache: Arc<DiagnosticCache>,
-    ctx_store: CtxStore,
+    ctx_store: Arc<CtxStore>,
     pts_cache: Arc<ConstraintCache>,
     persist: Option<Arc<PersistLayer>>,
     daemon: Option<PathBuf>,
@@ -50,7 +49,7 @@ impl Default for Pipeline {
             deputy: Deputy::default(),
             threads: 0,
             cache: Arc::new(DiagnosticCache::new()),
-            ctx_store: Arc::new(Mutex::new(HashMap::new())),
+            ctx_store: Arc::new(CtxStore::new()),
             pts_cache: Arc::new(ConstraintCache::new()),
             persist: None,
             daemon: None,

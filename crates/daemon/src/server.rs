@@ -257,6 +257,11 @@ impl State {
                 engine_stats.insert("cache_hits".into(), Value::from(cache.hits()));
                 engine_stats.insert("cache_misses".into(), Value::from(cache.misses()));
                 engine_stats.insert("cached_results".into(), Value::from(cache.len()));
+                engine_stats.insert(
+                    "resident_contexts".into(),
+                    Value::from(self.engine.ctx_store().len()),
+                );
+                engine_stats.insert("evictions".into(), Value::from(self.engine.ctx_evictions()));
                 let mut m = Map::new();
                 m.insert("ok".into(), Value::from(true));
                 m.insert("protocol".into(), Value::from(PROTOCOL_VERSION));

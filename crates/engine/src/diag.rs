@@ -148,6 +148,10 @@ pub struct EngineStats {
     /// Per-function results that consulted the persist layer and missed
     /// (0 when no persist layer is attached).
     pub persist_misses: u64,
+    /// Persist-layer entries dropped by compaction over the layer's
+    /// lifetime (0 when no persist layer is attached). Surfaced so fleet
+    /// operators can see GC working without attaching a debugger.
+    pub persist_pruned: u64,
     /// Whether the analysis context itself was reused from a previous run
     /// of an identical program.
     pub ctx_reused: bool,
@@ -177,6 +181,7 @@ impl EngineStats {
         stats.insert("cache_misses".into(), Value::from(self.cache_misses));
         stats.insert("persist_hits".into(), Value::from(self.persist_hits));
         stats.insert("persist_misses".into(), Value::from(self.persist_misses));
+        stats.insert("persist_pruned".into(), Value::from(self.persist_pruned));
         stats.insert("ctx_reused".into(), Value::from(self.ctx_reused));
         stats.insert(
             "pointsto_initial_constraints".into(),
@@ -211,6 +216,8 @@ impl EngineStats {
             cache_misses: count("cache_misses")?,
             persist_hits: count("persist_hits")?,
             persist_misses: count("persist_misses")?,
+            // Absent in pre-oracle encodings; default rather than reject.
+            persist_pruned: count("persist_pruned").unwrap_or(0),
             ctx_reused: v.get("ctx_reused")?.as_bool()?,
             pointsto_initial_constraints: size("pointsto_initial_constraints")?,
             pointsto_constraints: size("pointsto_constraints")?,
@@ -425,6 +432,7 @@ mod tests {
             cache_misses: 6,
             persist_hits: 2,
             persist_misses: 1,
+            persist_pruned: 5,
             ctx_reused: true,
             pointsto_initial_constraints: 100,
             pointsto_constraints: 140,

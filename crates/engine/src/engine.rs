@@ -27,7 +27,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
-/// Maximum number of analysis contexts kept alive for reuse.
+/// Default maximum number of analysis contexts kept resident for reuse.
 const CTX_CACHE_CAP: usize = 16;
 
 /// Payload version of persisted per-function diagnostic entries; bump when
@@ -46,10 +46,135 @@ fn diag_key(cone: u64, fingerprint: u64) -> u64 {
     mix(mix(fnv1a(b"diag"), cone), fingerprint)
 }
 
-/// A shareable store of analysis contexts, keyed by program hash. Several
-/// engines (e.g. the stages of a pipeline) can share one store so a program
-/// analyzed by any of them hands its memoized artifacts to all.
-pub type CtxStore = Arc<Mutex<HashMap<u64, Arc<AnalysisCtx>>>>;
+/// A shareable LRU store of analysis contexts, keyed by program hash.
+/// Several engines (e.g. the stages of a pipeline, or every daemon
+/// connection) share one store so a program analyzed by any of them hands
+/// its memoized artifacts to all.
+///
+/// Residency is capped: beyond the capacity the least-recently-used
+/// context is evicted (each slot anchors a program's whole memoized query
+/// graph, so an uncapped store grows without bound in a long-lived
+/// daemon). The seed behaviour — clearing the whole map when full — threw
+/// away every hot context whenever one cold program arrived.
+pub struct CtxStore {
+    inner: Mutex<CtxStoreInner>,
+    capacity: usize,
+}
+
+#[derive(Default)]
+struct CtxStoreInner {
+    /// hash → (context, last-use stamp).
+    slots: HashMap<u64, (Arc<AnalysisCtx>, u64)>,
+    tick: u64,
+    evictions: u64,
+}
+
+impl Default for CtxStore {
+    fn default() -> Self {
+        CtxStore::new()
+    }
+}
+
+impl CtxStore {
+    /// A store with the default capacity (16 resident programs).
+    pub fn new() -> CtxStore {
+        CtxStore::with_capacity(CTX_CACHE_CAP)
+    }
+
+    /// A store holding at most `capacity` contexts (min 1).
+    pub fn with_capacity(capacity: usize) -> CtxStore {
+        CtxStore {
+            inner: Mutex::new(CtxStoreInner::default()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Number of resident contexts.
+    pub fn len(&self) -> usize {
+        self.lock().slots.len()
+    }
+
+    /// True when no context is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Contexts evicted over the store's lifetime.
+    pub fn evictions(&self) -> u64 {
+        self.lock().evictions
+    }
+
+    /// True when a context for `hash` is resident (does not touch
+    /// recency).
+    pub fn contains(&self, hash: u64) -> bool {
+        self.lock().slots.contains_key(&hash)
+    }
+
+    /// The resident context for `hash`, bumping its recency.
+    pub fn get(&self, hash: u64) -> Option<Arc<AnalysisCtx>> {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.slots.get_mut(&hash).map(|(ctx, stamp)| {
+            *stamp = tick;
+            Arc::clone(ctx)
+        })
+    }
+
+    /// Returns the resident context for `hash`, or builds one with `make`
+    /// and inserts it (evicting the least-recently-used context beyond
+    /// capacity). The second element is true on a hit. The lock is held
+    /// across `make`, so concurrent engines never build duplicate
+    /// contexts for one program.
+    pub fn get_or_insert_with(
+        &self,
+        hash: u64,
+        make: impl FnOnce() -> Arc<AnalysisCtx>,
+    ) -> (Arc<AnalysisCtx>, bool) {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some((ctx, stamp)) = inner.slots.get_mut(&hash) {
+            *stamp = tick;
+            return (Arc::clone(ctx), true);
+        }
+        let ctx = make();
+        inner.evict_beyond(self.capacity - 1);
+        inner.slots.insert(hash, (Arc::clone(&ctx), tick));
+        (ctx, false)
+    }
+
+    /// Inserts (or refreshes) a context, evicting LRU entries beyond
+    /// capacity.
+    pub fn insert(&self, hash: u64, ctx: Arc<AnalysisCtx>) {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(slot) = inner.slots.get_mut(&hash) {
+            *slot = (ctx, tick);
+            return;
+        }
+        inner.evict_beyond(self.capacity - 1);
+        inner.slots.insert(hash, (ctx, tick));
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CtxStoreInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl CtxStoreInner {
+    /// Evicts least-recently-used slots until at most `keep` remain.
+    fn evict_beyond(&mut self, keep: usize) {
+        while self.slots.len() > keep {
+            let Some((&victim, _)) = self.slots.iter().min_by_key(|(_, (_, stamp))| *stamp) else {
+                return;
+            };
+            self.slots.remove(&victim);
+            self.evictions += 1;
+        }
+    }
+}
 
 /// The analysis engine. Cheap to clone the configuration of (checkers are
 /// shared `Arc`s, the cache is shared by design).
@@ -57,7 +182,7 @@ pub struct Engine {
     checkers: Vec<Arc<dyn Checker>>,
     threads: usize,
     cache: Arc<DiagnosticCache>,
-    ctx_store: CtxStore,
+    ctx_store: Arc<CtxStore>,
     pts_cache: Arc<ConstraintCache>,
     persist: Option<Arc<PersistLayer>>,
 }
@@ -75,7 +200,7 @@ impl Engine {
             checkers: Vec::new(),
             threads: 0,
             cache: Arc::new(DiagnosticCache::new()),
-            ctx_store: Arc::new(Mutex::new(HashMap::new())),
+            ctx_store: Arc::new(CtxStore::new()),
             pts_cache: Arc::new(ConstraintCache::new()),
             persist: None,
         }
@@ -101,7 +226,7 @@ impl Engine {
     }
 
     /// Shares an existing context store (see [`CtxStore`]).
-    pub fn with_ctx_store(mut self, store: CtxStore) -> Engine {
+    pub fn with_ctx_store(mut self, store: Arc<CtxStore>) -> Engine {
         self.ctx_store = store;
         self
     }
@@ -139,7 +264,7 @@ impl Engine {
     }
 
     /// The engine's context store.
-    pub fn ctx_store(&self) -> CtxStore {
+    pub fn ctx_store(&self) -> Arc<CtxStore> {
         Arc::clone(&self.ctx_store)
     }
 
@@ -164,23 +289,13 @@ impl Engine {
     /// its AST copy) is built on a miss.
     pub fn context_for(&self, program: &Program) -> (Arc<AnalysisCtx>, bool) {
         let hash = AnalysisCtx::hash_program(program);
-        let mut cache = self
-            .ctx_store
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
-        if let Some(existing) = cache.get(&hash) {
-            return (Arc::clone(existing), true);
-        }
-        if cache.len() >= CTX_CACHE_CAP {
-            cache.clear();
-        }
-        let ctx = Arc::new(
-            AnalysisCtx::with_hash(program, hash)
-                .with_pointsto_cache(Arc::clone(&self.pts_cache))
-                .with_persist(self.persist.clone()),
-        );
-        cache.insert(hash, Arc::clone(&ctx));
-        (ctx, false)
+        self.ctx_store.get_or_insert_with(hash, || {
+            Arc::new(
+                AnalysisCtx::with_hash(program, hash)
+                    .with_pointsto_cache(Arc::clone(&self.pts_cache))
+                    .with_persist(self.persist.clone()),
+            )
+        })
     }
 
     /// Analyzes a program with every registered checker.
@@ -218,14 +333,7 @@ impl Engine {
         }
         let (ctx, stats) = base.apply_edit(edited);
         let ctx = Arc::new(ctx);
-        let mut store = self
-            .ctx_store
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
-        if store.len() >= CTX_CACHE_CAP {
-            store.clear();
-        }
-        store.insert(hash, Arc::clone(&ctx));
+        self.ctx_store.insert(hash, Arc::clone(&ctx));
         (ctx, stats)
     }
 
@@ -342,6 +450,8 @@ impl Engine {
             if let Err(err) = layer.flush() {
                 eprintln!("ivy-engine: persist flush failed: {err}");
             }
+            // After the flush so this run's compaction is included.
+            stats.persist_pruned = layer.pruned();
         }
         Report::new(diagnostics, stats)
     }
@@ -364,6 +474,11 @@ impl Engine {
             .iter()
             .map(Diagnostic::from_value)
             .collect::<Option<Vec<_>>>()
+    }
+
+    /// Cumulative number of resident contexts evicted from the store.
+    pub fn ctx_evictions(&self) -> u64 {
+        self.ctx_store.evictions()
     }
 
     /// Fleet/batch mode: analyzes many program variants concurrently, with
@@ -394,5 +509,68 @@ impl Engine {
                 })
                 .collect()
         })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivy_cmir::parser::parse_program;
+
+    fn program_named(i: usize) -> Program {
+        parse_program(&format!("fn f{i}() -> u32 {{ return {i}; }}")).unwrap()
+    }
+
+    #[test]
+    fn ctx_store_evicts_in_lru_order() {
+        let store = CtxStore::with_capacity(3);
+        let engine = Engine::new().with_ctx_store(Arc::new(store));
+        let programs: Vec<Program> = (0..4).map(program_named).collect();
+        let hashes: Vec<u64> = programs.iter().map(AnalysisCtx::hash_program).collect();
+
+        for p in &programs[..3] {
+            engine.context_for(p);
+        }
+        assert_eq!(engine.ctx_store().len(), 3);
+        assert_eq!(engine.ctx_evictions(), 0);
+
+        // Touch the oldest so it is no longer the LRU victim.
+        let (_, hit) = engine.context_for(&programs[0]);
+        assert!(hit);
+
+        // Inserting a fourth evicts exactly the least-recently-used
+        // context (program 1), not the whole store and not program 0.
+        engine.context_for(&programs[3]);
+        let store = engine.ctx_store();
+        assert_eq!(store.len(), 3);
+        assert_eq!(engine.ctx_evictions(), 1);
+        assert!(store.contains(hashes[0]), "recently-touched survives");
+        assert!(!store.contains(hashes[1]), "LRU slot evicted");
+        assert!(store.contains(hashes[2]));
+        assert!(store.contains(hashes[3]));
+
+        // Eviction does not break reuse: a resident program is a hit.
+        let (_, hit) = engine.context_for(&programs[2]);
+        assert!(hit);
+        // An evicted program rebuilds (miss) and evicts the next LRU.
+        let (_, hit) = engine.context_for(&programs[1]);
+        assert!(!hit);
+        assert_eq!(engine.ctx_evictions(), 2);
+    }
+
+    #[test]
+    fn apply_edit_registers_through_the_lru_store() {
+        let store = Arc::new(CtxStore::with_capacity(2));
+        let engine = Engine::new().with_ctx_store(Arc::clone(&store));
+        let base_p = program_named(0);
+        let (base, _) = engine.context_for(&base_p);
+        let edited = program_named(1);
+        let (ctx, _) = engine.apply_edit(&base, &edited);
+        assert_eq!(ctx.program_hash, AnalysisCtx::hash_program(&edited));
+        assert_eq!(store.len(), 2);
+        // A third program evicts the LRU (the base).
+        engine.context_for(&program_named(2));
+        assert_eq!(store.evictions(), 1);
+        assert!(!store.contains(base.program_hash));
     }
 }

@@ -6,6 +6,7 @@
 //! checks, mirroring the manual debugging work described in §2.2 and §2.3.
 
 use serde::{Deserialize, Serialize};
+use serde_json::{Map, Value};
 use std::collections::BTreeSet;
 
 /// A seeded blocking-while-atomic bug (the ground truth for experiment E5).
@@ -74,6 +75,97 @@ impl GroundTruth {
             .map(|b| b.caller.clone())
             .collect()
     }
+
+    /// Serializes to a stable JSON object. The `derive(Serialize)` above
+    /// binds against the vendored no-op serde shim, so this hand-coded
+    /// encoding is the *actual* wire format — the oracle and the
+    /// experiment harness persist classification inputs through it.
+    pub fn to_value(&self) -> Value {
+        let bugs: Vec<Value> = self
+            .blocking_bugs
+            .iter()
+            .map(|b| {
+                let mut m = Map::new();
+                m.insert("caller".into(), Value::from(b.caller.as_str()));
+                m.insert("callee".into(), Value::from(b.callee.as_str()));
+                m.insert("description".into(), Value::from(b.description.as_str()));
+                Value::Object(m)
+            })
+            .collect();
+        let defects: Vec<Value> = self
+            .bad_free_defects
+            .iter()
+            .map(|d| {
+                let mut m = Map::new();
+                m.insert("function".into(), Value::from(d.function.as_str()));
+                if let Some(l) = &d.null_lvalue {
+                    m.insert("null_lvalue".into(), Value::from(l.as_str()));
+                }
+                m.insert(
+                    "needs_delayed_scope".into(),
+                    Value::from(d.needs_delayed_scope),
+                );
+                Value::Object(m)
+            })
+            .collect();
+        let strings = |set: &BTreeSet<String>| {
+            Value::Array(set.iter().map(|s| Value::from(s.as_str())).collect())
+        };
+        let mut root = Map::new();
+        root.insert("blocking_bugs".into(), Value::Array(bugs));
+        root.insert(
+            "false_positive_asserts".into(),
+            strings(&self.false_positive_asserts),
+        );
+        root.insert("bad_free_defects".into(), Value::Array(defects));
+        root.insert("trusted_functions".into(), strings(&self.trusted_functions));
+        Value::Object(root)
+    }
+
+    /// Decodes the [`GroundTruth::to_value`] form; `None` rejects
+    /// malformed input.
+    pub fn from_value(v: &Value) -> Option<GroundTruth> {
+        let text = |v: &Value, key: &str| -> Option<String> {
+            v.get(key).and_then(Value::as_str).map(String::from)
+        };
+        let string_set = |key: &str| -> Option<BTreeSet<String>> {
+            v.get(key)?
+                .as_array()?
+                .iter()
+                .map(|s| s.as_str().map(String::from))
+                .collect()
+        };
+        let blocking_bugs = v
+            .get("blocking_bugs")?
+            .as_array()?
+            .iter()
+            .map(|b| {
+                Some(BlockingBug {
+                    caller: text(b, "caller")?,
+                    callee: text(b, "callee")?,
+                    description: text(b, "description")?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?;
+        let bad_free_defects = v
+            .get("bad_free_defects")?
+            .as_array()?
+            .iter()
+            .map(|d| {
+                Some(BadFreeDefect {
+                    function: text(d, "function")?,
+                    null_lvalue: text(d, "null_lvalue"),
+                    needs_delayed_scope: d.get("needs_delayed_scope")?.as_bool()?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?;
+        Some(GroundTruth {
+            blocking_bugs,
+            false_positive_asserts: string_set("false_positive_asserts")?,
+            bad_free_defects,
+            trusted_functions: string_set("trusted_functions")?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -99,6 +191,42 @@ mod tests {
         };
         assert_eq!(gt.null_fixes().len(), 1);
         assert_eq!(gt.delayed_free_functions(), vec!["dentry_kill".to_string()]);
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let gt = GroundTruth {
+            blocking_bugs: vec![BlockingBug {
+                caller: "eth0_reset".into(),
+                callee: "kmalloc".into(),
+                description: "GFP_WAIT under spinlock".into(),
+            }],
+            false_positive_asserts: BTreeSet::from(["blk0_submit_wait".to_string()]),
+            bad_free_defects: vec![
+                BadFreeDefect {
+                    function: "cache0_release".into(),
+                    null_lvalue: Some("objcache_0".into()),
+                    needs_delayed_scope: false,
+                },
+                BadFreeDefect {
+                    function: "ring0_teardown".into(),
+                    null_lvalue: None,
+                    needs_delayed_scope: true,
+                },
+            ],
+            trusted_functions: BTreeSet::from(["ioread32".to_string()]),
+        };
+        let v = gt.to_value();
+        assert_eq!(GroundTruth::from_value(&v).unwrap(), gt);
+        // Through actual text too (the derive-based path never did this).
+        let text = serde_json::to_string(&v).unwrap();
+        let reparsed: Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(GroundTruth::from_value(&reparsed).unwrap(), gt);
+        // Defaults (and absent optional lvalues) survive.
+        let empty = GroundTruth::default();
+        assert_eq!(GroundTruth::from_value(&empty.to_value()).unwrap(), empty);
+        // Malformed input is rejected, not mis-decoded.
+        assert!(GroundTruth::from_value(&Value::from("nope")).is_none());
     }
 
     #[test]

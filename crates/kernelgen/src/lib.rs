@@ -32,9 +32,11 @@
 
 pub mod corpus;
 pub mod ground_truth;
+pub mod subsample;
 pub mod workloads;
 
 pub use ground_truth::{BadFreeDefect, BlockingBug, GroundTruth};
+pub use subsample::subsample_program;
 pub use workloads::{
     boot_workload, fork_workload, hbench_suite, light_use_workload, module_load_workload, Category,
     Workload,

@@ -1,0 +1,547 @@
+//! The compile-time lvalue → abstract-location map.
+//!
+//! The static points-to analysis abstracts the program's storage into
+//! [`Loc`]s by a purely syntax-directed scheme
+//! (`ivy_analysis::pointsto::constraints`). To compare a *dynamic* fact
+//! ("this assignment stored a pointer to that object") against the static
+//! solution, the oracle must abstract the run-time event the same way. This
+//! module mirrors the constraint generator's traversal over the AST once
+//! per program and records, for every syntactic lvalue, the abstract slot
+//! the analysis uses for it — plus the allocation-site numbering, which the
+//! generator assigns in traversal order per function and the tracer can
+//! therefore never reproduce from dynamic order alone (loops and branches
+//! reorder execution).
+//!
+//! Field slots are stored sensitivity-independently as `(composite, field)`
+//! pairs and materialized per [`Sensitivity`] at check time, so a single
+//! traced execution validates all three precision levels.
+
+use ivy_analysis::pointsto::{Loc, Sensitivity};
+use ivy_cmir::ast::{Block, Expr, Function, Program, Stmt};
+use ivy_cmir::pretty::expr_str;
+use ivy_cmir::typecheck::TypeCtx;
+use ivy_cmir::types::Type;
+use std::collections::HashMap;
+
+/// A sensitivity-independent abstract location.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AbsLoc {
+    /// A location identical at every sensitivity.
+    Exact(Loc),
+    /// A field slot: `Loc::Field` under field-sensitive analysis,
+    /// `Loc::Composite` otherwise (and always `Composite` for the
+    /// `<unknown>` composite, mirroring `field_loc`).
+    Field {
+        /// Composite type name (or `<unknown>`).
+        composite: String,
+        /// Field name.
+        field: String,
+    },
+}
+
+impl AbsLoc {
+    /// The concrete [`Loc`] this abstract location denotes at a precision
+    /// level (mirrors `ConstraintGen::field_loc`).
+    pub fn materialize(&self, sensitivity: Sensitivity) -> Loc {
+        match self {
+            AbsLoc::Exact(l) => l.clone(),
+            AbsLoc::Field { composite, field } => {
+                if sensitivity == Sensitivity::AndersenField && composite != "<unknown>" {
+                    Loc::Field {
+                        composite: composite.clone(),
+                        field: field.clone(),
+                    }
+                } else {
+                    Loc::Composite(composite.clone())
+                }
+            }
+        }
+    }
+}
+
+/// How the static analysis models a traced assignment's destination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SlotKind {
+    /// The slot is one of these locations directly: the stored value's
+    /// abstraction must be in `pts` of one of them.
+    Direct(Vec<AbsLoc>),
+    /// A store through a pointer (`*p = v`, `p[i] = v`): for some target
+    /// `t ∈ pts(ptr)`, the value's abstraction must be in `pts(t)`.
+    ThroughPtr(Vec<AbsLoc>),
+    /// An lvalue shape the analysis does not model; the oracle skips it.
+    Opaque,
+}
+
+/// Everything the map knows about one `(function, lvalue text)` pair.
+#[derive(Debug, Clone, Default)]
+pub struct SlotEntry {
+    /// Destination model(s). Multiple entries arise only when two
+    /// same-text lvalues in one function abstract differently (possible
+    /// with shadowing); any of them passing satisfies the check.
+    pub kinds: Vec<SlotKind>,
+    /// Syntactic abstractions of the right-hand sides assigned through
+    /// this lvalue, when determinable (`&x`, `&p->f`, function constants,
+    /// array decay). These extend the run-time candidate set: a concrete
+    /// address carries no record of *which* `&`-expression created it.
+    pub rhs_syntactic: Vec<AbsLoc>,
+}
+
+/// The per-program map from syntax to static abstraction.
+#[derive(Debug, Default)]
+pub struct AbstractionMap {
+    /// `(function, lvalue text)` → destination model for assignments.
+    slots: HashMap<(String, String), SlotEntry>,
+    /// `(function, lvalue text)` → rhs abstractions for `let` initialisers
+    /// (the destination is always the local itself).
+    decl_rhs: HashMap<(String, String), Vec<AbsLoc>>,
+    /// `(function, call text)` → static allocation sites (plural when the
+    /// same allocator call text occurs more than once in a function).
+    alloc_sites: HashMap<(String, String), Vec<String>>,
+}
+
+impl AbstractionMap {
+    /// Builds the map for a program by mirroring the constraint
+    /// generator's traversal.
+    pub fn build(program: &Program) -> AbstractionMap {
+        let mut map = AbstractionMap::default();
+        for func in program.functions.iter().filter(|f| f.body.is_some()) {
+            let mut b = Builder {
+                program,
+                ctx: TypeCtx::for_function(program, func),
+                func: func.name.clone(),
+                alloc_counter: 0,
+                map: &mut map,
+            };
+            let body = func.body.as_ref().expect("filtered");
+            b.walk_block(body);
+        }
+        map
+    }
+
+    /// The destination model for an assignment lvalue.
+    pub fn slot(&self, func: &str, lvalue_text: &str) -> Option<&SlotEntry> {
+        self.slots.get(&(func.to_string(), lvalue_text.to_string()))
+    }
+
+    /// The rhs abstractions recorded for a `let` initialiser.
+    pub fn decl_rhs(&self, func: &str, var: &str) -> &[AbsLoc] {
+        self.decl_rhs
+            .get(&(func.to_string(), var.to_string()))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The static allocation sites an allocator call text can denote.
+    pub fn alloc_sites(&self, func: &str, call_text: &str) -> &[String] {
+        self.alloc_sites
+            .get(&(func.to_string(), call_text.to_string()))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+}
+
+struct Builder<'p, 'm> {
+    program: &'p Program,
+    ctx: TypeCtx<'p>,
+    func: String,
+    alloc_counter: u32,
+    map: &'m mut AbstractionMap,
+}
+
+impl Builder<'_, '_> {
+    fn walk_block(&mut self, block: &Block) {
+        for stmt in &block.stmts {
+            self.walk_stmt(stmt);
+        }
+    }
+
+    /// Mirrors `ConstraintGen::gen_stmt`: same traversal order (so the
+    /// allocation-site counter agrees), same binding discipline (bindings
+    /// are flow-ordered and never popped — the analysis is
+    /// flow-insensitive).
+    fn walk_stmt(&mut self, stmt: &Stmt) {
+        match stmt {
+            Stmt::Local(d, init) => {
+                if let Some(init) = init {
+                    let rhs = self.rhs_abstraction(init);
+                    self.walk_value(init);
+                    if !rhs.is_empty() {
+                        self.map
+                            .decl_rhs
+                            .entry((self.func.clone(), d.name.clone()))
+                            .or_default()
+                            .extend(rhs);
+                    }
+                }
+                self.ctx.bind(&d.name, d.ty.clone());
+            }
+            Stmt::Assign(lhs, rhs, _) => {
+                let rhs_abs = self.rhs_abstraction(rhs);
+                self.walk_value(rhs);
+                let kind = self.classify_lvalue(lhs);
+                self.walk_lvalue_exprs(lhs);
+                let entry = self
+                    .map
+                    .slots
+                    .entry((self.func.clone(), expr_str(lhs)))
+                    .or_default();
+                if !entry.kinds.contains(&kind) {
+                    entry.kinds.push(kind);
+                }
+                entry.rhs_syntactic.extend(rhs_abs);
+            }
+            Stmt::Expr(e, _) | Stmt::Return(Some(e), _) => self.walk_value(e),
+            Stmt::Return(None, _) | Stmt::Break(_) | Stmt::Continue(_) => {}
+            Stmt::If(c, then_b, else_b, _) => {
+                self.walk_value(c);
+                self.walk_block(then_b);
+                if let Some(b) = else_b {
+                    self.walk_block(b);
+                }
+            }
+            Stmt::While(c, body, _) => {
+                self.walk_value(c);
+                self.walk_block(body);
+            }
+            Stmt::Block(b) | Stmt::DelayedFreeScope(b, _) => self.walk_block(b),
+            // `gen_stmt` walks check expressions without generating
+            // constraints, so no allocation sites are numbered inside them.
+            Stmt::Check(..) => {}
+        }
+    }
+
+    /// Mirrors `gen_store`: what does the analysis treat as the
+    /// destination of `lhs = ...`?
+    fn classify_lvalue(&mut self, lhs: &Expr) -> SlotKind {
+        match lhs {
+            Expr::Var(name) => match self.var_loc(name) {
+                Some(l) => SlotKind::Direct(vec![l]),
+                None => SlotKind::Opaque,
+            },
+            Expr::Deref(inner) | Expr::Index(inner, _) => {
+                // `gen_store` emits `Store { dst: gen_value(inner) }`. When
+                // `inner`'s value abstraction is an address-of (arrays and
+                // array fields decay), the store lands directly in that
+                // location; when it is a pointer-valued location, the store
+                // goes through its points-to set.
+                let inner = peel_casts(inner);
+                let decayed = self.decay_target(inner);
+                if !decayed.is_empty() {
+                    return SlotKind::Direct(decayed);
+                }
+                match inner {
+                    Expr::Var(name) => match self.var_loc(name) {
+                        Some(l) => SlotKind::ThroughPtr(vec![l]),
+                        None => SlotKind::Opaque,
+                    },
+                    Expr::Arrow(obj, field) | Expr::Field(obj, field) => {
+                        let comp = self.ctx.composite_name_of(obj);
+                        SlotKind::ThroughPtr(vec![field_abs(comp, field)])
+                    }
+                    _ => SlotKind::Opaque,
+                }
+            }
+            Expr::Arrow(obj, field) | Expr::Field(obj, field) => {
+                let comp = self.ctx.composite_name_of(obj);
+                SlotKind::Direct(vec![field_abs(comp, field)])
+            }
+            Expr::Cast(_, inner) => self.classify_lvalue(inner),
+            _ => SlotKind::Opaque,
+        }
+    }
+
+    /// The locations `e` decays to when used as a value (mirrors the
+    /// array-decay cases of `gen_value`): array variables and array-typed
+    /// fields become the address of their own storage.
+    fn decay_target(&self, e: &Expr) -> Vec<AbsLoc> {
+        match e {
+            Expr::Var(name) => {
+                let is_array = self
+                    .ctx
+                    .lookup(name)
+                    .map(|t| matches!(self.program.resolve_type(&t), Type::Array(..)))
+                    .unwrap_or(false);
+                if is_array {
+                    self.var_loc(name).into_iter().collect()
+                } else {
+                    Vec::new()
+                }
+            }
+            Expr::Arrow(_, _) | Expr::Field(_, _) => {
+                let is_array = self
+                    .ctx
+                    .type_of(e)
+                    .map(|t| matches!(self.program.resolve_type(&t), Type::Array(..)))
+                    .unwrap_or(false);
+                if is_array {
+                    let (Expr::Arrow(obj, field) | Expr::Field(obj, field)) = e else {
+                        unreachable!("matched above");
+                    };
+                    vec![field_abs(self.ctx.composite_name_of(obj), field)]
+                } else {
+                    Vec::new()
+                }
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Walks the sub-expressions a `gen_store` destination evaluates (so
+    /// allocator calls inside complex lvalues stay correctly numbered).
+    fn walk_lvalue_exprs(&mut self, lhs: &Expr) {
+        match lhs {
+            Expr::Var(_) => {}
+            Expr::Deref(inner) | Expr::Index(inner, _) => self.walk_value(inner),
+            Expr::Arrow(obj, _) | Expr::Field(obj, _) => self.walk_value(obj),
+            Expr::Cast(_, inner) => self.walk_lvalue_exprs(inner),
+            other => self.walk_value(other),
+        }
+    }
+
+    /// Mirrors the recursion structure of `gen_value` for the one side
+    /// effect the map needs: allocation-site numbering. Direct calls to
+    /// `#[allocator]` functions are numbered in traversal order; all other
+    /// expression shapes just recurse the way the generator does (note:
+    /// the generator does not visit index expressions).
+    fn walk_value(&mut self, e: &Expr) {
+        match e {
+            Expr::Int(_) | Expr::Str(_) | Expr::Null | Expr::SizeOf(_) | Expr::Var(_) => {}
+            Expr::Unary(_, inner) | Expr::Cast(_, inner) => self.walk_value(inner),
+            Expr::Binary(_, a, b) => {
+                self.walk_value(a);
+                self.walk_value(b);
+            }
+            Expr::Deref(inner) | Expr::Index(inner, _) => self.walk_value(inner),
+            Expr::Arrow(obj, _) | Expr::Field(obj, _) => self.walk_value(obj),
+            Expr::AddrOf(inner) => match &**inner {
+                Expr::Var(_) => {}
+                Expr::Arrow(obj, _) | Expr::Field(obj, _) => self.walk_value(obj),
+                Expr::Index(base, _) => self.walk_value(base),
+                Expr::Deref(p) => self.walk_value(p),
+                other => self.walk_value(other),
+            },
+            Expr::Call(callee, args) => {
+                for a in args {
+                    self.walk_value(a);
+                }
+                match &**callee {
+                    Expr::Var(name) if self.is_direct_callee(name) => {
+                        let f = self.program.function(name).expect("checked");
+                        if f.attrs.allocator {
+                            self.alloc_counter += 1;
+                            let site = format!("{}#{}", self.func, self.alloc_counter);
+                            self.map
+                                .alloc_sites
+                                .entry((self.func.clone(), expr_str(e)))
+                                .or_default()
+                                .push(site);
+                        }
+                    }
+                    other => self.walk_value(other),
+                }
+            }
+        }
+    }
+
+    /// Mirrors `gen_value`'s direct-call condition (`ctx_local_shadows`).
+    fn is_direct_callee(&self, name: &str) -> bool {
+        if self.program.function(name).is_none() {
+            return false;
+        }
+        match self.ctx.lookup(name) {
+            Some(Type::Func(_)) | None => true,
+            Some(_) => false,
+        }
+    }
+
+    /// Mirrors `ConstraintGen::var_loc`.
+    fn var_loc(&self, name: &str) -> Option<AbsLoc> {
+        if self.ctx.lookup(name).is_some() {
+            if self.program.global(name).is_some() {
+                return Some(AbsLoc::Exact(Loc::Global(name.to_string())));
+            }
+            if self.program.function(name).is_some()
+                && matches!(self.ctx.lookup(name), Some(Type::Func(_)) | None)
+            {
+                return None;
+            }
+            return Some(AbsLoc::Exact(Loc::Local {
+                func: self.func.clone(),
+                var: name.to_string(),
+            }));
+        }
+        if self.program.global(name).is_some() {
+            return Some(AbsLoc::Exact(Loc::Global(name.to_string())));
+        }
+        None
+    }
+
+    /// The syntactic abstraction of a value expression, when one is
+    /// determinable without running: address-of forms, function constants,
+    /// and array decay. Mirrors the `AddrOf`/`Func` cases of `gen_value`.
+    /// Casts are transparent. An empty result means "resolve at run time".
+    fn rhs_abstraction(&self, e: &Expr) -> Vec<AbsLoc> {
+        let e = peel_casts(e);
+        match e {
+            Expr::Var(name) if self.is_direct_callee(name) => {
+                vec![AbsLoc::Exact(Loc::Func(name.to_string()))]
+            }
+            Expr::AddrOf(inner) => match &**inner {
+                Expr::Var(name) => {
+                    if self.is_direct_callee(name) {
+                        vec![AbsLoc::Exact(Loc::Func(name.to_string()))]
+                    } else {
+                        self.var_loc(name).into_iter().collect()
+                    }
+                }
+                Expr::Arrow(obj, field) | Expr::Field(obj, field) => {
+                    vec![field_abs(self.ctx.composite_name_of(obj), field)]
+                }
+                Expr::Index(base, _) => self.decay_or_var(base),
+                _ => Vec::new(),
+            },
+            // Everything else (loads, calls, arithmetic) resolves at run
+            // time; allocator-call results in particular resolve through
+            // the `Alloc` event, whose site numbers this same traversal
+            // assigns.
+            other => self.decay_target(other),
+        }
+    }
+
+    /// `&base[i]` follows `gen_value(base)`: arrays (and array fields)
+    /// decay to their own location; pointer bases contribute nothing
+    /// syntactically.
+    fn decay_or_var(&self, base: &Expr) -> Vec<AbsLoc> {
+        self.decay_target(peel_casts(base))
+    }
+}
+
+fn field_abs(composite: Option<String>, field: &str) -> AbsLoc {
+    AbsLoc::Field {
+        composite: composite.unwrap_or_else(|| "<unknown>".to_string()),
+        field: field.to_string(),
+    }
+}
+
+fn peel_casts(e: &Expr) -> &Expr {
+    match e {
+        Expr::Cast(_, inner) => peel_casts(inner),
+        other => other,
+    }
+}
+
+/// Convenience used by the checker: is a function's return type a pointer
+/// (so `PtrReturn` events have a static `Ret` location to check against)?
+pub fn returns_pointer(program: &Program, func: &Function) -> bool {
+    matches!(
+        program.resolve_type(&func.ret),
+        Type::Ptr(..) | Type::Func(_)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivy_cmir::parser::parse_program;
+
+    const SRC: &str = r#"
+        #[allocator]
+        extern fn kmalloc(size: u32, flags: u32) -> void *;
+        struct node { next: struct node *; buf: u8[8]; }
+        global head: struct node *;
+        global slots: u8 *[4];
+        fn mk(n: u32) -> struct node * {
+            let a: struct node * = kmalloc(sizeof(struct node), 0) as struct node *;
+            let b: struct node * = kmalloc(sizeof(struct node), 0) as struct node *;
+            a->next = b;
+            head = a;
+            slots[0] = &a->buf[0];
+            *b = *a;
+            return a;
+        }
+    "#;
+
+    #[test]
+    fn slots_and_alloc_sites_mirror_the_generator() {
+        let p = parse_program(SRC).unwrap();
+        let m = AbstractionMap::build(&p);
+
+        // Two identical allocator call texts -> two candidate sites.
+        let sites = m.alloc_sites("mk", "kmalloc(sizeof(struct node), 0)");
+        assert_eq!(sites, ["mk#1", "mk#2"]);
+
+        // Field store.
+        let e = m.slot("mk", "a->next").unwrap();
+        assert_eq!(
+            e.kinds,
+            vec![SlotKind::Direct(vec![AbsLoc::Field {
+                composite: "node".into(),
+                field: "next".into()
+            }])]
+        );
+
+        // Global store records the function-constant-free rhs runtime-only.
+        let e = m.slot("mk", "head").unwrap();
+        assert_eq!(
+            e.kinds,
+            vec![SlotKind::Direct(vec![AbsLoc::Exact(Loc::Global(
+                "head".into()
+            ))])]
+        );
+
+        // Store into a global pointer array is a direct store to the
+        // array's own location (array decay), with the `&a->buf[0]` rhs
+        // contributing its field abstraction as a candidate.
+        let e = m.slot("mk", "slots[0]").unwrap();
+        assert_eq!(
+            e.kinds,
+            vec![SlotKind::Direct(vec![AbsLoc::Exact(Loc::Global(
+                "slots".into()
+            ))])]
+        );
+        assert_eq!(
+            e.rhs_syntactic,
+            vec![AbsLoc::Field {
+                composite: "node".into(),
+                field: "buf".into()
+            }]
+        );
+
+        // `*b = ...` stores through the pointer b.
+        let e = m.slot("mk", "*b").unwrap();
+        assert_eq!(
+            e.kinds,
+            vec![SlotKind::ThroughPtr(vec![AbsLoc::Exact(Loc::Local {
+                func: "mk".into(),
+                var: "b".into()
+            })])]
+        );
+    }
+
+    #[test]
+    fn materialization_tracks_sensitivity() {
+        let f = AbsLoc::Field {
+            composite: "node".into(),
+            field: "next".into(),
+        };
+        assert_eq!(
+            f.materialize(Sensitivity::AndersenField),
+            Loc::Field {
+                composite: "node".into(),
+                field: "next".into()
+            }
+        );
+        assert_eq!(
+            f.materialize(Sensitivity::Andersen),
+            Loc::Composite("node".into())
+        );
+        let unknown = AbsLoc::Field {
+            composite: "<unknown>".into(),
+            field: "x".into(),
+        };
+        assert_eq!(
+            unknown.materialize(Sensitivity::AndersenField),
+            Loc::Composite("<unknown>".into())
+        );
+    }
+}

@@ -1,0 +1,292 @@
+//! Collecting dynamic facts: the oracle's [`Tracer`] implementation.
+//!
+//! Every pointer event is resolved *at event time* (stack frames are only
+//! live then) into a set of **candidate abstractions** — every abstract
+//! location the static analysis could legitimately use for the observed
+//! target address:
+//!
+//! * code addresses → the exact `Loc::Func`;
+//! * stack addresses → the exact `Loc::Local` of the live slot;
+//! * global addresses → the global itself plus every `(composite, field)`
+//!   whose storage covers the offset (via `LayoutCtx::field_path_at`);
+//! * heap addresses → the allocation site(s) recorded when the object was
+//!   created, plus any address-of abstractions previously *witnessed* for
+//!   that exact address (the alias registry: a concrete address carries no
+//!   record of whether it was derived as `&obj->field`).
+//!
+//! Breadth on the candidate side can only mask a violation, never invent
+//! one — the right bias for a CI-gated soundness oracle. Values with *no*
+//! candidates (string literals, dangling pointers, objects from allocators
+//! the program never declared) are skipped and counted.
+
+use crate::absmap::{AbsLoc, AbstractionMap};
+use ivy_analysis::pointsto::{Loc, Sensitivity};
+use ivy_cmir::layout::LayoutCtx;
+use ivy_cmir::pretty::expr_str;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// The identity of an observed pointer-valued slot.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SlotId {
+    /// An assignment lvalue, `(function, lvalue text, was a declaration)`.
+    Lvalue(String, String, bool),
+    /// A bound parameter, `(function, parameter)`.
+    Param(String, String),
+    /// A returned value.
+    Ret(String),
+}
+
+impl SlotId {
+    /// Human-readable form for violation messages.
+    pub fn describe(&self) -> String {
+        match self {
+            SlotId::Lvalue(f, t, true) => format!("{f}: let {t} = ..."),
+            SlotId::Lvalue(f, t, false) => format!("{f}: {t} = ..."),
+            SlotId::Param(f, p) => format!("{f}(param {p})"),
+            SlotId::Ret(f) => format!("return of {f}"),
+        }
+    }
+}
+
+/// Candidate abstractions of one observed pointer value, in both
+/// field-sensitive and field-insensitive forms (the subsumption check
+/// intersects with the static solution of whichever sensitivity is being
+/// validated).
+pub type Candidates = BTreeSet<Loc>;
+
+/// The dynamic facts of one or more traced executions.
+#[derive(Debug, Default)]
+pub struct DynFacts {
+    /// Deduplicated pointer observations.
+    pub ptr_facts: BTreeSet<(SlotId, Vec<Loc>)>,
+    /// Deduplicated `(caller, callee text, target)` indirect-call facts.
+    pub indirect_facts: BTreeSet<(String, String, String)>,
+    /// `(caller, callee)` blocking-in-atomic events (deduplicated).
+    pub blocking_facts: BTreeSet<(String, String)>,
+    /// `(function, delayed)` bad-free events (deduplicated).
+    pub bad_free_facts: BTreeSet<(String, bool)>,
+    /// `(function, check kind)` failed run-time checks (deduplicated).
+    pub check_failure_facts: BTreeSet<(String, String)>,
+    /// Raw pointer events observed (before deduplication).
+    pub ptr_events: u64,
+    /// Pointer events skipped because the target had no static
+    /// abstraction (rodata, dangling, undeclared allocator, ...).
+    pub unresolved: u64,
+    /// Null-valued pointer events (not facts: the analysis does not model
+    /// null).
+    pub nulls: u64,
+}
+
+impl DynFacts {
+    /// Merges facts from another execution (e.g. a second entry point).
+    pub fn merge(&mut self, other: DynFacts) {
+        self.ptr_facts.extend(other.ptr_facts);
+        self.indirect_facts.extend(other.indirect_facts);
+        self.blocking_facts.extend(other.blocking_facts);
+        self.bad_free_facts.extend(other.bad_free_facts);
+        self.check_failure_facts.extend(other.check_failure_facts);
+        self.ptr_events += other.ptr_events;
+        self.unresolved += other.unresolved;
+        self.nulls += other.nulls;
+    }
+}
+
+/// The oracle's tracer: one per VM (heap addresses are only meaningful
+/// within one run). Take it back with [`ivy_vm::Vm::take_tracer`] and
+/// [`OracleTracer::into_facts`] when the run completes.
+pub struct OracleTracer {
+    map: Arc<AbstractionMap>,
+    facts: DynFacts,
+    /// Heap object base → static allocation-site candidates.
+    heap_sites: HashMap<u32, Vec<String>>,
+    /// Exact address → address-of abstractions witnessed for it.
+    alias_registry: BTreeMap<u32, BTreeSet<Loc>>,
+}
+
+impl OracleTracer {
+    /// Creates a tracer over a program's abstraction map.
+    pub fn new(map: Arc<AbstractionMap>) -> OracleTracer {
+        OracleTracer {
+            map,
+            facts: DynFacts::default(),
+            heap_sites: HashMap::new(),
+            alias_registry: BTreeMap::new(),
+        }
+    }
+
+    /// The collected facts.
+    pub fn into_facts(self) -> DynFacts {
+        self.facts
+    }
+
+    /// Resolves a concrete pointer value to its candidate abstractions.
+    /// `None` means "skip this event" (null or no abstraction exists).
+    fn candidates(&mut self, vm: &ivy_vm::Vm, value: u32) -> Option<Candidates> {
+        use ivy_vm::ResolvedAddr;
+        let mut out: Candidates = match vm.resolve_addr(value) {
+            ResolvedAddr::Null => {
+                self.facts.nulls += 1;
+                return None;
+            }
+            ResolvedAddr::Code { func } => BTreeSet::from([Loc::Func(func)]),
+            ResolvedAddr::StackLocal { func, var, .. } => {
+                BTreeSet::from([Loc::Local { func, var }])
+            }
+            ResolvedAddr::Global { name, offset } => {
+                let mut set = BTreeSet::from([Loc::Global(name.clone())]);
+                if let Some(g) = vm.program().global(&name) {
+                    let layout = LayoutCtx::new(vm.program());
+                    for (composite, field) in layout.field_path_at(&g.decl.ty, u64::from(offset)) {
+                        set.insert(Loc::Composite(composite.clone()));
+                        set.insert(Loc::Field { composite, field });
+                    }
+                }
+                set
+            }
+            ResolvedAddr::Heap { base, .. } => self
+                .heap_sites
+                .get(&base)
+                .map(|sites| {
+                    sites
+                        .iter()
+                        .map(|s| Loc::Alloc { site: s.clone() })
+                        .collect()
+                })
+                .unwrap_or_default(),
+            ResolvedAddr::Rodata | ResolvedAddr::Unknown => BTreeSet::new(),
+        };
+        if let Some(aliases) = self.alias_registry.get(&value) {
+            out.extend(aliases.iter().cloned());
+        }
+        if out.is_empty() {
+            self.facts.unresolved += 1;
+            return None;
+        }
+        Some(out)
+    }
+
+    fn record_ptr(&mut self, slot: SlotId, candidates: Candidates) {
+        self.facts
+            .ptr_facts
+            .insert((slot, candidates.into_iter().collect()));
+    }
+}
+
+/// The tracer handle actually handed to the VM: forwards every event into
+/// an [`OracleTracer`] the harness keeps shared ownership of (so the facts
+/// survive the `Box<dyn Tracer>` round-trip without downcasting).
+pub struct SharedOracleTracer(pub std::rc::Rc<std::cell::RefCell<OracleTracer>>);
+
+impl ivy_vm::Tracer for SharedOracleTracer {
+    fn on_event(&mut self, vm: &ivy_vm::Vm, event: ivy_vm::TraceEvent<'_>) {
+        self.0.borrow_mut().on_event(vm, event);
+    }
+}
+
+impl ivy_vm::Tracer for OracleTracer {
+    fn on_event(&mut self, vm: &ivy_vm::Vm, event: ivy_vm::TraceEvent<'_>) {
+        use ivy_vm::TraceEvent;
+        match event {
+            TraceEvent::PtrAssign {
+                func,
+                lvalue,
+                decl,
+                value,
+            } => {
+                self.facts.ptr_events += 1;
+                let text = expr_str(lvalue);
+                // Extend the candidates with the syntactic abstractions of
+                // the right-hand sides this lvalue is assigned from, and
+                // remember them for the exact address (the alias
+                // registry): `q = &p->f; r = q;` must let `r`'s check see
+                // the field abstraction.
+                let syn: Vec<Loc> = if decl {
+                    self.map.decl_rhs(func, &text)
+                } else {
+                    self.map
+                        .slot(func, &text)
+                        .map(|e| e.rhs_syntactic.as_slice())
+                        .unwrap_or(&[])
+                }
+                .iter()
+                .flat_map(|a| match a {
+                    AbsLoc::Exact(l) => vec![l.clone()],
+                    AbsLoc::Field { composite, field } => vec![
+                        AbsLoc::Field {
+                            composite: composite.clone(),
+                            field: field.clone(),
+                        }
+                        .materialize(Sensitivity::AndersenField),
+                        Loc::Composite(composite.clone()),
+                    ],
+                })
+                .collect();
+                if !syn.is_empty() && value != 0 {
+                    self.alias_registry
+                        .entry(value)
+                        .or_default()
+                        .extend(syn.iter().cloned());
+                }
+                let Some(mut candidates) = self.candidates(vm, value) else {
+                    return;
+                };
+                candidates.extend(syn);
+                self.record_ptr(SlotId::Lvalue(func.to_string(), text, decl), candidates);
+            }
+            TraceEvent::PtrParam { func, param, value } => {
+                self.facts.ptr_events += 1;
+                let Some(candidates) = self.candidates(vm, value) else {
+                    return;
+                };
+                self.record_ptr(
+                    SlotId::Param(func.to_string(), param.to_string()),
+                    candidates,
+                );
+            }
+            TraceEvent::PtrReturn { func, value } => {
+                self.facts.ptr_events += 1;
+                let Some(candidates) = self.candidates(vm, value) else {
+                    return;
+                };
+                self.record_ptr(SlotId::Ret(func.to_string()), candidates);
+            }
+            TraceEvent::IndirectCall {
+                caller,
+                callee_text,
+                target,
+            } => {
+                self.facts.indirect_facts.insert((
+                    caller.to_string(),
+                    callee_text,
+                    target.to_string(),
+                ));
+            }
+            TraceEvent::Alloc {
+                func,
+                call_text,
+                base,
+            } => {
+                if base != 0 {
+                    self.heap_sites
+                        .insert(base, self.map.alloc_sites(func, &call_text).to_vec());
+                }
+            }
+            TraceEvent::BlockedInAtomic { caller, callee, .. } => {
+                self.facts
+                    .blocking_facts
+                    .insert((caller.to_string(), callee.to_string()));
+            }
+            TraceEvent::BadFree { func, delayed, .. } => {
+                self.facts
+                    .bad_free_facts
+                    .insert((func.to_string(), delayed));
+            }
+            TraceEvent::CheckFailed { func, kind } => {
+                self.facts
+                    .check_failure_facts
+                    .insert((func.to_string(), kind.to_string()));
+            }
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! The oracle's report: fact counts, violations with reproducers, and
+//! per-checker precision, with a stable JSON encoding.
+
+use crate::check::{Precision, Violation};
+use serde_json::{Map, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A minimized witness of a soundness violation: run the entry session on
+/// `source` (in order — later entries may rely on state earlier ones set
+/// up) and the reported dynamic fact escapes the static answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reproducer {
+    /// The (minimized) KC program.
+    pub source: String,
+    /// The traced session's entries, in execution order.
+    pub entries: Vec<crate::EntrySpec>,
+}
+
+impl Reproducer {
+    /// Renders the reproducer for a report or failure message.
+    pub fn render(&self) -> String {
+        let session = self
+            .entries
+            .iter()
+            .map(|e| {
+                format!(
+                    "{}({})",
+                    e.entry,
+                    e.args
+                        .iter()
+                        .map(|a| a.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("; ");
+        format!(
+            "// reproduce: run the session `{session}` with the tracer attached\n{}",
+            self.source
+        )
+    }
+}
+
+/// Counts of the dynamic facts an oracle run traced and checked.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FactCounts {
+    /// Deduplicated pointer observations checked.
+    pub ptr_facts: usize,
+    /// Deduplicated indirect-call resolutions checked.
+    pub indirect_facts: usize,
+    /// Deduplicated blocking-in-atomic events checked.
+    pub blocking_facts: usize,
+    /// Deduplicated bad-free events checked.
+    pub bad_free_facts: usize,
+    /// Deduplicated failed run-time checks traced.
+    pub check_failures: usize,
+    /// Raw pointer events observed before deduplication.
+    pub ptr_events: u64,
+    /// Pointer events skipped for lack of a static abstraction.
+    pub unresolved: u64,
+}
+
+impl FactCounts {
+    /// Total deduplicated checked facts.
+    pub fn total(&self) -> usize {
+        self.ptr_facts + self.indirect_facts + self.blocking_facts + self.bad_free_facts
+    }
+}
+
+/// The outcome of running the oracle over one or more programs.
+#[derive(Debug, Clone, Default)]
+pub struct OracleReport {
+    /// Programs driven through the oracle.
+    pub programs: usize,
+    /// Entry executions performed (programs × entries).
+    pub entries_run: usize,
+    /// Entry executions that trapped (their partial trace still counts).
+    pub traps: usize,
+    /// Traced fact counts, aggregated.
+    pub facts: FactCounts,
+    /// Soundness violations (empty is the acceptance criterion).
+    pub violations: Vec<Violation>,
+    /// Precision per sensitivity name.
+    pub precision: BTreeMap<String, Precision>,
+    /// The `(caller, callee)` blocking-in-atomic events observed — the
+    /// *dynamic* ground truth experiments classify diagnostics against.
+    pub observed_blocking: BTreeSet<(String, String)>,
+    /// Functions in which a bad free was observed.
+    pub observed_bad_free_functions: BTreeSet<String>,
+}
+
+impl OracleReport {
+    /// True when no dynamic fact escaped any static analysis.
+    pub fn is_sound(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Merges another report (e.g. a second program of a fleet run).
+    /// Precision rows are summed per sensitivity.
+    pub fn merge(&mut self, other: OracleReport) {
+        self.programs += other.programs;
+        self.entries_run += other.entries_run;
+        self.traps += other.traps;
+        self.facts.ptr_facts += other.facts.ptr_facts;
+        self.facts.indirect_facts += other.facts.indirect_facts;
+        self.facts.blocking_facts += other.facts.blocking_facts;
+        self.facts.bad_free_facts += other.facts.bad_free_facts;
+        self.facts.check_failures += other.facts.check_failures;
+        self.facts.ptr_events += other.facts.ptr_events;
+        self.facts.unresolved += other.facts.unresolved;
+        self.violations.extend(other.violations);
+        self.observed_blocking.extend(other.observed_blocking);
+        self.observed_bad_free_functions
+            .extend(other.observed_bad_free_functions);
+        for (sens, p) in other.precision {
+            let row = self.precision.entry(sens).or_default();
+            merge_row(&mut row.pointsto, p.pointsto);
+            merge_row(&mut row.indirect, p.indirect);
+            merge_row(&mut row.blockstop, p.blockstop);
+            merge_row(&mut row.ccount, p.ccount);
+        }
+    }
+
+    /// Serializes to the stable JSON object (sorted keys, content only).
+    pub fn to_value(&self) -> Value {
+        let mut facts = Map::new();
+        facts.insert("ptr_facts".into(), Value::from(self.facts.ptr_facts as u64));
+        facts.insert(
+            "indirect_facts".into(),
+            Value::from(self.facts.indirect_facts as u64),
+        );
+        facts.insert(
+            "blocking_facts".into(),
+            Value::from(self.facts.blocking_facts as u64),
+        );
+        facts.insert(
+            "bad_free_facts".into(),
+            Value::from(self.facts.bad_free_facts as u64),
+        );
+        facts.insert(
+            "check_failures".into(),
+            Value::from(self.facts.check_failures as u64),
+        );
+        facts.insert("ptr_events".into(), Value::from(self.facts.ptr_events));
+        facts.insert("unresolved".into(), Value::from(self.facts.unresolved));
+
+        let violations: Vec<Value> = self
+            .violations
+            .iter()
+            .map(|v| {
+                let mut m = Map::new();
+                m.insert("kind".into(), Value::from(v.kind.name()));
+                m.insert("sensitivity".into(), Value::from(v.sensitivity.name()));
+                m.insert("message".into(), Value::from(v.message.as_str()));
+                m.insert("key".into(), Value::from(v.key.as_str()));
+                if let Some(r) = &v.reproducer {
+                    let mut rm = Map::new();
+                    rm.insert(
+                        "entries".into(),
+                        Value::Array(
+                            r.entries
+                                .iter()
+                                .map(|e| {
+                                    let mut em = Map::new();
+                                    em.insert("entry".into(), Value::from(e.entry.as_str()));
+                                    em.insert(
+                                        "args".into(),
+                                        Value::Array(
+                                            e.args.iter().map(|a| Value::from(*a)).collect(),
+                                        ),
+                                    );
+                                    Value::Object(em)
+                                })
+                                .collect(),
+                        ),
+                    );
+                    rm.insert("source".into(), Value::from(r.source.as_str()));
+                    m.insert("reproducer".into(), Value::Object(rm));
+                }
+                Value::Object(m)
+            })
+            .collect();
+
+        let mut precision = Map::new();
+        for (sens, p) in &self.precision {
+            precision.insert(sens.clone(), p.to_value());
+        }
+
+        let mut root = Map::new();
+        root.insert("programs".into(), Value::from(self.programs as u64));
+        root.insert("entries_run".into(), Value::from(self.entries_run as u64));
+        root.insert("traps".into(), Value::from(self.traps as u64));
+        root.insert("facts".into(), Value::Object(facts));
+        root.insert("violations".into(), Value::Array(violations));
+        root.insert("precision".into(), Value::Object(precision));
+        root.insert(
+            "observed_blocking".into(),
+            Value::Array(
+                self.observed_blocking
+                    .iter()
+                    .map(|(caller, callee)| Value::from(format!("{caller} -> {callee}")))
+                    .collect(),
+            ),
+        );
+        root.insert(
+            "observed_bad_free_functions".into(),
+            Value::Array(
+                self.observed_bad_free_functions
+                    .iter()
+                    .map(|f| Value::from(f.as_str()))
+                    .collect(),
+            ),
+        );
+        Value::Object(root)
+    }
+
+    /// Stable pretty JSON (the `OracleReport` wire format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&self.to_value()).expect("serializes")
+    }
+
+    /// A one-paragraph human summary: violations first, then coverage.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "oracle: {} program(s), {} entry run(s) ({} trapped), {} fact(s) checked \
+             ({} pointer, {} indirect, {} blocking, {} bad-free; {} unresolved)",
+            self.programs,
+            self.entries_run,
+            self.traps,
+            self.facts.total(),
+            self.facts.ptr_facts,
+            self.facts.indirect_facts,
+            self.facts.blocking_facts,
+            self.facts.bad_free_facts,
+            self.facts.unresolved,
+        );
+        if self.violations.is_empty() {
+            let _ = writeln!(out, "soundness: OK (0 violations)");
+        } else {
+            let _ = writeln!(out, "soundness: {} VIOLATION(S)", self.violations.len());
+            for v in &self.violations {
+                let _ = writeln!(
+                    out,
+                    "  [{} @ {}] {}",
+                    v.kind.name(),
+                    v.sensitivity.name(),
+                    v.message
+                );
+                if let Some(r) = &v.reproducer {
+                    let _ = writeln!(out, "{}", r.render());
+                }
+            }
+        }
+        for (sens, p) in &self.precision {
+            let _ = writeln!(
+                out,
+                "precision[{sens}]: pts {:.3} ({}/{}), indirect {:.3} ({}/{}), \
+                 blockstop {:.3} ({}/{}), ccount {:.3} ({}/{})",
+                p.pointsto.rate(),
+                p.pointsto.witnessed,
+                p.pointsto.claimed,
+                p.indirect.rate(),
+                p.indirect.witnessed,
+                p.indirect.claimed,
+                p.blockstop.rate(),
+                p.blockstop.witnessed,
+                p.blockstop.claimed,
+                p.ccount.rate(),
+                p.ccount.witnessed,
+                p.ccount.claimed,
+            );
+        }
+        out
+    }
+}
+
+fn merge_row(into: &mut crate::check::PrecisionRow, from: crate::check::PrecisionRow) {
+    into.witnessed += from.witnessed;
+    into.claimed += from.claimed;
+}

@@ -1,0 +1,63 @@
+//! The oracle over the kernelgen corpus: the flagship soundness claim.
+//!
+//! Boot plus a workload mix execute under the tracer, and every dynamic
+//! fact must be subsumed by the static answers at every sensitivity. The
+//! seeded defects must also *surface* dynamically (the oracle is not
+//! vacuous): the boot cycle triggers the blocking bugs and the bad frees.
+
+use ivy_kernelgen::{KernelBuild, KernelConfig};
+use ivy_oracle::{EntrySpec, Oracle};
+
+#[test]
+fn small_kernel_is_dynamically_sound_at_every_sensitivity() {
+    let build = KernelBuild::generate(&KernelConfig::small());
+    let entries = EntrySpec::defaults_for(&build.program, 6);
+    assert!(
+        entries.iter().any(|e| e.entry == "kernel_boot"),
+        "boot must be among the default entries"
+    );
+    let report = Oracle::default().run(&build.program, &entries);
+
+    assert_eq!(report.traps, 0, "kernel entries must not trap");
+    assert!(
+        report.is_sound(),
+        "soundness violations:\n{}",
+        report.render()
+    );
+
+    // The oracle is not vacuous: a healthy volume of facts of every kind.
+    assert!(report.facts.ptr_facts > 100, "{:?}", report.facts);
+    assert!(report.facts.indirect_facts >= 5, "{:?}", report.facts);
+    assert!(
+        report.facts.blocking_facts >= 2,
+        "both seeded blocking bugs observed: {:?}",
+        report.facts
+    );
+    assert!(
+        report.facts.bad_free_facts
+            >= (KernelConfig::small().cache_defects + KernelConfig::small().ring_defects),
+        "every seeded bad-free defect observed: {:?}",
+        report.facts
+    );
+
+    // Precision numbers exist for all three sensitivities, and the
+    // coarsest level is no more precise than the finest.
+    assert_eq!(report.precision.len(), 3);
+    let st = &report.precision["steensgaard"];
+    let af = &report.precision["andersen+field"];
+    assert!(st.pointsto.claimed >= af.pointsto.claimed);
+    assert!(af.pointsto.claimed > 0);
+    assert!(af.indirect.claimed > 0);
+}
+
+#[test]
+fn report_json_is_stable_and_parses_back() {
+    let build = KernelBuild::generate(&KernelConfig::small());
+    let entries = vec![EntrySpec::new("kernel_boot", &[2, 0])];
+    let a = Oracle::default().run(&build.program, &entries);
+    let b = Oracle::default().run(&build.program, &entries);
+    assert_eq!(a.to_json(), b.to_json(), "oracle runs are deterministic");
+    let parsed: serde_json::Value = serde_json::from_str(&a.to_json()).unwrap();
+    assert_eq!(parsed.get("programs").and_then(|v| v.as_u64()), Some(1));
+    assert!(parsed.get("precision").is_some());
+}

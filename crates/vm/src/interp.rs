@@ -10,13 +10,15 @@
 
 use crate::cost::{CostModel, CycleCounter, MachineConfig};
 use crate::error::{TrapKind, VmError, VmResult};
-use crate::mem::{Memory, CODE_BASE};
+use crate::mem::{Memory, ObjectKind, CODE_BASE};
 use crate::stats::{BadFree, BlockingViolation, CheckFailure, RunStats};
+use crate::trace::{ResolvedAddr, TraceEvent, Tracer};
 use crate::value::Value;
 use ivy_cmir::ast::{BinOp, Block, Check, Expr, Function, Program, Stmt, UnOp};
 use ivy_cmir::layout::LayoutCtx;
 use ivy_cmir::types::{IntKind, Type};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// The GFP flag bit that allows an allocation to sleep (`GFP_WAIT`).
 pub const GFP_WAIT: i64 = 0x10;
@@ -39,6 +41,11 @@ pub struct VmConfig {
     /// Maximum number of statements executed before aborting (runaway-loop
     /// protection for generated workloads).
     pub max_steps: u64,
+    /// Maximum KC call-stack depth before aborting. Each KC frame costs
+    /// several host frames, so harnesses running on small thread stacks
+    /// (tests, the oracle's minimizer) should lower this well below the
+    /// default of 512.
+    pub max_call_depth: usize,
 }
 
 impl Default for VmConfig {
@@ -51,6 +58,7 @@ impl Default for VmConfig {
             trap_on_check_failure: false,
             trap_on_bad_free: false,
             max_steps: 200_000_000,
+            max_call_depth: 512,
         }
     }
 }
@@ -129,6 +137,16 @@ pub struct Vm {
     /// Offsets within heap/global objects where pointer values are stored
     /// (keyed by object base). Used for type-aware free/memset/memcpy.
     pub(crate) ptr_slots: HashMap<u32, BTreeSet<u32>>,
+    /// Shared per-function definitions, so a call looks up an `Arc`
+    /// instead of deep-cloning the function body (the seed interpreter
+    /// cloned every body on every call).
+    fns: HashMap<String, Arc<Function>>,
+    /// Attached dynamic-fact tracer, if any (see [`crate::trace`]).
+    tracer: Option<Box<dyn Tracer>>,
+    /// Live stack slots, `base -> (size, function, variable)`; maintained
+    /// only while a tracer is attached, so [`Vm::resolve_addr`] can map
+    /// stack addresses back to locals.
+    trace_locals: BTreeMap<u32, (u32, String, String)>,
 }
 
 impl Vm {
@@ -150,8 +168,17 @@ impl Vm {
             locks_held: Vec::new(),
             delayed_free_stack: Vec::new(),
             ptr_slots: HashMap::new(),
+            fns: HashMap::new(),
+            tracer: None,
+            trace_locals: BTreeMap::new(),
             program,
         };
+        for f in &vm.program.functions {
+            // First definition wins, matching `Program::function`.
+            vm.fns
+                .entry(f.name.clone())
+                .or_insert_with(|| Arc::new(f.clone()));
+        }
         vm.assign_function_addresses();
         vm.layout_globals()?;
         Ok(vm)
@@ -175,6 +202,79 @@ impl Vm {
     /// Current interrupt-disable nesting depth.
     pub fn irq_depth(&self) -> u32 {
         self.irq_depth
+    }
+
+    /// Attaches a dynamic-fact tracer. Attach before [`Vm::run`]; facts
+    /// from global initialisers (which run in [`Vm::new`]) are not traced.
+    pub fn attach_tracer(&mut self, tracer: Box<dyn Tracer>) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Detaches and returns the tracer, if one was attached.
+    pub fn take_tracer(&mut self) -> Option<Box<dyn Tracer>> {
+        self.tracer.take()
+    }
+
+    /// True while a tracer is attached (hooks and the stack-slot registry
+    /// are active).
+    pub fn tracing(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// Delivers an event to the attached tracer (no-op without one). The
+    /// tracer is taken out for the duration of the callback so it can
+    /// borrow the VM immutably.
+    fn trace_event(&mut self, event: TraceEvent<'_>) {
+        if let Some(mut t) = self.tracer.take() {
+            t.on_event(self, event);
+            self.tracer = Some(t);
+        }
+    }
+
+    /// Resolves a concrete address to the program entity that owns it.
+    /// Stack addresses resolve only while a tracer is attached (the slot
+    /// registry is tracer-gated); freed heap objects resolve to
+    /// [`ResolvedAddr::Unknown`].
+    pub fn resolve_addr(&self, addr: u32) -> ResolvedAddr {
+        if addr == 0 {
+            return ResolvedAddr::Null;
+        }
+        if Memory::is_code_addr(addr) {
+            return match self.addr_funcs.get(&addr) {
+                Some(f) => ResolvedAddr::Code { func: f.clone() },
+                None => ResolvedAddr::Unknown,
+            };
+        }
+        if Memory::is_stack_addr(addr) {
+            if let Some((base, (size, func, var))) = self.trace_locals.range(..=addr).next_back() {
+                if addr < base + size {
+                    return ResolvedAddr::StackLocal {
+                        func: func.clone(),
+                        var: var.clone(),
+                        offset: addr - base,
+                    };
+                }
+            }
+            return ResolvedAddr::Unknown;
+        }
+        match self.mem.object_containing(addr) {
+            Some(obj) => match obj.kind {
+                ObjectKind::Global => match self.global_names.get(&obj.base) {
+                    Some(name) => ResolvedAddr::Global {
+                        name: name.clone(),
+                        offset: addr - obj.base,
+                    },
+                    None => ResolvedAddr::Rodata,
+                },
+                ObjectKind::Rodata => ResolvedAddr::Rodata,
+                ObjectKind::Heap if obj.live => ResolvedAddr::Heap {
+                    base: obj.base,
+                    offset: addr - obj.base,
+                },
+                _ => ResolvedAddr::Unknown,
+            },
+            None => ResolvedAddr::Unknown,
+        }
     }
 
     /// Runs `entry(args...)` to completion and returns its value.
@@ -534,7 +634,24 @@ impl Vm {
                     argv.push(self.eval(a, frame)?);
                 }
                 let name = self.resolve_callee(callee, frame)?;
-                self.call_function(&name, argv)
+                let result = self.call_function(&name, argv)?;
+                if self.tracer.is_some()
+                    && self
+                        .program
+                        .function(&name)
+                        .map(|f| f.attrs.allocator)
+                        .unwrap_or(false)
+                {
+                    let func = frame.func.clone();
+                    let call_text = ivy_cmir::pretty::expr_str(e);
+                    let base = result.as_ptr();
+                    self.trace_event(TraceEvent::Alloc {
+                        func: &func,
+                        call_text,
+                        base,
+                    });
+                }
+                Ok(result)
             }
         }
     }
@@ -550,12 +667,22 @@ impl Vm {
         }
         let v = self.eval(callee, frame)?;
         let addr = v.as_ptr();
-        self.addr_funcs.get(&addr).cloned().ok_or_else(|| {
+        let target = self.addr_funcs.get(&addr).cloned().ok_or_else(|| {
             VmError::new(
                 TrapKind::Undefined,
                 format!("call through invalid function pointer 0x{addr:x}"),
             )
-        })
+        })?;
+        if self.tracer.is_some() {
+            let caller = frame.func.clone();
+            let callee_text = ivy_cmir::pretty::expr_str(callee);
+            self.trace_event(TraceEvent::IndirectCall {
+                caller: &caller,
+                callee_text,
+                target: &target,
+            });
+        }
+        Ok(target)
     }
 
     fn eval_binary(&mut self, op: BinOp, a: &Expr, b: &Expr, frame: &Frame) -> VmResult<Value> {
@@ -757,14 +884,14 @@ impl Vm {
     pub fn call_function(&mut self, name: &str, args: Vec<Value>) -> VmResult<Value> {
         self.stats.calls += 1;
         self.charge(self.cost.call);
-        if self.call_stack.len() > 512 {
+        if self.call_stack.len() > self.config.max_call_depth {
             return Err(VmError::new(
                 TrapKind::StepLimit,
-                "call stack depth exceeded 512",
+                format!("call stack depth exceeded {}", self.config.max_call_depth),
             ));
         }
 
-        let func = self.program.function(name).cloned();
+        let func = self.fns.get(name).cloned();
         match func {
             Some(f) if f.body.is_some() => {
                 self.note_blocking_entry(&f, &args);
@@ -793,6 +920,12 @@ impl Vm {
         }
     }
 
+    /// True when the declared type stores a pointer value (the events the
+    /// tracer cares about).
+    fn is_ptr_type(&self, ty: &Type) -> bool {
+        matches!(self.resolve(ty), Type::Ptr(..) | Type::Func(_))
+    }
+
     /// Records a blocking attempt; a violation if the kernel is in atomic
     /// context (interrupts disabled or holding a spinlock).
     pub(crate) fn note_block_attempt(&mut self, callee: &str) {
@@ -804,10 +937,19 @@ impl Vm {
                 .unwrap_or_else(|| "<entry>".to_string());
             self.stats.blocking_violations.push(BlockingViolation {
                 callee: callee.to_string(),
-                caller,
+                caller: caller.clone(),
                 irq_depth: self.irq_depth,
                 locks_held: self.locks_held.clone(),
             });
+            if self.tracer.is_some() {
+                let (irq_depth, locks_held) = (self.irq_depth, self.locks_held.len());
+                self.trace_event(TraceEvent::BlockedInAtomic {
+                    caller: &caller,
+                    callee,
+                    irq_depth,
+                    locks_held,
+                });
+            }
         }
     }
 
@@ -830,12 +972,36 @@ impl Vm {
             let v = args.get(i).copied().unwrap_or(Value::Int(0));
             self.store_typed(addr, &p.ty, v, false)?;
             frame.locals.insert(p.name.clone(), (addr, p.ty.clone()));
+            if self.tracer.is_some() {
+                self.trace_locals
+                    .insert(addr, (size.max(4), f.name.clone(), p.name.clone()));
+                if self.is_ptr_type(&p.ty) {
+                    self.trace_event(TraceEvent::PtrParam {
+                        func: &f.name,
+                        param: &p.name,
+                        value: v.as_ptr(),
+                    });
+                }
+            }
         }
         self.call_stack.push(f.name.clone());
-        let body = f.body.clone().expect("exec_defined requires a body");
-        let flow = self.exec_block(&body, &mut frame);
+        let body = f.body.as_ref().expect("exec_defined requires a body");
+        let flow = self.exec_block(body, &mut frame);
         self.call_stack.pop();
         self.mem.pop_stack_frame(frame.stack_mark);
+        if self.tracer.is_some() {
+            // Retire this frame's slots from the tracer's stack registry.
+            self.trace_locals.split_off(&frame.stack_mark);
+            if let Ok(Flow::Return(v)) = &flow {
+                if self.is_ptr_type(&f.ret) {
+                    let value = v.as_ptr();
+                    self.trace_event(TraceEvent::PtrReturn {
+                        func: &f.name,
+                        value,
+                    });
+                }
+            }
+        }
         if enters_atomic {
             self.irq_depth = self.irq_depth.saturating_sub(1);
         }
@@ -867,6 +1033,15 @@ impl Vm {
                 let v = self.eval(rhs, frame)?;
                 let (addr, ty) = self.lval(lhs, frame)?;
                 self.store_typed(addr, &ty, v, true)?;
+                if self.tracer.is_some() && self.is_ptr_type(&ty) {
+                    let func = frame.func.clone();
+                    self.trace_event(TraceEvent::PtrAssign {
+                        func: &func,
+                        lvalue: lhs,
+                        decl: false,
+                        value: v.as_ptr(),
+                    });
+                }
                 Ok(Flow::Normal)
             }
             Stmt::Local(decl, init) => {
@@ -875,9 +1050,23 @@ impl Vm {
                 frame
                     .locals
                     .insert(decl.name.clone(), (addr, decl.ty.clone()));
+                if self.tracer.is_some() {
+                    self.trace_locals
+                        .insert(addr, (size.max(1), frame.func.clone(), decl.name.clone()));
+                }
                 if let Some(e) = init {
                     let v = self.eval(e, frame)?;
                     self.store_typed(addr, &decl.ty, v, false)?;
+                    if self.tracer.is_some() && self.is_ptr_type(&decl.ty) {
+                        let func = frame.func.clone();
+                        let lvalue = Expr::var(&decl.name);
+                        self.trace_event(TraceEvent::PtrAssign {
+                            func: &func,
+                            lvalue: &lvalue,
+                            decl: true,
+                            value: v.as_ptr(),
+                        });
+                    }
                 }
                 Ok(Flow::Normal)
             }
@@ -1060,6 +1249,13 @@ impl Vm {
                 detail,
             };
             self.stats.check_failures.push(failure.clone());
+            if self.tracer.is_some() {
+                let func = frame.func.clone();
+                self.trace_event(TraceEvent::CheckFailed {
+                    func: &func,
+                    kind: check.kind(),
+                });
+            }
             if self.config.trap_on_check_failure {
                 return Err(VmError::new(
                     TrapKind::CheckFailure,
@@ -1118,12 +1314,20 @@ impl Vm {
         } else {
             self.stats.frees_bad += 1;
             let residual = u32::from(self.mem.rc_of(obj.base));
+            let in_func = self.call_stack.last().cloned().unwrap_or_default();
             self.stats.bad_frees.push(BadFree {
-                function: self.call_stack.last().cloned().unwrap_or_default(),
+                function: in_func.clone(),
                 addr: obj.base,
                 residual_refs: residual,
                 delayed,
             });
+            if self.tracer.is_some() {
+                self.trace_event(TraceEvent::BadFree {
+                    func: &in_func,
+                    addr: obj.base,
+                    delayed,
+                });
+            }
             if self.config.trap_on_bad_free {
                 return Err(VmError::new(
                     TrapKind::BadFree,

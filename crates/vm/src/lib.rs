@@ -17,6 +17,10 @@
 //!   Pentium 4 hardware, including the UP/SMP locked-operation distinction.
 //! * [`stats`] — per-run statistics (cycles, checks, frees, violations) from
 //!   which every experiment's numbers are derived.
+//! * [`trace`] — the opt-in dynamic-fact tracing layer: a [`Tracer`]
+//!   observes concrete pointer targets, indirect-call resolutions,
+//!   allocation sites, and defect events; `ivy-oracle` builds its
+//!   soundness oracle on this stream.
 //!
 //! # Examples
 //!
@@ -49,6 +53,7 @@ pub mod error;
 pub mod interp;
 pub mod mem;
 pub mod stats;
+pub mod trace;
 pub mod value;
 
 pub use cost::{CostModel, CycleCounter, MachineConfig};
@@ -56,4 +61,5 @@ pub use error::{TrapKind, VmError, VmResult};
 pub use interp::{Vm, VmConfig, GFP_WAIT};
 pub use mem::{Memory, ObjectInfo, ObjectKind};
 pub use stats::{BadFree, BlockingViolation, CheckFailure, RunStats};
+pub use trace::{ResolvedAddr, TraceEvent, Tracer};
 pub use value::Value;

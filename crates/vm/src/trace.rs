@@ -1,0 +1,362 @@
+//! The opt-in dynamic-fact tracing layer.
+//!
+//! A [`Tracer`] attached to a [`Vm`](crate::Vm) observes the concrete facts
+//! a run produces — which objects pointers actually target, which functions
+//! indirect calls actually reach, which allocator call produced each heap
+//! object, and the defect events (blocking-in-atomic, bad frees, failed
+//! run-time checks). `ivy-oracle` turns this stream into a *soundness
+//! oracle* for the static analyses: every dynamic fact must be subsumed by
+//! the corresponding static over-approximation, in the spirit of Klinger et
+//! al.'s differential testing of program analyzers.
+//!
+//! Tracing is strictly opt-in: with no tracer attached the interpreter
+//! takes none of these paths (a handful of `Option::is_some` checks), so
+//! the cost-model numbers of untraced runs are unchanged.
+//!
+//! Hooks receive `&Vm`, which exposes [`Vm::resolve_addr`] to map a
+//! concrete address back to the program entity that owns it (global,
+//! stack local of a live frame, heap object, function address).
+
+use crate::interp::Vm;
+use ivy_cmir::ast::Expr;
+
+/// The program entity a concrete address resolves to (see
+/// [`Vm::resolve_addr`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResolvedAddr {
+    /// The null address.
+    Null,
+    /// Inside a global variable, at the given byte offset from its base.
+    Global {
+        /// Global variable name.
+        name: String,
+        /// Byte offset within the global.
+        offset: u32,
+    },
+    /// Inside a local variable (or parameter) of a live frame. Only
+    /// resolvable while a tracer is attached (the slot registry exists for
+    /// the tracer).
+    StackLocal {
+        /// Function owning the frame.
+        func: String,
+        /// Variable name.
+        var: String,
+        /// Byte offset within the slot.
+        offset: u32,
+    },
+    /// Inside a heap object.
+    Heap {
+        /// Base address of the allocation.
+        base: u32,
+        /// Byte offset within the object.
+        offset: u32,
+    },
+    /// The synthetic address of a function (a function-pointer value).
+    Code {
+        /// Function name.
+        func: String,
+    },
+    /// Inside read-only data (a string literal).
+    Rodata,
+    /// Not within any live object the VM knows about.
+    Unknown,
+}
+
+/// One concrete fact observed during execution.
+///
+/// Pointer events fire only for stores whose *declared* type is a pointer
+/// (or function pointer); integer traffic is never traced.
+#[derive(Debug)]
+pub enum TraceEvent<'a> {
+    /// A pointer value was stored through a syntactic lvalue
+    /// (an assignment, or a local declaration's initializer when `decl`).
+    PtrAssign {
+        /// Enclosing function.
+        func: &'a str,
+        /// The lvalue expression as written.
+        lvalue: &'a Expr,
+        /// True for `let x: T * = ...;` initializers (which the static
+        /// analysis models as a definition of the local, never of a
+        /// shadowed global).
+        decl: bool,
+        /// The stored pointer value.
+        value: u32,
+    },
+    /// A pointer-typed argument was bound to a parameter at entry to a
+    /// defined function (covers both direct and indirect calls).
+    PtrParam {
+        /// The callee.
+        func: &'a str,
+        /// Parameter name.
+        param: &'a str,
+        /// The bound pointer value.
+        value: u32,
+    },
+    /// A pointer-typed value was returned from a defined function.
+    PtrReturn {
+        /// The returning function.
+        func: &'a str,
+        /// The returned pointer value.
+        value: u32,
+    },
+    /// A call through a function pointer resolved to a concrete target.
+    IndirectCall {
+        /// The calling function.
+        caller: &'a str,
+        /// The callee expression as written (matches the static
+        /// `indirect_targets` key).
+        callee_text: String,
+        /// The function actually invoked.
+        target: &'a str,
+    },
+    /// A call to an `#[allocator]` function returned a fresh object.
+    Alloc {
+        /// The function containing the allocating call.
+        func: &'a str,
+        /// The call expression as written (keys the oracle's static
+        /// allocation-site map).
+        call_text: String,
+        /// Base address of the object (0 when the allocator returned null).
+        base: u32,
+    },
+    /// A blocking call was attempted in atomic context (interrupts
+    /// disabled or a spinlock held).
+    BlockedInAtomic {
+        /// The immediate caller.
+        caller: &'a str,
+        /// The blocking function.
+        callee: &'a str,
+        /// Interrupt-disable depth at the time.
+        irq_depth: u32,
+        /// Number of spinlocks held at the time.
+        locks_held: usize,
+    },
+    /// A free failed its CCount reference-count check.
+    BadFree {
+        /// Function in which the (possibly deferred) free completed.
+        func: &'a str,
+        /// Base address of the object.
+        addr: u32,
+        /// True when deferred by a delayed-free scope.
+        delayed: bool,
+    },
+    /// A run-time check failed (bounds, nonnull, union tag, ...).
+    CheckFailed {
+        /// Function containing the check.
+        func: &'a str,
+        /// Check kind mnemonic.
+        kind: &'a str,
+    },
+}
+
+/// Observer of a VM run. Implementations must not re-enter the VM.
+pub trait Tracer {
+    /// Called for every traced event, with a read-only view of the VM for
+    /// address resolution.
+    fn on_event(&mut self, vm: &Vm, event: TraceEvent<'_>);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::VmConfig;
+    use ivy_cmir::parser::parse_program;
+    use ivy_cmir::pretty::expr_str;
+
+    /// Records every event, pre-resolving pointer values.
+    #[derive(Default)]
+    struct Recorder {
+        assigns: Vec<(String, String, bool, ResolvedAddr)>,
+        params: Vec<(String, String, ResolvedAddr)>,
+        returns: Vec<(String, ResolvedAddr)>,
+        indirect: Vec<(String, String, String)>,
+        allocs: Vec<(String, String, u32)>,
+        blocked: Vec<(String, String)>,
+        bad_frees: Vec<String>,
+    }
+
+    impl Tracer for Recorder {
+        fn on_event(&mut self, vm: &Vm, event: TraceEvent<'_>) {
+            match event {
+                TraceEvent::PtrAssign {
+                    func,
+                    lvalue,
+                    decl,
+                    value,
+                } => self.assigns.push((
+                    func.to_string(),
+                    expr_str(lvalue),
+                    decl,
+                    vm.resolve_addr(value),
+                )),
+                TraceEvent::PtrParam { func, param, value } => {
+                    self.params
+                        .push((func.to_string(), param.to_string(), vm.resolve_addr(value)))
+                }
+                TraceEvent::PtrReturn { func, value } => self
+                    .returns
+                    .push((func.to_string(), vm.resolve_addr(value))),
+                TraceEvent::IndirectCall {
+                    caller,
+                    callee_text,
+                    target,
+                } => self
+                    .indirect
+                    .push((caller.to_string(), callee_text, target.to_string())),
+                TraceEvent::Alloc {
+                    func,
+                    call_text,
+                    base,
+                } => self.allocs.push((func.to_string(), call_text, base)),
+                TraceEvent::BlockedInAtomic { caller, callee, .. } => {
+                    self.blocked.push((caller.to_string(), callee.to_string()))
+                }
+                TraceEvent::BadFree { func, .. } => self.bad_frees.push(func.to_string()),
+                TraceEvent::CheckFailed { .. } => {}
+            }
+        }
+    }
+
+    /// Forwards events into a shared recorder the test keeps a handle to.
+    struct Shared(std::rc::Rc<std::cell::RefCell<Recorder>>);
+
+    impl Tracer for Shared {
+        fn on_event(&mut self, vm: &Vm, event: TraceEvent<'_>) {
+            self.0.borrow_mut().on_event(vm, event);
+        }
+    }
+
+    fn traced_run(src: &str, entry: &str, config: VmConfig) -> (Recorder, Vm) {
+        let p = parse_program(src).unwrap();
+        let mut vm = Vm::new(p, config).unwrap();
+        let shared = std::rc::Rc::new(std::cell::RefCell::new(Recorder::default()));
+        vm.attach_tracer(Box::new(Shared(std::rc::Rc::clone(&shared))));
+        vm.run(entry, vec![]).unwrap();
+        vm.take_tracer().expect("tracer attached");
+        (
+            std::rc::Rc::try_unwrap(shared)
+                .ok()
+                .expect("sole owner")
+                .into_inner(),
+            vm,
+        )
+    }
+
+    const SRC: &str = r#"
+        #[allocator] #[blocking_if(flags)]
+        extern fn kmalloc(size: u32, flags: u32) -> void *;
+        extern fn kfree(p: void *);
+        extern fn spin_lock(l: u32 *);
+        extern fn spin_unlock(l: u32 *);
+        struct ops { fire: fnptr(u8 *) -> u8 *; }
+        global table: struct ops;
+        global sink: u8 *;
+        global guard: u32 = 0;
+        global buf: u8[16];
+
+        fn echo(p: u8 *) -> u8 * { sink = p; return p; }
+
+        fn main() -> u32 {
+            table.fire = echo;
+            let q: u8 * = table.fire(&buf[0]);
+            let h: u8 * = kmalloc(32, 0) as u8 *;
+            spin_lock(&guard);
+            let bad: u8 * = kmalloc(8, 0x10) as u8 *;
+            spin_unlock(&guard);
+            sink = null;
+            kfree(h as void *);
+            kfree(bad as void *);
+            return 0;
+        }
+    "#;
+
+    #[test]
+    fn events_cover_assigns_params_returns_indirects_and_allocs() {
+        let (r, _) = traced_run(SRC, "main", VmConfig::baseline());
+
+        // Field store of a function pointer resolves to the code region.
+        assert!(r.assigns.iter().any(|(f, lv, decl, v)| f == "main"
+            && lv == "table.fire"
+            && !decl
+            && *v
+                == ResolvedAddr::Code {
+                    func: "echo".into()
+                }));
+        // The indirect call resolved to its concrete target.
+        assert_eq!(
+            r.indirect,
+            vec![(
+                "main".to_string(),
+                "table.fire".to_string(),
+                "echo".to_string()
+            )]
+        );
+        // Parameter binding observed the global array target.
+        assert!(r.params.iter().any(|(f, p, v)| f == "echo"
+            && p == "p"
+            && matches!(v, ResolvedAddr::Global { name, offset: 0 } if name == "buf")));
+        // Return of a pointer traced against the same target.
+        assert!(r
+            .returns
+            .iter()
+            .any(|(f, v)| f == "echo"
+                && matches!(v, ResolvedAddr::Global { name, .. } if name == "buf")));
+        // Both allocator calls traced with their call text.
+        assert_eq!(r.allocs.len(), 2);
+        assert!(r.allocs[0].1.contains("kmalloc"));
+        assert!(r
+            .allocs
+            .iter()
+            .all(|(f, _, base)| f == "main" && *base != 0));
+        // Declaration initialisers are flagged as decls, and the heap
+        // pointer resolves to its object.
+        assert!(r.assigns.iter().any(|(f, lv, decl, v)| f == "main"
+            && lv == "h"
+            && *decl
+            && matches!(v, ResolvedAddr::Heap { offset: 0, .. })));
+        // Null stores resolve to Null.
+        assert!(r
+            .assigns
+            .iter()
+            .any(|(_, lv, _, v)| lv == "sink" && *v == ResolvedAddr::Null));
+        // The GFP_WAIT allocation under the spinlock is a blocking event.
+        assert_eq!(r.blocked, vec![("main".to_string(), "kmalloc".to_string())]);
+    }
+
+    #[test]
+    fn bad_frees_are_traced_and_stack_slots_resolve() {
+        let src = r#"
+            #[allocator]
+            extern fn kmalloc(size: u32, flags: u32) -> void *;
+            extern fn kfree(p: void *);
+            global keep: u8 *;
+            fn stash(v: u32) -> u32 {
+                let local: u32 = v;
+                let lp: u32 * = &local;
+                keep = kmalloc(16, 0) as u8 *;
+                kfree(keep as void *);
+                return *lp;
+            }
+        "#;
+        let (r, vm) = traced_run(src, "stash", VmConfig::ccounted(false));
+        assert_eq!(r.bad_frees, vec!["stash".to_string()]);
+        assert_eq!(vm.stats.frees_bad, 1);
+        // `lp` observed its target as the live stack local.
+        assert!(r.assigns.iter().any(|(f, lv, _, v)| f == "stash"
+            && lv == "lp"
+            && matches!(v, ResolvedAddr::StackLocal { func, var, offset: 0 }
+                if func == "stash" && var == "local")));
+    }
+
+    #[test]
+    fn untraced_runs_emit_nothing_and_stay_identical() {
+        let p = parse_program(SRC).unwrap();
+        let mut plain = Vm::new(p.clone(), VmConfig::baseline()).unwrap();
+        plain.run("main", vec![]).unwrap();
+        let (_, traced) = traced_run(SRC, "main", VmConfig::baseline());
+        // Tracing must not perturb semantics or the cost model.
+        assert_eq!(plain.cycles(), traced.cycles());
+        assert_eq!(plain.stats, traced.stats);
+        assert!(!plain.tracing());
+    }
+}

@@ -18,6 +18,8 @@
 //!   management (§2.2).
 //! * [`blockstop`] — BlockStop, no-blocking-with-interrupts-disabled (§2.3).
 //! * [`kernelgen`] — the synthetic kernel corpus and workloads.
+//! * [`oracle`] — the dynamic soundness oracle: VM-traced differential
+//!   validation of every static analysis, with per-sensitivity precision.
 //! * [`core`] — the combined pipeline, experiment harness, annotation
 //!   repository, and extension analyses.
 //!
@@ -46,4 +48,5 @@ pub use ivy_daemon as daemon;
 pub use ivy_deputy as deputy;
 pub use ivy_engine as engine;
 pub use ivy_kernelgen as kernelgen;
+pub use ivy_oracle as oracle;
 pub use ivy_vm as vm;

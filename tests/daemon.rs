@@ -142,7 +142,30 @@ fn notify_edit_invalidates_only_the_dirty_cone_and_reserves_the_rest() {
             .and_then(ivy::engine::json::Value::as_u64),
         Some(1)
     );
-    assert!(stats.get("persist").is_some());
+    let persist = stats.get("persist").expect("persist section present");
+    assert!(
+        persist
+            .get("pruned")
+            .and_then(ivy::engine::json::Value::as_u64)
+            .is_some(),
+        "operators can watch compaction: {persist:?}"
+    );
+    let engine_section = stats.get("engine").expect("engine section present");
+    assert!(
+        engine_section
+            .get("evictions")
+            .and_then(ivy::engine::json::Value::as_u64)
+            .is_some(),
+        "operators can watch context eviction: {engine_section:?}"
+    );
+    assert!(
+        engine_section
+            .get("resident_contexts")
+            .and_then(ivy::engine::json::Value::as_u64)
+            .map(|n| n >= 1)
+            .unwrap_or(false),
+        "the analyzed program is resident: {engine_section:?}"
+    );
 
     client.shutdown().unwrap();
     handle.join();

@@ -261,6 +261,99 @@ fn persisted_deputy_bodies_make_redeputization_incremental() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Regression guard for the PR 4 round-2 adopted-entry fix, extended to
+/// *sequences* of edits: edit → analyze → edit → analyze must retain at
+/// least 90% of memoized results at every step, and the answers must
+/// stay byte-identical to a from-scratch batch engine at every step (no
+/// adopted-entry staleness reappearing after the second edit).
+#[test]
+fn edit_sequences_keep_retention_high_and_answers_fresh() {
+    let build = KernelBuild::generate(&KernelConfig::small());
+
+    let edit_step = |program: &ivy::cmir::Program, target: &str| {
+        let mut edited = program.clone();
+        let func = edited
+            .function_mut(target)
+            .unwrap_or_else(|| panic!("corpus has {target}"));
+        let body = func.body.as_mut().expect("defined");
+        let extra = body.stmts.first().cloned().expect("non-empty body");
+        body.stmts.insert(0, extra);
+        edited
+    };
+
+    // Phase A — in-process entries (recorded dependency edges): every
+    // step of the sequence retains >=90% of the memoized results and
+    // re-serves >=90% on the follow-up analyze, byte-identical to batch.
+    let engine = kernel_engine(2);
+    engine.analyze(&build.program);
+    let (mut ctx, _) = engine.context_for(&build.program);
+    let mut current = build.program.clone();
+    for (step, target) in ["watchdog_tick", "dcache_lookup"].iter().enumerate() {
+        let edited = edit_step(&current, target);
+        let (next, stats) = engine.apply_edit(&ctx, &edited);
+        assert!(
+            stats.retention_rate() >= 0.9,
+            "step {step}: retention collapsed to {:.3} ({} invalidated, {} retained)",
+            stats.retention_rate(),
+            stats.invalidated,
+            stats.retained
+        );
+        assert!(
+            stats.invalidated > 0,
+            "step {step}: the edited function must invalidate something"
+        );
+
+        let incremental = engine.analyze(&edited);
+        let scratch = kernel_engine(1).analyze(&edited);
+        assert_eq!(
+            incremental.diagnostics_json(),
+            scratch.diagnostics_json(),
+            "step {step}: incremental answers drifted from batch"
+        );
+        let served = incremental.stats.cache_hits + incremental.stats.persist_hits;
+        let total = served + incremental.stats.cache_misses;
+        assert!(
+            served as f64 / total as f64 >= 0.9,
+            "step {step}: only {:.3} re-served after the edit",
+            served as f64 / total as f64
+        );
+
+        ctx = next;
+        current = edited;
+    }
+
+    // Phase B — *adopted* entries (loaded from the persist shards, no
+    // recorded edges: the PR 4 round-2 staleness class). A warm-started
+    // engine pushed through the same edit sequence must never re-serve a
+    // pre-edit result, at either step.
+    let dir = persist_dir("edit-sequence");
+    kernel_engine(2)
+        .with_persist(Arc::new(PersistLayer::open(&dir).unwrap()))
+        .analyze(&build.program);
+    let warm = kernel_engine(2).with_persist(Arc::new(PersistLayer::open(&dir).unwrap()));
+    let report = warm.analyze(&build.program);
+    assert!(
+        report.stats.persist_hit_rate() >= 0.9,
+        "phase B precondition: the engine is persist-warm"
+    );
+    let (mut ctx, _) = warm.context_for(&build.program);
+    let mut current = build.program.clone();
+    for (step, target) in ["watchdog_tick", "dcache_lookup"].iter().enumerate() {
+        let edited = edit_step(&current, target);
+        let (next, _) = warm.apply_edit(&ctx, &edited);
+        let incremental = warm.analyze(&edited);
+        let scratch = kernel_engine(1).analyze(&edited);
+        assert_eq!(
+            incremental.diagnostics_json(),
+            scratch.diagnostics_json(),
+            "step {step}: adopted-entry staleness resurfaced"
+        );
+        ctx = next;
+        current = edited;
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn engine_finds_the_seeded_blocking_bugs() {
     let build = KernelBuild::generate(&KernelConfig::small());
