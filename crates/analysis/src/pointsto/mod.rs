@@ -292,6 +292,7 @@ impl PointsToResult {
 pub fn analyze(program: &Program, sensitivity: Sensitivity) -> PointsToResult {
     let interner = Arc::new(SharedInterner::default());
     let (batches, bind) = {
+        let _span = ivy_telemetry::span("pointsto/intern", sensitivity.name());
         let mut guard = interner.lock();
         let batches: Vec<Arc<InternedBatch>> = gen_program(program, sensitivity)
             .iter()
@@ -384,6 +385,7 @@ pub fn analyze_incremental(
     // The interner lock covers only batch fetch/generation/interning and
     // the bind-table pre-resolution; the solve itself runs lock-free, so
     // solves sharing one cache (e.g. corpus variants) stay parallel.
+    let intern_span = ivy_telemetry::span("pointsto/intern", sensitivity.name());
     let mut interner = cache.interner.lock();
     let mut plan: Vec<Arc<InternedBatch>> = Vec::with_capacity(program.functions.len() + 1);
     let mut reused = 0usize;
@@ -423,8 +425,11 @@ pub fn analyze_incremental(
     }
     cache.hits.fetch_add(reused as u64, Ordering::Relaxed);
     cache.misses.fetch_add(generated as u64, Ordering::Relaxed);
+    ivy_telemetry::counter("ivy_pointsto_batch_cache_hits_total", reused as u64);
+    ivy_telemetry::counter("ivy_pointsto_batch_cache_misses_total", generated as u64);
     let bind = solve::BindTable::build(program, &plan, &mut interner);
     drop(interner);
+    drop(intern_span);
     let out = solve::solve_worklist(sensitivity, &plan, &bind);
     PointsToResult::from_solution(
         Arc::clone(&cache.interner),

@@ -124,6 +124,8 @@ pub(crate) fn solve_worklist(
         pops: 0,
     };
 
+    let seed_span = ivy_telemetry::span("pointsto/seed", sensitivity.name());
+
     // Size the per-node tables by the largest id this plan (or its bind
     // table) references, not by the interner's total history: a long-lived
     // shared cache interns locations from every program it ever saw, and a
@@ -206,7 +208,12 @@ pub(crate) fn solve_worklist(
     for (dst, loc) in seeds {
         solver.add_pts(dst, &[loc]);
     }
+    drop(seed_span);
 
+    let propagate_span = ivy_telemetry::span("pointsto/propagate", sensitivity.name());
+    // Summed locally and flushed as one counter update per solve so the hot
+    // loop never touches telemetry, even when counters are enabled.
+    let mut delta_total = 0u64;
     while let Some(n) = solver.worklist.pop_front() {
         solver.pops += 1;
         solver.queued[n as usize] = false;
@@ -214,6 +221,7 @@ pub(crate) fn solve_worklist(
         if d.is_empty() {
             continue;
         }
+        delta_total += d.len() as u64;
         // `t = *n`: every new pointee p of n contributes a copy edge p → t.
         // (take/restore instead of clone: `add_copy_edge` only ever touches
         // `copy_out`, never the load/store lists.)
@@ -258,6 +266,10 @@ pub(crate) fn solve_worklist(
             }
         }
     }
+
+    drop(propagate_span);
+    ivy_telemetry::counter("ivy_pointsto_worklist_pops_total", solver.pops as u64);
+    ivy_telemetry::counter("ivy_pointsto_delta_locations_total", delta_total);
 
     // Materialize the public indirect-call target map exactly as the naive
     // reference does (an entry exists for every site, even when empty).

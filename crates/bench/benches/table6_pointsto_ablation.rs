@@ -82,7 +82,14 @@ fn bench_ablation(c: &mut Criterion) {
         ("large", large_config, 1usize),
     ];
 
-    let mut summary: Vec<Value> = Vec::new();
+    let mut summary = ivy_bench::summary::Summary::new("table6_pointsto_solver");
+    let mut cfg = Map::new();
+    cfg.insert("kernels".into(), Value::from("paper,large"));
+    cfg.insert(
+        "sensitivities".into(),
+        Value::from("steensgaard,andersen,andersen_field"),
+    );
+    summary.config(Value::Object(cfg));
     println!("==== E6b: solver scaling (naive vs worklist, cold vs incremental) ====");
     println!(
         "{:<8} {:<16} {:>12} {:>12} {:>9} {:>12} {:>9} {:>9}",
@@ -168,16 +175,21 @@ fn bench_ablation(c: &mut Criterion) {
                 "incremental_speedup_vs_naive".into(),
                 Value::from(naive_cold / incremental.max(1e-9)),
             );
-            summary.push(Value::Object(row));
+            summary.push_row(row);
+            if *name == "large" && s == Sensitivity::AndersenField {
+                summary.headline("large_field_worklist_cold_seconds", worklist_cold);
+                summary.headline(
+                    "large_field_cold_speedup",
+                    naive_cold / worklist_cold.max(1e-9),
+                );
+                summary.headline(
+                    "large_field_incremental_speedup_vs_cold",
+                    worklist_cold / incremental.max(1e-9),
+                );
+            }
         }
     }
-    let mut root = Map::new();
-    root.insert("bench".into(), Value::from("table6_pointsto_solver"));
-    root.insert("rows".into(), Value::Array(summary));
-    println!(
-        "\nJSON-SUMMARY {}",
-        serde_json::to_string(&Value::Object(root)).expect("serializes")
-    );
+    summary.emit();
 
     // Criterion measurements on the paper configuration.
     let build = KernelBuild::generate(&scale.kernel);

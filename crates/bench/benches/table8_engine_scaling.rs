@@ -1,8 +1,10 @@
 //! Bench for the analysis engine: throughput at 1/2/4/8 worker threads and
 //! warm-vs-cold cache over a `KernelConfig` sweep, with a machine-readable
-//! JSON summary for the bench trajectory.
+//! JSON summary for the bench trajectory — plus the telemetry
+//! disabled-mode overhead measurement on the warm path.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use ivy_bench::summary::Summary;
 use ivy_core::experiments::default_engine;
 use ivy_engine::PersistLayer;
 use ivy_kernelgen::{KernelBuild, KernelConfig};
@@ -28,13 +30,53 @@ fn time_runs(mut run: impl FnMut(), samples: usize) -> f64 {
     median_secs(times)
 }
 
+/// Estimated telemetry overhead on a warm analyze with recording
+/// *disabled* (the default): events-per-run counted on one fully-enabled
+/// warm run, times the measured per-call cost of the disabled gate (one
+/// relaxed atomic load), as a fraction of the warm wall time.
+fn telemetry_disabled_overhead_pct(
+    engine: &ivy_engine::Engine,
+    program: &ivy_cmir::ast::Program,
+    warm_seconds: f64,
+) -> (u64, f64, f64) {
+    // Count events a warm run records when everything is on. Each span is
+    // one gate check at open; counter sites roughly pair with span sites,
+    // so double the span count bounds the disabled-gate checks per run.
+    ivy_telemetry::reset();
+    ivy_telemetry::enable_all();
+    engine.analyze(program);
+    let events = 2
+        * (ivy_telemetry::spans_snapshot().len() as u64 + ivy_telemetry::dropped_spans())
+        + ivy_telemetry::counters_snapshot().len() as u64;
+    ivy_telemetry::disable_all();
+    ivy_telemetry::reset();
+
+    // Measure the disabled gate itself.
+    const CALLS: u64 = 1_000_000;
+    let start = Instant::now();
+    for _ in 0..CALLS {
+        let span = ivy_telemetry::span("bench/gate", "disabled");
+        std::hint::black_box(&span);
+        ivy_telemetry::counter("ivy_bench_gate_total", 1);
+    }
+    // Each iteration checked the gate twice (span + counter).
+    let gate_ns = start.elapsed().as_nanos() as f64 / (2 * CALLS) as f64;
+
+    let overhead_pct = (events as f64 * gate_ns) / (warm_seconds * 1e9) * 100.0;
+    (events, gate_ns, overhead_pct)
+}
+
 fn bench_engine_scaling(c: &mut Criterion) {
     let sweep = [
         ("small", KernelConfig::small()),
         ("paper", KernelConfig::paper()),
     ];
 
-    let mut summary: Vec<Value> = Vec::new();
+    let mut summary = Summary::new("table8_engine_scaling");
+    let mut cfg = Map::new();
+    cfg.insert("kernels".into(), Value::from("small,paper"));
+    cfg.insert("threads".into(), Value::from("1,2,4,8"));
+    summary.config(Value::Object(cfg));
     println!("\n==== Table 8: engine scaling (threads x cache temperature) ====");
     println!(
         "{:<8} {:>8} {:>12} {:>12} {:>9} {:>10}",
@@ -79,7 +121,36 @@ fn bench_engine_scaling(c: &mut Criterion) {
             row.insert("functions".into(), Value::from(warm_report.stats.functions));
             row.insert("sccs".into(), Value::from(warm_report.stats.sccs));
             row.insert("levels".into(), Value::from(warm_report.stats.levels));
-            summary.push(Value::Object(row));
+            summary.push_row(row);
+            if *name == "paper" && threads == 4 {
+                summary.headline("paper_cold_seconds_t4", cold);
+                summary.headline("paper_warm_seconds_t4", warm);
+                summary.headline("paper_warm_speedup_t4", cold / warm.max(1e-9));
+            }
+            // Telemetry disabled-mode overhead on the warm path, measured
+            // on the small kernel's 4-thread warm engine (the acceptance
+            // gate: must stay well under 2%).
+            if *name == "small" && threads == 4 {
+                let (events, gate_ns, overhead_pct) =
+                    telemetry_disabled_overhead_pct(&engine, &build.program, warm);
+                println!(
+                    "telemetry disabled-mode overhead: {events} events x {gate_ns:.2} ns gate \
+                     / {warm:.4} s warm = {overhead_pct:.4}%"
+                );
+                let mut row = Map::new();
+                row.insert("kernel".into(), Value::from(*name));
+                row.insert("mode".into(), Value::from("telemetry_disabled_overhead"));
+                row.insert("telemetry_events_per_warm_run".into(), Value::from(events));
+                row.insert("disabled_gate_ns".into(), Value::from(gate_ns));
+                row.insert("warm_seconds".into(), Value::from(warm));
+                row.insert("overhead_pct".into(), Value::from(overhead_pct));
+                summary.push_row(row);
+                summary.headline("telemetry_disabled_overhead_pct", overhead_pct);
+                assert!(
+                    overhead_pct < 2.0,
+                    "telemetry disabled-mode overhead {overhead_pct:.4}% exceeds the 2% budget"
+                );
+            }
         }
     }
     // Warm-*process* rows: a fresh engine with empty in-memory caches,
@@ -135,17 +206,14 @@ fn bench_engine_scaling(c: &mut Criterion) {
             "pointsto_constraints_warm".into(),
             Value::from(stats.pointsto_constraints),
         );
-        summary.push(Value::Object(row));
+        summary.push_row(row);
+        if *name == "paper" {
+            summary.headline("paper_warm_process_speedup", cold / warm.max(1e-9));
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 
-    let mut root = Map::new();
-    root.insert("bench".into(), Value::from("table8_engine_scaling"));
-    root.insert("rows".into(), Value::Array(summary));
-    println!(
-        "\nJSON-SUMMARY {}",
-        serde_json::to_string(&Value::Object(root)).expect("serializes")
-    );
+    summary.emit();
 
     // Criterion measurements on the representative configurations.
     let build = KernelBuild::generate(&KernelConfig::small());

@@ -24,7 +24,11 @@ fn bench_daemon(c: &mut Criterion) {
         ("paper", KernelConfig::paper()),
     ];
 
-    let mut summary: Vec<Value> = Vec::new();
+    let mut summary = ivy_bench::summary::Summary::new("table9_daemon");
+    let mut cfg = Map::new();
+    cfg.insert("kernels".into(), Value::from("small,paper"));
+    cfg.insert("warm_requests".into(), Value::from(WARM_REQUESTS));
+    summary.config(Value::Object(cfg));
     println!("\n==== Table 9: daemon serving (cold vs warm vs edit) ====");
     println!(
         "{:<8} {:>10} {:>10} {:>10} {:>10} {:>12} {:>12}",
@@ -100,19 +104,22 @@ fn bench_daemon(c: &mut Criterion) {
             "edit_retention_rate".into(),
             Value::from(edit.invalidation.retention_rate()),
         );
-        summary.push(Value::Object(row));
+        summary.push_row(row);
+        if *name == "paper" {
+            summary.headline("paper_cold_seconds", cold);
+            summary.headline("paper_warm_p50_seconds", p50);
+            summary.headline("paper_requests_per_sec", requests_per_sec);
+            summary.headline(
+                "paper_edit_retention_rate",
+                edit.invalidation.retention_rate(),
+            );
+        }
 
         client.shutdown().expect("shutdown");
         handle.join();
     }
 
-    let mut root = Map::new();
-    root.insert("bench".into(), Value::from("table9_daemon"));
-    root.insert("rows".into(), Value::Array(summary));
-    println!(
-        "\nJSON-SUMMARY {}",
-        serde_json::to_string(&Value::Object(root)).expect("serializes")
-    );
+    summary.emit();
 
     // Criterion measurement on the representative configuration: one warm
     // daemon round-trip, socket included.

@@ -116,15 +116,22 @@ fn bench_oracle(c: &mut Criterion) {
     programs_total += FLEET;
     rows.push(report_row("subsampled", FLEET, seconds, &fleet));
 
-    let mut root = Map::new();
-    root.insert("bench".into(), Value::from("table_oracle"));
-    root.insert("programs_total".into(), Value::from(programs_total));
-    root.insert("violations_total".into(), Value::from(violations_total));
-    root.insert("rows".into(), Value::Array(rows));
-    println!(
-        "\nJSON-SUMMARY {}",
-        serde_json::to_string(&Value::Object(root)).expect("serializes")
-    );
+    let mut summary = ivy_bench::summary::Summary::new("table_oracle");
+    let mut cfg = Map::new();
+    cfg.insert("fleet".into(), Value::from(FLEET));
+    cfg.insert("kernels".into(), Value::from("small,paper,subsampled"));
+    summary.config(Value::Object(cfg));
+    summary.root_field("programs_total", programs_total);
+    summary.root_field("violations_total", violations_total);
+    for row in rows {
+        if let Value::Object(row) = row {
+            summary.push_row(row);
+        }
+    }
+    summary.headline("programs_total", programs_total);
+    summary.headline("violations_total", violations_total);
+    summary.headline("fleet_seconds", seconds);
+    summary.emit();
 
     // Criterion measurement: one full traced-and-checked oracle pass over
     // the small kernel (execution + three static models + subsumption).

@@ -1,0 +1,52 @@
+//! `trajectory` — validate and render the bench trajectory file.
+//!
+//! ```text
+//! trajectory validate [path]   # schema-check every record (CI gate)
+//! trajectory report [path]     # render the markdown dashboard to stdout
+//! ```
+//!
+//! Without a path argument both subcommands use the default location
+//! (`BENCH_TRAJECTORY.jsonl` at the repository root, or `$IVY_TRAJECTORY`).
+
+use ivy_bench::trajectory;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let path = args
+        .get(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(trajectory::path);
+    match args.first().map(String::as_str) {
+        Some("validate") => match trajectory::validate_file(&path) {
+            Ok(records) => {
+                println!(
+                    "{}: {} valid record(s), schema {}",
+                    path.display(),
+                    records.len(),
+                    trajectory::SCHEMA_VERSION
+                );
+                ExitCode::SUCCESS
+            }
+            Err(err) => {
+                eprintln!("trajectory: {}: {err}", path.display());
+                ExitCode::FAILURE
+            }
+        },
+        Some("report") => match trajectory::validate_file(&path) {
+            Ok(records) => {
+                print!("{}", trajectory::render_report(&records));
+                ExitCode::SUCCESS
+            }
+            Err(err) => {
+                eprintln!("trajectory: {}: {err}", path.display());
+                ExitCode::FAILURE
+            }
+        },
+        _ => {
+            eprintln!("usage: trajectory <validate|report> [path]");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,1 +1,6 @@
-//! bench crate
+//! Shared infrastructure for the `table*` benches: the uniform
+//! `JSON-SUMMARY` emission ([`summary`]) and the append-only per-PR
+//! performance history it feeds ([`trajectory`]).
+
+pub mod summary;
+pub mod trajectory;

@@ -1,0 +1,108 @@
+//! The uniform machine-readable bench summary.
+//!
+//! Every `table*` bench used to hand-roll the same three steps: build a
+//! `{"bench": ..., "rows": [...]}` object, print it on one line prefixed
+//! `JSON-SUMMARY` (what CI greps), and lose the numbers forever. This
+//! module is that emission in one place — and [`Summary::emit`] also
+//! appends the bench's headline numbers to the trajectory file (see
+//! [`crate::trajectory`]), so every bench run extends the per-PR
+//! performance history for free.
+
+use crate::trajectory;
+use serde_json::{Map, Value};
+
+/// Builder for one bench's `JSON-SUMMARY` line.
+pub struct Summary {
+    bench: String,
+    root: Map,
+    rows: Vec<Value>,
+    headline: Map,
+    config: Option<Value>,
+}
+
+impl Summary {
+    /// Starts a summary for the named bench.
+    pub fn new(bench: &str) -> Summary {
+        Summary {
+            bench: bench.to_string(),
+            root: Map::new(),
+            rows: Vec::new(),
+            headline: Map::new(),
+            config: None,
+        }
+    }
+
+    /// Adds an extra root-level field (e.g. `violations_total` on the
+    /// oracle bench, which CI gates on).
+    pub fn root_field(&mut self, key: &str, value: impl Into<Value>) {
+        self.root.insert(key.into(), value.into());
+    }
+
+    /// Appends one row object.
+    pub fn push_row(&mut self, row: Map) {
+        self.rows.push(Value::Object(row));
+    }
+
+    /// Registers one headline number for the trajectory record. Headlines
+    /// are the handful of numbers worth tracking across PRs (a cold time,
+    /// a speedup, a hit rate) — not the full row set.
+    pub fn headline(&mut self, key: &str, value: impl Into<Value>) {
+        self.headline.insert(key.into(), value.into());
+    }
+
+    /// Attaches the bench configuration recorded alongside the headline
+    /// (kernel name, thread count, sweep description — whatever makes the
+    /// record reproducible).
+    pub fn config(&mut self, config: Value) {
+        self.config = Some(config);
+    }
+
+    /// Prints the `JSON-SUMMARY` line and appends the trajectory record.
+    /// Returns the root object, for benches that assert on it. A
+    /// trajectory append failure is reported to stderr, never fatal — a
+    /// read-only checkout must not fail the bench.
+    pub fn emit(self) -> Value {
+        let mut root = self.root;
+        root.insert("bench".into(), Value::from(self.bench.as_str()));
+        root.insert("rows".into(), Value::Array(self.rows));
+        let root = Value::Object(root);
+        println!(
+            "\nJSON-SUMMARY {}",
+            serde_json::to_string(&root).expect("summary serializes")
+        );
+        if !self.headline.is_empty() {
+            if let Err(err) = trajectory::append(&self.bench, self.config, self.headline) {
+                eprintln!("ivy-bench: trajectory append failed: {err}");
+            }
+        }
+        root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_root_carries_bench_rows_and_extra_fields() {
+        let mut s = Summary::new("table_test");
+        s.root_field("violations_total", 0u64);
+        let mut row = Map::new();
+        row.insert("kernel".into(), Value::from("small"));
+        s.push_row(row);
+        // No headline: emit must not touch the trajectory file.
+        let root = s.emit();
+        assert_eq!(
+            root.get("bench").and_then(Value::as_str),
+            Some("table_test")
+        );
+        assert_eq!(
+            root.get("violations_total").and_then(Value::as_u64),
+            Some(0)
+        );
+        assert_eq!(
+            root.get("rows").and_then(Value::as_array).map(Vec::len),
+            Some(1)
+        );
+    }
+}

@@ -41,6 +41,7 @@ pub struct Pipeline {
     pts_cache: Arc<ConstraintCache>,
     persist: Option<Arc<PersistLayer>>,
     daemon: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
 }
 
 impl Default for Pipeline {
@@ -53,6 +54,7 @@ impl Default for Pipeline {
             pts_cache: Arc::new(ConstraintCache::new()),
             persist: None,
             daemon: None,
+            trace_out: None,
         }
     }
 }
@@ -70,6 +72,7 @@ impl Clone for Pipeline {
             pts_cache: Arc::clone(&self.pts_cache),
             persist: self.persist.clone(),
             daemon: self.daemon.clone(),
+            trace_out: self.trace_out.clone(),
         }
     }
 }
@@ -142,6 +145,17 @@ impl Pipeline {
         self
     }
 
+    /// Enables span recording and exports a Chrome trace-event JSON file
+    /// to `path` when [`Pipeline::run`] finishes (builder style). The
+    /// trace covers the pipeline's phase spans plus everything the engine
+    /// and solver record underneath them; open it in about://tracing or
+    /// Perfetto.
+    pub fn with_trace_out(mut self, path: impl Into<PathBuf>) -> Self {
+        ivy_telemetry::enable_spans();
+        self.trace_out = Some(path.into());
+        self
+    }
+
     /// One analyze round-trip against a resident daemon, decoded back into
     /// an engine [`Report`]. The daemon's `diagnostics_json` is the stable
     /// serialization, so the decoded report reproduces it byte-identically.
@@ -208,24 +222,33 @@ impl Pipeline {
 
     /// Runs the whole pipeline over a generated kernel.
     pub fn run(&self, build: &KernelBuild) -> Hardened {
+        let run_span = ivy_telemetry::span("pipeline/run", "harden");
+
         // 1. CCount source fixes (null-outs + delayed-free scopes).
-        let plan = fix_plan_for(build);
-        let fixed = plan.apply(&build.program);
+        let fixed = ivy_telemetry::time("pipeline/phase", "fix", || {
+            let plan = fix_plan_for(build);
+            plan.apply(&build.program)
+        });
 
         // 2. BlockStop on the fixed kernel, over a shared analysis context.
         //    Only the whole-program report is needed at this stage (it is
         //    compared against the post-assert report, not merged into the
         //    unified diagnostics), so no per-function engine pass runs here.
-        let pre_checker = BlockStopChecker::new();
-        let pre_engine = self.engine();
-        let (pre_ctx, _) = pre_engine.context_for(&fixed);
-        let blockstop_before = (*pre_checker.report(&pre_ctx)).clone();
+        let blockstop_before = ivy_telemetry::time("pipeline/phase", "blockstop-pre", || {
+            let pre_checker = BlockStopChecker::new();
+            let pre_engine = self.engine();
+            let (pre_ctx, _) = pre_engine.context_for(&fixed);
+            (*pre_checker.report(&pre_ctx)).clone()
+        });
 
         // 3. Insert the assertions that silence the corpus's known false
         //    positives and re-analyse; Deputy checks the same program state
         //    in the same engine pass, over the same AnalysisCtx.
+        let instrument_span = ivy_telemetry::span("pipeline/phase", "instrument");
         let asserted = build.asserted_functions();
         let (with_asserts, asserts_inserted) = insert_asserts(&fixed, &asserted);
+        drop(instrument_span);
+        let analyze_span = ivy_telemetry::span("pipeline/phase", "analyze");
         let post_checker = Arc::new(BlockStopChecker::with_config(BlockStopConfig {
             asserted_functions: asserted,
             ..BlockStopConfig::default()
@@ -238,22 +261,28 @@ impl Pipeline {
         let (post_ctx, post_reused) = post_engine.context_for(&with_asserts);
         let post_report = post_engine.analyze_with_ctx(&post_ctx, post_reused);
         let blockstop_after = (*post_checker.report(&post_ctx)).clone();
+        drop(analyze_span);
 
         // 4. Deputy conversion of the patched kernel (the program
         //    transformation; diagnostics already came from the engine
         //    pass). Assembled from the per-function instrumentations the
         //    checker just memoized — keyed by deputy config — so neither a
         //    cold nor a repeated pipeline run instruments twice.
-        let conversion = (*deputy_checker.conversion(&post_ctx)).clone();
+        let conversion = ivy_telemetry::time("pipeline/phase", "deputize", || {
+            (*deputy_checker.conversion(&post_ctx)).clone()
+        });
 
         // 5. CCount static report on the deputized kernel, and the shared
         //    repository.
+        let ccount_span = ivy_telemetry::span("pipeline/phase", "ccount");
         let ccount_checker = Arc::new(CCountChecker::new());
         let final_engine = self.engine().with_checker(ccount_checker.clone());
         let (final_ctx, final_reused) = final_engine.context_for(&conversion.program);
         let final_report = final_engine.analyze_with_ctx(&final_ctx, final_reused);
         let ccount = (*ccount_checker.report(&final_ctx)).clone();
+        drop(ccount_span);
 
+        let report_span = ivy_telemetry::span("pipeline/phase", "report");
         let mut repository = Repository::from_program(&conversion.program);
         repository.absorb_blockstop(&blockstop_after);
 
@@ -266,6 +295,14 @@ impl Pipeline {
         stats.persist_hits += final_report.stats.persist_hits;
         stats.persist_misses += final_report.stats.persist_misses;
         let report = Report::new(diagnostics, stats);
+        drop(report_span);
+        drop(run_span);
+
+        if let Some(path) = &self.trace_out {
+            if let Err(err) = ivy_telemetry::write_chrome_trace(path) {
+                eprintln!("ivy-core: trace export to {} failed: {err}", path.display());
+            }
+        }
 
         Hardened {
             program: conversion.program,

@@ -5,37 +5,50 @@
 //! ivy-client <socket-path> diagnostics <file.kc>
 //! ivy-client <socket-path> notify-edit <file.kc>
 //! ivy-client <socket-path> stats
+//! ivy-client <socket-path> metrics
 //! ivy-client <socket-path> shutdown
 //! ```
 //!
 //! `analyze`/`diagnostics` print the stable diagnostics JSON to stdout
 //! (what a batch run would have produced, byte-identically); `stats`
-//! prints the server counters.
+//! prints the server counters; `metrics` prints the Prometheus-style text
+//! exposition.
+//!
+//! `--trace-out <path>` (anywhere on the command line) records spans for
+//! the client side of the session — connect and each request round-trip —
+//! and writes them as Chrome trace-event JSON on exit, ready for
+//! about://tracing or Perfetto. `IVY_TRACE=1` enables recording without
+//! choosing a file (use `ivy_telemetry::write_chrome_trace` downstream).
 
 use ivy_daemon::Client;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: ivy-client <socket> <analyze|diagnostics|notify-edit> <file.kc>\n       \
-         ivy-client <socket> <stats|shutdown>"
+        "usage: ivy-client [--trace-out <trace.json>] <socket> <analyze|diagnostics|notify-edit> <file.kc>\n       \
+         ivy-client [--trace-out <trace.json>] <socket> <stats|metrics|shutdown>"
     );
     ExitCode::FAILURE
 }
 
-fn run() -> Result<(), String> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+fn run(args: &[String]) -> Result<(), String> {
     let (Some(socket), Some(cmd)) = (args.first(), args.get(1)) else {
         return Err("missing arguments".into());
     };
-    let mut client = Client::connect(socket).map_err(|e| format!("connect {socket}: {e}"))?;
+    let _cmd_span = ivy_telemetry::span("client/command", cmd.clone());
+    let mut client =
+        ivy_telemetry::time("client/connect", socket.clone(), || Client::connect(socket))
+            .map_err(|e| format!("connect {socket}: {e}"))?;
     let source_arg = || -> Result<String, String> {
         let path = args.get(2).ok_or("missing <file.kc> argument")?;
         std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))
     };
     match cmd.as_str() {
         "analyze" => {
-            let outcome = client.analyze(&source_arg()?).map_err(|e| e.to_string())?;
+            let source = source_arg()?;
+            let outcome =
+                ivy_telemetry::time("client/request", "analyze", || client.analyze(&source))
+                    .map_err(|e| e.to_string())?;
             eprintln!(
                 "program {} — {} diagnostics, cache {}/{} hits/misses, persist {} hits",
                 outcome.program_hash,
@@ -47,17 +60,21 @@ fn run() -> Result<(), String> {
             println!("{}", outcome.diagnostics_json);
         }
         "diagnostics" => {
+            let source = source_arg()?;
             println!(
                 "{}",
-                client
-                    .diagnostics(&source_arg()?)
-                    .map_err(|e| e.to_string())?
+                ivy_telemetry::time("client/request", "diagnostics", || {
+                    client.diagnostics(&source)
+                })
+                .map_err(|e| e.to_string())?
             );
         }
         "notify-edit" => {
-            let outcome = client
-                .notify_edit(&source_arg()?)
-                .map_err(|e| e.to_string())?;
+            let source = source_arg()?;
+            let outcome = ivy_telemetry::time("client/request", "notify_edit", || {
+                client.notify_edit(&source)
+            })
+            .map_err(|e| e.to_string())?;
             let inv = &outcome.invalidation;
             println!(
                 "edited [{}] -> {} invalidated, {} retained, {} revalidated (env_changed={})",
@@ -69,20 +86,54 @@ fn run() -> Result<(), String> {
             );
         }
         "stats" => {
-            let stats = client.stats().map_err(|e| e.to_string())?;
+            let stats = ivy_telemetry::time("client/request", "stats", || client.stats())
+                .map_err(|e| e.to_string())?;
             println!(
                 "{}",
                 ivy_engine::json::to_string_pretty(&stats).map_err(|e| format!("{e:?}"))?
             );
         }
-        "shutdown" => client.shutdown().map_err(|e| e.to_string())?,
+        "metrics" => {
+            let text = ivy_telemetry::time("client/request", "metrics", || client.metrics())
+                .map_err(|e| e.to_string())?;
+            print!("{text}");
+        }
+        "shutdown" => {
+            ivy_telemetry::time("client/request", "shutdown", || client.shutdown())
+                .map_err(|e| e.to_string())?;
+        }
         _ => return Err(format!("unknown command {cmd:?}")),
     }
     Ok(())
 }
 
 fn main() -> ExitCode {
-    match run() {
+    // Peel `--trace-out <path>` off wherever it appears; the remaining
+    // positional arguments keep their documented order.
+    let mut trace_out: Option<String> = None;
+    let mut args: Vec<String> = Vec::new();
+    let mut raw = std::env::args().skip(1);
+    while let Some(arg) = raw.next() {
+        if arg == "--trace-out" {
+            let Some(path) = raw.next() else {
+                eprintln!("ivy-client: --trace-out needs a path");
+                return usage();
+            };
+            trace_out = Some(path);
+        } else {
+            args.push(arg);
+        }
+    }
+    if trace_out.is_some() {
+        ivy_telemetry::enable_spans();
+    }
+    let outcome = run(&args);
+    if let Some(path) = &trace_out {
+        if let Err(e) = ivy_telemetry::write_chrome_trace(std::path::Path::new(path)) {
+            eprintln!("ivy-client: trace export to {path} failed: {e}");
+        }
+    }
+    match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
             eprintln!("ivy-client: {message}");

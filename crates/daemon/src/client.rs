@@ -135,6 +135,17 @@ impl Client {
         self.request(&Value::Object(request("stats")))
     }
 
+    /// The daemon's Prometheus-style text exposition (the same counters
+    /// as [`Client::stats`], formatted for scraping).
+    pub fn metrics(&mut self) -> io::Result<String> {
+        let response = self.request(&Value::Object(request("metrics")))?;
+        response
+            .get("metrics_text")
+            .and_then(Value::as_str)
+            .map(String::from)
+            .ok_or_else(|| malformed("metrics"))
+    }
+
     /// Asks the daemon to shut down (it finishes open connections first).
     pub fn shutdown(&mut self) -> io::Result<()> {
         self.request(&Value::Object(request("shutdown")))

@@ -8,7 +8,7 @@
 //! ```
 //!
 //! Requests are objects with a `"cmd"` field (`analyze`, `diagnostics`,
-//! `notify_edit`, `stats`, `shutdown`); responses carry `"ok": true` plus
+//! `notify_edit`, `stats`, `metrics`, `shutdown`); responses carry `"ok": true` plus
 //! command-specific fields, or `"ok": false` with an `"error"` string. A
 //! client may issue any number of requests over one connection; the server
 //! answers them in order and treats a clean close as the end of the
@@ -25,7 +25,15 @@
 //! <- {"ok":true,"program_hash":"77b1…","invalidation":{
 //!     "changed_functions":["watchdog_tick"],"env_changed":false,
 //!     "seeds":1,"invalidated":9,"retained":210,"revalidated":64}}
+//!
+//! -> {"cmd":"metrics"}
+//! <- {"ok":true,"metrics_text":"# TYPE ivy_daemon_requests_served_total counter\n..."}
 //! ```
+//!
+//! `metrics` returns a Prometheus-style text exposition (request counts
+//! per verb, engine cache hit rates, points-to batch reuse, persist
+//! traffic, plus every in-process telemetry counter); `stats` returns the
+//! same ground truth as structured JSON.
 
 use ivy_engine::InvalidationStats;
 use serde_json::{Map, Value};

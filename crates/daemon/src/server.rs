@@ -91,6 +91,65 @@ pub fn fleet_engine(threads: usize, persist: Option<Arc<PersistLayer>>) -> Engin
     }
 }
 
+/// Requests at or above this duration land in the slow-request ring.
+const SLOW_REQUEST_MICROS: u64 = 10_000;
+
+/// Capacity of the slow-request ring: old entries fall off the front, so a
+/// long-lived daemon holds the most recent slow requests, not the first.
+const SLOW_RING_CAP: usize = 64;
+
+/// One entry of the slow-request ring.
+struct SlowRequest {
+    verb: String,
+    micros: u64,
+    /// Milliseconds since the daemon started, so entries order themselves
+    /// without a wall clock.
+    at_ms: u64,
+}
+
+/// Per-verb request counters, surfaced in `stats` and `metrics` responses.
+#[derive(Default)]
+struct VerbCounters {
+    analyze: AtomicU64,
+    diagnostics: AtomicU64,
+    notify_edit: AtomicU64,
+    stats: AtomicU64,
+    metrics: AtomicU64,
+    shutdown: AtomicU64,
+    unknown: AtomicU64,
+}
+
+impl VerbCounters {
+    fn slot(&self, verb: &str) -> &AtomicU64 {
+        match verb {
+            "analyze" => &self.analyze,
+            "diagnostics" => &self.diagnostics,
+            "notify_edit" => &self.notify_edit,
+            "stats" => &self.stats,
+            "metrics" => &self.metrics,
+            "shutdown" => &self.shutdown,
+            _ => &self.unknown,
+        }
+    }
+
+    fn bump(&self, verb: &str) {
+        self.slot(verb).fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> [(&'static str, u64); 7] {
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        [
+            ("analyze", get(&self.analyze)),
+            ("diagnostics", get(&self.diagnostics)),
+            ("notify_edit", get(&self.notify_edit)),
+            ("stats", get(&self.stats)),
+            ("metrics", get(&self.metrics)),
+            ("shutdown", get(&self.shutdown)),
+            ("unknown", get(&self.unknown)),
+        ]
+    }
+}
+
 /// Shared server state: the engine, the resident context the last
 /// `analyze` left behind (the base `notify_edit` diffs against), and
 /// request counters.
@@ -114,6 +173,10 @@ struct State {
     requests: AtomicU64,
     analyzes: AtomicU64,
     edits: AtomicU64,
+    verbs: VerbCounters,
+    /// Ring buffer of the most recent requests that took at least
+    /// [`SLOW_REQUEST_MICROS`]; surfaced by the `stats` verb.
+    slow: Mutex<std::collections::VecDeque<SlowRequest>>,
     shutdown: AtomicBool,
     /// Exclusive lock on the sidecar `<socket>.lock` file, held until the
     /// accept loop has removed the socket (see [`Daemon::bind`]); the OS
@@ -183,11 +246,78 @@ impl State {
         Ok((ctx, report, reused))
     }
 
+    /// Renders the Prometheus-style text exposition served by the
+    /// `metrics` verb: daemon request counters, engine cache traffic,
+    /// points-to batch reuse, persist-layer I/O, and — appended last —
+    /// every in-process [`ivy_telemetry`] counter series.
+    fn metrics_text(&self) -> String {
+        let mut prom = ivy_telemetry::PromText::new();
+        prom.gauge(
+            "ivy_daemon_uptime_seconds",
+            None,
+            self.started.elapsed().as_secs_f64(),
+        );
+        prom.counter(
+            "ivy_daemon_requests_served_total",
+            None,
+            self.requests.load(Ordering::Relaxed),
+        );
+        for (verb, count) in self.verbs.snapshot() {
+            prom.counter(
+                "ivy_daemon_verb_requests_total",
+                Some(("verb", verb)),
+                count,
+            );
+        }
+        let cache = self.engine.cache();
+        prom.counter("ivy_daemon_cache_hits_total", None, cache.hits());
+        prom.counter("ivy_daemon_cache_misses_total", None, cache.misses());
+        prom.gauge("ivy_daemon_cached_results", None, cache.len() as f64);
+        let store = self.engine.ctx_store();
+        prom.counter("ivy_daemon_ctx_hits_total", None, store.hits());
+        prom.counter("ivy_daemon_ctx_misses_total", None, store.misses());
+        prom.counter("ivy_daemon_ctx_evictions_total", None, store.evictions());
+        prom.gauge("ivy_daemon_resident_contexts", None, store.len() as f64);
+        let pts = self.engine.pointsto_cache();
+        prom.counter("ivy_daemon_pointsto_batch_hits_total", None, pts.hits());
+        prom.counter("ivy_daemon_pointsto_batch_misses_total", None, pts.misses());
+        if let Some(layer) = &self.persist {
+            prom.counter("ivy_daemon_persist_hits_total", None, layer.hits());
+            prom.counter("ivy_daemon_persist_misses_total", None, layer.misses());
+            prom.counter("ivy_daemon_persist_writes_total", None, layer.writes());
+            prom.counter("ivy_daemon_persist_pruned_total", None, layer.pruned());
+        }
+        let mut text = prom.finish();
+        text.push_str(&ivy_telemetry::prometheus_text());
+        text
+    }
+
     fn handle(&self, request: &Value) -> Value {
         self.requests.fetch_add(1, Ordering::Relaxed);
         let Some(cmd) = request.get("cmd").and_then(Value::as_str) else {
             return error_response("request has no \"cmd\" field");
         };
+        self.verbs.bump(cmd);
+        ivy_telemetry::counter_labeled("ivy_daemon_requests_total", "verb", cmd, 1);
+        let _span = ivy_telemetry::span("daemon/request", cmd.to_string());
+        let start = Instant::now();
+        let response = self.dispatch(cmd, request);
+        let micros = start.elapsed().as_micros() as u64;
+        if micros >= SLOW_REQUEST_MICROS {
+            let mut slow = self.slow.lock().unwrap_or_else(PoisonError::into_inner);
+            if slow.len() == SLOW_RING_CAP {
+                slow.pop_front();
+            }
+            slow.push_back(SlowRequest {
+                verb: cmd.to_string(),
+                micros,
+                at_ms: self.started.elapsed().as_millis() as u64,
+            });
+        }
+        response
+    }
+
+    fn dispatch(&self, cmd: &str, request: &Value) -> Value {
         match cmd {
             "analyze" | "diagnostics" => {
                 let Some(source) = request.get("source").and_then(Value::as_str) else {
@@ -253,14 +383,14 @@ impl State {
             }
             "stats" => {
                 let cache = self.engine.cache();
+                let store = self.engine.ctx_store();
                 let mut engine_stats = Map::new();
                 engine_stats.insert("cache_hits".into(), Value::from(cache.hits()));
                 engine_stats.insert("cache_misses".into(), Value::from(cache.misses()));
                 engine_stats.insert("cached_results".into(), Value::from(cache.len()));
-                engine_stats.insert(
-                    "resident_contexts".into(),
-                    Value::from(self.engine.ctx_store().len()),
-                );
+                engine_stats.insert("resident_contexts".into(), Value::from(store.len()));
+                engine_stats.insert("ctx_hits".into(), Value::from(store.hits()));
+                engine_stats.insert("ctx_misses".into(), Value::from(store.misses()));
                 engine_stats.insert("evictions".into(), Value::from(self.engine.ctx_evictions()));
                 let mut m = Map::new();
                 m.insert("ok".into(), Value::from(true));
@@ -281,6 +411,25 @@ impl State {
                     "edits".into(),
                     Value::from(self.edits.load(Ordering::Relaxed)),
                 );
+                let mut verbs = Map::new();
+                for (verb, count) in self.verbs.snapshot() {
+                    verbs.insert(verb.into(), Value::from(count));
+                }
+                m.insert("verbs".into(), Value::Object(verbs));
+                let slow: Vec<Value> = self
+                    .slow
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .iter()
+                    .map(|r| {
+                        let mut e = Map::new();
+                        e.insert("verb".into(), Value::from(r.verb.as_str()));
+                        e.insert("micros".into(), Value::from(r.micros));
+                        e.insert("at_ms".into(), Value::from(r.at_ms));
+                        Value::Object(e)
+                    })
+                    .collect();
+                m.insert("slow_requests".into(), Value::Array(slow));
                 m.insert("engine".into(), Value::Object(engine_stats));
                 if let Some(layer) = &self.persist {
                     let mut persist = Map::new();
@@ -291,6 +440,12 @@ impl State {
                     persist.insert("writer".into(), Value::from(layer.writer_id()));
                     m.insert("persist".into(), Value::Object(persist));
                 }
+                Value::Object(m)
+            }
+            "metrics" => {
+                let mut m = Map::new();
+                m.insert("ok".into(), Value::from(true));
+                m.insert("metrics_text".into(), Value::from(self.metrics_text()));
                 Value::Object(m)
             }
             "shutdown" => {
@@ -386,6 +541,11 @@ impl Daemon {
             Some(dir) => Some(Arc::new(PersistLayer::open(dir)?)),
             None => None,
         };
+        // A daemon always meters itself: counters are a handful of sharded
+        // atomics with no per-request allocation, and the `metrics` verb is
+        // useless without them. Spans stay opt-in (`IVY_TRACE=1`) — a
+        // long-lived server must not accumulate span records unasked.
+        ivy_telemetry::enable_counters();
         let state = Arc::new(State {
             engine: fleet_engine(config.threads, persist.clone()),
             persist,
@@ -396,6 +556,8 @@ impl Daemon {
             requests: AtomicU64::new(0),
             analyzes: AtomicU64::new(0),
             edits: AtomicU64::new(0),
+            verbs: VerbCounters::default(),
+            slow: Mutex::new(std::collections::VecDeque::new()),
             shutdown: AtomicBool::new(false),
             _socket_lock: socket_lock,
         });

@@ -152,6 +152,11 @@ pub struct EngineStats {
     /// lifetime (0 when no persist layer is attached). Surfaced so fleet
     /// operators can see GC working without attaching a debugger.
     pub persist_pruned: u64,
+    /// Persist-layer flushes that failed with an I/O error in this run
+    /// (0 when no persist layer is attached). A non-zero value means this
+    /// run's results did not all become durable — the analysis itself is
+    /// unaffected, but a later cold process will recompute.
+    pub persist_flush_errors: u64,
     /// Whether the analysis context itself was reused from a previous run
     /// of an identical program.
     pub ctx_reused: bool,
@@ -182,6 +187,10 @@ impl EngineStats {
         stats.insert("persist_hits".into(), Value::from(self.persist_hits));
         stats.insert("persist_misses".into(), Value::from(self.persist_misses));
         stats.insert("persist_pruned".into(), Value::from(self.persist_pruned));
+        stats.insert(
+            "persist_flush_errors".into(),
+            Value::from(self.persist_flush_errors),
+        );
         stats.insert("ctx_reused".into(), Value::from(self.ctx_reused));
         stats.insert(
             "pointsto_initial_constraints".into(),
@@ -218,6 +227,8 @@ impl EngineStats {
             persist_misses: count("persist_misses")?,
             // Absent in pre-oracle encodings; default rather than reject.
             persist_pruned: count("persist_pruned").unwrap_or(0),
+            // Absent in pre-telemetry encodings; default rather than reject.
+            persist_flush_errors: count("persist_flush_errors").unwrap_or(0),
             ctx_reused: v.get("ctx_reused")?.as_bool()?,
             pointsto_initial_constraints: size("pointsto_initial_constraints")?,
             pointsto_constraints: size("pointsto_constraints")?,
@@ -433,6 +444,7 @@ mod tests {
             persist_hits: 2,
             persist_misses: 1,
             persist_pruned: 5,
+            persist_flush_errors: 1,
             ctx_reused: true,
             pointsto_initial_constraints: 100,
             pointsto_constraints: 140,

@@ -67,6 +67,8 @@ struct CtxStoreInner {
     slots: HashMap<u64, (Arc<AnalysisCtx>, u64)>,
     tick: u64,
     evictions: u64,
+    hits: u64,
+    misses: u64,
 }
 
 impl Default for CtxStore {
@@ -104,6 +106,17 @@ impl CtxStore {
         self.lock().evictions
     }
 
+    /// Lookups served by a resident context over the store's lifetime
+    /// (counts [`CtxStore::get`] and [`CtxStore::get_or_insert_with`]).
+    pub fn hits(&self) -> u64 {
+        self.lock().hits
+    }
+
+    /// Lookups that found no resident context over the store's lifetime.
+    pub fn misses(&self) -> u64 {
+        self.lock().misses
+    }
+
     /// True when a context for `hash` is resident (does not touch
     /// recency).
     pub fn contains(&self, hash: u64) -> bool {
@@ -115,10 +128,18 @@ impl CtxStore {
         let mut inner = self.lock();
         inner.tick += 1;
         let tick = inner.tick;
-        inner.slots.get_mut(&hash).map(|(ctx, stamp)| {
+        let found = inner.slots.get_mut(&hash).map(|(ctx, stamp)| {
             *stamp = tick;
             Arc::clone(ctx)
-        })
+        });
+        if found.is_some() {
+            inner.hits += 1;
+            ivy_telemetry::counter("ivy_engine_ctx_hits_total", 1);
+        } else {
+            inner.misses += 1;
+            ivy_telemetry::counter("ivy_engine_ctx_misses_total", 1);
+        }
+        found
     }
 
     /// Returns the resident context for `hash`, or builds one with `make`
@@ -134,10 +155,16 @@ impl CtxStore {
         let mut inner = self.lock();
         inner.tick += 1;
         let tick = inner.tick;
-        if let Some((ctx, stamp)) = inner.slots.get_mut(&hash) {
+        if let Some(found) = inner.slots.get_mut(&hash).map(|(ctx, stamp)| {
             *stamp = tick;
-            return (Arc::clone(ctx), true);
+            Arc::clone(ctx)
+        }) {
+            inner.hits += 1;
+            ivy_telemetry::counter("ivy_engine_ctx_hits_total", 1);
+            return (found, true);
         }
+        inner.misses += 1;
+        ivy_telemetry::counter("ivy_engine_ctx_misses_total", 1);
         let ctx = make();
         inner.evict_beyond(self.capacity - 1);
         inner.slots.insert(hash, (Arc::clone(&ctx), tick));
@@ -185,6 +212,7 @@ pub struct Engine {
     ctx_store: Arc<CtxStore>,
     pts_cache: Arc<ConstraintCache>,
     persist: Option<Arc<PersistLayer>>,
+    trace_out: Option<std::path::PathBuf>,
 }
 
 impl Default for Engine {
@@ -203,6 +231,7 @@ impl Engine {
             ctx_store: Arc::new(CtxStore::new()),
             pts_cache: Arc::new(ConstraintCache::new()),
             persist: None,
+            trace_out: None,
         }
     }
 
@@ -245,6 +274,17 @@ impl Engine {
     /// layer when they finish.
     pub fn with_persist(mut self, persist: Arc<PersistLayer>) -> Engine {
         self.persist = Some(persist);
+        self
+    }
+
+    /// Enables span tracing for the whole process and exports the recorded
+    /// spans as Chrome trace-event JSON to `path` after every analysis this
+    /// engine runs (the file accumulates the session and can be opened in
+    /// `about://tracing` or Perfetto at any point).
+    pub fn with_trace_out(mut self, path: impl Into<std::path::PathBuf>) -> Engine {
+        ivy_telemetry::enable_spans();
+        ivy_telemetry::enable_counters();
+        self.trace_out = Some(path.into());
         self
     }
 
@@ -340,6 +380,10 @@ impl Engine {
     /// Analyzes an already-constructed context. `ctx_reused` is only
     /// recorded in the stats.
     pub fn analyze_with_ctx(&self, ctx: &Arc<AnalysisCtx>, ctx_reused: bool) -> Report {
+        let _analyze_span = ivy_telemetry::span(
+            "engine/analyze",
+            format!("analyze:{:016x}", ctx.program_hash),
+        );
         let sensitivity = self.required_sensitivity();
         let summaries = ctx.summaries(sensitivity);
         let condensation = &summaries.condensation;
@@ -363,12 +407,16 @@ impl Engine {
         pool.install(|| {
             // Bottom-up over the condensation: each level only calls into
             // completed levels, so its functions are independent units.
-            for level in &condensation.levels {
+            for (depth, level) in condensation.levels.iter().enumerate() {
                 let wave: Vec<&str> = level
                     .iter()
                     .flat_map(|&scc| condensation.sccs[scc].iter())
                     .map(String::as_str)
                     .collect();
+                let _wave_span = ivy_telemetry::span(
+                    "engine/wave",
+                    format!("wave:{depth} ({} sccs, {} fns)", level.len(), wave.len()),
+                );
                 let results: Vec<Vec<Diagnostic>> = wave
                     .par_iter()
                     .map(|name| {
@@ -401,7 +449,22 @@ impl Engine {
                                 persist_misses.fetch_add(1, Ordering::Relaxed);
                             }
                             misses.fetch_add(1, Ordering::Relaxed);
+                            let check_span = ivy_telemetry::span(
+                                "engine/checker",
+                                format!("{}:{name}", checker.name()),
+                            );
+                            let check_start =
+                                check_span.is_recording().then(std::time::Instant::now);
                             let fresh = checker.check_function(ctx, func);
+                            drop(check_span);
+                            if let Some(start) = check_start {
+                                ivy_telemetry::counter_labeled(
+                                    "ivy_checker_micros_total",
+                                    "checker",
+                                    checker.name(),
+                                    start.elapsed().as_micros() as u64,
+                                );
+                            }
                             if let Some(layer) = &self.persist {
                                 layer.put(
                                     &diag_namespace(checker.name()),
@@ -445,13 +508,42 @@ impl Engine {
             stats.pointsto_batches_reused = pts.batches_reused;
             stats.pointsto_batches_generated = pts.batches_generated;
         }
+        // Cache traffic counters are cumulative across the process — the
+        // daemon's `metrics` verb reads them back out of the recorder.
+        ivy_telemetry::counter("ivy_engine_cache_hits_total", stats.cache_hits);
+        ivy_telemetry::counter("ivy_engine_cache_misses_total", stats.cache_misses);
+        ivy_telemetry::counter("ivy_engine_persist_hits_total", stats.persist_hits);
+        ivy_telemetry::counter("ivy_engine_persist_misses_total", stats.persist_misses);
+        ivy_telemetry::counter(
+            "ivy_pointsto_batches_reused_total",
+            stats.pointsto_batches_reused as u64,
+        );
+        ivy_telemetry::counter(
+            "ivy_pointsto_batches_generated_total",
+            stats.pointsto_batches_generated as u64,
+        );
         // Make this run's results durable before handing the report back.
         if let Some(layer) = &self.persist {
             if let Err(err) = layer.flush() {
-                eprintln!("ivy-engine: persist flush failed: {err}");
+                stats.persist_flush_errors += 1;
+                ivy_telemetry::counter("ivy_engine_persist_flush_errors_total", 1);
+                // Log the first failure per process; the counter (and the
+                // per-run stat) keeps recording the rest without spamming a
+                // long-lived daemon's stderr on a full or read-only disk.
+                static FLUSH_ERROR_LOGGED: std::sync::Once = std::sync::Once::new();
+                FLUSH_ERROR_LOGGED
+                    .call_once(|| eprintln!("ivy-engine: persist flush failed: {err}"));
             }
             // After the flush so this run's compaction is included.
             stats.persist_pruned = layer.pruned();
+        }
+        if let Some(path) = &self.trace_out {
+            if let Err(err) = ivy_telemetry::write_chrome_trace(path) {
+                eprintln!(
+                    "ivy-engine: trace export to {} failed: {err}",
+                    path.display()
+                );
+            }
         }
         Report::new(diagnostics, stats)
     }
@@ -504,6 +596,7 @@ impl Engine {
                         ctx_store: Arc::clone(&self.ctx_store),
                         pts_cache: Arc::clone(&self.pts_cache),
                         persist: self.persist.clone(),
+                        trace_out: None,
                     };
                     inner.analyze_with_ctx(&ctx, reused)
                 })
@@ -556,6 +649,61 @@ mod tests {
         let (_, hit) = engine.context_for(&programs[1]);
         assert!(!hit);
         assert_eq!(engine.ctx_evictions(), 2);
+    }
+
+    #[test]
+    fn ctx_store_counts_hits_and_misses() {
+        let store = Arc::new(CtxStore::with_capacity(4));
+        let engine = Engine::new().with_ctx_store(Arc::clone(&store));
+        let program = program_named(0);
+        engine.context_for(&program); // miss
+        engine.context_for(&program); // hit
+        assert_eq!(store.misses(), 1);
+        assert_eq!(store.hits(), 1);
+        // Plain `get` counts too.
+        assert!(store.get(AnalysisCtx::hash_program(&program)).is_some());
+        assert!(store.get(0xdead_beef).is_none());
+        assert_eq!(store.hits(), 2);
+        assert_eq!(store.misses(), 2);
+    }
+
+    #[test]
+    fn flush_io_errors_surface_in_engine_stats() {
+        let root = std::env::temp_dir().join(format!("ivy-flush-err-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).unwrap();
+        // Make the summaries namespace unwritable: occupy its shard
+        // *directory* path with a plain file so the flush's
+        // `create_dir_all` fails even when the test runs as root (a
+        // read-only mode bit alone would not stop uid 0), and drop the
+        // root's write bit for unprivileged runs.
+        std::fs::write(root.join("engine-summaries"), "not a directory").unwrap();
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::PermissionsExt;
+            let _ = std::fs::set_permissions(&root, std::fs::Permissions::from_mode(0o555));
+        }
+
+        let layer = Arc::new(PersistLayer::open(&root).expect("existing dir opens"));
+        let engine = Engine::new().with_persist(layer);
+        let report = engine.analyze(&program_named(0));
+        assert_eq!(
+            report.stats.persist_flush_errors, 1,
+            "a failed flush must be visible in the run stats"
+        );
+
+        // A healthy layer reports zero.
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::PermissionsExt;
+            let _ = std::fs::set_permissions(&root, std::fs::Permissions::from_mode(0o755));
+        }
+        let _ = std::fs::remove_dir_all(&root);
+        let layer = Arc::new(PersistLayer::open(&root).unwrap());
+        let engine = Engine::new().with_persist(layer);
+        let report = engine.analyze(&program_named(1));
+        assert_eq!(report.stats.persist_flush_errors, 0);
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

@@ -342,6 +342,8 @@ impl QueryDb {
     }
 
     fn compute_entry<Q: Query>(&self, key: &Q::Key, key_hash: u64) -> Arc<Q::Value> {
+        let _span = ivy_telemetry::span("engine/query", Q::NAME);
+        ivy_telemetry::counter_labeled("ivy_query_computed_total", "query", Q::NAME, 1);
         ACTIVE.with(|s| s.borrow_mut().push((Q::NAME, key_hash)));
         let guard = ActiveGuard;
         let value = Arc::new(Q::compute(self, key));
@@ -364,6 +366,7 @@ impl QueryDb {
         let mut entries = lock_recovering(&slot);
         if let Some(found) = Self::scan::<Q>(&entries, key) {
             self.memo_hits.fetch_add(1, Ordering::Relaxed);
+            ivy_telemetry::counter_labeled("ivy_query_memo_hits_total", "query", Q::NAME, 1);
             return found;
         }
         let value = self.compute_entry::<Q>(key, key_hash);
@@ -385,6 +388,7 @@ impl QueryDb {
         let mut entries = lock_recovering(&slot);
         if let Some(found) = Self::scan::<Q>(&entries, key) {
             self.memo_hits.fetch_add(1, Ordering::Relaxed);
+            ivy_telemetry::counter_labeled("ivy_query_memo_hits_total", "query", Q::NAME, 1);
             return found;
         }
         let durable_key = Q::durable_key(self, key);
@@ -398,6 +402,7 @@ impl QueryDb {
                 .and_then(|raw| Q::decode(&raw))
             {
                 self.persist_hits.fetch_add(1, Ordering::Relaxed);
+                ivy_telemetry::counter_labeled("ivy_query_persist_hits_total", "query", Q::NAME, 1);
                 let value = Arc::new(value);
                 // The compute never ran, so this entry has no outgoing
                 // dependency edges; [`QueryDb::apply_edit`] compensates by
@@ -411,6 +416,7 @@ impl QueryDb {
                 return value;
             }
             self.persist_misses.fetch_add(1, Ordering::Relaxed);
+            ivy_telemetry::counter_labeled("ivy_query_persist_misses_total", "query", Q::NAME, 1);
             let value = self.compute_entry::<Q>(key, key_hash);
             layer.put(Q::NAME, Q::FORMAT_VERSION, durable_key, Q::encode(&value));
             entries.push(SlotEntry {

@@ -149,6 +149,8 @@ pub fn check_subsumption(
     facts: &DynFacts,
     model: &StaticModel,
 ) -> (Vec<Violation>, Precision) {
+    let _span = ivy_telemetry::span("oracle/subsumption", model.sensitivity.name());
+    let timer = ivy_telemetry::counters_enabled().then(std::time::Instant::now);
     let mut violations = Vec::new();
     let mut precision = Precision::default();
     let s = model.sensitivity;
@@ -331,6 +333,21 @@ pub fn check_subsumption(
             .count(),
         claimed_fns,
     );
+
+    if let Some(start) = timer {
+        ivy_telemetry::counter_labeled(
+            "ivy_oracle_subsumption_micros_total",
+            "sensitivity",
+            model.sensitivity.name(),
+            start.elapsed().as_micros() as u64,
+        );
+        ivy_telemetry::counter_labeled(
+            "ivy_oracle_subsumption_checks_total",
+            "sensitivity",
+            model.sensitivity.name(),
+            1,
+        );
+    }
 
     (violations, precision)
 }

@@ -147,6 +147,10 @@ pub struct Vm {
     /// only while a tracer is attached, so [`Vm::resolve_addr`] can map
     /// stack addresses back to locals.
     trace_locals: BTreeMap<u32, (u32, String, String)>,
+    /// Dynamic-fact trace events delivered to the attached tracer. Kept
+    /// out of [`RunStats`] so traced and untraced runs stay
+    /// stats-identical (the tracing-transparency invariant).
+    trace_events: u64,
 }
 
 impl Vm {
@@ -171,6 +175,7 @@ impl Vm {
             fns: HashMap::new(),
             tracer: None,
             trace_locals: BTreeMap::new(),
+            trace_events: 0,
             program,
         };
         for f in &vm.program.functions {
@@ -226,6 +231,7 @@ impl Vm {
     /// borrow the VM immutably.
     fn trace_event(&mut self, event: TraceEvent<'_>) {
         if let Some(mut t) = self.tracer.take() {
+            self.trace_events += 1;
             t.on_event(self, event);
             self.tracer = Some(t);
         }
@@ -279,12 +285,33 @@ impl Vm {
 
     /// Runs `entry(args...)` to completion and returns its value.
     pub fn run(&mut self, entry: &str, args: Vec<Value>) -> VmResult<Value> {
-        self.call_function(entry, args).map_err(|mut e| {
+        let _span = ivy_telemetry::span("vm/run", entry.to_string());
+        let (cycles_before, events_before) = (self.stats.cycles, self.trace_events);
+        let outcome = self.call_function(entry, args).map_err(|mut e| {
             if e.stack.is_empty() {
                 e.stack = self.call_stack.clone();
             }
             e
-        })
+        });
+        ivy_telemetry::counter_labeled(
+            "ivy_vm_cycles_total",
+            "entry",
+            entry,
+            self.stats.cycles - cycles_before,
+        );
+        ivy_telemetry::counter_labeled(
+            "ivy_vm_trace_events_total",
+            "entry",
+            entry,
+            self.trace_events - events_before,
+        );
+        outcome
+    }
+
+    /// Dynamic-fact trace events delivered to the attached tracer so far
+    /// (0 when no tracer was ever attached).
+    pub fn trace_events(&self) -> u64 {
+        self.trace_events
     }
 
     fn assign_function_addresses(&mut self) {

@@ -11,6 +11,10 @@
 //! * `IVY_DAEMON_STRICT=1` — exit non-zero if any *clean* function was
 //!   invalidated, if the warm re-serve rate drops below 90%, or if the
 //!   daemon is unreachable (used by CI to pin the daemon's contract).
+//! * `IVY_TRACE_OUT=<path>` — record spans for the whole session and
+//!   export them as Chrome trace-event JSON at exit. In strict mode the
+//!   exported trace must contain engine, points-to solver, and daemon
+//!   request spans, or the session exits non-zero (the CI tracing gate).
 //!
 //! Run with: `cargo run --release --example daemon_session`.
 
@@ -29,8 +33,36 @@ fn fail(strict: bool, message: &str) -> ExitCode {
     }
 }
 
+/// Exports the session's spans to `trace_out` and, in strict mode, checks
+/// that the trace actually covers the serving path: at least one engine
+/// span, one points-to solver span, and one daemon request span. A trace
+/// with a silent hole in it is exactly the regression this gate exists for.
+fn export_trace(strict: bool, trace_out: &str) -> Result<(), String> {
+    let spans = ivy::telemetry::spans_snapshot();
+    let covered = |prefix: &str| spans.iter().any(|s| s.cat.starts_with(prefix));
+    if let Err(e) = ivy::telemetry::write_chrome_trace(std::path::Path::new(trace_out)) {
+        return Err(format!("trace export to {trace_out} failed: {e}"));
+    }
+    println!("trace: {} spans -> {trace_out}", spans.len());
+    if strict {
+        for prefix in ["engine/", "pointsto/", "daemon/"] {
+            if !covered(prefix) {
+                return Err(format!(
+                    "exported trace has no {prefix}* spans ({} spans total)",
+                    spans.len()
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let strict = std::env::var("IVY_DAEMON_STRICT").as_deref() == Ok("1");
+    let trace_out = std::env::var("IVY_TRACE_OUT").ok();
+    if trace_out.is_some() {
+        ivy::telemetry::enable_spans();
+    }
     let cache = std::env::var("IVY_CACHE_DIR").unwrap_or_else(|_| "target/ivy-cache".to_string());
     let socket = std::env::temp_dir().join(format!("ivy-session-{}.sock", std::process::id()));
 
@@ -128,5 +160,10 @@ fn main() -> ExitCode {
 
     let _ = client.shutdown();
     handle.join();
+    if let Some(path) = &trace_out {
+        if let Err(message) = export_trace(strict, path) {
+            return fail(strict, &message);
+        }
+    }
     ExitCode::SUCCESS
 }

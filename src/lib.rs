@@ -20,6 +20,8 @@
 //! * [`kernelgen`] — the synthetic kernel corpus and workloads.
 //! * [`oracle`] — the dynamic soundness oracle: VM-traced differential
 //!   validation of every static analysis, with per-sensitivity precision.
+//! * [`telemetry`] — zero-dependency structured tracing and metrics:
+//!   spans, counters, Prometheus text, and Chrome trace-event export.
 //! * [`core`] — the combined pipeline, experiment harness, annotation
 //!   repository, and extension analyses.
 //!
@@ -49,4 +51,5 @@ pub use ivy_deputy as deputy;
 pub use ivy_engine as engine;
 pub use ivy_kernelgen as kernelgen;
 pub use ivy_oracle as oracle;
+pub use ivy_telemetry as telemetry;
 pub use ivy_vm as vm;

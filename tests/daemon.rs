@@ -166,6 +166,47 @@ fn notify_edit_invalidates_only_the_dirty_cone_and_reserves_the_rest() {
             .unwrap_or(false),
         "the analyzed program is resident: {engine_section:?}"
     );
+    // Context-store traffic is surfaced next to its eviction count: this
+    // session analyzed twice (one miss, one hit) and edited once.
+    let ctx_count = |key: &str| {
+        engine_section
+            .get(key)
+            .and_then(ivy::engine::json::Value::as_u64)
+            .unwrap_or_else(|| panic!("{key} missing: {engine_section:?}"))
+    };
+    assert!(
+        ctx_count("ctx_misses") >= 1,
+        "cold analyze misses the store"
+    );
+    assert!(ctx_count("ctx_hits") >= 1, "warm analyze hits the store");
+    // Per-verb request counters and uptime, for operators.
+    assert!(
+        stats
+            .get("uptime_ms")
+            .and_then(ivy::engine::json::Value::as_u64)
+            .is_some(),
+        "uptime is reported: {stats:?}"
+    );
+    let verbs = stats.get("verbs").expect("per-verb counters present");
+    let verb_count = |key: &str| {
+        verbs
+            .get(key)
+            .and_then(ivy::engine::json::Value::as_u64)
+            .unwrap_or_else(|| panic!("{key} missing: {verbs:?}"))
+    };
+    assert_eq!(verb_count("analyze"), 2, "two analyze requests so far");
+    assert_eq!(verb_count("notify_edit"), 1);
+    assert_eq!(verb_count("stats"), 1, "this stats request counts itself");
+    assert_eq!(verb_count("shutdown"), 0);
+    // The slow-request ring is always present (possibly empty on a fast
+    // machine — entries require a >=10ms request).
+    assert!(
+        stats
+            .get("slow_requests")
+            .and_then(ivy::engine::json::Value::as_array)
+            .is_some(),
+        "slow-request ring present: {stats:?}"
+    );
 
     client.shutdown().unwrap();
     handle.join();
@@ -398,4 +439,57 @@ fn engine_answers_survive_a_panicking_checker_thread() {
         .with_ctx_store(engine.ctx_store())
         .analyze(&program);
     assert!(!healthy.diagnostics.is_empty());
+}
+
+#[test]
+fn metrics_verb_returns_prometheus_text_covering_the_serving_path() {
+    let source = kernel_source();
+    let handle = Daemon::spawn(DaemonConfig::new(socket_path("metrics"))).unwrap();
+    let mut client = Client::connect(handle.socket()).unwrap();
+
+    // One cold analyze (cache miss), one warm (cache hit), then an edit
+    // round-trip so the incremental points-to re-solve reuses the untouched
+    // constraint batches — every series the scrape asserts on is nonzero.
+    client.analyze(&source).unwrap();
+    client.analyze(&source).unwrap();
+    client.notify_edit(&edited_kernel_source()).unwrap();
+    client.analyze(&edited_kernel_source()).unwrap();
+    let text = client.metrics().unwrap();
+
+    // Prometheus exposition shape: every sample line is `name{labels} value`
+    // with a preceding `# TYPE` header.
+    assert!(text.contains("# TYPE ivy_daemon_requests_served_total counter"));
+    for needle in [
+        // Request counts, overall and per verb: three analyzes, one
+        // notify_edit, and this metrics request (counted before dispatch).
+        "ivy_daemon_requests_served_total 5",
+        "ivy_daemon_verb_requests_total{verb=\"analyze\"} 3",
+        // Query cache: the warm analyze hit what the cold one filled.
+        "ivy_daemon_cache_misses_total",
+        "ivy_daemon_cache_hits_total",
+        // Points-to batch reuse across the two analyzes.
+        "ivy_daemon_pointsto_batch_hits_total",
+        // Uptime gauge.
+        "ivy_daemon_uptime_seconds",
+    ] {
+        assert!(
+            text.contains(needle),
+            "metrics text missing {needle:?}:\n{text}"
+        );
+    }
+
+    // The cache series carry real traffic, not just zeros: parse the values.
+    let series_value = |name: &str| -> u64 {
+        text.lines()
+            .find(|line| line.starts_with(name) && !line.starts_with('#'))
+            .and_then(|line| line.rsplit(' ').next())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("series {name} absent or non-numeric:\n{text}"))
+    };
+    assert!(series_value("ivy_daemon_cache_hits_total") >= 1);
+    assert!(series_value("ivy_daemon_cache_misses_total") >= 1);
+    assert!(series_value("ivy_daemon_pointsto_batch_hits_total") >= 1);
+
+    client.shutdown().unwrap();
+    handle.join();
 }
