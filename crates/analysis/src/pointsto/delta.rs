@@ -1,0 +1,299 @@
+//! DRed-style delta re-solve.
+//!
+//! The incremental path used to re-propagate the whole cached constraint
+//! graph after every edit, however small. This module repairs the
+//! *previous fixpoint* instead, in the classic delete-and-rederive shape:
+//!
+//! 1. **Over-approximate deletion.** Diff the old and new solve plans by
+//!    batch key (a multiset diff — identical functions share keys). Every
+//!    node a retracted batch defines, every pointee a retracted store
+//!    reached, and every binding node of a retracted call site is a
+//!    deletion root; the root set closes forward over the new static
+//!    edges and the logged dynamic edges (an edge also poisons its target
+//!    when its *trigger* — the node whose points-to set spawned it — is
+//!    affected). Affected sets are discarded wholesale.
+//! 2. **Re-derive survivors.** Unaffected sets are restored as-is;
+//!    surviving dynamic edges are re-installed without re-propagation
+//!    (their contribution is already inside the retained sets). Seeds,
+//!    copy edges into affected or fresh nodes, dereference re-spawns, and
+//!    indirect-call re-bindings then reseed exactly the derivations the
+//!    deletion may have destroyed.
+//! 3. **Insert phase.** The ordinary difference-propagating worklist runs
+//!    to the fixpoint — the same loop a cold solve uses, just starting
+//!    from a mostly-full solution.
+//!
+//! Because the env hash keys every batch, a delta-applicable edit can only
+//! have touched function *bodies*: the function set, signatures, globals,
+//! and composites — and therefore the bind table — are identical between
+//! the two plans, which is what makes the logged binding edges stable.
+//! The repaired fixpoint is the least fixpoint of the new plan, so the
+//! output is byte-identical to a cold solve.
+
+use super::constraints::{IConstraint, InternedBatch};
+use super::solve::{finish, prepare, BindTable, SolveOutput, Solver};
+use super::{FixpointState, Sensitivity};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+/// A delta re-solve's output plus its repair statistics.
+pub(super) struct DeltaOutcome {
+    pub out: SolveOutput,
+    /// Points-to facts discarded with the affected nodes.
+    pub deleted: usize,
+    /// Delta locations propagated while re-deriving.
+    pub rederived: u64,
+}
+
+/// Number of batch instances the new plan retracts from the old one
+/// (multiset difference by key). The dispatcher only repairs when this is
+/// small relative to the old plan; a rewrite re-propagates instead.
+pub(super) fn retracted_batches(
+    old: &[(u64, Arc<InternedBatch>)],
+    new: &[(u64, Arc<InternedBatch>)],
+) -> usize {
+    let mut counts: HashMap<u64, i64> = HashMap::with_capacity(old.len());
+    for (key, _) in old {
+        *counts.entry(*key).or_insert(0) += 1;
+    }
+    for (key, _) in new {
+        *counts.entry(*key).or_insert(0) -= 1;
+    }
+    counts
+        .values()
+        .filter(|&&c| c > 0)
+        .map(|&c| c as usize)
+        .sum()
+}
+
+/// Repairs `state` (the logged fixpoint of the old plan) into the least
+/// fixpoint of `new_plan`. Byte-identical to solving the new plan cold.
+pub(super) fn solve_delta(
+    sensitivity: Sensitivity,
+    new_plan: &[(u64, Arc<InternedBatch>)],
+    bind: &BindTable,
+    state: &FixpointState,
+    log: bool,
+) -> DeltaOutcome {
+    let seed_span = ivy_telemetry::span("pointsto/seed", sensitivity.name());
+    let mut solver = Solver::new(sensitivity, bind, log);
+
+    let batches: Vec<Arc<InternedBatch>> = new_plan.iter().map(|(_, b)| Arc::clone(b)).collect();
+    let prep = prepare(&mut solver, &batches);
+
+    // The tables must also cover ids only the *old* fixpoint mentions
+    // (an edit can shrink a function, orphaning its higher temp ids).
+    let mut max_id = solver.sets.len().saturating_sub(1) as u32;
+    for (id, set) in state.sets.iter() {
+        max_id = max_id.max(*id);
+        for &p in set {
+            max_id = max_id.max(p);
+        }
+    }
+    for &(u, v, t) in &state.dyn_edges {
+        max_id = max_id.max(u).max(v).max(t);
+    }
+    solver.ensure(max_id as usize + 1);
+    let nn = solver.sets.len();
+
+    // Dense view of the old solution for root computation.
+    let mut old_sets: Vec<&[u32]> = vec![&[]; nn];
+    for (id, set) in state.sets.iter() {
+        old_sets[*id as usize] = set;
+    }
+
+    // Plan diff: batch keys retracted from / fresh in the new plan.
+    let mut counts: HashMap<u64, i64> = HashMap::with_capacity(state.plan.len());
+    for (key, _) in &state.plan {
+        *counts.entry(*key).or_insert(0) += 1;
+    }
+    for (key, _) in new_plan {
+        *counts.entry(*key).or_insert(0) -= 1;
+    }
+    let fresh_keys: HashSet<u64> = counts
+        .iter()
+        .filter(|(_, &c)| c < 0)
+        .map(|(&k, _)| k)
+        .collect();
+    let retracted_keys: HashSet<u64> = counts
+        .iter()
+        .filter(|(_, &c)| c > 0)
+        .map(|(&k, _)| k)
+        .collect();
+
+    // Deletion roots. Identical batches share a key, so one representative
+    // per retracted key covers every retracted instance.
+    let mut affected = vec![false; nn];
+    let mut queue: VecDeque<u32> = VecDeque::new();
+    let mark = |id: u32, affected: &mut Vec<bool>, queue: &mut VecDeque<u32>| {
+        if !affected[id as usize] {
+            affected[id as usize] = true;
+            queue.push_back(id);
+        }
+    };
+    let mut seen_keys: HashSet<u64> = HashSet::new();
+    for (key, batch) in &state.plan {
+        if !retracted_keys.contains(key) || !seen_keys.insert(*key) {
+            continue;
+        }
+        for c in &batch.constraints {
+            match *c {
+                IConstraint::AddrOf { dst, .. }
+                | IConstraint::Copy { dst, .. }
+                | IConstraint::Load { dst, .. } => mark(dst, &mut affected, &mut queue),
+                IConstraint::Store { dst, .. } => {
+                    for &p in old_sets[dst as usize] {
+                        mark(p, &mut affected, &mut queue);
+                    }
+                }
+            }
+        }
+        for site in &batch.sites {
+            mark(site.result, &mut affected, &mut queue);
+            for &a in &site.args {
+                mark(a, &mut affected, &mut queue);
+            }
+            for &f in old_sets[site.callee as usize] {
+                let Some(name) = bind.func_names.get(&f) else {
+                    continue;
+                };
+                let Some((params, ret)) = bind.funcs.get(name) else {
+                    continue;
+                };
+                mark(*ret, &mut affected, &mut queue);
+                for &p in params {
+                    mark(p, &mut affected, &mut queue);
+                }
+            }
+        }
+    }
+
+    // Close the root set forward: anything an affected node (or an edge
+    // whose trigger is affected) ever flowed into may lose facts.
+    let mut dyn_from: HashMap<u32, Vec<u32>> = HashMap::new();
+    for &(u, v, trigger) in &state.dyn_edges {
+        dyn_from.entry(u).or_default().push(v);
+        dyn_from.entry(trigger).or_default().push(v);
+    }
+    while let Some(x) = queue.pop_front() {
+        for i in 0..solver.copy_out[x as usize].len() {
+            let v = solver.copy_out[x as usize][i];
+            if !affected[v as usize] {
+                affected[v as usize] = true;
+                queue.push_back(v);
+            }
+        }
+        if let Some(vs) = dyn_from.get(&x) {
+            for &v in vs.clone().iter() {
+                if !affected[v as usize] {
+                    affected[v as usize] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+
+    // Delete affected sets, restore the rest.
+    let mut deleted = 0usize;
+    for (id, set) in state.sets.iter() {
+        if affected[*id as usize] {
+            deleted += set.len();
+        } else {
+            solver.sets[*id as usize] = set.clone();
+        }
+    }
+
+    // Surviving dynamic edges re-install without re-propagation: their
+    // contribution is already inside the retained target sets.
+    for &(u, v, trigger) in &state.dyn_edges {
+        if !affected[u as usize] && !affected[v as usize] && !affected[trigger as usize] {
+            solver.keep_dyn_edge(u, v, trigger);
+        }
+    }
+
+    // Re-derivation seeds. (a) Every AddrOf seed (a no-op merge on
+    // retained sets).
+    for &(dst, loc) in &prep.seeds {
+        solver.add_pts(dst, &[loc]);
+    }
+    // (b) Retained sets flow across static edges into affected targets,
+    // and across every edge of a fresh batch (a fresh target may be clean
+    // yet have never seen its new source).
+    for (key, batch) in new_plan {
+        let fresh = fresh_keys.contains(key);
+        for c in &batch.constraints {
+            if let IConstraint::Copy { dst, src } = *c {
+                if dst != src
+                    && (fresh || affected[dst as usize])
+                    && !solver.sets[src as usize].is_empty()
+                {
+                    let snapshot = solver.sets[src as usize].clone();
+                    solver.add_pts(dst, &snapshot);
+                }
+            }
+        }
+    }
+    // (c) Dereference re-spawns from current pointee sets (kept edges
+    // dedup to no-ops; dropped and fresh ones propagate).
+    for batch in &batches {
+        for c in &batch.constraints {
+            match *c {
+                IConstraint::Load { dst, src } => {
+                    let pointees = solver.sets[src as usize].clone();
+                    for p in pointees {
+                        solver.add_copy_edge(p, dst, src);
+                    }
+                }
+                IConstraint::Store { dst, src } => {
+                    let pointees = solver.sets[dst as usize].clone();
+                    for p in pointees {
+                        solver.add_copy_edge(src, p, dst);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    // (d) Indirect-call re-bindings from current callee sets (affected
+    // callees re-bind inside the worklist as their sets refill).
+    for site in &prep.sites {
+        let funcs: Vec<u32> = solver.sets[site.callee as usize]
+            .iter()
+            .copied()
+            .filter(|p| bind.func_names.contains_key(p))
+            .collect();
+        let (args, result) = (site.args.clone(), site.result);
+        for f in funcs {
+            solver.bind_target(&args, result, f, site.callee);
+        }
+    }
+    drop(seed_span);
+
+    // Insert phase: the ordinary difference-propagating worklist.
+    let propagate_span = ivy_telemetry::span("pointsto/propagate", sensitivity.name());
+    let rederived = solver.drain(&prep.sites, &prep.sites_of);
+    drop(propagate_span);
+
+    // The binding count must match what a cold solve would have counted:
+    // recompute it from the final callee sets (repair-time bind calls
+    // can double-visit pairs the kept edges already covered).
+    let steensgaard = solver.steensgaard;
+    let mut total = prep.initial_constraints;
+    for site in &prep.sites {
+        for p in &solver.sets[site.callee as usize] {
+            total += bind.binding_cost(site.args.len(), *p, steensgaard);
+        }
+    }
+    solver.total_constraints = total;
+
+    ivy_telemetry::counter("ivy_pointsto_worklist_pops_total", solver.pops as u64);
+    ivy_telemetry::counter("ivy_pointsto_delta_locations_total", rederived);
+    ivy_telemetry::counter("ivy_pointsto_delta_deleted_total", deleted as u64);
+    ivy_telemetry::counter("ivy_pointsto_delta_rederived_total", rederived);
+
+    let out = finish(solver, &prep, prep.initial_constraints);
+    DeltaOutcome {
+        out,
+        deleted,
+        rederived,
+    }
+}

@@ -17,38 +17,58 @@
 //!
 //! # The substrate
 //!
-//! The analysis is split into three layers (one module each):
+//! The analysis is split into layered modules:
 //!
 //! * [`constraints`](self) — syntax-directed constraint generation, batched
 //!   per function; a batch depends only on the function's own definition
 //!   plus the whole-program type environment.
 //! * `intern` — [`Loc`] ↔ dense `u32` interning, so the solver runs on
 //!   integer indices and `Vec` adjacency instead of string-keyed maps.
-//! * `solve` — the worklist solver with **difference propagation** (only
-//!   newly-added locations flow along edges) and online indirect-call
-//!   resolution (discovering a function-pointer target adds its binding
-//!   edges inside the worklist). The fixpoint terminates by construction;
-//!   there is no iteration cap anywhere.
+//! * `solve` — the serial worklist solver with **difference propagation**
+//!   (only newly-added locations flow along edges) and online
+//!   indirect-call resolution (discovering a function-pointer target adds
+//!   its binding edges inside the worklist). The fixpoint terminates by
+//!   construction; there is no iteration cap anywhere.
+//! * `parallel` — the **parallel wavefront** solver: the copy graph is
+//!   condensed into SCCs, nodes are partitioned once into ownership
+//!   shards of whole SCCs contiguous in topological order, and the solve
+//!   runs in supersteps (shards drain local worklists in parallel, a
+//!   serial merge barrier routes cross-shard deltas and installs
+//!   dynamically discovered edges). The inclusion fixpoint is unique, so
+//!   the result is byte-identical to `solve` at any thread count.
+//! * `unify` — **union-find Steensgaard**: path-compressed, union-by-rank
+//!   unification, the native representation for equality constraints
+//!   (the worklist encodes them as mirrored subset edges).
+//! * `delta` — **DRed-style delta re-solve**: after an edit, retracted
+//!   batches' facts are over-approximately deleted, survivors re-derived,
+//!   and the new batches' facts inserted by difference propagation —
+//!   instead of re-propagating the whole cached graph.
 //!
-//! Three entry points share those layers:
+//! Entry points share those layers:
 //!
-//! * [`analyze`] — one-shot worklist solve (the default).
-//! * [`analyze_incremental`] — worklist solve against a [`ConstraintCache`]:
-//!   per-function constraint batches are keyed by
-//!   `mix(content_hash, env_hash)` and reused across programs, so
-//!   re-analyzing an edited program regenerates constraints only for the
-//!   dirty functions and re-solves from the cached interned graph.
+//! * [`analyze`] / [`analyze_with`] — one-shot solve; [`SolveOptions`]
+//!   picks the solver ([`SolverChoice`], `IVY_THREADS`) or lets dispatch
+//!   choose (union-find for Steensgaard, wavefront at >1 thread).
+//! * [`analyze_incremental`] / [`analyze_incremental_with`] — solve
+//!   against a [`ConstraintCache`]: per-function constraint batches are
+//!   keyed by `mix(content_hash, env_hash)` and reused across programs,
+//!   so re-analyzing an edited program regenerates constraints only for
+//!   the dirty functions; small edits are delta-repaired, large ones
+//!   re-propagated ([`SolveMode`] reports which path ran).
 //! * [`analyze_naive`] — the retained naive reference solver, kept for
 //!   differential testing (Klinger et al.-style) and the ablation bench.
 //!
-//! All three produce identical `pts` / `indirect_targets`; the differential
-//! property test in `crates/analysis/tests/differential_pointsto.rs` pins
-//! that down on generated programs across every sensitivity.
+//! All paths produce identical `pts` / `indirect_targets`; the differential
+//! property tests in `crates/analysis/tests/differential_pointsto.rs` pin
+//! that down on generated programs across every sensitivity and solver.
 
 mod constraints;
+mod delta;
 mod intern;
 mod naive;
+mod parallel;
 mod solve;
+mod unify;
 
 use crate::summary::{env_hash, fnv1a, mix};
 use constraints::{gen_function_batch, gen_globals, gen_program, intern_batch, InternedBatch};
@@ -81,6 +101,99 @@ impl Sensitivity {
             Sensitivity::AndersenField => "andersen+field",
         }
     }
+}
+
+/// Which solver implementation a solve should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum SolverChoice {
+    /// Pick automatically: union-find for Steensgaard, delta repair when a
+    /// cached fixpoint covers the edit, the parallel wavefront when more
+    /// than one thread is configured, the serial worklist otherwise.
+    #[default]
+    Auto,
+    /// The serial difference-propagating worklist.
+    Worklist,
+    /// Union-find unification (Steensgaard only; other sensitivities fall
+    /// back to the worklist).
+    UnionFind,
+    /// The parallel wavefront solver.
+    Parallel,
+}
+
+/// How a solve should run. [`SolveOptions::from_env`] reads `IVY_THREADS`
+/// so deployments opt into parallel solving without an API change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolveOptions {
+    /// Solver implementation to use.
+    pub solver: SolverChoice,
+    /// Worker threads for the parallel wavefront solver (1 = serial).
+    pub threads: usize,
+}
+
+impl Default for SolveOptions {
+    fn default() -> SolveOptions {
+        SolveOptions {
+            solver: SolverChoice::Auto,
+            threads: 1,
+        }
+    }
+}
+
+impl SolveOptions {
+    /// Options driven by the environment: `IVY_THREADS` sets the thread
+    /// count (default 1), solver choice stays automatic.
+    pub fn from_env() -> SolveOptions {
+        let threads = std::env::var("IVY_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&t| t >= 1)
+            .unwrap_or(1);
+        SolveOptions {
+            solver: SolverChoice::Auto,
+            threads,
+        }
+    }
+}
+
+/// How a points-to result was actually computed (the solve-mode
+/// discriminator surfaced through engine stats and the daemon).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum SolveMode {
+    /// Solved from scratch: every constraint batch was generated fresh.
+    #[default]
+    Cold,
+    /// Re-propagated the full cached constraint graph (batches reused,
+    /// but the fixpoint was recomputed from empty sets).
+    Repropagate,
+    /// DRed-style repair of a previous fixpoint: delete the
+    /// over-approximate deletion set, re-derive survivors, insert.
+    DeltaRepair,
+}
+
+impl SolveMode {
+    /// Stable name used in stats, metrics labels, and bench reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SolveMode::Cold => "cold",
+            SolveMode::Repropagate => "incremental-repropagate",
+            SolveMode::DeltaRepair => "delta-repair",
+        }
+    }
+}
+
+/// A logged fixpoint: everything the delta re-solver needs to repair the
+/// previous solution instead of re-propagating from scratch. The sets are
+/// shared (`Arc`) with the [`PointsToResult`] that produced them — capture
+/// is O(plan length), not a copy of the solution.
+#[derive(Debug)]
+struct FixpointState {
+    /// The solve plan that produced this fixpoint, as `(batch key, batch)`.
+    plan: Vec<(u64, Arc<InternedBatch>)>,
+    /// Non-empty points-to sets at the fixpoint.
+    sets: Arc<Vec<(u32, Vec<u32>)>>,
+    /// Dynamic copy edges `(src, dst, trigger)` the solve spawned while
+    /// processing loads, stores, and indirect-call bindings.
+    dyn_edges: Vec<solve::DynEdge>,
 }
 
 /// An abstract memory location.
@@ -178,6 +291,16 @@ pub struct PointsToResult {
     pub batches_reused: usize,
     /// Per-function constraint batches generated fresh in this run.
     pub batches_generated: usize,
+    /// How this result was computed (cold / re-propagate / delta repair).
+    pub mode: SolveMode,
+    /// Worker threads the solve actually used.
+    pub threads_used: usize,
+    /// Facts discarded by the delta re-solver's deletion phase (0 unless
+    /// `mode` is [`SolveMode::DeltaRepair`]).
+    pub delta_deleted: u64,
+    /// Delta locations re-propagated while repairing (0 unless `mode` is
+    /// [`SolveMode::DeltaRepair`]).
+    pub delta_rederived: u64,
 }
 
 impl PointsToResult {
@@ -208,6 +331,10 @@ impl PointsToResult {
             iterations: out.pops,
             batches_reused,
             batches_generated,
+            mode: SolveMode::Cold,
+            threads_used: 1,
+            delta_deleted: 0,
+            delta_rederived: 0,
         }
     }
 
@@ -229,6 +356,10 @@ impl PointsToResult {
             iterations,
             batches_reused: 0,
             batches_generated: 0,
+            mode: SolveMode::Cold,
+            threads_used: 1,
+            delta_deleted: 0,
+            delta_rederived: 0,
         }
     }
 
@@ -286,10 +417,66 @@ impl PointsToResult {
     }
 }
 
-/// Runs the points-to analysis over a whole program with the worklist
-/// solver (one-shot: constraints are generated, interned into a fresh
-/// interner, and solved).
+/// Resolves [`SolverChoice::Auto`] for a from-scratch fixpoint (the delta
+/// branch is decided by the incremental path before calling this).
+fn resolve_choice(sensitivity: Sensitivity, opts: SolveOptions) -> SolverChoice {
+    match opts.solver {
+        SolverChoice::Auto => {
+            if sensitivity == Sensitivity::Steensgaard {
+                SolverChoice::UnionFind
+            } else if opts.threads > 1 {
+                SolverChoice::Parallel
+            } else {
+                SolverChoice::Worklist
+            }
+        }
+        c => c,
+    }
+}
+
+/// Runs the chosen from-scratch solver. Returns the output plus the thread
+/// count actually used. `log` asks the solver to record its dynamic edges
+/// so the fixpoint can later be repaired incrementally (the union-find
+/// solver cannot log — its fixpoints are never delta-repaired).
+fn run_solver(
+    sensitivity: Sensitivity,
+    batches: &[Arc<InternedBatch>],
+    bind: &solve::BindTable,
+    opts: SolveOptions,
+    log: bool,
+) -> (solve::SolveOutput, usize) {
+    match resolve_choice(sensitivity, opts) {
+        SolverChoice::Auto => unreachable!("resolved above"),
+        SolverChoice::Worklist => (solve::solve_worklist(sensitivity, batches, bind, log), 1),
+        SolverChoice::UnionFind if sensitivity == Sensitivity::Steensgaard => {
+            (unify::solve_unify(sensitivity, batches, bind), 1)
+        }
+        // Unification is only an equality-based (Steensgaard) encoding;
+        // asking for it at a subset-based sensitivity means the worklist.
+        SolverChoice::UnionFind => (solve::solve_worklist(sensitivity, batches, bind, log), 1),
+        SolverChoice::Parallel => {
+            let threads = opts.threads.max(1);
+            (
+                parallel::solve_parallel(sensitivity, batches, bind, threads, log),
+                threads,
+            )
+        }
+    }
+}
+
+/// Runs the points-to analysis over a whole program (one-shot: constraints
+/// are generated, interned into a fresh interner, and solved) with the
+/// solver and thread count taken from the environment ([`SolveOptions::from_env`]).
 pub fn analyze(program: &Program, sensitivity: Sensitivity) -> PointsToResult {
+    analyze_with(program, sensitivity, SolveOptions::from_env())
+}
+
+/// [`analyze`] with explicit solver options.
+pub fn analyze_with(
+    program: &Program,
+    sensitivity: Sensitivity,
+    opts: SolveOptions,
+) -> PointsToResult {
     let interner = Arc::new(SharedInterner::default());
     let (batches, bind) = {
         let _span = ivy_telemetry::span("pointsto/intern", sensitivity.name());
@@ -301,9 +488,12 @@ pub fn analyze(program: &Program, sensitivity: Sensitivity) -> PointsToResult {
         let bind = solve::BindTable::build(program, &batches, &mut guard);
         (batches, bind)
     };
-    let out = solve::solve_worklist(sensitivity, &batches, &bind);
+    let (out, threads_used) = run_solver(sensitivity, &batches, &bind, opts, false);
     let generated = batches.len();
-    PointsToResult::from_solution(interner, out, sensitivity, 0, generated)
+    let mut r = PointsToResult::from_solution(interner, out, sensitivity, 0, generated);
+    r.threads_used = threads_used;
+    ivy_telemetry::counter_labeled("ivy_pointsto_solves_total", "mode", r.mode.name(), 1);
+    r
 }
 
 /// Runs the retained naive reference solver (rescan-all rounds over
@@ -340,8 +530,15 @@ const BATCH_CACHE_CAP: usize = 16384;
 pub struct ConstraintCache {
     interner: Arc<SharedInterner>,
     batches: Mutex<HashMap<u64, Arc<InternedBatch>>>,
+    /// Last logged fixpoint per sensitivity, for delta repair. A stale
+    /// state is never wrong — it carries its own plan, and the repair is
+    /// a plan diff — only potentially far from the new program.
+    states: Mutex<HashMap<u64, Arc<FixpointState>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    solves_cold: AtomicU64,
+    solves_repropagate: AtomicU64,
+    solves_delta: AtomicU64,
 }
 
 impl ConstraintCache {
@@ -369,6 +566,30 @@ impl ConstraintCache {
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
     }
+
+    /// Solves through this cache that ran cold (no batch reused).
+    pub fn solves_cold(&self) -> u64 {
+        self.solves_cold.load(Ordering::Relaxed)
+    }
+
+    /// Solves that re-propagated the cached graph from empty sets.
+    pub fn solves_repropagate(&self) -> u64 {
+        self.solves_repropagate.load(Ordering::Relaxed)
+    }
+
+    /// Solves that delta-repaired a previous fixpoint.
+    pub fn solves_delta(&self) -> u64 {
+        self.solves_delta.load(Ordering::Relaxed)
+    }
+
+    fn count_mode(&self, mode: SolveMode) {
+        let c = match mode {
+            SolveMode::Cold => &self.solves_cold,
+            SolveMode::Repropagate => &self.solves_repropagate,
+            SolveMode::DeltaRepair => &self.solves_delta,
+        };
+        c.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// Runs the worklist analysis against a [`ConstraintCache`], reusing the
@@ -380,6 +601,19 @@ pub fn analyze_incremental(
     sensitivity: Sensitivity,
     cache: &ConstraintCache,
 ) -> PointsToResult {
+    analyze_incremental_with(program, sensitivity, cache, SolveOptions::from_env())
+}
+
+/// [`analyze_incremental`] with explicit solver options. When the cache
+/// holds a logged fixpoint for this sensitivity and the edit retracts at
+/// most half of the previous plan, the solve runs as a DRed-style delta
+/// repair instead of re-propagating the whole graph.
+pub fn analyze_incremental_with(
+    program: &Program,
+    sensitivity: Sensitivity,
+    cache: &ConstraintCache,
+    opts: SolveOptions,
+) -> PointsToResult {
     let env = env_hash(program);
     let sens_tag = fnv1a(sensitivity.name().as_bytes());
     // The interner lock covers only batch fetch/generation/interning and
@@ -387,7 +621,7 @@ pub fn analyze_incremental(
     // solves sharing one cache (e.g. corpus variants) stay parallel.
     let intern_span = ivy_telemetry::span("pointsto/intern", sensitivity.name());
     let mut interner = cache.interner.lock();
-    let mut plan: Vec<Arc<InternedBatch>> = Vec::with_capacity(program.functions.len() + 1);
+    let mut plan: Vec<(u64, Arc<InternedBatch>)> = Vec::with_capacity(program.functions.len() + 1);
     let mut reused = 0usize;
     let mut generated = 0usize;
     {
@@ -408,18 +642,24 @@ pub fn analyze_incremental(
             map.insert(key, Arc::clone(&batch));
             batch
         };
-        plan.push(fetch(
+        plan.push((
             globals_key,
-            &|| gen_globals(program, sensitivity),
-            &mut interner,
+            fetch(
+                globals_key,
+                &|| gen_globals(program, sensitivity),
+                &mut interner,
+            ),
         ));
         for f in program.functions.iter().filter(|f| f.body.is_some()) {
             let content = function_content_hash(f);
             let key = mix(mix(content, env), sens_tag);
-            plan.push(fetch(
+            plan.push((
                 key,
-                &|| gen_function_batch(program, sensitivity, f),
-                &mut interner,
+                fetch(
+                    key,
+                    &|| gen_function_batch(program, sensitivity, f),
+                    &mut interner,
+                ),
             ));
         }
     }
@@ -427,17 +667,77 @@ pub fn analyze_incremental(
     cache.misses.fetch_add(generated as u64, Ordering::Relaxed);
     ivy_telemetry::counter("ivy_pointsto_batch_cache_hits_total", reused as u64);
     ivy_telemetry::counter("ivy_pointsto_batch_cache_misses_total", generated as u64);
-    let bind = solve::BindTable::build(program, &plan, &mut interner);
+    let batches: Vec<Arc<InternedBatch>> = plan.iter().map(|(_, b)| Arc::clone(b)).collect();
+    let bind = solve::BindTable::build(program, &batches, &mut interner);
     drop(interner);
     drop(intern_span);
-    let out = solve::solve_worklist(sensitivity, &plan, &bind);
-    PointsToResult::from_solution(
+
+    // Delta repair applies only under automatic dispatch (an explicit
+    // solver choice is a request for that exact algorithm), only off the
+    // worklist family (union-find fixpoints are never logged), and only
+    // when the edit is small enough that repair plausibly beats
+    // re-propagation.
+    let prior: Option<Arc<FixpointState>> = cache
+        .states
+        .lock()
+        .expect("state map poisoned")
+        .get(&sens_tag)
+        .cloned();
+    let use_delta = opts.solver == SolverChoice::Auto
+        && sensitivity != Sensitivity::Steensgaard
+        && prior
+            .as_ref()
+            .is_some_and(|st| delta::retracted_batches(&st.plan, &plan) * 2 <= st.plan.len());
+
+    let (mut out, threads_used, mode, deleted, rederived) = if use_delta {
+        let st = prior.expect("checked above");
+        let d = delta::solve_delta(sensitivity, &plan, &bind, &st, true);
+        (
+            d.out,
+            1,
+            SolveMode::DeltaRepair,
+            d.deleted as u64,
+            d.rederived,
+        )
+    } else {
+        let (out, threads) = run_solver(sensitivity, &batches, &bind, opts, true);
+        let mode = if reused == 0 {
+            SolveMode::Cold
+        } else {
+            SolveMode::Repropagate
+        };
+        (out, threads, mode, 0, 0)
+    };
+
+    // Capture the fixpoint for the next edit's delta repair. Only the
+    // worklist family logs dynamic edges; the union-find solver returns
+    // `None` and its fixpoints are simply not capturable.
+    let dyn_edges = out.dyn_edges.take();
+    let mut r = PointsToResult::from_solution(
         Arc::clone(&cache.interner),
         out,
         sensitivity,
         reused,
         generated,
-    )
+    );
+    if let Some(dyn_edges) = dyn_edges {
+        let sets = Arc::clone(&r.solution.as_ref().expect("interned solution").sets);
+        cache.states.lock().expect("state map poisoned").insert(
+            sens_tag,
+            Arc::new(FixpointState {
+                plan,
+                sets,
+                dyn_edges,
+            }),
+        );
+    }
+    r.mode = mode;
+    r.threads_used = threads_used;
+    r.delta_deleted = deleted;
+    r.delta_rederived = rederived;
+    cache.count_mode(mode);
+    ivy_telemetry::counter_labeled("ivy_pointsto_solves_total", "mode", mode.name(), 1);
+    r
 }
 
 #[cfg(test)]
@@ -767,5 +1067,141 @@ mod tests {
             parse_program(&OPS_TABLE.replace("fn do_read(n: u32)", "fn do_read()")).unwrap();
         let incr = analyze_incremental(&edited, Sensitivity::Andersen, &cache);
         assert_eq!(incr.batches_reused, 0, "env change dirties everything");
+        // A full invalidation also retracts every cached batch, so the
+        // delta repairer must refuse and the solve runs cold.
+        assert_eq!(incr.mode, SolveMode::Cold);
+    }
+
+    /// Every explicit solver choice produces byte-identical output to the
+    /// naive reference, including the constraint statistics.
+    #[test]
+    fn explicit_solvers_match_naive() {
+        let p = parse_program(OPS_TABLE).unwrap();
+        for s in [
+            Sensitivity::Steensgaard,
+            Sensitivity::Andersen,
+            Sensitivity::AndersenField,
+        ] {
+            let slow = analyze_naive(&p, s);
+            for (solver, threads) in [
+                (SolverChoice::Worklist, 1),
+                (SolverChoice::UnionFind, 1),
+                (SolverChoice::Parallel, 4),
+            ] {
+                let r = analyze_with(&p, s, SolveOptions { solver, threads });
+                assert_eq!(r.pts(), slow.pts(), "{} {:?} pts", s.name(), solver);
+                assert_eq!(
+                    r.indirect_targets,
+                    slow.indirect_targets,
+                    "{} {:?} targets",
+                    s.name(),
+                    solver
+                );
+                assert_eq!(r.initial_constraints, slow.initial_constraints);
+                assert_eq!(
+                    r.constraint_count,
+                    slow.constraint_count,
+                    "{} {:?} constraint totals",
+                    s.name(),
+                    solver
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn auto_dispatch_picks_thread_count_and_solver() {
+        let p = parse_program(OPS_TABLE).unwrap();
+        let r = analyze_with(
+            &p,
+            Sensitivity::Andersen,
+            SolveOptions {
+                solver: SolverChoice::Auto,
+                threads: 4,
+            },
+        );
+        assert_eq!(r.threads_used, 4, "auto with threads>1 goes parallel");
+        let serial = analyze_with(&p, Sensitivity::Andersen, SolveOptions::default());
+        assert_eq!(serial.threads_used, 1);
+        assert_eq!(r.pts(), serial.pts());
+    }
+
+    /// A body-only edit repairs the cached fixpoint (DRed delete +
+    /// re-derive) and still matches a from-scratch solve byte for byte —
+    /// in both directions, since repair is a plan diff, not a replay.
+    #[test]
+    fn delta_repair_after_edit_matches_scratch() {
+        for s in [Sensitivity::Andersen, Sensitivity::AndersenField] {
+            let p = parse_program(OPS_TABLE).unwrap();
+            let cache = ConstraintCache::new();
+            let cold = analyze_incremental_with(&p, s, &cache, SolveOptions::default());
+            assert_eq!(cold.mode, SolveMode::Cold);
+
+            // Deleting a derivation: the direct vfs_read call disappears.
+            let edited_src = OPS_TABLE.replace("return vfs_read(&ext2_ops, n);", "return 0;");
+            let edited = parse_program(&edited_src).unwrap();
+            let repaired = analyze_incremental_with(&edited, s, &cache, SolveOptions::default());
+            assert_eq!(repaired.mode, SolveMode::DeltaRepair, "{}", s.name());
+            assert_eq!(repaired.batches_generated, 1);
+            let scratch = analyze_with(
+                &edited,
+                s,
+                SolveOptions {
+                    solver: SolverChoice::Worklist,
+                    threads: 1,
+                },
+            );
+            assert_eq!(repaired.pts(), scratch.pts(), "{} delete-edit", s.name());
+            assert_eq!(repaired.indirect_targets, scratch.indirect_targets);
+            assert_eq!(repaired.initial_constraints, scratch.initial_constraints);
+            assert_eq!(repaired.constraint_count, scratch.constraint_count);
+
+            // Re-adding it: the repair must re-derive the lost facts from
+            // the edited fixpoint.
+            let back = analyze_incremental_with(&p, s, &cache, SolveOptions::default());
+            assert_eq!(back.mode, SolveMode::DeltaRepair);
+            assert_eq!(back.pts(), cold.pts(), "{} re-add edit", s.name());
+            assert_eq!(back.indirect_targets, cold.indirect_targets);
+            assert_eq!(back.constraint_count, cold.constraint_count);
+            assert_eq!(cache.solves_delta(), 2);
+            assert_eq!(cache.solves_cold(), 1);
+        }
+    }
+
+    /// An edit that rewires a function-pointer table: the repair has to
+    /// retract previously-derived indirect-call bindings and their
+    /// downstream flows, not just local sets.
+    #[test]
+    fn delta_repair_retracts_indirect_call_bindings() {
+        let p = parse_program(OPS_TABLE).unwrap();
+        let cache = ConstraintCache::new();
+        analyze_incremental_with(
+            &p,
+            Sensitivity::AndersenField,
+            &cache,
+            SolveOptions::default(),
+        );
+        let edited_src = OPS_TABLE.replace("pipe_ops.read = pipe_read;", "");
+        let edited = parse_program(&edited_src).unwrap();
+        let repaired = analyze_incremental_with(
+            &edited,
+            Sensitivity::AndersenField,
+            &cache,
+            SolveOptions::default(),
+        );
+        assert_eq!(repaired.mode, SolveMode::DeltaRepair);
+        assert!(repaired.delta_deleted > 0, "the edit must delete facts");
+        let scratch = analyze_with(
+            &edited,
+            Sensitivity::AndersenField,
+            SolveOptions {
+                solver: SolverChoice::Worklist,
+                threads: 1,
+            },
+        );
+        assert_eq!(repaired.pts(), scratch.pts());
+        assert_eq!(repaired.indirect_targets, scratch.indirect_targets);
+        let targets = repaired.indirect_call_targets("vfs_read", "ops->read");
+        assert!(!targets.contains("pipe_read"), "stale target must die");
     }
 }

@@ -1,0 +1,393 @@
+//! Parallel wavefront solving.
+//!
+//! The serial worklist processes one node at a time even though most of
+//! the constraint graph is embarrassingly independent: after SCC
+//! condensation of the *static* copy graph (the same Tarjan the summary
+//! layer uses for call graphs), the condensation is a DAG, and a
+//! contiguous topological slice of it only talks to other slices through
+//! edges that cross a slice boundary.
+//!
+//! The solve partitions the graph **once** into per-thread shards — whole
+//! SCCs, consecutive in topological order, so copy chains and cycles stay
+//! shard-local — and each shard *owns* its nodes' points-to sets for the
+//! entire solve. Propagation proceeds in **supersteps** (the wavefront):
+//!
+//! * every shard drains a private worklist over its own nodes to a local
+//!   fixpoint against the shared, frozen-for-the-superstep adjacency,
+//!   buffering per-destination deltas for nodes it does not own along with
+//!   dereference-spawned copy edges and indirect-call bindings;
+//! * a single **merge barrier** per superstep routes the buffered deltas
+//!   into the owning shards' inboxes and installs new edges/bindings into
+//!   the shared adjacency (the only serial work — set merging itself is
+//!   done by the owners, in parallel, at the start of the next superstep);
+//! * a newly-installed edge `u → v` asks `u`'s owner to flush `u`'s
+//!   current set across it next superstep, so late edges see earlier
+//!   facts exactly like the serial solver's `add_copy_edge` does;
+//! * supersteps repeat until no shard produced cross-shard work.
+//!
+//! Determinism: shard assignment is a pure function of the interned graph,
+//! every shard drain is sequential, and the barrier applies buffers in
+//! shard order — but none of that is even required for the *output* to be
+//! byte-identical to the serial solver, because the least fixpoint of the
+//! (finite, monotone) constraint system is unique and the sorted sets and
+//! indirect-target map are derived from it alone.
+
+use super::constraints::{ISite, InternedBatch};
+use super::solve::{finish, merge_into, merge_sorted, prepare, BindTable, SolveOutput, Solver};
+use super::Sensitivity;
+use crate::summary::tarjan_scc_ids;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Solves `batches` on `threads` threads with one merge barrier per
+/// superstep. Byte-identical output to `solve_worklist`.
+pub(super) fn solve_parallel(
+    sensitivity: Sensitivity,
+    batches: &[Arc<InternedBatch>],
+    bind: &BindTable,
+    threads: usize,
+    log: bool,
+) -> SolveOutput {
+    let threads = threads.max(1);
+    let mut solver = Solver::new(sensitivity, bind, log);
+
+    // Spawn the workers first: they get scheduled while the serial graph
+    // build below runs, so the first superstep dispatches onto warm
+    // threads instead of paying thread-startup latency.
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("thread pool builds");
+
+    let seed_span = ivy_telemetry::span("pointsto/seed", sensitivity.name());
+    let prep = prepare(&mut solver, batches);
+    for &(dst, loc) in &prep.seeds {
+        solver.add_pts(dst, &[loc]);
+    }
+    drop(seed_span);
+
+    let propagate_span = ivy_telemetry::span("pointsto/propagate", sensitivity.name());
+
+    // Ownership partition: nodes sorted topologically (Tarjan emits
+    // successors first, so descending SCC id is a topological order of the
+    // condensation), then cut into `threads` contiguous runs of whole SCCs.
+    // Interning is function-major, so the tie-break on node id keeps each
+    // function's locations — and therefore most copy edges — shard-local.
+    let setup_span = ivy_telemetry::span("pointsto/wavesetup", sensitivity.name());
+    let n = solver.sets.len();
+    let (scc_of, scc_count) = tarjan_scc_ids(&solver.copy_out);
+    // Topological node order by counting sort: bucket for SCC `s` starts
+    // after the buckets of all higher SCC ids (descending id = topological
+    // order), nodes ascending within a bucket.
+    let mut counts = vec![0u32; scc_count as usize];
+    for &s in &scc_of {
+        counts[s as usize] += 1;
+    }
+    let mut cursor = vec![0u32; scc_count as usize];
+    let mut acc = 0u32;
+    for s in (0..scc_count as usize).rev() {
+        cursor[s] = acc;
+        acc += counts[s];
+    }
+    let mut order = vec![0u32; n];
+    for m in 0..n as u32 {
+        let s = scc_of[m as usize] as usize;
+        order[cursor[s] as usize] = m;
+        cursor[s] += 1;
+    }
+    // More shards than threads: convergence work clusters in the sink
+    // region of the condensation, and finer shards let the round-robin
+    // worker assignment spread a hot region across all workers instead of
+    // serializing it on one.
+    let want_shards = if threads == 1 { 1 } else { threads * 4 };
+    let target = n.div_ceil(want_shards).max(1);
+    let mut shard_nodes: Vec<Vec<u32>> = Vec::with_capacity(want_shards);
+    {
+        let mut cur: Vec<u32> = Vec::new();
+        let mut i = 0usize;
+        while i < order.len() {
+            let s = scc_of[order[i] as usize];
+            while i < order.len() && scc_of[order[i] as usize] == s {
+                cur.push(order[i]);
+                i += 1;
+            }
+            if cur.len() >= target && shard_nodes.len() + 1 < want_shards {
+                shard_nodes.push(std::mem::take(&mut cur));
+            }
+        }
+        if !cur.is_empty() || shard_nodes.is_empty() {
+            shard_nodes.push(cur);
+        }
+    }
+    let nshards = shard_nodes.len();
+    let mut owner = vec![0u32; n];
+    let mut slot = vec![0u32; n];
+    for (si, nodes) in shard_nodes.iter().enumerate() {
+        for (li, &m) in nodes.iter().enumerate() {
+            owner[m as usize] = si as u32;
+            slot[m as usize] = li as u32;
+        }
+    }
+    let mut shards: Vec<Shard> = shard_nodes
+        .into_iter()
+        .enumerate()
+        .map(|(si, nodes)| Shard::claim(si, nodes, nshards, &mut solver))
+        .collect();
+    solver.worklist.clear();
+    drop(setup_span);
+
+    let mut delta_total = 0u64;
+    let mut shard_pops = 0u64;
+    let mut merges = 0u64;
+    let mut supersteps = 0u64;
+    let mut inboxes: Vec<Inbox> = (0..nshards).map(|_| Inbox::new(nshards)).collect();
+    loop {
+        supersteps += 1;
+        let wave_span = ivy_telemetry::span("pointsto/parallel", sensitivity.name());
+        let shared = &solver;
+        let (owner_ref, slot_ref) = (&owner, &slot);
+        let (sites, sites_of) = (&prep.sites, &prep.sites_of);
+        let work: Vec<(Shard, Inbox)> = shards.into_iter().zip(inboxes).collect();
+        shards = pool.install(|| {
+            use rayon::prelude::*;
+            work.into_par_iter()
+                .map(|(mut s, inbox)| {
+                    s.step(shared, owner_ref, slot_ref, sites, sites_of, inbox);
+                    s
+                })
+                .collect()
+        });
+        drop(wave_span);
+
+        // Merge barrier: route buffered cross-shard deltas to their owners
+        // and install every new edge/binding, in shard order.
+        inboxes = (0..nshards).map(|_| Inbox::new(nshards)).collect();
+        let mut any = false;
+        for (si, shard) in shards.iter_mut().enumerate() {
+            for (ti, inbox) in inboxes.iter_mut().enumerate() {
+                let buf = std::mem::take(&mut shard.out[ti]);
+                if !buf.is_empty() {
+                    merges += buf.len() as u64;
+                    any = true;
+                    inbox.deltas[si] = buf;
+                }
+            }
+        }
+        let mut sink: Vec<(u32, u32)> = Vec::new();
+        for shard in &mut shards {
+            for (u, v, trigger) in std::mem::take(&mut shard.dyn_edges) {
+                if solver.keep_dyn_edge(u, v, trigger) {
+                    sink.push((u, v));
+                }
+            }
+            for (site_idx, f) in std::mem::take(&mut shard.binds) {
+                let site = prep.sites[site_idx];
+                let args = site.args.clone();
+                solver.bind_target_deferred(&args, site.result, f, site.callee, &mut sink);
+            }
+        }
+        for (u, v) in sink.drain(..) {
+            inboxes[owner[u as usize] as usize].flushes.push((u, v));
+            any = true;
+        }
+        if !any {
+            break;
+        }
+    }
+
+    // Hand every shard's node state back to the solver for `finish`.
+    for shard in &mut shards {
+        shard_pops += shard.pops;
+        solver.pops += shard.pops as usize;
+        delta_total += shard.dtotal;
+        for (li, &m) in shard.nodes.iter().enumerate() {
+            debug_assert!(shard.delta[li].is_empty(), "shards drain to local fixpoint");
+            solver.sets[m as usize] = std::mem::take(&mut shard.sets[li]);
+        }
+    }
+    drop(propagate_span);
+
+    ivy_telemetry::counter("ivy_pointsto_worklist_pops_total", solver.pops as u64);
+    ivy_telemetry::counter("ivy_pointsto_delta_locations_total", delta_total);
+    ivy_telemetry::counter("ivy_pointsto_parallel_shard_pops_total", shard_pops);
+    ivy_telemetry::counter("ivy_pointsto_parallel_merges_total", merges);
+    ivy_telemetry::counter("ivy_pointsto_parallel_waves_total", supersteps);
+
+    finish(solver, &prep, prep.initial_constraints)
+}
+
+/// Cross-shard input for one shard's next superstep.
+struct Inbox {
+    /// Buffered deltas `(node, items)`, indexed by sending shard so the
+    /// apply order is deterministic.
+    deltas: Vec<Vec<(u32, Vec<u32>)>>,
+    /// Newly-installed edges `u → v` with `u` owned here: the shard must
+    /// flush `u`'s current set across the edge.
+    flushes: Vec<(u32, u32)>,
+}
+
+impl Inbox {
+    fn new(nshards: usize) -> Inbox {
+        Inbox {
+            deltas: (0..nshards).map(|_| Vec::new()).collect(),
+            flushes: Vec::new(),
+        }
+    }
+}
+
+/// One ownership shard: a contiguous topological run of whole SCCs whose
+/// sets/deltas live here for the entire solve, a private worklist over
+/// them, and buffers for everything that must wait for the merge barrier.
+struct Shard {
+    idx: usize,
+    nodes: Vec<u32>,
+    sets: Vec<Vec<u32>>,
+    delta: Vec<Vec<u32>>,
+    inq: Vec<bool>,
+    queue: VecDeque<usize>,
+    pops: u64,
+    dtotal: u64,
+    /// Deltas destined for nodes other shards own, indexed by owner.
+    out: Vec<Vec<(u32, Vec<u32>)>>,
+    /// Dereference-spawned copy edges `(u, v, trigger)`.
+    dyn_edges: Vec<(u32, u32, u32)>,
+    /// Newly discovered indirect-call targets `(site index, func id)`.
+    binds: Vec<(usize, u32)>,
+}
+
+impl Shard {
+    /// Claims `nodes` from the global solver: their sets, deltas, and
+    /// queued flags move into the shard; queued nodes seed the private
+    /// worklist in slot (topological) order.
+    fn claim(idx: usize, nodes: Vec<u32>, nshards: usize, solver: &mut Solver) -> Shard {
+        let mut sets = Vec::with_capacity(nodes.len());
+        let mut delta = Vec::with_capacity(nodes.len());
+        let mut inq = Vec::with_capacity(nodes.len());
+        let mut queue = VecDeque::new();
+        for (li, &m) in nodes.iter().enumerate() {
+            let queued = std::mem::replace(&mut solver.queued[m as usize], false);
+            sets.push(std::mem::take(&mut solver.sets[m as usize]));
+            delta.push(std::mem::take(&mut solver.delta[m as usize]));
+            inq.push(queued);
+            if queued {
+                queue.push_back(li);
+            }
+        }
+        Shard {
+            idx,
+            nodes,
+            sets,
+            delta,
+            inq,
+            queue,
+            pops: 0,
+            dtotal: 0,
+            out: (0..nshards).map(|_| Vec::new()).collect(),
+            dyn_edges: Vec::new(),
+            binds: Vec::new(),
+        }
+    }
+
+    /// One superstep: apply the inbox (cross-shard deltas in sender order,
+    /// then set flushes for newly-installed edges), then drain the private
+    /// worklist to a local fixpoint against the shared frozen adjacency.
+    /// Mirrors `Solver::process_node`, with every cross-shard effect
+    /// buffered instead of applied.
+    fn step(
+        &mut self,
+        shared: &Solver,
+        owner: &[u32],
+        slot: &[u32],
+        sites: &[&ISite],
+        sites_of: &HashMap<u32, Vec<usize>>,
+        inbox: Inbox,
+    ) {
+        for buf in inbox.deltas {
+            for (m, items) in buf {
+                self.local_add(slot[m as usize] as usize, &items);
+            }
+        }
+        for (u, v) in inbox.flushes {
+            let su = slot[u as usize] as usize;
+            if self.sets[su].is_empty() {
+                continue;
+            }
+            let items = self.sets[su].clone();
+            self.route(v, &items, owner, slot);
+        }
+        while let Some(li) = self.queue.pop_front() {
+            self.pops += 1;
+            self.inq[li] = false;
+            let d = std::mem::take(&mut self.delta[li]);
+            if d.is_empty() {
+                continue;
+            }
+            self.dtotal += d.len() as u64;
+            let m = self.nodes[li];
+            for &t in &shared.load_out[m as usize] {
+                for &p in &d {
+                    self.spawn_edge(p, t, m, shared);
+                }
+            }
+            for &s in &shared.store_out[m as usize] {
+                for &p in &d {
+                    self.spawn_edge(s, p, m, shared);
+                }
+            }
+            for &succ in &shared.copy_out[m as usize] {
+                self.route(succ, &d, owner, slot);
+            }
+            if let Some(site_idxs) = sites_of.get(&m) {
+                let new_funcs: Vec<u32> = d
+                    .iter()
+                    .copied()
+                    .filter(|p| shared.bind.func_names.contains_key(p))
+                    .collect();
+                if !new_funcs.is_empty() {
+                    for &i in site_idxs {
+                        debug_assert_eq!(sites[i].callee, m);
+                        for &f in &new_funcs {
+                            self.binds.push((i, f));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sends `items` to `dst`: merged locally when this shard owns it,
+    /// buffered for the owner otherwise.
+    fn route(&mut self, dst: u32, items: &[u32], owner: &[u32], slot: &[u32]) {
+        if owner[dst as usize] as usize == self.idx {
+            self.local_add(slot[dst as usize] as usize, items);
+        } else {
+            self.out[owner[dst as usize] as usize].push((dst, items.to_vec()));
+        }
+    }
+
+    /// Buffers a dereference-spawned copy edge, pre-filtered against the
+    /// (frozen during the superstep) global dedup set.
+    fn spawn_edge(&mut self, u: u32, v: u32, trigger: u32, shared: &Solver) {
+        if u == v
+            || shared
+                .copy_edges
+                .contains(&((u64::from(u)) << 32 | u64::from(v)))
+        {
+            return;
+        }
+        self.dyn_edges.push((u, v, trigger));
+    }
+
+    /// Local difference propagation into a shard-owned node.
+    fn local_add(&mut self, ls: usize, items: &[u32]) {
+        let fresh = merge_into(&mut self.sets[ls], items);
+        if fresh.is_empty() {
+            return;
+        }
+        self.delta[ls] = merge_sorted(&self.delta[ls], &fresh);
+        if !self.inq[ls] {
+            self.inq[ls] = true;
+            self.queue.push_back(ls);
+        }
+    }
+}

@@ -26,6 +26,12 @@
 //! holds the shared interner lock. Solves against one
 //! [`ConstraintCache`](super::ConstraintCache) therefore run fully in
 //! parallel; only generation/interning serializes.
+//!
+//! The graph build ([`prepare`]), the per-node propagation step
+//! ([`Solver::process_node`]), and the output materialization
+//! ([`finish`]) are shared verbatim with the wavefront solver
+//! (`parallel`) and the DRed repair solver (`delta`): all three reach the
+//! same least fixpoint, so their sorted output sets are byte-identical.
 
 use super::constraints::{IConstraint, ISite, InternedBatch};
 use super::intern::LocInterner;
@@ -34,14 +40,24 @@ use ivy_cmir::ast::Program;
 use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
+/// A dynamically-discovered copy edge `u → v`, tagged with the node whose
+/// points-to set spawned it (`trigger`): the dereferenced pointer for
+/// load/store edges, the callee node for indirect-call binding edges. The
+/// DRed delta re-solve keeps an edge across an edit only while none of the
+/// three nodes is in the over-approximate deletion set.
+pub(super) type DynEdge = (u32, u32, u32);
+
 /// What the solver hands back: final sets (indexed by location id), the
-/// public indirect-call target map, and the solve statistics.
-pub(crate) struct SolveOutput {
+/// public indirect-call target map, the solve statistics, and — when the
+/// caller asked for it — the dynamic-edge log a later delta re-solve
+/// repairs from.
+pub(super) struct SolveOutput {
     pub sets: Vec<Vec<u32>>,
     pub indirect_targets: HashMap<(String, String), BTreeSet<String>>,
     pub initial_constraints: usize,
     pub total_constraints: usize,
     pub pops: usize,
+    pub dyn_edges: Option<Vec<DynEdge>>,
 }
 
 /// Everything the solver needs from the interner, pre-resolved so the
@@ -50,13 +66,13 @@ pub(crate) struct SolveOutput {
 /// the function names behind every `Loc::Func` id the plan can ever place
 /// into a points-to set (set elements only originate at `AddrOf` seeds, so
 /// scanning the plan's `AddrOf` operands covers them all).
-pub(crate) struct BindTable {
+pub(super) struct BindTable {
     /// Function name → (parameter location ids, return location id).
-    funcs: HashMap<String, (Vec<u32>, u32)>,
+    pub(super) funcs: HashMap<String, (Vec<u32>, u32)>,
     /// `Loc::Func` pointee id → function name.
-    func_names: HashMap<u32, String>,
+    pub(super) func_names: HashMap<u32, String>,
     /// Largest id mentioned anywhere in the table.
-    max_id: u32,
+    pub(super) max_id: u32,
 }
 
 impl BindTable {
@@ -100,36 +116,31 @@ impl BindTable {
             max_id,
         }
     }
+
+    /// The cost the naive reference assigns to binding one call site to one
+    /// declared function: one constraint per bound parameter plus one for
+    /// the return, doubled in Steensgaard mode (every binding is mirrored).
+    pub(super) fn binding_cost(&self, args: usize, func_pointee: u32, steensgaard: bool) -> usize {
+        let Some(name) = self.func_names.get(&func_pointee) else {
+            return 0;
+        };
+        let Some((params, _)) = self.funcs.get(name) else {
+            return 0;
+        };
+        let pairs = params.len().min(args) + 1;
+        if steensgaard {
+            pairs * 2
+        } else {
+            pairs
+        }
+    }
 }
 
-/// Solves the union of `batches` to the least fixpoint. Lock-free with
-/// respect to the interner: all ids were resolved into `bind` up front.
-pub(crate) fn solve_worklist(
-    sensitivity: Sensitivity,
-    batches: &[Arc<InternedBatch>],
-    bind: &BindTable,
-) -> SolveOutput {
-    let mut solver = Solver {
-        steensgaard: sensitivity == Sensitivity::Steensgaard,
-        bind,
-        copy_out: Vec::new(),
-        load_out: Vec::new(),
-        store_out: Vec::new(),
-        sets: Vec::new(),
-        delta: Vec::new(),
-        queued: Vec::new(),
-        worklist: VecDeque::new(),
-        copy_edges: HashSet::new(),
-        total_constraints: 0,
-        pops: 0,
-    };
-
-    let seed_span = ivy_telemetry::span("pointsto/seed", sensitivity.name());
-
-    // Size the per-node tables by the largest id this plan (or its bind
-    // table) references, not by the interner's total history: a long-lived
-    // shared cache interns locations from every program it ever saw, and a
-    // small program's solve must not pay for that accumulation.
+/// Largest location id a solve plan (or its bind table) references. The
+/// per-node tables are sized by this, not by the interner's total history:
+/// a long-lived shared cache interns locations from every program it ever
+/// saw, and a small program's solve must not pay for that accumulation.
+pub(super) fn plan_max_id(batches: &[Arc<InternedBatch>], bind: &BindTable) -> u32 {
     let mut max_id = bind.max_id;
     for batch in batches {
         for c in &batch.constraints {
@@ -148,15 +159,30 @@ pub(crate) fn solve_worklist(
             }
         }
     }
-    solver.ensure(max_id as usize + 1);
+    max_id
+}
 
-    // Build the static graph. AddrOf constraints are deferred so that no
-    // propagation happens before all initial edges exist. Initial edges are
-    // pushed without touching the dedup set: `copy_edges` only guards
-    // *dynamically* discovered edges against re-insertion (a dynamic edge
-    // duplicating a static one merely re-propagates along that one edge,
-    // which is sound; tracking every static edge would put a hash insert on
-    // the graph-build path of every re-solve).
+/// The static part of a solve plan, installed into a [`Solver`]:
+/// flattened indirect sites (indexed by callee node), the deferred
+/// `AddrOf` seeds, and the syntax-constraint count.
+pub(super) struct Prepared<'p> {
+    pub sites: Vec<&'p ISite>,
+    pub sites_of: HashMap<u32, Vec<usize>>,
+    pub seeds: Vec<(u32, u32)>,
+    pub initial_constraints: usize,
+}
+
+/// Builds the static graph of `batches` into `solver` (adjacency installed
+/// and deduped, tables sized) without seeding: no propagation happens
+/// before all initial edges exist. Initial edges are pushed without
+/// touching the dedup set: `copy_edges` only guards *dynamically*
+/// discovered edges against re-insertion (a dynamic edge duplicating a
+/// static one merely re-propagates along that one edge, which is sound;
+/// tracking every static edge would put a hash insert on the graph-build
+/// path of every re-solve).
+pub(super) fn prepare<'p>(solver: &mut Solver, batches: &'p [Arc<InternedBatch>]) -> Prepared<'p> {
+    solver.ensure(plan_max_id(batches, solver.bind_max()) as usize + 1);
+
     let mut seeds: Vec<(u32, u32)> = Vec::new();
     let mut touched: Vec<(u8, u32)> = Vec::new();
     let mut initial_constraints = 0usize;
@@ -205,76 +231,20 @@ pub(crate) fn solve_worklist(
         sites_of.entry(site.callee).or_default().push(i);
     }
 
-    for (dst, loc) in seeds {
-        solver.add_pts(dst, &[loc]);
+    Prepared {
+        sites,
+        sites_of,
+        seeds,
+        initial_constraints,
     }
-    drop(seed_span);
+}
 
-    let propagate_span = ivy_telemetry::span("pointsto/propagate", sensitivity.name());
-    // Summed locally and flushed as one counter update per solve so the hot
-    // loop never touches telemetry, even when counters are enabled.
-    let mut delta_total = 0u64;
-    while let Some(n) = solver.worklist.pop_front() {
-        solver.pops += 1;
-        solver.queued[n as usize] = false;
-        let d = std::mem::take(&mut solver.delta[n as usize]);
-        if d.is_empty() {
-            continue;
-        }
-        delta_total += d.len() as u64;
-        // `t = *n`: every new pointee p of n contributes a copy edge p → t.
-        // (take/restore instead of clone: `add_copy_edge` only ever touches
-        // `copy_out`, never the load/store lists.)
-        let loads = std::mem::take(&mut solver.load_out[n as usize]);
-        for &t in &loads {
-            for &p in &d {
-                solver.add_copy_edge(p, t);
-            }
-        }
-        solver.load_out[n as usize] = loads;
-        // `*n = s`: every new pointee p of n contributes a copy edge s → p.
-        let stores = std::mem::take(&mut solver.store_out[n as usize]);
-        for &s in &stores {
-            for &p in &d {
-                solver.add_copy_edge(s, p);
-            }
-        }
-        solver.store_out[n as usize] = stores;
-        // Copy successors receive only the delta. `add_pts` never adds
-        // edges, but `copy_out[n]` may have *grown* while the load/store
-        // edges above propagated — so swap rather than overwrite.
-        let copies = std::mem::take(&mut solver.copy_out[n as usize]);
-        for &m in &copies {
-            solver.add_pts(m, &d);
-        }
-        debug_assert!(solver.copy_out[n as usize].is_empty());
-        solver.copy_out[n as usize] = copies;
-        // Indirect calls through n: bind newly-discovered function targets.
-        if let Some(site_idxs) = sites_of.get(&n) {
-            let new_funcs: Vec<u32> = d
-                .iter()
-                .copied()
-                .filter(|p| solver.bind.func_names.contains_key(p))
-                .collect();
-            if !new_funcs.is_empty() {
-                for &i in &site_idxs.clone() {
-                    let (args, result) = (sites[i].args.clone(), sites[i].result);
-                    for &f in &new_funcs {
-                        solver.bind_target(&args, result, f);
-                    }
-                }
-            }
-        }
-    }
-
-    drop(propagate_span);
-    ivy_telemetry::counter("ivy_pointsto_worklist_pops_total", solver.pops as u64);
-    ivy_telemetry::counter("ivy_pointsto_delta_locations_total", delta_total);
-
-    // Materialize the public indirect-call target map exactly as the naive
-    // reference does (an entry exists for every site, even when empty).
+/// Materializes the public output of a finished solve: the indirect-call
+/// target map exactly as the naive reference builds it (an entry exists
+/// for every site, even when empty), plus the final sets and statistics.
+pub(super) fn finish(solver: Solver, prep: &Prepared, initial_constraints: usize) -> SolveOutput {
     let mut indirect_targets: HashMap<(String, String), BTreeSet<String>> = HashMap::new();
-    for site in &sites {
+    for site in &prep.sites {
         let targets: BTreeSet<String> = solver.sets[site.callee as usize]
             .iter()
             .filter_map(|p| solver.bind.func_names.get(p).cloned())
@@ -291,35 +261,90 @@ pub(crate) fn solve_worklist(
         initial_constraints,
         total_constraints: solver.total_constraints,
         pops: solver.pops,
+        dyn_edges: solver.log,
     }
 }
 
-struct Solver<'a> {
-    steensgaard: bool,
-    bind: &'a BindTable,
-    /// Copy successors: `copy_out[u]` ∋ v  ⇒  pts(v) ⊇ pts(u).
-    copy_out: Vec<Vec<u32>>,
-    /// Load constraints keyed by pointer: `load_out[p]` ∋ t for `t = *p`.
-    load_out: Vec<Vec<u32>>,
-    /// Store constraints keyed by pointer: `store_out[p]` ∋ s for `*p = s`.
-    store_out: Vec<Vec<u32>>,
-    /// Full points-to sets, sorted.
-    sets: Vec<Vec<u32>>,
-    /// Newly-added pointees not yet propagated, sorted.
-    delta: Vec<Vec<u32>>,
-    queued: Vec<bool>,
-    worklist: VecDeque<u32>,
-    /// Copy-edge dedup, packed `(u << 32) | v`.
-    copy_edges: HashSet<u64>,
-    /// Naive-equivalent constraint count (initial + every indirect-call
-    /// binding the reference solver would have appended).
-    total_constraints: usize,
-    pops: usize,
+/// Solves the union of `batches` to the least fixpoint. Lock-free with
+/// respect to the interner: all ids were resolved into `bind` up front.
+/// With `log` set, every dynamically-discovered copy edge is recorded for
+/// a later DRed delta re-solve.
+pub(super) fn solve_worklist(
+    sensitivity: Sensitivity,
+    batches: &[Arc<InternedBatch>],
+    bind: &BindTable,
+    log: bool,
+) -> SolveOutput {
+    let mut solver = Solver::new(sensitivity, bind, log);
+
+    let seed_span = ivy_telemetry::span("pointsto/seed", sensitivity.name());
+    let prep = prepare(&mut solver, batches);
+    for &(dst, loc) in &prep.seeds {
+        solver.add_pts(dst, &[loc]);
+    }
+    drop(seed_span);
+
+    let propagate_span = ivy_telemetry::span("pointsto/propagate", sensitivity.name());
+    let delta_total = solver.drain(&prep.sites, &prep.sites_of);
+    drop(propagate_span);
+    ivy_telemetry::counter("ivy_pointsto_worklist_pops_total", solver.pops as u64);
+    ivy_telemetry::counter("ivy_pointsto_delta_locations_total", delta_total);
+
+    finish(solver, &prep, prep.initial_constraints)
 }
 
-impl Solver<'_> {
+pub(super) struct Solver<'a> {
+    pub(super) steensgaard: bool,
+    pub(super) bind: &'a BindTable,
+    /// Copy successors: `copy_out[u]` ∋ v  ⇒  pts(v) ⊇ pts(u).
+    pub(super) copy_out: Vec<Vec<u32>>,
+    /// Load constraints keyed by pointer: `load_out[p]` ∋ t for `t = *p`.
+    pub(super) load_out: Vec<Vec<u32>>,
+    /// Store constraints keyed by pointer: `store_out[p]` ∋ s for `*p = s`.
+    pub(super) store_out: Vec<Vec<u32>>,
+    /// Full points-to sets, sorted.
+    pub(super) sets: Vec<Vec<u32>>,
+    /// Newly-added pointees not yet propagated, sorted.
+    pub(super) delta: Vec<Vec<u32>>,
+    pub(super) queued: Vec<bool>,
+    pub(super) worklist: VecDeque<u32>,
+    /// Copy-edge dedup, packed `(u << 32) | v`.
+    pub(super) copy_edges: HashSet<u64>,
+    /// Naive-equivalent constraint count (initial + every indirect-call
+    /// binding the reference solver would have appended).
+    pub(super) total_constraints: usize,
+    pub(super) pops: usize,
+    /// Dynamic-edge log for delta re-solves (`None` when not capturing).
+    pub(super) log: Option<Vec<DynEdge>>,
+}
+
+impl<'a> Solver<'a> {
+    pub(super) fn new(sensitivity: Sensitivity, bind: &'a BindTable, log: bool) -> Solver<'a> {
+        Solver {
+            steensgaard: sensitivity == Sensitivity::Steensgaard,
+            bind,
+            copy_out: Vec::new(),
+            load_out: Vec::new(),
+            store_out: Vec::new(),
+            sets: Vec::new(),
+            delta: Vec::new(),
+            queued: Vec::new(),
+            worklist: VecDeque::new(),
+            copy_edges: HashSet::new(),
+            total_constraints: 0,
+            pops: 0,
+            log: log.then(Vec::new),
+        }
+    }
+
+    /// The bind table, for sizing (borrow-friendly accessor for
+    /// [`prepare`], which needs `&mut self` at the same time).
+    fn bind_max(&self) -> &'a BindTable {
+        self.bind
+    }
+
     /// Grows the per-node tables to cover ids `< n`.
-    fn ensure(&mut self, n: usize) {
+    pub(super) fn ensure(&mut self, n: usize) {
         if self.sets.len() < n {
             self.copy_out.resize_with(n, Vec::new);
             self.load_out.resize_with(n, Vec::new);
@@ -332,7 +357,7 @@ impl Solver<'_> {
 
     /// Adds `items` (sorted, deduped) to `pts(node)`; genuinely new
     /// elements join the node's delta and (re)queue it.
-    fn add_pts(&mut self, node: u32, items: &[u32]) {
+    pub(super) fn add_pts(&mut self, node: u32, items: &[u32]) {
         let set = &mut self.sets[node as usize];
         let fresh = merge_into(set, items);
         if fresh.is_empty() {
@@ -347,15 +372,19 @@ impl Solver<'_> {
         }
     }
 
-    /// Adds the copy edge u → v (deduped) and, when the edge is new,
-    /// propagates u's *current* set across it so late edges see earlier
-    /// facts.
-    fn add_copy_edge(&mut self, u: u32, v: u32) {
+    /// Adds the dynamic copy edge u → v (deduped) and, when the edge is
+    /// new, propagates u's *current* set across it so late edges see
+    /// earlier facts. `trigger` is the node whose points-to set spawned
+    /// the edge (recorded in the delta-re-solve log).
+    pub(super) fn add_copy_edge(&mut self, u: u32, v: u32, trigger: u32) {
         if u == v {
             return;
         }
         if !self.copy_edges.insert((u64::from(u)) << 32 | u64::from(v)) {
             return;
+        }
+        if let Some(log) = &mut self.log {
+            log.push((u, v, trigger));
         }
         self.copy_out[u as usize].push(v);
         if !self.sets[u as usize].is_empty() {
@@ -364,10 +393,78 @@ impl Solver<'_> {
         }
     }
 
+    /// Installs a dynamic edge *without* propagating across it, returning
+    /// whether the edge was new. Two callers rely on the deferred
+    /// propagation: the DRed repair re-installs survivor edges whose
+    /// contribution is already part of the target's retained set, and the
+    /// wavefront merge barrier records new edges while the sets live in the
+    /// shards (the owning shard flushes the source set next superstep).
+    /// Seeds the dedup set and the log so a later spawn of the same edge is
+    /// a no-op.
+    pub(super) fn keep_dyn_edge(&mut self, u: u32, v: u32, trigger: u32) -> bool {
+        if u == v || !self.copy_edges.insert((u64::from(u)) << 32 | u64::from(v)) {
+            return false;
+        }
+        if let Some(log) = &mut self.log {
+            log.push((u, v, trigger));
+        }
+        self.copy_out[u as usize].push(v);
+        true
+    }
+
+    /// [`Self::bind_target`] for the wavefront merge barrier: identical
+    /// edge insertion and constraint counting, but no set propagation —
+    /// every newly-inserted edge is reported into `sink` so the barrier can
+    /// ask the source's owning shard to flush its current set across it.
+    pub(super) fn bind_target_deferred(
+        &mut self,
+        args: &[u32],
+        result: u32,
+        func_pointee: u32,
+        trigger: u32,
+        sink: &mut Vec<(u32, u32)>,
+    ) {
+        let fname = &self.bind.func_names[&func_pointee];
+        let Some((params, ret)) = self.bind.funcs.get(fname) else {
+            return;
+        };
+        let (params, ret) = (params.clone(), *ret);
+        for (idx, &pid) in params.iter().enumerate() {
+            let Some(&arg) = args.get(idx) else { break };
+            if self.keep_dyn_edge(arg, pid, trigger) {
+                sink.push((arg, pid));
+            }
+            self.total_constraints += 1;
+            if self.steensgaard {
+                if self.keep_dyn_edge(pid, arg, trigger) {
+                    sink.push((pid, arg));
+                }
+                self.total_constraints += 1;
+            }
+        }
+        if self.keep_dyn_edge(ret, result, trigger) {
+            sink.push((ret, result));
+        }
+        self.total_constraints += 1;
+        if self.steensgaard {
+            if self.keep_dyn_edge(result, ret, trigger) {
+                sink.push((result, ret));
+            }
+            self.total_constraints += 1;
+        }
+    }
+
     /// Binds one indirect call site to one discovered target: copy edges
     /// argument → parameter and return → result, mirroring (and counting
     /// exactly like) the constraints the naive reference appends.
-    fn bind_target(&mut self, args: &[u32], result: u32, func_pointee: u32) {
+    /// `trigger` is the site's callee node.
+    pub(super) fn bind_target(
+        &mut self,
+        args: &[u32],
+        result: u32,
+        func_pointee: u32,
+        trigger: u32,
+    ) {
         let fname = &self.bind.func_names[&func_pointee];
         let Some((params, ret)) = self.bind.funcs.get(fname) else {
             // Not a function the program declares (the naive reference
@@ -377,26 +474,100 @@ impl Solver<'_> {
         let (params, ret) = (params.clone(), *ret);
         for (idx, &pid) in params.iter().enumerate() {
             let Some(&arg) = args.get(idx) else { break };
-            self.add_copy_edge(arg, pid);
+            self.add_copy_edge(arg, pid, trigger);
             self.total_constraints += 1;
             if self.steensgaard {
-                self.add_copy_edge(pid, arg);
+                self.add_copy_edge(pid, arg, trigger);
                 self.total_constraints += 1;
             }
         }
-        self.add_copy_edge(ret, result);
+        self.add_copy_edge(ret, result, trigger);
         self.total_constraints += 1;
         if self.steensgaard {
-            self.add_copy_edge(result, ret);
+            self.add_copy_edge(result, ret, trigger);
             self.total_constraints += 1;
         }
+    }
+
+    /// One worklist step for node `n`: drains its delta through the
+    /// load/store constraints (spawning dynamic edges), the copy
+    /// successors, and the indirect call sites through `n`. Returns the
+    /// number of delta locations processed.
+    pub(super) fn process_node(
+        &mut self,
+        n: u32,
+        sites: &[&ISite],
+        sites_of: &HashMap<u32, Vec<usize>>,
+    ) -> u64 {
+        self.pops += 1;
+        self.queued[n as usize] = false;
+        let d = std::mem::take(&mut self.delta[n as usize]);
+        if d.is_empty() {
+            return 0;
+        }
+        // `t = *n`: every new pointee p of n contributes a copy edge p → t.
+        // (take/restore instead of clone: `add_copy_edge` only ever touches
+        // `copy_out`, never the load/store lists.)
+        let loads = std::mem::take(&mut self.load_out[n as usize]);
+        for &t in &loads {
+            for &p in &d {
+                self.add_copy_edge(p, t, n);
+            }
+        }
+        self.load_out[n as usize] = loads;
+        // `*n = s`: every new pointee p of n contributes a copy edge s → p.
+        let stores = std::mem::take(&mut self.store_out[n as usize]);
+        for &s in &stores {
+            for &p in &d {
+                self.add_copy_edge(s, p, n);
+            }
+        }
+        self.store_out[n as usize] = stores;
+        // Copy successors receive only the delta. `add_pts` never adds
+        // edges, but `copy_out[n]` may have *grown* while the load/store
+        // edges above propagated — so swap rather than overwrite.
+        let copies = std::mem::take(&mut self.copy_out[n as usize]);
+        for &m in &copies {
+            self.add_pts(m, &d);
+        }
+        debug_assert!(self.copy_out[n as usize].is_empty());
+        self.copy_out[n as usize] = copies;
+        // Indirect calls through n: bind newly-discovered function targets.
+        if let Some(site_idxs) = sites_of.get(&n) {
+            let new_funcs: Vec<u32> = d
+                .iter()
+                .copied()
+                .filter(|p| self.bind.func_names.contains_key(p))
+                .collect();
+            if !new_funcs.is_empty() {
+                for &i in &site_idxs.clone() {
+                    let (args, result) = (sites[i].args.clone(), sites[i].result);
+                    for &f in &new_funcs {
+                        self.bind_target(&args, result, f, n);
+                    }
+                }
+            }
+        }
+        d.len() as u64
+    }
+
+    /// Runs the worklist to the least fixpoint. Returns the total number
+    /// of delta locations propagated (summed locally and flushed as one
+    /// counter update per solve so the hot loop never touches telemetry,
+    /// even when counters are enabled).
+    pub(super) fn drain(&mut self, sites: &[&ISite], sites_of: &HashMap<u32, Vec<usize>>) -> u64 {
+        let mut delta_total = 0u64;
+        while let Some(n) = self.worklist.pop_front() {
+            delta_total += self.process_node(n, sites, sites_of);
+        }
+        delta_total
     }
 }
 
 /// Merges sorted `items` into the sorted `set`, returning the elements that
 /// were not already present (sorted). Allocation-free when `items` is
 /// already contained — the overwhelmingly common case near the fixpoint.
-fn merge_into(set: &mut Vec<u32>, items: &[u32]) -> Vec<u32> {
+pub(super) fn merge_into(set: &mut Vec<u32>, items: &[u32]) -> Vec<u32> {
     // Fast path: everything new lands after the current maximum.
     if set
         .last()
@@ -455,7 +626,7 @@ fn merge_into(set: &mut Vec<u32>, items: &[u32]) -> Vec<u32> {
 }
 
 /// Union of two sorted, deduped slices.
-fn merge_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+pub(super) fn merge_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
     let mut out = Vec::with_capacity(a.len() + b.len());
     let (mut i, mut j) = (0usize, 0usize);
     while i < a.len() && j < b.len() {

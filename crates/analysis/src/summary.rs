@@ -89,10 +89,13 @@ impl ProgramSummaries {
     }
 }
 
-/// Iterative Tarjan SCC. Nodes are function names; edges come from the call
-/// graph (restricted to functions that exist in the program, so calls to VM
-/// builtins do not create phantom nodes).
-fn tarjan(nodes: &[String], edges: &BTreeMap<String, BTreeSet<String>>) -> Vec<Vec<String>> {
+/// Iterative Tarjan SCC over integer nodes `0..succ.len()`. Components are
+/// emitted with successors before their predecessors (reverse topological
+/// order of the condensation), members sorted ascending. Shared between the
+/// call-graph condensation below and the points-to wavefront partitioner,
+/// which both need the same successors-first emission order to compute
+/// levels in one pass.
+pub fn tarjan_sccs(succ: &[Vec<usize>]) -> Vec<Vec<usize>> {
     #[derive(Default, Clone)]
     struct NodeState {
         index: Option<usize>,
@@ -100,32 +103,13 @@ fn tarjan(nodes: &[String], edges: &BTreeMap<String, BTreeSet<String>>) -> Vec<V
         on_stack: bool,
     }
 
-    let id_of: BTreeMap<&str, usize> = nodes
-        .iter()
-        .enumerate()
-        .map(|(i, n)| (n.as_str(), i))
-        .collect();
-    let succ: Vec<Vec<usize>> = nodes
-        .iter()
-        .map(|n| {
-            edges
-                .get(n)
-                .map(|cs| {
-                    cs.iter()
-                        .filter_map(|c| id_of.get(c.as_str()).copied())
-                        .collect()
-                })
-                .unwrap_or_default()
-        })
-        .collect();
-
-    let mut state = vec![NodeState::default(); nodes.len()];
+    let mut state = vec![NodeState::default(); succ.len()];
     let mut stack: Vec<usize> = Vec::new();
     let mut next_index = 0usize;
-    let mut sccs: Vec<Vec<String>> = Vec::new();
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
 
     // Explicit DFS stack of (node, next-successor-position).
-    for start in 0..nodes.len() {
+    for start in 0..succ.len() {
         if state[start].index.is_some() {
             continue;
         }
@@ -152,12 +136,12 @@ fn tarjan(nodes: &[String], edges: &BTreeMap<String, BTreeSet<String>>) -> Vec<V
                     loop {
                         let w = stack.pop().expect("stack non-empty");
                         state[w].on_stack = false;
-                        comp.push(nodes[w].clone());
+                        comp.push(w);
                         if w == v {
                             break;
                         }
                     }
-                    comp.sort();
+                    comp.sort_unstable();
                     sccs.push(comp);
                 }
                 dfs.pop();
@@ -168,6 +152,103 @@ fn tarjan(nodes: &[String], edges: &BTreeMap<String, BTreeSet<String>>) -> Vec<V
         }
     }
     sccs
+}
+
+/// Iterative Tarjan SCC over a `u32`-indexed adjacency, returning each
+/// node's component id and the component count. Components are numbered in
+/// emission order — successors before predecessors — so *descending* id is
+/// a topological order of the condensation. This is the allocation-light
+/// variant the points-to wavefront partitioner runs on the interned copy
+/// graph on every parallel cold solve (tens of thousands of nodes): no
+/// per-component `Vec`s, no `usize` widening of the adjacency, just flat
+/// arrays — [`tarjan_sccs`] on the same graph costs several milliseconds
+/// more than the whole solve saves.
+pub fn tarjan_scc_ids(succ: &[Vec<u32>]) -> (Vec<u32>, u32) {
+    const UNVISITED: u32 = u32::MAX;
+    let n = succ.len();
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut scc_of = vec![0u32; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut scc_count = 0u32;
+    // Explicit DFS stack of (node, next-successor-position).
+    let mut dfs: Vec<(u32, u32)> = Vec::new();
+    for start in 0..n as u32 {
+        if index[start as usize] != UNVISITED {
+            continue;
+        }
+        dfs.push((start, 0));
+        while let Some(&mut (v, ref mut pos)) = dfs.last_mut() {
+            let vu = v as usize;
+            if *pos == 0 {
+                index[vu] = next_index;
+                lowlink[vu] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[vu] = true;
+            }
+            if let Some(&w) = succ[vu].get(*pos as usize) {
+                *pos += 1;
+                if index[w as usize] == UNVISITED {
+                    dfs.push((w, 0));
+                } else if on_stack[w as usize] {
+                    lowlink[vu] = lowlink[vu].min(index[w as usize]);
+                }
+            } else {
+                // v is finished.
+                if lowlink[vu] == index[vu] {
+                    loop {
+                        let w = stack.pop().expect("stack non-empty");
+                        on_stack[w as usize] = false;
+                        scc_of[w as usize] = scc_count;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    scc_count += 1;
+                }
+                dfs.pop();
+                if let Some(&mut (parent, _)) = dfs.last_mut() {
+                    lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[vu]);
+                }
+            }
+        }
+    }
+    (scc_of, scc_count)
+}
+
+/// Tarjan SCC over function names; edges come from the call graph
+/// (restricted to functions that exist in the program, so calls to VM
+/// builtins do not create phantom nodes).
+fn tarjan(nodes: &[String], edges: &BTreeMap<String, BTreeSet<String>>) -> Vec<Vec<String>> {
+    let id_of: BTreeMap<&str, usize> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), i))
+        .collect();
+    let succ: Vec<Vec<usize>> = nodes
+        .iter()
+        .map(|n| {
+            edges
+                .get(n)
+                .map(|cs| {
+                    cs.iter()
+                        .filter_map(|c| id_of.get(c.as_str()).copied())
+                        .collect()
+                })
+                .unwrap_or_default()
+        })
+        .collect();
+    tarjan_sccs(&succ)
+        .into_iter()
+        .map(|comp| {
+            let mut comp: Vec<String> = comp.into_iter().map(|i| nodes[i].clone()).collect();
+            comp.sort();
+            comp
+        })
+        .collect()
 }
 
 impl Condensation {

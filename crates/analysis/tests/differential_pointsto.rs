@@ -15,7 +15,8 @@
 //! or skipped (see `.github/workflows/ci.yml`).
 
 use ivy_analysis::pointsto::{
-    analyze, analyze_incremental, analyze_naive, ConstraintCache, Sensitivity,
+    analyze, analyze_incremental, analyze_incremental_with, analyze_naive, analyze_with,
+    ConstraintCache, Sensitivity, SolveMode, SolveOptions, SolverChoice,
 };
 use ivy_cmir::ast::Program;
 use ivy_kernelgen::{subsample_program, KernelBuild, KernelConfig};
@@ -95,6 +96,83 @@ proptest! {
             prop_assert_eq!(
                 &incr.indirect_targets, &slow.indirect_targets,
                 "cached indirect targets diverge at {}", s.name()
+            );
+        }
+    }
+
+    /// The new solver family — parallel wavefront, union-find Steensgaard,
+    /// and DRed delta repair — against the same naive reference, on the
+    /// same generated-program distribution. Delta repair is exercised with
+    /// genuine cross-program diffs: each case repairs the previous case's
+    /// fixpoint in the shared cache, so retraction sets range from empty
+    /// to "most of the plan" (where the dispatcher must fall back).
+    #[test]
+    fn parallel_unionfind_and_delta_match_naive_on_generated_programs(
+        seed in any::<u64>(),
+        base_idx in 0usize..2,
+        drop_pct in 0u64..40,
+        strip_pct in 0u64..35,
+    ) {
+        static DELTA_CACHES: OnceLock<[ConstraintCache; 3]> = OnceLock::new();
+        let caches = DELTA_CACHES.get_or_init(|| {
+            [
+                ConstraintCache::new(),
+                ConstraintCache::new(),
+                ConstraintCache::new(),
+            ]
+        });
+        let bases = base_kernels();
+        let program = subsample_program(&bases[base_idx], seed, drop_pct, strip_pct);
+        for (i, s) in [
+            Sensitivity::Steensgaard,
+            Sensitivity::Andersen,
+            Sensitivity::AndersenField,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let slow = analyze_naive(&program, s);
+
+            let par = analyze_with(&program, s, SolveOptions {
+                solver: SolverChoice::Parallel,
+                threads: 4,
+            });
+            prop_assert_eq!(par.pts(), slow.pts(), "parallel pts diverge at {}", s.name());
+            prop_assert_eq!(
+                &par.indirect_targets, &slow.indirect_targets,
+                "parallel indirect targets diverge at {}", s.name()
+            );
+            prop_assert_eq!(par.initial_constraints, slow.initial_constraints);
+            prop_assert_eq!(par.constraint_count, slow.constraint_count);
+
+            if s == Sensitivity::Steensgaard {
+                let uf = analyze_with(&program, s, SolveOptions {
+                    solver: SolverChoice::UnionFind,
+                    threads: 1,
+                });
+                prop_assert_eq!(uf.pts(), slow.pts(), "union-find pts diverge");
+                prop_assert_eq!(
+                    &uf.indirect_targets, &slow.indirect_targets,
+                    "union-find indirect targets diverge"
+                );
+                prop_assert_eq!(uf.constraint_count, slow.constraint_count);
+            }
+
+            // Auto dispatch against a long-lived cache: after the first
+            // case this is a delta repair whenever the plan diff is small
+            // enough, a re-propagation otherwise — both must be identical
+            // to the reference.
+            let incr = analyze_incremental_with(&program, s, &caches[i], SolveOptions {
+                solver: SolverChoice::Auto,
+                threads: if seed.is_multiple_of(2) { 4 } else { 1 },
+            });
+            if incr.mode == SolveMode::DeltaRepair {
+                prop_assert_eq!(incr.constraint_count, slow.constraint_count);
+            }
+            prop_assert_eq!(incr.pts(), slow.pts(), "delta pts diverge at {}", s.name());
+            prop_assert_eq!(
+                &incr.indirect_targets, &slow.indirect_targets,
+                "delta indirect targets diverge at {}", s.name()
             );
         }
     }

@@ -87,6 +87,7 @@ fn bench_oracle(c: &mut Criterion) {
     let mut programs_total = 0u64;
 
     // The two full kernels (boot + light use + workload mix each).
+    let mut paper_steensgaard_precision = 0.0f64;
     for (name, config) in [
         ("small", KernelConfig::small()),
         ("paper", KernelConfig::paper()),
@@ -96,6 +97,13 @@ fn bench_oracle(c: &mut Criterion) {
         let report = oracle.run(&build.program, &entries_for(&build.program));
         let seconds = start.elapsed().as_secs_f64();
         print_row(name, 1, &report, seconds);
+        if name == "paper" {
+            paper_steensgaard_precision = report
+                .precision
+                .get("steensgaard")
+                .map(|p| p.pointsto.rate())
+                .unwrap_or(0.0);
+        }
         violations_total += report.violations.len() as u64;
         programs_total += 1;
         rows.push(report_row(name, 1, seconds, &report));
@@ -131,7 +139,24 @@ fn bench_oracle(c: &mut Criterion) {
     summary.headline("programs_total", programs_total);
     summary.headline("violations_total", violations_total);
     summary.headline("fleet_seconds", seconds);
+    summary.headline(
+        "paper_steensgaard_pointsto_precision",
+        paper_steensgaard_precision,
+    );
     summary.emit();
+    // Soundness and precision floors for the solver substrate: every
+    // traced fact must be covered at every sensitivity, and the unified
+    // (union-find) Steensgaard representation must not collapse the paper
+    // kernel's points-to precision below its established floor.
+    assert_eq!(
+        violations_total, 0,
+        "the oracle found dynamic facts missed by a static analysis"
+    );
+    assert!(
+        paper_steensgaard_precision >= 0.011,
+        "paper-kernel Steensgaard points-to precision fell below the 0.011 \
+         floor, got {paper_steensgaard_precision:.4}"
+    );
 
     // Criterion measurement: one full traced-and-checked oracle pass over
     // the small kernel (execution + three static models + subsumption).

@@ -281,6 +281,21 @@ impl State {
         let pts = self.engine.pointsto_cache();
         prom.counter("ivy_daemon_pointsto_batch_hits_total", None, pts.hits());
         prom.counter("ivy_daemon_pointsto_batch_misses_total", None, pts.misses());
+        prom.counter(
+            "ivy_daemon_pointsto_solves_total",
+            Some(("mode", "cold")),
+            pts.solves_cold(),
+        );
+        prom.counter(
+            "ivy_daemon_pointsto_solves_total",
+            Some(("mode", "incremental-repropagate")),
+            pts.solves_repropagate(),
+        );
+        prom.counter(
+            "ivy_daemon_pointsto_solves_total",
+            Some(("mode", "delta-repair")),
+            pts.solves_delta(),
+        );
         if let Some(layer) = &self.persist {
             prom.counter("ivy_daemon_persist_hits_total", None, layer.hits());
             prom.counter("ivy_daemon_persist_misses_total", None, layer.misses());
@@ -392,6 +407,20 @@ impl State {
                 engine_stats.insert("ctx_hits".into(), Value::from(store.hits()));
                 engine_stats.insert("ctx_misses".into(), Value::from(store.misses()));
                 engine_stats.insert("evictions".into(), Value::from(self.engine.ctx_evictions()));
+                let pts = self.engine.pointsto_cache();
+                let mut pointsto = Map::new();
+                pointsto.insert("batch_hits".into(), Value::from(pts.hits()));
+                pointsto.insert("batch_misses".into(), Value::from(pts.misses()));
+                pointsto.insert("solves_cold".into(), Value::from(pts.solves_cold()));
+                pointsto.insert(
+                    "solves_repropagate".into(),
+                    Value::from(pts.solves_repropagate()),
+                );
+                pointsto.insert(
+                    "solves_delta_repair".into(),
+                    Value::from(pts.solves_delta()),
+                );
+                engine_stats.insert("pointsto".into(), Value::Object(pointsto));
                 let mut m = Map::new();
                 m.insert("ok".into(), Value::from(true));
                 m.insert("protocol".into(), Value::from(PROTOCOL_VERSION));

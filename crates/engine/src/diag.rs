@@ -171,6 +171,18 @@ pub struct EngineStats {
     pub pointsto_batches_reused: usize,
     /// Per-function points-to constraint batches generated fresh.
     pub pointsto_batches_generated: usize,
+    /// How the scheduling points-to fixpoint was computed: `"cold"`,
+    /// `"incremental-repropagate"`, or `"delta-repair"` (empty when the
+    /// run was served entirely from the persist layer and never solved).
+    pub pointsto_solve_mode: String,
+    /// Worker threads the points-to solve used (1 = serial).
+    pub pointsto_threads: u64,
+    /// Facts discarded by delta repair's deletion phase (0 unless the
+    /// solve mode is `"delta-repair"`).
+    pub pointsto_delta_deleted: u64,
+    /// Delta locations re-propagated while repairing (0 unless the solve
+    /// mode is `"delta-repair"`).
+    pub pointsto_delta_rederived: u64,
 }
 
 impl EngineStats {
@@ -208,6 +220,22 @@ impl EngineStats {
             "pointsto_batches_generated".into(),
             Value::from(self.pointsto_batches_generated),
         );
+        stats.insert(
+            "pointsto_solve_mode".into(),
+            Value::from(self.pointsto_solve_mode.clone()),
+        );
+        stats.insert(
+            "pointsto_threads".into(),
+            Value::from(self.pointsto_threads),
+        );
+        stats.insert(
+            "pointsto_delta_deleted".into(),
+            Value::from(self.pointsto_delta_deleted),
+        );
+        stats.insert(
+            "pointsto_delta_rederived".into(),
+            Value::from(self.pointsto_delta_rederived),
+        );
         Value::Object(stats)
     }
 
@@ -234,6 +262,15 @@ impl EngineStats {
             pointsto_constraints: size("pointsto_constraints")?,
             pointsto_batches_reused: size("pointsto_batches_reused")?,
             pointsto_batches_generated: size("pointsto_batches_generated")?,
+            // Absent in pre-wavefront encodings; default rather than reject.
+            pointsto_solve_mode: v
+                .get("pointsto_solve_mode")
+                .and_then(Value::as_str)
+                .unwrap_or("cold")
+                .to_string(),
+            pointsto_threads: count("pointsto_threads").unwrap_or(1),
+            pointsto_delta_deleted: count("pointsto_delta_deleted").unwrap_or(0),
+            pointsto_delta_rederived: count("pointsto_delta_rederived").unwrap_or(0),
         })
     }
 
@@ -450,6 +487,10 @@ mod tests {
             pointsto_constraints: 140,
             pointsto_batches_reused: 11,
             pointsto_batches_generated: 1,
+            pointsto_solve_mode: "delta-repair".into(),
+            pointsto_threads: 4,
+            pointsto_delta_deleted: 7,
+            pointsto_delta_rederived: 19,
         };
         assert_eq!(EngineStats::from_value(&stats.to_value()).unwrap(), stats);
         assert!(EngineStats::from_value(&Value::from("nope")).is_none());

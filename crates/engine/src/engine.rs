@@ -507,6 +507,10 @@ impl Engine {
             stats.pointsto_constraints = pts.constraint_count;
             stats.pointsto_batches_reused = pts.batches_reused;
             stats.pointsto_batches_generated = pts.batches_generated;
+            stats.pointsto_solve_mode = pts.mode.name().to_string();
+            stats.pointsto_threads = pts.threads_used as u64;
+            stats.pointsto_delta_deleted = pts.delta_deleted;
+            stats.pointsto_delta_rederived = pts.delta_rederived;
         }
         // Cache traffic counters are cumulative across the process — the
         // daemon's `metrics` verb reads them back out of the recorder.

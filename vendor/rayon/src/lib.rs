@@ -1,26 +1,52 @@
 //! Vendored shim for `rayon` (no network access to a crates registry in the
 //! build environment).
 //!
-//! Implements the subset of the rayon API that `ivy-engine` uses —
+//! Implements the subset of the rayon API that the workspace uses —
 //! `ThreadPoolBuilder` / `ThreadPool::install`, `par_iter()` /
-//! `into_par_iter()`, `map`, `for_each`, and `collect` — on top of
-//! `std::thread::scope`. Unlike the real rayon there is no work-stealing
-//! deque: items are striped round-robin across the pool, which balances well
-//! for the many-small-functions workloads the engine schedules. Results are
-//! always returned in input order, so parallel and sequential runs are
-//! byte-identical — a property the engine's determinism test pins down.
+//! `into_par_iter()`, `map`, `for_each`, and `collect`. A [`ThreadPool`]
+//! keeps **persistent worker threads** parked on a condvar: dispatching a
+//! parallel operation inside `install` costs one lock + notify per worker
+//! instead of an OS thread spawn, which is what makes fine-grained
+//! fan-out (the points-to solver dispatches per wavefront superstep)
+//! worthwhile. Outside any `install`, parallel operations fall back to
+//! `std::thread::scope` spawns. Unlike the real rayon there is no
+//! work-stealing deque: items are split into contiguous per-worker chunks.
+//! Results are always returned in input order, so parallel and sequential
+//! runs are byte-identical — a property the engine's determinism test
+//! pins down.
 
-use std::cell::Cell;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A queued unit of work. Jobs are type-erased closures; [`pool_apply`]
+/// transmutes away the caller's borrow lifetimes and is sound because it
+/// blocks until every job it queued has finished before returning.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// State shared between a pool's owner and its workers.
+struct PoolShared {
+    queue: Mutex<PoolQueue>,
+    /// Signalled when a job is queued or shutdown begins.
+    available: Condvar,
+}
+
+struct PoolQueue {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
 
 thread_local! {
-    /// Thread count installed by [`ThreadPool::install`] for the dynamic
-    /// extent of the closure; 0 means "use the hardware default".
-    static INSTALLED_THREADS: Cell<usize> = const { Cell::new(0) };
+    /// The pool installed by [`ThreadPool::install`] for the dynamic extent
+    /// of the closure: its shared state (None = no pool, spawn scoped
+    /// threads) and its thread count (0 = hardware default).
+    static INSTALLED: RefCell<(Option<Arc<PoolShared>>, usize)> = const { RefCell::new((None, 0)) };
 }
 
 /// The number of threads parallel operations on this thread will use.
 pub fn current_num_threads() -> usize {
-    let installed = INSTALLED_THREADS.with(|c| c.get());
+    let installed = INSTALLED.with(|c| c.borrow().1);
     if installed > 0 {
         installed
     } else {
@@ -61,61 +87,220 @@ impl ThreadPoolBuilder {
         self
     }
 
-    /// Builds the pool.
+    /// Builds the pool, spawning its workers.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        };
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(PoolQueue {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
         Ok(ThreadPool {
-            num_threads: self.num_threads,
+            shared,
+            num_threads: threads,
+            workers,
         })
     }
 }
 
-/// A logical thread pool. The shim spawns scoped threads per operation
-/// rather than keeping workers alive; `install` scopes the configured
-/// parallelism exactly like the real rayon does.
+fn worker_loop(shared: &PoolShared) {
+    let mut queue = shared.queue.lock().expect("pool lock");
+    loop {
+        if let Some(job) = queue.jobs.pop_front() {
+            drop(queue);
+            job();
+            queue = shared.queue.lock().expect("pool lock");
+        } else if queue.shutdown {
+            return;
+        } else {
+            queue = shared.available.wait(queue).expect("pool lock");
+        }
+    }
+}
+
+/// A thread pool with persistent parked workers. `install` scopes the
+/// pool's parallelism exactly like the real rayon does: parallel iterators
+/// used inside the closure run on this pool's workers.
 #[derive(Debug)]
 pub struct ThreadPool {
+    shared: Arc<PoolShared>,
     num_threads: usize,
+    workers: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl ThreadPool {
-    /// Runs `f` with this pool's thread count governing any parallel
-    /// iterators used inside it.
+    /// Runs `f` with this pool governing any parallel iterators used
+    /// inside it.
     pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
-        INSTALLED_THREADS.with(|c| {
-            let prev = c.get();
-            c.set(self.num_threads);
+        INSTALLED.with(|c| {
+            let prev = c.replace((Some(Arc::clone(&self.shared)), self.num_threads));
             let out = f();
-            c.set(prev);
+            c.replace(prev);
             out
         })
     }
 
     /// The pool's configured thread count.
     pub fn current_num_threads(&self) -> usize {
-        if self.num_threads > 0 {
-            self.num_threads
-        } else {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
+        self.num_threads
+    }
+}
+
+impl std::fmt::Debug for PoolShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolShared").finish_non_exhaustive()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.queue.lock().expect("pool lock").shutdown = true;
+        self.available_notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
         }
     }
 }
 
-/// Applies `f` to every item on the current pool, preserving input order.
+impl ThreadPool {
+    fn available_notify_all(&self) {
+        self.shared.available.notify_all();
+    }
+}
+
+/// Applies `f` to every item with the current parallelism, preserving
+/// input order: on a pool's persistent workers inside `install`, on
+/// scoped spawns otherwise.
 fn parallel_apply<T: Send, R: Send>(items: Vec<T>, f: &(impl Fn(T) -> R + Sync)) -> Vec<R> {
     let threads = current_num_threads().min(items.len().max(1));
     if threads <= 1 || items.len() <= 1 {
         return items.into_iter().map(f).collect();
     }
+    let pool = INSTALLED.with(|c| c.borrow().0.clone());
+    match pool {
+        Some(shared) => pool_apply(&shared, threads, items, f),
+        None => scoped_apply(threads, items, f),
+    }
+}
 
-    // Stripe items round-robin across the workers, remembering each item's
-    // original position so the merged output is order-stable.
+/// Everything one [`pool_apply`] call shares with the jobs it queued.
+struct ApplyCall<R> {
+    /// One output slot per chunk, filled by the worker that ran it.
+    outputs: Vec<Mutex<Vec<R>>>,
+    /// Chunks still running; the caller waits for zero.
+    pending: Mutex<usize>,
+    done: Condvar,
+    /// First panic payload out of any chunk, re-thrown by the caller.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+/// Runs `f` over round-robin stripes of `items` on a pool's persistent
+/// workers (striping spreads hot neighborhoods of the input across
+/// workers; each item carries its original position so the merged output
+/// is order-stable). Blocks until every queued job has completed — the
+/// borrows the type-erased jobs capture never outlive this call, which is
+/// what makes the lifetime transmute below sound.
+fn pool_apply<T: Send, R: Send>(
+    shared: &Arc<PoolShared>,
+    threads: usize,
+    items: Vec<T>,
+    f: &(impl Fn(T) -> R + Sync),
+) -> Vec<R> {
+    let total = items.len();
+    let stripes = threads.min(total);
+    let mut buckets: Vec<Vec<(usize, T)>> = (0..stripes).map(|_| Vec::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        buckets[i % stripes].push((i, item));
+    }
+    let call = ApplyCall::<(usize, R)> {
+        outputs: (0..stripes).map(|_| Mutex::new(Vec::new())).collect(),
+        pending: Mutex::new(stripes),
+        done: Condvar::new(),
+        panic: Mutex::new(None),
+    };
+    {
+        let mut queue = shared.queue.lock().expect("pool lock");
+        for (i, bucket) in buckets.into_iter().enumerate() {
+            let call = &call;
+            let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    bucket
+                        .into_iter()
+                        .map(|(pos, item)| (pos, f(item)))
+                        .collect::<Vec<(usize, R)>>()
+                }));
+                match result {
+                    Ok(out) => *call.outputs[i].lock().expect("output lock") = out,
+                    Err(payload) => {
+                        call.panic
+                            .lock()
+                            .expect("panic lock")
+                            .get_or_insert(payload);
+                    }
+                }
+                let mut pending = call.pending.lock().expect("pending lock");
+                *pending -= 1;
+                if *pending == 0 {
+                    call.done.notify_all();
+                }
+            });
+            // SAFETY: the job borrows `call`, `f`, and whatever `f`
+            // captures, none of which are `'static` — but this function
+            // does not return until `pending` reaches zero, i.e. until the
+            // job has run to completion, so the erased borrows are live
+            // for the job's entire execution.
+            let job: Job = unsafe { std::mem::transmute(job) };
+            queue.jobs.push_back(job);
+        }
+        shared.available.notify_all();
+    }
+    let mut pending = call.pending.lock().expect("pending lock");
+    while *pending > 0 {
+        pending = call.done.wait(pending).expect("pending lock");
+    }
+    drop(pending);
+    if let Some(payload) = call.panic.lock().expect("panic lock").take() {
+        resume_unwind(payload);
+    }
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(total);
+    slots.resize_with(total, || None);
+    for slot in call.outputs {
+        for (pos, r) in slot.into_inner().expect("output lock") {
+            slots[pos] = Some(r);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot filled"))
+        .collect()
+}
+
+/// The no-pool fallback: stripe items round-robin across scoped spawns,
+/// remembering each item's original position so the merged output is
+/// order-stable.
+fn scoped_apply<T: Send, R: Send>(
+    threads: usize,
+    items: Vec<T>,
+    f: &(impl Fn(T) -> R + Sync),
+) -> Vec<R> {
     let mut buckets: Vec<Vec<(usize, T)>> = (0..threads).map(|_| Vec::new()).collect();
     for (i, item) in items.into_iter().enumerate() {
         buckets[i % threads].push((i, item));
     }
-
     let mut slots: Vec<Option<R>> = Vec::new();
     std::thread::scope(|scope| {
         let handles: Vec<_> = buckets
@@ -319,5 +504,34 @@ mod tests {
             sum.fetch_add(i, Ordering::Relaxed);
         });
         assert_eq!(sum.load(Ordering::Relaxed), 4950);
+    }
+
+    #[test]
+    fn pool_dispatch_reuses_workers_across_operations() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        for round in 0u64..50 {
+            let items: Vec<u64> = (0..256).collect();
+            let out: Vec<u64> = pool.install(|| items.into_par_iter().map(|x| x + round).collect());
+            assert_eq!(out, (0..256).map(|x| x + round).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn pool_propagates_worker_panics() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let items: Vec<u64> = (0..64).collect();
+            let _: Vec<u64> = pool.install(|| {
+                items
+                    .into_par_iter()
+                    .map(|x| if x == 13 { panic!("boom") } else { x })
+                    .collect()
+            });
+        }));
+        assert!(caught.is_err());
+        // The pool survives a panicked job and keeps serving.
+        let out: Vec<u64> =
+            pool.install(|| vec![1u64, 2, 3].into_par_iter().map(|x| x * 2).collect());
+        assert_eq!(out, vec![2, 4, 6]);
     }
 }
