@@ -32,6 +32,7 @@
 use super::constraints::{IConstraint, InternedBatch};
 use super::solve::{finish, prepare, BindTable, SolveOutput, Solver};
 use super::{FixpointState, Sensitivity};
+use ivy_provenance::{EdgeKind, SEED};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
@@ -203,17 +204,19 @@ pub(super) fn solve_delta(
     }
 
     // Surviving dynamic edges re-install without re-propagation: their
-    // contribution is already inside the retained target sets.
+    // contribution is already inside the retained target sets. (Delta
+    // repair never runs with provenance — the dispatcher forces a scratch
+    // solve instead — so the aux/kind arguments here are inert.)
     for &(u, v, trigger) in &state.dyn_edges {
         if !affected[u as usize] && !affected[v as usize] && !affected[trigger as usize] {
-            solver.keep_dyn_edge(u, v, trigger);
+            solver.keep_dyn_edge(u, v, trigger, trigger, EdgeKind::Load);
         }
     }
 
     // Re-derivation seeds. (a) Every AddrOf seed (a no-op merge on
     // retained sets).
     for &(dst, loc) in &prep.seeds {
-        solver.add_pts(dst, &[loc]);
+        solver.add_pts(dst, &[loc], SEED);
     }
     // (b) Retained sets flow across static edges into affected targets,
     // and across every edge of a fresh batch (a fresh target may be clean
@@ -227,7 +230,7 @@ pub(super) fn solve_delta(
                     && !solver.sets[src as usize].is_empty()
                 {
                     let snapshot = solver.sets[src as usize].clone();
-                    solver.add_pts(dst, &snapshot);
+                    solver.add_pts(dst, &snapshot, src);
                 }
             }
         }
@@ -240,13 +243,13 @@ pub(super) fn solve_delta(
                 IConstraint::Load { dst, src } => {
                     let pointees = solver.sets[src as usize].clone();
                     for p in pointees {
-                        solver.add_copy_edge(p, dst, src);
+                        solver.add_copy_edge(p, dst, src, p, EdgeKind::Load);
                     }
                 }
                 IConstraint::Store { dst, src } => {
                     let pointees = solver.sets[dst as usize].clone();
                     for p in pointees {
-                        solver.add_copy_edge(src, p, dst);
+                        solver.add_copy_edge(src, p, dst, p, EdgeKind::Store);
                     }
                 }
                 _ => {}

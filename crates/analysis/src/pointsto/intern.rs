@@ -40,6 +40,11 @@ impl LocInterner {
         &self.locs[id as usize]
     }
 
+    /// The id of `loc` if it has already been interned, without allocating.
+    pub(crate) fn lookup(&self, loc: &Loc) -> Option<u32> {
+        self.ids.get(loc).copied()
+    }
+
     /// Number of interned locations (== the exclusive upper bound of ids).
     #[cfg(test)]
     pub(crate) fn len(&self) -> usize {

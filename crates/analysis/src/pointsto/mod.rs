@@ -71,12 +71,15 @@ mod solve;
 mod unify;
 
 use crate::summary::{env_hash, fnv1a, mix};
-use constraints::{gen_function_batch, gen_globals, gen_program, intern_batch, InternedBatch};
+use constraints::{
+    gen_function_batch, gen_globals, gen_program, intern_batch, IConstraint, InternedBatch,
+};
 use intern::SharedInterner;
 use ivy_cmir::ast::Program;
 use ivy_cmir::content::function_content_hash;
+use ivy_provenance::{EdgeKind, ProvStore, SEED};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -121,13 +124,20 @@ pub enum SolverChoice {
 }
 
 /// How a solve should run. [`SolveOptions::from_env`] reads `IVY_THREADS`
-/// so deployments opt into parallel solving without an API change.
+/// and `IVY_PROVENANCE` so deployments opt into parallel solving and
+/// derivation tracing without an API change.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SolveOptions {
     /// Solver implementation to use.
     pub solver: SolverChoice,
     /// Worker threads for the parallel wavefront solver (1 = serial).
     pub threads: usize,
+    /// Record a derivation step for every points-to fact (see
+    /// [`PointsToResult::why`]). Only the worklist family records
+    /// provenance, so dispatch never picks union-find or delta repair
+    /// while this is set — sound, because every solver path produces
+    /// byte-identical output.
+    pub provenance: bool,
 }
 
 impl Default for SolveOptions {
@@ -135,23 +145,34 @@ impl Default for SolveOptions {
         SolveOptions {
             solver: SolverChoice::Auto,
             threads: 1,
+            provenance: false,
         }
     }
 }
 
 impl SolveOptions {
     /// Options driven by the environment: `IVY_THREADS` sets the thread
-    /// count (default 1), solver choice stays automatic.
+    /// count (default 1), `IVY_PROVENANCE` (`1`/`true`/`on`) turns on
+    /// derivation tracing, solver choice stays automatic.
     pub fn from_env() -> SolveOptions {
         let threads = std::env::var("IVY_THREADS")
             .ok()
             .and_then(|s| s.trim().parse::<usize>().ok())
             .filter(|&t| t >= 1)
             .unwrap_or(1);
+        let provenance =
+            std::env::var("IVY_PROVENANCE").is_ok_and(|v| matches!(v.trim(), "1" | "true" | "on"));
         SolveOptions {
             solver: SolverChoice::Auto,
             threads,
+            provenance,
         }
+    }
+
+    /// `self` with derivation tracing switched on or off.
+    pub fn with_provenance(mut self, on: bool) -> SolveOptions {
+        self.provenance = on;
+        self
     }
 }
 
@@ -237,6 +258,59 @@ pub enum Loc {
     },
 }
 
+impl std::fmt::Display for Loc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Loc::Global(g) => write!(f, "global {g}"),
+            Loc::Local { func, var } => write!(f, "{func}::{var}"),
+            Loc::Field { composite, field } => write!(f, "{composite}.{field}"),
+            Loc::Composite(c) => write!(f, "struct {c}"),
+            Loc::Alloc { site } => write!(f, "alloc@{site}"),
+            Loc::Func(name) => write!(f, "fn {name}"),
+            Loc::Ret(name) => write!(f, "ret {name}"),
+            Loc::Temp { func, id } => write!(f, "{func}::$t{id}"),
+        }
+    }
+}
+
+/// One link of a rendered derivation chain (see [`PointsToResult::why`]):
+/// the fact "`dst` may point to `pointee`" plus the rule that derived it.
+/// Chains are seed-first — the first link is always an `addr-of` seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainLink {
+    /// The location whose points-to set gained `pointee` at this step.
+    pub dst: Loc,
+    /// The pointee.
+    pub pointee: Loc,
+    /// The location the fact flowed from (`None` for an `addr-of` seed).
+    pub src: Option<Loc>,
+    /// The rule that justified the step: `"addr-of"` for seeds, `"copy"`
+    /// for static assignment edges, and `"load"` / `"store"` /
+    /// `"call-bind"` for edges the solver discovered dynamically.
+    pub rule: &'static str,
+    /// For dynamically discovered edges, the `(trigger, aux)` premise:
+    /// the pointer (or callee) node whose points-to fact spawned the edge,
+    /// and the pointee that fact contributed.
+    pub via: Option<(Loc, Loc)>,
+}
+
+impl ChainLink {
+    /// One human-readable line for reports and the `explain` daemon verb.
+    pub fn render(&self) -> String {
+        match (&self.src, &self.via) {
+            (None, _) => format!("{} may point to {}  [addr-of seed]", self.dst, self.pointee),
+            (Some(src), None) => format!(
+                "{} may point to {}  [{} from {}]",
+                self.dst, self.pointee, self.rule, src
+            ),
+            (Some(src), Some((trigger, aux))) => format!(
+                "{} may point to {}  [{} from {}; edge spawned by \"{} may point to {}\"]",
+                self.dst, self.pointee, self.rule, src, trigger, aux
+            ),
+        }
+    }
+}
+
 /// The interned solution a worklist solve produces: final sets per location
 /// id plus the interner that gives the ids meaning. The `Loc`-keyed view is
 /// materialized lazily (see [`PointsToResult::pts`]); incremental re-solves
@@ -301,6 +375,9 @@ pub struct PointsToResult {
     /// Delta locations re-propagated while repairing (0 unless `mode` is
     /// [`SolveMode::DeltaRepair`]).
     pub delta_rederived: u64,
+    /// Derivation arena recorded during the solve (`None` unless the solve
+    /// ran with [`SolveOptions::provenance`]).
+    provenance: Option<Arc<ProvStore>>,
 }
 
 impl PointsToResult {
@@ -311,6 +388,7 @@ impl PointsToResult {
         batches_reused: usize,
         batches_generated: usize,
     ) -> PointsToResult {
+        let provenance = out.provenance.map(Arc::new);
         let sets: Vec<(u32, Vec<u32>)> = out
             .sets
             .into_iter()
@@ -335,6 +413,7 @@ impl PointsToResult {
             threads_used: 1,
             delta_deleted: 0,
             delta_rederived: 0,
+            provenance,
         }
     }
 
@@ -360,6 +439,7 @@ impl PointsToResult {
             threads_used: 1,
             delta_deleted: 0,
             delta_rederived: 0,
+            provenance: None,
         }
     }
 
@@ -415,14 +495,112 @@ impl PointsToResult {
         let total: usize = self.indirect_targets.values().map(|s| s.len()).sum();
         total as f64 / self.indirect_targets.len() as f64
     }
+
+    /// Whether this result carries a derivation arena.
+    pub fn has_provenance(&self) -> bool {
+        self.provenance.is_some()
+    }
+
+    /// Number of derivation steps recorded (0 when provenance was off).
+    /// One step per derived fact, so this also counts the facts.
+    pub fn provenance_facts(&self) -> usize {
+        self.provenance.as_ref().map_or(0, |p| p.facts())
+    }
+
+    /// Number of dynamically-discovered graph edges whose justification
+    /// was recorded (0 when provenance was off). Together with
+    /// [`PointsToResult::provenance_facts`] this counts every recording
+    /// call the solver made — what a disabled-mode overhead budget has to
+    /// price.
+    pub fn provenance_edges(&self) -> usize {
+        self.provenance.as_ref().map_or(0, |p| p.dyn_edges())
+    }
+
+    /// Approximate heap footprint of the derivation arena in bytes (0 when
+    /// provenance was off).
+    pub fn provenance_bytes(&self) -> usize {
+        self.provenance.as_ref().map_or(0, |p| p.bytes())
+    }
+
+    /// The derivation chain of the fact "`loc` may point to `target`",
+    /// seed-first: the first link is an `addr-of` seed and every later
+    /// link names the source set the fact flowed from plus the rule that
+    /// carried it. `None` when provenance was not recorded, either
+    /// location is unknown, or the fact does not hold.
+    pub fn why(&self, loc: &Loc, target: &Loc) -> Option<Vec<ChainLink>> {
+        let (dst, tgt) = {
+            let sol = self.solution.as_ref()?;
+            let interner = sol.interner.lock();
+            (interner.lookup(loc)?, interner.lookup(target)?)
+        };
+        self.why_ids(dst, tgt)
+    }
+
+    /// The derivation chain behind one resolved indirect-call target: why
+    /// the call through `callee_text` in `func` may reach `target_fn`.
+    /// Regenerates the program's constraints to locate the call site's
+    /// callee node (interning is append-only and idempotent, so the ids
+    /// match the solve's).
+    pub fn why_indirect(
+        &self,
+        program: &Program,
+        func: &str,
+        callee_text: &str,
+        target_fn: &str,
+    ) -> Option<Vec<ChainLink>> {
+        let (callee, tgt) = {
+            let sol = self.solution.as_ref()?;
+            let mut interner = sol.interner.lock();
+            let mut callee = None;
+            'batches: for batch in gen_program(program, self.sensitivity) {
+                let interned = intern_batch(&batch, &mut interner);
+                for site in interned.sites {
+                    if site.func == func && site.callee_text == callee_text {
+                        callee = Some(site.callee);
+                        break 'batches;
+                    }
+                }
+            }
+            (callee?, interner.lookup(&Loc::Func(target_fn.to_string()))?)
+        };
+        self.why_ids(callee, tgt)
+    }
+
+    fn why_ids(&self, dst: u32, tgt: u32) -> Option<Vec<ChainLink>> {
+        let prov = self.provenance.as_ref()?;
+        let chain = prov.why(dst, tgt)?;
+        let sol = self.solution.as_ref()?;
+        let interner = sol.interner.lock();
+        Some(
+            chain
+                .iter()
+                .map(|cs| ChainLink {
+                    dst: interner.resolve(cs.dst).clone(),
+                    pointee: interner.resolve(cs.pointee).clone(),
+                    src: (cs.src != SEED).then(|| interner.resolve(cs.src).clone()),
+                    rule: if cs.src == SEED {
+                        "addr-of"
+                    } else {
+                        cs.edge.map_or("copy", |e| e.kind.name())
+                    },
+                    via: cs.edge.map(|e| {
+                        (
+                            interner.resolve(e.trigger).clone(),
+                            interner.resolve(e.aux).clone(),
+                        )
+                    }),
+                })
+                .collect(),
+        )
+    }
 }
 
 /// Resolves [`SolverChoice::Auto`] for a from-scratch fixpoint (the delta
 /// branch is decided by the incremental path before calling this).
 fn resolve_choice(sensitivity: Sensitivity, opts: SolveOptions) -> SolverChoice {
-    match opts.solver {
+    let resolved = match opts.solver {
         SolverChoice::Auto => {
-            if sensitivity == Sensitivity::Steensgaard {
+            if sensitivity == Sensitivity::Steensgaard && !opts.provenance {
                 SolverChoice::UnionFind
             } else if opts.threads > 1 {
                 SolverChoice::Parallel
@@ -431,6 +609,13 @@ fn resolve_choice(sensitivity: Sensitivity, opts: SolveOptions) -> SolverChoice 
             }
         }
         c => c,
+    };
+    // Union-find unification records no derivation steps; a provenance
+    // solve routes to the worklist instead (byte-identical output).
+    if opts.provenance && resolved == SolverChoice::UnionFind {
+        SolverChoice::Worklist
+    } else {
+        resolved
     }
 }
 
@@ -447,17 +632,23 @@ fn run_solver(
 ) -> (solve::SolveOutput, usize) {
     match resolve_choice(sensitivity, opts) {
         SolverChoice::Auto => unreachable!("resolved above"),
-        SolverChoice::Worklist => (solve::solve_worklist(sensitivity, batches, bind, log), 1),
+        SolverChoice::Worklist => (
+            solve::solve_worklist(sensitivity, batches, bind, log, opts.provenance),
+            1,
+        ),
         SolverChoice::UnionFind if sensitivity == Sensitivity::Steensgaard => {
             (unify::solve_unify(sensitivity, batches, bind), 1)
         }
         // Unification is only an equality-based (Steensgaard) encoding;
         // asking for it at a subset-based sensitivity means the worklist.
-        SolverChoice::UnionFind => (solve::solve_worklist(sensitivity, batches, bind, log), 1),
+        SolverChoice::UnionFind => (
+            solve::solve_worklist(sensitivity, batches, bind, log, opts.provenance),
+            1,
+        ),
         SolverChoice::Parallel => {
             let threads = opts.threads.max(1);
             (
-                parallel::solve_parallel(sensitivity, batches, bind, threads, log),
+                parallel::solve_parallel(sensitivity, batches, bind, threads, log, opts.provenance),
                 threads,
             )
         }
@@ -507,6 +698,180 @@ pub fn analyze_naive(program: &Program, sensitivity: Sensitivity) -> PointsToRes
         indirect_sites.extend(batch.indirect_sites);
     }
     naive::solve_naive(program, sensitivity, constraints, indirect_sites)
+}
+
+/// Replays every derivation step of a provenance-enabled solve against the
+/// program's own constraints. Checks three things:
+///
+/// 1. **Well-foundedness** — every premise fact was recorded at a strictly
+///    lower arena index than the fact it justifies (so chains terminate).
+/// 2. **Rule soundness** — seeds match an `AddrOf` constraint; every other
+///    step crosses either a static `Copy` edge or a recorded dynamic edge
+///    whose trigger fact exists, precedes the step, and matches the
+///    spawning rule (`Load` / `Store` / indirect-call binding).
+/// 3. **Completeness** — the recorded facts are exactly the final
+///    points-to sets (every set element has a derivation and vice versa).
+///
+/// Returns the number of steps verified. `program` must be the program the
+/// result was computed from.
+pub fn verify_derivations(program: &Program, r: &PointsToResult) -> Result<usize, String> {
+    let sol = r
+        .solution
+        .as_ref()
+        .ok_or("result has no interned solution")?;
+    let prov = r
+        .provenance
+        .as_ref()
+        .ok_or("result has no provenance arena")?;
+    let steensgaard = r.sensitivity == Sensitivity::Steensgaard;
+
+    // Regenerate the constraints. Interning is append-only and idempotent,
+    // so re-interning the same program yields the ids the solve used.
+    let mut interner = sol.interner.lock();
+    let batches: Vec<Arc<InternedBatch>> = gen_program(program, r.sensitivity)
+        .iter()
+        .map(|b| Arc::new(intern_batch(b, &mut interner)))
+        .collect();
+    let bind = solve::BindTable::build(program, &batches, &mut interner);
+    drop(interner);
+
+    let mut addrof: HashSet<(u32, u32)> = HashSet::new();
+    let mut copies: HashSet<(u32, u32)> = HashSet::new();
+    let mut loads: HashSet<(u32, u32)> = HashSet::new();
+    let mut stores: HashSet<(u32, u32)> = HashSet::new();
+    let mut sites: Vec<&constraints::ISite> = Vec::new();
+    for batch in &batches {
+        for c in &batch.constraints {
+            match *c {
+                IConstraint::AddrOf { dst, loc } => {
+                    addrof.insert((dst, loc));
+                }
+                IConstraint::Copy { dst, src } => {
+                    copies.insert((dst, src));
+                }
+                IConstraint::Load { dst, src } => {
+                    loads.insert((dst, src));
+                }
+                IConstraint::Store { dst, src } => {
+                    stores.insert((dst, src));
+                }
+            }
+        }
+        sites.extend(batch.sites.iter());
+    }
+
+    let mut verified = 0usize;
+    for (i, step) in prov.steps().iter().enumerate() {
+        let i = u32::try_from(i).expect("arena indices fit u32");
+        if step.src == SEED {
+            if !addrof.contains(&(step.dst, step.pointee)) {
+                return Err(format!(
+                    "step {i}: seed {} ∋ {} has no AddrOf constraint",
+                    step.dst, step.pointee
+                ));
+            }
+            verified += 1;
+            continue;
+        }
+        // Premise 1: the same pointee in the source set, derived earlier.
+        match prov.index_of(step.src, step.pointee) {
+            Some(j) if j < i => {}
+            Some(j) => {
+                return Err(format!(
+                    "step {i}: premise {} ∋ {} recorded later (step {j})",
+                    step.src, step.pointee
+                ))
+            }
+            None => {
+                return Err(format!(
+                    "step {i}: premise {} ∋ {} has no derivation",
+                    step.src, step.pointee
+                ))
+            }
+        }
+        // The edge src → dst itself must be justified.
+        if copies.contains(&(step.dst, step.src)) {
+            verified += 1;
+            continue;
+        }
+        let Some(e) = prov.edge_prov(step.src, step.dst) else {
+            return Err(format!(
+                "step {i}: edge {} → {} is neither a static copy nor a recorded dynamic edge",
+                step.src, step.dst
+            ));
+        };
+        // Premise 2: the fact that spawned the edge, derived earlier.
+        match prov.index_of(e.trigger, e.aux) {
+            Some(k) if k < i => {}
+            Some(k) => {
+                return Err(format!(
+                    "step {i}: edge premise {} ∋ {} recorded later (step {k})",
+                    e.trigger, e.aux
+                ))
+            }
+            None => {
+                return Err(format!(
+                    "step {i}: edge premise {} ∋ {} has no derivation",
+                    e.trigger, e.aux
+                ))
+            }
+        }
+        let rule_ok = match e.kind {
+            // `t = *n` with n ∋ p spawns p → t: aux is p (= the step's
+            // source), and a Load constraint reads through the trigger.
+            EdgeKind::Load => e.aux == step.src && loads.contains(&(step.dst, e.trigger)),
+            // `*n = s` with n ∋ p spawns s → p: aux is p (= the step's
+            // destination), and a Store constraint writes through the
+            // trigger.
+            EdgeKind::Store => e.aux == step.dst && stores.contains(&(e.trigger, step.src)),
+            // A callee set gaining a function spawns arg → param and
+            // ret → result edges (mirrored under Steensgaard).
+            EdgeKind::CallBind => bind
+                .func_names
+                .get(&e.aux)
+                .and_then(|name| bind.funcs.get(name))
+                .is_some_and(|(params, ret)| {
+                    sites.iter().any(|s| {
+                        s.callee == e.trigger
+                            && (params.iter().zip(&s.args).any(|(&p, &a)| {
+                                (step.src, step.dst) == (a, p)
+                                    || (steensgaard && (step.src, step.dst) == (p, a))
+                            }) || (step.src, step.dst) == (*ret, s.result)
+                                || (steensgaard && (step.src, step.dst) == (s.result, *ret)))
+                    })
+                }),
+        };
+        if !rule_ok {
+            return Err(format!(
+                "step {i}: {} edge {} → {} not justified by trigger fact {} ∋ {}",
+                e.kind.name(),
+                step.src,
+                step.dst,
+                e.trigger,
+                e.aux
+            ));
+        }
+        verified += 1;
+    }
+
+    // Completeness: every element of every final set has a derivation, and
+    // the counts match (sets only grow, so equal counts mean a bijection).
+    let mut total = 0usize;
+    for (id, set) in sol.sets.iter() {
+        for &p in set {
+            total += 1;
+            if prov.index_of(*id, p).is_none() {
+                return Err(format!("final fact {id} ∋ {p} has no derivation"));
+            }
+        }
+    }
+    if total != prov.facts() {
+        return Err(format!(
+            "arena records {} facts but the solution holds {total}",
+            prov.facts()
+        ));
+    }
+    Ok(verified)
 }
 
 /// Upper bound on cached constraint batches before the cache is cleared
@@ -674,9 +1039,11 @@ pub fn analyze_incremental_with(
 
     // Delta repair applies only under automatic dispatch (an explicit
     // solver choice is a request for that exact algorithm), only off the
-    // worklist family (union-find fixpoints are never logged), and only
-    // when the edit is small enough that repair plausibly beats
-    // re-propagation.
+    // worklist family (union-find fixpoints are never logged), never under
+    // provenance (a repaired fixpoint restores retained facts wholesale,
+    // so it has no derivations for them — a scratch solve records a
+    // complete trace instead), and only when the edit is small enough
+    // that repair plausibly beats re-propagation.
     let prior: Option<Arc<FixpointState>> = cache
         .states
         .lock()
@@ -684,6 +1051,7 @@ pub fn analyze_incremental_with(
         .get(&sens_tag)
         .cloned();
     let use_delta = opts.solver == SolverChoice::Auto
+        && !opts.provenance
         && sensitivity != Sensitivity::Steensgaard
         && prior
             .as_ref()
@@ -1088,7 +1456,15 @@ mod tests {
                 (SolverChoice::UnionFind, 1),
                 (SolverChoice::Parallel, 4),
             ] {
-                let r = analyze_with(&p, s, SolveOptions { solver, threads });
+                let r = analyze_with(
+                    &p,
+                    s,
+                    SolveOptions {
+                        solver,
+                        threads,
+                        ..SolveOptions::default()
+                    },
+                );
                 assert_eq!(r.pts(), slow.pts(), "{} {:?} pts", s.name(), solver);
                 assert_eq!(
                     r.indirect_targets,
@@ -1118,6 +1494,7 @@ mod tests {
             SolveOptions {
                 solver: SolverChoice::Auto,
                 threads: 4,
+                ..SolveOptions::default()
             },
         );
         assert_eq!(r.threads_used, 4, "auto with threads>1 goes parallel");
@@ -1149,6 +1526,7 @@ mod tests {
                 SolveOptions {
                     solver: SolverChoice::Worklist,
                     threads: 1,
+                    ..SolveOptions::default()
                 },
             );
             assert_eq!(repaired.pts(), scratch.pts(), "{} delete-edit", s.name());
@@ -1197,11 +1575,116 @@ mod tests {
             SolveOptions {
                 solver: SolverChoice::Worklist,
                 threads: 1,
+                ..SolveOptions::default()
             },
         );
         assert_eq!(repaired.pts(), scratch.pts());
         assert_eq!(repaired.indirect_targets, scratch.indirect_targets);
         let targets = repaired.indirect_call_targets("vfs_read", "ops->read");
         assert!(!targets.contains("pipe_read"), "stale target must die");
+    }
+
+    /// Provenance mode changes nothing about the answer, records a
+    /// derivation for every fact, and every chain walks back to a seed.
+    #[test]
+    fn provenance_solve_is_identical_and_every_chain_reaches_a_seed() {
+        let p = parse_program(OPS_TABLE).unwrap();
+        for s in [
+            Sensitivity::Steensgaard,
+            Sensitivity::Andersen,
+            Sensitivity::AndersenField,
+        ] {
+            for threads in [1usize, 4] {
+                let opts = SolveOptions {
+                    threads,
+                    ..SolveOptions::default()
+                };
+                let plain = analyze_with(&p, s, opts);
+                let traced = analyze_with(&p, s, opts.with_provenance(true));
+                assert_eq!(traced.pts(), plain.pts(), "{} t={threads}", s.name());
+                assert_eq!(traced.indirect_targets, plain.indirect_targets);
+                assert_eq!(traced.constraint_count, plain.constraint_count);
+                assert!(!plain.has_provenance());
+                assert!(traced.has_provenance());
+                assert_eq!(plain.provenance_facts(), 0);
+                assert!(traced.provenance_facts() > 0);
+                assert!(traced.provenance_bytes() > 0);
+
+                let n = verify_derivations(&p, &traced)
+                    .unwrap_or_else(|e| panic!("{} t={threads}: replay failed: {e}", s.name()));
+                assert_eq!(n, traced.provenance_facts());
+
+                // Every fact in the solution explains itself, seed-first.
+                for (loc, set) in traced.pts() {
+                    for tgt in set {
+                        let chain = traced
+                            .why(loc, tgt)
+                            .unwrap_or_else(|| panic!("{}: no chain for {loc} ∋ {tgt}", s.name()));
+                        assert!(!chain.is_empty());
+                        assert_eq!(chain[0].rule, "addr-of", "chains start at a seed");
+                        assert!(chain[0].src.is_none());
+                        let last = chain.last().unwrap();
+                        assert_eq!((&last.dst, &last.pointee), (loc, tgt));
+                    }
+                }
+            }
+        }
+    }
+
+    /// An indirect-call resolution explains itself end to end: the chain
+    /// behind "ops->read may call ext2_read" crosses the call-bind /
+    /// load machinery and renders as readable lines.
+    #[test]
+    fn indirect_call_targets_explain_their_derivation() {
+        let p = parse_program(OPS_TABLE).unwrap();
+        let r = analyze_with(
+            &p,
+            Sensitivity::AndersenField,
+            SolveOptions::default().with_provenance(true),
+        );
+        let targets = r.indirect_call_targets("vfs_read", "ops->read");
+        assert!(targets.contains("ext2_read"));
+        let chain = r
+            .why_indirect(&p, "vfs_read", "ops->read", "ext2_read")
+            .expect("resolved target must have a derivation");
+        assert_eq!(chain[0].rule, "addr-of");
+        assert!(
+            chain.iter().any(|l| l.rule != "addr-of"),
+            "resolution flows through at least one propagation step: {chain:?}"
+        );
+        for link in &chain {
+            assert!(!link.render().is_empty());
+        }
+        // Unknown target: no chain, no panic.
+        assert!(r
+            .why_indirect(&p, "vfs_read", "ops->read", "missing")
+            .is_none());
+    }
+
+    /// Provenance through the incremental path disables delta repair (a
+    /// repaired fixpoint has no derivations for retained facts) but still
+    /// matches, replays, and keeps working after an edit.
+    #[test]
+    fn incremental_provenance_forces_scratch_solve_and_replays() {
+        let p = parse_program(OPS_TABLE).unwrap();
+        let cache = ConstraintCache::new();
+        let opts = SolveOptions::default().with_provenance(true);
+        let cold = analyze_incremental_with(&p, Sensitivity::AndersenField, &cache, opts);
+        assert!(cold.has_provenance());
+        verify_derivations(&p, &cold).expect("cold incremental replay");
+
+        let edited_src = OPS_TABLE.replace("return vfs_read(&ext2_ops, n);", "return 0;");
+        let edited = parse_program(&edited_src).unwrap();
+        let warm = analyze_incremental_with(&edited, Sensitivity::AndersenField, &cache, opts);
+        assert_ne!(
+            warm.mode,
+            SolveMode::DeltaRepair,
+            "provenance must force a full re-propagation"
+        );
+        assert!(warm.has_provenance());
+        verify_derivations(&edited, &warm).expect("post-edit incremental replay");
+        let scratch = analyze_with(&edited, Sensitivity::AndersenField, opts);
+        assert_eq!(warm.pts(), scratch.pts());
+        assert_eq!(warm.indirect_targets, scratch.indirect_targets);
     }
 }

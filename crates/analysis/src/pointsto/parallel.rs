@@ -36,20 +36,29 @@ use super::constraints::{ISite, InternedBatch};
 use super::solve::{finish, merge_into, merge_sorted, prepare, BindTable, SolveOutput, Solver};
 use super::Sensitivity;
 use crate::summary::tarjan_scc_ids;
+use ivy_provenance::{EdgeKind, ProvStore, SEED};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 /// Solves `batches` on `threads` threads with one merge barrier per
 /// superstep. Byte-identical output to `solve_worklist`.
+///
+/// With `provenance` set, each shard records derivations into a private
+/// arena which the merge barrier drains into the master store in shard
+/// order — cross-shard facts only travel via inboxes and flushes, so a
+/// fact's premises always drained at an earlier barrier (or earlier in the
+/// same shard's arena) and the master arena stays causally ordered.
 pub(super) fn solve_parallel(
     sensitivity: Sensitivity,
     batches: &[Arc<InternedBatch>],
     bind: &BindTable,
     threads: usize,
     log: bool,
+    provenance: bool,
 ) -> SolveOutput {
     let threads = threads.max(1);
     let mut solver = Solver::new(sensitivity, bind, log);
+    solver.prov = provenance.then(ProvStore::new);
 
     // Spawn the workers first: they get scheduled while the serial graph
     // build below runs, so the first superstep dispatches onto warm
@@ -62,7 +71,7 @@ pub(super) fn solve_parallel(
     let seed_span = ivy_telemetry::span("pointsto/seed", sensitivity.name());
     let prep = prepare(&mut solver, batches);
     for &(dst, loc) in &prep.seeds {
-        solver.add_pts(dst, &[loc]);
+        solver.add_pts(dst, &[loc], SEED);
     }
     drop(seed_span);
 
@@ -159,8 +168,17 @@ pub(super) fn solve_parallel(
         });
         drop(wave_span);
 
-        // Merge barrier: route buffered cross-shard deltas to their owners
-        // and install every new edge/binding, in shard order.
+        // Merge barrier: drain per-shard provenance arenas (in shard
+        // order, so the master arena stays causally ordered), route
+        // buffered cross-shard deltas to their owners, and install every
+        // new edge/binding, in shard order.
+        if let Some(master) = &mut solver.prov {
+            for shard in &mut shards {
+                if let Some(sp) = &mut shard.prov {
+                    sp.drain_into(master);
+                }
+            }
+        }
         inboxes = (0..nshards).map(|_| Inbox::new(nshards)).collect();
         let mut any = false;
         for (si, shard) in shards.iter_mut().enumerate() {
@@ -175,8 +193,8 @@ pub(super) fn solve_parallel(
         }
         let mut sink: Vec<(u32, u32)> = Vec::new();
         for shard in &mut shards {
-            for (u, v, trigger) in std::mem::take(&mut shard.dyn_edges) {
-                if solver.keep_dyn_edge(u, v, trigger) {
+            for (u, v, trigger, aux, kind) in std::mem::take(&mut shard.dyn_edges) {
+                if solver.keep_dyn_edge(u, v, trigger, aux, kind) {
                     sink.push((u, v));
                 }
             }
@@ -218,9 +236,10 @@ pub(super) fn solve_parallel(
 
 /// Cross-shard input for one shard's next superstep.
 struct Inbox {
-    /// Buffered deltas `(node, items)`, indexed by sending shard so the
-    /// apply order is deterministic.
-    deltas: Vec<Vec<(u32, Vec<u32>)>>,
+    /// Buffered deltas `(node, src, items)`, indexed by sending shard so
+    /// the apply order is deterministic; `src` is the node the items
+    /// flowed from, carried so the owner records correct fact provenance.
+    deltas: Vec<Vec<(u32, u32, Vec<u32>)>>,
     /// Newly-installed edges `u → v` with `u` owned here: the shard must
     /// flush `u`'s current set across the edge.
     flushes: Vec<(u32, u32)>,
@@ -247,12 +266,16 @@ struct Shard {
     queue: VecDeque<usize>,
     pops: u64,
     dtotal: u64,
-    /// Deltas destined for nodes other shards own, indexed by owner.
-    out: Vec<Vec<(u32, Vec<u32>)>>,
-    /// Dereference-spawned copy edges `(u, v, trigger)`.
-    dyn_edges: Vec<(u32, u32, u32)>,
+    /// Deltas destined for nodes other shards own, indexed by owner:
+    /// `(node, src, items)`.
+    out: Vec<Vec<(u32, u32, Vec<u32>)>>,
+    /// Dereference-spawned copy edges `(u, v, trigger, aux, kind)`.
+    dyn_edges: Vec<(u32, u32, u32, u32, EdgeKind)>,
     /// Newly discovered indirect-call targets `(site index, func id)`.
     binds: Vec<(usize, u32)>,
+    /// Per-shard derivation arena, drained into the master store at every
+    /// merge barrier (`None` when provenance is off).
+    prov: Option<ProvStore>,
 }
 
 impl Shard {
@@ -285,6 +308,7 @@ impl Shard {
             out: (0..nshards).map(|_| Vec::new()).collect(),
             dyn_edges: Vec::new(),
             binds: Vec::new(),
+            prov: solver.prov.is_some().then(ProvStore::new),
         }
     }
 
@@ -303,8 +327,8 @@ impl Shard {
         inbox: Inbox,
     ) {
         for buf in inbox.deltas {
-            for (m, items) in buf {
-                self.local_add(slot[m as usize] as usize, &items);
+            for (m, src, items) in buf {
+                self.local_add(slot[m as usize] as usize, m, &items, src);
             }
         }
         for (u, v) in inbox.flushes {
@@ -313,7 +337,7 @@ impl Shard {
                 continue;
             }
             let items = self.sets[su].clone();
-            self.route(v, &items, owner, slot);
+            self.route(v, &items, owner, slot, u);
         }
         while let Some(li) = self.queue.pop_front() {
             self.pops += 1;
@@ -326,16 +350,16 @@ impl Shard {
             let m = self.nodes[li];
             for &t in &shared.load_out[m as usize] {
                 for &p in &d {
-                    self.spawn_edge(p, t, m, shared);
+                    self.spawn_edge(p, t, m, p, EdgeKind::Load, shared);
                 }
             }
             for &s in &shared.store_out[m as usize] {
                 for &p in &d {
-                    self.spawn_edge(s, p, m, shared);
+                    self.spawn_edge(s, p, m, p, EdgeKind::Store, shared);
                 }
             }
             for &succ in &shared.copy_out[m as usize] {
-                self.route(succ, &d, owner, slot);
+                self.route(succ, &d, owner, slot, m);
             }
             if let Some(site_idxs) = sites_of.get(&m) {
                 let new_funcs: Vec<u32> = d
@@ -355,19 +379,27 @@ impl Shard {
         }
     }
 
-    /// Sends `items` to `dst`: merged locally when this shard owns it,
-    /// buffered for the owner otherwise.
-    fn route(&mut self, dst: u32, items: &[u32], owner: &[u32], slot: &[u32]) {
+    /// Sends `items` (flowing from `src`) to `dst`: merged locally when
+    /// this shard owns it, buffered for the owner otherwise.
+    fn route(&mut self, dst: u32, items: &[u32], owner: &[u32], slot: &[u32], src: u32) {
         if owner[dst as usize] as usize == self.idx {
-            self.local_add(slot[dst as usize] as usize, items);
+            self.local_add(slot[dst as usize] as usize, dst, items, src);
         } else {
-            self.out[owner[dst as usize] as usize].push((dst, items.to_vec()));
+            self.out[owner[dst as usize] as usize].push((dst, src, items.to_vec()));
         }
     }
 
     /// Buffers a dereference-spawned copy edge, pre-filtered against the
     /// (frozen during the superstep) global dedup set.
-    fn spawn_edge(&mut self, u: u32, v: u32, trigger: u32, shared: &Solver) {
+    fn spawn_edge(
+        &mut self,
+        u: u32,
+        v: u32,
+        trigger: u32,
+        aux: u32,
+        kind: EdgeKind,
+        shared: &Solver,
+    ) {
         if u == v
             || shared
                 .copy_edges
@@ -375,14 +407,20 @@ impl Shard {
         {
             return;
         }
-        self.dyn_edges.push((u, v, trigger));
+        self.dyn_edges.push((u, v, trigger, aux, kind));
     }
 
-    /// Local difference propagation into a shard-owned node.
-    fn local_add(&mut self, ls: usize, items: &[u32]) {
+    /// Local difference propagation into a shard-owned node (`node` is the
+    /// global id of slot `ls`; `src` the premise node for provenance).
+    fn local_add(&mut self, ls: usize, node: u32, items: &[u32], src: u32) {
         let fresh = merge_into(&mut self.sets[ls], items);
         if fresh.is_empty() {
             return;
+        }
+        if let Some(prov) = &mut self.prov {
+            for &p in &fresh {
+                prov.record_fact(node, p, src);
+            }
         }
         self.delta[ls] = merge_sorted(&self.delta[ls], &fresh);
         if !self.inq[ls] {

@@ -37,6 +37,7 @@ use super::constraints::{IConstraint, ISite, InternedBatch};
 use super::intern::LocInterner;
 use super::{Loc, Sensitivity};
 use ivy_cmir::ast::Program;
+use ivy_provenance::{EdgeKind, ProvStore, SEED};
 use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
@@ -58,6 +59,9 @@ pub(super) struct SolveOutput {
     pub total_constraints: usize,
     pub pops: usize,
     pub dyn_edges: Option<Vec<DynEdge>>,
+    /// Derivation arena recorded during the solve (`None` when provenance
+    /// was not requested).
+    pub provenance: Option<ProvStore>,
 }
 
 /// Everything the solver needs from the interner, pre-resolved so the
@@ -262,6 +266,7 @@ pub(super) fn finish(solver: Solver, prep: &Prepared, initial_constraints: usize
         total_constraints: solver.total_constraints,
         pops: solver.pops,
         dyn_edges: solver.log,
+        provenance: solver.prov,
     }
 }
 
@@ -274,13 +279,15 @@ pub(super) fn solve_worklist(
     batches: &[Arc<InternedBatch>],
     bind: &BindTable,
     log: bool,
+    provenance: bool,
 ) -> SolveOutput {
     let mut solver = Solver::new(sensitivity, bind, log);
+    solver.prov = provenance.then(ProvStore::new);
 
     let seed_span = ivy_telemetry::span("pointsto/seed", sensitivity.name());
     let prep = prepare(&mut solver, batches);
     for &(dst, loc) in &prep.seeds {
-        solver.add_pts(dst, &[loc]);
+        solver.add_pts(dst, &[loc], SEED);
     }
     drop(seed_span);
 
@@ -316,6 +323,9 @@ pub(super) struct Solver<'a> {
     pub(super) pops: usize,
     /// Dynamic-edge log for delta re-solves (`None` when not capturing).
     pub(super) log: Option<Vec<DynEdge>>,
+    /// Derivation arena (`None` when provenance is off — the disabled
+    /// cost is the `is_some` branch per fresh fact and per new edge).
+    pub(super) prov: Option<ProvStore>,
 }
 
 impl<'a> Solver<'a> {
@@ -334,6 +344,7 @@ impl<'a> Solver<'a> {
             total_constraints: 0,
             pops: 0,
             log: log.then(Vec::new),
+            prov: None,
         }
     }
 
@@ -356,12 +367,19 @@ impl<'a> Solver<'a> {
     }
 
     /// Adds `items` (sorted, deduped) to `pts(node)`; genuinely new
-    /// elements join the node's delta and (re)queue it.
-    pub(super) fn add_pts(&mut self, node: u32, items: &[u32]) {
+    /// elements join the node's delta and (re)queue it. `src` is the node
+    /// the items flowed from ([`SEED`] for `AddrOf` constraints), recorded
+    /// as each fresh fact's premise when provenance is on.
+    pub(super) fn add_pts(&mut self, node: u32, items: &[u32], src: u32) {
         let set = &mut self.sets[node as usize];
         let fresh = merge_into(set, items);
         if fresh.is_empty() {
             return;
+        }
+        if let Some(prov) = &mut self.prov {
+            for &p in &fresh {
+                prov.record_fact(node, p, src);
+            }
         }
         let delta = &mut self.delta[node as usize];
         let merged_delta = merge_sorted(delta, &fresh);
@@ -375,8 +393,10 @@ impl<'a> Solver<'a> {
     /// Adds the dynamic copy edge u → v (deduped) and, when the edge is
     /// new, propagates u's *current* set across it so late edges see
     /// earlier facts. `trigger` is the node whose points-to set spawned
-    /// the edge (recorded in the delta-re-solve log).
-    pub(super) fn add_copy_edge(&mut self, u: u32, v: u32, trigger: u32) {
+    /// the edge (recorded in the delta-re-solve log); `aux` is the pointee
+    /// of `trigger` the edge routes through, so `(trigger, aux)` is the
+    /// edge's justifying fact in the provenance arena.
+    pub(super) fn add_copy_edge(&mut self, u: u32, v: u32, trigger: u32, aux: u32, kind: EdgeKind) {
         if u == v {
             return;
         }
@@ -386,10 +406,13 @@ impl<'a> Solver<'a> {
         if let Some(log) = &mut self.log {
             log.push((u, v, trigger));
         }
+        if let Some(prov) = &mut self.prov {
+            prov.record_edge(u, v, trigger, aux, kind);
+        }
         self.copy_out[u as usize].push(v);
         if !self.sets[u as usize].is_empty() {
             let snapshot = self.sets[u as usize].clone();
-            self.add_pts(v, &snapshot);
+            self.add_pts(v, &snapshot, u);
         }
     }
 
@@ -401,12 +424,22 @@ impl<'a> Solver<'a> {
     /// shards (the owning shard flushes the source set next superstep).
     /// Seeds the dedup set and the log so a later spawn of the same edge is
     /// a no-op.
-    pub(super) fn keep_dyn_edge(&mut self, u: u32, v: u32, trigger: u32) -> bool {
+    pub(super) fn keep_dyn_edge(
+        &mut self,
+        u: u32,
+        v: u32,
+        trigger: u32,
+        aux: u32,
+        kind: EdgeKind,
+    ) -> bool {
         if u == v || !self.copy_edges.insert((u64::from(u)) << 32 | u64::from(v)) {
             return false;
         }
         if let Some(log) = &mut self.log {
             log.push((u, v, trigger));
+        }
+        if let Some(prov) = &mut self.prov {
+            prov.record_edge(u, v, trigger, aux, kind);
         }
         self.copy_out[u as usize].push(v);
         true
@@ -431,23 +464,23 @@ impl<'a> Solver<'a> {
         let (params, ret) = (params.clone(), *ret);
         for (idx, &pid) in params.iter().enumerate() {
             let Some(&arg) = args.get(idx) else { break };
-            if self.keep_dyn_edge(arg, pid, trigger) {
+            if self.keep_dyn_edge(arg, pid, trigger, func_pointee, EdgeKind::CallBind) {
                 sink.push((arg, pid));
             }
             self.total_constraints += 1;
             if self.steensgaard {
-                if self.keep_dyn_edge(pid, arg, trigger) {
+                if self.keep_dyn_edge(pid, arg, trigger, func_pointee, EdgeKind::CallBind) {
                     sink.push((pid, arg));
                 }
                 self.total_constraints += 1;
             }
         }
-        if self.keep_dyn_edge(ret, result, trigger) {
+        if self.keep_dyn_edge(ret, result, trigger, func_pointee, EdgeKind::CallBind) {
             sink.push((ret, result));
         }
         self.total_constraints += 1;
         if self.steensgaard {
-            if self.keep_dyn_edge(result, ret, trigger) {
+            if self.keep_dyn_edge(result, ret, trigger, func_pointee, EdgeKind::CallBind) {
                 sink.push((result, ret));
             }
             self.total_constraints += 1;
@@ -474,17 +507,17 @@ impl<'a> Solver<'a> {
         let (params, ret) = (params.clone(), *ret);
         for (idx, &pid) in params.iter().enumerate() {
             let Some(&arg) = args.get(idx) else { break };
-            self.add_copy_edge(arg, pid, trigger);
+            self.add_copy_edge(arg, pid, trigger, func_pointee, EdgeKind::CallBind);
             self.total_constraints += 1;
             if self.steensgaard {
-                self.add_copy_edge(pid, arg, trigger);
+                self.add_copy_edge(pid, arg, trigger, func_pointee, EdgeKind::CallBind);
                 self.total_constraints += 1;
             }
         }
-        self.add_copy_edge(ret, result, trigger);
+        self.add_copy_edge(ret, result, trigger, func_pointee, EdgeKind::CallBind);
         self.total_constraints += 1;
         if self.steensgaard {
-            self.add_copy_edge(result, ret, trigger);
+            self.add_copy_edge(result, ret, trigger, func_pointee, EdgeKind::CallBind);
             self.total_constraints += 1;
         }
     }
@@ -511,7 +544,7 @@ impl<'a> Solver<'a> {
         let loads = std::mem::take(&mut self.load_out[n as usize]);
         for &t in &loads {
             for &p in &d {
-                self.add_copy_edge(p, t, n);
+                self.add_copy_edge(p, t, n, p, EdgeKind::Load);
             }
         }
         self.load_out[n as usize] = loads;
@@ -519,7 +552,7 @@ impl<'a> Solver<'a> {
         let stores = std::mem::take(&mut self.store_out[n as usize]);
         for &s in &stores {
             for &p in &d {
-                self.add_copy_edge(s, p, n);
+                self.add_copy_edge(s, p, n, p, EdgeKind::Store);
             }
         }
         self.store_out[n as usize] = stores;
@@ -528,7 +561,7 @@ impl<'a> Solver<'a> {
         // edges above propagated — so swap rather than overwrite.
         let copies = std::mem::take(&mut self.copy_out[n as usize]);
         for &m in &copies {
-            self.add_pts(m, &d);
+            self.add_pts(m, &d, n);
         }
         debug_assert!(self.copy_out[n as usize].is_empty());
         self.copy_out[n as usize] = copies;

@@ -16,7 +16,7 @@
 
 use ivy_analysis::pointsto::{
     analyze, analyze_incremental, analyze_incremental_with, analyze_naive, analyze_with,
-    ConstraintCache, Sensitivity, SolveMode, SolveOptions, SolverChoice,
+    verify_derivations, ConstraintCache, Sensitivity, SolveMode, SolveOptions, SolverChoice,
 };
 use ivy_cmir::ast::Program;
 use ivy_kernelgen::{subsample_program, KernelBuild, KernelConfig};
@@ -136,6 +136,7 @@ proptest! {
             let par = analyze_with(&program, s, SolveOptions {
                 solver: SolverChoice::Parallel,
                 threads: 4,
+                ..SolveOptions::default()
             });
             prop_assert_eq!(par.pts(), slow.pts(), "parallel pts diverge at {}", s.name());
             prop_assert_eq!(
@@ -149,6 +150,7 @@ proptest! {
                 let uf = analyze_with(&program, s, SolveOptions {
                     solver: SolverChoice::UnionFind,
                     threads: 1,
+                    ..SolveOptions::default()
                 });
                 prop_assert_eq!(uf.pts(), slow.pts(), "union-find pts diverge");
                 prop_assert_eq!(
@@ -165,6 +167,7 @@ proptest! {
             let incr = analyze_incremental_with(&program, s, &caches[i], SolveOptions {
                 solver: SolverChoice::Auto,
                 threads: if seed.is_multiple_of(2) { 4 } else { 1 },
+                ..SolveOptions::default()
             });
             if incr.mode == SolveMode::DeltaRepair {
                 prop_assert_eq!(incr.constraint_count, slow.constraint_count);
@@ -174,6 +177,55 @@ proptest! {
                 &incr.indirect_targets, &slow.indirect_targets,
                 "delta indirect targets diverge at {}", s.name()
             );
+        }
+    }
+
+    /// Provenance recording changes nothing: at every sensitivity, both the
+    /// serial worklist and the parallel wavefront produce byte-identical
+    /// answers with tracing on, and every recorded derivation replays —
+    /// each step's conclusion follows from its premises by a real rule
+    /// (AddrOf seed, static copy, or a justified dynamic edge), premises
+    /// strictly precede conclusions in the arena, and the recorded facts
+    /// are exactly the final sets.
+    #[test]
+    fn provenance_solves_are_identical_and_replay_on_generated_programs(
+        seed in any::<u64>(),
+        base_idx in 0usize..2,
+        drop_pct in 0u64..40,
+        strip_pct in 0u64..35,
+    ) {
+        let bases = base_kernels();
+        let program = subsample_program(&bases[base_idx], seed, drop_pct, strip_pct);
+        for s in [
+            Sensitivity::Steensgaard,
+            Sensitivity::Andersen,
+            Sensitivity::AndersenField,
+        ] {
+            let plain = analyze_with(&program, s, SolveOptions::default());
+            for threads in [1usize, 4] {
+                let traced = analyze_with(&program, s, SolveOptions {
+                    solver: SolverChoice::Auto,
+                    threads,
+                    provenance: true,
+                });
+                prop_assert_eq!(
+                    traced.pts(), plain.pts(),
+                    "provenance pts diverge at {} t={}", s.name(), threads
+                );
+                prop_assert_eq!(
+                    &traced.indirect_targets, &plain.indirect_targets,
+                    "provenance indirect targets diverge at {} t={}", s.name(), threads
+                );
+                prop_assert_eq!(traced.initial_constraints, plain.initial_constraints);
+                prop_assert_eq!(traced.constraint_count, plain.constraint_count);
+                let replayed = verify_derivations(&program, &traced);
+                prop_assert!(
+                    replayed.is_ok(),
+                    "replay failed at {} t={}: {}", s.name(), threads,
+                    replayed.unwrap_err()
+                );
+                prop_assert_eq!(replayed.unwrap(), traced.provenance_facts());
+            }
         }
     }
 }

@@ -25,7 +25,11 @@ fn steensgaard_solver_phase_timing() {
             let r = analyze_with(
                 &build.program,
                 Sensitivity::Steensgaard,
-                SolveOptions { solver, threads: 1 },
+                SolveOptions {
+                    solver,
+                    threads: 1,
+                    provenance: false,
+                },
             );
             let total = start.elapsed();
             eprintln!(
@@ -67,7 +71,11 @@ fn parallel_solver_phase_timing() {
             let r = analyze_with(
                 &build.program,
                 Sensitivity::AndersenField,
-                SolveOptions { solver, threads },
+                SolveOptions {
+                    solver,
+                    threads,
+                    provenance: false,
+                },
             );
             let total = start.elapsed();
             let spans = ivy_telemetry::spans_snapshot();

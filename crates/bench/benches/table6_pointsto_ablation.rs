@@ -8,8 +8,9 @@
 //! and the parallel wavefront (4 threads vs 1 thread; asserted only when
 //! the host actually has >=4 cores — on fewer cores the supersteps
 //! time-slice onto one CPU and wall-clock scaling is physically
-//! impossible). Emits a machine-readable `JSON-SUMMARY` line (the
-//! `BENCH_pointsto.json` trajectory).
+//! impossible), and a provenance column pricing the derivation-recording
+//! arena against the plain worklist cold solve. Emits a machine-readable
+//! `JSON-SUMMARY` line (the `BENCH_pointsto.json` trajectory).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ivy_analysis::pointsto::{
@@ -131,9 +132,9 @@ fn bench_ablation(c: &mut Criterion) {
     // seconds for the E6c table.
     type SolverRow = (String, String, f64, Option<f64>, Option<f64>, Option<f64>);
     let mut solver_rows: Vec<SolverRow> = Vec::new();
-    println!("==== E6b: solver scaling (naive vs worklist vs unify/parallel, cold vs incremental vs delta) ====");
+    println!("==== E6b: solver scaling (naive vs worklist vs unify/parallel, cold vs incremental vs delta vs provenance) ====");
     println!(
-        "{:<8} {:<16} {:>12} {:>12} {:>9} {:>12} {:>9} {:>12}",
+        "{:<8} {:<16} {:>12} {:>12} {:>9} {:>12} {:>9} {:>12} {:>12} {:>8}",
         "kernel",
         "variant",
         "naive (s)",
@@ -142,6 +143,8 @@ fn bench_ablation(c: &mut Criterion) {
         "incr (s)",
         "vs cold",
         "delta (s)",
+        "prov (s)",
+        "prov-x",
     );
     for (name, config, naive_samples) in &sweep {
         let build = KernelBuild::generate(config);
@@ -150,6 +153,7 @@ fn bench_ablation(c: &mut Criterion) {
             let worklist = SolveOptions {
                 solver: SolverChoice::Worklist,
                 threads: 1,
+                provenance: false,
             };
             let naive_cold = time_runs(
                 || {
@@ -162,6 +166,16 @@ fn bench_ablation(c: &mut Criterion) {
             let worklist_cold = time_runs(
                 || {
                     analyze_with(&build.program, s, worklist);
+                },
+                5,
+            );
+            // The same cold solve with the derivation arena recording —
+            // the E6 provenance column. The answers are byte-identical
+            // (pinned by the differential tests); this row prices the
+            // recording itself.
+            let provenance_cold = time_runs(
+                || {
+                    analyze_with(&build.program, s, worklist.with_provenance(true));
                 },
                 5,
             );
@@ -215,6 +229,7 @@ fn bench_ablation(c: &mut Criterion) {
                             SolveOptions {
                                 solver: choice,
                                 threads,
+                                provenance: false,
                             },
                         );
                     },
@@ -238,7 +253,7 @@ fn bench_ablation(c: &mut Criterion) {
             ));
             let reference = analyze_with(&build.program, s, worklist);
             println!(
-                "{:<8} {:<16} {:>12.4} {:>12.4} {:>8.1}x {:>12.5} {:>8.1}x {:>12.5}",
+                "{:<8} {:<16} {:>12.4} {:>12.4} {:>8.1}x {:>12.5} {:>8.1}x {:>12.5} {:>12.4} {:>7.2}x",
                 name,
                 s.name(),
                 naive_cold,
@@ -247,6 +262,8 @@ fn bench_ablation(c: &mut Criterion) {
                 incremental,
                 worklist_cold / incremental.max(1e-9),
                 delta,
+                provenance_cold,
+                provenance_cold / worklist_cold.max(1e-9),
             );
             let mut row = Map::new();
             row.insert("kernel".into(), Value::from(*name));
@@ -280,6 +297,14 @@ fn bench_ablation(c: &mut Criterion) {
             );
             row.insert("delta_repair_seconds".into(), Value::from(delta));
             row.insert(
+                "provenance_cold_seconds".into(),
+                Value::from(provenance_cold),
+            );
+            row.insert(
+                "provenance_overhead".into(),
+                Value::from(provenance_cold / worklist_cold.max(1e-9)),
+            );
+            row.insert(
                 "delta_speedup_vs_incremental".into(),
                 Value::from(incremental / delta.max(1e-9)),
             );
@@ -303,6 +328,12 @@ fn bench_ablation(c: &mut Criterion) {
                 );
             }
             summary.push_row(row);
+            if *name == "paper" && s == Sensitivity::AndersenField {
+                summary.headline(
+                    "paper_field_provenance_overhead",
+                    provenance_cold / worklist_cold.max(1e-9),
+                );
+            }
             if *name == "paper" && s == Sensitivity::Steensgaard {
                 let unify_solver = unify_solver.expect("measured for steensgaard");
                 let unify_speedup = worklist_solver / unify_solver.max(1e-9);
@@ -406,11 +437,25 @@ fn bench_ablation(c: &mut Criterion) {
                     SolveOptions {
                         solver: SolverChoice::Worklist,
                         threads: 1,
+                        provenance: false,
                     },
                 )
             })
         });
     }
+    group.bench_function("worklist-provenance/andersen+field", |b| {
+        b.iter(|| {
+            analyze_with(
+                &build.program,
+                Sensitivity::AndersenField,
+                SolveOptions {
+                    solver: SolverChoice::Worklist,
+                    threads: 1,
+                    provenance: true,
+                },
+            )
+        })
+    });
     group.bench_function("unify/steensgaard", |b| {
         b.iter(|| {
             analyze_with(
@@ -419,6 +464,7 @@ fn bench_ablation(c: &mut Criterion) {
                 SolveOptions {
                     solver: SolverChoice::UnionFind,
                     threads: 1,
+                    provenance: false,
                 },
             )
         })
@@ -431,6 +477,7 @@ fn bench_ablation(c: &mut Criterion) {
                 SolveOptions {
                     solver: SolverChoice::Parallel,
                     threads: 4,
+                    provenance: false,
                 },
             )
         })

@@ -5,24 +5,34 @@
 //! Each line is one record:
 //!
 //! ```text
-//! {"schema":1,"bench":"table8_engine_scaling","git_rev":"2df8929",
-//!  "recorded_at":"2026-08-08T12:00:00Z","config":{...},
+//! {"schema":2,"bench":"table8_engine_scaling","git_rev":"2df8929",
+//!  "recorded_at":"2026-08-08T12:00:00Z",
+//!  "available_parallelism":8,"ivy_threads":1,"config":{...},
 //!  "headline":{"paper_cold_seconds":1.92,"paper_warm_speedup":48.1}}
 //! ```
 //!
 //! `schema` gates evolution, `git_rev` ties the numbers to a commit,
 //! `headline` holds only numbers (so the dashboard can render any bench
-//! without bench-specific code). [`validate_file`] enforces exactly that
-//! shape and is what CI runs on every push; [`render_report`] turns the
-//! history into the per-PR markdown dashboard (`trajectory report`).
+//! without bench-specific code). Schema 2 added the host context every
+//! perf comparison needs: `available_parallelism` (the machine) and
+//! `ivy_threads` (the solver thread setting, from `IVY_THREADS`) — a
+//! trajectory mixing 2-core and 64-core records is otherwise
+//! uninterpretable. The validator accepts schema 1 (without the host
+//! fields) and schema 2; the writer only produces 2. [`validate_file`]
+//! enforces exactly that shape and is what CI runs on every push;
+//! [`render_report`] turns the history into the per-PR markdown dashboard
+//! (`trajectory report`).
 
 use serde_json::{Map, Value};
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 
-/// Trajectory schema version this writer produces and the validator
-/// accepts.
-pub const SCHEMA_VERSION: u64 = 1;
+/// Trajectory schema version this writer produces. The validator also
+/// accepts [`MIN_SCHEMA_VERSION`] records (pre-host-context history).
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// Oldest schema version `validate_record` still accepts.
+pub const MIN_SCHEMA_VERSION: u64 = 1;
 
 /// One validated trajectory record.
 #[derive(Debug, Clone)]
@@ -37,6 +47,11 @@ pub struct Record {
     pub config: Option<Value>,
     /// Headline metric name → number.
     pub headline: Vec<(String, f64)>,
+    /// Hardware threads the recording host had (schema ≥2; `None` on
+    /// schema-1 history).
+    pub available_parallelism: Option<u64>,
+    /// Effective `IVY_THREADS` setting at recording time (schema ≥2).
+    pub ivy_threads: Option<u64>,
 }
 
 /// The trajectory file path: `$IVY_TRAJECTORY` when set, otherwise
@@ -95,6 +110,15 @@ pub fn append(bench: &str, config: Option<Value>, headline: Map) -> io::Result<P
     record.insert("bench".into(), Value::from(bench));
     record.insert("git_rev".into(), Value::from(git_rev().as_str()));
     record.insert("recorded_at".into(), Value::from(now_rfc3339().as_str()));
+    record.insert(
+        "available_parallelism".into(),
+        Value::from(
+            std::thread::available_parallelism()
+                .map(|n| n.get() as u64)
+                .unwrap_or(1),
+        ),
+    );
+    record.insert("ivy_threads".into(), Value::from(ivy_threads()));
     if let Some(config) = config {
         record.insert("config".into(), config);
     }
@@ -112,6 +136,16 @@ pub fn append(bench: &str, config: Option<Value>, headline: Map) -> io::Result<P
     Ok(path)
 }
 
+/// The effective `IVY_THREADS` setting: parsed from the environment the
+/// same way the solver's `SolveOptions::from_env` does (default 1).
+pub fn ivy_threads() -> u64 {
+    std::env::var("IVY_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or(1)
+}
+
 fn field<'v>(v: &'v Value, key: &str) -> Result<&'v Value, String> {
     v.get(key).ok_or_else(|| format!("missing field {key:?}"))
 }
@@ -124,9 +158,24 @@ pub fn validate_record(v: &Value) -> Result<Record, String> {
     let schema = field(v, "schema")?
         .as_u64()
         .ok_or("schema is not an integer")?;
-    if schema != SCHEMA_VERSION {
+    if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&schema) {
         return Err(format!("unsupported schema version {schema}"));
     }
+    // Schema 2 added the host context; schema-1 history legitimately
+    // lacks it, but a schema-2 record without it is malformed.
+    let host_count = |key: &str| -> Result<Option<u64>, String> {
+        match v.get(key) {
+            Some(value) => value
+                .as_u64()
+                .filter(|&n| n >= 1)
+                .map(Some)
+                .ok_or_else(|| format!("{key} is not a positive integer")),
+            None if schema >= 2 => Err(format!("schema {schema} record is missing {key}")),
+            None => Ok(None),
+        }
+    };
+    let available_parallelism = host_count("available_parallelism")?;
+    let ivy_threads = host_count("ivy_threads")?;
     let text = |key: &str| -> Result<String, String> {
         field(v, key)?
             .as_str()
@@ -168,6 +217,8 @@ pub fn validate_record(v: &Value) -> Result<Record, String> {
         recorded_at: text("recorded_at")?,
         config,
         headline,
+        available_parallelism,
+        ivy_threads,
     })
 }
 
@@ -263,9 +314,30 @@ mod tests {
 
     #[test]
     fn valid_records_pass_and_decode() {
+        // Schema-1 history (no host context) stays valid.
         let r = validate_record(&Value::Object(valid_map())).unwrap();
         assert_eq!(r.bench, "table8_engine_scaling");
         assert_eq!(r.headline.len(), 2);
+        assert_eq!(r.available_parallelism, None);
+        assert_eq!(r.ivy_threads, None);
+    }
+
+    #[test]
+    fn schema_two_requires_and_decodes_host_context() {
+        let mut m = valid_map();
+        m.insert("schema".into(), Value::from(2u64));
+        // A schema-2 record without the host fields is malformed...
+        let err = validate_record(&Value::Object(m.clone())).unwrap_err();
+        assert!(err.contains("available_parallelism"), "{err}");
+        // ...and with them it decodes.
+        m.insert("available_parallelism".into(), Value::from(8u64));
+        m.insert("ivy_threads".into(), Value::from(4u64));
+        let r = validate_record(&Value::Object(m.clone())).unwrap();
+        assert_eq!(r.available_parallelism, Some(8));
+        assert_eq!(r.ivy_threads, Some(4));
+        // Zero threads is nonsense on any schema.
+        m.insert("ivy_threads".into(), Value::from(0u64));
+        assert!(validate_record(&Value::Object(m)).is_err());
     }
 
     #[test]
@@ -306,6 +378,9 @@ mod tests {
         let records = validate_file(&file).unwrap();
         assert_eq!(records.len(), 2);
         assert_eq!(records[0].bench, "table_test");
+        // The writer stamps host context on every record it produces.
+        assert!(records[0].available_parallelism.is_some());
+        assert!(records[0].ivy_threads >= Some(1));
         let report = render_report(&records);
         assert!(report.contains("## table_test"));
         assert!(report.contains("cold_seconds"));

@@ -182,6 +182,25 @@ impl BlockStopChecker {
                 "fix the call path, or insert a run-time `__assert_may_block` at the entry of `{}` and list it in BlockStopConfig::asserted_functions if this is a false positive",
                 finding.blocking_targets.iter().next().unwrap_or(&finding.callee_text)
             )),
+            // Cite what the verdict rests on: the atomic-region call path
+            // that reaches a blocking primitive, and (for indirect calls)
+            // the resolved target set — a points-to fact `ivy-client
+            // explain` can expand into a full derivation chain.
+            evidence: {
+                let mut ev = vec![ivy_engine::Evidence::new(
+                    "atomic-path",
+                    finding.caller.clone(),
+                    chain.clone(),
+                )];
+                if !finding.blocking_targets.is_empty() {
+                    ev.push(ivy_engine::Evidence::new(
+                        "indirect-targets",
+                        format!("{}::{}", finding.caller, finding.callee_text),
+                        targets.join(", "),
+                    ));
+                }
+                ev
+            },
         }
     }
 }

@@ -195,6 +195,18 @@ impl Checker for CCountChecker {
                 ),
                 span: Some(func.span),
                 fix_hint: Some(fix_hint),
+                // Cite the points-to facts behind the hint: the alloc
+                // sites the freed `void *` pointers may reach.
+                evidence: sites
+                    .iter()
+                    .map(|site| {
+                        ivy_engine::Evidence::new(
+                            "alloc-site",
+                            func.name.clone(),
+                            format!("freed pointer may point to alloc@{site}"),
+                        )
+                    })
+                    .collect(),
             });
         }
         if report.counted_pointer_writes > 0 || report.free_sites > 0 {
@@ -213,6 +225,7 @@ impl Checker for CCountChecker {
                 ),
                 span: Some(func.span),
                 fix_hint: None,
+                evidence: Vec::new(),
             });
         }
         out

@@ -36,6 +36,10 @@ pub struct Pipeline {
     pub deputy: Deputy,
     /// Worker threads for the engine (0 = one per hardware thread).
     pub threads: usize,
+    /// Record derivation provenance during every points-to solve, so
+    /// `PointsToResult::why` can explain any fact the hardened report
+    /// rests on. Costs memory and (bounded) time; off by default.
+    pub provenance: bool,
     cache: Arc<DiagnosticCache>,
     ctx_store: Arc<CtxStore>,
     pts_cache: Arc<ConstraintCache>,
@@ -49,6 +53,7 @@ impl Default for Pipeline {
         Pipeline {
             deputy: Deputy::default(),
             threads: 0,
+            provenance: false,
             cache: Arc::new(DiagnosticCache::new()),
             ctx_store: Arc::new(CtxStore::new()),
             pts_cache: Arc::new(ConstraintCache::new()),
@@ -67,6 +72,7 @@ impl Clone for Pipeline {
         Pipeline {
             deputy: self.deputy.clone(),
             threads: self.threads,
+            provenance: self.provenance,
             cache: Arc::clone(&self.cache),
             ctx_store: Arc::clone(&self.ctx_store),
             pts_cache: Arc::clone(&self.pts_cache),
@@ -156,6 +162,19 @@ impl Pipeline {
         self
     }
 
+    /// Records derivation provenance during every engine stage (builder
+    /// style) — the pipeline face of the engine's `--provenance` switch.
+    /// Diagnostics stay byte-identical to a provenance-free run; the
+    /// recorded arena sizes surface in `report.stats.provenance_facts` /
+    /// `provenance_bytes`, and any fact of the final solve can then be
+    /// expanded into a derivation chain (`ivy-client explain` against a
+    /// daemon started with `--provenance` does the same for resident
+    /// state).
+    pub fn with_provenance(mut self, on: bool) -> Self {
+        self.provenance = on;
+        self
+    }
+
     /// One analyze round-trip against a resident daemon, decoded back into
     /// an engine [`Report`]. The daemon's `diagnostics_json` is the stable
     /// serialization, so the decoded report reproduces it byte-identically.
@@ -211,6 +230,7 @@ impl Pipeline {
         // only for the functions the previous stage actually rewrote.
         let engine = Engine::new()
             .with_threads(self.threads)
+            .with_provenance(self.provenance)
             .with_cache(Arc::clone(&self.cache))
             .with_ctx_store(Arc::clone(&self.ctx_store))
             .with_pointsto_cache(Arc::clone(&self.pts_cache));
@@ -320,6 +340,7 @@ impl Pipeline {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ivy_cmir::pretty::pretty_program;
     use ivy_kernelgen::{KernelBuild, KernelConfig};
     use ivy_vm::{Value, Vm, VmConfig};
 
@@ -447,6 +468,26 @@ mod tests {
         handle.join();
         let fallback = Pipeline::new().with_daemon(&socket).recheck(&program);
         assert_eq!(local.diagnostics_json(), fallback.diagnostics_json());
+    }
+
+    #[test]
+    fn provenance_pipeline_matches_plain_run_and_surfaces_arena_stats() {
+        let build = KernelBuild::generate(&KernelConfig::small());
+        let plain = Pipeline::new().run(&build);
+        let explained = Pipeline::new().with_provenance(true).run(&build);
+        // Recording derivations may never change any answer.
+        assert_eq!(
+            plain.report.diagnostics_json(),
+            explained.report.diagnostics_json()
+        );
+        assert_eq!(
+            pretty_program(&plain.program),
+            pretty_program(&explained.program)
+        );
+        // ...but the arena it recorded is visible in the stats.
+        assert_eq!(plain.report.stats.provenance_facts, 0);
+        assert!(explained.report.stats.provenance_facts > 0);
+        assert!(explained.report.stats.provenance_bytes > 0);
     }
 
     #[test]

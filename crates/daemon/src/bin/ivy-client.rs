@@ -4,15 +4,18 @@
 //! ivy-client <socket-path> analyze <file.kc>
 //! ivy-client <socket-path> diagnostics <file.kc>
 //! ivy-client <socket-path> notify-edit <file.kc>
+//! ivy-client <socket-path> explain <fn> <lvalue> [target]
 //! ivy-client <socket-path> stats
 //! ivy-client <socket-path> metrics
 //! ivy-client <socket-path> shutdown
 //! ```
 //!
 //! `analyze`/`diagnostics` print the stable diagnostics JSON to stdout
-//! (what a batch run would have produced, byte-identically); `stats`
-//! prints the server counters; `metrics` prints the Prometheus-style text
-//! exposition.
+//! (what a batch run would have produced, byte-identically); `explain`
+//! prints the derivation chain behind a resident points-to fact or
+//! indirect-call resolution (needs a daemon started with `--provenance`
+//! and a prior `analyze`); `stats` prints the server counters; `metrics`
+//! prints the Prometheus-style text exposition.
 //!
 //! `--trace-out <path>` (anywhere on the command line) records spans for
 //! the client side of the session — connect and each request round-trip —
@@ -26,6 +29,7 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: ivy-client [--trace-out <trace.json>] <socket> <analyze|diagnostics|notify-edit> <file.kc>\n       \
+         ivy-client [--trace-out <trace.json>] <socket> explain <fn> <lvalue> [target]\n       \
          ivy-client [--trace-out <trace.json>] <socket> <stats|metrics|shutdown>"
     );
     ExitCode::FAILURE
@@ -84,6 +88,23 @@ fn run(args: &[String]) -> Result<(), String> {
                 inv.revalidated,
                 inv.env_changed,
             );
+        }
+        "explain" => {
+            let (Some(func), Some(lvalue)) = (args.get(2), args.get(3)) else {
+                return Err("explain needs <fn> and <lvalue> arguments".into());
+            };
+            let target = args.get(4).map(String::as_str);
+            let outcome = ivy_telemetry::time("client/request", "explain", || {
+                client.explain(func, lvalue, target)
+            })
+            .map_err(|e| e.to_string())?;
+            eprintln!(
+                "{} — {} link(s), replay_verified={}, {} recorded fact(s)",
+                outcome.fact, outcome.chain_len, outcome.replay_verified, outcome.provenance_facts,
+            );
+            for line in &outcome.rendered {
+                println!("{line}");
+            }
         }
         "stats" => {
             let stats = ivy_telemetry::time("client/request", "stats", || client.stats())

@@ -1,17 +1,19 @@
 //! `ivy-daemon` — serve the resident analysis engine on a Unix socket.
 //!
 //! ```text
-//! ivy-daemon <socket-path> [--cache-dir DIR] [--threads N]
+//! ivy-daemon <socket-path> [--cache-dir DIR] [--threads N] [--provenance]
 //! ```
 //!
 //! Blocks until a client sends `shutdown`. Defaults: no persist directory
-//! (memory-only), one engine worker per hardware thread.
+//! (memory-only), one engine worker per hardware thread, provenance off
+//! (`--provenance` records points-to derivations so the `explain` verb
+//! can answer; `IVY_PROVENANCE=1` in the environment does the same).
 
 use ivy_daemon::{Daemon, DaemonConfig};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: ivy-daemon <socket-path> [--cache-dir DIR] [--threads N]");
+    eprintln!("usage: ivy-daemon <socket-path> [--cache-dir DIR] [--threads N] [--provenance]");
     ExitCode::FAILURE
 }
 
@@ -23,6 +25,12 @@ fn main() -> ExitCode {
     let mut config = DaemonConfig::new(socket);
     let mut rest = args[1..].iter();
     while let Some(flag) = rest.next() {
+        // `--provenance` takes no value, so match it before the flags
+        // that consume the next argument.
+        if flag == "--provenance" {
+            config = config.with_provenance(true);
+            continue;
+        }
         match (flag.as_str(), rest.next()) {
             ("--cache-dir", Some(dir)) => config = config.with_cache_dir(dir),
             ("--threads", Some(n)) => match n.parse() {

@@ -24,6 +24,24 @@ pub struct AnalyzeOutcome {
     pub stats: EngineStats,
 }
 
+/// One `explain` answer: the derivation chain behind a points-to fact or
+/// indirect-call resolution, replay-verified by the daemon before shipping.
+#[derive(Debug, Clone)]
+pub struct ExplainOutcome {
+    /// The explained fact, e.g. `` `f::p` may point to `global x` ``.
+    pub fact: String,
+    /// The derivation chain, one human-readable line per link, seed first.
+    pub rendered: Vec<String>,
+    /// Number of links in the chain.
+    pub chain_len: usize,
+    /// Whether the daemon replayed the whole provenance store against the
+    /// program's constraints before answering (always true on success —
+    /// a failed replay is an error response).
+    pub replay_verified: bool,
+    /// Total derivation steps the resident solve recorded.
+    pub provenance_facts: u64,
+}
+
 /// One `notify_edit` answer.
 #[derive(Debug, Clone)]
 pub struct EditOutcome {
@@ -126,6 +144,55 @@ impl Client {
                 .get("invalidation")
                 .and_then(invalidation_from_value)
                 .ok_or_else(|| malformed("notify_edit"))?,
+        })
+    }
+
+    /// Asks the daemon *why* the resident static answer holds a fact:
+    /// `lvalue` is either an indirect callee expression in `func` (the
+    /// chain explains the call resolution) or a pointer slot (the chain
+    /// explains one pointee — `target` picks which; `None` takes the
+    /// first). Needs a daemon started with `--provenance` (or
+    /// `IVY_PROVENANCE=1`) and a prior `analyze`.
+    pub fn explain(
+        &mut self,
+        func: &str,
+        lvalue: &str,
+        target: Option<&str>,
+    ) -> io::Result<ExplainOutcome> {
+        let mut m = request("explain");
+        m.insert("fn".into(), Value::from(func));
+        m.insert("lvalue".into(), Value::from(lvalue));
+        if let Some(t) = target {
+            m.insert("target".into(), Value::from(t));
+        }
+        let response = self.request(&Value::Object(m))?;
+        let rendered: Vec<String> = response
+            .get("rendered")
+            .and_then(Value::as_array)
+            .ok_or_else(|| malformed("explain"))?
+            .iter()
+            .map(|v| {
+                v.as_str()
+                    .map(String::from)
+                    .ok_or_else(|| malformed("explain"))
+            })
+            .collect::<io::Result<_>>()?;
+        Ok(ExplainOutcome {
+            fact: response
+                .get("fact")
+                .and_then(Value::as_str)
+                .map(String::from)
+                .ok_or_else(|| malformed("explain"))?,
+            chain_len: rendered.len(),
+            rendered,
+            replay_verified: response
+                .get("replay_verified")
+                .and_then(Value::as_bool)
+                .ok_or_else(|| malformed("explain"))?,
+            provenance_facts: response
+                .get("provenance_facts")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| malformed("explain"))?,
         })
     }
 

@@ -57,8 +57,10 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 
-pub use client::{AnalyzeOutcome, Client, EditOutcome};
-pub use server::{fleet_checkers, fleet_engine, Daemon, DaemonConfig, DaemonHandle};
+pub use client::{AnalyzeOutcome, Client, EditOutcome, ExplainOutcome};
+pub use server::{
+    fleet_checkers, fleet_engine, fleet_engine_with, Daemon, DaemonConfig, DaemonHandle,
+};
 
 #[cfg(test)]
 mod tests {

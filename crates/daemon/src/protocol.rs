@@ -8,7 +8,7 @@
 //! ```
 //!
 //! Requests are objects with a `"cmd"` field (`analyze`, `diagnostics`,
-//! `notify_edit`, `stats`, `metrics`, `shutdown`); responses carry `"ok": true` plus
+//! `notify_edit`, `explain`, `stats`, `metrics`, `shutdown`); responses carry `"ok": true` plus
 //! command-specific fields, or `"ok": false` with an `"error"` string. A
 //! client may issue any number of requests over one connection; the server
 //! answers them in order and treats a clean close as the end of the
@@ -25,6 +25,11 @@
 //! <- {"ok":true,"program_hash":"77b1…","invalidation":{
 //!     "changed_functions":["watchdog_tick"],"env_changed":false,
 //!     "seeds":1,"invalidated":9,"retained":210,"revalidated":64}}
+//!
+//! -> {"cmd":"explain","fn":"f","lvalue":"p","target":"global x"}
+//! <- {"ok":true,"fact":"`f::p` may point to `global x`","replay_verified":true,
+//!     "provenance_facts":41,"chain":[{"fact":"f::p may point to global x",
+//!     "rule":"addr-of"},...],"rendered":["f::p may point to global x  [addr-of seed]",...]}
 //!
 //! -> {"cmd":"metrics"}
 //! <- {"ok":true,"metrics_text":"# TYPE ivy_daemon_requests_served_total counter\n..."}

@@ -14,11 +14,12 @@
 use crate::protocol::{
     error_response, invalidation_to_value, read_frame, response_ok, write_frame, PROTOCOL_VERSION,
 };
+use ivy_analysis::pointsto::{verify_derivations, Loc};
 use ivy_blockstop::BlockStopChecker;
 use ivy_ccount::CCountChecker;
 use ivy_cmir::parser::parse_program;
 use ivy_deputy::plugin::DeputyChecker;
-use ivy_engine::{AnalysisCtx, Engine, PersistLayer, Report};
+use ivy_engine::{AnalysisCtx, Engine, EngineStats, PersistLayer, Report};
 use serde_json::{Map, Value};
 use std::io;
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -38,6 +39,14 @@ pub struct DaemonConfig {
     pub cache_dir: Option<PathBuf>,
     /// Engine worker threads (0 = one per hardware thread).
     pub threads: usize,
+    /// Record points-to derivations so the `explain` verb can answer.
+    /// Equivalent to starting the process with `IVY_PROVENANCE=1`; the
+    /// flag only ever widens the environment-derived solve options.
+    pub provenance: bool,
+    /// Deputy configuration for the served fleet. The default keeps
+    /// daemon answers byte-comparable to batch runs; sessions that want
+    /// the indirect-annotation drift check opt in here.
+    pub deputy: ivy_deputy::DeputyConfig,
 }
 
 impl DaemonConfig {
@@ -47,6 +56,8 @@ impl DaemonConfig {
             socket: socket.into(),
             cache_dir: None,
             threads: 0,
+            provenance: false,
+            deputy: ivy_deputy::DeputyConfig::default(),
         }
     }
 
@@ -59,6 +70,19 @@ impl DaemonConfig {
     /// Sets the engine thread count (builder style).
     pub fn with_threads(mut self, threads: usize) -> DaemonConfig {
         self.threads = threads;
+        self
+    }
+
+    /// Enables derivation recording for the `explain` verb (builder style).
+    pub fn with_provenance(mut self, on: bool) -> DaemonConfig {
+        self.provenance = on;
+        self
+    }
+
+    /// Serves the fleet with a non-default Deputy configuration (builder
+    /// style), e.g. with `check_indirect_annotations` on.
+    pub fn with_deputy(mut self, deputy: ivy_deputy::DeputyConfig) -> DaemonConfig {
+        self.deputy = deputy;
         self
     }
 }
@@ -81,8 +105,18 @@ pub fn fleet_checkers(deputy: ivy_deputy::DeputyConfig) -> Vec<Arc<dyn ivy_engin
 /// fleet batch mode runs, which is what makes daemon answers
 /// byte-comparable to batch reports.
 pub fn fleet_engine(threads: usize, persist: Option<Arc<PersistLayer>>) -> Engine {
+    fleet_engine_with(threads, persist, ivy_deputy::DeputyConfig::default())
+}
+
+/// [`fleet_engine`] with an explicit Deputy configuration (the daemon
+/// passes [`DaemonConfig::deputy`] through here).
+pub fn fleet_engine_with(
+    threads: usize,
+    persist: Option<Arc<PersistLayer>>,
+    deputy: ivy_deputy::DeputyConfig,
+) -> Engine {
     let mut engine = Engine::new().with_threads(threads);
-    for checker in fleet_checkers(ivy_deputy::DeputyConfig::default()) {
+    for checker in fleet_checkers(deputy) {
         engine = engine.with_checker(checker);
     }
     match persist {
@@ -107,46 +141,143 @@ struct SlowRequest {
     at_ms: u64,
 }
 
-/// Per-verb request counters, surfaced in `stats` and `metrics` responses.
-#[derive(Default)]
-struct VerbCounters {
-    analyze: AtomicU64,
-    diagnostics: AtomicU64,
-    notify_edit: AtomicU64,
-    stats: AtomicU64,
-    metrics: AtomicU64,
-    shutdown: AtomicU64,
-    unknown: AtomicU64,
+/// A bounded ring of the most recent slow requests: pushing at capacity
+/// evicts the *oldest* entry, so a long-lived daemon always holds the
+/// latest [`SlowRing::cap`] slow requests, never the first ones it saw.
+struct SlowRing {
+    entries: std::collections::VecDeque<SlowRequest>,
+    cap: usize,
 }
 
-impl VerbCounters {
-    fn slot(&self, verb: &str) -> &AtomicU64 {
-        match verb {
-            "analyze" => &self.analyze,
-            "diagnostics" => &self.diagnostics,
-            "notify_edit" => &self.notify_edit,
-            "stats" => &self.stats,
-            "metrics" => &self.metrics,
-            "shutdown" => &self.shutdown,
-            _ => &self.unknown,
+impl SlowRing {
+    fn new(cap: usize) -> SlowRing {
+        SlowRing {
+            entries: std::collections::VecDeque::with_capacity(cap),
+            cap,
         }
     }
 
-    fn bump(&self, verb: &str) {
-        self.slot(verb).fetch_add(1, Ordering::Relaxed);
+    fn push(&mut self, entry: SlowRequest) {
+        if self.entries.len() == self.cap {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(entry);
     }
 
-    fn snapshot(&self) -> [(&'static str, u64); 7] {
-        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
-        [
-            ("analyze", get(&self.analyze)),
-            ("diagnostics", get(&self.diagnostics)),
-            ("notify_edit", get(&self.notify_edit)),
-            ("stats", get(&self.stats)),
-            ("metrics", get(&self.metrics)),
-            ("shutdown", get(&self.shutdown)),
-            ("unknown", get(&self.unknown)),
-        ]
+    fn iter(&self) -> impl Iterator<Item = &SlowRequest> {
+        self.entries.iter()
+    }
+}
+
+/// Every verb the daemon meters, plus the `unknown` catch-all. The order
+/// is the index order of [`VerbMetrics`] slots.
+const VERBS: [&str; 8] = [
+    "analyze",
+    "diagnostics",
+    "notify_edit",
+    "explain",
+    "stats",
+    "metrics",
+    "shutdown",
+    "unknown",
+];
+
+/// Fixed log-scale latency bucket upper bounds, in microseconds. Fixed
+/// bounds (rather than adaptive ones) keep the exposition stable across
+/// snapshots and daemons, so dashboards can aggregate them.
+const LATENCY_BUCKETS_MICROS: [u64; 12] = [
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 1_000_000,
+];
+
+/// One verb's latency histogram: a non-cumulative count per bucket of
+/// [`LATENCY_BUCKETS_MICROS`] (observations above the last bound land only
+/// in `count`), plus a running sum for the mean.
+struct LatencyHistogram {
+    buckets: [AtomicU64; 12],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    fn observe(&self, micros: u64) {
+        if let Some(slot) = LATENCY_BUCKETS_MICROS.iter().position(|&le| micros <= le) {
+            self.buckets[slot].fetch_add(1, Ordering::Relaxed);
+        }
+        self.sum.fetch_add(micros, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot as *cumulative* bucket counts (the Prometheus `le`
+    /// convention) plus sum and count. The cumulative array is monotone
+    /// non-decreasing and each entry is at most `count` by construction.
+    fn snapshot(&self) -> ([u64; 12], u64, u64) {
+        let mut cumulative = [0u64; 12];
+        let mut running = 0u64;
+        for (slot, bucket) in self.buckets.iter().enumerate() {
+            running += bucket.load(Ordering::Relaxed);
+            cumulative[slot] = running;
+        }
+        (
+            cumulative,
+            self.sum.load(Ordering::Relaxed),
+            self.count.load(Ordering::Relaxed),
+        )
+    }
+
+    /// The q-quantile estimate: the upper bound of the first bucket whose
+    /// cumulative count reaches `ceil(q * count)`. Observations past the
+    /// last bound report the last bound (the histogram cannot resolve
+    /// further); an empty histogram reports 0.
+    fn quantile(cumulative: &[u64; 12], count: u64, q: f64) -> u64 {
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).max(1);
+        for (slot, &cum) in cumulative.iter().enumerate() {
+            if cum >= rank {
+                return LATENCY_BUCKETS_MICROS[slot];
+            }
+        }
+        LATENCY_BUCKETS_MICROS[LATENCY_BUCKETS_MICROS.len() - 1]
+    }
+}
+
+/// Per-verb request counters and latency histograms, surfaced in `stats`
+/// and `metrics` responses.
+#[derive(Default)]
+struct VerbMetrics {
+    counts: [AtomicU64; 8],
+    latency: [LatencyHistogram; 8],
+}
+
+impl VerbMetrics {
+    fn index(verb: &str) -> usize {
+        VERBS
+            .iter()
+            .position(|&v| v == verb)
+            .unwrap_or(VERBS.len() - 1)
+    }
+
+    fn bump(&self, verb: &str) {
+        self.counts[Self::index(verb)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn observe(&self, verb: &str, micros: u64) {
+        self.latency[Self::index(verb)].observe(micros);
+    }
+
+    fn snapshot(&self) -> [(&'static str, u64); 8] {
+        std::array::from_fn(|slot| (VERBS[slot], self.counts[slot].load(Ordering::Relaxed)))
     }
 }
 
@@ -173,10 +304,13 @@ struct State {
     requests: AtomicU64,
     analyzes: AtomicU64,
     edits: AtomicU64,
-    verbs: VerbCounters,
+    verbs: VerbMetrics,
+    /// Engine stats of the most recent `analyze`, so the `stats` verb can
+    /// report provenance volume without re-running anything.
+    last_stats: Mutex<Option<EngineStats>>,
     /// Ring buffer of the most recent requests that took at least
     /// [`SLOW_REQUEST_MICROS`]; surfaced by the `stats` verb.
-    slow: Mutex<std::collections::VecDeque<SlowRequest>>,
+    slow: Mutex<SlowRing>,
     shutdown: AtomicBool,
     /// Exclusive lock on the sidecar `<socket>.lock` file, held until the
     /// accept loop has removed the socket (see [`Daemon::bind`]); the OS
@@ -243,6 +377,10 @@ impl State {
         let (ctx, reused) = self.engine.context_for(&program);
         let report = self.engine.analyze_with_ctx(&ctx, reused);
         *self.resident.lock().unwrap_or_else(PoisonError::into_inner) = Some(Arc::clone(&ctx));
+        *self
+            .last_stats
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = Some(report.stats.clone());
         Ok((ctx, report, reused))
     }
 
@@ -268,6 +406,35 @@ impl State {
                 Some(("verb", verb)),
                 count,
             );
+        }
+        // Per-verb latency: the full histogram for dashboards, then
+        // p50/p95/p99 summary gauges so a bare `curl | grep p9` answers
+        // "is the daemon slow" without a Prometheus server. Verbs never
+        // requested are skipped — an all-zero histogram is noise.
+        for (slot, &verb) in VERBS.iter().enumerate() {
+            let (cumulative, sum, count) = self.verbs.latency[slot].snapshot();
+            if count == 0 {
+                continue;
+            }
+            prom.histogram(
+                "ivy_daemon_request_duration_micros",
+                Some(("verb", verb)),
+                &LATENCY_BUCKETS_MICROS,
+                &cumulative,
+                sum,
+                count,
+            );
+            for (name, q) in [
+                ("ivy_daemon_request_p50_micros", 0.50),
+                ("ivy_daemon_request_p95_micros", 0.95),
+                ("ivy_daemon_request_p99_micros", 0.99),
+            ] {
+                prom.gauge(
+                    name,
+                    Some(("verb", verb)),
+                    LatencyHistogram::quantile(&cumulative, count, q) as f64,
+                );
+            }
         }
         let cache = self.engine.cache();
         prom.counter("ivy_daemon_cache_hits_total", None, cache.hits());
@@ -307,6 +474,143 @@ impl State {
         text
     }
 
+    /// Answers an `explain` request against the resident context: resolves
+    /// `lvalue` in `func` to either an indirect-call expression or a
+    /// pointer slot, picks the claimed target (the request's, or the first
+    /// in the static answer), and returns the recorded derivation chain —
+    /// replay-verified against the program's constraints before it ships.
+    fn explain(&self, ctx: &AnalysisCtx, func: &str, lvalue: &str, target: Option<&str>) -> Value {
+        let sensitivity = self.engine.required_sensitivity();
+        let pts = ctx.pointsto(sensitivity);
+        if !pts.has_provenance() {
+            return error_response(
+                "the resident solve recorded no derivations; start the daemon with --provenance \
+                 (or IVY_PROVENANCE=1) and re-run analyze",
+            );
+        }
+        // An lvalue that is an indirect callee expression in `func` is
+        // explained as a call resolution; otherwise it names a pointer
+        // slot (a global if the program declares one, else a local).
+        let (fact, chain) = if let Some(targets) = pts.indirect_targets_for(func, lvalue) {
+            let chosen = match target {
+                Some(t) => {
+                    if !targets.contains(t) {
+                        return error_response(&format!(
+                            "the static answer does not resolve `{lvalue}` in `{func}` to \
+                             `{t}`; it resolves to: {}",
+                            targets.iter().cloned().collect::<Vec<_>>().join(", ")
+                        ));
+                    }
+                    t.to_string()
+                }
+                None => match targets.iter().next() {
+                    Some(first) => first.clone(),
+                    None => {
+                        return error_response(&format!(
+                            "the static answer resolves `{lvalue}` in `{func}` to no targets"
+                        ))
+                    }
+                },
+            };
+            let fact = format!("indirect call `{lvalue}` in `{func}` may reach `{chosen}`");
+            match pts.why_indirect(&ctx.program, func, lvalue, &chosen) {
+                Some(chain) => (fact, chain),
+                None => {
+                    return error_response(&format!(
+                        "no recorded derivation for {fact} (provenance store incomplete?)"
+                    ))
+                }
+            }
+        } else {
+            let loc = if ctx.program.global(lvalue).is_some() {
+                Loc::Global(lvalue.to_string())
+            } else {
+                Loc::Local {
+                    func: func.to_string(),
+                    var: lvalue.to_string(),
+                }
+            };
+            let set = pts.points_to(&loc);
+            let chosen = match target {
+                Some(t) => match set.iter().find(|p| p.to_string() == t) {
+                    Some(p) => p.clone(),
+                    None => {
+                        return error_response(&format!(
+                            "the static answer does not put `{t}` in the points-to set of \
+                             `{loc}`; the set is: {{{}}}",
+                            set.iter()
+                                .map(|p| p.to_string())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        ))
+                    }
+                },
+                None => match set.iter().next() {
+                    Some(p) => p.clone(),
+                    None => {
+                        return error_response(&format!(
+                            "the points-to set of `{loc}` is empty: no seed constraint \
+                             (address-of or allocation) ever reaches it"
+                        ))
+                    }
+                },
+            };
+            let fact = format!("`{loc}` may point to `{chosen}`");
+            match pts.why(&loc, &chosen) {
+                Some(chain) => (fact, chain),
+                None => {
+                    return error_response(&format!(
+                        "no recorded derivation for {fact} (provenance store incomplete?)"
+                    ))
+                }
+            }
+        };
+        // Replay the whole store against the program before shipping any
+        // chain: an `explain` answer is a soundness artifact, and a chain
+        // from a corrupt store is worse than an error.
+        let replay = verify_derivations(&ctx.program, &pts);
+        let replay_verified = match replay {
+            Ok(_) => true,
+            Err(e) => return error_response(&format!("derivation replay failed: {e}")),
+        };
+        ivy_telemetry::counter("ivy_daemon_explains_total", 1);
+        let links: Vec<Value> = chain
+            .iter()
+            .map(|link| {
+                let mut l = Map::new();
+                l.insert(
+                    "fact".into(),
+                    Value::from(format!("{} may point to {}", link.dst, link.pointee)),
+                );
+                l.insert("rule".into(), Value::from(link.rule));
+                if let Some(src) = &link.src {
+                    l.insert("from".into(), Value::from(src.to_string()));
+                }
+                if let Some((trigger, aux)) = &link.via {
+                    l.insert("via".into(), Value::from(format!("{trigger} -> {aux}")));
+                }
+                Value::Object(l)
+            })
+            .collect();
+        let rendered: Vec<Value> = chain
+            .iter()
+            .map(|link| Value::from(link.render()))
+            .collect();
+        let mut m = Map::new();
+        m.insert("ok".into(), Value::from(true));
+        m.insert("fn".into(), Value::from(func));
+        m.insert("lvalue".into(), Value::from(lvalue));
+        m.insert("fact".into(), Value::from(fact.as_str()));
+        m.insert("replay_verified".into(), Value::from(replay_verified));
+        m.insert(
+            "provenance_facts".into(),
+            Value::from(pts.provenance_facts() as u64),
+        );
+        m.insert("chain".into(), Value::Array(links));
+        m.insert("rendered".into(), Value::Array(rendered));
+        Value::Object(m)
+    }
+
     fn handle(&self, request: &Value) -> Value {
         self.requests.fetch_add(1, Ordering::Relaxed);
         let Some(cmd) = request.get("cmd").and_then(Value::as_str) else {
@@ -318,16 +622,16 @@ impl State {
         let start = Instant::now();
         let response = self.dispatch(cmd, request);
         let micros = start.elapsed().as_micros() as u64;
+        self.verbs.observe(cmd, micros);
         if micros >= SLOW_REQUEST_MICROS {
-            let mut slow = self.slow.lock().unwrap_or_else(PoisonError::into_inner);
-            if slow.len() == SLOW_RING_CAP {
-                slow.pop_front();
-            }
-            slow.push_back(SlowRequest {
-                verb: cmd.to_string(),
-                micros,
-                at_ms: self.started.elapsed().as_millis() as u64,
-            });
+            self.slow
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(SlowRequest {
+                    verb: cmd.to_string(),
+                    micros,
+                    at_ms: self.started.elapsed().as_millis() as u64,
+                });
         }
         response
     }
@@ -421,6 +725,16 @@ impl State {
                     Value::from(pts.solves_delta()),
                 );
                 engine_stats.insert("pointsto".into(), Value::Object(pointsto));
+                // Provenance volume of the last analyze (0 when provenance
+                // is off or nothing has been analyzed yet).
+                let (prov_facts, prov_bytes) = self
+                    .last_stats
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .as_ref()
+                    .map_or((0, 0), |s| (s.provenance_facts, s.provenance_bytes));
+                engine_stats.insert("provenance_facts".into(), Value::from(prov_facts));
+                engine_stats.insert("provenance_bytes".into(), Value::from(prov_bytes));
                 let mut m = Map::new();
                 m.insert("ok".into(), Value::from(true));
                 m.insert("protocol".into(), Value::from(PROTOCOL_VERSION));
@@ -470,6 +784,30 @@ impl State {
                     m.insert("persist".into(), Value::Object(persist));
                 }
                 Value::Object(m)
+            }
+            "explain" => {
+                let Some(func) = request.get("fn").and_then(Value::as_str) else {
+                    return error_response("explain needs a \"fn\" field");
+                };
+                let Some(lvalue) = request.get("lvalue").and_then(Value::as_str) else {
+                    return error_response("explain needs an \"lvalue\" field");
+                };
+                let target = request.get("target").and_then(Value::as_str);
+                // Explain reads the resident context like an analyze does,
+                // so it takes the shared side of the edit gate.
+                let _gate = self
+                    .edit_gate
+                    .read()
+                    .unwrap_or_else(PoisonError::into_inner);
+                let resident = self
+                    .resident
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .clone();
+                let Some(ctx) = resident else {
+                    return error_response("explain before any analyze: nothing is resident");
+                };
+                self.explain(&ctx, func, lvalue, target)
             }
             "metrics" => {
                 let mut m = Map::new();
@@ -576,7 +914,8 @@ impl Daemon {
         // long-lived server must not accumulate span records unasked.
         ivy_telemetry::enable_counters();
         let state = Arc::new(State {
-            engine: fleet_engine(config.threads, persist.clone()),
+            engine: fleet_engine_with(config.threads, persist.clone(), config.deputy)
+                .with_provenance(config.provenance),
             persist,
             resident: Mutex::new(None),
             edit_gate: RwLock::new(()),
@@ -585,8 +924,9 @@ impl Daemon {
             requests: AtomicU64::new(0),
             analyzes: AtomicU64::new(0),
             edits: AtomicU64::new(0),
-            verbs: VerbCounters::default(),
-            slow: Mutex::new(std::collections::VecDeque::new()),
+            verbs: VerbMetrics::default(),
+            last_stats: Mutex::new(None),
+            slow: Mutex::new(SlowRing::new(SLOW_RING_CAP)),
             shutdown: AtomicBool::new(false),
             _socket_lock: socket_lock,
         });
@@ -700,5 +1040,69 @@ fn connection_loop(
         // and wake the accept loop so it observes the flag and exits.
         state.close_connections();
         let _ = UnixStream::connect(socket);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slow_ring_evicts_oldest_first_at_capacity() {
+        let mut ring = SlowRing::new(3);
+        for micros in 0..5u64 {
+            ring.push(SlowRequest {
+                verb: "analyze".into(),
+                micros,
+                at_ms: micros,
+            });
+        }
+        let held: Vec<u64> = ring.iter().map(|r| r.micros).collect();
+        // The first two entries fell off the front; the latest three
+        // remain in arrival order.
+        assert_eq!(held, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn latency_histogram_buckets_are_cumulative_and_monotone() {
+        let h = LatencyHistogram::default();
+        // One observation per bucket bound, one in-between, one overflow
+        // past the last bound.
+        for le in LATENCY_BUCKETS_MICROS {
+            h.observe(le);
+        }
+        h.observe(300); // lands in the 500 bucket
+        h.observe(2_000_000); // overflow: counted, bucketed nowhere
+        let (cumulative, sum, count) = h.snapshot();
+        assert_eq!(count, LATENCY_BUCKETS_MICROS.len() as u64 + 2);
+        assert_eq!(
+            sum,
+            LATENCY_BUCKETS_MICROS.iter().sum::<u64>() + 300 + 2_000_000
+        );
+        for pair in cumulative.windows(2) {
+            assert!(pair[0] <= pair[1], "cumulative counts must be monotone");
+        }
+        // Every cumulative entry is bounded by the total observation count.
+        assert!(cumulative.iter().all(|&c| c <= count));
+        // The overflow observation is visible as count minus the last
+        // cumulative bucket.
+        assert_eq!(cumulative[LATENCY_BUCKETS_MICROS.len() - 1], count - 1);
+    }
+
+    #[test]
+    fn latency_quantiles_report_bucket_upper_bounds() {
+        let h = LatencyHistogram::default();
+        for _ in 0..99 {
+            h.observe(80); // <= 100
+        }
+        h.observe(600_000); // <= 1_000_000
+        let (cumulative, _, count) = h.snapshot();
+        assert_eq!(LatencyHistogram::quantile(&cumulative, count, 0.50), 100);
+        assert_eq!(LatencyHistogram::quantile(&cumulative, count, 0.95), 100);
+        assert_eq!(
+            LatencyHistogram::quantile(&cumulative, count, 1.0),
+            1_000_000
+        );
+        assert_eq!(LatencyHistogram::quantile(&[0; 12], 0, 0.99), 0);
     }
 }

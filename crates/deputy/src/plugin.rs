@@ -413,6 +413,9 @@ impl DeputyChecker {
                 }
                 DeputySeverity::Note => None,
             },
+            // Validation and instrumentation findings read only the
+            // function's own syntax and annotations — no analysis facts.
+            evidence: Vec::new(),
         }
     }
 }
@@ -503,6 +506,30 @@ impl Checker for DeputyChecker {
                         "unify the annotations of every function assigned to this function pointer"
                             .into(),
                     ),
+                    // Cite the points-to facts this finding rests on: the
+                    // resolved target set of the call site, and the
+                    // signature group each target fell into. `ivy-client
+                    // explain` turns the first citation into a derivation
+                    // chain.
+                    evidence: {
+                        let mut ev = vec![ivy_engine::Evidence::new(
+                            "indirect-targets",
+                            format!("{}::{text}", func.name),
+                            groups
+                                .values()
+                                .flat_map(|targets| targets.iter().cloned())
+                                .collect::<Vec<_>>()
+                                .join(", "),
+                        )];
+                        ev.extend(groups.iter().map(|(sig, targets)| {
+                            ivy_engine::Evidence::new(
+                                "signature-group",
+                                format!("({sig})"),
+                                targets.iter().cloned().collect::<Vec<_>>().join(", "),
+                            )
+                        }));
+                        ev
+                    },
                 });
             }
         }
@@ -535,6 +562,7 @@ impl Checker for DeputyChecker {
                     ),
                     span: Some(func.span),
                     fix_hint: None,
+                    evidence: Vec::new(),
                 });
             }
         }

@@ -15,7 +15,7 @@
 
 use crate::persist::PersistLayer;
 use crate::query::{InvalidationStats, QueryDb};
-use ivy_analysis::pointsto::ConstraintCache;
+use ivy_analysis::pointsto::{ConstraintCache, SolveOptions};
 use ivy_cmir::ast::Program;
 use std::ops::Deref;
 use std::sync::Arc;
@@ -60,6 +60,13 @@ impl AnalysisCtx {
     /// queries reload from it instead of recomputing.
     pub fn with_persist(mut self, persist: Option<Arc<PersistLayer>>) -> AnalysisCtx {
         self.db = self.db.with_persist(persist);
+        self
+    }
+
+    /// Sets how points-to solves run in this context (builder style); the
+    /// engine routes its `--provenance` switch through here.
+    pub fn with_solve_options(mut self, opts: SolveOptions) -> AnalysisCtx {
+        self.db = self.db.with_solve_options(opts);
         self
     }
 

@@ -53,6 +53,58 @@ impl Severity {
     }
 }
 
+/// One structured fact citation attached to a diagnostic: the analysis
+/// result the checker relied on when it decided to report. Evidence makes
+/// a finding auditable — the daemon's `explain` verb and the oracle's
+/// violation reports start from these citations, and the SARIF rendering
+/// carries them as `relatedLocations`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Evidence {
+    /// What kind of fact is cited: `"pts"` (a points-to fact),
+    /// `"indirect-targets"` (a resolved indirect call), `"alloc-site"`
+    /// (a heap allocation the fact traces to), or `"atomic-path"`
+    /// (a call path inside an atomic region).
+    pub kind: String,
+    /// The subject of the fact, e.g. `"vfs_read::ops->read"` or a
+    /// location rendered by the points-to layer.
+    pub subject: String,
+    /// The fact's content, e.g. the resolved target list or the call
+    /// chain, rendered human-readably.
+    pub detail: String,
+}
+
+impl Evidence {
+    /// A citation with all three parts.
+    pub fn new(
+        kind: impl Into<String>,
+        subject: impl Into<String>,
+        detail: impl Into<String>,
+    ) -> Evidence {
+        Evidence {
+            kind: kind.into(),
+            subject: subject.into(),
+            detail: detail.into(),
+        }
+    }
+
+    fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("kind".into(), Value::from(self.kind.as_str()));
+        m.insert("subject".into(), Value::from(self.subject.as_str()));
+        m.insert("detail".into(), Value::from(self.detail.as_str()));
+        Value::Object(m)
+    }
+
+    fn from_value(v: &Value) -> Option<Evidence> {
+        let text = |key: &str| v.get(key).and_then(Value::as_str).map(String::from);
+        Some(Evidence {
+            kind: text("kind")?,
+            subject: text("subject")?,
+            detail: text("detail")?,
+        })
+    }
+}
+
 /// One finding from one checker about one function.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Diagnostic {
@@ -70,6 +122,9 @@ pub struct Diagnostic {
     pub span: Option<Span>,
     /// A suggested fix, when the checker knows one.
     pub fix_hint: Option<String>,
+    /// The analysis facts the checker relied on (empty when the finding
+    /// needed none beyond the function's own syntax).
+    pub evidence: Vec<Evidence>,
 }
 
 impl Diagnostic {
@@ -99,6 +154,12 @@ impl Diagnostic {
         if let Some(hint) = &self.fix_hint {
             m.insert("fix_hint".into(), Value::from(hint.as_str()));
         }
+        if !self.evidence.is_empty() {
+            m.insert(
+                "evidence".into(),
+                Value::Array(self.evidence.iter().map(Evidence::to_value).collect()),
+            );
+        }
         Value::Object(m)
     }
 
@@ -113,6 +174,16 @@ impl Diagnostic {
             Some(raw) => Some(crate::persist::span_from_value(raw)?),
             None => None,
         };
+        // Like the span: present-but-undecodable evidence rejects the
+        // whole entry so the persist layer recomputes it.
+        let evidence = match v.get("evidence") {
+            Some(raw) => raw
+                .as_array()?
+                .iter()
+                .map(Evidence::from_value)
+                .collect::<Option<Vec<Evidence>>>()?,
+            None => Vec::new(),
+        };
         Some(Diagnostic {
             checker: text("checker")?,
             code: text("code")?,
@@ -121,6 +192,7 @@ impl Diagnostic {
             message: text("message")?,
             span,
             fix_hint: text("fix_hint"),
+            evidence,
         })
     }
 }
@@ -183,6 +255,11 @@ pub struct EngineStats {
     /// Delta locations re-propagated while repairing (0 unless the solve
     /// mode is `"delta-repair"`).
     pub pointsto_delta_rederived: u64,
+    /// Derivation steps the provenance arena recorded for the scheduling
+    /// points-to solve (0 when provenance was off).
+    pub provenance_facts: u64,
+    /// Approximate bytes held by the provenance arena (0 when off).
+    pub provenance_bytes: u64,
 }
 
 impl EngineStats {
@@ -236,6 +313,14 @@ impl EngineStats {
             "pointsto_delta_rederived".into(),
             Value::from(self.pointsto_delta_rederived),
         );
+        stats.insert(
+            "provenance_facts".into(),
+            Value::from(self.provenance_facts),
+        );
+        stats.insert(
+            "provenance_bytes".into(),
+            Value::from(self.provenance_bytes),
+        );
         Value::Object(stats)
     }
 
@@ -271,6 +356,9 @@ impl EngineStats {
             pointsto_threads: count("pointsto_threads").unwrap_or(1),
             pointsto_delta_deleted: count("pointsto_delta_deleted").unwrap_or(0),
             pointsto_delta_rederived: count("pointsto_delta_rederived").unwrap_or(0),
+            // Absent in pre-provenance encodings; default rather than reject.
+            provenance_facts: count("provenance_facts").unwrap_or(0),
+            provenance_bytes: count("provenance_bytes").unwrap_or(0),
         })
     }
 
@@ -388,6 +476,26 @@ impl Report {
                 r.insert("level".into(), Value::from(d.severity.sarif_level()));
                 r.insert("message".into(), Value::Object(msg));
                 r.insert("locations".into(), Value::Array(vec![Value::Object(loc)]));
+                if !d.evidence.is_empty() {
+                    let related: Vec<Value> = d
+                        .evidence
+                        .iter()
+                        .map(|e| {
+                            let mut msg = Map::new();
+                            msg.insert(
+                                "text".into(),
+                                Value::from(format!("{}: {} — {}", e.kind, e.subject, e.detail)),
+                            );
+                            let mut loc_l = Map::new();
+                            loc_l.insert("logicalName".into(), Value::from(e.subject.as_str()));
+                            let mut rl = Map::new();
+                            rl.insert("message".into(), Value::Object(msg));
+                            rl.insert("logicalLocation".into(), Value::Object(loc_l));
+                            Value::Object(rl)
+                        })
+                        .collect();
+                    r.insert("relatedLocations".into(), Value::Array(related));
+                }
                 if let Some(hint) = &d.fix_hint {
                     let mut fix = Map::new();
                     fix.insert("text".into(), Value::from(hint.as_str()));
@@ -429,6 +537,7 @@ mod tests {
             message: msg.to_string(),
             span: None,
             fix_hint: None,
+            evidence: Vec::new(),
         }
     }
 
@@ -461,7 +570,17 @@ mod tests {
         d.severity = Severity::Warning;
         d.span = Some(Span::new(Pos::new(12, 5), Pos::new(12, 30)));
         d.fix_hint = Some("annotate the pointer".into());
+        d.evidence = vec![
+            Evidence::new("pts", "f::p", "may point to: global buf"),
+            Evidence::new("indirect-targets", "f::ops->read", "ext2_read, pipe_read"),
+        ];
         assert_eq!(Diagnostic::from_value(&d.to_value()).unwrap(), d);
+        // Malformed evidence rejects the entry (recompute, don't drop).
+        let mut v = d.to_value();
+        if let Value::Object(m) = &mut v {
+            m.insert("evidence".into(), Value::from("nope"));
+        }
+        assert!(Diagnostic::from_value(&v).is_none());
         // Spanless/hintless diagnostics roundtrip too.
         let bare = diag("g", "c/x", "m");
         assert_eq!(Diagnostic::from_value(&bare.to_value()).unwrap(), bare);
@@ -491,6 +610,8 @@ mod tests {
             pointsto_threads: 4,
             pointsto_delta_deleted: 7,
             pointsto_delta_rederived: 19,
+            provenance_facts: 321,
+            provenance_bytes: 4096,
         };
         assert_eq!(EngineStats::from_value(&stats.to_value()).unwrap(), stats);
         assert!(EngineStats::from_value(&Value::from("nope")).is_none());
@@ -498,13 +619,35 @@ mod tests {
 
     #[test]
     fn serializations_parse_back() {
-        let r = Report::new(
-            vec![diag("f", "blockstop/atomic-call", "boom")],
-            EngineStats::default(),
-        );
+        let mut d = diag("f", "blockstop/atomic-call", "boom");
+        d.evidence = vec![Evidence::new("atomic-path", "f", "f -> g -> kmalloc")];
+        let r = Report::new(vec![d], EngineStats::default());
         assert!(serde_json::from_str(&r.diagnostics_json()).is_ok());
         assert!(serde_json::from_str(&r.to_json()).is_ok());
-        let sarif = serde_json::from_str(&r.to_sarif()).unwrap();
+        let sarif: Value = serde_json::from_str(&r.to_sarif()).unwrap();
         assert_eq!(sarif.get("version").unwrap().as_str().unwrap(), "2.1.0");
+        // Evidence rides along as SARIF relatedLocations.
+        let related = sarif
+            .get("runs")
+            .and_then(|r| r.as_array()?.first()?.get("results"))
+            .and_then(|r| r.as_array()?.first()?.get("relatedLocations"))
+            .and_then(|r| r.as_array()?.first().cloned())
+            .expect("evidence renders as relatedLocations");
+        assert_eq!(
+            related
+                .get("message")
+                .and_then(|m| m.get("text"))
+                .and_then(Value::as_str)
+                .unwrap(),
+            "atomic-path: f — f -> g -> kmalloc"
+        );
+        assert_eq!(
+            related
+                .get("logicalLocation")
+                .and_then(|l| l.get("logicalName"))
+                .and_then(Value::as_str)
+                .unwrap(),
+            "f"
+        );
     }
 }

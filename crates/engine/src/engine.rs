@@ -31,8 +31,10 @@ use std::sync::{Arc, Mutex, PoisonError};
 const CTX_CACHE_CAP: usize = 16;
 
 /// Payload version of persisted per-function diagnostic entries; bump when
-/// the diagnostic encoding changes.
-const DIAG_FORMAT: u32 = 1;
+/// the diagnostic encoding changes. Version 2 added structured evidence:
+/// format-1 entries decode fine but would silently lack citations, so they
+/// are obsoleted and recomputed.
+const DIAG_FORMAT: u32 = 2;
 
 /// Persist namespace for one checker's per-function diagnostics.
 fn diag_namespace(checker: &str) -> String {
@@ -213,6 +215,7 @@ pub struct Engine {
     pts_cache: Arc<ConstraintCache>,
     persist: Option<Arc<PersistLayer>>,
     trace_out: Option<std::path::PathBuf>,
+    provenance: bool,
 }
 
 impl Default for Engine {
@@ -232,7 +235,23 @@ impl Engine {
             pts_cache: Arc::new(ConstraintCache::new()),
             persist: None,
             trace_out: None,
+            provenance: false,
         }
+    }
+
+    /// Turns on derivation tracing: every context this engine builds solves
+    /// points-to with a provenance arena attached, so `PointsToResult::why`
+    /// can explain any fact. Provenance is also honored when
+    /// `IVY_PROVENANCE` is set in the environment. Disabled-mode cost is
+    /// one branch per derived fact.
+    pub fn with_provenance(mut self, on: bool) -> Engine {
+        self.provenance = on;
+        self
+    }
+
+    /// True when this engine records derivation provenance.
+    pub fn provenance_enabled(&self) -> bool {
+        self.provenance
     }
 
     /// Registers a checker plugin (builder style).
@@ -330,10 +349,15 @@ impl Engine {
     pub fn context_for(&self, program: &Program) -> (Arc<AnalysisCtx>, bool) {
         let hash = AnalysisCtx::hash_program(program);
         self.ctx_store.get_or_insert_with(hash, || {
+            // The flag only ever widens the env-derived options: an engine
+            // without the switch still honors IVY_PROVENANCE.
+            let mut opts = ivy_analysis::pointsto::SolveOptions::from_env();
+            opts.provenance |= self.provenance;
             Arc::new(
                 AnalysisCtx::with_hash(program, hash)
                     .with_pointsto_cache(Arc::clone(&self.pts_cache))
-                    .with_persist(self.persist.clone()),
+                    .with_persist(self.persist.clone())
+                    .with_solve_options(opts),
             )
         })
     }
@@ -511,6 +535,10 @@ impl Engine {
             stats.pointsto_threads = pts.threads_used as u64;
             stats.pointsto_delta_deleted = pts.delta_deleted;
             stats.pointsto_delta_rederived = pts.delta_rederived;
+            stats.provenance_facts = pts.provenance_facts() as u64;
+            stats.provenance_bytes = pts.provenance_bytes() as u64;
+            ivy_telemetry::counter("ivy_provenance_facts_total", stats.provenance_facts);
+            ivy_telemetry::counter("ivy_provenance_bytes_total", stats.provenance_bytes);
         }
         // Cache traffic counters are cumulative across the process — the
         // daemon's `metrics` verb reads them back out of the recorder.
@@ -601,6 +629,7 @@ impl Engine {
                         pts_cache: Arc::clone(&self.pts_cache),
                         persist: self.persist.clone(),
                         trace_out: None,
+                        provenance: self.provenance,
                     };
                     inner.analyze_with_ctx(&ctx, reused)
                 })

@@ -67,6 +67,7 @@
 //!             message: format!("{} parameters", func.params.len()),
 //!             span: Some(func.span),
 //!             fix_hint: None,
+//!             evidence: Vec::new(),
 //!         }]
 //!     }
 //! }
@@ -94,7 +95,7 @@ pub mod query;
 pub use cache::{CacheKey, DiagnosticCache};
 pub use checker::Checker;
 pub use ctx::AnalysisCtx;
-pub use diag::{Diagnostic, EngineStats, Report, Severity};
+pub use diag::{Diagnostic, EngineStats, Evidence, Report, Severity};
 pub use engine::{CtxStore, Engine};
 pub use persist::PersistLayer;
 pub use query::{DurableQuery, InvalidationStats, Query, QueryDb, QueryKey};

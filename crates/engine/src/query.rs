@@ -32,7 +32,7 @@
 //! ```
 
 use crate::persist::PersistLayer;
-use ivy_analysis::pointsto::{self, ConstraintCache, PointsToResult, Sensitivity};
+use ivy_analysis::pointsto::{self, ConstraintCache, PointsToResult, Sensitivity, SolveOptions};
 use ivy_analysis::summary::{self, fnv1a, mix, Condensation, FunctionSummary, ProgramSummaries};
 use ivy_analysis::CallGraph;
 use ivy_cmir::ast::Program;
@@ -248,6 +248,10 @@ pub struct QueryDb {
     pts_cache: Arc<ConstraintCache>,
     /// Cross-process persistence, when attached.
     persist: Option<Arc<PersistLayer>>,
+    /// How [`Pointsto`] solves run for this db (threads, solver choice,
+    /// derivation tracing). Environment-driven by default; the engine's
+    /// `--provenance` switch overrides it per engine.
+    solve_options: SolveOptions,
     table: Mutex<HashMap<(TypeId, u64), Slot>>,
     /// `TypeId` → query `NAME`, filled as queries are demanded; lets
     /// invalidation translate dependency-graph refs (which use names) back
@@ -287,6 +291,7 @@ impl QueryDb {
             program_hash,
             pts_cache: Arc::new(ConstraintCache::new()),
             persist: None,
+            solve_options: SolveOptions::from_env(),
             table: Mutex::new(HashMap::new()),
             names: Mutex::new(HashMap::new()),
             deps: Mutex::new(BTreeSet::new()),
@@ -308,6 +313,17 @@ impl QueryDb {
     pub fn with_persist(mut self, persist: Option<Arc<PersistLayer>>) -> QueryDb {
         self.persist = persist;
         self
+    }
+
+    /// Sets how [`Pointsto`] solves run in this db (builder style).
+    pub fn with_solve_options(mut self, opts: SolveOptions) -> QueryDb {
+        self.solve_options = opts;
+        self
+    }
+
+    /// The solve options [`Pointsto`] computes with.
+    pub fn solve_options(&self) -> SolveOptions {
+        self.solve_options
     }
 
     /// The attached persist layer, if any.
@@ -500,7 +516,8 @@ impl QueryDb {
         let new_hash = Self::hash_program(edited);
         let new_db = QueryDb::with_hash(edited, new_hash)
             .with_pointsto_cache(Arc::clone(&self.pts_cache))
-            .with_persist(self.persist.clone());
+            .with_persist(self.persist.clone())
+            .with_solve_options(self.solve_options);
 
         // 1. Input-layer diff: which functions' contents changed, and did
         //    the type environment change with them?
@@ -803,7 +820,7 @@ impl Query for Pointsto {
         // Whole-program: any function edit (or env change) must reach this
         // result through the dependency graph.
         db.depend_on_program();
-        pointsto::analyze_incremental(&db.program, *key, &db.pts_cache)
+        pointsto::analyze_incremental_with(&db.program, *key, &db.pts_cache, db.solve_options)
     }
 }
 

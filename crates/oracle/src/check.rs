@@ -77,6 +77,13 @@ pub struct Violation {
     /// A stable identity for the violated fact (used to confirm a
     /// minimized reproducer still exhibits the same violation).
     pub key: String,
+    /// What the static side *did* derive for the violated slot: a
+    /// provenance chain for one claimed fact when the model was solved
+    /// with tracing, or a statement of which seed constraint is missing.
+    /// Diagnosing an unsoundness starts here — it says whether the
+    /// constraint generator missed the seed entirely or the solver failed
+    /// to propagate it.
+    pub static_derivation: Option<String>,
     /// A minimized reproducer, attached by the harness.
     pub reproducer: Option<crate::report::Reproducer>,
 }
@@ -143,8 +150,11 @@ impl Precision {
 }
 
 /// Checks every dynamic fact against a static model; returns the
-/// violations and the precision measurement.
+/// violations and the precision measurement. The program is only consulted
+/// when a violation needs its static-side derivation explained (indirect
+/// sites are found by regenerating constraints).
 pub fn check_subsumption(
+    program: &ivy_cmir::ast::Program,
     map: &AbstractionMap,
     facts: &DynFacts,
     model: &StaticModel,
@@ -188,12 +198,16 @@ pub fn check_subsumption(
         };
         let mut covered = false;
         let mut opaque = false;
+        // The materialized locations checked, retained so a miss can report
+        // what the static side did derive for them.
+        let mut checked: Vec<Loc> = Vec::new();
         for kind in &kinds {
             match kind {
                 SlotKind::Opaque => opaque = true,
                 SlotKind::Direct(locs) => {
                     for l in locs {
                         let l = l.materialize(s);
+                        checked.push(l.clone());
                         let set = pts_of(&l);
                         let hit: Vec<Loc> =
                             set.iter().filter(|p| cand.contains(p)).cloned().collect();
@@ -225,6 +239,7 @@ pub fn check_subsumption(
                     slot.describe()
                 ),
                 key: format!("pts:{slot:?}"),
+                static_derivation: Some(describe_static_pts(&model.pts, &checked)),
                 reproducer: None,
             });
         }
@@ -256,6 +271,7 @@ pub fn check_subsumption(
                      which the static target set does not contain"
                 ),
                 key: format!("indirect:{caller}:{text}:{target}"),
+                static_derivation: Some(describe_static_indirect(program, model, caller, text)),
                 reproducer: None,
             });
         }
@@ -280,6 +296,7 @@ pub fn check_subsumption(
                      has no BlockStop finding against `{caller}`"
                 ),
                 key: format!("blockstop:{caller}:{callee}"),
+                static_derivation: Some(describe_static_blockstop(model, caller)),
                 reproducer: None,
             });
         }
@@ -315,6 +332,11 @@ pub fn check_subsumption(
                     "run-time bad free in `{func}` but CCount instruments no free site there"
                 ),
                 key: format!("ccount:{func}"),
+                static_derivation: Some(format!(
+                    "static side instruments {} free site(s) program-wide, none in `{func}` \
+                     — the free-site seed for this function is missing",
+                    model.ccount_program.free_sites
+                )),
                 reproducer: None,
             });
         }
@@ -352,6 +374,106 @@ pub fn check_subsumption(
     (violations, precision)
 }
 
+/// What the static side *did* derive for the checked slot locations: the
+/// shortest derivation for one claimed pointee when the model was solved
+/// with provenance, the claimed set otherwise, or — when the set is
+/// empty — the statement that no seed constraint reaches the slot at all.
+fn describe_static_pts(pts: &PointsToResult, checked: &[Loc]) -> String {
+    for l in checked {
+        let set = pts.points_to(l);
+        let Some(first) = set.iter().next() else {
+            continue;
+        };
+        if let Some(chain) = pts.why(l, first) {
+            let lines: Vec<String> = chain
+                .iter()
+                .map(|c| format!("    {}", c.render()))
+                .collect();
+            return format!(
+                "static side does derive `{l}` -> `{first}`:\n{}",
+                lines.join("\n")
+            );
+        }
+        return format!(
+            "static side claims `{l}` may point to: {} \
+             (solved without provenance; re-run with IVY_PROVENANCE=1 for the derivation)",
+            set.iter()
+                .map(|p| p.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
+    match checked.first() {
+        Some(l) => format!(
+            "static side derives nothing for `{l}`: no seed constraint \
+             (address-of or allocation) ever reaches this slot — the seed for \
+             the observed target is missing"
+        ),
+        None => "static side has no abstraction for this slot".to_string(),
+    }
+}
+
+/// The static side of an indirect-call miss: the targets it did resolve
+/// with the derivation of one of them, or the statement that the
+/// function-pointer seed is missing entirely.
+fn describe_static_indirect(
+    program: &ivy_cmir::ast::Program,
+    model: &StaticModel,
+    caller: &str,
+    text: &str,
+) -> String {
+    let targets = model.pts.indirect_call_targets(caller, text);
+    let listed = targets.iter().cloned().collect::<Vec<_>>().join(", ");
+    let Some(first) = targets.iter().next() else {
+        return format!(
+            "static side resolves no target for `{text}` in `{caller}` — the \
+             address-of seed that would make the callee point at the observed \
+             function is missing"
+        );
+    };
+    if let Some(chain) = model.pts.why_indirect(program, caller, text, first) {
+        let lines: Vec<String> = chain
+            .iter()
+            .map(|c| format!("    {}", c.render()))
+            .collect();
+        return format!(
+            "static side does resolve `{text}` to {{{listed}}}; derivation for `{first}`:\n{}",
+            lines.join("\n")
+        );
+    }
+    format!("static side does resolve `{text}` to {{{listed}}} (solved without provenance)")
+}
+
+/// The static side of a blocking-in-atomic miss: the findings BlockStop
+/// did raise against the caller, or which seed (atomic-region membership
+/// or may-block propagation) never reached it.
+fn describe_static_blockstop(model: &StaticModel, caller: &str) -> String {
+    let findings: Vec<String> = model
+        .blockstop
+        .findings
+        .iter()
+        .filter(|f| f.caller == caller)
+        .map(|f| format!("`{}` ({})", f.callee_text, f.example_chain.join(" -> ")))
+        .collect();
+    if !findings.is_empty() {
+        return format!(
+            "static side does flag {} other call(s) in `{caller}`: {}",
+            findings.len(),
+            findings.join("; ")
+        );
+    }
+    if model.blockstop.atomic_functions.contains(caller) {
+        "static side does consider the caller atomic but never saw the callee \
+         as may-block — the may-block propagation seed is missing"
+            .to_string()
+    } else {
+        format!(
+            "static side never marks `{caller}` atomic — the atomic-region seed \
+             (irq handler or spinlock path reaching it) is missing"
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -378,10 +500,17 @@ mod tests {
             .insert(("poll".to_string(), "msleep".to_string()));
         facts.bad_free_facts.insert(("teardown".to_string(), false));
         let map = AbstractionMap::default();
-        let (violations, _) = check_subsumption(&map, &facts, &empty_model());
+        let program = ivy_cmir::parser::parse_program("fn main() { }").unwrap();
+        let (violations, _) = check_subsumption(&program, &map, &facts, &empty_model());
         let kinds: Vec<ViolationKind> = violations.iter().map(|v| v.kind).collect();
         assert!(kinds.contains(&ViolationKind::BlockStop));
         assert!(kinds.contains(&ViolationKind::CCount));
+        // Every violation explains what the static side did (or did not)
+        // derive — a miss is only actionable with its missing seed named.
+        assert!(violations.iter().all(|v| v
+            .static_derivation
+            .as_deref()
+            .is_some_and(|d| !d.is_empty())));
     }
 
     #[test]
@@ -391,7 +520,8 @@ mod tests {
         let mut model = empty_model();
         model.ccount_program.free_sites = 3;
         let map = AbstractionMap::default();
-        let (violations, _) = check_subsumption(&map, &facts, &model);
+        let program = ivy_cmir::parser::parse_program("fn main() { }").unwrap();
+        let (violations, _) = check_subsumption(&program, &map, &facts, &model);
         assert!(
             violations.is_empty(),
             "a deferred free may complete away from its call site: {violations:?}"

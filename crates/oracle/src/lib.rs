@@ -208,7 +208,8 @@ impl Oracle {
 
         for &s in &self.config.sensitivities {
             let model = build_static_model(program, s, &ccount_program, &ccount_by_fn);
-            let (mut violations, precision) = check::check_subsumption(&map, &facts, &model);
+            let (mut violations, precision) =
+                check::check_subsumption(program, &map, &facts, &model);
             if self.config.minimize {
                 for v in &mut violations {
                     v.reproducer =
@@ -238,7 +239,7 @@ impl Oracle {
             let ccount_program = ivy_ccount::analyze(p);
             let ccount_by_fn = ivy_ccount::analyze_by_function(p);
             let model = build_static_model(p, *sensitivity, &ccount_program, &ccount_by_fn);
-            let (violations, _) = check::check_subsumption(&map, &facts, &model);
+            let (violations, _) = check::check_subsumption(p, &map, &facts, &model);
             violations.iter().any(|v| v.key == key && v.kind == *kind)
         };
         if !reproduces(program) {
@@ -350,7 +351,15 @@ fn build_static_model(
     ccount_program: &ivy_ccount::InstrumentationReport,
     ccount_by_fn: &BTreeMap<String, ivy_ccount::InstrumentationReport>,
 ) -> StaticModel {
-    let pts = pointsto::analyze(program, sensitivity);
+    // Solve with derivation tracing on: when a dynamic fact escapes the
+    // static answer, the violation report prints the derivation the static
+    // side *did* have (or states which seed constraint is missing), which
+    // is where diagnosing an unsoundness starts.
+    let pts = pointsto::analyze_with(
+        program,
+        sensitivity,
+        pointsto::SolveOptions::from_env().with_provenance(true),
+    );
     let callgraph = CallGraph::build(program, &pts);
     let blockstop = BlockStop::with_config(ivy_blockstop::BlockStopConfig {
         sensitivity,

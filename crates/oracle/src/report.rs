@@ -154,6 +154,9 @@ impl OracleReport {
                 m.insert("sensitivity".into(), Value::from(v.sensitivity.name()));
                 m.insert("message".into(), Value::from(v.message.as_str()));
                 m.insert("key".into(), Value::from(v.key.as_str()));
+                if let Some(d) = &v.static_derivation {
+                    m.insert("static_derivation".into(), Value::from(d.as_str()));
+                }
                 if let Some(r) = &v.reproducer {
                     let mut rm = Map::new();
                     rm.insert(
@@ -250,6 +253,9 @@ impl OracleReport {
                     v.sensitivity.name(),
                     v.message
                 );
+                if let Some(d) = &v.static_derivation {
+                    let _ = writeln!(out, "  {d}");
+                }
                 if let Some(r) = &v.reproducer {
                     let _ = writeln!(out, "{}", r.render());
                 }

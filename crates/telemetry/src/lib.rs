@@ -453,6 +453,42 @@ impl PromText {
         }
     }
 
+    /// Append one fixed-bucket histogram: a cumulative `_bucket` sample per
+    /// upper bound, the implicit `+Inf` bucket (equal to `count`), then
+    /// `_sum` and `_count`. `cumulative[i]` is the number of observations
+    /// at or below `bounds[i]` — already cumulative, and never larger than
+    /// `count`.
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        label: Option<(&str, &str)>,
+        bounds: &[u64],
+        cumulative: &[u64],
+        sum: u64,
+        count: u64,
+    ) {
+        self.header(name, "histogram");
+        let extra = match label {
+            Some((k, v)) => format!("{k}=\"{}\",", escape_label(v)),
+            None => String::new(),
+        };
+        for (le, cum) in bounds.iter().zip(cumulative) {
+            let _ = writeln!(self.out, "{name}_bucket{{{extra}le=\"{le}\"}} {cum}");
+        }
+        let _ = writeln!(self.out, "{name}_bucket{{{extra}le=\"+Inf\"}} {count}");
+        match label {
+            Some((k, v)) => {
+                let v = escape_label(v);
+                let _ = writeln!(self.out, "{name}_sum{{{k}=\"{v}\"}} {sum}");
+                let _ = writeln!(self.out, "{name}_count{{{k}=\"{v}\"}} {count}");
+            }
+            None => {
+                let _ = writeln!(self.out, "{name}_sum {sum}");
+                let _ = writeln!(self.out, "{name}_count {count}");
+            }
+        }
+    }
+
     /// Finish and return the exposition text.
     pub fn finish(self) -> String {
         self.out

@@ -1,15 +1,21 @@
-//! Cold→edit→warm session against the resident analysis daemon.
+//! Cold→edit→warm→explain session against the resident analysis daemon.
 //!
 //! Spawns an in-process daemon over the generated kernel corpus, then
 //! drives one editing session through a client: a cold `analyze`, a
-//! `notify_edit` of one leaf function, and a warm re-`analyze` that is
+//! `notify_edit` of one leaf function, a warm re-`analyze` that is
 //! served almost entirely from resident state (dependency-driven
-//! invalidation keeps everything outside the edited function's cone).
+//! invalidation keeps everything outside the edited function's cone),
+//! and finally two `explain` round-trips — one for a raw points-to fact
+//! of the kernel's VFS dispatch table, one for the fact a Deputy
+//! diagnostic cites as evidence. The daemon runs with provenance on and
+//! Deputy's indirect-annotation drift check enabled; the corpus gains a
+//! small interface-drift snippet so that check has something to find.
 //!
 //! Environment:
 //! * `IVY_CACHE_DIR` — persist directory (default `target/ivy-cache`).
 //! * `IVY_DAEMON_STRICT=1` — exit non-zero if any *clean* function was
-//!   invalidated, if the warm re-serve rate drops below 90%, or if the
+//!   invalidated, if the warm re-serve rate drops below 90%, if either
+//!   `explain` returns an empty or non-replay-verified chain, or if the
 //!   daemon is unreachable (used by CI to pin the daemon's contract).
 //! * `IVY_TRACE_OUT=<path>` — record spans for the whole session and
 //!   export them as Chrome trace-event JSON at exit. In strict mode the
@@ -20,9 +26,21 @@
 
 use ivy::cmir::pretty::pretty_program;
 use ivy::daemon::{Client, Daemon, DaemonConfig};
+use ivy::engine::json::Value;
 use ivy::kernelgen::{KernelBuild, KernelConfig};
 use std::process::ExitCode;
 use std::time::Instant;
+
+/// A driver with interface drift: two callbacks with incompatible
+/// parameter signatures installed into one dispatch pointer. Appended to
+/// the kernel corpus so Deputy's indirect-annotation check produces a
+/// diagnostic whose cited points-to fact the session can `explain`.
+const DRIFT_SNIPPET: &str = "\
+global evdev_handler: fnptr(u8 *) -> void;\n\
+fn evdev_handle_bytes(p: u8 *) { }\n\
+fn evdev_handle_word(w: u32) { }\n\
+fn evdev_install() { evdev_handler = evdev_handle_bytes; evdev_handler = evdev_handle_word; }\n\
+fn evdev_fire(buf: u8[16]) { evdev_handler(&buf[0]); }\n";
 
 fn fail(strict: bool, message: &str) -> ExitCode {
     eprintln!("error: {message}");
@@ -57,6 +75,36 @@ fn export_trace(strict: bool, trace_out: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Finds the first `deputy/indirect-annot` diagnostic in the stable
+/// diagnostics JSON and returns the `(fn, lvalue, target)` triple its
+/// `indirect-targets` evidence cites — the exact request `explain` needs
+/// to expand the citation into a derivation chain.
+fn deputy_citation(diagnostics_json: &str) -> Option<(String, String, String)> {
+    let diags: Value = ivy::engine::json::from_str(diagnostics_json).ok()?;
+    let diags = diags.as_array()?;
+    for d in diags {
+        if d.get("code").and_then(Value::as_str) != Some("deputy/indirect-annot") {
+            continue;
+        }
+        for e in d
+            .get("evidence")
+            .and_then(Value::as_array)
+            .into_iter()
+            .flatten()
+        {
+            if e.get("kind").and_then(Value::as_str) != Some("indirect-targets") {
+                continue;
+            }
+            let subject = e.get("subject").and_then(Value::as_str)?;
+            let (func, lvalue) = subject.split_once("::")?;
+            let detail = e.get("detail").and_then(Value::as_str)?;
+            let target = detail.split(", ").next()?;
+            return Some((func.to_string(), lvalue.to_string(), target.to_string()));
+        }
+    }
+    None
+}
+
 fn main() -> ExitCode {
     let strict = std::env::var("IVY_DAEMON_STRICT").as_deref() == Ok("1");
     let trace_out = std::env::var("IVY_TRACE_OUT").ok();
@@ -66,7 +114,19 @@ fn main() -> ExitCode {
     let cache = std::env::var("IVY_CACHE_DIR").unwrap_or_else(|_| "target/ivy-cache".to_string());
     let socket = std::env::temp_dir().join(format!("ivy-session-{}.sock", std::process::id()));
 
-    let handle = match Daemon::spawn(DaemonConfig::new(&socket).with_cache_dir(&cache)) {
+    // Provenance on (the `explain` phase needs recorded derivations) and
+    // Deputy's drift check on (it is the fleet checker whose diagnostic
+    // the session explains).
+    let deputy = ivy::deputy::DeputyConfig {
+        check_indirect_annotations: true,
+        ..Default::default()
+    };
+    let handle = match Daemon::spawn(
+        DaemonConfig::new(&socket)
+            .with_cache_dir(&cache)
+            .with_provenance(true)
+            .with_deputy(deputy),
+    ) {
         Ok(handle) => handle,
         Err(e) => return fail(strict, &format!("daemon failed to start: {e}")),
     };
@@ -76,7 +136,8 @@ fn main() -> ExitCode {
     };
     println!("daemon on {} (cache {cache})", handle.socket().display());
 
-    let source = pretty_program(&KernelBuild::generate(&KernelConfig::small()).program);
+    let mut source = pretty_program(&KernelBuild::generate(&KernelConfig::small()).program);
+    source.push_str(DRIFT_SNIPPET);
     let edited = source.replacen("watchdog_ticks + 1", "watchdog_ticks + 2", 1);
 
     // 1. Cold request: the daemon pays the full solve (or reloads shards a
@@ -155,6 +216,59 @@ fn main() -> ExitCode {
         return fail(
             strict,
             &format!("warm re-serve rate {reserve_rate:.3} below 0.9"),
+        );
+    }
+
+    // 4a. Explain a raw points-to fact: why does the VFS read dispatch
+    //     reach ext2? The chain walks from the address-of seed in the ops
+    //     table to the call binding.
+    let pts_fact = match client.explain("vfs_read", "ops->read", Some("ext2_read")) {
+        Ok(outcome) => outcome,
+        Err(e) => return fail(strict, &format!("explain of a pts fact failed: {e}")),
+    };
+    println!("explain: {}", pts_fact.fact);
+    for line in &pts_fact.rendered {
+        println!("    {line}");
+    }
+    if pts_fact.rendered.is_empty() || !pts_fact.replay_verified {
+        return fail(
+            strict,
+            &format!(
+                "pts-fact chain must be non-empty and replay-verified: {} link(s), verified={}",
+                pts_fact.chain_len, pts_fact.replay_verified
+            ),
+        );
+    }
+
+    // 4b. Explain a Deputy diagnostic: find the drift finding in the
+    //     report and expand the points-to fact it cites as evidence.
+    let cited = deputy_citation(&warm.diagnostics_json);
+    let Some((diag_fn, lvalue, target)) = cited else {
+        return fail(strict, "no deputy/indirect-annot diagnostic with evidence");
+    };
+    let deputy_fact = match client.explain(&diag_fn, &lvalue, Some(&target)) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            return fail(
+                strict,
+                &format!("explain of the Deputy evidence failed: {e}"),
+            )
+        }
+    };
+    println!(
+        "explain: {} (cited by deputy/indirect-annot)",
+        deputy_fact.fact
+    );
+    for line in &deputy_fact.rendered {
+        println!("    {line}");
+    }
+    if deputy_fact.rendered.is_empty() || !deputy_fact.replay_verified {
+        return fail(
+            strict,
+            &format!(
+                "Deputy-evidence chain must be non-empty and replay-verified: {} link(s), verified={}",
+                deputy_fact.chain_len, deputy_fact.replay_verified
+            ),
         );
     }
 

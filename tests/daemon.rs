@@ -490,6 +490,158 @@ fn metrics_verb_returns_prometheus_text_covering_the_serving_path() {
     assert!(series_value("ivy_daemon_cache_misses_total") >= 1);
     assert!(series_value("ivy_daemon_pointsto_batch_hits_total") >= 1);
 
+    // Per-verb latency histograms: the analyze verb served three requests,
+    // so its histogram must expose cumulative buckets, a +Inf bucket equal
+    // to the count, and p50/p95/p99 summary gauges.
+    assert!(
+        text.contains("# TYPE ivy_daemon_request_duration_micros histogram"),
+        "latency histogram header missing:\n{text}"
+    );
+    let bucket_value = |line: &str| -> u64 {
+        line.rsplit(' ')
+            .next()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("non-numeric bucket line {line:?}"))
+    };
+    let analyze_buckets: Vec<u64> = text
+        .lines()
+        .filter(|l| {
+            l.starts_with("ivy_daemon_request_duration_micros_bucket{verb=\"analyze\"")
+                && !l.contains("le=\"+Inf\"")
+        })
+        .map(bucket_value)
+        .collect();
+    assert_eq!(
+        analyze_buckets.len(),
+        12,
+        "one bucket line per fixed bound:\n{text}"
+    );
+    for pair in analyze_buckets.windows(2) {
+        assert!(
+            pair[0] <= pair[1],
+            "cumulative bucket counts must be monotone non-decreasing: {analyze_buckets:?}"
+        );
+    }
+    let analyze_count = series_value("ivy_daemon_request_duration_micros_count{verb=\"analyze\"}");
+    assert_eq!(analyze_count, 3, "three analyze requests were timed");
+    let inf_line = text
+        .lines()
+        .find(|l| {
+            l.starts_with("ivy_daemon_request_duration_micros_bucket{verb=\"analyze\"")
+                && l.contains("le=\"+Inf\"")
+        })
+        .expect("+Inf bucket present");
+    assert_eq!(
+        bucket_value(inf_line),
+        analyze_count,
+        "+Inf bucket equals the observation count"
+    );
+    assert!(analyze_buckets.iter().all(|&c| c <= analyze_count));
+    for quantile in ["p50", "p95", "p99"] {
+        assert!(
+            text.contains(&format!(
+                "ivy_daemon_request_{quantile}_micros{{verb=\"analyze\"}}"
+            )),
+            "{quantile} summary gauge missing:\n{text}"
+        );
+    }
+
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+/// A small program with one function-pointer dispatch and one global
+/// pointer slot — enough surface for `explain` to answer in both modes.
+const EXPLAIN_SOURCE: &str = r#"
+    global sink: u8 *;
+    fn store(p: u8 *) { sink = p; }
+    global hook: fnptr(u8 *) -> void;
+    global data: u8[8];
+    fn setup() { hook = store; }
+    fn fire() { hook(&data[0]); }
+"#;
+
+#[test]
+fn explain_verb_returns_replay_verified_derivations() {
+    let handle =
+        Daemon::spawn(DaemonConfig::new(socket_path("explain")).with_provenance(true)).unwrap();
+    let mut client = Client::connect(handle.socket()).unwrap();
+
+    // Explain before any analyze is a clean error, not a hang or a panic.
+    let err = client.explain("fire", "hook", None).unwrap_err();
+    assert!(err.to_string().contains("nothing is resident"), "{err}");
+
+    client.analyze(EXPLAIN_SOURCE).unwrap();
+
+    // Indirect-call mode: why does `hook(...)` in `fire` reach `store`?
+    let indirect = client.explain("fire", "hook", Some("store")).unwrap();
+    assert!(indirect.replay_verified);
+    assert!(!indirect.rendered.is_empty(), "chain must be non-empty");
+    assert!(indirect.provenance_facts > 0);
+    // Chains are seed-first: the first link is an addr-of seed.
+    assert!(
+        indirect.rendered[0].contains("addr-of seed"),
+        "chain starts at a seed: {:?}",
+        indirect.rendered
+    );
+
+    // Pointer-slot mode: why may `sink` point into `data`? The flow runs
+    // through the indirect call's argument binding, so the chain has more
+    // than one link.
+    let slot = client.explain("store", "sink", None).unwrap();
+    assert!(slot.replay_verified);
+    assert!(
+        slot.chain_len > 1,
+        "flow through a call: {:?}",
+        slot.rendered
+    );
+    assert!(slot.fact.contains("sink"), "{}", slot.fact);
+
+    // A target the static answer does not contain is an error that lists
+    // what the answer does hold.
+    let err = client.explain("fire", "hook", Some("setup")).unwrap_err();
+    assert!(err.to_string().contains("store"), "{err}");
+
+    // The stats verb surfaces the provenance volume of the last analyze.
+    let stats = client.stats().unwrap();
+    let engine_section = stats.get("engine").expect("engine section");
+    assert!(
+        engine_section
+            .get("provenance_facts")
+            .and_then(ivy::engine::json::Value::as_u64)
+            .map(|n| n > 0)
+            .unwrap_or(false),
+        "provenance_facts surfaced: {engine_section:?}"
+    );
+    assert!(
+        engine_section
+            .get("provenance_bytes")
+            .and_then(ivy::engine::json::Value::as_u64)
+            .map(|n| n > 0)
+            .unwrap_or(false),
+        "provenance_bytes surfaced: {engine_section:?}"
+    );
+
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn explain_without_provenance_is_a_clean_error_and_stats_report_zero() {
+    let handle = Daemon::spawn(DaemonConfig::new(socket_path("no-prov"))).unwrap();
+    let mut client = Client::connect(handle.socket()).unwrap();
+    client.analyze(EXPLAIN_SOURCE).unwrap();
+    let err = client.explain("fire", "hook", None).unwrap_err();
+    assert!(err.to_string().contains("--provenance"), "{err}");
+    let stats = client.stats().unwrap();
+    let engine_section = stats.get("engine").expect("engine section");
+    assert_eq!(
+        engine_section
+            .get("provenance_facts")
+            .and_then(ivy::engine::json::Value::as_u64),
+        Some(0),
+        "provenance off reports zero facts: {engine_section:?}"
+    );
     client.shutdown().unwrap();
     handle.join();
 }

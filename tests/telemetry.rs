@@ -124,6 +124,62 @@ fn disabled_mode_records_nothing_and_meets_the_overhead_budget() {
 }
 
 #[test]
+fn span_cap_overflow_counts_drops_without_corrupting_retained_spans() {
+    let _g = telemetry_guard();
+    let _restore = Restore;
+    telemetry::disable_all();
+    telemetry::reset();
+    telemetry::enable_spans();
+
+    // One thread always lands in one recorder shard, so a single runaway
+    // traced loop overflows that shard's cap deterministically. A sentinel
+    // span recorded first must come through the overflow untouched.
+    {
+        let _sentinel = telemetry::span("test/sentinel", "first");
+    }
+    const CAP: u64 = 1 << 16; // SPAN_CAP_PER_SHARD
+    const EXTRA: u64 = 100;
+    for i in 0..(CAP - 1 + EXTRA) {
+        let _s = telemetry::span("test/flood", format!("s{i}"));
+    }
+
+    // Every span past the cap was dropped and counted — no more, no fewer.
+    assert_eq!(telemetry::dropped_spans(), EXTRA);
+    let spans = telemetry::spans_snapshot();
+    assert_eq!(spans.len() as u64, CAP, "shard retains exactly its cap");
+
+    // The retained records are intact: the sentinel survived, and the
+    // flood spans that made it in are exactly the first CAP-1 (overflow
+    // dropped the tail, never overwrote the body). Snapshot order ties on
+    // equal-microsecond timestamps, so check membership, not positions.
+    assert_eq!(
+        spans.iter().filter(|s| s.cat == "test/sentinel").count(),
+        1,
+        "the sentinel span survived the overflow"
+    );
+    let flood: std::collections::BTreeSet<u64> = spans
+        .iter()
+        .filter(|s| s.cat == "test/flood")
+        .map(|s| s.name[1..].parse().expect("flood span name"))
+        .collect();
+    assert_eq!(flood.len() as u64, CAP - 1, "no flood span was duplicated");
+    assert_eq!(flood.first(), Some(&0));
+    assert_eq!(
+        flood.last(),
+        Some(&(CAP - 2)),
+        "exactly the tail was dropped"
+    );
+
+    // A fresh span after the overflow is still dropped (the shard stays
+    // full) and keeps counting, rather than evicting or panicking.
+    {
+        let _late = telemetry::span("test/late", "after-overflow");
+    }
+    assert_eq!(telemetry::dropped_spans(), EXTRA + 1);
+    assert_eq!(telemetry::spans_snapshot().len() as u64, CAP);
+}
+
+#[test]
 fn chrome_trace_export_round_trips_through_serde_json() {
     let _g = telemetry_guard();
     let _restore = Restore;
